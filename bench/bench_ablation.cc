@@ -1,0 +1,144 @@
+// Ablations of design choices called out in DESIGN.md:
+//
+//  A1  sequence links (dc:hasNextNode) on/off — store size vs. path-query
+//      capability (the cost of making trajectories graph-traversable).
+//  A2  link-discovery blocking-frame width — candidate explosion vs.
+//      verification cost.
+//  A3  window allowed-lateness — dropped tuples vs. buffered state under
+//      an out-of-order stream.
+//  A4  synopses-then-transform vs. transform-everything — end-to-end
+//      engine throughput and store volume (the architecture's core bet).
+#include <cstdio>
+#include <memory>
+
+#include "common/time_utils.h"
+#include "datacron/engine.h"
+#include "link/link_discovery.h"
+#include "partition/partitioned_store.h"
+#include "partition/partitioner.h"
+#include "query/engine.h"
+#include "rdf/rdfizer.h"
+#include "sources/ais_generator.h"
+#include "stream/window.h"
+
+namespace datacron {
+namespace {
+
+std::vector<PositionReport> Fleet(std::size_t vessels, DurationMs dur,
+                                  DurationMs jitter = 0) {
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = vessels;
+  cfg.duration = dur;
+  ObservationConfig obs;
+  obs.fixed_interval_ms = 10 * kSecond;
+  obs.out_of_order_jitter_ms = jitter;
+  return ObserveFleet(GenerateAisFleet(cfg), obs);
+}
+
+void AblationSequenceLinks() {
+  std::printf("A1: sequence links on/off (60 vessels x 1 h)\n");
+  std::printf("%-14s %12s %12s %14s\n", "seq_links", "triples",
+              "store_MB~", "2hop_rows");
+  const auto stream = Fleet(60, kHour);
+  for (bool seq : {true, false}) {
+    TermDictionary dict;
+    Vocab vocab(&dict);
+    Rdfizer::Config rcfg;
+    rcfg.emit_sequence_links = seq;
+    Rdfizer rdfizer(rcfg, &dict, &vocab);
+    std::vector<Triple> triples;
+    for (const auto& r : stream) {
+      const auto ts = rdfizer.TransformReport(r);
+      triples.insert(triples.end(), ts.begin(), ts.end());
+    }
+    HashPartitioner one(1, &rdfizer.tags());
+    PartitionedRdfStore store;
+    store.Load(triples, one, rdfizer.grid());
+    QueryEngine qe(&store, &rdfizer);
+    QueryBuilder qb;
+    qb.WhereVar("a", vocab.p_next_node, "b");
+    qb.WhereVar("b", vocab.p_next_node, "c");
+    const auto rs = qe.ExecuteLocal(qb.Build());
+    // Rough in-memory estimate: 3 permutations x 24 bytes per triple.
+    std::printf("%-14s %12zu %12.1f %14zu\n", seq ? "on" : "off",
+                triples.size(), triples.size() * 3 * 24 / 1e6,
+                rs.rows.size());
+  }
+}
+
+void AblationBlockingFrame() {
+  std::printf("\nA2: link-discovery time-frame width (80 vessels x 30 min, "
+              "threshold 2 km)\n");
+  std::printf("%-14s %12s %12s\n", "tolerance_s", "links", "blocked_ms");
+  const auto stream = Fleet(80, 30 * kMinute);
+  for (DurationMs tol : {10 * kSecond, 30 * kSecond, 60 * kSecond,
+                         120 * kSecond}) {
+    LinkDiscovery::Config cfg;
+    cfg.time_tolerance = tol;
+    LinkDiscovery link(cfg);
+    Stopwatch timer;
+    const auto links = link.DiscoverProximity(stream);
+    std::printf("%-14lld %12zu %12.1f\n",
+                static_cast<long long>(tol / 1000), links.size(),
+                timer.ElapsedMillis());
+  }
+}
+
+void AblationLateness() {
+  std::printf("\nA3: window allowed-lateness under 60 s ooo-jitter "
+              "(40 vessels x 30 min)\n");
+  std::printf("%-14s %12s %12s\n", "lateness_s", "windows", "dropped");
+  const auto stream = Fleet(40, 30 * kMinute, /*jitter=*/60 * kSecond);
+  for (DurationMs lateness : {0 * kSecond, 15 * kSecond, 30 * kSecond,
+                              60 * kSecond, 120 * kSecond}) {
+    using Win = TumblingWindowOperator<PositionReport, EntityId, double>;
+    Win win(
+        "count", kMinute, lateness,
+        [](const PositionReport& r) { return r.entity_id; },
+        [](const PositionReport& r) { return r.timestamp; },
+        [](double* acc, const PositionReport&) { *acc += 1; });
+    std::vector<Win::Out> out;
+    for (const auto& r : stream) win.ProcessCounted(r, &out);
+    win.Flush(&out);
+    std::printf("%-14lld %12zu %12zu\n",
+                static_cast<long long>(lateness / 1000), out.size(),
+                win.dropped_late());
+  }
+}
+
+void AblationSynopsesPath() {
+  std::printf("\nA4: synopses-then-transform vs transform-everything "
+              "(100 vessels x 1 h, full engine)\n");
+  std::printf("%-16s %12s %12s %14s %12s\n", "path", "triples",
+              "reports/s", "p99_ms", "dict_terms");
+  const auto stream = Fleet(100, kHour);
+  for (bool all : {false, true}) {
+    DatacronEngine::Config cfg;
+    cfg.rdfize_all_reports = all;
+    DatacronEngine engine(cfg);
+    Stopwatch timer;
+    for (const auto& r : stream) engine.Ingest(r);
+    engine.Finish();
+    const double secs = timer.ElapsedSeconds();
+    std::printf("%-16s %12zu %12.0f %14.4f %12zu\n",
+                all ? "all_reports" : "synopses", engine.triples().size(),
+                stream.size() / secs, engine.latencies().total_ms.p99(),
+                engine.dictionary()->size());
+  }
+}
+
+}  // namespace
+
+void Run() {
+  AblationSequenceLinks();
+  AblationBlockingFrame();
+  AblationLateness();
+  AblationSynopsesPath();
+}
+
+}  // namespace datacron
+
+int main() {
+  datacron::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E10 — End-to-end architecture latency: the "operational latency
+// requirements (i.e. in ms)" claim of Section 4.
+//
+// Runs the full DatacronEngine (synopses -> transform -> trajectory ->
+// CEP) over a fleet stream and prints the per-stage and total per-tuple
+// latency distribution, plus sustained throughput, then closes the loop
+// with a query over the produced store.
+#include <cstdio>
+
+#include "common/time_utils.h"
+#include "datacron/engine.h"
+#include "partition/partitioned_store.h"
+#include "partition/partitioner.h"
+#include "query/engine.h"
+#include "sources/ais_generator.h"
+
+namespace datacron {
+namespace {
+
+void PrintStage(const char* name, const PercentileTracker& t) {
+  std::printf("  %-14s p50 %8.4f ms   p95 %8.4f ms   p99 %8.4f ms   max "
+              "%8.3f ms\n",
+              name, t.p50(), t.p95(), t.p99(), t.Max());
+}
+
+}  // namespace
+
+void Run() {
+  AisGeneratorConfig fleet;
+  fleet.num_vessels = 100;
+  fleet.duration = kHour;
+  const auto traces = GenerateAisFleet(fleet);
+  ObservationConfig obs;
+  obs.fixed_interval_ms = 10 * kSecond;
+  const auto stream = ObserveFleet(traces, obs);
+
+  DatacronEngine::Config cfg;
+  cfg.areas.push_back(NamedArea{
+      "zone_a", Polygon::Rectangle(BoundingBox::Of(35.5, 23.5, 36.5, 24.5))});
+  cfg.areas.push_back(NamedArea{
+      "zone_b", Polygon::Rectangle(BoundingBox::Of(37.0, 25.0, 38.0, 26.0))});
+  DatacronEngine engine(cfg);
+
+  Stopwatch total_timer;
+  std::size_t event_count = 0;
+  for (const auto& r : stream) {
+    event_count += engine.Ingest(r).size();
+  }
+  event_count += engine.Finish().size();
+  const double total_s = total_timer.ElapsedSeconds();
+
+  std::printf("E10: end-to-end pipeline latency (%zu vessels, %zu reports, "
+              "%zu events, %zu critical points, %zu triples)\n\n",
+              fleet.num_vessels, stream.size(), event_count,
+              engine.critical_points(), engine.triples().size());
+
+  const auto& lat = engine.latencies();
+  PrintStage("synopses", lat.synopses_ms);
+  PrintStage("transform", lat.transform_ms);
+  PrintStage("trajectory", lat.trajectory_ms);
+  PrintStage("cep", lat.cep_ms);
+  PrintStage("TOTAL", lat.total_ms);
+  std::printf("\n  sustained throughput: %.0f reports/s (%.2f s wall for "
+              "%lld min of simulated traffic => %.0fx real time)\n",
+              stream.size() / total_s, total_s,
+              static_cast<long long>(fleet.duration / kMinute),
+              (fleet.duration / 1000.0) / total_s);
+
+  // Close the loop: partition + query what the pipeline produced.
+  auto scheme = HilbertPartitioner::Build(4, &engine.rdfizer()->tags(),
+                                          engine.rdfizer()->grid());
+  PartitionedRdfStore store;
+  Stopwatch load_timer;
+  store.Load(engine.triples(), *scheme, engine.rdfizer()->grid(),
+             engine.vocab().p_next_node);
+  const double load_ms = load_timer.ElapsedMillis();
+
+  QueryEngine qe(&store, engine.rdfizer());
+  QueryBuilder qb;
+  qb.Pattern(QueryTerm::Var(qb.Var("node")),
+             QueryTerm::Bound(engine.vocab().p_type),
+             QueryTerm::Bound(engine.vocab().c_position_node));
+  qb.Within("node", BoundingBox::Of(36, 24, 37, 25));
+  Stopwatch query_timer;
+  const auto rs = qe.ExecuteLocal(qb.Build());
+  std::printf("\n  store: %zu triples partitioned in %.1f ms; spatial query "
+              "-> %zu rows in %.2f ms (%s)\n",
+              store.TotalTriples(), load_ms, rs.rows.size(),
+              query_timer.ElapsedMillis(), rs.stats.ToString().c_str());
+}
+
+}  // namespace datacron
+
+int main() {
+  datacron::Run();
+  return 0;
+}

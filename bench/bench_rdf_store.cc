@@ -1,0 +1,193 @@
+// E4 — Triple store: pattern lookup and BGP join performance.
+//
+// Micro-benches over a sealed store built from a simulated fleet:
+// every pattern shape (bound/unbound S/P/O) plus a star-join query,
+// using google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "partition/partitioned_store.h"
+#include "partition/partitioner.h"
+#include "query/engine.h"
+#include "rdf/streaming_store.h"
+#include "rdf/rdfizer.h"
+#include "sources/ais_generator.h"
+
+namespace datacron {
+namespace {
+
+struct Dataset {
+  TermDictionary dict;
+  std::unique_ptr<Vocab> vocab;
+  std::unique_ptr<Rdfizer> rdfizer;
+  std::vector<Triple> triples;
+  TripleStore store;
+  std::vector<TermId> node_ids;
+  PartitionedRdfStore single;
+
+  Dataset() {
+    vocab = std::make_unique<Vocab>(&dict);
+    rdfizer = std::make_unique<Rdfizer>(Rdfizer::Config{}, &dict,
+                                        vocab.get());
+    AisGeneratorConfig fleet;
+    fleet.num_vessels = 50;
+    fleet.duration = kHour;
+    ObservationConfig obs;
+    obs.fixed_interval_ms = 10 * kSecond;
+    for (const auto& r :
+         ObserveFleet(GenerateAisFleet(fleet), obs)) {
+      const auto ts = rdfizer->TransformReport(r);
+      triples.insert(triples.end(), ts.begin(), ts.end());
+    }
+    store.AddBatch(triples);
+    store.Seal();
+    for (const auto& [node, tag] : rdfizer->tags()) {
+      node_ids.push_back(node);
+    }
+    HashPartitioner one(1, &rdfizer->tags());
+    single.Load(triples, one, rdfizer->grid());
+  }
+};
+
+Dataset& Data() {
+  static Dataset* data = new Dataset();
+  return *data;
+}
+
+void BM_LookupSPO(benchmark::State& state) {
+  Dataset& d = Data();
+  const Triple probe = d.triples[d.triples.size() / 2];
+  for (auto _ : state) {
+    auto out = d.store.Match({probe.s, probe.p, probe.o});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LookupSPO);
+
+void BM_LookupSubjectStar(benchmark::State& state) {
+  Dataset& d = Data();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto out = d.store.Match({d.node_ids[i++ % d.node_ids.size()], 0, 0});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LookupSubjectStar);
+
+void BM_LookupByPredicate(benchmark::State& state) {
+  Dataset& d = Data();
+  for (auto _ : state) {
+    auto n = d.store.Count({0, d.vocab->p_speed, 0});
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_LookupByPredicate);
+
+void BM_LookupByObject(benchmark::State& state) {
+  Dataset& d = Data();
+  for (auto _ : state) {
+    auto out = d.store.Match({0, 0, d.vocab->c_position_node});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LookupByObject);
+
+void BM_SealCost(benchmark::State& state) {
+  Dataset& d = Data();
+  for (auto _ : state) {
+    TripleStore fresh;
+    fresh.AddBatch(d.triples);
+    fresh.Seal();
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(state.iterations() * d.triples.size());
+}
+BENCHMARK(BM_SealCost)->Unit(benchmark::kMillisecond);
+
+void BM_StarJoinQuery(benchmark::State& state) {
+  Dataset& d = Data();
+  QueryEngine engine(&d.single, d.rdfizer.get());
+  QueryBuilder qb;
+  qb.Where("node", d.vocab->p_of_entity,
+           d.dict.Intern(EntityIri(200000000)));
+  qb.WhereVar("node", d.vocab->p_speed, "speed");
+  qb.WhereVar("node", d.vocab->p_course, "course");
+  const Query q = qb.Build();
+  for (auto _ : state) {
+    auto rs = engine.ExecuteLocal(q);
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_StarJoinQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_SpatialWindowQuery(benchmark::State& state) {
+  Dataset& d = Data();
+  QueryEngine engine(&d.single, d.rdfizer.get());
+  QueryBuilder qb;
+  qb.Pattern(QueryTerm::Var(qb.Var("node")),
+             QueryTerm::Bound(d.vocab->p_type),
+             QueryTerm::Bound(d.vocab->c_position_node));
+  qb.Within("node", BoundingBox::Of(36, 24, 37, 25));
+  const Query q = qb.Build();
+  for (auto _ : state) {
+    auto rs = engine.ExecuteLocal(q);
+    benchmark::DoNotOptimize(rs);
+  }
+}
+BENCHMARK(BM_SpatialWindowQuery)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingStoreIngest(benchmark::State& state) {
+  Dataset& d = Data();
+  for (auto _ : state) {
+    StreamingRdfStore::Config cfg;
+    cfg.bucket_ms = kMinute;
+    cfg.retention_buckets = 1 << 20;  // no eviction: measure pure ingest
+    StreamingRdfStore stream_store(cfg);
+    // Feed all triples in 1000-triple batches with advancing watermarks.
+    TimestampMs t = 0;
+    for (std::size_t i = 0; i < d.triples.size(); i += 1000) {
+      const std::size_t end = std::min(d.triples.size(), i + 1000);
+      std::vector<Triple> batch(d.triples.begin() + i,
+                                d.triples.begin() + end);
+      stream_store.Add(t, batch);
+      t += kMinute;
+      stream_store.AdvanceTo(t);
+    }
+    benchmark::DoNotOptimize(stream_store);
+  }
+  state.SetItemsProcessed(state.iterations() * d.triples.size());
+}
+BENCHMARK(BM_StreamingStoreIngest)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingStoreMatch(benchmark::State& state) {
+  Dataset& d = Data();
+  static StreamingRdfStore* stream_store = [] {
+    StreamingRdfStore::Config cfg;
+    cfg.bucket_ms = kMinute;
+    cfg.retention_buckets = 1 << 20;  // keep everything queryable
+    auto* s = new StreamingRdfStore(cfg);
+    TimestampMs t = 0;
+    for (std::size_t i = 0; i < Data().triples.size(); i += 1000) {
+      const std::size_t end = std::min(Data().triples.size(), i + 1000);
+      std::vector<Triple> batch(Data().triples.begin() + i,
+                                Data().triples.begin() + end);
+      s->Add(t, batch);
+      t += kMinute;
+      s->AdvanceTo(t);
+    }
+    return s;
+  }();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto out =
+        stream_store->Match({d.node_ids[i++ % d.node_ids.size()], 0, 0});
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_StreamingStoreMatch)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace datacron
+
+BENCHMARK_MAIN();

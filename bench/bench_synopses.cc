@@ -1,0 +1,139 @@
+// E1 — Synopses: compression ratio vs. reconstruction quality.
+//
+// Paper claim: "in-situ processing components compress and integrate data
+// at high rates of data compression without affecting the quality of
+// analytics". This bench sweeps the compressor thresholds and prints, for
+// the online dead-reckoning compressor, the online critical-point
+// detector, and offline Douglas-Peucker(SED), the compression ratio
+// against reconstruction error, plus single-thread throughput.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "sources/ais_generator.h"
+#include "stream/pipeline.h"
+#include "synopses/compression.h"
+#include "synopses/critical_points.h"
+
+namespace datacron {
+namespace {
+
+struct Row {
+  const char* method;
+  double param;
+  double ratio;
+  double mean_err_m;
+  double max_err_m;
+  double mreports_per_s;
+};
+
+void PrintRow(const Row& r) {
+  std::printf("%-18s %10.0f %10.1fx %12.1f %12.1f %14.2f\n", r.method,
+              r.param, r.ratio, r.mean_err_m, r.max_err_m,
+              r.mreports_per_s);
+}
+
+/// Groups a fleet-merged stream by entity, preserving time order.
+std::map<EntityId, std::vector<PositionReport>> ByEntity(
+    const std::vector<PositionReport>& reports) {
+  std::map<EntityId, std::vector<PositionReport>> out;
+  for (const PositionReport& r : reports) out[r.entity_id].push_back(r);
+  return out;
+}
+
+/// Aggregates quality over per-entity compressions.
+Row Evaluate(const char* method, double param,
+             const std::map<EntityId, std::vector<PositionReport>>& input,
+             const std::map<EntityId, std::vector<PositionReport>>& kept,
+             double seconds, std::size_t total_in) {
+  std::size_t total_kept = 0;
+  double err_sum = 0, err_max = 0;
+  std::size_t err_n = 0;
+  for (const auto& [id, original] : input) {
+    auto it = kept.find(id);
+    if (it == kept.end()) continue;
+    total_kept += it->second.size();
+    const CompressionQuality q = EvaluateCompression(original, it->second);
+    err_sum += q.mean_sed_m * original.size();
+    err_n += original.size();
+    err_max = std::max(err_max, q.max_sed_m);
+  }
+  Row row;
+  row.method = method;
+  row.param = param;
+  row.ratio = total_kept ? static_cast<double>(total_in) / total_kept : 0;
+  row.mean_err_m = err_n ? err_sum / err_n : 0;
+  row.max_err_m = err_max;
+  row.mreports_per_s = total_in / seconds / 1e6;
+  return row;
+}
+
+}  // namespace
+
+void Run() {
+  AisGeneratorConfig fleet;
+  fleet.num_vessels = 100;
+  fleet.duration = 2 * kHour;
+  const auto traces = GenerateAisFleet(fleet);
+  ObservationConfig obs;
+  obs.position_noise_m = 10;
+  obs.drop_probability = 0;
+  obs.gap_probability = 0;
+  obs.fixed_interval_ms = 10 * kSecond;
+  const auto stream = ObserveFleet(traces, obs);
+  const auto by_entity = ByEntity(stream);
+
+  std::printf(
+      "E1: synopses compression (fleet=%zu vessels, %lld min, %zu "
+      "reports)\n",
+      fleet.num_vessels,
+      static_cast<long long>(fleet.duration / kMinute), stream.size());
+  std::printf("%-18s %10s %10s %12s %12s %14s\n", "method", "param",
+              "ratio", "mean_err_m", "max_err_m", "Mreports/s");
+
+  // Online dead-reckoning threshold compressor.
+  for (double threshold : {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0}) {
+    DeadReckoningCompressor comp(threshold);
+    Stopwatch timer;
+    const auto kept_stream = pipeline::RunBatch(&comp, stream);
+    const double secs = timer.ElapsedSeconds();
+    PrintRow(Evaluate("dead_reckoning", threshold, by_entity,
+                      ByEntity(kept_stream), secs, stream.size()));
+  }
+
+  // Online critical-point detector (threshold = turn threshold sweep).
+  for (double turn_deg : {2.0, 6.0, 15.0, 30.0}) {
+    CriticalPointConfig cfg;
+    cfg.turn_threshold_deg = turn_deg;
+    CriticalPointDetector det(cfg);
+    Stopwatch timer;
+    const auto cps = pipeline::RunBatch(&det, stream);
+    const double secs = timer.ElapsedSeconds();
+    std::map<EntityId, std::vector<PositionReport>> kept;
+    for (const CriticalPoint& cp : cps) {
+      kept[cp.report.entity_id].push_back(cp.report);
+    }
+    PrintRow(Evaluate("critical_points", turn_deg, by_entity, kept, secs,
+                      stream.size()));
+  }
+
+  // Offline Douglas-Peucker with SED (per entity).
+  for (double eps : {25.0, 50.0, 100.0, 250.0}) {
+    Stopwatch timer;
+    std::map<EntityId, std::vector<PositionReport>> kept;
+    for (const auto& [id, pts] : by_entity) {
+      kept[id] = DouglasPeuckerSed(pts, eps);
+    }
+    const double secs = timer.ElapsedSeconds();
+    PrintRow(Evaluate("dp_sed_offline", eps, by_entity, kept, secs,
+                      stream.size()));
+  }
+}
+
+}  // namespace datacron
+
+int main() {
+  datacron::Run();
+  return 0;
+}

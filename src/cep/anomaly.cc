@@ -1,0 +1,80 @@
+#include "cep/anomaly.h"
+
+#include <cmath>
+
+#include "geo/geo.h"
+
+namespace datacron {
+
+GapDetector::GapDetector(Config config)
+    : Operator<PositionReport, Event>("gap_detector"), config_(config) {}
+
+void GapDetector::Process(const PositionReport& report,
+                          std::vector<Event>* out) {
+  auto it = last_.find(report.entity_id);
+  if (it != last_.end()) {
+    const PositionReport& prev = it->second;
+    const DurationMs silence = report.timestamp - prev.timestamp;
+    if (silence >= config_.gap_threshold) {
+      Event e;
+      e.kind = EventKind::kGap;
+      e.time = report.timestamp;
+      e.predicted_time = report.timestamp;
+      e.entities = {report.entity_id};
+      e.position = report.position;
+      e.attributes["silence_s"] = silence / 1000.0;
+      e.attributes["dark_distance_m"] =
+          HaversineMeters(prev.position.ll(), report.position.ll());
+      out->push_back(std::move(e));
+    }
+  }
+  last_[report.entity_id] = report;
+}
+
+double SpeedAnomalyDetector::Profile::Stddev() const {
+  return count > 1 ? std::sqrt(m2 / count) : 0.0;
+}
+
+void SpeedAnomalyDetector::Profile::Add(double x) {
+  ++count;
+  const double delta = x - mean;
+  mean += delta / count;
+  m2 += delta * (x - mean);
+}
+
+SpeedAnomalyDetector::SpeedAnomalyDetector(Config config)
+    : Operator<PositionReport, Event>("speed_anomaly_detector"),
+      config_(config) {}
+
+void SpeedAnomalyDetector::Process(const PositionReport& report,
+                                   std::vector<Event>* out) {
+  Profile& profile = profiles_[report.entity_id];
+  if (profile.count >= config_.warmup_reports) {
+    const double stddev =
+        std::max(profile.Stddev(), config_.min_stddev_mps);
+    const double z = (report.speed_mps - profile.mean) / stddev;
+    if (std::fabs(z) >= config_.zscore_threshold) {
+      auto alarm_it = last_alarm_.find(report.entity_id);
+      if (alarm_it == last_alarm_.end() ||
+          report.timestamp - alarm_it->second >=
+              config_.realarm_interval) {
+        last_alarm_[report.entity_id] = report.timestamp;
+        Event e;
+        e.kind = EventKind::kSpeedAnomaly;
+        e.time = report.timestamp;
+        e.predicted_time = report.timestamp;
+        e.entities = {report.entity_id};
+        e.position = report.position;
+        e.attributes["speed_mps"] = report.speed_mps;
+        e.attributes["profile_mean_mps"] = profile.mean;
+        e.attributes["zscore"] = z;
+        out->push_back(std::move(e));
+      }
+      // Do not poison the profile with the anomalous sample.
+      return;
+    }
+  }
+  profile.Add(report.speed_mps);
+}
+
+}  // namespace datacron

@@ -1,0 +1,72 @@
+#ifndef DATACRON_CEP_ANOMALY_H_
+#define DATACRON_CEP_ANOMALY_H_
+
+#include <map>
+
+#include "cep/event.h"
+#include "stream/operator.h"
+
+namespace datacron {
+
+/// Communication-gap recognizer: an entity that was reporting goes silent
+/// longer than `gap_threshold`; the kGap event fires when the entity
+/// *reappears* (at reappearance we know the gap's extent) and carries the
+/// silence duration plus the distance covered while dark — the inputs of
+/// maritime "dark activity" analysis.
+class GapDetector : public Operator<PositionReport, Event> {
+ public:
+  struct Config {
+    DurationMs gap_threshold = 10 * kMinute;
+  };
+
+  GapDetector() : GapDetector(Config()) {}
+  explicit GapDetector(Config config);
+
+  void Process(const PositionReport& report,
+               std::vector<Event>* out) override;
+
+ private:
+  Config config_;
+  std::map<EntityId, PositionReport> last_;
+};
+
+/// Speed-anomaly recognizer: keeps a per-entity running speed profile
+/// (mean/variance) and flags reports whose speed deviates more than
+/// `zscore_threshold` standard deviations from the entity's own history —
+/// the self-baselining anomaly definition used in MSA (a ferry doing 25 kn
+/// is normal; a trawler doing 25 kn is not).
+class SpeedAnomalyDetector : public Operator<PositionReport, Event> {
+ public:
+  struct Config {
+    /// Minimum history before the profile is trusted.
+    std::size_t warmup_reports = 30;
+    double zscore_threshold = 4.0;
+    /// Profile floor: below this stddev, use this (quantization noise).
+    double min_stddev_mps = 0.5;
+    DurationMs realarm_interval = 10 * kMinute;
+  };
+
+  SpeedAnomalyDetector() : SpeedAnomalyDetector(Config()) {}
+  explicit SpeedAnomalyDetector(Config config);
+
+  void Process(const PositionReport& report,
+               std::vector<Event>* out) override;
+
+ private:
+  struct Profile {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+
+    double Stddev() const;
+    void Add(double x);
+  };
+
+  Config config_;
+  std::map<EntityId, Profile> profiles_;
+  std::map<EntityId, TimestampMs> last_alarm_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_CEP_ANOMALY_H_

@@ -1,0 +1,60 @@
+#include "cep/cpa.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datacron {
+
+CpaResult ComputeCpa(const PositionReport& a_in, const PositionReport& b_in) {
+  // Align both reports to the later timestamp by dead reckoning.
+  PositionReport a = a_in;
+  PositionReport b = b_in;
+  const TimestampMs t0 = std::max(a.timestamp, b.timestamp);
+  auto align = [t0](PositionReport* r) {
+    const double dt_s = static_cast<double>(t0 - r->timestamp) / 1000.0;
+    if (dt_s > 0) {
+      r->position = DeadReckon(r->position, r->course_deg, r->speed_mps,
+                               r->vertical_rate_mps, dt_s);
+      r->timestamp = t0;
+    }
+  };
+  align(&a);
+  align(&b);
+
+  // Relative kinematics in ENU around a.
+  const EnuVector rel_pos = ToEnu(a.position, b.position);
+  auto velocity = [](const PositionReport& r, double* ve, double* vn) {
+    const double c = r.course_deg * kDegToRad;
+    *ve = r.speed_mps * std::sin(c);
+    *vn = r.speed_mps * std::cos(c);
+  };
+  double ave, avn, bve, bvn;
+  velocity(a, &ave, &avn);
+  velocity(b, &bve, &bvn);
+  const double rve = bve - ave;
+  const double rvn = bvn - avn;
+
+  CpaResult out;
+  out.d_now_m = std::sqrt(rel_pos.east_m * rel_pos.east_m +
+                          rel_pos.north_m * rel_pos.north_m);
+  const double speed2 = rve * rve + rvn * rvn;
+  if (speed2 < 1e-9) {
+    // No relative motion: separation is constant.
+    out.t_cpa_s = 0.0;
+    out.d_cpa_m = out.d_now_m;
+    out.d_alt_m = std::fabs(rel_pos.up_m);
+    return out;
+  }
+  // Minimize |p + v t|^2 -> t = -(p . v) / |v|^2, clamped to the future.
+  double t = -(rel_pos.east_m * rve + rel_pos.north_m * rvn) / speed2;
+  t = std::max(0.0, t);
+  out.t_cpa_s = t;
+  const double de = rel_pos.east_m + rve * t;
+  const double dn = rel_pos.north_m + rvn * t;
+  out.d_cpa_m = std::sqrt(de * de + dn * dn);
+  const double rel_vrate = b.vertical_rate_mps - a.vertical_rate_mps;
+  out.d_alt_m = std::fabs(rel_pos.up_m + rel_vrate * t);
+  return out;
+}
+
+}  // namespace datacron

@@ -1,0 +1,33 @@
+#ifndef DATACRON_CEP_CPA_H_
+#define DATACRON_CEP_CPA_H_
+
+#include "geo/geo.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Closest Point of Approach of two entities under constant-velocity
+/// extrapolation from their current reports — the standard collision-risk
+/// primitive in both maritime (COLREG alerting) and ATM (conflict
+/// detection).
+struct CpaResult {
+  /// Seconds from the later of the two reports until closest approach;
+  /// 0 when the entities are already diverging.
+  double t_cpa_s = 0.0;
+  /// Horizontal separation at closest approach (meters).
+  double d_cpa_m = 0.0;
+  /// Vertical separation at closest approach (meters).
+  double d_alt_m = 0.0;
+  /// Current separation (meters).
+  double d_now_m = 0.0;
+};
+
+/// Computes the CPA of `a` and `b`. The kinematics are taken from the
+/// reports' speed/course/vertical rate; `a` and `b` may have different
+/// timestamps (the earlier one is projected forward to the later one
+/// first). Works in a local ENU plane around `a`.
+CpaResult ComputeCpa(const PositionReport& a, const PositionReport& b);
+
+}  // namespace datacron
+
+#endif  // DATACRON_CEP_CPA_H_

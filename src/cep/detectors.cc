@@ -1,0 +1,225 @@
+#include "cep/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datacron {
+
+namespace {
+
+std::pair<EntityId, EntityId> PairOf(EntityId a, EntityId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+/// Rate-limits alarms per key; returns true when a new alarm may fire.
+template <typename Key>
+bool MayAlarm(std::map<Key, TimestampMs>* last, const Key& key,
+              TimestampMs now, DurationMs interval) {
+  auto it = last->find(key);
+  if (it != last->end() && now - it->second < interval) return false;
+  (*last)[key] = now;
+  return true;
+}
+
+}  // namespace
+
+ProximityDetector::ProximityDetector(Config config)
+    : Operator<PositionReport, Event>("proximity_detector"),
+      config_(config),
+      grid_(config.region, config.blocking_cell_deg) {}
+
+void ProximityDetector::Process(const PositionReport& report,
+                                std::vector<Event>* out) {
+  // Re-file the entity in the grid.
+  const GridCell cell = grid_.CellOf(report.position.ll());
+  auto cell_it = entity_cell_.find(report.entity_id);
+  if (cell_it == entity_cell_.end() || !(cell_it->second == cell)) {
+    if (cell_it != entity_cell_.end()) {
+      auto& members = cell_members_[cell_it->second];
+      members.erase(std::remove(members.begin(), members.end(),
+                                report.entity_id),
+                    members.end());
+    }
+    cell_members_[cell].push_back(report.entity_id);
+    entity_cell_[report.entity_id] = cell;
+  }
+  latest_[report.entity_id] = report;
+
+  // Check partners in the 3x3 neighborhood.
+  auto check_partner = [&](EntityId other_id) {
+    if (other_id == report.entity_id) return;
+    const PositionReport& other = latest_[other_id];
+    if (report.timestamp - other.timestamp > config_.staleness) return;
+    // Different domains never conflict (vessels vs aircraft).
+    if (other.domain != report.domain) return;
+
+    const CpaResult cpa = ComputeCpa(report, other);
+    const bool vertical_relevant = report.domain == Domain::kAviation;
+    if (cpa.d_now_m <= config_.encounter_m &&
+        (!vertical_relevant ||
+         std::fabs(report.position.alt_m - other.position.alt_m) <=
+             config_.danger_alt_m * 3)) {
+      if (MayAlarm(&last_encounter_, PairOf(report.entity_id, other_id),
+                   report.timestamp, config_.realarm_interval)) {
+        Event e;
+        e.kind = EventKind::kEncounter;
+        e.time = report.timestamp;
+        e.predicted_time = report.timestamp;
+        e.entities = {report.entity_id, other_id};
+        e.position = report.position;
+        e.attributes["distance_m"] = cpa.d_now_m;
+        out->push_back(std::move(e));
+      }
+    }
+
+    if (cpa.t_cpa_s > 0 &&
+        cpa.t_cpa_s * 1000 <= config_.cpa_lookahead &&
+        cpa.d_cpa_m <= config_.danger_cpa_m &&
+        (!vertical_relevant || cpa.d_alt_m <= config_.danger_alt_m)) {
+      if (MayAlarm(&last_collision_, PairOf(report.entity_id, other_id),
+                   report.timestamp, config_.realarm_interval)) {
+        Event e;
+        e.kind = EventKind::kCollisionForecast;
+        e.time = report.timestamp;
+        e.predicted_time =
+            report.timestamp + static_cast<TimestampMs>(cpa.t_cpa_s * 1000);
+        e.entities = {report.entity_id, other_id};
+        e.position = report.position;
+        e.attributes["cpa_m"] = cpa.d_cpa_m;
+        e.attributes["d_now_m"] = cpa.d_now_m;
+        if (vertical_relevant) e.attributes["cpa_alt_m"] = cpa.d_alt_m;
+        out->push_back(std::move(e));
+      }
+    }
+  };
+
+  for (EntityId other : cell_members_[cell]) check_partner(other);
+  for (const GridCell& n : grid_.Neighbors(cell)) {
+    auto it = cell_members_.find(n);
+    if (it == cell_members_.end()) continue;
+    for (EntityId other : it->second) check_partner(other);
+  }
+}
+
+AreaEventDetector::AreaEventDetector(std::vector<NamedArea> areas)
+    : Operator<PositionReport, Event>("area_event_detector"),
+      areas_(std::move(areas)) {}
+
+void AreaEventDetector::Process(const PositionReport& report,
+                                std::vector<Event>* out) {
+  for (std::size_t ai = 0; ai < areas_.size(); ++ai) {
+    const bool now = areas_[ai].polygon.Contains(report.position.ll());
+    bool& was = inside_[{report.entity_id, ai}];
+    if (now == was) continue;
+    Event e;
+    e.kind = now ? EventKind::kAreaEntry : EventKind::kAreaExit;
+    e.time = report.timestamp;
+    e.predicted_time = report.timestamp;
+    e.entities = {report.entity_id};
+    e.position = report.position;
+    e.label = areas_[ai].name;
+    out->push_back(std::move(e));
+    was = now;
+  }
+}
+
+LoiteringDetector::LoiteringDetector(Config config)
+    : Operator<PositionReport, Event>("loitering_detector"),
+      config_(config) {}
+
+void LoiteringDetector::Process(const PositionReport& report,
+                                std::vector<Event>* out) {
+  std::deque<PositionReport>& win = window_[report.entity_id];
+  win.push_back(report);
+  while (!win.empty() &&
+         report.timestamp - win.front().timestamp > config_.window) {
+    win.pop_front();
+  }
+  // Need the window to actually span (most of) the configured duration.
+  if (win.size() < 3 ||
+      report.timestamp - win.front().timestamp < config_.window * 9 / 10) {
+    return;
+  }
+  if (report.speed_mps < config_.min_speed_mps) return;
+  // Net displacement and max excursion within the window.
+  double max_excursion = 0.0;
+  for (const PositionReport& p : win) {
+    max_excursion = std::max(
+        max_excursion,
+        EquirectangularMeters(p.position.ll(), report.position.ll()));
+  }
+  if (max_excursion > config_.radius_m) return;
+  if (!MayAlarm(&last_alarm_, report.entity_id, report.timestamp,
+                config_.realarm_interval)) {
+    return;
+  }
+  Event e;
+  e.kind = EventKind::kLoitering;
+  e.time = report.timestamp;
+  e.predicted_time = report.timestamp;
+  e.entities = {report.entity_id};
+  e.position = report.position;
+  e.attributes["excursion_m"] = max_excursion;
+  e.attributes["window_s"] = config_.window / 1000.0;
+  out->push_back(std::move(e));
+}
+
+CapacityMonitor::CapacityMonitor(std::vector<Sector> sectors, Config config)
+    : Operator<PositionReport, Event>("capacity_monitor"),
+      sectors_(std::move(sectors)),
+      config_(config) {}
+
+void CapacityMonitor::Process(const PositionReport& report,
+                              std::vector<Event>* out) {
+  latest_[report.entity_id] = report;
+
+  for (std::size_t si = 0; si < sectors_.size(); ++si) {
+    const Sector& sector = sectors_[si];
+    // Cheap prefilter: only sectors near the reporting entity get
+    // re-evaluated on this tuple.
+    if (!sector.polygon.bbox().Inflated(0.5).Contains(
+            report.position.ll())) {
+      continue;
+    }
+    int occupancy = 0;
+    int predicted = 0;
+    for (const auto& [id, r] : latest_) {
+      if (report.timestamp - r.timestamp > config_.staleness) continue;
+      if (sector.polygon.Contains(r.position.ll())) ++occupancy;
+      const GeoPoint future =
+          DeadReckon(r.position, r.course_deg, r.speed_mps,
+                     r.vertical_rate_mps, config_.forecast_horizon / 1000.0);
+      if (sector.polygon.Contains(future.ll())) ++predicted;
+    }
+    if (occupancy > sector.capacity &&
+        MayAlarm(&last_warning_, si, report.timestamp,
+                 config_.realarm_interval)) {
+      Event e;
+      e.kind = EventKind::kCapacityWarning;
+      e.time = report.timestamp;
+      e.predicted_time = report.timestamp;
+      e.position = {sector.polygon.Centroid().lat_deg,
+                    sector.polygon.Centroid().lon_deg, 0.0};
+      e.label = sector.name;
+      e.attributes["occupancy"] = occupancy;
+      e.attributes["capacity"] = sector.capacity;
+      out->push_back(std::move(e));
+    }
+    if (predicted > sector.capacity && occupancy <= sector.capacity &&
+        MayAlarm(&last_forecast_, si, report.timestamp,
+                 config_.realarm_interval)) {
+      Event e;
+      e.kind = EventKind::kCapacityForecast;
+      e.time = report.timestamp;
+      e.predicted_time = report.timestamp + config_.forecast_horizon;
+      e.position = {sector.polygon.Centroid().lat_deg,
+                    sector.polygon.Centroid().lon_deg, 0.0};
+      e.label = sector.name;
+      e.attributes["predicted_occupancy"] = predicted;
+      e.attributes["capacity"] = sector.capacity;
+      out->push_back(std::move(e));
+    }
+  }
+}
+
+}  // namespace datacron

@@ -1,0 +1,134 @@
+#ifndef DATACRON_CEP_DETECTORS_H_
+#define DATACRON_CEP_DETECTORS_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cep/cpa.h"
+#include "cep/event.h"
+#include "geo/grid.h"
+#include "geo/polygon.h"
+#include "stream/operator.h"
+
+namespace datacron {
+
+/// Streaming encounter + collision-forecast detector.
+///
+/// Keeps the latest report per entity in a spatial grid; each incoming
+/// report is checked against its grid neighborhood:
+///  - current distance < encounter threshold  -> kEncounter
+///  - CPA within lookahead & below the danger radius -> kCollisionForecast
+/// Re-alarms for the same pair are suppressed for `realarm_interval`.
+class ProximityDetector : public Operator<PositionReport, Event> {
+ public:
+  struct Config {
+    BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+    /// Encounter distance.
+    double encounter_m = 2000.0;
+    /// Collision forecast: horizontal danger radius at CPA...
+    double danger_cpa_m = 500.0;
+    /// ...within this lookahead.
+    DurationMs cpa_lookahead = 20 * kMinute;
+    /// Vertical separation below which aviation pairs are in conflict.
+    double danger_alt_m = 300.0;
+    /// A stored report older than this is ignored as a partner.
+    DurationMs staleness = 3 * kMinute;
+    DurationMs realarm_interval = 5 * kMinute;
+    /// Grid cell sizing: covers max(encounter, lookahead reach) blocking.
+    double blocking_cell_deg = 0.05;
+  };
+
+  explicit ProximityDetector(Config config);
+
+  void Process(const PositionReport& report,
+               std::vector<Event>* out) override;
+
+ private:
+  Config config_;
+  UniformGrid grid_;
+  /// Latest report per entity.
+  std::map<EntityId, PositionReport> latest_;
+  /// Cell -> entities currently filed there.
+  std::unordered_map<GridCell, std::vector<EntityId>, GridCellHash>
+      cell_members_;
+  std::map<EntityId, GridCell> entity_cell_;
+  /// (a<b pair) -> last alarm time, per alarm family.
+  std::map<std::pair<EntityId, EntityId>, TimestampMs> last_encounter_;
+  std::map<std::pair<EntityId, EntityId>, TimestampMs> last_collision_;
+};
+
+/// Area entry/exit recognizer over named polygons.
+class AreaEventDetector : public Operator<PositionReport, Event> {
+ public:
+  explicit AreaEventDetector(std::vector<NamedArea> areas);
+
+  void Process(const PositionReport& report,
+               std::vector<Event>* out) override;
+
+ private:
+  std::vector<NamedArea> areas_;
+  /// (entity, area index) -> inside?
+  std::map<std::pair<EntityId, std::size_t>, bool> inside_;
+};
+
+/// Loitering: the entity keeps reporting with nonzero speed but its net
+/// displacement over the window stays under the radius.
+class LoiteringDetector : public Operator<PositionReport, Event> {
+ public:
+  struct Config {
+    DurationMs window = 20 * kMinute;
+    double radius_m = 1000.0;
+    /// Entity must be nominally under way (anchored vessels don't loiter).
+    double min_speed_mps = 0.5;
+    DurationMs realarm_interval = 30 * kMinute;
+  };
+
+  explicit LoiteringDetector(Config config);
+
+  void Process(const PositionReport& report,
+               std::vector<Event>* out) override;
+
+ private:
+  Config config_;
+  std::map<EntityId, std::deque<PositionReport>> window_;
+  std::map<EntityId, TimestampMs> last_alarm_;
+};
+
+/// Sector occupancy monitor with demand forecasting (the ATM use case:
+/// "prediction of ... capacity demand"). Occupancy is evaluated per
+/// entity report; when the number of entities currently inside a sector
+/// exceeds its capacity -> kCapacityWarning. Dead-reckoning every tracked
+/// entity `forecast_horizon` ahead gives predicted occupancy ->
+/// kCapacityForecast before the overload happens.
+class CapacityMonitor : public Operator<PositionReport, Event> {
+ public:
+  struct Sector {
+    std::string name;
+    Polygon polygon;
+    int capacity = 10;
+  };
+  struct Config {
+    DurationMs forecast_horizon = 10 * kMinute;
+    /// Entities unseen for longer are dropped from occupancy.
+    DurationMs staleness = 5 * kMinute;
+    DurationMs realarm_interval = 5 * kMinute;
+  };
+
+  CapacityMonitor(std::vector<Sector> sectors, Config config);
+
+  void Process(const PositionReport& report,
+               std::vector<Event>* out) override;
+
+ private:
+  std::vector<Sector> sectors_;
+  Config config_;
+  std::map<EntityId, PositionReport> latest_;
+  std::map<std::size_t, TimestampMs> last_warning_;
+  std::map<std::size_t, TimestampMs> last_forecast_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_CEP_DETECTORS_H_

@@ -1,0 +1,64 @@
+#include "cep/event.h"
+
+#include "common/strings.h"
+#include "common/time_utils.h"
+
+namespace datacron {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEncounter:
+      return "encounter";
+    case EventKind::kAreaEntry:
+      return "area_entry";
+    case EventKind::kAreaExit:
+      return "area_exit";
+    case EventKind::kLoitering:
+      return "loitering";
+    case EventKind::kGap:
+      return "gap";
+    case EventKind::kSpeedAnomaly:
+      return "speed_anomaly";
+    case EventKind::kCapacityWarning:
+      return "capacity_warning";
+    case EventKind::kHotspot:
+      return "hotspot";
+    case EventKind::kCollisionForecast:
+      return "collision_forecast";
+    case EventKind::kCapacityForecast:
+      return "capacity_forecast";
+    case EventKind::kHotspotForecast:
+      return "hotspot_forecast";
+    case EventKind::kComposite:
+      return "composite";
+  }
+  return "?";
+}
+
+bool IsForecastKind(EventKind kind) {
+  return kind == EventKind::kCollisionForecast ||
+         kind == EventKind::kCapacityForecast ||
+         kind == EventKind::kHotspotForecast;
+}
+
+std::string Event::ToString() const {
+  std::string ents;
+  for (std::size_t i = 0; i < entities.size(); ++i) {
+    if (i > 0) ents += "+";
+    ents += StrFormat("%u", entities[i]);
+  }
+  std::string out =
+      StrFormat("[%s] t=%s entities=%s", EventKindName(kind),
+                FormatIso8601(time).c_str(), ents.c_str());
+  if (!label.empty()) out += " label=" + label;
+  if (IsForecastKind(kind)) {
+    out += StrFormat(" lead=%llds",
+                     static_cast<long long>(LeadTime() / 1000));
+  }
+  for (const auto& [k, v] : attributes) {
+    out += StrFormat(" %s=%.1f", k.c_str(), v);
+  }
+  return out;
+}
+
+}  // namespace datacron

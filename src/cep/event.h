@@ -1,0 +1,61 @@
+#ifndef DATACRON_CEP_EVENT_H_
+#define DATACRON_CEP_EVENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Kinds of complex events the recognition component emits. The first
+/// group are *recognized* (they happened); the k*Forecast group are
+/// *forecast* (predicted to happen), each carrying a lead time.
+enum class EventKind : std::uint8_t {
+  kEncounter = 0,       // two entities within proximity threshold
+  kAreaEntry,
+  kAreaExit,
+  kLoitering,           // low net displacement while under way
+  kGap,                 // communication silence
+  kSpeedAnomaly,        // speed outside the entity's plausible envelope
+  kCapacityWarning,     // sector occupancy above threshold
+  kHotspot,             // persistent high-density cell
+  kCollisionForecast,   // CPA predicts dangerous approach
+  kCapacityForecast,    // sector predicted to exceed capacity
+  kHotspotForecast,     // cell density trending to hotspot
+  kComposite,           // NFA pattern match
+};
+
+const char* EventKindName(EventKind kind);
+
+/// True for the k*Forecast kinds.
+bool IsForecastKind(EventKind kind);
+
+/// One recognized or forecast complex event.
+struct Event {
+  EventKind kind = EventKind::kEncounter;
+  /// Detection time (when the recognizer emitted it).
+  TimestampMs time = 0;
+  /// For forecasts: when the predicted situation occurs (== time for
+  /// recognized events). lead = predicted_time - time.
+  TimestampMs predicted_time = 0;
+  /// Entities involved (1 for unary events, 2 for encounters/collisions,
+  /// n for capacity).
+  std::vector<EntityId> entities;
+  /// Representative location.
+  GeoPoint position;
+  /// Free-form label (area name, pattern name, cell id).
+  std::string label;
+  /// Numeric attributes (distance_m, cpa_m, occupancy, zscore, ...).
+  std::map<std::string, double> attributes;
+
+  DurationMs LeadTime() const { return predicted_time - time; }
+
+  std::string ToString() const;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_CEP_EVENT_H_

@@ -1,0 +1,168 @@
+#include "cep/hotspot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+
+namespace datacron {
+
+namespace {
+
+std::string CellLabel(const GridCell& c) {
+  return StrFormat("cell:%d_%d", c.ix, c.iy);
+}
+
+}  // namespace
+
+HotspotAnalyzer::HotspotAnalyzer(Config config)
+    : config_(config), grid_(config.region, config.cell_deg) {}
+
+std::unordered_map<GridCell, double, GridCellHash> HotspotAnalyzer::Density(
+    const std::vector<PositionReport>& reports) const {
+  std::unordered_map<GridCell, double, GridCellHash> density;
+  if (config_.distinct_entities) {
+    std::unordered_map<GridCell, std::set<EntityId>, GridCellHash> sets;
+    for (const PositionReport& r : reports) {
+      sets[grid_.CellOf(r.position.ll())].insert(r.entity_id);
+    }
+    for (const auto& [cell, ids] : sets) {
+      density[cell] = static_cast<double>(ids.size());
+    }
+  } else {
+    for (const PositionReport& r : reports) {
+      density[grid_.CellOf(r.position.ll())] += 1.0;
+    }
+  }
+  return density;
+}
+
+void HotspotAnalyzer::GlobalStats(
+    const std::unordered_map<GridCell, double, GridCellHash>& density,
+    double* mean, double* stddev) const {
+  if (density.empty()) {
+    *mean = 0.0;
+    *stddev = 0.0;
+    return;
+  }
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& [cell, c] : density) {
+    sum += c;
+    sum_sq += c * c;
+  }
+  const double n = static_cast<double>(density.size());
+  *mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - (*mean) * (*mean));
+  *stddev = std::sqrt(var);
+}
+
+std::vector<HotspotAnalyzer::Hotspot> HotspotAnalyzer::Detect(
+    const std::vector<PositionReport>& reports) const {
+  const auto density = Density(reports);
+  double mean = 0.0, stddev = 0.0;
+  GlobalStats(density, &mean, &stddev);
+  std::vector<Hotspot> out;
+  if (stddev < 1e-9) return out;
+  for (const auto& [cell, count] : density) {
+    // Standard score of the cell's own density against the occupied-cell
+    // distribution. (A neighborhood-smoothed variant was tried and
+    // rejected: averaging over mostly-empty neighbors dilutes genuine
+    // single-cell concentrations below any usable threshold.)
+    const double z = (count - mean) / stddev;
+    if (z >= config_.zscore_threshold) {
+      out.push_back(Hotspot{cell, grid_.CellCenter(cell), count, z});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Hotspot& a, const Hotspot& b) {
+    return a.zscore > b.zscore;
+  });
+  return out;
+}
+
+std::vector<HotspotAnalyzer::Hotspot> HotspotAnalyzer::ForecastEmerging(
+    const std::unordered_map<GridCell, double, GridCellHash>& previous,
+    const std::unordered_map<GridCell, double, GridCellHash>& current,
+    double horizon_windows) const {
+  double mean = 0.0, stddev = 0.0;
+  GlobalStats(current, &mean, &stddev);
+  std::vector<Hotspot> out;
+  if (stddev < 1e-9) return out;
+  const double bar = mean + config_.zscore_threshold * stddev;
+  for (const auto& [cell, count] : current) {
+    if (count >= bar) continue;  // already hot, not "emerging"
+    auto it = previous.find(cell);
+    const double prev = it == previous.end() ? 0.0 : it->second;
+    const double trend = count - prev;
+    if (trend <= 0) continue;
+    const double projected = count + trend * horizon_windows;
+    if (projected >= bar) {
+      out.push_back(Hotspot{cell, grid_.CellCenter(cell), projected,
+                            (projected - mean) / stddev});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Hotspot& a, const Hotspot& b) {
+    return a.zscore > b.zscore;
+  });
+  return out;
+}
+
+HotspotDetector::HotspotDetector(HotspotAnalyzer::Config config,
+                                 DurationMs window)
+    : Operator<PositionReport, Event>("hotspot_detector"),
+      analyzer_(config),
+      window_(window) {}
+
+void HotspotDetector::CloseWindow(TimestampMs window_end,
+                                  std::vector<Event>* out) {
+  const auto density = analyzer_.Density(buffer_);
+  for (const HotspotAnalyzer::Hotspot& h : analyzer_.Detect(buffer_)) {
+    Event e;
+    e.kind = EventKind::kHotspot;
+    e.time = window_end;
+    e.predicted_time = window_end;
+    e.position = {h.center.lat_deg, h.center.lon_deg, 0.0};
+    e.label = CellLabel(h.cell);
+    e.attributes["count"] = h.count;
+    e.attributes["zscore"] = h.zscore;
+    out->push_back(std::move(e));
+  }
+  if (has_prev_) {
+    for (const HotspotAnalyzer::Hotspot& h :
+         analyzer_.ForecastEmerging(prev_density_, density)) {
+      Event e;
+      e.kind = EventKind::kHotspotForecast;
+      e.time = window_end;
+      e.predicted_time = window_end + window_;
+      e.position = {h.center.lat_deg, h.center.lon_deg, 0.0};
+      e.label = CellLabel(h.cell);
+      e.attributes["projected_count"] = h.count;
+      e.attributes["zscore"] = h.zscore;
+      out->push_back(std::move(e));
+    }
+  }
+  prev_density_ = density;
+  has_prev_ = true;
+  buffer_.clear();
+}
+
+void HotspotDetector::Process(const PositionReport& report,
+                              std::vector<Event>* out) {
+  if (!window_open_) {
+    window_open_ = true;
+    window_start_ = report.timestamp / window_ * window_;
+  }
+  while (report.timestamp >= window_start_ + window_) {
+    CloseWindow(window_start_ + window_, out);
+    window_start_ += window_;
+  }
+  buffer_.push_back(report);
+}
+
+void HotspotDetector::Flush(std::vector<Event>* out) {
+  if (window_open_ && !buffer_.empty()) {
+    CloseWindow(window_start_ + window_, out);
+  }
+}
+
+}  // namespace datacron

@@ -1,0 +1,106 @@
+#include "cep/pattern.h"
+
+#include <algorithm>
+
+namespace datacron {
+
+PatternStep Pattern::OnKind(EventKind kind) {
+  return PatternStep{EventKindName(kind),
+                     [kind](const Event& e) { return e.kind == kind; },
+                     /*negated=*/false};
+}
+
+PatternStep Pattern::NotKind(EventKind kind) {
+  return PatternStep{std::string("not_") + EventKindName(kind),
+                     [kind](const Event& e) { return e.kind == kind; },
+                     /*negated=*/true};
+}
+
+PatternMatcher::PatternMatcher(Pattern pattern)
+    : Operator<Event, Event>("pattern:" + pattern.name),
+      pattern_(std::move(pattern)) {}
+
+std::size_t PatternMatcher::ActiveRuns() const {
+  std::size_t n = 0;
+  for (const auto& [id, rs] : runs_) n += rs.size();
+  return n;
+}
+
+void PatternMatcher::Process(const Event& event, std::vector<Event>* out) {
+  if (event.entities.empty() || pattern_.steps.empty()) return;
+  const EntityId key = event.entities.front();
+  std::vector<Run>& runs = runs_[key];
+
+  // Expire runs outside the window.
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [&](const Run& r) {
+                              return event.time - r.started >
+                                     pattern_.within;
+                            }),
+             runs.end());
+
+  // Advance existing runs (iterate over a snapshot size; completed runs
+  // are removed, killed runs too).
+  std::vector<Run> survivors;
+  survivors.reserve(runs.size() + 1);
+  for (Run& run : runs) {
+    const PatternStep& step = pattern_.steps[run.next_step];
+    if (step.negated) {
+      if (step.predicate(event)) continue;  // killed
+      // A negated step is "pending" until the following step fires; check
+      // whether this event satisfies the step after the negation.
+      if (run.next_step + 1 < pattern_.steps.size() &&
+          pattern_.steps[run.next_step + 1].predicate(event) &&
+          !pattern_.steps[run.next_step + 1].negated) {
+        run.next_step += 2;
+        run.step_times.push_back(event.time);
+        run.step_times.push_back(event.time);
+      }
+    } else if (step.predicate(event)) {
+      run.next_step += 1;
+      run.step_times.push_back(event.time);
+    }
+    if (run.next_step >= pattern_.steps.size()) {
+      Event composite;
+      composite.kind = EventKind::kComposite;
+      composite.time = event.time;
+      composite.predicted_time = event.time;
+      composite.entities = event.entities;
+      composite.position = event.position;
+      composite.label = pattern_.name;
+      composite.attributes["steps"] =
+          static_cast<double>(pattern_.steps.size());
+      composite.attributes["span_s"] =
+          (event.time - run.started) / 1000.0;
+      out->push_back(std::move(composite));
+    } else {
+      survivors.push_back(std::move(run));
+    }
+  }
+  runs = std::move(survivors);
+
+  // Start a new run if the event satisfies the first step.
+  const PatternStep& first = pattern_.steps.front();
+  if (!first.negated && first.predicate(event)) {
+    Run run;
+    run.started = event.time;
+    run.step_times.push_back(event.time);
+    run.next_step = 1;
+    if (run.next_step >= pattern_.steps.size()) {
+      Event composite;
+      composite.kind = EventKind::kComposite;
+      composite.time = event.time;
+      composite.predicted_time = event.time;
+      composite.entities = event.entities;
+      composite.position = event.position;
+      composite.label = pattern_.name;
+      composite.attributes["steps"] = 1.0;
+      composite.attributes["span_s"] = 0.0;
+      out->push_back(std::move(composite));
+    } else {
+      runs.push_back(std::move(run));
+    }
+  }
+}
+
+}  // namespace datacron

@@ -1,0 +1,65 @@
+#ifndef DATACRON_CEP_PATTERN_H_
+#define DATACRON_CEP_PATTERN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cep/event.h"
+#include "stream/operator.h"
+
+namespace datacron {
+
+/// Declarative sequence pattern over the event stream:
+///   SEQ(step_1, step_2, ..., step_n) WITHIN window, keyed per entity.
+/// Each step is a predicate on events; a partial match advances when the
+/// next event of the *same entity* satisfies the next step inside the
+/// window. `negated` steps are "NOT before next": seeing such an event
+/// kills the partial match instead of advancing it.
+///
+/// This NFA-per-key design is the core of SASE/Flink-CEP-style engines and
+/// is exactly what maritime pattern rules ("stop, then gap, then reappear
+/// elsewhere" = possible rendezvous) compile to.
+struct PatternStep {
+  std::string name;
+  std::function<bool(const Event&)> predicate;
+  bool negated = false;
+};
+
+struct Pattern {
+  std::string name;
+  std::vector<PatternStep> steps;
+  DurationMs within = 1 * kHour;
+
+  /// Convenience: step matching a specific event kind.
+  static PatternStep OnKind(EventKind kind);
+  static PatternStep NotKind(EventKind kind);
+};
+
+/// Streaming matcher: Event -> kComposite Event on full matches. Multiple
+/// simultaneous partial matches per entity are tracked (skip-till-next-
+/// match semantics: an event may both advance a run and start a new one).
+class PatternMatcher : public Operator<Event, Event> {
+ public:
+  explicit PatternMatcher(Pattern pattern);
+
+  void Process(const Event& event, std::vector<Event>* out) override;
+
+  std::size_t ActiveRuns() const;
+
+ private:
+  struct Run {
+    std::size_t next_step = 0;
+    TimestampMs started = 0;
+    std::vector<TimestampMs> step_times;
+  };
+
+  Pattern pattern_;
+  /// Keyed by the first involved entity.
+  std::map<EntityId, std::vector<Run>> runs_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_CEP_PATTERN_H_

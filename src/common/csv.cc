@@ -1,0 +1,65 @@
+#include "common/csv.h"
+
+namespace datacron {
+
+std::string CsvWriter::FormatRow(
+    const std::vector<std::string>& fields) const {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += delim_;
+    const std::string& f = fields[i];
+    const bool needs_quote = f.find(delim_) != std::string::npos ||
+                             f.find('"') != std::string::npos ||
+                             f.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out += '"';
+    for (char c : f) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvReader::ParseRow(
+    std::string_view line) const {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("quote in the middle of unquoted field");
+      }
+      in_quotes = true;
+    } else if (c == delim_) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace datacron

@@ -1,0 +1,41 @@
+#ifndef DATACRON_COMMON_CSV_H_
+#define DATACRON_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace datacron {
+
+/// Minimal CSV support for the library's interchange files (position
+/// reports, experiment outputs). Handles RFC-4180 quoting for fields
+/// containing the delimiter, quotes, or newlines; does not support embedded
+/// newlines inside quoted fields when reading line-by-line (our writers
+/// never emit them).
+class CsvWriter {
+ public:
+  explicit CsvWriter(char delim = ',') : delim_(delim) {}
+
+  /// Serializes one row, quoting fields as needed. No trailing newline.
+  std::string FormatRow(const std::vector<std::string>& fields) const;
+
+ private:
+  char delim_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(char delim = ',') : delim_(delim) {}
+
+  /// Parses one line into fields, honoring double-quote escaping.
+  Result<std::vector<std::string>> ParseRow(std::string_view line) const;
+
+ private:
+  char delim_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_CSV_H_

@@ -1,0 +1,23 @@
+#ifndef DATACRON_COMMON_LOGGING_H_
+#define DATACRON_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace datacron {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes "[LEVEL ts] message" to stderr if `level` passes the filter.
+void Log(LogLevel level, const std::string& message);
+
+/// printf-style logging convenience.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_LOGGING_H_

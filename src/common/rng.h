@@ -1,0 +1,58 @@
+#ifndef DATACRON_COMMON_RNG_H_
+#define DATACRON_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace datacron {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. All simulators and benchmarks take an explicit seed so every
+/// experiment in EXPERIMENTS.md is exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; the same seed always yields the same sequence.
+  void Seed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Exponential with the given rate (lambda > 0).
+  double Exponential(double lambda) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-300;
+    return -std::log(u) / lambda;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_RNG_H_

@@ -1,0 +1,92 @@
+#ifndef DATACRON_COMMON_STATS_H_
+#define DATACRON_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace datacron {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// O(1) memory; suitable for per-operator metrics on unbounded streams.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const { return count_ > 1 ? m2_ / count_ : 0.0; }
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * count_; }
+
+  std::string ToString() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile collector: stores all samples, sorts on demand.
+/// Use for latency distributions in benchmarks (bounded sample counts).
+class PercentileTracker {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+
+  /// p in [0, 100]. Returns 0 when empty. Nearest-rank method.
+  double Percentile(double p) const;
+
+  double p50() const { return Percentile(50); }
+  double p95() const { return Percentile(95); }
+  double p99() const { return Percentile(99); }
+  double Max() const { return Percentile(100); }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus
+/// underflow/overflow counters. Used for density rasters and latency
+/// summaries where exact samples would be too many.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  std::size_t TotalCount() const { return total_; }
+  std::size_t BinCount(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double BinLow(std::size_t i) const { return lo_ + i * width_; }
+  double BinHigh(std::size_t i) const { return lo_ + (i + 1) * width_; }
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string ToString(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_STATS_H_

@@ -1,0 +1,39 @@
+#ifndef DATACRON_COMMON_STRINGS_H_
+#define DATACRON_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datacron {
+
+/// Splits `text` on `delim`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strict double parse of the whole string. Returns false on any trailing
+/// garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Strict int64 parse of the whole string.
+bool ParseInt64(std::string_view text, std::int64_t* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_STRINGS_H_

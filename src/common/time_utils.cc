@@ -1,0 +1,82 @@
+#include "common/time_utils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace datacron {
+
+TimestampMs NowMs() {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t MonotonicNanos() {
+  using namespace std::chrono;
+  return duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FormatIso8601(TimestampMs ts) {
+  std::time_t secs = static_cast<std::time_t>(ts / 1000);
+  int millis = static_cast<int>(ts % 1000);
+  if (millis < 0) {
+    millis += 1000;
+    secs -= 1;
+  }
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+bool ParseIso8601(const std::string& text, TimestampMs* out) {
+  if (out == nullptr) return false;
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  int millis = 0;
+  int consumed = 0;
+  int fields = std::sscanf(text.c_str(), "%4d-%2d-%2dT%2d:%2d:%2d%n", &year,
+                           &month, &day, &hour, &minute, &second, &consumed);
+  if (fields != 6) return false;
+  const char* rest = text.c_str() + consumed;
+  if (*rest == '.') {
+    // Up to 3 fractional digits are honored; further digits are truncated.
+    ++rest;
+    int digits = 0;
+    int frac = 0;
+    while (*rest >= '0' && *rest <= '9') {
+      if (digits < 3) frac = frac * 10 + (*rest - '0');
+      ++digits;
+      ++rest;
+    }
+    if (digits == 0) return false;
+    while (digits < 3) {
+      frac *= 10;
+      ++digits;
+    }
+    millis = frac;
+  }
+  if (*rest == 'Z') ++rest;
+  if (*rest != '\0') return false;
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return false;
+  }
+  std::tm tm_utc = {};
+  tm_utc.tm_year = year - 1900;
+  tm_utc.tm_mon = month - 1;
+  tm_utc.tm_mday = day;
+  tm_utc.tm_hour = hour;
+  tm_utc.tm_min = minute;
+  tm_utc.tm_sec = second;
+  std::time_t secs = timegm(&tm_utc);
+  if (secs == static_cast<std::time_t>(-1)) return false;
+  *out = static_cast<TimestampMs>(secs) * 1000 + millis;
+  return true;
+}
+
+}  // namespace datacron

@@ -1,0 +1,56 @@
+#ifndef DATACRON_COMMON_TIME_UTILS_H_
+#define DATACRON_COMMON_TIME_UTILS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace datacron {
+
+/// All event timestamps in the library are Unix epoch milliseconds (UTC).
+/// Surveillance sources (AIS, ADS-B) report at second-or-finer granularity;
+/// milliseconds is the operational unit the paper's latency requirements are
+/// expressed in.
+using TimestampMs = std::int64_t;
+
+/// Signed interval in milliseconds.
+using DurationMs = std::int64_t;
+
+constexpr DurationMs kMillisecond = 1;
+constexpr DurationMs kSecond = 1000;
+constexpr DurationMs kMinute = 60 * kSecond;
+constexpr DurationMs kHour = 60 * kMinute;
+constexpr DurationMs kDay = 24 * kHour;
+
+/// Current wall-clock time in Unix epoch milliseconds.
+TimestampMs NowMs();
+
+/// Monotonic clock reading in nanoseconds; used for latency measurement.
+std::int64_t MonotonicNanos();
+
+/// Formats `ts` as "YYYY-MM-DDTHH:MM:SS.mmmZ" (UTC).
+std::string FormatIso8601(TimestampMs ts);
+
+/// Parses "YYYY-MM-DDTHH:MM:SS[.mmm][Z]" into epoch milliseconds.
+/// Returns false on malformed input.
+bool ParseIso8601(const std::string& text, TimestampMs* out);
+
+/// Simple stopwatch over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = MonotonicNanos(); }
+
+  std::int64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  std::int64_t start_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_TIME_UTILS_H_

@@ -1,0 +1,67 @@
+#ifndef DATACRON_DATACRON_DATACRON_H_
+#define DATACRON_DATACRON_DATACRON_H_
+
+/// Umbrella header: the library's public API in one include.
+///
+///   #include "datacron/datacron.h"
+///
+/// pulls in every component of the architecture; fine for applications,
+/// while library code should include the specific headers it uses.
+
+#include "cep/anomaly.h"          // IWYU pragma: export
+#include "cep/cpa.h"              // IWYU pragma: export
+#include "cep/detectors.h"        // IWYU pragma: export
+#include "cep/event.h"            // IWYU pragma: export
+#include "cep/hotspot.h"          // IWYU pragma: export
+#include "cep/pattern.h"          // IWYU pragma: export
+#include "common/status.h"        // IWYU pragma: export
+#include "common/time_utils.h"    // IWYU pragma: export
+#include "datacron/engine.h"      // IWYU pragma: export
+#include "forecast/eval.h"        // IWYU pragma: export
+#include "forecast/hybrid.h"      // IWYU pragma: export
+#include "forecast/kalman.h"      // IWYU pragma: export
+#include "forecast/kinematic.h"   // IWYU pragma: export
+#include "forecast/markov.h"      // IWYU pragma: export
+#include "forecast/route.h"       // IWYU pragma: export
+#include "geo/bbox.h"             // IWYU pragma: export
+#include "geo/curves.h"           // IWYU pragma: export
+#include "geo/geo.h"              // IWYU pragma: export
+#include "geo/grid.h"             // IWYU pragma: export
+#include "geo/polygon.h"          // IWYU pragma: export
+#include "geo/rtree.h"            // IWYU pragma: export
+#include "link/link_discovery.h"  // IWYU pragma: export
+#include "link/rdf_links.h"       // IWYU pragma: export
+#include "partition/partitioned_store.h"  // IWYU pragma: export
+#include "partition/partitioner.h"        // IWYU pragma: export
+#include "query/aggregate.h"      // IWYU pragma: export
+#include "query/engine.h"         // IWYU pragma: export
+#include "query/parser.h"         // IWYU pragma: export
+#include "query/query.h"          // IWYU pragma: export
+#include "rdf/ntriples.h"         // IWYU pragma: export
+#include "rdf/rdfizer.h"          // IWYU pragma: export
+#include "rdf/term.h"             // IWYU pragma: export
+#include "rdf/triple_store.h"     // IWYU pragma: export
+#include "rdf/vocab.h"            // IWYU pragma: export
+#include "sources/adsb_generator.h"  // IWYU pragma: export
+#include "sources/ais_generator.h"   // IWYU pragma: export
+#include "sources/codec.h"        // IWYU pragma: export
+#include "sources/model.h"        // IWYU pragma: export
+#include "sources/nmea.h"         // IWYU pragma: export
+#include "sources/replay.h"       // IWYU pragma: export
+#include "sources/weather.h"      // IWYU pragma: export
+#include "stream/operator.h"      // IWYU pragma: export
+#include "stream/pipeline.h"      // IWYU pragma: export
+#include "stream/queue.h"         // IWYU pragma: export
+#include "stream/window.h"        // IWYU pragma: export
+#include "synopses/compression.h"       // IWYU pragma: export
+#include "synopses/critical_points.h"   // IWYU pragma: export
+#include "trajectory/episodes.h"        // IWYU pragma: export
+#include "trajectory/reconstruct.h"     // IWYU pragma: export
+#include "trajectory/similarity.h"      // IWYU pragma: export
+#include "trajectory/trajectory_index.h"  // IWYU pragma: export
+#include "trajectory/trajectory_store.h"  // IWYU pragma: export
+#include "viz/geojson.h"          // IWYU pragma: export
+#include "viz/raster.h"           // IWYU pragma: export
+#include "viz/svg.h"              // IWYU pragma: export
+
+#endif  // DATACRON_DATACRON_DATACRON_H_

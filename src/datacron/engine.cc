@@ -1,0 +1,120 @@
+#include "datacron/engine.h"
+
+#include "common/time_utils.h"
+
+namespace datacron {
+
+DatacronEngine::DatacronEngine(Config config)
+    : config_(std::move(config)),
+      vocab_(std::make_unique<Vocab>(&dict_)),
+      rdfizer_(std::make_unique<Rdfizer>(config_.rdf, &dict_, vocab_.get())),
+      detector_(config_.synopses),
+      proximity_(config_.proximity),
+      area_events_(config_.areas),
+      loitering_(config_.loitering),
+      gap_(config_.gap),
+      speed_anomaly_(config_.speed_anomaly),
+      episode_builder_(config_.areas) {
+  if (!config_.sectors.empty()) {
+    capacity_ = std::make_unique<CapacityMonitor>(config_.sectors,
+                                                  config_.capacity);
+  }
+  if (config_.hotspot_window > 0) {
+    hotspots_ = std::make_unique<HotspotDetector>(config_.hotspot,
+                                                  config_.hotspot_window);
+  }
+}
+
+std::vector<Event> DatacronEngine::Ingest(const PositionReport& report) {
+  std::vector<Event> events;
+  const std::int64_t t_start = MonotonicNanos();
+  ++reports_ingested_;
+
+  // 1. In-situ processing: synopses.
+  std::vector<CriticalPoint> cps;
+  detector_.ProcessCounted(report, &cps);
+  critical_points_ += cps.size();
+  const std::int64_t t_synopses = MonotonicNanos();
+
+  // 2. Data transformation: critical points (or everything) to RDF, and
+  //    semantic-trajectory episodes derived from the synopsis.
+  if (config_.rdfize_all_reports) {
+    const std::vector<Triple> ts = rdfizer_->TransformReport(report);
+    triples_.insert(triples_.end(), ts.begin(), ts.end());
+  } else {
+    for (const CriticalPoint& cp : cps) {
+      const std::vector<Triple> ts = rdfizer_->TransformCriticalPoint(cp);
+      triples_.insert(triples_.end(), ts.begin(), ts.end());
+    }
+  }
+  std::vector<Episode> completed;
+  for (const CriticalPoint& cp : cps) {
+    episode_builder_.Process(cp, &completed);
+  }
+  for (const Episode& e : completed) {
+    const std::vector<Triple> ts = rdfizer_->TransformEpisode(e);
+    triples_.insert(triples_.end(), ts.begin(), ts.end());
+    episodes_.push_back(e);
+  }
+  const std::int64_t t_transform = MonotonicNanos();
+
+  // 3. Trajectory management.
+  trajectories_.Add(report);
+  predictor_.Observe(report);
+  const std::int64_t t_trajectory = MonotonicNanos();
+
+  // 4. Complex event recognition & forecasting.
+  proximity_.ProcessCounted(report, &events);
+  area_events_.ProcessCounted(report, &events);
+  loitering_.ProcessCounted(report, &events);
+  gap_.ProcessCounted(report, &events);
+  speed_anomaly_.ProcessCounted(report, &events);
+  if (capacity_ != nullptr) capacity_->ProcessCounted(report, &events);
+  if (hotspots_ != nullptr) hotspots_->ProcessCounted(report, &events);
+  const std::int64_t t_end = MonotonicNanos();
+
+  latencies_.synopses_ms.Add((t_synopses - t_start) / 1e6);
+  latencies_.transform_ms.Add((t_transform - t_synopses) / 1e6);
+  latencies_.trajectory_ms.Add((t_trajectory - t_transform) / 1e6);
+  latencies_.cep_ms.Add((t_end - t_trajectory) / 1e6);
+  latencies_.total_ms.Add((t_end - t_start) / 1e6);
+  return events;
+}
+
+std::vector<Event> DatacronEngine::Finish() {
+  std::vector<Event> events;
+  std::vector<CriticalPoint> cps;
+  detector_.Flush(&cps);
+  critical_points_ += cps.size();
+  if (!config_.rdfize_all_reports) {
+    for (const CriticalPoint& cp : cps) {
+      const std::vector<Triple> ts = rdfizer_->TransformCriticalPoint(cp);
+      triples_.insert(triples_.end(), ts.begin(), ts.end());
+    }
+  }
+  std::vector<Episode> completed;
+  for (const CriticalPoint& cp : cps) {
+    episode_builder_.Process(cp, &completed);
+  }
+  episode_builder_.Flush(&completed);
+  for (const Episode& e : completed) {
+    const std::vector<Triple> ts = rdfizer_->TransformEpisode(e);
+    triples_.insert(triples_.end(), ts.begin(), ts.end());
+    episodes_.push_back(e);
+  }
+  proximity_.Flush(&events);
+  area_events_.Flush(&events);
+  loitering_.Flush(&events);
+  if (capacity_ != nullptr) capacity_->Flush(&events);
+  if (hotspots_ != nullptr) hotspots_->Flush(&events);
+  return events;
+}
+
+TripleStore DatacronEngine::BuildStore() const {
+  TripleStore store;
+  store.AddBatch(triples_);
+  store.Seal();
+  return store;
+}
+
+}  // namespace datacron

@@ -1,0 +1,123 @@
+#ifndef DATACRON_DATACRON_ENGINE_H_
+#define DATACRON_DATACRON_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cep/anomaly.h"
+#include "cep/detectors.h"
+#include "cep/event.h"
+#include "cep/hotspot.h"
+#include "common/stats.h"
+#include "forecast/kinematic.h"
+#include "link/link_discovery.h"
+#include "rdf/rdfizer.h"
+#include "rdf/triple_store.h"
+#include "sources/model.h"
+#include "synopses/critical_points.h"
+#include "trajectory/episodes.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+
+/// The overall datAcron architecture (paper Section 2) as one object:
+///
+///   data sources -> in-situ processing (synopses) -> data transformation
+///   (RDF-ization) -> store  +  analytics (trajectory mgmt, CEP,
+///   forecasting) fed directly from the stream.
+///
+/// Ingest() pushes one report through every stage and accounts wall time
+/// per stage — the "operational latency in ms" requirement of Section 4
+/// is validated by E10 over these trackers.
+class DatacronEngine {
+ public:
+  struct Config {
+    BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+    CriticalPointConfig synopses;
+    Rdfizer::Config rdf;
+    ProximityDetector::Config proximity;
+    LoiteringDetector::Config loitering;
+    GapDetector::Config gap;
+    SpeedAnomalyDetector::Config speed_anomaly;
+    std::vector<NamedArea> areas;
+    /// ATM-style capacity-monitored sectors (empty = monitor disabled).
+    std::vector<CapacityMonitor::Sector> sectors;
+    CapacityMonitor::Config capacity;
+    /// Hotspot analysis window (0 = hotspot detection disabled).
+    DurationMs hotspot_window = 0;
+    HotspotAnalyzer::Config hotspot;
+    /// RDF-ize every report instead of only critical points (costlier;
+    /// default keeps the synopses-compressed path the paper advocates).
+    bool rdfize_all_reports = false;
+  };
+
+  explicit DatacronEngine(Config config);
+
+  /// Processes one report through all stages; returns the complex events
+  /// it triggered.
+  std::vector<Event> Ingest(const PositionReport& report);
+
+  /// Flushes stateful operators (trajectory ends, last windows).
+  std::vector<Event> Finish();
+
+  // -- component access -----------------------------------------------
+
+  const TrajectoryStore& trajectories() const { return trajectories_; }
+  TermDictionary* dictionary() { return &dict_; }
+  const Vocab& vocab() const { return *vocab_; }
+  Rdfizer* rdfizer() { return rdfizer_.get(); }
+
+  /// All triples produced so far (synopses path + links); sealed copy.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Semantic-trajectory episodes completed so far (stop/move/gap per
+  /// entity, derived online from the synopsis and also RDF-ized).
+  const std::vector<Episode>& episodes() const { return episodes_; }
+
+  /// Convenience: sealed single-node store over triples().
+  TripleStore BuildStore() const;
+
+  /// Dead-reckoning predictor fed from the live stream (always-on cheap
+  /// forecaster; heavier predictors are offline-trained, see forecast/).
+  const DeadReckoningPredictor& predictor() const { return predictor_; }
+
+  // -- per-stage ms latency -------------------------------------------
+
+  struct StageLatencies {
+    PercentileTracker synopses_ms;
+    PercentileTracker transform_ms;
+    PercentileTracker cep_ms;
+    PercentileTracker trajectory_ms;
+    PercentileTracker total_ms;
+  };
+  const StageLatencies& latencies() const { return latencies_; }
+
+  std::size_t reports_ingested() const { return reports_ingested_; }
+  std::size_t critical_points() const { return critical_points_; }
+
+ private:
+  Config config_;
+  TermDictionary dict_;
+  std::unique_ptr<Vocab> vocab_;
+  std::unique_ptr<Rdfizer> rdfizer_;
+  CriticalPointDetector detector_;
+  ProximityDetector proximity_;
+  AreaEventDetector area_events_;
+  LoiteringDetector loitering_;
+  GapDetector gap_;
+  SpeedAnomalyDetector speed_anomaly_;
+  std::unique_ptr<CapacityMonitor> capacity_;   // null when no sectors
+  std::unique_ptr<HotspotDetector> hotspots_;   // null when window == 0
+  EpisodeBuilder episode_builder_;
+  std::vector<Episode> episodes_;
+  TrajectoryStore trajectories_;
+  DeadReckoningPredictor predictor_;
+  std::vector<Triple> triples_;
+  StageLatencies latencies_;
+  std::size_t reports_ingested_ = 0;
+  std::size_t critical_points_ = 0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_DATACRON_ENGINE_H_

@@ -1,0 +1,2 @@
+// Compile check: the umbrella header must be self-contained.
+#include "datacron/datacron.h"

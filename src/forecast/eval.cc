@@ -1,0 +1,79 @@
+#include "forecast/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace datacron {
+
+std::string ForecastEvaluation::ToTable() const {
+  std::string out = StrFormat(
+      "%-14s %10s %11s %11s %11s %11s %8s\n", predictor.c_str(),
+      "horizon_s", "mean_err_m", "p50_err_m", "p90_err_m", "alt_err_m",
+      "n");
+  for (const HorizonError& h : horizons) {
+    out += StrFormat("%-14s %10lld %11.1f %11.1f %11.1f %11.1f %8zu\n",
+                     predictor.c_str(),
+                     static_cast<long long>(h.horizon / 1000),
+                     h.error_m.mean(), h.error_pct.Percentile(50),
+                     h.error_pct.Percentile(90), h.error_alt_m.mean(),
+                     h.predictions);
+  }
+  return out;
+}
+
+ForecastEvaluation EvaluatePredictor(Predictor* predictor,
+                                     const std::vector<TruthTrace>& traces,
+                                     const ForecastEvalConfig& config) {
+  ForecastEvaluation eval;
+  eval.predictor = predictor->name();
+  eval.horizons.resize(config.horizons.size());
+  for (std::size_t i = 0; i < config.horizons.size(); ++i) {
+    eval.horizons[i].horizon = config.horizons[i];
+  }
+
+  // Observed stream + truth lookup.
+  const std::vector<PositionReport> stream =
+      ObserveFleet(traces, config.observation);
+  std::map<EntityId, const TruthTrace*> truth;
+  TimestampMs min_time = 0;
+  for (const TruthTrace& t : traces) {
+    truth[t.entity_id] = &t;
+    min_time = truth.size() == 1 ? t.start_time
+                                 : std::min(min_time, t.start_time);
+  }
+
+  std::map<EntityId, int> report_counter;
+  for (const PositionReport& r : stream) {
+    predictor->Observe(r);
+    if (r.timestamp - min_time < config.warmup) continue;
+    int& counter = report_counter[r.entity_id];
+    ++counter;
+    if (counter % config.anchor_stride != 0) continue;
+
+    const TruthTrace* trace = truth[r.entity_id];
+    for (std::size_t hi = 0; hi < config.horizons.size(); ++hi) {
+      const DurationMs h = config.horizons[hi];
+      if (r.timestamp + h > trace->EndTime()) continue;
+      HorizonError& he = eval.horizons[hi];
+      GeoPoint predicted;
+      if (!predictor->Predict(r.entity_id, h, &predicted)) {
+        ++he.failures;
+        continue;
+      }
+      PositionReport actual;
+      trace->StateAt(r.timestamp + h, &actual);
+      const double err =
+          HaversineMeters(predicted.ll(), actual.position.ll());
+      he.error_m.Add(err);
+      he.error_pct.Add(err);
+      he.error_alt_m.Add(std::fabs(predicted.alt_m - actual.position.alt_m));
+      ++he.predictions;
+    }
+  }
+  return eval;
+}
+
+}  // namespace datacron

@@ -1,0 +1,56 @@
+#ifndef DATACRON_FORECAST_EVAL_H_
+#define DATACRON_FORECAST_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "forecast/predictor.h"
+#include "sources/ais_generator.h"
+
+namespace datacron {
+
+/// Error distribution of one predictor at one horizon.
+struct HorizonError {
+  DurationMs horizon = 0;
+  RunningStats error_m;        // 2D (horizontal) error
+  RunningStats error_alt_m;    // vertical error (aviation)
+  /// Same horizontal errors, retained for percentiles: the tail (p90) is
+  /// where manoeuvre-blindness shows while the mean hides it.
+  PercentileTracker error_pct;
+  std::size_t predictions = 0;
+  std::size_t failures = 0;    // Predict() returned false
+};
+
+/// Per-predictor evaluation result: one row per horizon.
+struct ForecastEvaluation {
+  std::string predictor;
+  std::vector<HorizonError> horizons;
+
+  std::string ToTable() const;
+};
+
+/// Evaluation protocol shared by E7/E8:
+///  1. The fleet's truth traces are observed (subsample + noise) into the
+///     report stream a receiver would see.
+///  2. Reports are fed to the predictor in time order.
+///  3. After `warmup`, every `anchor_stride`-th report of an entity becomes
+///     an anchor: the predictor forecasts t+h for each horizon and the
+///     error against TruthTrace::StateAt(t+h) is recorded. Anchors whose
+///     horizon extends beyond the trace end are skipped.
+struct ForecastEvalConfig {
+  std::vector<DurationMs> horizons = {1 * kMinute, 5 * kMinute,
+                                      10 * kMinute, 20 * kMinute,
+                                      30 * kMinute};
+  DurationMs warmup = 5 * kMinute;
+  int anchor_stride = 5;
+  ObservationConfig observation;
+};
+
+ForecastEvaluation EvaluatePredictor(Predictor* predictor,
+                                     const std::vector<TruthTrace>& traces,
+                                     const ForecastEvalConfig& config);
+
+}  // namespace datacron
+
+#endif  // DATACRON_FORECAST_EVAL_H_

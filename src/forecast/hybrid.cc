@@ -1,0 +1,26 @@
+#include "forecast/hybrid.h"
+
+namespace datacron {
+
+HybridPredictor::HybridPredictor(Config config)
+    : config_(config), kalman_(config.kalman), route_(config.route) {}
+
+void HybridPredictor::Observe(const PositionReport& report) {
+  kalman_.Observe(report);
+  route_.Observe(report);
+}
+
+bool HybridPredictor::Predict(EntityId entity, DurationMs horizon,
+                              GeoPoint* out) const {
+  if (horizon <= config_.switch_horizon) {
+    if (kalman_.Predict(entity, horizon, out)) return true;
+    return route_.Predict(entity, horizon, out);
+  }
+  // Long horizon: prefer the route answer; if the route component had to
+  // fall back to dead reckoning internally it is still no worse than the
+  // raw kinematic answer, and the Kalman fallback covers unseen entities.
+  if (route_.Predict(entity, horizon, out)) return true;
+  return kalman_.Predict(entity, horizon, out);
+}
+
+}  // namespace datacron

@@ -1,0 +1,51 @@
+#ifndef DATACRON_FORECAST_HYBRID_H_
+#define DATACRON_FORECAST_HYBRID_H_
+
+#include <memory>
+
+#include "forecast/kalman.h"
+#include "forecast/route.h"
+
+namespace datacron {
+
+/// Horizon-switching ensemble: the Kalman filter owns short horizons
+/// (noise suppression dominates there), the route-medoid predictor owns
+/// long horizons when the entity is on a known lane (pattern knowledge
+/// dominates there), with Kalman as the off-lane fallback. Encodes the
+/// E7 crossover as a predictor instead of a chart.
+class HybridPredictor : public Predictor {
+ public:
+  struct Config {
+    /// Below this horizon the Kalman answer is used unconditionally.
+    DurationMs switch_horizon = 5 * kMinute;
+    KalmanPredictor::Config kalman;
+    RoutePredictor::Config route;
+  };
+
+  HybridPredictor() : HybridPredictor(Config()) {}
+  explicit HybridPredictor(Config config);
+
+  std::string name() const override { return "hybrid_kalman_route"; }
+
+  /// Trains the route component on historical trajectories.
+  void Train(const std::vector<Trajectory>& history) {
+    route_.Train(history);
+  }
+
+  void Observe(const PositionReport& report) override;
+
+  bool Predict(EntityId entity, DurationMs horizon,
+               GeoPoint* out) const override;
+
+  const KalmanPredictor& kalman() const { return kalman_; }
+  const RoutePredictor& route() const { return route_; }
+
+ private:
+  Config config_;
+  KalmanPredictor kalman_;
+  RoutePredictor route_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_FORECAST_HYBRID_H_

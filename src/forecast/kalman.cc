@@ -1,0 +1,242 @@
+#include "forecast/kalman.h"
+
+#include <cmath>
+
+namespace datacron {
+
+// -- small dense 4x4 helpers (row-major) -----------------------------------
+
+namespace {
+
+constexpr int kN = 4;
+
+using Mat4 = std::array<double, 16>;
+using Vec4 = std::array<double, 4>;
+
+double Get(const Mat4& m, int r, int c) { return m[r * kN + c]; }
+void Set(Mat4* m, int r, int c, double v) { (*m)[r * kN + c] = v; }
+
+Mat4 Identity() {
+  Mat4 m{};
+  for (int i = 0; i < kN; ++i) Set(&m, i, i, 1.0);
+  return m;
+}
+
+Mat4 Multiply(const Mat4& a, const Mat4& b) {
+  Mat4 out{};
+  for (int i = 0; i < kN; ++i) {
+    for (int k = 0; k < kN; ++k) {
+      const double aik = Get(a, i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < kN; ++j) {
+        out[i * kN + j] += aik * Get(b, k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Mat4 Transpose(const Mat4& a) {
+  Mat4 out{};
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) Set(&out, i, j, Get(a, j, i));
+  }
+  return out;
+}
+
+Mat4 Add(const Mat4& a, const Mat4& b) {
+  Mat4 out;
+  for (int i = 0; i < kN * kN; ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec4 MulVec(const Mat4& a, const Vec4& v) {
+  Vec4 out{};
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) out[i] += Get(a, i, j) * v[j];
+  }
+  return out;
+}
+
+/// Gauss-Jordan inverse; inputs here are SPD (P + R), so pivoting on the
+/// diagonal is safe in practice; a tiny ridge guards degeneracy.
+Mat4 Inverse(Mat4 a) {
+  Mat4 inv = Identity();
+  for (int col = 0; col < kN; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < kN; ++r) {
+      if (std::fabs(Get(a, r, col)) > std::fabs(Get(a, pivot, col))) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(Get(a, pivot, col)) < 1e-12) {
+      Set(&a, pivot, col, Get(a, pivot, col) + 1e-9);
+    }
+    if (pivot != col) {
+      for (int j = 0; j < kN; ++j) {
+        std::swap(a[col * kN + j], a[pivot * kN + j]);
+        std::swap(inv[col * kN + j], inv[pivot * kN + j]);
+      }
+    }
+    const double diag = Get(a, col, col);
+    for (int j = 0; j < kN; ++j) {
+      a[col * kN + j] /= diag;
+      inv[col * kN + j] /= diag;
+    }
+    for (int r = 0; r < kN; ++r) {
+      if (r == col) continue;
+      const double factor = Get(a, r, col);
+      if (factor == 0.0) continue;
+      for (int j = 0; j < kN; ++j) {
+        a[r * kN + j] -= factor * a[col * kN + j];
+        inv[r * kN + j] -= factor * inv[col * kN + j];
+      }
+    }
+  }
+  return inv;
+}
+
+/// Velocity components implied by a report's speed/course. Course is the
+/// direction of travel, so ve = v*sin(course), vn = v*cos(course).
+void VelocityOf(const PositionReport& r, double* ve, double* vn) {
+  const double c = r.course_deg * kDegToRad;
+  *ve = r.speed_mps * std::sin(c);
+  *vn = r.speed_mps * std::cos(c);
+}
+
+}  // namespace
+
+void KalmanPredictor::PredictStep(State* st, double dt_s) const {
+  Mat4 f = Identity();
+  Set(&f, 0, 2, dt_s);
+  Set(&f, 1, 3, dt_s);
+  st->x = MulVec(f, st->x);
+  Mat4 fp = Multiply(f, st->p);
+  st->p = Multiply(fp, Transpose(f));
+  // White-noise acceleration process model.
+  const double q = config_.process_accel * config_.process_accel;
+  const double dt2 = dt_s * dt_s;
+  Mat4 qm{};
+  Set(&qm, 0, 0, q * dt2 * dt2 / 4);
+  Set(&qm, 1, 1, q * dt2 * dt2 / 4);
+  Set(&qm, 0, 2, q * dt2 * dt_s / 2);
+  Set(&qm, 2, 0, q * dt2 * dt_s / 2);
+  Set(&qm, 1, 3, q * dt2 * dt_s / 2);
+  Set(&qm, 3, 1, q * dt2 * dt_s / 2);
+  Set(&qm, 2, 2, q * dt2);
+  Set(&qm, 3, 3, q * dt2);
+  st->p = Add(st->p, qm);
+
+  // Vertical channel.
+  const double qv = config_.process_vert_accel * config_.process_vert_accel;
+  st->alt_m += st->vrate_mps * dt_s;
+  const double new_alt_var = st->alt_var + 2 * dt_s * st->alt_cov +
+                             dt2 * st->vrate_var + qv * dt2 * dt2 / 4;
+  const double new_cov =
+      st->alt_cov + dt_s * st->vrate_var + qv * dt2 * dt_s / 2;
+  st->vrate_var += qv * dt2;
+  st->alt_var = new_alt_var;
+  st->alt_cov = new_cov;
+}
+
+void KalmanPredictor::UpdateStep(State* st, const Vec4& z, double z_alt,
+                                 double z_vrate) const {
+  Mat4 r{};
+  Set(&r, 0, 0, config_.meas_pos_m * config_.meas_pos_m);
+  Set(&r, 1, 1, config_.meas_pos_m * config_.meas_pos_m);
+  Set(&r, 2, 2, config_.meas_vel_mps * config_.meas_vel_mps);
+  Set(&r, 3, 3, config_.meas_vel_mps * config_.meas_vel_mps);
+  const Mat4 s = Add(st->p, r);
+  const Mat4 k = Multiply(st->p, Inverse(s));
+  Vec4 innov;
+  for (int i = 0; i < kN; ++i) innov[i] = z[i] - st->x[i];
+  const Vec4 corr = MulVec(k, innov);
+  for (int i = 0; i < kN; ++i) st->x[i] += corr[i];
+  Mat4 ik = Identity();
+  for (int i = 0; i < kN * kN; ++i) ik[i] -= k[i];
+  st->p = Multiply(ik, st->p);
+
+  // Vertical scalar update (sequential: altitude then rate).
+  {
+    const double rr = config_.meas_alt_m * config_.meas_alt_m;
+    const double gain_a = st->alt_var / (st->alt_var + rr);
+    const double gain_c = st->alt_cov / (st->alt_var + rr);
+    const double resid = z_alt - st->alt_m;
+    st->alt_m += gain_a * resid;
+    st->vrate_mps += gain_c * resid;
+    st->vrate_var -= gain_c * st->alt_cov;
+    st->alt_cov *= (1 - gain_a);
+    st->alt_var *= (1 - gain_a);
+  }
+  {
+    const double rr = config_.meas_vrate_mps * config_.meas_vrate_mps;
+    const double gain = st->vrate_var / (st->vrate_var + rr);
+    st->vrate_mps += gain * (z_vrate - st->vrate_mps);
+    st->vrate_var *= (1 - gain);
+    st->alt_cov *= (1 - gain);
+  }
+}
+
+void KalmanPredictor::Observe(const PositionReport& report) {
+  State& st = state_[report.entity_id];
+  if (!st.warm) {
+    st.anchor = report.position;
+    st.x = {0.0, 0.0, 0.0, 0.0};
+    VelocityOf(report, &st.x[2], &st.x[3]);
+    st.p = {};
+    const double p0 = config_.meas_pos_m * config_.meas_pos_m;
+    const double v0 = config_.meas_vel_mps * config_.meas_vel_mps * 4;
+    Set(&st.p, 0, 0, p0);
+    Set(&st.p, 1, 1, p0);
+    Set(&st.p, 2, 2, v0);
+    Set(&st.p, 3, 3, v0);
+    st.alt_m = report.position.alt_m;
+    st.vrate_mps = report.vertical_rate_mps;
+    st.alt_var = config_.meas_alt_m * config_.meas_alt_m;
+    st.vrate_var = config_.meas_vrate_mps * config_.meas_vrate_mps * 4;
+    st.alt_cov = 0.0;
+    st.last_time = report.timestamp;
+    st.domain = report.domain;
+    st.warm = true;
+    return;
+  }
+  const double dt_s =
+      static_cast<double>(report.timestamp - st.last_time) / 1000.0;
+  if (dt_s < 0) return;  // out of order
+  if (dt_s > 0) PredictStep(&st, dt_s);
+
+  const EnuVector enu = ToEnu(st.anchor, report.position);
+  Vec4 z{enu.east_m, enu.north_m, 0.0, 0.0};
+  VelocityOf(report, &z[2], &z[3]);
+  UpdateStep(&st, z, report.position.alt_m, report.vertical_rate_mps);
+  st.last_time = report.timestamp;
+}
+
+bool KalmanPredictor::Predict(EntityId entity, DurationMs horizon,
+                              GeoPoint* out) const {
+  auto it = state_.find(entity);
+  if (it == state_.end() || !it->second.warm) return false;
+  const State& st = it->second;
+  const double dt_s = horizon / 1000.0;
+  EnuVector enu;
+  enu.east_m = st.x[0] + st.x[2] * dt_s;
+  enu.north_m = st.x[1] + st.x[3] * dt_s;
+  enu.up_m = (st.alt_m + st.vrate_mps * dt_s) - st.anchor.alt_m;
+  *out = FromEnu(st.anchor, enu);
+  if (st.domain == Domain::kMaritime) out->alt_m = 0.0;
+  return true;
+}
+
+bool KalmanPredictor::CurrentEstimate(EntityId entity, GeoPoint* pos,
+                                      double* ve_mps, double* vn_mps) const {
+  auto it = state_.find(entity);
+  if (it == state_.end() || !it->second.warm) return false;
+  const State& st = it->second;
+  *pos = FromEnu(st.anchor, {st.x[0], st.x[1], st.alt_m - st.anchor.alt_m});
+  *ve_mps = st.x[2];
+  *vn_mps = st.x[3];
+  return true;
+}
+
+}  // namespace datacron

@@ -1,0 +1,76 @@
+#ifndef DATACRON_FORECAST_KALMAN_H_
+#define DATACRON_FORECAST_KALMAN_H_
+
+#include <array>
+#include <map>
+
+#include "forecast/predictor.h"
+
+namespace datacron {
+
+/// Per-entity constant-velocity Kalman filter in a local ENU frame
+/// (anchored at the entity's first report), with altitude tracked by an
+/// independent 1D CV filter for aviation. Measurements are position plus
+/// the velocity implied by the report's speed/course — AIS and ADS-B both
+/// carry over-ground velocity, so the full 4D measurement is available.
+///
+/// The filter smooths observation noise, so at mid horizons it beats raw
+/// dead reckoning whose velocity estimate is one noisy sample.
+class KalmanPredictor : public Predictor {
+ public:
+  struct Config {
+    /// Process-noise acceleration density (m/s^2); larger = trust
+    /// manoeuvre, smaller = trust inertia.
+    double process_accel = 0.1;
+    /// Measurement standard deviations.
+    double meas_pos_m = 15.0;
+    double meas_vel_mps = 0.5;
+    /// Vertical channel (aviation).
+    double process_vert_accel = 0.5;
+    double meas_alt_m = 30.0;
+    double meas_vrate_mps = 1.0;
+  };
+
+  KalmanPredictor() : KalmanPredictor(Config()) {}
+  explicit KalmanPredictor(Config config) : config_(config) {}
+
+  std::string name() const override { return "kalman_cv"; }
+
+  void Observe(const PositionReport& report) override;
+
+  bool Predict(EntityId entity, DurationMs horizon,
+               GeoPoint* out) const override;
+
+  /// Filtered current state (for diagnostics/tests): position and
+  /// velocity. False when unknown.
+  bool CurrentEstimate(EntityId entity, GeoPoint* pos, double* ve_mps,
+                       double* vn_mps) const;
+
+ private:
+  /// 4x4 covariance stored row-major.
+  using Mat4 = std::array<double, 16>;
+  using Vec4 = std::array<double, 4>;
+
+  struct State {
+    GeoPoint anchor;              // ENU reference
+    Vec4 x{};                     // [e, n, ve, vn]
+    Mat4 p{};                     // covariance
+    double alt_m = 0.0;           // vertical CV filter state
+    double vrate_mps = 0.0;
+    double alt_var = 0.0, vrate_var = 0.0, alt_cov = 0.0;
+    TimestampMs last_time = 0;
+    Domain domain = Domain::kMaritime;
+    bool warm = false;
+  };
+
+  void PredictStep(State* st, double dt_s) const;
+  void UpdateStep(State* st, const Vec4& z, double z_alt,
+                  double z_vrate) const;
+
+  Config config_;
+  std::map<EntityId, State> state_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_FORECAST_KALMAN_H_

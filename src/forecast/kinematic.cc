@@ -1,0 +1,62 @@
+#include "forecast/kinematic.h"
+
+#include <cmath>
+
+namespace datacron {
+
+bool DeadReckoningPredictor::Predict(EntityId entity, DurationMs horizon,
+                                     GeoPoint* out) const {
+  auto it = last_.find(entity);
+  if (it == last_.end()) return false;
+  const PositionReport& r = it->second;
+  *out = DeadReckon(r.position, r.course_deg, r.speed_mps,
+                    r.vertical_rate_mps, horizon / 1000.0);
+  return true;
+}
+
+void CtrvPredictor::Observe(const PositionReport& report) {
+  State& st = state_[report.entity_id];
+  if (st.warm) {
+    const double dt_s =
+        static_cast<double>(report.timestamp - st.last.timestamp) / 1000.0;
+    if (dt_s > 0.1) {
+      double dcourse = report.course_deg - st.last.course_deg;
+      while (dcourse > 180.0) dcourse -= 360.0;
+      while (dcourse < -180.0) dcourse += 360.0;
+      // Exponential smoothing keeps the rate estimate stable under course
+      // noise while adapting within a few reports.
+      const double instant = dcourse / dt_s;
+      st.turn_rate_deg_s = (1.0 - rate_smoothing_) * st.turn_rate_deg_s +
+                           rate_smoothing_ * instant;
+    }
+  }
+  st.last = report;
+  st.warm = true;
+}
+
+bool CtrvPredictor::Predict(EntityId entity, DurationMs horizon,
+                            GeoPoint* out) const {
+  auto it = state_.find(entity);
+  if (it == state_.end() || !it->second.warm) return false;
+  const State& st = it->second;
+  const double total_s = horizon / 1000.0;
+
+  // Integrate the turn in fixed steps; each step is straight dead
+  // reckoning at the step-start course. 10 s steps keep the arc smooth
+  // at vessel/aircraft turn rates.
+  constexpr double kStepS = 10.0;
+  GeoPoint pos = st.last.position;
+  double course = st.last.course_deg;
+  double remaining = total_s;
+  while (remaining > 1e-9) {
+    const double step = remaining < kStepS ? remaining : kStepS;
+    pos = DeadReckon(pos, course, st.last.speed_mps,
+                     st.last.vertical_rate_mps, step);
+    course += st.turn_rate_deg_s * step;
+    remaining -= step;
+  }
+  *out = pos;
+  return true;
+}
+
+}  // namespace datacron

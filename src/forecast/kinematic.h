@@ -1,0 +1,59 @@
+#ifndef DATACRON_FORECAST_KINEMATIC_H_
+#define DATACRON_FORECAST_KINEMATIC_H_
+
+#include <map>
+
+#include "forecast/predictor.h"
+
+namespace datacron {
+
+/// Dead-reckoning baseline: project the last report's speed/course
+/// (and vertical rate) forward. Unbeatable at very short horizons, blind
+/// to manoeuvres — the baseline every forecasting paper compares against.
+class DeadReckoningPredictor : public Predictor {
+ public:
+  std::string name() const override { return "dead_reckoning"; }
+
+  void Observe(const PositionReport& report) override {
+    last_[report.entity_id] = report;
+  }
+
+  bool Predict(EntityId entity, DurationMs horizon,
+               GeoPoint* out) const override;
+
+ private:
+  std::map<EntityId, PositionReport> last_;
+};
+
+/// Constant Turn Rate and Velocity (CTRV): estimates the current turn
+/// rate from the last two reports and integrates the turning motion over
+/// the horizon. Captures sustained turns that straight dead reckoning
+/// misses; degrades to dead reckoning when the rate estimate is ~0.
+class CtrvPredictor : public Predictor {
+ public:
+  /// `rate_smoothing` is the EWMA weight of the newest turn-rate sample;
+  /// lower values suit noisy/high-rate feeds (ADS-B), higher values suit
+  /// clean low-rate feeds (AIS).
+  explicit CtrvPredictor(double rate_smoothing = 0.5)
+      : rate_smoothing_(rate_smoothing) {}
+
+  std::string name() const override { return "ctrv"; }
+
+  void Observe(const PositionReport& report) override;
+
+  bool Predict(EntityId entity, DurationMs horizon,
+               GeoPoint* out) const override;
+
+ private:
+  struct State {
+    PositionReport last;
+    double turn_rate_deg_s = 0.0;
+    bool warm = false;
+  };
+  double rate_smoothing_;
+  std::map<EntityId, State> state_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_FORECAST_KINEMATIC_H_

@@ -1,0 +1,89 @@
+#include "forecast/markov.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datacron {
+
+MarkovGridPredictor::MarkovGridPredictor(Config config)
+    : config_(config), grid_(config.region, config.cell_deg) {}
+
+void MarkovGridPredictor::Learn(EntityId entity, const GridCell& cell) {
+  auto it = last_cell_.find(entity);
+  if (it != last_cell_.end() && !(it->second == cell)) {
+    ++transitions_[it->second.Key()][cell.Key()];
+  }
+  last_cell_[entity] = cell;
+}
+
+void MarkovGridPredictor::Train(
+    const std::vector<PositionReport>& history) {
+  for (const PositionReport& r : history) {
+    Learn(r.entity_id, grid_.CellOf(r.position.ll()));
+  }
+  // Training trajectories must not chain into live observation.
+  last_cell_.clear();
+}
+
+void MarkovGridPredictor::Observe(const PositionReport& report) {
+  Learn(report.entity_id, grid_.CellOf(report.position.ll()));
+  last_report_[report.entity_id] = report;
+}
+
+bool MarkovGridPredictor::Predict(EntityId entity, DurationMs horizon,
+                                  GeoPoint* out) const {
+  auto it = last_report_.find(entity);
+  if (it == last_report_.end()) return false;
+  const PositionReport& r = it->second;
+
+  // Distance budget to spend walking the likely cell chain.
+  double budget_m = r.speed_mps * (horizon / 1000.0);
+  const double cell_m = config_.cell_deg * kDegToRad * kEarthRadiusMeters *
+                        std::cos(r.position.lat_deg * kDegToRad);
+
+  GridCell cell = grid_.CellOf(r.position.ll());
+  LatLon pos = r.position.ll();
+  // Guard against cycles: cap steps.
+  const int max_steps = static_cast<int>(budget_m / std::max(1.0, cell_m)) + 2;
+  for (int step = 0; step < max_steps && budget_m > cell_m * 0.5; ++step) {
+    auto trans_it = transitions_.find(cell.Key());
+    if (trans_it == transitions_.end()) break;
+    // Most frequent next cell, preferring continuation of current heading
+    // on ties by taking the first maximal entry deterministically.
+    std::uint64_t best_key = 0;
+    std::size_t best_count = 0;
+    for (const auto& [to_key, count] : trans_it->second) {
+      if (count < config_.min_transition_count) continue;
+      if (count > best_count ||
+          (count == best_count && to_key < best_key)) {
+        best_count = count;
+        best_key = to_key;
+      }
+    }
+    if (best_count == 0) break;
+    const GridCell next = GridCell::FromKey(best_key);
+    const LatLon next_center = grid_.CellCenter(next);
+    const double hop = EquirectangularMeters(pos, next_center);
+    if (hop > budget_m) {
+      // Partial hop: move toward the next center by the remaining budget.
+      const double bearing = InitialBearingDeg(pos, next_center);
+      pos = DestinationPoint(pos, bearing, budget_m);
+      budget_m = 0;
+      cell = next;
+      break;
+    }
+    budget_m -= hop;
+    pos = next_center;
+    cell = next;
+  }
+  if (budget_m > 0) {
+    // No (more) learned structure: spend the rest as dead reckoning.
+    pos = DestinationPoint(pos, r.course_deg, budget_m);
+  }
+  *out = GeoPoint{pos.lat_deg, pos.lon_deg,
+                  r.position.alt_m +
+                      r.vertical_rate_mps * (horizon / 1000.0)};
+  return true;
+}
+
+}  // namespace datacron

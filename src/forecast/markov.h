@@ -1,0 +1,64 @@
+#ifndef DATACRON_FORECAST_MARKOV_H_
+#define DATACRON_FORECAST_MARKOV_H_
+
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "forecast/predictor.h"
+#include "geo/grid.h"
+
+namespace datacron {
+
+/// Grid-based first-order Markov predictor: learns cell-to-cell transition
+/// frequencies from all observed movement (Train or online Observe), then
+/// predicts by walking the most likely cell chain from the entity's
+/// current cell, spending the distance budget speed * horizon.
+///
+/// Captures "traffic follows lanes" structure that pure kinematics cannot;
+/// loses to dead reckoning at horizons shorter than one cell crossing
+/// (discretization error dominates there), which produces the E7 crossover.
+class MarkovGridPredictor : public Predictor {
+ public:
+  struct Config {
+    BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+    double cell_deg = 0.05;
+    /// Transitions with fewer observations than this are ignored when
+    /// choosing the next cell (noise floor).
+    std::size_t min_transition_count = 2;
+  };
+
+  MarkovGridPredictor() : MarkovGridPredictor(Config()) {}
+  explicit MarkovGridPredictor(Config config);
+
+  std::string name() const override { return "markov_grid"; }
+
+  /// Offline training on historical trajectories (dense or reconstructed).
+  void Train(const std::vector<PositionReport>& history);
+
+  void Observe(const PositionReport& report) override;
+
+  bool Predict(EntityId entity, DurationMs horizon,
+               GeoPoint* out) const override;
+
+  std::size_t TransitionCount() const { return transitions_.size(); }
+
+ private:
+  /// Records a movement between consecutive cells of one entity.
+  void Learn(EntityId entity, const GridCell& cell);
+
+  Config config_;
+  UniformGrid grid_;
+  /// (from cell key) -> (to cell key) -> count.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, std::size_t>>
+      transitions_;
+  /// Learning state: last cell per entity.
+  std::map<EntityId, GridCell> last_cell_;
+  /// Prediction state: last report per entity.
+  std::map<EntityId, PositionReport> last_report_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_FORECAST_MARKOV_H_

@@ -1,0 +1,34 @@
+#ifndef DATACRON_FORECAST_PREDICTOR_H_
+#define DATACRON_FORECAST_PREDICTOR_H_
+
+#include <string>
+
+#include "geo/geo.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Future-location predictor interface. Implementations consume the
+/// observed report stream (time-ordered, entities interleaved) and answer
+/// "where will entity X be `horizon` from its last report?" — the paper's
+/// trajectory-forecasting task, in 2D (maritime) and 3D (aviation).
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Feeds one observed report. Must be called in nondecreasing timestamp
+  /// order per entity.
+  virtual void Observe(const PositionReport& report) = 0;
+
+  /// Predicts the entity's position `horizon` after its last observed
+  /// report. Returns false when the entity is unknown or the model is not
+  /// warm enough.
+  virtual bool Predict(EntityId entity, DurationMs horizon,
+                       GeoPoint* out) const = 0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_FORECAST_PREDICTOR_H_

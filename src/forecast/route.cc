@@ -1,0 +1,108 @@
+#include "forecast/route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "trajectory/similarity.h"
+
+namespace datacron {
+
+RoutePredictor::RoutePredictor(Config config) : config_(config) {}
+
+void RoutePredictor::Train(const std::vector<Trajectory>& history) {
+  medoids_.clear();
+  const ClusteringResult clusters =
+      ClusterByThreshold(history, config_.cluster_threshold_m);
+  medoids_.reserve(clusters.medoids.size());
+  for (std::size_t idx : clusters.medoids) medoids_.push_back(history[idx]);
+
+  // Cell edge ~ match radius so the 3x3 neighborhood covers candidates.
+  const double cell_deg =
+      std::max(0.005, config_.match_radius_m /
+                          (kEarthRadiusMeters * kDegToRad *
+                           std::cos(config_.region.Center().lat_deg *
+                                    kDegToRad)));
+  point_index_ = std::make_unique<GridIndex<std::uint64_t>>(config_.region,
+                                                            cell_deg);
+  for (std::size_t ri = 0; ri < medoids_.size(); ++ri) {
+    const auto& pts = medoids_[ri].points;
+    for (std::size_t pi = 0; pi < pts.size(); ++pi) {
+      point_index_->Insert(pts[pi].position.ll(), Pack(ri, pi));
+    }
+  }
+}
+
+bool RoutePredictor::Predict(EntityId entity, DurationMs horizon,
+                             GeoPoint* out) const {
+  auto it = last_.find(entity);
+  if (it == last_.end()) return false;
+  const PositionReport& r = it->second;
+
+  // Nearest course-compatible medoid point.
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::size_t best_route = 0, best_point = 0;
+  if (point_index_ != nullptr) {
+    for (std::uint64_t packed :
+         point_index_->NeighborhoodCandidates(r.position.ll())) {
+      const std::size_t ri = packed >> 32;
+      const std::size_t pi = packed & 0xFFFFFFFFULL;
+      const PositionReport& mp = medoids_[ri].points[pi];
+      if (CourseDifferenceDeg(mp.course_deg, r.course_deg) >
+          config_.max_course_diff_deg) {
+        continue;
+      }
+      const double d =
+          EquirectangularMeters(mp.position.ll(), r.position.ll());
+      if (d < best_dist) {
+        best_dist = d;
+        best_route = ri;
+        best_point = pi;
+      }
+    }
+  }
+  if (best_dist > config_.match_radius_m) {
+    // Off-route: fall back to dead reckoning.
+    *out = DeadReckon(r.position, r.course_deg, r.speed_mps,
+                      r.vertical_rate_mps, horizon / 1000.0);
+    return true;
+  }
+
+  // Follow the matched route's *direction sequence* from the vessel's own
+  // position (not from the matched route point — teleporting onto the
+  // route would add the match offset to every prediction). Each remaining
+  // route leg contributes its bearing and length; the vessel traverses
+  // them at its own current speed.
+  double budget_m = r.speed_mps * (horizon / 1000.0);
+  const auto& pts = medoids_[best_route].points;
+  std::size_t i = best_point;
+  LatLon pos = r.position.ll();
+  while (i + 1 < pts.size() && budget_m > 0) {
+    const LatLon leg_from = pts[i].position.ll();
+    const LatLon leg_to = pts[i + 1].position.ll();
+    const double leg = EquirectangularMeters(leg_from, leg_to);
+    const double bearing = InitialBearingDeg(leg_from, leg_to);
+    if (leg > budget_m) {
+      pos = DestinationPoint(pos, bearing, budget_m);
+      budget_m = 0;
+      break;
+    }
+    budget_m -= leg;
+    pos = DestinationPoint(pos, bearing, leg);
+    ++i;
+  }
+  if (budget_m > 0) {
+    // Ran off the end of the route: continue on the route's final course.
+    const double final_course =
+        pts.size() >= 2
+            ? InitialBearingDeg(pts[pts.size() - 2].position.ll(),
+                                pts.back().position.ll())
+            : r.course_deg;
+    pos = DestinationPoint(pos, final_course, budget_m);
+  }
+  *out = GeoPoint{pos.lat_deg, pos.lon_deg,
+                  r.position.alt_m + r.vertical_rate_mps * (horizon / 1000.0)};
+  return true;
+}
+
+}  // namespace datacron

@@ -1,0 +1,69 @@
+#ifndef DATACRON_FORECAST_ROUTE_H_
+#define DATACRON_FORECAST_ROUTE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "forecast/predictor.h"
+#include "geo/grid.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+
+/// Route-based (cluster-medoid) predictor: historical trajectories are
+/// clustered (DTW threshold, medoid per cluster); at prediction time the
+/// entity's current position+course is matched to the nearest compatible
+/// point on any medoid route and the prediction follows that route at the
+/// entity's current speed.
+///
+/// This is the "movement patterns repeat" family of datAcron forecasting:
+/// it wins at long horizons on route-bound traffic (ferries, airways)
+/// where kinematic extrapolation drifts off at the first turn.
+class RoutePredictor : public Predictor {
+ public:
+  struct Config {
+    /// Trajectories closer than this (normalized DTW) share a cluster.
+    double cluster_threshold_m = 5000.0;
+    /// A medoid point is a match only when within this distance...
+    double match_radius_m = 1500.0;
+    /// ...and its local course differs less than this. Tight matching
+    /// matters: a wrong-route match is worse than the dead-reckoning
+    /// fallback.
+    double max_course_diff_deg = 35.0;
+    BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+  };
+
+  RoutePredictor() : RoutePredictor(Config()) {}
+  explicit RoutePredictor(Config config);
+
+  std::string name() const override { return "route_medoid"; }
+
+  /// Clusters `history` and indexes the medoid routes.
+  void Train(const std::vector<Trajectory>& history);
+
+  void Observe(const PositionReport& report) override {
+    last_[report.entity_id] = report;
+  }
+
+  bool Predict(EntityId entity, DurationMs horizon,
+               GeoPoint* out) const override;
+
+  std::size_t MedoidCount() const { return medoids_.size(); }
+
+ private:
+  /// (medoid index, point index) packed for the grid index.
+  static std::uint64_t Pack(std::size_t route, std::size_t point) {
+    return (static_cast<std::uint64_t>(route) << 32) | point;
+  }
+
+  Config config_;
+  std::vector<Trajectory> medoids_;
+  /// Spatial index over all medoid points for O(1) matching.
+  std::unique_ptr<GridIndex<std::uint64_t>> point_index_;
+  std::map<EntityId, PositionReport> last_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_FORECAST_ROUTE_H_

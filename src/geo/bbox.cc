@@ -1,0 +1,49 @@
+#include "geo/bbox.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace datacron {
+
+void BoundingBox::Extend(const LatLon& p) {
+  min_lat = std::min(min_lat, p.lat_deg);
+  max_lat = std::max(max_lat, p.lat_deg);
+  min_lon = std::min(min_lon, p.lon_deg);
+  max_lon = std::max(max_lon, p.lon_deg);
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  if (other.IsEmpty()) return;
+  min_lat = std::min(min_lat, other.min_lat);
+  max_lat = std::max(max_lat, other.max_lat);
+  min_lon = std::min(min_lon, other.min_lon);
+  max_lon = std::max(max_lon, other.max_lon);
+}
+
+BoundingBox BoundingBox::Inflated(double margin_deg) const {
+  if (IsEmpty()) return *this;
+  return BoundingBox{min_lat - margin_deg, min_lon - margin_deg,
+                     max_lat + margin_deg, max_lon + margin_deg};
+}
+
+double BoundingBox::AreaDeg2() const {
+  if (IsEmpty()) return 0.0;
+  return (max_lat - min_lat) * (max_lon - min_lon);
+}
+
+double BoundingBox::DistanceToMeters(const LatLon& p) const {
+  if (IsEmpty()) return std::numeric_limits<double>::infinity();
+  const double clamped_lat = std::clamp(p.lat_deg, min_lat, max_lat);
+  const double clamped_lon = std::clamp(p.lon_deg, min_lon, max_lon);
+  return EquirectangularMeters(p, {clamped_lat, clamped_lon});
+}
+
+std::string BoundingBox::ToString() const {
+  char buf[120];
+  std::snprintf(buf, sizeof(buf), "[%.5f,%.5f .. %.5f,%.5f]", min_lat,
+                min_lon, max_lat, max_lon);
+  return buf;
+}
+
+}  // namespace datacron

@@ -1,0 +1,77 @@
+#ifndef DATACRON_GEO_BBOX_H_
+#define DATACRON_GEO_BBOX_H_
+
+#include <string>
+
+#include "geo/geo.h"
+
+namespace datacron {
+
+/// Axis-aligned lat/lon rectangle. Longitudes are treated as plain numbers
+/// (no antimeridian wrapping) — the simulated regions in this library are
+/// antimeridian-free; queries that would wrap should be split by the caller.
+struct BoundingBox {
+  double min_lat = 90.0;
+  double min_lon = 180.0;
+  double max_lat = -90.0;
+  double max_lon = -180.0;
+
+  /// An "empty" box contains nothing and unions as identity.
+  static BoundingBox Empty() { return BoundingBox{}; }
+
+  static BoundingBox Of(double min_lat, double min_lon, double max_lat,
+                        double max_lon) {
+    return BoundingBox{min_lat, min_lon, max_lat, max_lon};
+  }
+
+  /// Smallest box containing a single point.
+  static BoundingBox OfPoint(const LatLon& p) {
+    return BoundingBox{p.lat_deg, p.lon_deg, p.lat_deg, p.lon_deg};
+  }
+
+  bool IsEmpty() const { return min_lat > max_lat || min_lon > max_lon; }
+
+  bool Contains(const LatLon& p) const {
+    return p.lat_deg >= min_lat && p.lat_deg <= max_lat &&
+           p.lon_deg >= min_lon && p.lon_deg <= max_lon;
+  }
+
+  bool Contains(const BoundingBox& other) const {
+    return !IsEmpty() && !other.IsEmpty() && other.min_lat >= min_lat &&
+           other.max_lat <= max_lat && other.min_lon >= min_lon &&
+           other.max_lon <= max_lon;
+  }
+
+  bool Intersects(const BoundingBox& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return !(other.min_lat > max_lat || other.max_lat < min_lat ||
+             other.min_lon > max_lon || other.max_lon < min_lon);
+  }
+
+  /// Grows this box to cover `p`.
+  void Extend(const LatLon& p);
+
+  /// Grows this box to cover `other`.
+  void Extend(const BoundingBox& other);
+
+  /// Expands every side by `margin_deg` degrees.
+  BoundingBox Inflated(double margin_deg) const;
+
+  LatLon Center() const {
+    return {(min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0};
+  }
+
+  /// Width*height in square degrees (0 for empty).
+  double AreaDeg2() const;
+
+  /// Minimum planar distance in meters from `p` to this box (0 if inside).
+  double DistanceToMeters(const LatLon& p) const;
+
+  std::string ToString() const;
+
+  bool operator==(const BoundingBox&) const = default;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_GEO_BBOX_H_

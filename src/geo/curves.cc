@@ -1,0 +1,110 @@
+#include "geo/curves.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datacron {
+
+namespace {
+
+std::uint64_t SpreadBits(std::uint32_t v) {
+  std::uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+std::uint32_t CompactBits(std::uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+/// One rotation/reflection step of the Hilbert construction.
+void HilbertRotate(std::uint32_t n, std::uint32_t* x, std::uint32_t* y,
+                   std::uint32_t rx, std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::swap(*x, *y);
+  }
+}
+
+/// Discretizes p into [0, 2^order) per axis over `region` (clamped).
+void DiscretizeToGrid(const BoundingBox& region, int order, const LatLon& p,
+                      std::uint32_t* gx, std::uint32_t* gy) {
+  const std::uint32_t n = 1u << order;
+  const double fx =
+      (p.lon_deg - region.min_lon) / (region.max_lon - region.min_lon);
+  const double fy =
+      (p.lat_deg - region.min_lat) / (region.max_lat - region.min_lat);
+  const double cx = std::clamp(fx, 0.0, 1.0) * n;
+  const double cy = std::clamp(fy, 0.0, 1.0) * n;
+  *gx = std::min(n - 1, static_cast<std::uint32_t>(cx));
+  *gy = std::min(n - 1, static_cast<std::uint32_t>(cy));
+}
+
+}  // namespace
+
+std::uint64_t MortonEncode(std::uint32_t x, std::uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+void MortonDecode(std::uint64_t code, std::uint32_t* x, std::uint32_t* y) {
+  *x = CompactBits(code);
+  *y = CompactBits(code >> 1);
+}
+
+std::uint64_t HilbertEncode(int order, std::uint32_t x, std::uint32_t y) {
+  const std::uint32_t n = 1u << order;
+  std::uint64_t d = 0;
+  for (std::uint32_t s = n / 2; s > 0; s /= 2) {
+    const std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    HilbertRotate(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode(int order, std::uint64_t d, std::uint32_t* x,
+                   std::uint32_t* y) {
+  const std::uint32_t n = 1u << order;
+  std::uint32_t rx = 0, ry = 0;
+  std::uint64_t t = d;
+  *x = 0;
+  *y = 0;
+  for (std::uint32_t s = 1; s < n; s *= 2) {
+    rx = 1 & static_cast<std::uint32_t>(t / 2);
+    ry = 1 & static_cast<std::uint32_t>(t ^ rx);
+    HilbertRotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+std::uint64_t HilbertIndexOf(const BoundingBox& region, int order,
+                             const LatLon& p) {
+  std::uint32_t gx = 0, gy = 0;
+  DiscretizeToGrid(region, order, p, &gx, &gy);
+  return HilbertEncode(order, gx, gy);
+}
+
+std::uint64_t MortonIndexOf(const BoundingBox& region, int order,
+                            const LatLon& p) {
+  std::uint32_t gx = 0, gy = 0;
+  DiscretizeToGrid(region, order, p, &gx, &gy);
+  return MortonEncode(gx, gy);
+}
+
+}  // namespace datacron

@@ -1,0 +1,40 @@
+#ifndef DATACRON_GEO_CURVES_H_
+#define DATACRON_GEO_CURVES_H_
+
+#include <cstdint>
+
+#include "geo/bbox.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+/// Interleaves the low 32 bits of x and y into a 64-bit Morton (Z-order)
+/// code; x occupies the even bit positions.
+std::uint64_t MortonEncode(std::uint32_t x, std::uint32_t y);
+
+/// Inverse of MortonEncode.
+void MortonDecode(std::uint64_t code, std::uint32_t* x, std::uint32_t* y);
+
+/// Hilbert curve index of cell (x, y) on a 2^order x 2^order grid.
+/// Order must be in [1, 31]. Hilbert preserves locality better than
+/// Z-order (no long jumps), which is why the Hilbert RDF partitioner
+/// produces fewer cross-partition neighbor pairs.
+std::uint64_t HilbertEncode(int order, std::uint32_t x, std::uint32_t y);
+
+/// Inverse of HilbertEncode.
+void HilbertDecode(int order, std::uint64_t d, std::uint32_t* x,
+                   std::uint32_t* y);
+
+/// Maps a lat/lon position to discrete curve coordinates over `region`
+/// with 2^order cells per axis, then to a Hilbert index. Positions outside
+/// the region are clamped.
+std::uint64_t HilbertIndexOf(const BoundingBox& region, int order,
+                             const LatLon& p);
+
+/// Z-order equivalent of HilbertIndexOf.
+std::uint64_t MortonIndexOf(const BoundingBox& region, int order,
+                            const LatLon& p);
+
+}  // namespace datacron
+
+#endif  // DATACRON_GEO_CURVES_H_

@@ -1,0 +1,138 @@
+#include "geo/geo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace datacron {
+
+bool IsValidPosition(const LatLon& p) {
+  return p.lat_deg >= -90.0 && p.lat_deg <= 90.0 && p.lon_deg >= -180.0 &&
+         p.lon_deg < 180.0 && std::isfinite(p.lat_deg) &&
+         std::isfinite(p.lon_deg);
+}
+
+double WrapLongitude(double lon_deg) {
+  double lon = std::fmod(lon_deg + 180.0, 360.0);
+  if (lon < 0) lon += 360.0;
+  return lon - 180.0;
+}
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double Distance3dMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double horizontal = HaversineMeters(a.ll(), b.ll());
+  const double dalt = b.alt_m - a.alt_m;
+  return std::sqrt(horizontal * horizontal + dalt * dalt);
+}
+
+double EquirectangularMeters(const LatLon& a, const LatLon& b) {
+  const double mean_lat = (a.lat_deg + b.lat_deg) * 0.5 * kDegToRad;
+  double dlon = b.lon_deg - a.lon_deg;
+  // Take the short way around the antimeridian.
+  if (dlon > 180.0) dlon -= 360.0;
+  if (dlon < -180.0) dlon += 360.0;
+  const double x = dlon * kDegToRad * std::cos(mean_lat);
+  const double y = (b.lat_deg - a.lat_deg) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(x * x + y * y);
+}
+
+double InitialBearingDeg(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = std::atan2(y, x) * kRadToDeg;
+  if (bearing < 0) bearing += 360.0;
+  if (bearing >= 360.0) bearing -= 360.0;
+  return bearing;
+}
+
+LatLon DestinationPoint(const LatLon& origin, double bearing_deg,
+                        double distance_m) {
+  const double delta = distance_m / kEarthRadiusMeters;
+  const double theta = bearing_deg * kDegToRad;
+  const double lat1 = origin.lat_deg * kDegToRad;
+  const double lon1 = origin.lon_deg * kDegToRad;
+  const double sin_lat2 = std::sin(lat1) * std::cos(delta) +
+                          std::cos(lat1) * std::sin(delta) * std::cos(theta);
+  const double lat2 = std::asin(std::clamp(sin_lat2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(lat1);
+  const double x = std::cos(delta) - std::sin(lat1) * sin_lat2;
+  const double lon2 = lon1 + std::atan2(y, x);
+  return {lat2 * kRadToDeg, WrapLongitude(lon2 * kRadToDeg)};
+}
+
+GeoPoint DeadReckon(const GeoPoint& origin, double course_deg,
+                    double speed_mps, double vertical_rate_mps,
+                    double horizon_s) {
+  const LatLon dest =
+      DestinationPoint(origin.ll(), course_deg, speed_mps * horizon_s);
+  return {dest.lat_deg, dest.lon_deg,
+          origin.alt_m + vertical_rate_mps * horizon_s};
+}
+
+EnuVector ToEnu(const GeoPoint& ref, const GeoPoint& p) {
+  const double lat0 = ref.lat_deg * kDegToRad;
+  double dlon = p.lon_deg - ref.lon_deg;
+  if (dlon > 180.0) dlon -= 360.0;
+  if (dlon < -180.0) dlon += 360.0;
+  EnuVector out;
+  out.east_m = dlon * kDegToRad * std::cos(lat0) * kEarthRadiusMeters;
+  out.north_m = (p.lat_deg - ref.lat_deg) * kDegToRad * kEarthRadiusMeters;
+  out.up_m = p.alt_m - ref.alt_m;
+  return out;
+}
+
+GeoPoint FromEnu(const GeoPoint& ref, const EnuVector& enu) {
+  const double lat0 = ref.lat_deg * kDegToRad;
+  GeoPoint out;
+  out.lat_deg = ref.lat_deg + enu.north_m / kEarthRadiusMeters * kRadToDeg;
+  const double cos_lat = std::max(1e-9, std::cos(lat0));
+  out.lon_deg = WrapLongitude(
+      ref.lon_deg + enu.east_m / (kEarthRadiusMeters * cos_lat) * kRadToDeg);
+  out.alt_m = ref.alt_m + enu.up_m;
+  return out;
+}
+
+double CourseDifferenceDeg(double a_deg, double b_deg) {
+  double d = std::fmod(std::fabs(a_deg - b_deg), 360.0);
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+double PointToSegmentMeters(const LatLon& p, const LatLon& a,
+                            const LatLon& b) {
+  // Project into a local plane around `a`.
+  const GeoPoint ref{a.lat_deg, a.lon_deg, 0.0};
+  const EnuVector vp = ToEnu(ref, {p.lat_deg, p.lon_deg, 0.0});
+  const EnuVector vb = ToEnu(ref, {b.lat_deg, b.lon_deg, 0.0});
+  const double seg_len2 = vb.east_m * vb.east_m + vb.north_m * vb.north_m;
+  if (seg_len2 <= 1e-12) {
+    return std::sqrt(vp.east_m * vp.east_m + vp.north_m * vp.north_m);
+  }
+  double t = (vp.east_m * vb.east_m + vp.north_m * vb.north_m) / seg_len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = vp.east_m - t * vb.east_m;
+  const double dy = vp.north_m - t * vb.north_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string ToString(const GeoPoint& p) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%.1f", p.lat_deg, p.lon_deg,
+                p.alt_m);
+  return buf;
+}
+
+}  // namespace datacron

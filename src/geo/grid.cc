@@ -1,0 +1,70 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datacron {
+
+UniformGrid::UniformGrid(const BoundingBox& region, double cell_deg)
+    : region_(region), cell_deg_(cell_deg) {
+  cols_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(
+             std::ceil((region.max_lon - region.min_lon) / cell_deg)));
+  rows_ = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(
+             std::ceil((region.max_lat - region.min_lat) / cell_deg)));
+}
+
+GridCell UniformGrid::CellOf(const LatLon& p) const {
+  std::int32_t ix = static_cast<std::int32_t>(
+      std::floor((p.lon_deg - region_.min_lon) / cell_deg_));
+  std::int32_t iy = static_cast<std::int32_t>(
+      std::floor((p.lat_deg - region_.min_lat) / cell_deg_));
+  ix = std::clamp(ix, 0, cols_ - 1);
+  iy = std::clamp(iy, 0, rows_ - 1);
+  return {ix, iy};
+}
+
+BoundingBox UniformGrid::CellBounds(const GridCell& c) const {
+  return BoundingBox::Of(region_.min_lat + c.iy * cell_deg_,
+                         region_.min_lon + c.ix * cell_deg_,
+                         region_.min_lat + (c.iy + 1) * cell_deg_,
+                         region_.min_lon + (c.ix + 1) * cell_deg_);
+}
+
+LatLon UniformGrid::CellCenter(const GridCell& c) const {
+  return {region_.min_lat + (c.iy + 0.5) * cell_deg_,
+          region_.min_lon + (c.ix + 0.5) * cell_deg_};
+}
+
+std::vector<GridCell> UniformGrid::CellsInBox(const BoundingBox& box) const {
+  std::vector<GridCell> out;
+  if (box.IsEmpty() || !box.Intersects(region_)) return out;
+  const GridCell lo = CellOf({box.min_lat, box.min_lon});
+  const GridCell hi = CellOf({box.max_lat, box.max_lon});
+  out.reserve(static_cast<std::size_t>(hi.ix - lo.ix + 1) *
+              static_cast<std::size_t>(hi.iy - lo.iy + 1));
+  for (std::int32_t iy = lo.iy; iy <= hi.iy; ++iy) {
+    for (std::int32_t ix = lo.ix; ix <= hi.ix; ++ix) {
+      out.push_back({ix, iy});
+    }
+  }
+  return out;
+}
+
+std::vector<GridCell> UniformGrid::Neighbors(const GridCell& c) const {
+  std::vector<GridCell> out;
+  out.reserve(8);
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const std::int32_t ix = c.ix + dx;
+      const std::int32_t iy = c.iy + dy;
+      if (ix < 0 || ix >= cols_ || iy < 0 || iy >= rows_) continue;
+      out.push_back({ix, iy});
+    }
+  }
+  return out;
+}
+
+}  // namespace datacron

@@ -1,0 +1,147 @@
+#ifndef DATACRON_GEO_GRID_H_
+#define DATACRON_GEO_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+/// Integer cell coordinates of a uniform lat/lon grid.
+struct GridCell {
+  std::int32_t ix = 0;  // longitude index
+  std::int32_t iy = 0;  // latitude index
+
+  bool operator==(const GridCell&) const = default;
+
+  /// Packs both indices into one 64-bit key usable in hash maps and as a
+  /// spatial component of RDF node IDs.
+  std::uint64_t Key() const {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(iy)) << 32) |
+           static_cast<std::uint32_t>(ix);
+  }
+
+  static GridCell FromKey(std::uint64_t key) {
+    return GridCell{static_cast<std::int32_t>(key & 0xFFFFFFFFULL),
+                    static_cast<std::int32_t>(key >> 32)};
+  }
+};
+
+/// Uniform lat/lon grid over a region. The workhorse spatial discretization
+/// used by synopses (gap regions), RDF spatial encoding, partitioning,
+/// hotspot detection and link-discovery blocking.
+class UniformGrid {
+ public:
+  /// `cell_deg` is the edge length of a cell in degrees.
+  UniformGrid(const BoundingBox& region, double cell_deg);
+
+  const BoundingBox& region() const { return region_; }
+  double cell_deg() const { return cell_deg_; }
+  std::int32_t cols() const { return cols_; }
+  std::int32_t rows() const { return rows_; }
+  std::int64_t CellCount() const {
+    return static_cast<std::int64_t>(cols_) * rows_;
+  }
+
+  /// Cell containing `p`; positions outside the region clamp to the border
+  /// cells so every position maps somewhere (streams drift at region edges).
+  GridCell CellOf(const LatLon& p) const;
+
+  /// Geographic bounds of a cell.
+  BoundingBox CellBounds(const GridCell& c) const;
+
+  LatLon CellCenter(const GridCell& c) const;
+
+  /// Row-major linear index in [0, CellCount()).
+  std::int64_t LinearIndex(const GridCell& c) const {
+    return static_cast<std::int64_t>(c.iy) * cols_ + c.ix;
+  }
+
+  GridCell FromLinearIndex(std::int64_t idx) const {
+    return GridCell{static_cast<std::int32_t>(idx % cols_),
+                    static_cast<std::int32_t>(idx / cols_)};
+  }
+
+  /// All cells overlapping `box`, clipped to the region.
+  std::vector<GridCell> CellsInBox(const BoundingBox& box) const;
+
+  /// The up-to-8 neighbors of `c` that lie inside the region.
+  std::vector<GridCell> Neighbors(const GridCell& c) const;
+
+ private:
+  BoundingBox region_;
+  double cell_deg_;
+  std::int32_t cols_;
+  std::int32_t rows_;
+};
+
+/// Hash functor for GridCell keys.
+struct GridCellHash {
+  std::size_t operator()(const GridCell& c) const {
+    std::uint64_t k = c.Key();
+    k ^= k >> 33;
+    k *= 0xFF51AFD7ED558CCDULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+};
+
+/// Bucketed spatial index: values of type T appended to their cell's bucket.
+template <typename T>
+class GridIndex {
+ public:
+  GridIndex(const BoundingBox& region, double cell_deg)
+      : grid_(region, cell_deg) {}
+
+  const UniformGrid& grid() const { return grid_; }
+
+  void Insert(const LatLon& p, T value) {
+    buckets_[grid_.CellOf(p)].push_back(std::move(value));
+  }
+
+  /// Values in the bucket of cell `c` (empty if none).
+  const std::vector<T>& CellValues(const GridCell& c) const {
+    static const std::vector<T> kEmpty;
+    auto it = buckets_.find(c);
+    return it == buckets_.end() ? kEmpty : it->second;
+  }
+
+  /// Collects candidate values from all cells intersecting `box`. Callers
+  /// still need an exact predicate — the grid over-approximates.
+  std::vector<T> Candidates(const BoundingBox& box) const {
+    std::vector<T> out;
+    for (const GridCell& c : grid_.CellsInBox(box)) {
+      const auto& bucket = CellValues(c);
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+    return out;
+  }
+
+  /// Candidates from the cell of `p` and its 8 neighbors.
+  std::vector<T> NeighborhoodCandidates(const LatLon& p) const {
+    std::vector<T> out;
+    const GridCell c = grid_.CellOf(p);
+    const auto& own = CellValues(c);
+    out.insert(out.end(), own.begin(), own.end());
+    for (const GridCell& n : grid_.Neighbors(c)) {
+      const auto& bucket = CellValues(n);
+      out.insert(out.end(), bucket.begin(), bucket.end());
+    }
+    return out;
+  }
+
+  std::size_t NonEmptyCellCount() const { return buckets_.size(); }
+
+  void Clear() { buckets_.clear(); }
+
+ private:
+  UniformGrid grid_;
+  std::unordered_map<GridCell, std::vector<T>, GridCellHash> buckets_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_GEO_GRID_H_

@@ -1,0 +1,71 @@
+#include "geo/polygon.h"
+
+#include <cmath>
+
+namespace datacron {
+
+Polygon::Polygon(std::vector<LatLon> vertices)
+    : vertices_(std::move(vertices)) {
+  for (const LatLon& v : vertices_) bbox_.Extend(v);
+}
+
+bool Polygon::Contains(const LatLon& p) const {
+  if (empty() || !bbox_.Contains(p)) return false;
+  // Ray casting: count crossings of a horizontal ray going east from p.
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const LatLon& vi = vertices_[i];
+    const LatLon& vj = vertices_[j];
+    const bool crosses = (vi.lat_deg > p.lat_deg) != (vj.lat_deg > p.lat_deg);
+    if (!crosses) continue;
+    const double x_at_lat =
+        vj.lon_deg + (p.lat_deg - vj.lat_deg) /
+                         (vi.lat_deg - vj.lat_deg) *
+                         (vi.lon_deg - vj.lon_deg);
+    if (p.lon_deg < x_at_lat) inside = !inside;
+  }
+  return inside;
+}
+
+double Polygon::AreaDeg2() const {
+  if (empty()) return 0.0;
+  double acc = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    acc += vertices_[j].lon_deg * vertices_[i].lat_deg -
+           vertices_[i].lon_deg * vertices_[j].lat_deg;
+  }
+  return std::fabs(acc) / 2.0;
+}
+
+LatLon Polygon::Centroid() const {
+  if (vertices_.empty()) return {0.0, 0.0};
+  double lat = 0.0, lon = 0.0;
+  for (const LatLon& v : vertices_) {
+    lat += v.lat_deg;
+    lon += v.lon_deg;
+  }
+  const double n = static_cast<double>(vertices_.size());
+  return {lat / n, lon / n};
+}
+
+Polygon Polygon::Rectangle(const BoundingBox& box) {
+  return Polygon({{box.min_lat, box.min_lon},
+                  {box.min_lat, box.max_lon},
+                  {box.max_lat, box.max_lon},
+                  {box.max_lat, box.min_lon}});
+}
+
+Polygon Polygon::Circle(const LatLon& center, double radius_m,
+                        int segments) {
+  std::vector<LatLon> verts;
+  verts.reserve(static_cast<std::size_t>(segments));
+  for (int i = 0; i < segments; ++i) {
+    const double bearing = 360.0 * i / segments;
+    verts.push_back(DestinationPoint(center, bearing, radius_m));
+  }
+  return Polygon(std::move(verts));
+}
+
+}  // namespace datacron

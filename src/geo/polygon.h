@@ -1,0 +1,53 @@
+#ifndef DATACRON_GEO_POLYGON_H_
+#define DATACRON_GEO_POLYGON_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+/// Simple (non-self-intersecting) polygon over lat/lon vertices, used for
+/// areas of interest: ports, anchorages, protected zones, ATM sectors.
+/// Vertices are an open ring (first vertex not repeated).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<LatLon> vertices);
+
+  const std::vector<LatLon>& vertices() const { return vertices_; }
+  const BoundingBox& bbox() const { return bbox_; }
+  bool empty() const { return vertices_.size() < 3; }
+
+  /// Even-odd-rule containment; boundary points may fall either way.
+  /// The bbox pre-check makes the common miss case O(1).
+  bool Contains(const LatLon& p) const;
+
+  /// Shoelace area in square degrees (absolute value).
+  double AreaDeg2() const;
+
+  LatLon Centroid() const;
+
+  /// Convenience factory: axis-aligned rectangle.
+  static Polygon Rectangle(const BoundingBox& box);
+
+  /// Convenience factory: regular n-gon approximating a circle of
+  /// `radius_m` meters centered at `center`.
+  static Polygon Circle(const LatLon& center, double radius_m, int segments);
+
+ private:
+  std::vector<LatLon> vertices_;
+  BoundingBox bbox_;
+};
+
+/// A named geographic area of interest.
+struct NamedArea {
+  std::string name;
+  Polygon polygon;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_GEO_POLYGON_H_

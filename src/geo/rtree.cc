@@ -1,0 +1,171 @@
+#include "geo/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace datacron {
+
+void RTree::Build(std::vector<Entry> entries, int leaf_capacity) {
+  nodes_.clear();
+  leaf_refs_.clear();
+  child_refs_.clear();
+  leaf_refs_size_ = 0;
+  root_ = -1;
+  entries_ = std::move(entries);
+  entry_count_ = entries_.size();
+  root_bounds_ = BoundingBox::Empty();
+  if (entries_.empty()) return;
+
+  // STR: sort entries by center longitude, slice into vertical strips of
+  // ~sqrt(n/capacity) columns, sort each strip by center latitude, and cut
+  // into leaves of `capacity` entries.
+  std::vector<std::int32_t> entry_ids(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entry_ids[i] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::int32_t> level =
+      PackLevel(entry_ids, /*items_are_entries=*/true, leaf_capacity);
+  while (level.size() > 1) {
+    level = PackLevel(level, /*items_are_entries=*/false, leaf_capacity);
+  }
+  root_ = level.front();
+  root_bounds_ = nodes_[root_].box;
+}
+
+std::vector<std::int32_t> RTree::PackLevel(
+    const std::vector<std::int32_t>& items, bool items_are_entries,
+    int capacity) {
+  auto center_lon = [&](std::int32_t id) {
+    const BoundingBox& b =
+        items_are_entries ? entries_[id].box : nodes_[id].box;
+    return (b.min_lon + b.max_lon) / 2.0;
+  };
+  auto center_lat = [&](std::int32_t id) {
+    const BoundingBox& b =
+        items_are_entries ? entries_[id].box : nodes_[id].box;
+    return (b.min_lat + b.max_lat) / 2.0;
+  };
+
+  std::vector<std::int32_t> sorted = items;
+  std::sort(sorted.begin(), sorted.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return center_lon(a) < center_lon(b);
+            });
+
+  const std::size_t n = sorted.size();
+  const std::size_t num_nodes =
+      (n + static_cast<std::size_t>(capacity) - 1) / capacity;
+  const std::size_t num_strips = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_nodes))));
+  const std::size_t strip_size =
+      (n + num_strips - 1) / num_strips;
+
+  std::vector<std::int32_t> parents;
+  parents.reserve(num_nodes);
+  for (std::size_t s = 0; s < n; s += strip_size) {
+    const std::size_t strip_end = std::min(n, s + strip_size);
+    std::sort(sorted.begin() + s, sorted.begin() + strip_end,
+              [&](std::int32_t a, std::int32_t b) {
+                return center_lat(a) < center_lat(b);
+              });
+    for (std::size_t i = s; i < strip_end;
+         i += static_cast<std::size_t>(capacity)) {
+      const std::size_t end =
+          std::min(strip_end, i + static_cast<std::size_t>(capacity));
+      Node node;
+      node.leaf = items_are_entries;
+      node.count = static_cast<std::int32_t>(end - i);
+      node.box = BoundingBox::Empty();
+      if (items_are_entries) {
+        // Leaf children must be contiguous in entries_: we re-pack the
+        // referenced entries into a scratch vector once per level instead.
+        // To avoid a full copy we store the child ids in child_ids_ region:
+        // simplest correct approach — leaves index into a remap table.
+        node.first = static_cast<std::int32_t>(leaf_refs_size_);
+        for (std::size_t j = i; j < end; ++j) {
+          leaf_refs_.push_back(sorted[j]);
+          node.box.Extend(entries_[sorted[j]].box);
+        }
+        leaf_refs_size_ = leaf_refs_.size();
+      } else {
+        node.first = static_cast<std::int32_t>(child_refs_.size());
+        for (std::size_t j = i; j < end; ++j) {
+          child_refs_.push_back(sorted[j]);
+          node.box.Extend(nodes_[sorted[j]].box);
+        }
+      }
+      nodes_.push_back(node);
+      parents.push_back(static_cast<std::int32_t>(nodes_.size() - 1));
+    }
+  }
+  return parents;
+}
+
+std::vector<std::uint64_t> RTree::Search(const BoundingBox& query) const {
+  std::vector<std::uint64_t> out;
+  if (root_ < 0 || !query.Intersects(root_bounds_)) return out;
+  std::vector<std::int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.leaf) {
+      for (std::int32_t i = 0; i < node.count; ++i) {
+        const Entry& e = entries_[leaf_refs_[node.first + i]];
+        if (query.Intersects(e.box)) out.push_back(e.value);
+      }
+    } else {
+      for (std::int32_t i = 0; i < node.count; ++i) {
+        const std::int32_t child = child_refs_[node.first + i];
+        if (query.Intersects(nodes_[child].box)) stack.push_back(child);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> RTree::SearchPoint(const LatLon& p) const {
+  return Search(BoundingBox::OfPoint(p));
+}
+
+std::vector<std::uint64_t> RTree::Nearest(const LatLon& p,
+                                          std::size_t k) const {
+  std::vector<std::uint64_t> out;
+  if (root_ < 0 || k == 0) return out;
+
+  struct QueueItem {
+    double dist;
+    std::int32_t id;    // node id, or leaf-ref slot if is_entry
+    bool is_entry;
+    bool operator>(const QueueItem& other) const {
+      return dist > other.dist;
+    }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>,
+                      std::greater<QueueItem>>
+      pq;
+  pq.push({nodes_[root_].box.DistanceToMeters(p), root_, false});
+  while (!pq.empty() && out.size() < k) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.is_entry) {
+      out.push_back(entries_[item.id].value);
+      continue;
+    }
+    const Node& node = nodes_[item.id];
+    if (node.leaf) {
+      for (std::int32_t i = 0; i < node.count; ++i) {
+        const std::int32_t eid = leaf_refs_[node.first + i];
+        pq.push({entries_[eid].box.DistanceToMeters(p), eid, true});
+      }
+    } else {
+      for (std::int32_t i = 0; i < node.count; ++i) {
+        const std::int32_t child = child_refs_[node.first + i];
+        pq.push({nodes_[child].box.DistanceToMeters(p), child, false});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace datacron

@@ -1,0 +1,76 @@
+#ifndef DATACRON_GEO_RTREE_H_
+#define DATACRON_GEO_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+/// Static R-tree over rectangles, bulk-loaded with Sort-Tile-Recursive
+/// (STR) packing. Values are opaque 64-bit handles (entity ids, triple
+/// offsets, trajectory segment indices). Immutable after Build() — the
+/// library rebuilds per batch/window, which matches the streaming model
+/// (fresh index per window) and keeps the structure cache-friendly.
+class RTree {
+ public:
+  struct Entry {
+    BoundingBox box;
+    std::uint64_t value = 0;
+  };
+
+  RTree() = default;
+
+  /// Builds the tree from `entries` (consumed). `leaf_capacity` tunes the
+  /// fan-out; 16 is a good default for 2D rectangles.
+  void Build(std::vector<Entry> entries, int leaf_capacity = 16);
+
+  std::size_t size() const { return entry_count_; }
+  bool empty() const { return entry_count_ == 0; }
+  const BoundingBox& bounds() const { return root_bounds_; }
+
+  /// All values whose rectangle intersects `query`.
+  std::vector<std::uint64_t> Search(const BoundingBox& query) const;
+
+  /// All values whose rectangle contains `p`.
+  std::vector<std::uint64_t> SearchPoint(const LatLon& p) const;
+
+  /// The `k` values whose rectangles are nearest to `p` (min planar
+  /// distance from point to rectangle), nearest first.
+  std::vector<std::uint64_t> Nearest(const LatLon& p, std::size_t k) const;
+
+  /// Number of internal+leaf nodes (diagnostics).
+  std::size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    BoundingBox box;
+    std::int32_t first = 0;   // child node index or entry index
+    std::int32_t count = 0;   // number of children/entries
+    bool leaf = true;
+  };
+
+  /// Packs `level_boxes` (entries or nodes of the previous level) into
+  /// parent nodes with STR; returns indices of the created parents.
+  std::vector<std::int32_t> PackLevel(const std::vector<std::int32_t>& items,
+                                      bool items_are_entries,
+                                      int capacity);
+
+  std::vector<Node> nodes_;
+  std::vector<Entry> entries_;
+  // Leaf nodes reference entries through this remap table so STR ordering
+  // never moves the entry payloads; internal nodes reference children the
+  // same way.
+  std::vector<std::int32_t> leaf_refs_;
+  std::vector<std::int32_t> child_refs_;
+  std::size_t leaf_refs_size_ = 0;
+  std::int32_t root_ = -1;
+  std::size_t entry_count_ = 0;
+  BoundingBox root_bounds_ = BoundingBox::Empty();
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_GEO_RTREE_H_

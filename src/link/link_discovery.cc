@@ -1,0 +1,235 @@
+#include "link/link_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace datacron {
+
+namespace {
+
+/// Frame index of a timestamp for a given frame width.
+std::int64_t FrameOf(TimestampMs t, DurationMs frame_ms) {
+  std::int64_t f = t / frame_ms;
+  if (t < 0 && f * frame_ms > t) --f;
+  return f;
+}
+
+using PairKey = std::uint64_t;
+
+PairKey KeyOf(EntityId a, EntityId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Collapses verified pair hits into one link per (pair, frame), keeping
+/// the closest approach.
+class LinkCollector {
+ public:
+  explicit LinkCollector(DurationMs frame_ms) : frame_ms_(frame_ms) {}
+
+  void Offer(const PositionReport& x, const PositionReport& y,
+             double dist_m) {
+    EntityId a = x.entity_id, b = y.entity_id;
+    TimestampMs t = std::min(x.timestamp, y.timestamp);
+    if (a > b) std::swap(a, b);
+    auto key = std::make_pair(KeyOf(a, b), FrameOf(t, frame_ms_));
+    auto it = links_.find(key);
+    if (it == links_.end() || dist_m < it->second.distance_m) {
+      links_[key] = EntityLink{a, b, t, dist_m};
+    }
+  }
+
+  std::vector<EntityLink> Take() {
+    std::vector<EntityLink> out;
+    out.reserve(links_.size());
+    for (auto& [key, link] : links_) out.push_back(link);
+    std::sort(out.begin(), out.end(),
+              [](const EntityLink& a, const EntityLink& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.a != b.a) return a.a < b.a;
+                return a.b < b.b;
+              });
+    return out;
+  }
+
+ private:
+  DurationMs frame_ms_;
+  std::map<std::pair<PairKey, std::int64_t>, EntityLink> links_;
+};
+
+}  // namespace
+
+std::vector<EntityLink> LinkDiscovery::DiscoverProximityImpl(
+    const std::vector<PositionReport>& reports, bool blocked) const {
+  // Slice reports into frames of the time tolerance. A pair within
+  // tolerance falls into the same or adjacent frames; comparing each frame
+  // with itself and its successor covers all pairs.
+  std::map<std::int64_t, std::vector<const PositionReport*>> frames;
+  for (const PositionReport& r : reports) {
+    frames[FrameOf(r.timestamp, config_.time_tolerance)].push_back(&r);
+  }
+
+  LinkCollector collector(config_.time_tolerance);
+  auto verify = [&](const PositionReport* x, const PositionReport* y) {
+    if (x->entity_id == y->entity_id) return;
+    if (std::llabs(x->timestamp - y->timestamp) > config_.time_tolerance)
+      return;
+    const double d =
+        EquirectangularMeters(x->position.ll(), y->position.ll());
+    if (d <= config_.proximity_threshold_m) collector.Offer(*x, *y, d);
+  };
+
+  // Blocking grid: cell edge >= threshold so candidates are within the
+  // 3x3 neighborhood of a cell.
+  const double cell_deg = std::max(
+      0.001, config_.proximity_threshold_m /
+                 (kEarthRadiusMeters * kDegToRad *
+                  std::cos(config_.region.Center().lat_deg * kDegToRad)));
+
+  for (auto it = frames.begin(); it != frames.end(); ++it) {
+    // Current frame plus the next one (for cross-boundary pairs).
+    std::vector<const PositionReport*> pool = it->second;
+    auto next = std::next(it);
+    const std::size_t own_count = pool.size();
+    if (next != frames.end() && next->first == it->first + 1) {
+      pool.insert(pool.end(), next->second.begin(), next->second.end());
+    }
+    if (pool.size() < 2) continue;
+
+    if (!blocked) {
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        // Avoid re-reporting next-frame-internal pairs: only pairs with at
+        // least one endpoint in the current frame.
+        for (std::size_t j = i + 1; j < pool.size(); ++j) {
+          if (i >= own_count && j >= own_count) continue;
+          verify(pool[i], pool[j]);
+        }
+      }
+      continue;
+    }
+
+    GridIndex<std::size_t> index(config_.region, cell_deg);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      index.Insert(pool[i]->position.ll(), i);
+    }
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      for (std::size_t j :
+           index.NeighborhoodCandidates(pool[i]->position.ll())) {
+        if (j <= i) continue;
+        if (i >= own_count && j >= own_count) continue;
+        verify(pool[i], pool[j]);
+      }
+    }
+  }
+  return collector.Take();
+}
+
+std::vector<EntityLink> LinkDiscovery::DiscoverProximity(
+    const std::vector<PositionReport>& reports) const {
+  return DiscoverProximityImpl(reports, /*blocked=*/true);
+}
+
+std::vector<EntityLink> LinkDiscovery::DiscoverProximityBruteForce(
+    const std::vector<PositionReport>& reports) const {
+  return DiscoverProximityImpl(reports, /*blocked=*/false);
+}
+
+std::vector<AreaLink> LinkDiscovery::DiscoverAreaLinks(
+    const std::vector<PositionReport>& reports,
+    const std::vector<NamedArea>& areas) const {
+  std::vector<AreaLink> out;
+  // Track the inside/outside state per (entity, area) to emit entries only.
+  std::map<std::pair<EntityId, std::size_t>, bool> inside;
+  for (const PositionReport& r : reports) {
+    for (std::size_t ai = 0; ai < areas.size(); ++ai) {
+      const bool now = areas[ai].polygon.Contains(r.position.ll());
+      bool& was = inside[{r.entity_id, ai}];
+      if (now && !was) {
+        out.push_back(AreaLink{r.entity_id, areas[ai].name, r.timestamp});
+      }
+      was = now;
+    }
+  }
+  return out;
+}
+
+std::vector<WeatherLink> LinkDiscovery::DiscoverWeatherLinks(
+    const std::vector<PositionReport>& reports,
+    const WeatherSource& weather) const {
+  std::vector<WeatherLink> out;
+  out.reserve(reports.size());
+  for (const PositionReport& r : reports) {
+    const WeatherSample s = weather.At(r.position.ll(), r.timestamp);
+    out.push_back(WeatherLink{r.entity_id, r.timestamp, s.cell,
+                              s.bucket_start});
+  }
+  return out;
+}
+
+std::vector<EntityLink> TrueEncounters(const std::vector<TruthTrace>& traces,
+                                       double threshold_m,
+                                       DurationMs frame_ms) {
+  LinkCollector collector(frame_ms);
+  if (traces.empty()) return collector.Take();
+  // Sample all traces on a common clock at frame resolution and verify
+  // pairs exhaustively — this is ground truth, cost is acceptable offline.
+  TimestampMs t0 = traces.front().start_time;
+  TimestampMs t1 = traces.front().EndTime();
+  for (const TruthTrace& tr : traces) {
+    t0 = std::min(t0, tr.start_time);
+    t1 = std::max(t1, tr.EndTime());
+  }
+  for (TimestampMs t = t0; t <= t1; t += frame_ms) {
+    std::vector<PositionReport> states;
+    states.reserve(traces.size());
+    for (const TruthTrace& tr : traces) {
+      if (t < tr.start_time || t > tr.EndTime()) continue;
+      PositionReport r;
+      if (tr.StateAt(t, &r)) states.push_back(r);
+    }
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      for (std::size_t j = i + 1; j < states.size(); ++j) {
+        const double d = EquirectangularMeters(states[i].position.ll(),
+                                               states[j].position.ll());
+        if (d <= threshold_m) collector.Offer(states[i], states[j], d);
+      }
+    }
+  }
+  return collector.Take();
+}
+
+LinkQuality EvaluateLinks(const std::vector<EntityLink>& discovered,
+                          const std::vector<EntityLink>& truth,
+                          DurationMs frame_ms) {
+  auto reduce = [frame_ms](const std::vector<EntityLink>& links) {
+    std::map<std::pair<PairKey, std::int64_t>, bool> set;
+    for (const EntityLink& l : links) {
+      set[{KeyOf(l.a, l.b), FrameOf(l.t, frame_ms)}] = true;
+    }
+    return set;
+  };
+  const auto d = reduce(discovered);
+  const auto g = reduce(truth);
+  LinkQuality q;
+  for (const auto& [key, unused] : d) {
+    // A discovered link is correct if truth holds in the same or an
+    // adjacent frame (frame boundaries are arbitrary).
+    if (g.count(key) || g.count({key.first, key.second - 1}) ||
+        g.count({key.first, key.second + 1})) {
+      ++q.true_positive;
+    } else {
+      ++q.false_positive;
+    }
+  }
+  for (const auto& [key, unused] : g) {
+    if (!d.count(key) && !d.count({key.first, key.second - 1}) &&
+        !d.count({key.first, key.second + 1})) {
+      ++q.false_negative;
+    }
+  }
+  return q;
+}
+
+}  // namespace datacron

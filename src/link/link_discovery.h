@@ -1,0 +1,129 @@
+#ifndef DATACRON_LINK_LINK_DISCOVERY_H_
+#define DATACRON_LINK_LINK_DISCOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/grid.h"
+#include "geo/polygon.h"
+#include "sources/model.h"
+#include "sources/weather.h"
+
+namespace datacron {
+
+/// A discovered proximity association between two moving entities: they
+/// were within the threshold distance of each other around time `t`.
+/// Symmetric; stored with a < b.
+struct EntityLink {
+  EntityId a = 0;
+  EntityId b = 0;
+  TimestampMs t = 0;
+  double distance_m = 0.0;
+};
+
+/// Entity was inside a named area at time `t`.
+struct AreaLink {
+  EntityId entity = 0;
+  std::string area;
+  TimestampMs t = 0;
+};
+
+/// Entity's report at `t` experienced the weather of (cell, bucket).
+struct WeatherLink {
+  EntityId entity = 0;
+  TimestampMs t = 0;
+  GridCell cell;
+  std::int64_t bucket_start = 0;
+};
+
+/// The data integration / interlinking component (paper Section 2):
+/// computes associations between heterogeneous sources — moving-entity
+/// streams, area geometries, archival weather — with grid blocking so
+/// proximity linking is near-linear instead of O(n^2).
+class LinkDiscovery {
+ public:
+  struct Config {
+    /// Two entities closer than this are linked.
+    double proximity_threshold_m = 2000.0;
+    /// Reports are comparable when their timestamps differ by at most
+    /// this much (streams are asynchronous across entities).
+    DurationMs time_tolerance = 30 * kSecond;
+    /// Region for the blocking grid.
+    BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+  };
+
+  explicit LinkDiscovery(const Config& config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  /// Proximity links with spatial grid blocking: reports are sliced into
+  /// time frames of `time_tolerance`, each frame is bucketed on a grid
+  /// whose cell edge covers the threshold, and only same/neighbor-cell
+  /// pairs are verified. One link per (pair, frame), at minimum distance.
+  std::vector<EntityLink> DiscoverProximity(
+      const std::vector<PositionReport>& reports) const;
+
+  /// Brute-force baseline (all pairs per time frame) — identical output,
+  /// quadratic cost; E6 compares the two.
+  std::vector<EntityLink> DiscoverProximityBruteForce(
+      const std::vector<PositionReport>& reports) const;
+
+  /// Entity-in-area links (point-in-polygon with bbox prefilter). One
+  /// link per (entity, area) entry — consecutive inside reports collapse.
+  std::vector<AreaLink> DiscoverAreaLinks(
+      const std::vector<PositionReport>& reports,
+      const std::vector<NamedArea>& areas) const;
+
+  /// Report-to-weather links through the weather source's cell/bucket
+  /// discretization.
+  std::vector<WeatherLink> DiscoverWeatherLinks(
+      const std::vector<PositionReport>& reports,
+      const WeatherSource& weather) const;
+
+ private:
+  /// Shared frame-slicing + pair-verification skeleton; `blocked` selects
+  /// candidate generation.
+  std::vector<EntityLink> DiscoverProximityImpl(
+      const std::vector<PositionReport>& reports, bool blocked) const;
+
+  Config config_;
+};
+
+/// Precision/recall of discovered links versus ground truth. Links match
+/// when they name the same unordered pair and their times fall in the
+/// same tolerance frame.
+struct LinkQuality {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  double Precision() const {
+    const std::size_t d = true_positive + false_positive;
+    return d == 0 ? 0.0 : static_cast<double>(true_positive) / d;
+  }
+  double Recall() const {
+    const std::size_t d = true_positive + false_negative;
+    return d == 0 ? 0.0 : static_cast<double>(true_positive) / d;
+  }
+  double F1() const {
+    const double p = Precision(), r = Recall();
+    return p + r == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+};
+
+/// Exact ground-truth encounters from dense traces: all (pair, frame)
+/// occurrences where true positions came within `threshold_m`.
+std::vector<EntityLink> TrueEncounters(const std::vector<TruthTrace>& traces,
+                                       double threshold_m,
+                                       DurationMs frame_ms);
+
+/// Scores `discovered` against `truth` (both reduced to (pair, frame)).
+LinkQuality EvaluateLinks(const std::vector<EntityLink>& discovered,
+                          const std::vector<EntityLink>& truth,
+                          DurationMs frame_ms);
+
+}  // namespace datacron
+
+#endif  // DATACRON_LINK_LINK_DISCOVERY_H_

@@ -1,0 +1,85 @@
+#include "link/rdf_links.h"
+
+namespace datacron {
+
+namespace {
+
+/// Node IRI of (entity, t) if that report was transformed; 0 otherwise.
+TermId FindNode(Rdfizer* rdfizer, EntityId entity, TimestampMs t) {
+  PositionReport probe;
+  probe.entity_id = entity;
+  probe.timestamp = t;
+  return rdfizer->NodeIdOf(probe);
+}
+
+}  // namespace
+
+LinkMaterializeStats MaterializeProximityLinks(
+    const std::vector<EntityLink>& links, Rdfizer* rdfizer,
+    const Vocab& vocab, std::vector<Triple>* out) {
+  LinkMaterializeStats stats;
+  TermDictionary* dict = vocab.dict;
+  for (const EntityLink& l : links) {
+    const TermId node_a = FindNode(rdfizer, l.a, l.t);
+    const TermId node_b = FindNode(rdfizer, l.b, l.t);
+    const TermId ent_a = dict->Intern(EntityIri(l.a));
+    const TermId ent_b = dict->Intern(EntityIri(l.b));
+    bool any = false;
+    if (node_a != kInvalidTermId) {
+      out->push_back({node_a, vocab.p_near_entity, ent_b});
+      any = true;
+    }
+    if (node_b != kInvalidTermId) {
+      out->push_back({node_b, vocab.p_near_entity, ent_a});
+      any = true;
+    }
+    if (any) {
+      ++stats.emitted;
+    } else {
+      ++stats.skipped_unknown_node;
+    }
+  }
+  return stats;
+}
+
+LinkMaterializeStats MaterializeAreaLinks(const std::vector<AreaLink>& links,
+                                          Rdfizer* rdfizer,
+                                          const Vocab& vocab,
+                                          std::vector<Triple>* out) {
+  LinkMaterializeStats stats;
+  TermDictionary* dict = vocab.dict;
+  for (const AreaLink& l : links) {
+    const TermId node = FindNode(rdfizer, l.entity, l.t);
+    if (node == kInvalidTermId) {
+      ++stats.skipped_unknown_node;
+      continue;
+    }
+    const TermId area = dict->Intern(AreaIri(l.area));
+    out->push_back({area, vocab.p_type, vocab.c_area});
+    out->push_back({node, vocab.p_within_area, area});
+    ++stats.emitted;
+  }
+  return stats;
+}
+
+LinkMaterializeStats MaterializeWeatherLinks(
+    const std::vector<WeatherLink>& links, Rdfizer* rdfizer,
+    const Vocab& vocab, std::vector<Triple>* out) {
+  LinkMaterializeStats stats;
+  TermDictionary* dict = vocab.dict;
+  for (const WeatherLink& l : links) {
+    const TermId node = FindNode(rdfizer, l.entity, l.t);
+    if (node == kInvalidTermId) {
+      ++stats.skipped_unknown_node;
+      continue;
+    }
+    const std::int64_t bucket = rdfizer->BucketOf(l.bucket_start);
+    const TermId wx =
+        dict->Intern(WeatherIri(l.cell.ix, l.cell.iy, bucket));
+    out->push_back({node, vocab.p_weather_at, wx});
+    ++stats.emitted;
+  }
+  return stats;
+}
+
+}  // namespace datacron

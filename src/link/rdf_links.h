@@ -1,0 +1,41 @@
+#ifndef DATACRON_LINK_RDF_LINKS_H_
+#define DATACRON_LINK_RDF_LINKS_H_
+
+#include <vector>
+
+#include "link/link_discovery.h"
+#include "rdf/rdfizer.h"
+#include "rdf/triple_store.h"
+
+namespace datacron {
+
+/// Materializes discovered links as RDF triples against the common
+/// representation, closing the loop of the integration/interlinking
+/// component: links become queryable alongside the data they connect.
+///
+/// Proximity:  node(a,t) dc:nearEntity ent(b)   (and symmetric)
+/// Area:       node(e,t) dc:withinArea area:<name>
+/// Weather:    node(e,t) dc:experiencedWeather wx:<cell>/<bucket>
+/// Node IRIs resolve only if the corresponding report was transformed by
+/// the same Rdfizer; links whose node is unknown are skipped and counted.
+struct LinkMaterializeStats {
+  std::size_t emitted = 0;
+  std::size_t skipped_unknown_node = 0;
+};
+
+LinkMaterializeStats MaterializeProximityLinks(
+    const std::vector<EntityLink>& links, Rdfizer* rdfizer,
+    const Vocab& vocab, std::vector<Triple>* out);
+
+LinkMaterializeStats MaterializeAreaLinks(const std::vector<AreaLink>& links,
+                                          Rdfizer* rdfizer,
+                                          const Vocab& vocab,
+                                          std::vector<Triple>* out);
+
+LinkMaterializeStats MaterializeWeatherLinks(
+    const std::vector<WeatherLink>& links, Rdfizer* rdfizer,
+    const Vocab& vocab, std::vector<Triple>* out);
+
+}  // namespace datacron
+
+#endif  // DATACRON_LINK_RDF_LINKS_H_

@@ -1,0 +1,153 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+
+namespace datacron {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Equal-count range boundaries over a sorted key multiset: returns k-1
+/// split keys (first key of each partition after the first).
+template <typename K>
+std::vector<K> BalancedBoundaries(std::vector<K> keys, int k) {
+  std::vector<K> boundaries;
+  if (keys.empty() || k <= 1) return boundaries;
+  std::sort(keys.begin(), keys.end());
+  boundaries.reserve(static_cast<std::size_t>(k) - 1);
+  for (int i = 1; i < k; ++i) {
+    const std::size_t idx = keys.size() * static_cast<std::size_t>(i) /
+                            static_cast<std::size_t>(k);
+    boundaries.push_back(keys[std::min(idx, keys.size() - 1)]);
+  }
+  return boundaries;
+}
+
+/// Index of the range a key falls into given sorted split keys.
+template <typename K>
+int RangeOf(const std::vector<K>& boundaries, K key) {
+  return static_cast<int>(
+      std::upper_bound(boundaries.begin(), boundaries.end(), key) -
+      boundaries.begin());
+}
+
+}  // namespace
+
+int PartitionScheme::HashPlace(TermId id) const {
+  return static_cast<int>(Mix64(id) %
+                          static_cast<std::uint64_t>(num_partitions_));
+}
+
+int PartitionScheme::PartitionOfNode(TermId node) const {
+  if (tags_ != nullptr) {
+    auto it = tags_->find(node);
+    if (it != tags_->end()) {
+      const int p = PlaceTagged(it->second);
+      if (p >= 0) return p % num_partitions_;
+    }
+  }
+  return HashPlace(node);
+}
+
+GridPartitioner::GridPartitioner(
+    int num_partitions, const std::unordered_map<TermId, StTag>* tags,
+    const UniformGrid& grid)
+    : PartitionScheme("grid", num_partitions, tags),
+      cols_(grid.cols()),
+      total_cells_(grid.CellCount()) {}
+
+int GridPartitioner::PlaceTagged(const StTag& tag) const {
+  const std::int64_t linear =
+      static_cast<std::int64_t>(tag.cell.iy) * cols_ + tag.cell.ix;
+  const std::int64_t clamped =
+      std::clamp<std::int64_t>(linear, 0, total_cells_ - 1);
+  return static_cast<int>(clamped * num_partitions() / total_cells_);
+}
+
+HilbertPartitioner::HilbertPartitioner(
+    int num_partitions, const std::unordered_map<TermId, StTag>* tags,
+    const UniformGrid& grid, int order,
+    std::vector<std::uint64_t> boundaries)
+    : PartitionScheme("hilbert", num_partitions, tags),
+      grid_(grid),
+      order_(order),
+      boundaries_(std::move(boundaries)) {}
+
+std::uint64_t HilbertPartitioner::HilbertOfCell(const GridCell& cell) const {
+  // Map the data grid's cell center onto the 2^order Hilbert grid.
+  return HilbertIndexOf(grid_.region(), order_, grid_.CellCenter(cell));
+}
+
+std::unique_ptr<HilbertPartitioner> HilbertPartitioner::Build(
+    int num_partitions, const std::unordered_map<TermId, StTag>* tags,
+    const UniformGrid& grid, int order) {
+  std::unique_ptr<HilbertPartitioner> scheme(new HilbertPartitioner(
+      num_partitions, tags, grid, order, {}));
+  std::vector<std::uint64_t> keys;
+  keys.reserve(tags->size());
+  for (const auto& [node, tag] : *tags) {
+    keys.push_back(scheme->HilbertOfCell(tag.cell));
+  }
+  scheme->boundaries_ = BalancedBoundaries(std::move(keys), num_partitions);
+  return scheme;
+}
+
+int HilbertPartitioner::PlaceTagged(const StTag& tag) const {
+  return RangeOf(boundaries_, HilbertOfCell(tag.cell));
+}
+
+TemporalPartitioner::TemporalPartitioner(
+    int num_partitions, const std::unordered_map<TermId, StTag>* tags,
+    std::vector<std::int64_t> boundaries)
+    : PartitionScheme("temporal", num_partitions, tags),
+      boundaries_(std::move(boundaries)) {}
+
+std::unique_ptr<TemporalPartitioner> TemporalPartitioner::Build(
+    int num_partitions, const std::unordered_map<TermId, StTag>* tags) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(tags->size());
+  for (const auto& [node, tag] : *tags) keys.push_back(tag.bucket);
+  return std::unique_ptr<TemporalPartitioner>(new TemporalPartitioner(
+      num_partitions, tags,
+      BalancedBoundaries(std::move(keys), num_partitions)));
+}
+
+int TemporalPartitioner::PlaceTagged(const StTag& tag) const {
+  return RangeOf(boundaries_, tag.bucket);
+}
+
+SpatioTemporalPartitioner::SpatioTemporalPartitioner(
+    int k_time, int k_space, const std::unordered_map<TermId, StTag>* tags,
+    std::unique_ptr<TemporalPartitioner> temporal,
+    std::unique_ptr<HilbertPartitioner> spatial)
+    : PartitionScheme("spatiotemporal", k_time * k_space, tags),
+      k_space_(k_space),
+      temporal_(std::move(temporal)),
+      spatial_(std::move(spatial)) {}
+
+std::unique_ptr<SpatioTemporalPartitioner> SpatioTemporalPartitioner::Build(
+    int k_time, int k_space, const std::unordered_map<TermId, StTag>* tags,
+    const UniformGrid& grid, int order) {
+  auto temporal = TemporalPartitioner::Build(k_time, tags);
+  auto spatial = HilbertPartitioner::Build(k_space, tags, grid, order);
+  return std::unique_ptr<SpatioTemporalPartitioner>(
+      new SpatioTemporalPartitioner(k_time, k_space, tags,
+                                    std::move(temporal),
+                                    std::move(spatial)));
+}
+
+int SpatioTemporalPartitioner::PlaceTagged(const StTag& tag) const {
+  const int t = temporal_->PlaceTagged(tag);
+  const int s = spatial_->PlaceTagged(tag);
+  return t * k_space_ + s;
+}
+
+}  // namespace datacron

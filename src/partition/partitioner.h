@@ -1,0 +1,152 @@
+#ifndef DATACRON_PARTITION_PARTITIONER_H_
+#define DATACRON_PARTITION_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/curves.h"
+#include "rdf/rdfizer.h"
+#include "rdf/triple_store.h"
+
+namespace datacron {
+
+/// Assigns triples to logical partitions. Assignment is subject-driven:
+/// all triples of a resource land in one partition (the standard
+/// subject-based co-location guarantee, so star joins never cross
+/// partitions). Spatiotemporally tagged subjects can be placed by
+/// locality; untagged subjects fall back to hashing.
+class PartitionScheme {
+ public:
+  PartitionScheme(std::string name, int num_partitions,
+                  const std::unordered_map<TermId, StTag>* tags)
+      : name_(std::move(name)), num_partitions_(num_partitions), tags_(tags) {}
+  virtual ~PartitionScheme() = default;
+
+  const std::string& name() const { return name_; }
+  int num_partitions() const { return num_partitions_; }
+
+  /// Partition of a subject resource.
+  int PartitionOfNode(TermId node) const;
+
+  /// Partition of a triple (= partition of its subject).
+  int PartitionOf(const Triple& t) const { return PartitionOfNode(t.s); }
+
+  /// Placement for a tagged resource; implementations define locality.
+  /// Returns -1 to request the hash fallback. Public so composite schemes
+  /// can delegate to their component schemes.
+  virtual int PlaceTagged(const StTag& tag) const = 0;
+
+  /// The spatiotemporal tag table this scheme places against (may be
+  /// null). PartitionedRdfStore derives pruning envelopes from it.
+  const std::unordered_map<TermId, StTag>* tag_table() const { return tags_; }
+
+ protected:
+  /// Deterministic hash fallback for untagged resources.
+  int HashPlace(TermId id) const;
+
+  const std::unordered_map<TermId, StTag>* tags() const { return tags_; }
+
+ private:
+  std::string name_;
+  int num_partitions_;
+  const std::unordered_map<TermId, StTag>* tags_;
+};
+
+/// Pure subject-hash partitioning — the locality-oblivious baseline.
+class HashPartitioner : public PartitionScheme {
+ public:
+  HashPartitioner(int num_partitions,
+                  const std::unordered_map<TermId, StTag>* tags)
+      : PartitionScheme("hash", num_partitions, tags) {}
+
+  int PlaceTagged(const StTag&) const override { return -1; }  // fall back
+};
+
+/// Row-major grid-range partitioning: the grid's cells are split into k
+/// contiguous row-major ranges of equal cell count (not equal load).
+class GridPartitioner : public PartitionScheme {
+ public:
+  GridPartitioner(int num_partitions,
+                  const std::unordered_map<TermId, StTag>* tags,
+                  const UniformGrid& grid);
+
+  int PlaceTagged(const StTag& tag) const override;
+
+ private:
+  std::int32_t cols_;
+  std::int64_t total_cells_;
+};
+
+/// Hilbert-curve range partitioning with load-balanced boundaries: cells
+/// are ordered by Hilbert index and split so each partition holds about
+/// the same number of *tagged resources* (boundaries computed from the
+/// observed tag distribution at Build time).
+class HilbertPartitioner : public PartitionScheme {
+ public:
+  /// `order` is the Hilbert curve order (cells per axis = 2^order).
+  static std::unique_ptr<HilbertPartitioner> Build(
+      int num_partitions, const std::unordered_map<TermId, StTag>* tags,
+      const UniformGrid& grid, int order = 8);
+
+  int PlaceTagged(const StTag& tag) const override;
+
+ private:
+  HilbertPartitioner(int num_partitions,
+                     const std::unordered_map<TermId, StTag>* tags,
+                     const UniformGrid& grid, int order,
+                     std::vector<std::uint64_t> boundaries);
+
+  std::uint64_t HilbertOfCell(const GridCell& cell) const;
+
+  const UniformGrid grid_;
+  int order_;
+  /// boundaries_[i] is the first Hilbert key of partition i+1.
+  std::vector<std::uint64_t> boundaries_;
+};
+
+/// Temporal range partitioning: time buckets split into k contiguous
+/// ranges balanced by observed load.
+class TemporalPartitioner : public PartitionScheme {
+ public:
+  static std::unique_ptr<TemporalPartitioner> Build(
+      int num_partitions, const std::unordered_map<TermId, StTag>* tags);
+
+  int PlaceTagged(const StTag& tag) const override;
+
+ private:
+  TemporalPartitioner(int num_partitions,
+                      const std::unordered_map<TermId, StTag>* tags,
+                      std::vector<std::int64_t> boundaries);
+
+  std::vector<std::int64_t> boundaries_;
+};
+
+/// Composite spatiotemporal partitioning: k = k_time * k_space; a resource
+/// goes to (temporal range, Hilbert range) — datAcron's "sophisticated"
+/// scheme that prunes on both dimensions at once.
+class SpatioTemporalPartitioner : public PartitionScheme {
+ public:
+  static std::unique_ptr<SpatioTemporalPartitioner> Build(
+      int k_time, int k_space,
+      const std::unordered_map<TermId, StTag>* tags, const UniformGrid& grid,
+      int order = 8);
+
+  int PlaceTagged(const StTag& tag) const override;
+
+ private:
+  SpatioTemporalPartitioner(int k_time, int k_space,
+                            const std::unordered_map<TermId, StTag>* tags,
+                            std::unique_ptr<TemporalPartitioner> temporal,
+                            std::unique_ptr<HilbertPartitioner> spatial);
+
+  int k_space_;
+  std::unique_ptr<TemporalPartitioner> temporal_;
+  std::unique_ptr<HilbertPartitioner> spatial_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_PARTITION_PARTITIONER_H_

@@ -1,0 +1,110 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace datacron {
+
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kAvg:
+      return "AVG";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Result<std::vector<AggregateRow>> Aggregate(const ResultSet& rs,
+                                            int group_var, int value_var,
+                                            AggregateFn fn,
+                                            const TermDictionary& dict) {
+  struct Acc {
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::size_t count = 0;     // rows in group
+    std::size_t numeric = 0;   // rows with a numeric value
+  };
+  std::map<TermId, Acc> groups;
+  for (const Binding& row : rs.rows) {
+    if (group_var < 0 || static_cast<std::size_t>(group_var) >= row.size()) {
+      return Status::InvalidArgument("group_var out of range");
+    }
+    Acc& acc = groups[row[group_var]];
+    ++acc.count;
+    if (fn == AggregateFn::kCount) continue;
+    if (value_var < 0 || static_cast<std::size_t>(value_var) >= row.size()) {
+      return Status::InvalidArgument("value_var out of range");
+    }
+    const TermId v = row[value_var];
+    if (v == kInvalidTermId) continue;
+    const Result<std::string> text = dict.Text(v);
+    double x = 0;
+    if (!text.ok() || !ParseDouble(text.value(), &x)) continue;
+    acc.sum += x;
+    acc.min = std::min(acc.min, x);
+    acc.max = std::max(acc.max, x);
+    ++acc.numeric;
+  }
+
+  std::vector<AggregateRow> out;
+  out.reserve(groups.size());
+  for (const auto& [key, acc] : groups) {
+    AggregateRow row;
+    row.key = key;
+    row.count = acc.count;
+    switch (fn) {
+      case AggregateFn::kCount:
+        row.value = static_cast<double>(acc.count);
+        break;
+      case AggregateFn::kSum:
+        row.value = acc.sum;
+        break;
+      case AggregateFn::kAvg:
+        row.value = acc.numeric ? acc.sum / acc.numeric : 0.0;
+        break;
+      case AggregateFn::kMin:
+        row.value = acc.numeric ? acc.min : 0.0;
+        break;
+      case AggregateFn::kMax:
+        row.value = acc.numeric ? acc.max : 0.0;
+        break;
+    }
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AggregateRow& a, const AggregateRow& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+std::string AggregateTable(const std::vector<AggregateRow>& rows,
+                           const TermDictionary& dict,
+                           const std::string& key_header,
+                           const std::string& value_header,
+                           std::size_t max_rows) {
+  std::string out =
+      StrFormat("%-30s %14s %8s\n", key_header.c_str(),
+                value_header.c_str(), "rows");
+  for (std::size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    const std::string key =
+        dict.Text(rows[i].key).value_or(StrFormat(
+            "id:%llu", static_cast<unsigned long long>(rows[i].key)));
+    out += StrFormat("%-30s %14.2f %8zu\n", key.c_str(), rows[i].value,
+                     rows[i].count);
+  }
+  return out;
+}
+
+}  // namespace datacron

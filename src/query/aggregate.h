@@ -1,0 +1,50 @@
+#ifndef DATACRON_QUERY_AGGREGATE_H_
+#define DATACRON_QUERY_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/engine.h"
+#include "rdf/term.h"
+
+namespace datacron {
+
+/// Aggregation over query results — the reporting layer on top of the
+/// BGP engine (SPARQL's GROUP BY / COUNT / AVG, reduced to what mobility
+/// analytics needs: counts and numeric statistics of literal columns
+/// grouped by a key column).
+enum class AggregateFn : std::uint8_t { kCount = 0, kSum, kAvg, kMin, kMax };
+
+const char* AggregateFnName(AggregateFn fn);
+
+struct AggregateRow {
+  /// Group key (term id of the group variable's binding).
+  TermId key = kInvalidTermId;
+  double value = 0.0;
+  std::size_t count = 0;
+};
+
+/// Groups `rs` rows by the binding of `group_var` and aggregates the
+/// numeric value of `value_var`'s binding (parsed from its literal text;
+/// non-numeric / unbound values are skipped, kCount counts rows
+/// regardless). Results are ordered by descending value.
+///
+/// `dict` resolves literal text. Fails on invalid variable indices.
+Result<std::vector<AggregateRow>> Aggregate(const ResultSet& rs,
+                                            int group_var, int value_var,
+                                            AggregateFn fn,
+                                            const TermDictionary& dict);
+
+/// Formats aggregate rows as an aligned text table; keys resolved
+/// through `dict`.
+std::string AggregateTable(const std::vector<AggregateRow>& rows,
+                           const TermDictionary& dict,
+                           const std::string& key_header,
+                           const std::string& value_header,
+                           std::size_t max_rows = 20);
+
+}  // namespace datacron
+
+#endif  // DATACRON_QUERY_AGGREGATE_H_

@@ -1,0 +1,394 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "common/strings.h"
+#include "common/time_utils.h"
+
+namespace datacron {
+
+std::string QueryExecStats::ToString() const {
+  return StrFormat(
+      "partitions=%d/%d intermediate=%zu results=%zu wall=%.3fms",
+      partitions_scanned, partitions_total, intermediate_rows, result_rows,
+      wall_ms);
+}
+
+QueryEngine::QueryEngine(const PartitionedRdfStore* store,
+                         const Rdfizer* rdfizer, ThreadPool* pool)
+    : store_(store), rdfizer_(rdfizer), pool_(pool) {}
+
+namespace {
+
+/// Substitutes current bindings into a pattern, producing a concrete
+/// TriplePattern plus the variable index for each still-free position.
+struct ResolvedPattern {
+  TriplePattern concrete;
+  int var_s = -1, var_p = -1, var_o = -1;
+};
+
+ResolvedPattern Resolve(const QueryTriple& qt, const Binding& binding) {
+  ResolvedPattern r;
+  auto resolve_one = [&binding](const QueryTerm& t, TermId* slot, int* var) {
+    if (!t.IsVar()) {
+      *slot = t.term;
+    } else if (binding[t.var] != kInvalidTermId) {
+      *slot = binding[t.var];
+    } else {
+      *var = t.var;
+    }
+  };
+  resolve_one(qt.s, &r.concrete.s, &r.var_s);
+  resolve_one(qt.p, &r.concrete.p, &r.var_p);
+  resolve_one(qt.o, &r.concrete.o, &r.var_o);
+  return r;
+}
+
+/// Binds the free positions of `rp` from a matched triple; returns false
+/// when a repeated variable binds inconsistently.
+bool BindMatch(const ResolvedPattern& rp, const Triple& t, Binding* binding,
+               std::vector<int>* newly_bound) {
+  auto bind_one = [&](int var, TermId value) {
+    if (var < 0) return true;
+    TermId& slot = (*binding)[var];
+    if (slot == kInvalidTermId) {
+      slot = value;
+      newly_bound->push_back(var);
+      return true;
+    }
+    return slot == value;
+  };
+  return bind_one(rp.var_s, t.s) && bind_one(rp.var_p, t.p) &&
+         bind_one(rp.var_o, t.o);
+}
+
+}  // namespace
+
+bool QueryEngine::SatisfiesConstraints(const Query& query,
+                                       const Binding& binding,
+                                       bool require_bound) const {
+  const auto& geo = rdfizer_->node_geo();
+  for (const SpatialConstraint& c : query.spatial) {
+    const TermId value = binding[c.var];
+    if (value == kInvalidTermId) {
+      if (require_bound) return false;
+      continue;
+    }
+    auto it = geo.find(value);
+    if (it == geo.end()) return false;
+    if (!c.box.Contains(LatLon{it->second.lat_deg, it->second.lon_deg})) {
+      return false;
+    }
+  }
+  for (const TemporalConstraint& c : query.temporal) {
+    const TermId value = binding[c.var];
+    if (value == kInvalidTermId) {
+      if (require_bound) return false;
+      continue;
+    }
+    auto it = geo.find(value);
+    if (it == geo.end()) return false;
+    if (it->second.timestamp < c.t_min || it->second.timestamp > c.t_max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> QueryEngine::PlanOrder(const TripleStore& store,
+                                        const Query& query) const {
+  // Static greedy order: cheapest (most selective) first, then prefer
+  // patterns sharing a variable with what is already planned.
+  const std::size_t n = query.bgp.size();
+  std::vector<std::size_t> cost(n);
+  Binding empty(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
+  for (std::size_t i = 0; i < n; ++i) {
+    cost[i] = store.Count(Resolve(query.bgp[i], empty).concrete);
+  }
+  std::vector<bool> used(n, false);
+  std::vector<bool> var_bound(static_cast<std::size_t>(query.num_vars),
+                              false);
+  auto shares_var = [&](const QueryTriple& qt) {
+    return (qt.s.IsVar() && var_bound[qt.s.var]) ||
+           (qt.p.IsVar() && var_bound[qt.p.var]) ||
+           (qt.o.IsVar() && var_bound[qt.o.var]);
+  };
+  auto mark_vars = [&](const QueryTriple& qt) {
+    if (qt.s.IsVar()) var_bound[qt.s.var] = true;
+    if (qt.p.IsVar()) var_bound[qt.p.var] = true;
+    if (qt.o.IsVar()) var_bound[qt.o.var] = true;
+  };
+  std::vector<int> order;
+  order.reserve(n);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      if (best == n) {
+        best = i;
+        continue;
+      }
+      const bool i_shares = !order.empty() && shares_var(query.bgp[i]);
+      const bool b_shares = !order.empty() && shares_var(query.bgp[best]);
+      if (i_shares != b_shares) {
+        if (i_shares) best = i;
+        continue;
+      }
+      if (cost[i] < cost[best]) best = i;
+    }
+    used[best] = true;
+    mark_vars(query.bgp[best]);
+    order.push_back(static_cast<int>(best));
+  }
+  return order;
+}
+
+void QueryEngine::Extend(const TripleStore& store, const Query& query,
+                         std::vector<int>* pattern_order, std::size_t depth,
+                         Binding* binding,
+                         std::vector<Binding>* out) const {
+  if (depth == pattern_order->size()) {
+    if (SatisfiesConstraints(query, *binding, /*require_bound=*/true)) {
+      out->push_back(*binding);
+    }
+    return;
+  }
+  const QueryTriple& qt = query.bgp[(*pattern_order)[depth]];
+  const ResolvedPattern rp = Resolve(qt, *binding);
+  store.Scan(rp.concrete, [&](const Triple& t) {
+    std::vector<int> newly_bound;
+    if (BindMatch(rp, t, binding, &newly_bound)) {
+      // Early constraint check on whatever is bound so far.
+      if (SatisfiesConstraints(query, *binding, /*require_bound=*/false)) {
+        Extend(store, query, pattern_order, depth + 1, binding, out);
+      }
+    }
+    for (int v : newly_bound) (*binding)[v] = kInvalidTermId;
+    return true;
+  });
+}
+
+void QueryEngine::EvalBgpInStore(const TripleStore& store, const Query& query,
+                                 std::vector<Binding>* out) const {
+  if (query.bgp.empty()) return;
+  std::vector<int> order = PlanOrder(store, query);
+  Binding binding(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
+  Extend(store, query, &order, 0, &binding, out);
+}
+
+std::vector<int> QueryEngine::PrunedPartitions(const Query& query) const {
+  std::vector<int> out;
+  for (int i = 0; i < store_->num_partitions(); ++i) {
+    const PartitionMeta& m = store_->meta(i);
+    bool keep = true;
+    if (m.tagged_resources > 0) {
+      for (const SpatialConstraint& c : query.spatial) {
+        if (!m.bbox.IsEmpty() && !m.bbox.Intersects(c.box)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep && m.HasTimeRange()) {
+        for (const TemporalConstraint& c : query.temporal) {
+          const std::int64_t lo = rdfizer_->BucketOf(c.t_min);
+          const std::int64_t hi = rdfizer_->BucketOf(c.t_max);
+          if (m.max_bucket < lo || m.min_bucket > hi) {
+            keep = false;
+            break;
+          }
+        }
+      }
+    }
+    if (keep) out.push_back(i);
+  }
+  return out;
+}
+
+ResultSet QueryEngine::ExecuteLocal(const Query& query) const {
+  Stopwatch timer;
+  ResultSet rs;
+  const std::vector<int> candidates = PrunedPartitions(query);
+  rs.stats.partitions_total = store_->num_partitions();
+  rs.stats.partitions_scanned = static_cast<int>(candidates.size());
+
+  std::mutex mu;
+  auto eval_one = [&](std::size_t idx) {
+    std::vector<Binding> local;
+    EvalBgpInStore(store_->partition(candidates[idx]), query, &local);
+    std::lock_guard<std::mutex> lock(mu);
+    rs.rows.insert(rs.rows.end(), local.begin(), local.end());
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(candidates.size(), eval_one);
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) eval_one(i);
+  }
+  rs.stats.result_rows = rs.rows.size();
+  rs.stats.wall_ms = timer.ElapsedMillis();
+  return rs;
+}
+
+namespace {
+
+/// Binding table of one pattern: which vars it binds plus its rows.
+struct BindingTable {
+  std::vector<int> vars;           // bound variable indices (sorted)
+  std::vector<Binding> rows;       // full-width rows
+};
+
+std::vector<int> SharedVars(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  std::vector<int> out;
+  for (int v : a) {
+    if (std::find(b.begin(), b.end(), v) != b.end()) out.push_back(v);
+  }
+  return out;
+}
+
+/// Hash-joins two tables on their shared vars (cartesian when none).
+BindingTable Join(const BindingTable& left, const BindingTable& right,
+                  int num_vars) {
+  BindingTable out;
+  out.vars = left.vars;
+  for (int v : right.vars) {
+    if (std::find(out.vars.begin(), out.vars.end(), v) == out.vars.end()) {
+      out.vars.push_back(v);
+    }
+  }
+  std::sort(out.vars.begin(), out.vars.end());
+
+  const std::vector<int> shared = SharedVars(left.vars, right.vars);
+  auto key_of = [&shared](const Binding& b) {
+    std::vector<TermId> key;
+    key.reserve(shared.size());
+    for (int v : shared) key.push_back(b[v]);
+    return key;
+  };
+
+  std::map<std::vector<TermId>, std::vector<std::size_t>> hash;
+  for (std::size_t i = 0; i < right.rows.size(); ++i) {
+    hash[key_of(right.rows[i])].push_back(i);
+  }
+  for (const Binding& lrow : left.rows) {
+    auto it = hash.find(key_of(lrow));
+    if (it == hash.end()) continue;
+    for (std::size_t ri : it->second) {
+      Binding merged(static_cast<std::size_t>(num_vars), kInvalidTermId);
+      for (int v : left.vars) merged[v] = lrow[v];
+      for (int v : right.vars) merged[v] = right.rows[ri][v];
+      out.rows.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
+  Stopwatch timer;
+  ResultSet rs;
+  rs.stats.partitions_total = store_->num_partitions();
+  if (query.bgp.empty()) return rs;
+
+  // Vars carrying spatial/temporal constraints: their patterns can be
+  // scanned on the pruned partition subset only (tagged subjects obey the
+  // partition envelopes); all other patterns scan everything.
+  const std::vector<int> pruned = PrunedPartitions(query);
+  std::vector<bool> constrained(static_cast<std::size_t>(query.num_vars),
+                                false);
+  for (const SpatialConstraint& c : query.spatial) constrained[c.var] = true;
+  for (const TemporalConstraint& c : query.temporal)
+    constrained[c.var] = true;
+
+  std::vector<int> all_parts(static_cast<std::size_t>(store_->num_partitions()));
+  for (int i = 0; i < store_->num_partitions(); ++i) all_parts[i] = i;
+
+  // Scan every pattern (in parallel across partitions) into a table.
+  std::vector<BindingTable> tables(query.bgp.size());
+  std::size_t max_scanned = pruned.size();
+  for (std::size_t pi = 0; pi < query.bgp.size(); ++pi) {
+    const QueryTriple& qt = query.bgp[pi];
+    BindingTable& table = tables[pi];
+    if (qt.s.IsVar()) table.vars.push_back(qt.s.var);
+    if (qt.p.IsVar() &&
+        std::find(table.vars.begin(), table.vars.end(), qt.p.var) ==
+            table.vars.end()) {
+      table.vars.push_back(qt.p.var);
+    }
+    if (qt.o.IsVar() &&
+        std::find(table.vars.begin(), table.vars.end(), qt.o.var) ==
+            table.vars.end()) {
+      table.vars.push_back(qt.o.var);
+    }
+    std::sort(table.vars.begin(), table.vars.end());
+
+    const bool subject_constrained = qt.s.IsVar() && constrained[qt.s.var];
+    const std::vector<int>& parts = subject_constrained ? pruned : all_parts;
+    max_scanned = std::max(max_scanned, parts.size());
+
+    Binding empty(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
+    const ResolvedPattern rp = Resolve(qt, empty);
+
+    std::mutex mu;
+    auto scan_one = [&](std::size_t idx) {
+      std::vector<Binding> local;
+      store_->partition(parts[idx]).Scan(rp.concrete, [&](const Triple& t) {
+        Binding b(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
+        std::vector<int> newly;
+        if (BindMatch(rp, t, &b, &newly)) {
+          // Per-pattern constraint pushdown on this pattern's vars.
+          if (SatisfiesConstraints(query, b, /*require_bound=*/false)) {
+            local.push_back(std::move(b));
+          }
+        }
+        return true;
+      });
+      std::lock_guard<std::mutex> lock(mu);
+      table.rows.insert(table.rows.end(), local.begin(), local.end());
+    };
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(parts.size(), scan_one);
+    } else {
+      for (std::size_t i = 0; i < parts.size(); ++i) scan_one(i);
+    }
+    rs.stats.intermediate_rows += table.rows.size();
+  }
+  rs.stats.partitions_scanned = static_cast<int>(max_scanned);
+
+  // Join tables: smallest first, preferring join partners that share vars.
+  std::vector<std::size_t> remaining(tables.size());
+  for (std::size_t i = 0; i < tables.size(); ++i) remaining[i] = i;
+  std::sort(remaining.begin(), remaining.end(),
+            [&tables](std::size_t a, std::size_t b) {
+              return tables[a].rows.size() < tables[b].rows.size();
+            });
+  BindingTable acc = std::move(tables[remaining.front()]);
+  remaining.erase(remaining.begin());
+  while (!remaining.empty()) {
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (!SharedVars(acc.vars, tables[remaining[i]].vars).empty()) {
+        pick = i;
+        break;
+      }
+    }
+    acc = Join(acc, tables[remaining[pick]], query.num_vars);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+    rs.stats.intermediate_rows += acc.rows.size();
+    if (acc.rows.empty()) break;
+  }
+
+  // Final constraint check (all vars bound now).
+  for (Binding& b : acc.rows) {
+    if (SatisfiesConstraints(query, b, /*require_bound=*/true)) {
+      rs.rows.push_back(std::move(b));
+    }
+  }
+  rs.stats.result_rows = rs.rows.size();
+  rs.stats.wall_ms = timer.ElapsedMillis();
+  return rs;
+}
+
+}  // namespace datacron

@@ -1,0 +1,50 @@
+#include "query/query.h"
+
+namespace datacron {
+
+int QueryBuilder::Var(const std::string& name) {
+  for (std::size_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return static_cast<int>(i);
+  }
+  var_names_.push_back(name);
+  query_.num_vars = static_cast<int>(var_names_.size());
+  return query_.num_vars - 1;
+}
+
+QueryBuilder& QueryBuilder::Pattern(QueryTerm s, QueryTerm p, QueryTerm o) {
+  query_.bgp.push_back(QueryTriple{s, p, o});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Where(const std::string& subject_var,
+                                  TermId predicate, TermId object) {
+  const int s = Var(subject_var);
+  return Pattern(QueryTerm::Var(s), QueryTerm::Bound(predicate),
+                 QueryTerm::Bound(object));
+}
+
+QueryBuilder& QueryBuilder::WhereVar(const std::string& subject_var,
+                                     TermId predicate,
+                                     const std::string& object_var) {
+  // Sequenced Var() calls: C++ does not order function-argument
+  // evaluation, and variable indices must be assigned subject-first so
+  // callers can rely on first-use order.
+  const int s = Var(subject_var);
+  const int o = Var(object_var);
+  return Pattern(QueryTerm::Var(s), QueryTerm::Bound(predicate),
+                 QueryTerm::Var(o));
+}
+
+QueryBuilder& QueryBuilder::Within(const std::string& node_var,
+                                   const BoundingBox& box) {
+  query_.spatial.push_back(SpatialConstraint{Var(node_var), box});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::During(const std::string& node_var,
+                                   TimestampMs t_min, TimestampMs t_max) {
+  query_.temporal.push_back(TemporalConstraint{Var(node_var), t_min, t_max});
+  return *this;
+}
+
+}  // namespace datacron

@@ -1,0 +1,152 @@
+#include "rdf/ntriples.h"
+
+#include "common/strings.h"
+
+namespace datacron {
+
+namespace {
+
+const char* KindSuffix(TermKind kind) {
+  switch (kind) {
+    case TermKind::kIri:
+      return "";
+    case TermKind::kLiteralString:
+      return "string";
+    case TermKind::kLiteralInt:
+      return "int";
+    case TermKind::kLiteralDouble:
+      return "double";
+    case TermKind::kLiteralDateTime:
+      return "dateTime";
+  }
+  return "";
+}
+
+bool KindFromSuffix(std::string_view suffix, TermKind* kind) {
+  if (suffix == "string") {
+    *kind = TermKind::kLiteralString;
+  } else if (suffix == "int") {
+    *kind = TermKind::kLiteralInt;
+  } else if (suffix == "double") {
+    *kind = TermKind::kLiteralDouble;
+  } else if (suffix == "dateTime") {
+    *kind = TermKind::kLiteralDateTime;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void AppendTerm(TermId id, const TermDictionary& dict, std::string* out) {
+  const Result<std::string> text = dict.Text(id);
+  if (!text.ok()) {
+    *out += StrFormat("<unknown:%llu>",
+                      static_cast<unsigned long long>(id));
+    return;
+  }
+  const TermKind kind = dict.Kind(id);
+  if (kind == TermKind::kIri) {
+    *out += '<';
+    *out += text.value();
+    *out += '>';
+    return;
+  }
+  *out += '"';
+  for (char c : text.value()) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += "\"^^";
+  *out += KindSuffix(kind);
+}
+
+/// Parses one term starting at `*pos`; advances past it and any trailing
+/// whitespace.
+bool ParseTerm(const std::string& line, std::size_t* pos,
+               TermDictionary* dict, TermId* out) {
+  while (*pos < line.size() && line[*pos] == ' ') ++(*pos);
+  if (*pos >= line.size()) return false;
+  if (line[*pos] == '<') {
+    const std::size_t end = line.find('>', *pos);
+    if (end == std::string::npos) return false;
+    *out = dict->Intern(line.substr(*pos + 1, end - *pos - 1));
+    *pos = end + 1;
+    return true;
+  }
+  if (line[*pos] == '"') {
+    std::string lexical;
+    std::size_t i = *pos + 1;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) ++i;
+      lexical += line[i];
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    // Expect ^^kind.
+    if (i + 2 >= line.size() || line[i + 1] != '^' || line[i + 2] != '^') {
+      return false;
+    }
+    std::size_t k = i + 3;
+    std::size_t k_end = k;
+    while (k_end < line.size() && line[k_end] != ' ') ++k_end;
+    TermKind kind;
+    if (!KindFromSuffix(
+            std::string_view(line).substr(k, k_end - k), &kind)) {
+      return false;
+    }
+    *out = dict->Intern(lexical, kind);
+    *pos = k_end;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeNTriples(const std::vector<Triple>& triples,
+                              const TermDictionary& dict) {
+  std::string out;
+  out.reserve(triples.size() * 64);
+  for (const Triple& t : triples) {
+    AppendTerm(t.s, dict, &out);
+    out += ' ';
+    AppendTerm(t.p, dict, &out);
+    out += ' ';
+    AppendTerm(t.o, dict, &out);
+    out += " .\n";
+  }
+  return out;
+}
+
+Status ParseNTriples(const std::string& text, TermDictionary* dict,
+                     std::vector<Triple>* out) {
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ++line_no;
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (Trim(line).empty()) continue;
+
+    Triple t;
+    std::size_t pos = 0;
+    if (!ParseTerm(line, &pos, dict, &t.s) ||
+        !ParseTerm(line, &pos, dict, &t.p) ||
+        !ParseTerm(line, &pos, dict, &t.o)) {
+      return Status::ParseError(
+          StrFormat("line %zu: malformed term", line_no));
+    }
+    // Statement terminator.
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size() || line[pos] != '.') {
+      return Status::ParseError(
+          StrFormat("line %zu: missing terminating '.'", line_no));
+    }
+    out->push_back(t);
+  }
+  return Status::OK();
+}
+
+}  // namespace datacron

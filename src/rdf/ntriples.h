@@ -1,0 +1,37 @@
+#ifndef DATACRON_RDF_NTRIPLES_H_
+#define DATACRON_RDF_NTRIPLES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+
+namespace datacron {
+
+/// N-Triples-style serialization of dictionary-encoded triples — the
+/// interchange path to external RDF tooling and the persistence format of
+/// the archival store.
+///
+/// Terms render as `<iri>` for IRIs and `"lexical"^^kind` for literals
+/// (kind in {string,int,double,dateTime}); one `s p o .` statement per
+/// line. The dialect is self-inverse (Parse(Serialize(x)) == x) and close
+/// enough to standard N-Triples for downstream tools that only read IRIs
+/// and plain literals.
+
+/// Serializes `triples` against `dict`. Unknown term ids render as
+/// `<unknown:ID>` rather than failing — serialization is a diagnostics
+/// path and must not lose the rest of the data.
+std::string SerializeNTriples(const std::vector<Triple>& triples,
+                              const TermDictionary& dict);
+
+/// Parses a document produced by SerializeNTriples, interning all terms
+/// into `dict` and appending the triples to `out`. Fails with ParseError
+/// on the first malformed line (reporting its number).
+Status ParseNTriples(const std::string& text, TermDictionary* dict,
+                     std::vector<Triple>* out);
+
+}  // namespace datacron
+
+#endif  // DATACRON_RDF_NTRIPLES_H_

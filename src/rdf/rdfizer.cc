@@ -1,0 +1,149 @@
+#include "rdf/rdfizer.h"
+
+namespace datacron {
+
+Rdfizer::Rdfizer(const Config& config, TermDictionary* dict,
+                 const Vocab* vocab)
+    : config_(config),
+      dict_(dict),
+      vocab_(vocab),
+      grid_(config.region, config.cell_deg) {}
+
+TermId Rdfizer::NodeIdOf(const PositionReport& report) const {
+  return dict_->Find(PositionNodeIri(report.entity_id, report.timestamp));
+}
+
+TermId Rdfizer::EmitNode(const PositionReport& report,
+                         std::vector<Triple>* out) {
+  const TermId node =
+      dict_->Intern(PositionNodeIri(report.entity_id, report.timestamp));
+
+  // Entity-level triples, once per entity.
+  auto [ent_it, is_new_entity] =
+      known_entities_.try_emplace(report.entity_id, kInvalidTermId);
+  if (is_new_entity) {
+    const TermId entity = dict_->Intern(EntityIri(report.entity_id));
+    ent_it->second = entity;
+    out->push_back({entity, vocab_->p_type,
+                    report.domain == Domain::kMaritime ? vocab_->c_vessel
+                                                       : vocab_->c_aircraft});
+    const TermId traj = dict_->Intern(TrajectoryIri(report.entity_id));
+    out->push_back({traj, vocab_->p_type, vocab_->c_trajectory});
+  }
+  const TermId entity = ent_it->second;
+  const TermId traj = dict_->Intern(TrajectoryIri(report.entity_id));
+
+  const GridCell cell = grid_.CellOf(report.position.ll());
+  const std::int64_t bucket = BucketOf(report.timestamp);
+
+  out->push_back({node, vocab_->p_type, vocab_->c_position_node});
+  out->push_back({node, vocab_->p_of_entity, entity});
+  out->push_back({traj, vocab_->p_has_node, node});
+  out->push_back(
+      {node, vocab_->p_timestamp, dict_->InternDateTime(report.timestamp)});
+  out->push_back(
+      {node, vocab_->p_lat, dict_->InternDouble(report.position.lat_deg)});
+  out->push_back(
+      {node, vocab_->p_lon, dict_->InternDouble(report.position.lon_deg)});
+  if (report.domain == Domain::kAviation) {
+    out->push_back(
+        {node, vocab_->p_alt, dict_->InternDouble(report.position.alt_m)});
+    out->push_back({node, vocab_->p_vrate,
+                    dict_->InternDouble(report.vertical_rate_mps)});
+  }
+  out->push_back(
+      {node, vocab_->p_speed, dict_->InternDouble(report.speed_mps)});
+  out->push_back(
+      {node, vocab_->p_course, dict_->InternDouble(report.course_deg)});
+  out->push_back(
+      {node, vocab_->p_in_cell, dict_->Intern(CellIri(cell.ix, cell.iy))});
+  out->push_back(
+      {node, vocab_->p_in_bucket, dict_->Intern(BucketIri(bucket))});
+
+  if (config_.emit_sequence_links) {
+    auto prev_it = prev_node_.find(report.entity_id);
+    if (prev_it != prev_node_.end() && prev_it->second != node) {
+      out->push_back({prev_it->second, vocab_->p_next_node, node});
+    }
+    prev_node_[report.entity_id] = node;
+  }
+
+  tags_[node] = StTag{cell, bucket};
+  node_geo_[node] = NodeGeo{report.position.lat_deg, report.position.lon_deg,
+                            report.position.alt_m, report.timestamp};
+  return node;
+}
+
+std::vector<Triple> Rdfizer::TransformReport(const PositionReport& report) {
+  std::vector<Triple> out;
+  out.reserve(14);
+  EmitNode(report, &out);
+  return out;
+}
+
+std::vector<Triple> Rdfizer::TransformCriticalPoint(const CriticalPoint& cp) {
+  std::vector<Triple> out;
+  out.reserve(15);
+  const TermId node = EmitNode(cp.report, &out);
+  out.push_back({node, vocab_->p_node_kind,
+                 dict_->Intern(CriticalPointTypeName(cp.type),
+                               TermKind::kLiteralString)});
+  return out;
+}
+
+std::vector<Triple> Rdfizer::TransformEpisode(const Episode& episode) {
+  std::vector<Triple> out;
+  out.reserve(9);
+  const TermId ep = dict_->Intern(
+      EpisodeIri(episode.entity, episode.start_time));
+  const TermId entity = dict_->Intern(EntityIri(episode.entity));
+  out.push_back({ep, vocab_->p_type, vocab_->c_episode});
+  out.push_back({ep, vocab_->p_of_entity, entity});
+  out.push_back({ep, vocab_->p_episode_kind,
+                 dict_->Intern(EpisodeKindName(episode.kind),
+                               TermKind::kLiteralString)});
+  out.push_back({ep, vocab_->p_episode_start,
+                 dict_->InternDateTime(episode.start_time)});
+  out.push_back({ep, vocab_->p_episode_end,
+                 dict_->InternDateTime(episode.end_time)});
+  out.push_back(
+      {ep, vocab_->p_path_length, dict_->InternDouble(episode.path_m)});
+  if (!episode.area.empty()) {
+    const TermId area = dict_->Intern(AreaIri(episode.area));
+    out.push_back({area, vocab_->p_type, vocab_->c_area});
+    out.push_back({ep, vocab_->p_within_area, area});
+  }
+  const GridCell cell = grid_.CellOf(episode.start_pos.ll());
+  const std::int64_t bucket = BucketOf(episode.start_time);
+  out.push_back(
+      {ep, vocab_->p_in_cell, dict_->Intern(CellIri(cell.ix, cell.iy))});
+  out.push_back(
+      {ep, vocab_->p_in_bucket, dict_->Intern(BucketIri(bucket))});
+  tags_[ep] = StTag{cell, bucket};
+  node_geo_[ep] =
+      NodeGeo{episode.start_pos.lat_deg, episode.start_pos.lon_deg,
+              episode.start_pos.alt_m, episode.start_time};
+  return out;
+}
+
+std::vector<Triple> Rdfizer::TransformWeather(const WeatherSample& sample) {
+  std::vector<Triple> out;
+  out.reserve(7);
+  const std::int64_t bucket = BucketOf(sample.bucket_start);
+  const TermId wx = dict_->Intern(
+      WeatherIri(sample.cell.ix, sample.cell.iy, bucket));
+  out.push_back({wx, vocab_->p_type, vocab_->c_weather_obs});
+  out.push_back({wx, vocab_->p_in_cell,
+                 dict_->Intern(CellIri(sample.cell.ix, sample.cell.iy))});
+  out.push_back({wx, vocab_->p_in_bucket, dict_->Intern(BucketIri(bucket))});
+  out.push_back(
+      {wx, vocab_->p_wind_u, dict_->InternDouble(sample.wind_u_mps)});
+  out.push_back(
+      {wx, vocab_->p_wind_v, dict_->InternDouble(sample.wind_v_mps)});
+  out.push_back(
+      {wx, vocab_->p_wave_height, dict_->InternDouble(sample.wave_height_m)});
+  tags_[wx] = StTag{sample.cell, bucket};
+  return out;
+}
+
+}  // namespace datacron

@@ -1,0 +1,107 @@
+#ifndef DATACRON_RDF_RDFIZER_H_
+#define DATACRON_RDF_RDFIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/grid.h"
+#include "rdf/triple_store.h"
+#include "rdf/vocab.h"
+#include "sources/model.h"
+#include "sources/weather.h"
+#include "synopses/critical_points.h"
+#include "trajectory/episodes.h"
+
+namespace datacron {
+
+/// Spatiotemporal placement of a resource: grid cell + time bucket.
+/// Partitioners and the query planner prune on these.
+struct StTag {
+  GridCell cell;
+  std::int64_t bucket = 0;
+
+  bool operator==(const StTag&) const = default;
+};
+
+/// Exact geometry/time of a position node, kept as a side table so spatial
+/// and temporal FILTERs evaluate without string-decoding literals.
+struct NodeGeo {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double alt_m = 0.0;
+  TimestampMs timestamp = 0;
+};
+
+/// The "data transformation" component (paper Section 2): converts
+/// position reports, synopses (critical points) and archival weather into
+/// the common RDF representation, tagging every spatiotemporal resource
+/// with its grid cell and time bucket.
+class Rdfizer {
+ public:
+  struct Config {
+    BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+    double cell_deg = 0.25;
+    DurationMs bucket_ms = kHour;
+    /// Bucket 0 starts here.
+    TimestampMs epoch = 1490000000000;
+    /// Also emit dc:hasNextNode links between consecutive nodes of the
+    /// same entity (costs one triple per report; enables path queries).
+    bool emit_sequence_links = true;
+  };
+
+  Rdfizer(const Config& config, TermDictionary* dict, const Vocab* vocab);
+
+  /// Triples for one position report (~10 per report). The node resource
+  /// is registered in tags() and node_geo().
+  std::vector<Triple> TransformReport(const PositionReport& report);
+
+  /// Triples for one critical point — a report plus its semantic node
+  /// kind. This is what flows to the store on the synopses path.
+  std::vector<Triple> TransformCriticalPoint(const CriticalPoint& cp);
+
+  /// Triples for one archival weather observation.
+  std::vector<Triple> TransformWeather(const WeatherSample& sample);
+
+  /// Triples for one semantic-trajectory episode; the episode resource is
+  /// tagged by its start position/time so partitioning and pruning apply.
+  std::vector<Triple> TransformEpisode(const Episode& episode);
+
+  /// The node's StTag index (cell/bucket of every transformed resource).
+  const std::unordered_map<TermId, StTag>& tags() const { return tags_; }
+
+  /// Exact geometry side table for position nodes.
+  const std::unordered_map<TermId, NodeGeo>& node_geo() const {
+    return node_geo_;
+  }
+
+  const UniformGrid& grid() const { return grid_; }
+  const Config& config() const { return config_; }
+
+  std::int64_t BucketOf(TimestampMs t) const {
+    return (t - config_.epoch) / config_.bucket_ms;
+  }
+
+  /// The TermId a report's node would get (without transforming).
+  TermId NodeIdOf(const PositionReport& report) const;
+
+ private:
+  /// Emits the shared node skeleton (type, entity, kinematics, cell,
+  /// bucket, optional sequence link); returns the node TermId.
+  TermId EmitNode(const PositionReport& report, std::vector<Triple>* out);
+
+  Config config_;
+  TermDictionary* dict_;
+  const Vocab* vocab_;
+  UniformGrid grid_;
+  std::unordered_map<TermId, StTag> tags_;
+  std::unordered_map<TermId, NodeGeo> node_geo_;
+  /// entity -> previous node (for dc:hasNextNode).
+  std::unordered_map<EntityId, TermId> prev_node_;
+  /// Entities whose entity-level triples were already emitted.
+  std::unordered_map<EntityId, TermId> known_entities_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_RDF_RDFIZER_H_

@@ -1,0 +1,96 @@
+#include "rdf/streaming_store.h"
+
+#include <algorithm>
+
+namespace datacron {
+
+StreamingRdfStore::StreamingRdfStore(Config config) : config_(config) {}
+
+void StreamingRdfStore::Add(TimestampMs t,
+                            const std::vector<Triple>& triples) {
+  std::int64_t bucket = BucketOf(t);
+  if (bucket <= sealed_through_) {
+    // Late data for a sealed bucket: keep it in the oldest open bucket so
+    // it remains queryable for the retention horizon.
+    bucket = sealed_through_ + 1;
+  }
+  auto& buf = pending_[bucket];
+  buf.insert(buf.end(), triples.begin(), triples.end());
+}
+
+void StreamingRdfStore::AdvanceTo(TimestampMs watermark) {
+  const std::int64_t sealable_below = BucketOf(watermark);
+  // Seal pending buckets strictly below the watermark's bucket.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first < sealable_below;) {
+    Bucket bucket;
+    bucket.index = it->first;
+    bucket.store.AddBatch(it->second);
+    bucket.store.Seal();
+    sealed_.push_back(std::move(bucket));
+    sealed_through_ = std::max(sealed_through_, it->first);
+    it = pending_.erase(it);
+  }
+  std::sort(sealed_.begin(), sealed_.end(),
+            [](const Bucket& a, const Bucket& b) { return a.index < b.index; });
+  // Evict beyond the retention horizon.
+  const std::int64_t keep_from =
+      sealable_below - config_.retention_buckets;
+  while (!sealed_.empty() && sealed_.front().index < keep_from) {
+    evicted_triples_ += sealed_.front().store.size();
+    sealed_.pop_front();
+  }
+}
+
+std::vector<Triple> StreamingRdfStore::Match(
+    const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  if (archival_ != nullptr) {
+    const auto hits = archival_->Match(pattern);
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  for (const Bucket& b : sealed_) {
+    const auto hits = b.store.Match(pattern);
+    out.insert(out.end(), hits.begin(), hits.end());
+  }
+  auto matches = [&pattern](const Triple& t) {
+    return (pattern.s == kInvalidTermId || t.s == pattern.s) &&
+           (pattern.p == kInvalidTermId || t.p == pattern.p) &&
+           (pattern.o == kInvalidTermId || t.o == pattern.o);
+  };
+  for (const auto& [idx, buf] : pending_) {
+    for (const Triple& t : buf) {
+      if (matches(t)) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::size_t StreamingRdfStore::Count(const TriplePattern& pattern) const {
+  return Match(pattern).size();
+}
+
+TripleStore StreamingRdfStore::Snapshot() const {
+  TripleStore snap;
+  for (const Bucket& b : sealed_) {
+    snap.AddBatch(b.store.Match(TriplePattern{}));
+  }
+  for (const auto& [idx, buf] : pending_) snap.AddBatch(buf);
+  snap.Seal();
+  return snap;
+}
+
+std::size_t StreamingRdfStore::LiveTriples() const {
+  std::size_t n = 0;
+  for (const Bucket& b : sealed_) n += b.store.size();
+  for (const auto& [idx, buf] : pending_) n += buf.size();
+  return n;
+}
+
+std::size_t StreamingRdfStore::OpenTriples() const {
+  std::size_t n = 0;
+  for (const auto& [idx, buf] : pending_) n += buf.size();
+  return n;
+}
+
+}  // namespace datacron

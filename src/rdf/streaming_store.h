@@ -1,0 +1,93 @@
+#ifndef DATACRON_RDF_STREAMING_STORE_H_
+#define DATACRON_RDF_STREAMING_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "rdf/triple_store.h"
+
+namespace datacron {
+
+/// Sliding-window triple store for data-in-motion (paper Section 1:
+/// "data-at-rest (archival) and data-in-motion (streaming) ... following
+/// an integrated approach").
+///
+/// Incoming triples carry an event time; they buffer in the open time
+/// bucket, buckets seal (sort + index) when the watermark passes their
+/// end, and sealed buckets older than the retention horizon are evicted.
+/// Queries run over every sealed bucket plus an optional archival store —
+/// one Match() answering over both live and historical data, which is the
+/// "integrated" part.
+///
+/// The open bucket is queryable too (linear scan of its small buffer), so
+/// freshly arrived knowledge is visible before its bucket seals.
+class StreamingRdfStore {
+ public:
+  struct Config {
+    /// Width of one window bucket.
+    DurationMs bucket_ms = 5 * kMinute;
+    /// Number of sealed buckets retained; older ones are evicted.
+    int retention_buckets = 12;
+  };
+
+  StreamingRdfStore() : StreamingRdfStore(Config()) {}
+  explicit StreamingRdfStore(Config config);
+
+  /// Attaches the archival (data-at-rest) store; not owned, may be null.
+  void AttachArchival(const TripleStore* archival) { archival_ = archival; }
+
+  /// Inserts triples with event time `t`. Out-of-order inserts into
+  /// already-sealed buckets are routed to the open bucket (late data is
+  /// retained, not lost — it just lives in a younger window).
+  void Add(TimestampMs t, const std::vector<Triple>& triples);
+
+  /// Advances the watermark: buckets ending at or before `watermark`
+  /// seal; sealed buckets beyond the retention horizon are evicted.
+  void AdvanceTo(TimestampMs watermark);
+
+  /// Matches `pattern` across archival + sealed buckets + open buffer.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Count variant of Match.
+  std::size_t Count(const TriplePattern& pattern) const;
+
+  /// Materializes the current live contents (all retained buckets + open
+  /// buffer, without archival) into one sealed store — the handoff point
+  /// from data-in-motion to data-at-rest.
+  TripleStore Snapshot() const;
+
+  std::size_t SealedBuckets() const { return sealed_.size(); }
+  /// Triples still in unsealed buckets.
+  std::size_t OpenTriples() const;
+  /// All retained triples (sealed + open, excluding archival).
+  std::size_t LiveTriples() const;
+  std::size_t evicted_triples() const { return evicted_triples_; }
+
+ private:
+  struct Bucket {
+    std::int64_t index = 0;  // bucket start = index * bucket_ms
+    TripleStore store;
+  };
+
+  std::int64_t BucketOf(TimestampMs t) const {
+    std::int64_t b = t / config_.bucket_ms;
+    if (t < 0 && b * config_.bucket_ms > t) --b;
+    return b;
+  }
+
+  Config config_;
+  const TripleStore* archival_ = nullptr;
+  std::deque<Bucket> sealed_;  // ascending bucket index
+  /// Unsealed buckets: bucket index -> raw triple buffer.
+  std::map<std::int64_t, std::vector<Triple>> pending_;
+  /// Highest bucket index that has been sealed (or evicted).
+  std::int64_t sealed_through_ = INT64_MIN;
+  std::size_t evicted_triples_ = 0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_RDF_STREAMING_STORE_H_

@@ -1,0 +1,53 @@
+#include "rdf/term.h"
+
+#include "common/strings.h"
+
+namespace datacron {
+
+TermDictionary::TermDictionary() {
+  texts_.reserve(1024);
+  kinds_.reserve(1024);
+}
+
+TermId TermDictionary::Intern(const std::string& text, TermKind kind) {
+  auto [it, inserted] = ids_.try_emplace(text, texts_.size() + 1);
+  if (inserted) {
+    texts_.push_back(text);
+    kinds_.push_back(kind);
+  }
+  return it->second;
+}
+
+TermId TermDictionary::Find(const std::string& text) const {
+  auto it = ids_.find(text);
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+Result<std::string> TermDictionary::Text(TermId id) const {
+  if (id == kInvalidTermId || id > texts_.size()) {
+    return Status::NotFound(StrFormat("unknown term id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return texts_[id - 1];
+}
+
+TermKind TermDictionary::Kind(TermId id) const {
+  if (id == kInvalidTermId || id > kinds_.size()) return TermKind::kIri;
+  return kinds_[id - 1];
+}
+
+TermId TermDictionary::InternInt(std::int64_t value) {
+  return Intern(StrFormat("%lld", static_cast<long long>(value)),
+                TermKind::kLiteralInt);
+}
+
+TermId TermDictionary::InternDouble(double value) {
+  return Intern(StrFormat("%.10g", value), TermKind::kLiteralDouble);
+}
+
+TermId TermDictionary::InternDateTime(std::int64_t epoch_ms) {
+  return Intern(StrFormat("dt:%lld", static_cast<long long>(epoch_ms)),
+                TermKind::kLiteralDateTime);
+}
+
+}  // namespace datacron

@@ -1,0 +1,64 @@
+#ifndef DATACRON_RDF_TERM_H_
+#define DATACRON_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace datacron {
+
+/// Dictionary-encoded RDF term identifier. 0 is reserved (invalid).
+using TermId = std::uint64_t;
+
+constexpr TermId kInvalidTermId = 0;
+
+/// Kind of an RDF term. Spatiotemporal resource ids additionally embed a
+/// grid cell / time bucket (see SpatioTemporalEncoder) but remain ordinary
+/// IRIs at the dictionary level.
+enum class TermKind : std::uint8_t {
+  kIri = 0,
+  kLiteralString,
+  kLiteralInt,
+  kLiteralDouble,
+  kLiteralDateTime,
+};
+
+/// Bidirectional string<->id dictionary. Encoding datasets once and
+/// operating on fixed-width ids is what makes triple joins cheap — the
+/// standard design of RDF stores (RDF-3X, Virtuoso) that datAcron's
+/// parallel stores build on.
+class TermDictionary {
+ public:
+  TermDictionary();
+
+  /// Returns the id of `text` (of kind `kind`), interning it if new.
+  /// Deterministic: the same insertion sequence yields the same ids.
+  TermId Intern(const std::string& text, TermKind kind = TermKind::kIri);
+
+  /// Lookup without interning; kInvalidTermId when absent.
+  TermId Find(const std::string& text) const;
+
+  /// Inverse mapping. Returns an error for unknown ids.
+  Result<std::string> Text(TermId id) const;
+
+  TermKind Kind(TermId id) const;
+
+  std::size_t size() const { return texts_.size(); }
+
+  /// Convenience: intern a typed literal rendered from a value.
+  TermId InternInt(std::int64_t value);
+  TermId InternDouble(double value);
+  TermId InternDateTime(std::int64_t epoch_ms);
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> texts_;   // index = id - 1
+  std::vector<TermKind> kinds_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_RDF_TERM_H_

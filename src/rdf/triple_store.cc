@@ -1,0 +1,156 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace datacron {
+
+namespace {
+
+struct SpoLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+
+struct PosLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+
+struct OspLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+bool MatchesResidual(const Triple& t, const TriplePattern& q) {
+  return (q.s == kInvalidTermId || t.s == q.s) &&
+         (q.p == kInvalidTermId || t.p == q.p) &&
+         (q.o == kInvalidTermId || t.o == q.o);
+}
+
+/// Binary-search range in `index` where the bound prefix of `q` (under the
+/// permutation described by key1/key2/key3 accessors) matches.
+template <typename Less>
+std::pair<std::size_t, std::size_t> PrefixRange(
+    const std::vector<Triple>& index, const Triple& lo_key,
+    const Triple& hi_key, Less less) {
+  auto lo = std::lower_bound(index.begin(), index.end(), lo_key, less);
+  auto hi = std::upper_bound(index.begin(), index.end(), hi_key, less);
+  return {static_cast<std::size_t>(lo - index.begin()),
+          static_cast<std::size_t>(hi - index.begin())};
+}
+
+constexpr TermId kMaxTerm = ~static_cast<TermId>(0);
+
+}  // namespace
+
+void TripleStore::Add(const Triple& t) {
+  spo_.push_back(t);
+  sealed_ = false;
+}
+
+void TripleStore::AddBatch(const std::vector<Triple>& batch) {
+  spo_.insert(spo_.end(), batch.begin(), batch.end());
+  sealed_ = false;
+}
+
+void TripleStore::Seal() {
+  if (sealed_) return;
+  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+  sealed_ = true;
+}
+
+TripleStore::Perm TripleStore::ChoosePerm(const TriplePattern& q) const {
+  const bool s = q.s != kInvalidTermId;
+  const bool p = q.p != kInvalidTermId;
+  const bool o = q.o != kInvalidTermId;
+  // Prefer the permutation whose leading components are bound.
+  if (s) return Perm::kSpo;                  // S**, SP*, S*O(->SPO w/ resid), SPO
+  if (p) return Perm::kPos;                  // *P*, *PO
+  if (o) return Perm::kOsp;                  // **O
+  return Perm::kSpo;                         // full scan
+}
+
+void TripleStore::Scan(
+    const TriplePattern& q,
+    const std::function<bool(const Triple&)>& visit) const {
+  const Perm perm = ChoosePerm(q);
+  const std::vector<Triple>* index = nullptr;
+  Triple lo, hi;
+  std::pair<std::size_t, std::size_t> range;
+  switch (perm) {
+    case Perm::kSpo: {
+      index = &spo_;
+      lo = {q.s, q.s && q.p ? q.p : 0, q.s && q.p && q.o ? q.o : 0};
+      hi = {q.s ? q.s : kMaxTerm, q.s && q.p ? q.p : kMaxTerm,
+            q.s && q.p && q.o ? q.o : kMaxTerm};
+      range = PrefixRange(*index, lo, hi, SpoLess());
+      break;
+    }
+    case Perm::kPos: {
+      index = &pos_;
+      lo = {0, q.p, q.o ? q.o : 0};
+      hi = {kMaxTerm, q.p, q.o ? q.o : kMaxTerm};
+      range = PrefixRange(*index, lo, hi, PosLess());
+      break;
+    }
+    case Perm::kOsp: {
+      index = &osp_;
+      lo = {0, 0, q.o};
+      hi = {kMaxTerm, kMaxTerm, q.o};
+      range = PrefixRange(*index, lo, hi, OspLess());
+      break;
+    }
+  }
+  for (std::size_t i = range.first; i < range.second; ++i) {
+    const Triple& t = (*index)[i];
+    if (MatchesResidual(t, q)) {
+      if (!visit(t)) return;
+    }
+  }
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& q) const {
+  std::vector<Triple> out;
+  Scan(q, [&out](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+std::size_t TripleStore::Count(const TriplePattern& q) const {
+  std::size_t n = 0;
+  Scan(q, [&n](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<TermId> TripleStore::Predicates() const {
+  std::vector<TermId> out;
+  TermId last = kInvalidTermId;
+  for (const Triple& t : pos_) {
+    if (t.p != last) {
+      out.push_back(t.p);
+      last = t.p;
+    }
+  }
+  return out;
+}
+
+}  // namespace datacron

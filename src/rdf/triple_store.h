@@ -1,0 +1,80 @@
+#ifndef DATACRON_RDF_TRIPLE_STORE_H_
+#define DATACRON_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace datacron {
+
+/// One dictionary-encoded RDF statement.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  bool operator==(const Triple&) const = default;
+};
+
+/// A triple pattern; kInvalidTermId (0) in a position means "wildcard".
+struct TriplePattern {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  int BoundCount() const {
+    return (s != kInvalidTermId) + (p != kInvalidTermId) +
+           (o != kInvalidTermId);
+  }
+};
+
+/// In-memory triple store with three sorted permutation indexes
+/// (SPO, POS, OSP) — the RDF-3X layout. Writes are buffered and indexed on
+/// Seal(); the streaming path appends batches and reseals per window, the
+/// archival path bulk-loads once. Lookup of any pattern shape is a binary
+/// search on the best-matching permutation.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Appends a triple to the unsealed buffer.
+  void Add(const Triple& t);
+  void AddBatch(const std::vector<Triple>& batch);
+
+  /// Sorts the three permutations and deduplicates. Idempotent.
+  void Seal();
+
+  bool sealed() const { return sealed_; }
+  std::size_t size() const { return spo_.size(); }
+
+  /// All triples matching `pattern`. Requires sealed().
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Visitor variant to avoid materialization; return false to stop early.
+  void Scan(const TriplePattern& pattern,
+            const std::function<bool(const Triple&)>& visit) const;
+
+  /// Number of matches (exact, computed by range subtraction when the
+  /// pattern is a prefix of a permutation). Used for join ordering.
+  std::size_t Count(const TriplePattern& pattern) const;
+
+  /// Distinct predicates in the store (diagnostics / stats).
+  std::vector<TermId> Predicates() const;
+
+ private:
+  enum class Perm { kSpo, kPos, kOsp };
+
+  /// Chooses the permutation whose sort order makes `pattern` a prefix.
+  Perm ChoosePerm(const TriplePattern& pattern) const;
+
+  std::vector<Triple> spo_;
+  std::vector<Triple> pos_;
+  std::vector<Triple> osp_;
+  bool sealed_ = false;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_RDF_TRIPLE_STORE_H_

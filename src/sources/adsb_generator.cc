@@ -1,0 +1,128 @@
+#include "sources/adsb_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+namespace {
+
+constexpr EntityId kIcaoBase = 0x400000;
+
+double TurnToward(double course, double target, double max_step) {
+  double diff = std::fmod(target - course, 360.0);
+  if (diff > 180.0) diff -= 360.0;
+  if (diff < -180.0) diff += 360.0;
+  const double step = std::clamp(diff, -max_step, max_step);
+  double out = std::fmod(course + step, 360.0);
+  if (out < 0) out += 360.0;
+  return out;
+}
+
+}  // namespace
+
+std::vector<TruthTrace> GenerateAdsbTraffic(
+    const AdsbGeneratorConfig& config) {
+  Rng rng(config.seed);
+  // Lay out airports inside a margin so approach paths stay in-region.
+  const BoundingBox inner = config.region.Inflated(
+      -0.08 * (config.region.max_lat - config.region.min_lat));
+  std::vector<LatLon> airports;
+  airports.reserve(config.num_airports);
+  for (std::size_t i = 0; i < config.num_airports; ++i) {
+    airports.push_back({rng.Uniform(inner.min_lat, inner.max_lat),
+                        rng.Uniform(inner.min_lon, inner.max_lon)});
+  }
+
+  std::vector<TruthTrace> traces;
+  traces.reserve(config.num_flights);
+  const double dt_s = config.tick_ms / 1000.0;
+
+  for (std::size_t f = 0; f < config.num_flights; ++f) {
+    // Pick distinct origin/destination.
+    const std::size_t origin_idx =
+        static_cast<std::size_t>(rng.UniformInt(0, airports.size() - 1));
+    std::size_t dest_idx = origin_idx;
+    while (dest_idx == origin_idx) {
+      dest_idx =
+          static_cast<std::size_t>(rng.UniformInt(0, airports.size() - 1));
+    }
+    const LatLon origin = airports[origin_idx];
+    const LatLon dest = airports[dest_idx];
+
+    const double cruise_alt =
+        rng.Uniform(config.cruise_alt_min_m, config.cruise_alt_max_m);
+    const double cruise_speed =
+        rng.Uniform(config.cruise_speed_min_mps, config.cruise_speed_max_mps);
+    const TimestampMs departure =
+        config.start_time + rng.UniformInt(0, config.departure_window);
+
+    TruthTrace trace;
+    trace.entity_id = kIcaoBase + static_cast<EntityId>(f);
+    trace.domain = Domain::kAviation;
+    trace.tick_ms = config.tick_ms;
+    trace.start_time = departure;
+
+    GeoPoint pos{origin.lat_deg, origin.lon_deg, 0.0};
+    double course = InitialBearingDeg(origin, dest);
+    double speed = cruise_speed * 0.5;  // rotation/initial climb speed
+    const TimestampMs sim_end = config.start_time + config.duration;
+
+    // Total route length decides where top-of-descent falls.
+    const double route_m = HaversineMeters(origin, dest);
+    const double descent_dist_m =
+        cruise_alt / config.descent_rate_mps * cruise_speed;
+
+    for (TimestampMs t = departure; t <= sim_end;
+         t += config.tick_ms) {
+      PositionReport r;
+      r.entity_id = trace.entity_id;
+      r.domain = Domain::kAviation;
+      r.timestamp = t;
+      r.position = pos;
+      r.speed_mps = speed;
+      r.course_deg = course;
+
+      const double remaining_m = HaversineMeters(pos.ll(), dest);
+      const double flown_m = std::max(0.0, route_m - remaining_m);
+      (void)flown_m;
+
+      double vertical = 0.0;
+      double target_speed = cruise_speed;
+      if (remaining_m < descent_dist_m) {
+        // Descent phase: come down so as to reach the field at ~0 m.
+        vertical = -config.descent_rate_mps;
+        target_speed = cruise_speed * 0.7;
+      } else if (pos.alt_m < cruise_alt) {
+        vertical = config.climb_rate_mps;
+        target_speed = cruise_speed * 0.85;
+      }
+      r.vertical_rate_mps = vertical;
+      trace.samples.push_back(r);
+
+      // Landed?
+      if (remaining_m < 2000.0 && pos.alt_m <= 50.0 &&
+          trace.samples.size() > 2) {
+        break;
+      }
+
+      // Advance kinematics.
+      const double desired = InitialBearingDeg(pos.ll(), dest);
+      course = TurnToward(course, desired, config.max_turn_rate_deg_s * dt_s);
+      const double dv = target_speed - speed;
+      speed += std::clamp(dv, -1.0 * dt_s, 1.0 * dt_s);
+      const LatLon next =
+          DestinationPoint(pos.ll(), course, speed * dt_s);
+      pos.lat_deg = next.lat_deg;
+      pos.lon_deg = next.lon_deg;
+      pos.alt_m = std::clamp(pos.alt_m + vertical * dt_s, 0.0, cruise_alt);
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace datacron

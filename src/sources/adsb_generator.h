@@ -1,0 +1,45 @@
+#ifndef DATACRON_SOURCES_ADSB_GENERATOR_H_
+#define DATACRON_SOURCES_ADSB_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Configuration of the synthetic aviation (ADS-B) traffic simulator —
+/// the 3D counterpart of the AIS generator. Aircraft fly airport-to-airport
+/// legs with climb / cruise / descent phases; the vertical profile is what
+/// makes the aviation forecasting experiments genuinely 3D.
+struct AdsbGeneratorConfig {
+  BoundingBox region = BoundingBox::Of(36.0, 0.0, 50.0, 20.0);
+  std::size_t num_airports = 12;
+  std::size_t num_flights = 60;
+  TimestampMs start_time = 1490000000000;
+  DurationMs duration = 2 * kHour;
+  DurationMs tick_ms = 1000;
+
+  double cruise_alt_min_m = 9000.0;
+  double cruise_alt_max_m = 12000.0;
+  double cruise_speed_min_mps = 200.0;
+  double cruise_speed_max_mps = 260.0;
+  double climb_rate_mps = 12.0;
+  double descent_rate_mps = 9.0;
+  /// Bank-limited turn rate (standard rate turn is 3 deg/s).
+  double max_turn_rate_deg_s = 3.0;
+  /// Flights depart staggered within this window after start_time.
+  DurationMs departure_window = 1 * kHour;
+
+  std::uint64_t seed = 43;
+};
+
+/// Generates dense ground-truth traces, one per flight. A flight's trace
+/// covers only its airborne interval (takeoff to landing, clipped to the
+/// simulation window). Entity ids are ICAO-like, starting at 0x400000.
+std::vector<TruthTrace> GenerateAdsbTraffic(const AdsbGeneratorConfig& config);
+
+}  // namespace datacron
+
+#endif  // DATACRON_SOURCES_ADSB_GENERATOR_H_

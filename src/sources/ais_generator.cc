@@ -1,0 +1,244 @@
+#include "sources/ais_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+namespace datacron {
+
+namespace {
+
+constexpr EntityId kMmsiBase = 200000000;
+
+struct VesselState {
+  GeoPoint position;
+  double speed_mps = 0.0;
+  double course_deg = 0.0;
+  double target_speed_mps = 0.0;
+  std::vector<LatLon> waypoints;
+  std::vector<DurationMs> dwell_ms;  // dwell after reaching waypoint i
+  std::size_t next_waypoint = 0;
+  DurationMs dwell_remaining_ms = 0;
+};
+
+/// Steers `course` toward `target` limited by `max_step` degrees.
+double TurnToward(double course, double target, double max_step) {
+  double diff = std::fmod(target - course, 360.0);
+  if (diff > 180.0) diff -= 360.0;
+  if (diff < -180.0) diff += 360.0;
+  const double step = std::clamp(diff, -max_step, max_step);
+  double out = std::fmod(course + step, 360.0);
+  if (out < 0) out += 360.0;
+  return out;
+}
+
+}  // namespace
+
+DurationMs AisReportIntervalMs(double speed_mps) {
+  const double knots = speed_mps * kMpsToKnots;
+  if (knots < 0.5) return 180 * kSecond;
+  if (knots < 14.0) return 10 * kSecond;
+  if (knots < 23.0) return 6 * kSecond;
+  return 2 * kSecond;
+}
+
+std::vector<TruthTrace> GenerateAisFleet(const AisGeneratorConfig& config) {
+  Rng rng(config.seed);
+  std::vector<TruthTrace> traces;
+  traces.reserve(config.num_vessels);
+  const std::size_t ticks =
+      static_cast<std::size_t>(config.duration / config.tick_ms) + 1;
+  const double dt_s = config.tick_ms / 1000.0;
+  // Keep routes away from the region border so kinematic overshoot during
+  // turns stays inside the region.
+  const BoundingBox inner = config.region.Inflated(
+      -0.05 * (config.region.max_lat - config.region.min_lat));
+
+  // Shared-lane mode: pre-generate the route pool once.
+  struct Route {
+    std::vector<LatLon> waypoints;
+    std::vector<DurationMs> dwell_ms;
+  };
+  std::vector<Route> route_pool;
+  auto make_route = [&]() {
+    Route route;
+    const int n_wp = static_cast<int>(
+        rng.UniformInt(config.min_waypoints, config.max_waypoints));
+    route.waypoints.reserve(static_cast<std::size_t>(n_wp));
+    for (int w = 0; w < n_wp; ++w) {
+      route.waypoints.push_back(
+          {rng.Uniform(inner.min_lat, inner.max_lat),
+           rng.Uniform(inner.min_lon, inner.max_lon)});
+      route.dwell_ms.push_back(
+          rng.Bernoulli(config.stop_probability)
+              ? rng.UniformInt(config.min_dwell, config.max_dwell)
+              : 0);
+    }
+    return route;
+  };
+  for (std::size_t r = 0; r < config.num_routes; ++r) {
+    route_pool.push_back(make_route());
+  }
+
+  for (std::size_t v = 0; v < config.num_vessels; ++v) {
+    VesselState state;
+    Route route = route_pool.empty()
+                      ? make_route()
+                      : route_pool[v % route_pool.size()];
+    state.waypoints = route.waypoints;
+    state.dwell_ms = route.dwell_ms;
+    // Shared routes: start at a random leg so vessels are spread along
+    // the lane instead of sailing in convoy.
+    std::size_t start_wp = 0;
+    if (!route_pool.empty()) {
+      start_wp = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(
+                                state.waypoints.size()) - 1));
+    }
+    state.position = {state.waypoints[start_wp].lat_deg,
+                      state.waypoints[start_wp].lon_deg, 0.0};
+    state.next_waypoint = (start_wp + 1) % state.waypoints.size();
+    state.target_speed_mps =
+        rng.Uniform(config.min_speed_knots, config.max_speed_knots) *
+        kKnotsToMps;
+    state.speed_mps = state.target_speed_mps;
+    state.course_deg =
+        state.waypoints.size() > 1
+            ? InitialBearingDeg(state.position.ll(),
+                                state.waypoints[state.next_waypoint])
+            : rng.Uniform(0.0, 360.0);
+
+    TruthTrace trace;
+    trace.entity_id = kMmsiBase + static_cast<EntityId>(v);
+    trace.domain = Domain::kMaritime;
+    trace.tick_ms = config.tick_ms;
+    trace.start_time = config.start_time;
+    trace.samples.reserve(ticks);
+
+    double cruise_speed = state.target_speed_mps;
+    for (std::size_t tick = 0; tick < ticks; ++tick) {
+      // Record the current state.
+      PositionReport r;
+      r.entity_id = trace.entity_id;
+      r.domain = Domain::kMaritime;
+      r.timestamp =
+          config.start_time + static_cast<TimestampMs>(tick) * config.tick_ms;
+      r.position = state.position;
+      r.speed_mps = state.speed_mps;
+      r.course_deg = state.course_deg;
+      trace.samples.push_back(r);
+
+      // Advance the kinematics by one tick.
+      if (state.dwell_remaining_ms > 0) {
+        state.dwell_remaining_ms -= config.tick_ms;
+        state.target_speed_mps = 0.0;
+        if (state.dwell_remaining_ms <= 0) {
+          state.dwell_remaining_ms = 0;
+          state.target_speed_mps = cruise_speed;
+        }
+      } else if (state.next_waypoint < state.waypoints.size()) {
+        const LatLon& target = state.waypoints[state.next_waypoint];
+        const double dist = EquirectangularMeters(state.position.ll(), target);
+        if (dist < config.arrival_radius_m) {
+          const DurationMs dwell = state.dwell_ms[state.next_waypoint];
+          ++state.next_waypoint;
+          if (state.next_waypoint >= state.waypoints.size()) {
+            // Loop the route so long simulations never run out of plan.
+            state.next_waypoint = 0;
+          }
+          if (dwell > 0) state.dwell_remaining_ms = dwell;
+        } else {
+          const double desired = InitialBearingDeg(state.position.ll(), target);
+          state.course_deg =
+              TurnToward(state.course_deg, desired,
+                         config.max_turn_rate_deg_s * dt_s);
+          state.target_speed_mps = cruise_speed;
+        }
+      }
+
+      // Speed approaches target under the acceleration limit.
+      const double dv = state.target_speed_mps - state.speed_mps;
+      const double max_dv = config.accel_mps2 * dt_s;
+      state.speed_mps += std::clamp(dv, -max_dv, max_dv);
+      state.speed_mps = std::max(0.0, state.speed_mps);
+
+      const LatLon next = DestinationPoint(
+          state.position.ll(), state.course_deg, state.speed_mps * dt_s);
+      state.position = {next.lat_deg, next.lon_deg, 0.0};
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+std::vector<PositionReport> Observe(const TruthTrace& trace,
+                                    const ObservationConfig& config) {
+  // Per-entity RNG so observation of one entity is independent of fleet
+  // composition.
+  Rng rng(config.seed ^ (0x9E3779B97F4A7C15ULL * trace.entity_id));
+  std::vector<PositionReport> out;
+  if (trace.samples.empty()) return out;
+
+  TimestampMs t = trace.start_time;
+  const TimestampMs end = trace.EndTime();
+  TimestampMs gap_until = INT64_MIN;
+  while (t <= end) {
+    PositionReport truth;
+    trace.StateAt(t, &truth);
+    const DurationMs interval = config.fixed_interval_ms > 0
+                                    ? config.fixed_interval_ms
+                                    : AisReportIntervalMs(truth.speed_mps);
+    if (t >= gap_until) {
+      if (rng.Bernoulli(config.gap_probability)) {
+        gap_until = t + rng.UniformInt(config.min_gap, config.max_gap);
+      } else if (!rng.Bernoulli(config.drop_probability)) {
+        PositionReport obs = truth;
+        // Isotropic position noise.
+        const double noise_r = std::fabs(rng.Gaussian(0, config.position_noise_m));
+        const double noise_bearing = rng.Uniform(0.0, 360.0);
+        const LatLon noisy = DestinationPoint(obs.position.ll(),
+                                              noise_bearing, noise_r);
+        obs.position.lat_deg = noisy.lat_deg;
+        obs.position.lon_deg = noisy.lon_deg;
+        obs.speed_mps =
+            std::max(0.0, obs.speed_mps +
+                              rng.Gaussian(0, config.speed_noise_mps));
+        obs.course_deg = std::fmod(
+            obs.course_deg + rng.Gaussian(0, config.course_noise_deg) + 360.0,
+            360.0);
+        out.push_back(obs);
+      }
+    }
+    t += interval;
+  }
+  return out;
+}
+
+std::vector<PositionReport> ObserveFleet(
+    const std::vector<TruthTrace>& traces, const ObservationConfig& config) {
+  std::vector<PositionReport> all;
+  for (const TruthTrace& trace : traces) {
+    std::vector<PositionReport> reports = Observe(trace, config);
+    all.insert(all.end(), reports.begin(), reports.end());
+  }
+  if (config.out_of_order_jitter_ms > 0) {
+    // Sort by simulated arrival time = event time + uniform delay.
+    Rng rng(config.seed ^ 0xABCDEF12345ULL);
+    std::vector<std::pair<TimestampMs, std::size_t>> arrival(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      arrival[i] = {all[i].timestamp +
+                        rng.UniformInt(0, config.out_of_order_jitter_ms),
+                    i};
+    }
+    std::sort(arrival.begin(), arrival.end());
+    std::vector<PositionReport> shuffled;
+    shuffled.reserve(all.size());
+    for (const auto& [ts, idx] : arrival) shuffled.push_back(all[idx]);
+    return shuffled;
+  }
+  std::sort(all.begin(), all.end(), ReportTimeOrder());
+  return all;
+}
+
+}  // namespace datacron

@@ -1,0 +1,94 @@
+#ifndef DATACRON_SOURCES_AIS_GENERATOR_H_
+#define DATACRON_SOURCES_AIS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/bbox.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Configuration of the synthetic maritime (AIS) fleet simulator.
+///
+/// Substitutes for the live AIS feeds used by datAcron: each vessel sails a
+/// waypoint route inside `region` with speed- and turn-rate-limited
+/// kinematics and optional dwell (anchorage/port stop) at waypoints. The
+/// defaults model a merchant/ferry mix in an Aegean-sized area.
+struct AisGeneratorConfig {
+  BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+  std::size_t num_vessels = 100;
+  TimestampMs start_time = 1490000000000;  // 2017-03-20, project era
+  DurationMs duration = 2 * kHour;
+  DurationMs tick_ms = 1000;
+
+  /// When > 0, only this many distinct routes are generated and vessels
+  /// are assigned to them round-robin, each starting at a random phase —
+  /// the shared-lane structure of real traffic (ferry lines, shipping
+  /// lanes) that pattern-based forecasting exploits. 0 (default) gives
+  /// every vessel its own route.
+  std::size_t num_routes = 0;
+
+  int min_waypoints = 3;
+  int max_waypoints = 8;
+  double min_speed_knots = 5.0;
+  double max_speed_knots = 22.0;
+  /// Rudder limit: maximum course change per second.
+  double max_turn_rate_deg_s = 1.0;
+  /// Longitudinal acceleration limit.
+  double accel_mps2 = 0.05;
+  /// Probability that a waypoint is a dwell (stop) point.
+  double stop_probability = 0.25;
+  DurationMs min_dwell = 5 * kMinute;
+  DurationMs max_dwell = 20 * kMinute;
+  /// Arrival radius: waypoint considered reached within this distance.
+  double arrival_radius_m = 300.0;
+
+  std::uint64_t seed = 42;
+};
+
+/// Generates one dense ground-truth trace per vessel. Vessel ids are
+/// MMSI-like, starting at 200000000.
+std::vector<TruthTrace> GenerateAisFleet(const AisGeneratorConfig& config);
+
+/// AIS Class-A-like reporting interval as a function of speed: fast movers
+/// report every 2 s, mid-speed every 6 s, slow every 10 s, stationary every
+/// 180 s. This is the speed-dependent cadence real AIS transponders use.
+DurationMs AisReportIntervalMs(double speed_mps);
+
+/// Receiver/observation model: converts a clean trace into the noisy,
+/// lossy report stream a coastal receiver would emit.
+struct ObservationConfig {
+  /// 1-sigma GPS position noise (meters).
+  double position_noise_m = 10.0;
+  double speed_noise_mps = 0.2;
+  double course_noise_deg = 2.0;
+  /// Independent per-report loss.
+  double drop_probability = 0.03;
+  /// Per-report chance to start a reception gap episode.
+  double gap_probability = 0.001;
+  DurationMs min_gap = 3 * kMinute;
+  DurationMs max_gap = 15 * kMinute;
+  /// When > 0, each report's arrival is delayed by U(0, jitter) so the
+  /// merged stream is mildly out of order (exercises watermarks).
+  DurationMs out_of_order_jitter_ms = 0;
+  /// When false, the cadence is AisReportIntervalMs; when set, a fixed
+  /// interval overrides it (used by benchmarks that sweep cadence).
+  DurationMs fixed_interval_ms = 0;
+  std::uint64_t seed = 7;
+};
+
+/// Derives the observed report stream of one entity from its truth trace.
+/// Reports carry event timestamps; ordering jitter only affects the order
+/// in which Replayer delivers them.
+std::vector<PositionReport> Observe(const TruthTrace& trace,
+                                    const ObservationConfig& config);
+
+/// Observes a whole fleet and merges the streams in arrival order.
+std::vector<PositionReport> ObserveFleet(
+    const std::vector<TruthTrace>& traces, const ObservationConfig& config);
+
+}  // namespace datacron
+
+#endif  // DATACRON_SOURCES_AIS_GENERATOR_H_

@@ -1,0 +1,94 @@
+#include "sources/codec.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace datacron {
+
+std::string kReportCsvHeader() {
+  return "entity_id,domain,timestamp_ms,lat,lon,alt_m,speed_mps,course_deg,"
+         "vrate_mps";
+}
+
+std::string EncodeReportCsv(const PositionReport& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%u,%s,%lld,%.7f,%.7f,%.2f,%.3f,%.3f,%.3f",
+                r.entity_id, DomainName(r.domain),
+                static_cast<long long>(r.timestamp), r.position.lat_deg,
+                r.position.lon_deg, r.position.alt_m, r.speed_mps,
+                r.course_deg, r.vertical_rate_mps);
+  return buf;
+}
+
+Result<PositionReport> DecodeReportCsv(const std::string& line) {
+  const std::vector<std::string> fields = Split(line, ',');
+  if (fields.size() != 9) {
+    return Status::ParseError(
+        StrFormat("expected 9 fields, got %zu", fields.size()));
+  }
+  PositionReport r;
+  std::int64_t id = 0;
+  if (!ParseInt64(fields[0], &id) || id < 0) {
+    return Status::ParseError("bad entity_id: " + fields[0]);
+  }
+  r.entity_id = static_cast<EntityId>(id);
+  if (fields[1] == "maritime") {
+    r.domain = Domain::kMaritime;
+  } else if (fields[1] == "aviation") {
+    r.domain = Domain::kAviation;
+  } else {
+    return Status::ParseError("bad domain: " + fields[1]);
+  }
+  if (!ParseInt64(fields[2], &r.timestamp)) {
+    return Status::ParseError("bad timestamp: " + fields[2]);
+  }
+  if (!ParseDouble(fields[3], &r.position.lat_deg) ||
+      !ParseDouble(fields[4], &r.position.lon_deg) ||
+      !ParseDouble(fields[5], &r.position.alt_m) ||
+      !ParseDouble(fields[6], &r.speed_mps) ||
+      !ParseDouble(fields[7], &r.course_deg) ||
+      !ParseDouble(fields[8], &r.vertical_rate_mps)) {
+    return Status::ParseError("bad numeric field in: " + line);
+  }
+  if (!IsValidPosition(r.position.ll())) {
+    return Status::ParseError("position out of range in: " + line);
+  }
+  return r;
+}
+
+std::string EncodeReportsCsv(const std::vector<PositionReport>& reports) {
+  std::string out = kReportCsvHeader();
+  out += '\n';
+  for (const PositionReport& r : reports) {
+    out += EncodeReportCsv(r);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<PositionReport>> DecodeReportsCsv(
+    const std::string& text) {
+  std::vector<PositionReport> out;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ++line_no;
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (line_no == 1 && StartsWith(trimmed, "entity_id")) continue;
+    Result<PositionReport> r = DecodeReportCsv(std::string(trimmed));
+    if (!r.ok()) {
+      return Status::ParseError(
+          StrFormat("line %zu: %s", line_no, r.status().message().c_str()));
+    }
+    out.push_back(r.value());
+  }
+  return out;
+}
+
+}  // namespace datacron

@@ -1,0 +1,31 @@
+#ifndef DATACRON_SOURCES_CODEC_H_
+#define DATACRON_SOURCES_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// CSV interchange format for position reports (one report per line):
+///   entity_id,domain,timestamp_ms,lat,lon,alt_m,speed_mps,course_deg,vrate_mps
+/// `domain` is "maritime" or "aviation". This is the library's bridge to
+/// real archival dumps (e.g. AIS CSV exports) and the format examples use.
+std::string kReportCsvHeader();
+
+std::string EncodeReportCsv(const PositionReport& report);
+
+Result<PositionReport> DecodeReportCsv(const std::string& line);
+
+/// Encodes many reports with a header line.
+std::string EncodeReportsCsv(const std::vector<PositionReport>& reports);
+
+/// Decodes a whole CSV document (header optional). Malformed lines produce
+/// an error identifying the line number.
+Result<std::vector<PositionReport>> DecodeReportsCsv(const std::string& text);
+
+}  // namespace datacron
+
+#endif  // DATACRON_SOURCES_CODEC_H_

@@ -1,0 +1,65 @@
+#include "sources/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace datacron {
+
+const char* DomainName(Domain d) {
+  switch (d) {
+    case Domain::kMaritime:
+      return "maritime";
+    case Domain::kAviation:
+      return "aviation";
+  }
+  return "?";
+}
+
+namespace {
+
+double LerpAngleDeg(double a, double b, double f) {
+  double diff = std::fmod(b - a, 360.0);
+  if (diff > 180.0) diff -= 360.0;
+  if (diff < -180.0) diff += 360.0;
+  double out = std::fmod(a + f * diff, 360.0);
+  if (out < 0) out += 360.0;
+  return out;
+}
+
+}  // namespace
+
+bool TruthTrace::StateAt(TimestampMs t, PositionReport* out) const {
+  if (samples.empty() || out == nullptr) return false;
+  if (t <= start_time) {
+    *out = samples.front();
+    return true;
+  }
+  const TimestampMs offset = t - start_time;
+  const std::size_t idx = static_cast<std::size_t>(offset / tick_ms);
+  if (idx + 1 >= samples.size()) {
+    *out = samples.back();
+    return true;
+  }
+  const PositionReport& a = samples[idx];
+  const PositionReport& b = samples[idx + 1];
+  const double f =
+      static_cast<double>(offset - static_cast<TimestampMs>(idx) * tick_ms) /
+      static_cast<double>(tick_ms);
+  PositionReport r = a;
+  r.timestamp = t;
+  r.position.lat_deg = a.position.lat_deg +
+                       f * (b.position.lat_deg - a.position.lat_deg);
+  // Longitude interpolation assumes no antimeridian crossing inside one
+  // tick, which holds for the simulated regions.
+  r.position.lon_deg = a.position.lon_deg +
+                       f * (b.position.lon_deg - a.position.lon_deg);
+  r.position.alt_m = a.position.alt_m + f * (b.position.alt_m - a.position.alt_m);
+  r.speed_mps = a.speed_mps + f * (b.speed_mps - a.speed_mps);
+  r.vertical_rate_mps =
+      a.vertical_rate_mps + f * (b.vertical_rate_mps - a.vertical_rate_mps);
+  r.course_deg = LerpAngleDeg(a.course_deg, b.course_deg, f);
+  *out = r;
+  return true;
+}
+
+}  // namespace datacron

@@ -1,0 +1,75 @@
+#ifndef DATACRON_SOURCES_MODEL_H_
+#define DATACRON_SOURCES_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+/// Surveillance domain of an entity. The paper targets Maritime (2D, AIS)
+/// and Aviation (3D, ADS-B/flight plans).
+enum class Domain : std::uint8_t { kMaritime = 0, kAviation = 1 };
+
+const char* DomainName(Domain d);
+
+/// Numeric moving-entity identifier. Maritime ids model MMSIs (9 digits),
+/// aviation ids model ICAO 24-bit addresses; both fit uint32.
+using EntityId = std::uint32_t;
+
+/// One surveillance position report — the unit tuple of every data-in-motion
+/// stream in the system (paper Section 2, "Data sources").
+struct PositionReport {
+  EntityId entity_id = 0;
+  Domain domain = Domain::kMaritime;
+  TimestampMs timestamp = 0;
+  GeoPoint position;
+  /// Speed over ground, meters/second.
+  double speed_mps = 0.0;
+  /// Course over ground, degrees [0, 360).
+  double course_deg = 0.0;
+  /// Vertical rate, meters/second (0 for maritime).
+  double vertical_rate_mps = 0.0;
+
+  bool operator==(const PositionReport&) const = default;
+};
+
+/// Dense noise-free ground-truth trajectory of one simulated entity,
+/// sampled at a fixed tick. Generators produce these; the observation
+/// model (subsample + noise + loss) derives the reports a receiver would
+/// actually see. Keeping truth and observation separate lets every
+/// analytics experiment score against exact ground truth.
+struct TruthTrace {
+  EntityId entity_id = 0;
+  Domain domain = Domain::kMaritime;
+  DurationMs tick_ms = 1000;
+  TimestampMs start_time = 0;
+  /// Sample i is at start_time + i*tick_ms.
+  std::vector<PositionReport> samples;
+
+  TimestampMs EndTime() const {
+    return samples.empty()
+               ? start_time
+               : start_time + static_cast<TimestampMs>(samples.size() - 1) *
+                                  tick_ms;
+  }
+
+  /// Ground-truth state at `t`, linearly interpolated between ticks and
+  /// clamped to the trace extent. Returns false when the trace is empty.
+  bool StateAt(TimestampMs t, PositionReport* out) const;
+};
+
+/// Lexicographic (timestamp, entity) ordering for stream merging.
+struct ReportTimeOrder {
+  bool operator()(const PositionReport& a, const PositionReport& b) const {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    return a.entity_id < b.entity_id;
+  }
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_SOURCES_MODEL_H_

@@ -1,0 +1,313 @@
+#include "sources/nmea.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+namespace {
+
+/// MSB-first bit packer for AIS payloads.
+class BitWriter {
+ public:
+  void Write(std::uint64_t value, int bits) {
+    for (int i = bits - 1; i >= 0; --i) {
+      bits_.push_back(((value >> i) & 1) != 0);
+    }
+  }
+
+  /// Two's-complement signed write.
+  void WriteSigned(std::int64_t value, int bits) {
+    Write(static_cast<std::uint64_t>(value) &
+              ((bits >= 64 ? ~0ULL : (1ULL << bits) - 1)),
+          bits);
+  }
+
+  /// 6-bit ASCII armoring ("payload armoring" per the AIVDM de-facto
+  /// spec): 0..39 -> '0'.., 40..63 -> '`'..
+  std::string ToArmor() const {
+    std::string out;
+    for (std::size_t i = 0; i < bits_.size(); i += 6) {
+      int v = 0;
+      for (std::size_t j = 0; j < 6; ++j) {
+        v <<= 1;
+        if (i + j < bits_.size() && bits_[i + j]) v |= 1;
+      }
+      out += static_cast<char>(v < 40 ? v + 48 : v + 56);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return bits_.size(); }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+/// MSB-first bit reader over an armored payload.
+class BitReader {
+ public:
+  /// Returns false on characters outside the armor alphabet.
+  bool LoadArmor(const std::string& armor) {
+    bits_.clear();
+    for (char c : armor) {
+      int v = c - 48;
+      if (v > 40) v -= 8;
+      if (v < 0 || v > 63) return false;
+      for (int i = 5; i >= 0; --i) bits_.push_back(((v >> i) & 1) != 0);
+    }
+    return true;
+  }
+
+  std::uint64_t Read(int bits) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < bits; ++i) {
+      v <<= 1;
+      if (pos_ < bits_.size() && bits_[pos_]) v |= 1;
+      ++pos_;
+    }
+    return v;
+  }
+
+  std::int64_t ReadSigned(int bits) {
+    std::uint64_t v = Read(bits);
+    const std::uint64_t sign = 1ULL << (bits - 1);
+    if (v & sign) {
+      return static_cast<std::int64_t>(v) -
+             static_cast<std::int64_t>(1ULL << bits);
+    }
+    return static_cast<std::int64_t>(v);
+  }
+
+  std::size_t remaining() const {
+    return bits_.size() > pos_ ? bits_.size() - pos_ : 0;
+  }
+
+ private:
+  std::vector<bool> bits_;
+  std::size_t pos_ = 0;
+};
+
+int NmeaChecksum(const std::string& body) {
+  int sum = 0;
+  for (char c : body) sum ^= static_cast<unsigned char>(c);
+  return sum;
+}
+
+constexpr double kPosScale = 600000.0;  // 1/10000 arc-minute units
+
+}  // namespace
+
+std::string EncodeAivdm(const PositionReport& r) {
+  BitWriter bits;
+  bits.Write(1, 6);                                       // type 1
+  bits.Write(0, 2);                                       // repeat
+  bits.Write(r.entity_id, 30);                            // MMSI
+  // Navigation status: 0 under way, 1 at anchor.
+  bits.Write(r.speed_mps < 0.25 ? 1 : 0, 4);
+  bits.WriteSigned(-128, 8);                              // ROT: N/A
+  // SOG, 0.1 kn steps, capped at 102.2 kn.
+  const double knots = r.speed_mps * kMpsToKnots;
+  const std::uint64_t sog =
+      knots >= 102.2 ? 1022
+                     : static_cast<std::uint64_t>(std::lround(knots * 10));
+  bits.Write(sog, 10);
+  bits.Write(1, 1);                                       // accuracy: DGPS
+  bits.WriteSigned(
+      static_cast<std::int64_t>(std::lround(r.position.lon_deg * kPosScale)),
+      28);
+  bits.WriteSigned(
+      static_cast<std::int64_t>(std::lround(r.position.lat_deg * kPosScale)),
+      27);
+  const std::uint64_t cog = static_cast<std::uint64_t>(
+      std::lround(std::fmod(r.course_deg + 360.0, 360.0) * 10));
+  bits.Write(cog % 3600, 12);
+  bits.Write(511, 9);                                     // heading: N/A
+  bits.Write(static_cast<std::uint64_t>((r.timestamp / 1000) % 60), 6);
+  bits.Write(0, 2);                                       // maneuver
+  bits.Write(0, 3);                                       // spare
+  bits.Write(0, 1);                                       // RAIM
+  bits.Write(0, 19);                                      // radio status
+
+  const std::string body = "AIVDM,1,1,,A," + bits.ToArmor() + ",0";
+  return StrFormat("!%s*%02X", body.c_str(), NmeaChecksum(body));
+}
+
+Result<PositionReport> DecodeAivdm(const std::string& sentence,
+                                   TimestampMs receive_time) {
+  if (sentence.empty() || sentence[0] != '!') {
+    return Status::ParseError("missing '!' start");
+  }
+  const std::size_t star = sentence.rfind('*');
+  if (star == std::string::npos || star + 3 > sentence.size()) {
+    return Status::ParseError("missing checksum");
+  }
+  const std::string body = sentence.substr(1, star - 1);
+  const std::string cs_hex = sentence.substr(star + 1, 2);
+  const int expected = NmeaChecksum(body);
+  int given = 0;
+  if (std::sscanf(cs_hex.c_str(), "%02X", &given) != 1 ||
+      given != expected) {
+    return Status::ParseError("checksum mismatch");
+  }
+  const std::vector<std::string> fields = Split(body, ',');
+  if (fields.size() != 7 || fields[0] != "AIVDM") {
+    return Status::ParseError("not an AIVDM sentence");
+  }
+  if (fields[1] != "1" || fields[2] != "1") {
+    return Status::ParseError("multi-fragment messages unsupported");
+  }
+  BitReader bits;
+  if (!bits.LoadArmor(fields[5]) || bits.remaining() < 168) {
+    return Status::ParseError("bad payload");
+  }
+  const std::uint64_t type = bits.Read(6);
+  if (type != 1 && type != 2 && type != 3) {
+    return Status::ParseError(
+        StrFormat("unsupported message type %llu",
+                  static_cast<unsigned long long>(type)));
+  }
+  bits.Read(2);  // repeat
+  PositionReport r;
+  r.domain = Domain::kMaritime;
+  r.entity_id = static_cast<EntityId>(bits.Read(30));
+  bits.Read(4);                    // nav status
+  bits.ReadSigned(8);              // ROT
+  const std::uint64_t sog = bits.Read(10);
+  r.speed_mps = sog >= 1023 ? 0.0 : sog / 10.0 * kKnotsToMps;
+  bits.Read(1);                    // accuracy
+  r.position.lon_deg = bits.ReadSigned(28) / kPosScale;
+  r.position.lat_deg = bits.ReadSigned(27) / kPosScale;
+  const std::uint64_t cog = bits.Read(12);
+  r.course_deg = cog >= 3600 ? 0.0 : cog / 10.0;
+  bits.Read(9);                    // heading
+  const std::uint64_t utc_second = bits.Read(6);
+  // Reconstruct the event time: receiver time snapped back to the
+  // payload's UTC second (within the preceding minute).
+  TimestampMs t = receive_time / kMinute * kMinute +
+                  static_cast<TimestampMs>(utc_second) * kSecond;
+  if (t > receive_time) t -= kMinute;
+  r.timestamp = utc_second >= 60 ? receive_time : t;
+  if (!IsValidPosition(r.position.ll())) {
+    return Status::ParseError("position out of range");
+  }
+  return r;
+}
+
+namespace {
+
+/// AIS 6-bit text alphabet: value 0..63 -> "@A..Z[\]^_ !\"#$%&'()*+,-./0..9:;<=>?"
+char SixBitToChar(int v) {
+  static const char kAlphabet[] =
+      "@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_ !\"#$%&'()*+,-./0123456789:;<=>?";
+  return kAlphabet[v & 0x3F];
+}
+
+int CharToSixBit(char c) {
+  if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  if (c >= '@' && c <= '_') return c - '@';
+  if (c >= ' ' && c <= '?') return c - ' ' + 32;
+  return 30;  // '?' -> unrepresentable marker
+}
+
+}  // namespace
+
+std::string EncodeAivdmStatic(const StaticInfo& info) {
+  BitWriter bits;
+  bits.Write(24, 6);            // type 24
+  bits.Write(0, 2);             // repeat
+  bits.Write(info.entity_id, 30);
+  bits.Write(0, 2);             // part A
+  // Name: 20 characters, '@' (0) padded per spec.
+  for (int i = 0; i < 20; ++i) {
+    const char c = i < static_cast<int>(info.name.size())
+                       ? info.name[static_cast<std::size_t>(i)]
+                       : '@';
+    bits.Write(static_cast<std::uint64_t>(CharToSixBit(c)), 6);
+  }
+  bits.Write(0, 8);             // spare: pads to 168 bits
+  const std::string body = "AIVDM,1,1,,A," + bits.ToArmor() + ",0";
+  return StrFormat("!%s*%02X", body.c_str(), NmeaChecksum(body));
+}
+
+Result<StaticInfo> DecodeAivdmStatic(const std::string& sentence) {
+  if (sentence.empty() || sentence[0] != '!') {
+    return Status::ParseError("missing '!' start");
+  }
+  const std::size_t star = sentence.rfind('*');
+  if (star == std::string::npos || star + 3 > sentence.size()) {
+    return Status::ParseError("missing checksum");
+  }
+  const std::string body = sentence.substr(1, star - 1);
+  int given = 0;
+  if (std::sscanf(sentence.substr(star + 1, 2).c_str(), "%02X", &given) !=
+          1 ||
+      given != NmeaChecksum(body)) {
+    return Status::ParseError("checksum mismatch");
+  }
+  const std::vector<std::string> fields = Split(body, ',');
+  if (fields.size() != 7 || fields[0] != "AIVDM") {
+    return Status::ParseError("not an AIVDM sentence");
+  }
+  BitReader bits;
+  if (!bits.LoadArmor(fields[5]) || bits.remaining() < 160) {
+    return Status::ParseError("bad payload");
+  }
+  if (bits.Read(6) != 24) {
+    return Status::ParseError("not a type-24 message");
+  }
+  bits.Read(2);  // repeat
+  StaticInfo info;
+  info.entity_id = static_cast<EntityId>(bits.Read(30));
+  if (bits.Read(2) != 0) {
+    return Status::ParseError("only part A carries the name");
+  }
+  for (int i = 0; i < 20; ++i) {
+    const char c = SixBitToChar(static_cast<int>(bits.Read(6)));
+    if (c == '@') break;  // pad terminator
+    info.name += c;
+  }
+  // Trim trailing spaces (names are space-padded in practice too).
+  while (!info.name.empty() && info.name.back() == ' ') {
+    info.name.pop_back();
+  }
+  return info;
+}
+
+std::string EncodeAivdmStream(const std::vector<PositionReport>& reports) {
+  std::string out;
+  for (const PositionReport& r : reports) {
+    out += EncodeAivdm(r);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<PositionReport> DecodeAivdmStream(const std::string& text,
+                                              TimestampMs receive_time,
+                                              AivdmDecodeStats* stats) {
+  std::vector<PositionReport> out;
+  AivdmDecodeStats local;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line(Trim(text.substr(start, end - start)));
+    start = end + 1;
+    if (line.empty()) continue;
+    Result<PositionReport> r = DecodeAivdm(line, receive_time);
+    if (r.ok()) {
+      out.push_back(r.value());
+      ++local.decoded;
+    } else {
+      ++local.failed;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace datacron

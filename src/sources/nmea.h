@@ -1,0 +1,68 @@
+#ifndef DATACRON_SOURCES_NMEA_H_
+#define DATACRON_SOURCES_NMEA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// AIS AIVDM sentence codec (ITU-R M.1371 Class A position report,
+/// message type 1) — the wire format real AIS receivers emit. Makes the
+/// library a drop-in consumer of genuine AIS feeds and lets the simulator
+/// produce byte-realistic ones.
+///
+/// Encoding covers the 168-bit type-1 payload: MMSI, navigation status,
+/// speed over ground (0.1 kn), position (1/10000 arc-minute), course over
+/// ground (0.1 deg), plus the NMEA framing `!AIVDM,1,1,,A,<payload>,0*CS`
+/// with the standard XOR checksum. Fields the simulator does not model
+/// (rate of turn, true heading, maneuver indicator) encode as
+/// "not available" per the spec.
+
+/// Encodes a position report as a single-fragment AIVDM sentence.
+/// The timestamp's UTC second goes into the 6-bit timestamp field; the
+/// full timestamp does not fit in the AIS payload (real feeds timestamp
+/// at the receiver), so decoding needs `receive_time` to reconstruct it.
+std::string EncodeAivdm(const PositionReport& report);
+
+/// Decodes a type-1 AIVDM sentence. `receive_time` supplies the epoch
+/// context (the decoded report's timestamp is receive_time adjusted to
+/// the payload's UTC-second field). Validates the checksum and payload
+/// type. Aviation reports cannot be represented (AIS is maritime-only).
+Result<PositionReport> DecodeAivdm(const std::string& sentence,
+                                   TimestampMs receive_time);
+
+/// Encodes a whole stream, one sentence per line.
+std::string EncodeAivdmStream(const std::vector<PositionReport>& reports);
+
+/// Decodes a multi-line AIVDM document; malformed sentences are counted
+/// and skipped (real feeds contain corrupt sentences; a decoder that
+/// stops at the first one is useless).
+struct AivdmDecodeStats {
+  std::size_t decoded = 0;
+  std::size_t failed = 0;
+};
+
+std::vector<PositionReport> DecodeAivdmStream(const std::string& text,
+                                              TimestampMs receive_time,
+                                              AivdmDecodeStats* stats);
+
+/// Class-B static data (message type 24 part A): the vessel's name — the
+/// identity channel of AIS. Names are up to 20 characters from the AIS
+/// 6-bit alphabet (uppercase letters, digits, limited punctuation);
+/// lowercase input is upcased, unrepresentable characters encode as '?'.
+struct StaticInfo {
+  EntityId entity_id = 0;
+  std::string name;
+};
+
+std::string EncodeAivdmStatic(const StaticInfo& info);
+
+/// Decodes a type-24-part-A sentence (checksum validated).
+Result<StaticInfo> DecodeAivdmStatic(const std::string& sentence);
+
+}  // namespace datacron
+
+#endif  // DATACRON_SOURCES_NMEA_H_

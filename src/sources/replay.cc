@@ -1,0 +1,41 @@
+#include "sources/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/time_utils.h"
+
+namespace datacron {
+
+Replayer::Replayer(std::vector<PositionReport> reports, double speedup)
+    : reports_(std::move(reports)), speedup_(speedup) {
+  std::sort(reports_.begin(), reports_.end(), ReportTimeOrder());
+}
+
+bool Replayer::Next(PositionReport* out) {
+  if (cursor_ >= reports_.size()) return false;
+  const PositionReport& r = reports_[cursor_++];
+  if (speedup_ > 0) {
+    if (!anchored_) {
+      anchored_ = true;
+      first_event_time_ = r.timestamp;
+      anchor_nanos_ = MonotonicNanos();
+    } else {
+      const double sim_elapsed_ms =
+          static_cast<double>(r.timestamp - first_event_time_);
+      const std::int64_t due_nanos =
+          anchor_nanos_ +
+          static_cast<std::int64_t>(sim_elapsed_ms / speedup_ * 1e6);
+      const std::int64_t now = MonotonicNanos();
+      if (due_nanos > now) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(due_nanos - now));
+      }
+    }
+  }
+  *out = r;
+  return true;
+}
+
+}  // namespace datacron

@@ -1,0 +1,43 @@
+#ifndef DATACRON_SOURCES_REPLAY_H_
+#define DATACRON_SOURCES_REPLAY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Replays a pre-merged report stream as a pull source, optionally scaled
+/// against the wall clock. The analytics components consume streams tuple
+/// by tuple; the replayer is how archival data (data-at-rest) is fed back
+/// through the same streaming path as live data (data-in-motion) — the
+/// paper's "integrated approach" to both.
+class Replayer {
+ public:
+  /// `speedup` <= 0 replays as fast as possible (no sleeping); otherwise
+  /// one simulated second takes 1/speedup wall seconds.
+  explicit Replayer(std::vector<PositionReport> reports,
+                    double speedup = 0.0);
+
+  /// Pulls the next report; returns false at end of stream. When pacing is
+  /// enabled this blocks until the report's due time.
+  bool Next(PositionReport* out);
+
+  /// Remaining items.
+  std::size_t Remaining() const { return reports_.size() - cursor_; }
+
+  void Reset() { cursor_ = 0; anchored_ = false; }
+
+ private:
+  std::vector<PositionReport> reports_;
+  double speedup_;
+  std::size_t cursor_ = 0;
+  bool anchored_ = false;
+  TimestampMs first_event_time_ = 0;
+  std::int64_t anchor_nanos_ = 0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_SOURCES_REPLAY_H_

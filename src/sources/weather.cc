@@ -1,0 +1,82 @@
+#include "sources/weather.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace datacron {
+
+double WeatherSample::WindSpeed() const {
+  return std::sqrt(wind_u_mps * wind_u_mps + wind_v_mps * wind_v_mps);
+}
+
+WeatherSource::WeatherSource(const Config& config)
+    : config_(config), grid_(config.region, config.cell_deg) {
+  Rng rng(config.seed);
+  constexpr int kModes = 6;
+  modes_.reserve(kModes);
+  for (int i = 0; i < kModes; ++i) {
+    Mode m;
+    m.kx = rng.Uniform(0.5, 3.0);
+    m.ky = rng.Uniform(0.5, 3.0);
+    m.kt = rng.Uniform(0.1, 0.8);
+    m.phase = rng.Uniform(0.0, 2.0 * M_PI);
+    m.amplitude = rng.Uniform(0.3, 1.0);
+    modes_.push_back(m);
+  }
+}
+
+double WeatherSource::FieldValue(const LatLon& center, std::int64_t bucket,
+                                 std::uint64_t phase_salt) const {
+  const double x = (center.lon_deg - config_.region.min_lon) /
+                   (config_.region.max_lon - config_.region.min_lon);
+  const double y = (center.lat_deg - config_.region.min_lat) /
+                   (config_.region.max_lat - config_.region.min_lat);
+  const double t = static_cast<double>(bucket);
+  double acc = 0.0;
+  double norm = 0.0;
+  const double salt = static_cast<double>(phase_salt % 97) / 97.0 * 2.0 * M_PI;
+  for (const Mode& m : modes_) {
+    acc += m.amplitude * std::sin(2.0 * M_PI * (m.kx * x + m.ky * y) +
+                                  m.kt * t + m.phase + salt);
+    norm += m.amplitude;
+  }
+  return norm > 0 ? acc / norm : 0.0;  // in [-1, 1]
+}
+
+WeatherSample WeatherSource::At(const LatLon& p, TimestampMs t) const {
+  WeatherSample s;
+  s.cell = grid_.CellOf(p);
+  std::int64_t bucket = (t - config_.start_time) / config_.bucket_ms;
+  bucket = std::max<std::int64_t>(0, std::min(bucket, BucketCount() - 1));
+  s.bucket_start = config_.start_time + bucket * config_.bucket_ms;
+  const LatLon center = grid_.CellCenter(s.cell);
+  s.wind_u_mps = config_.mean_wind_mps * 0.5 +
+                 config_.wind_variability_mps * FieldValue(center, bucket, 1);
+  s.wind_v_mps =
+      config_.wind_variability_mps * FieldValue(center, bucket, 2);
+  s.wave_height_m = std::max(
+      0.0, config_.mean_wave_m +
+               config_.wave_variability_m * FieldValue(center, bucket, 3));
+  return s;
+}
+
+std::int64_t WeatherSource::BucketCount() const {
+  return std::max<std::int64_t>(1, config_.duration / config_.bucket_ms);
+}
+
+std::vector<WeatherSample> WeatherSource::MaterializeAll() const {
+  std::vector<WeatherSample> out;
+  const std::int64_t buckets = BucketCount();
+  out.reserve(static_cast<std::size_t>(grid_.CellCount() * buckets));
+  for (std::int64_t b = 0; b < buckets; ++b) {
+    const TimestampMs t = config_.start_time + b * config_.bucket_ms;
+    for (std::int64_t i = 0; i < grid_.CellCount(); ++i) {
+      const GridCell cell = grid_.FromLinearIndex(i);
+      out.push_back(At(grid_.CellCenter(cell), t));
+    }
+  }
+  return out;
+}
+
+}  // namespace datacron

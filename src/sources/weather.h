@@ -1,0 +1,78 @@
+#ifndef DATACRON_SOURCES_WEATHER_H_
+#define DATACRON_SOURCES_WEATHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/grid.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// One weather observation for a grid cell and time bucket. This is the
+/// library's archival "data-at-rest" source (datAcron enriched moving-object
+/// streams with meteorological data); link discovery associates position
+/// reports with the cell/time weather record they experienced.
+struct WeatherSample {
+  GridCell cell;
+  TimestampMs bucket_start = 0;
+  double wind_u_mps = 0.0;  // eastward wind component
+  double wind_v_mps = 0.0;  // northward wind component
+  double wave_height_m = 0.0;
+
+  double WindSpeed() const;
+};
+
+/// Deterministic synthetic weather field: smooth in space and time (sum of
+/// seeded sinusoidal modes), discretized to a uniform grid and hourly-style
+/// buckets. Being analytic, any (position, time) can be queried without
+/// storing the full field; MaterializeAll() renders the archival dataset
+/// for RDF loading.
+class WeatherSource {
+ public:
+  struct Config {
+    BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+    double cell_deg = 0.25;
+    DurationMs bucket_ms = kHour;
+    TimestampMs start_time = 1490000000000;
+    DurationMs duration = 24 * kHour;
+    double mean_wind_mps = 8.0;
+    double wind_variability_mps = 5.0;
+    double mean_wave_m = 1.2;
+    double wave_variability_m = 1.0;
+    std::uint64_t seed = 99;
+  };
+
+  explicit WeatherSource(const Config& config);
+
+  const Config& config() const { return config_; }
+  const UniformGrid& grid() const { return grid_; }
+
+  /// Weather at an arbitrary position/time (snapped to cell & bucket).
+  WeatherSample At(const LatLon& p, TimestampMs t) const;
+
+  /// Number of time buckets covered by the configured duration.
+  std::int64_t BucketCount() const;
+
+  /// Renders every (cell, bucket) record — the archival dataset.
+  std::vector<WeatherSample> MaterializeAll() const;
+
+ private:
+  /// Smooth field value for (cell center, bucket index); `phase_salt`
+  /// decorrelates the three physical fields.
+  double FieldValue(const LatLon& center, std::int64_t bucket,
+                    std::uint64_t phase_salt) const;
+
+  Config config_;
+  UniformGrid grid_;
+  // Random mode parameters fixed at construction.
+  struct Mode {
+    double kx, ky, kt, phase, amplitude;
+  };
+  std::vector<Mode> modes_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_SOURCES_WEATHER_H_

@@ -1,0 +1,110 @@
+#ifndef DATACRON_STREAM_OPERATOR_H_
+#define DATACRON_STREAM_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time_utils.h"
+
+namespace datacron {
+
+/// Per-operator counters; each operator owns one and the pipeline runner
+/// aggregates them. Latency is measured per Process() call in nanoseconds.
+struct OperatorMetrics {
+  std::string name;
+  std::size_t items_in = 0;
+  std::size_t items_out = 0;
+  RunningStats process_nanos;
+
+  double SelectivityPct() const {
+    return items_in == 0 ? 0.0 : 100.0 * items_out / items_in;
+  }
+};
+
+/// A streaming operator: consumes one In, emits zero or more Out. These are
+/// the paper's "primitive operators applied directly on the data streams".
+/// Stateless operators (map/filter) ignore Flush(); windowed/stateful
+/// operators emit pending state there.
+template <typename In, typename Out>
+class Operator {
+ public:
+  explicit Operator(std::string name) { metrics_.name = std::move(name); }
+  virtual ~Operator() = default;
+
+  /// Processes one element, appending any outputs to `out`.
+  virtual void Process(const In& item, std::vector<Out>* out) = 0;
+
+  /// Called once at end-of-stream to release buffered state.
+  virtual void Flush(std::vector<Out>* out) { (void)out; }
+
+  /// Process() wrapper that maintains metrics. Pipelines call this.
+  void ProcessCounted(const In& item, std::vector<Out>* out) {
+    const std::size_t before = out->size();
+    const std::int64_t t0 = MonotonicNanos();
+    Process(item, out);
+    metrics_.process_nanos.Add(
+        static_cast<double>(MonotonicNanos() - t0));
+    ++metrics_.items_in;
+    metrics_.items_out += out->size() - before;
+  }
+
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+ protected:
+  OperatorMetrics metrics_;
+};
+
+/// 1:1 transformation from a callable.
+template <typename In, typename Out>
+class MapOperator : public Operator<In, Out> {
+ public:
+  using Fn = std::function<Out(const In&)>;
+  MapOperator(std::string name, Fn fn)
+      : Operator<In, Out>(std::move(name)), fn_(std::move(fn)) {}
+
+  void Process(const In& item, std::vector<Out>* out) override {
+    out->push_back(fn_(item));
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Keeps elements for which the predicate holds.
+template <typename T>
+class FilterOperator : public Operator<T, T> {
+ public:
+  using Pred = std::function<bool(const T&)>;
+  FilterOperator(std::string name, Pred pred)
+      : Operator<T, T>(std::move(name)), pred_(std::move(pred)) {}
+
+  void Process(const T& item, std::vector<T>* out) override {
+    if (pred_(item)) out->push_back(item);
+  }
+
+ private:
+  Pred pred_;
+};
+
+/// 1:N transformation from a callable that appends to a vector.
+template <typename In, typename Out>
+class FlatMapOperator : public Operator<In, Out> {
+ public:
+  using Fn = std::function<void(const In&, std::vector<Out>*)>;
+  FlatMapOperator(std::string name, Fn fn)
+      : Operator<In, Out>(std::move(name)), fn_(std::move(fn)) {}
+
+  void Process(const In& item, std::vector<Out>* out) override {
+    fn_(item, out);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_STREAM_OPERATOR_H_

@@ -1,0 +1,20 @@
+// The stream module is header-only templates; this translation unit exists
+// so the static library has an archive member and template headers get a
+// syntax check during library builds.
+#include "stream/operator.h"
+#include "stream/pipeline.h"
+#include "stream/queue.h"
+#include "stream/window.h"
+
+namespace datacron {
+namespace {
+// Force a couple of common instantiations to catch template errors early.
+[[maybe_unused]] void InstantiationCheck() {
+  MapOperator<int, int> map_op("m", [](const int& x) { return x + 1; });
+  FilterOperator<int> filter_op("f", [](const int& x) { return x > 0; });
+  std::vector<int> out;
+  map_op.ProcessCounted(1, &out);
+  filter_op.ProcessCounted(2, &out);
+}
+}  // namespace
+}  // namespace datacron

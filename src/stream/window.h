@@ -1,0 +1,226 @@
+#ifndef DATACRON_STREAM_WINDOW_H_
+#define DATACRON_STREAM_WINDOW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/time_utils.h"
+#include "stream/operator.h"
+
+namespace datacron {
+
+/// Result of one closed window for one key.
+template <typename Key, typename Acc>
+struct WindowResult {
+  Key key{};
+  TimestampMs window_start = 0;
+  TimestampMs window_end = 0;  // exclusive
+  Acc value{};
+};
+
+/// Event-time tumbling window with watermark-based triggering.
+///
+/// Elements are assigned to [k*size, (k+1)*size) windows by their event
+/// timestamp. The watermark is max-seen-event-time minus
+/// `allowed_lateness`; a window fires when the watermark passes its end.
+/// Elements older than the watermark are counted as dropped-late (streams
+/// from surveillance receivers are mildly out of order, which this absorbs).
+template <typename T, typename Key, typename Acc>
+class TumblingWindowOperator
+    : public Operator<T, WindowResult<Key, Acc>> {
+ public:
+  using Out = WindowResult<Key, Acc>;
+  using KeyFn = std::function<Key(const T&)>;
+  using TimeFn = std::function<TimestampMs(const T&)>;
+  using AddFn = std::function<void(Acc*, const T&)>;
+
+  TumblingWindowOperator(std::string name, DurationMs window_size,
+                         DurationMs allowed_lateness, KeyFn key_fn,
+                         TimeFn time_fn, AddFn add_fn)
+      : Operator<T, Out>(std::move(name)),
+        window_size_(window_size),
+        allowed_lateness_(allowed_lateness),
+        key_fn_(std::move(key_fn)),
+        time_fn_(std::move(time_fn)),
+        add_fn_(std::move(add_fn)) {}
+
+  void Process(const T& item, std::vector<Out>* out) override {
+    const TimestampMs ts = time_fn_(item);
+    if (ts < Watermark()) {
+      ++dropped_late_;
+      return;
+    }
+    max_event_time_ = std::max(max_event_time_, ts);
+    const TimestampMs start = WindowStartOf(ts);
+    Acc& acc = windows_[{start, key_fn_(item)}];
+    add_fn_(&acc, item);
+    EmitRipeWindows(out);
+  }
+
+  void Flush(std::vector<Out>* out) override {
+    for (auto& [sk, acc] : windows_) {
+      out->push_back(Out{sk.second, sk.first, sk.first + window_size_,
+                         std::move(acc)});
+    }
+    windows_.clear();
+  }
+
+  std::size_t dropped_late() const { return dropped_late_; }
+  TimestampMs Watermark() const {
+    return max_event_time_ == kNoTime
+               ? kNoTime
+               : max_event_time_ - allowed_lateness_;
+  }
+
+ private:
+  static constexpr TimestampMs kNoTime = INT64_MIN;
+
+  TimestampMs WindowStartOf(TimestampMs ts) const {
+    TimestampMs start = ts / window_size_ * window_size_;
+    if (ts < 0 && start > ts) start -= window_size_;
+    return start;
+  }
+
+  void EmitRipeWindows(std::vector<Out>* out) {
+    const TimestampMs wm = Watermark();
+    // Keyed windows are ordered by start time, so ripe ones are a prefix.
+    auto it = windows_.begin();
+    while (it != windows_.end() && it->first.first + window_size_ <= wm) {
+      out->push_back(Out{it->first.second, it->first.first,
+                         it->first.first + window_size_,
+                         std::move(it->second)});
+      it = windows_.erase(it);
+    }
+  }
+
+  const DurationMs window_size_;
+  const DurationMs allowed_lateness_;
+  KeyFn key_fn_;
+  TimeFn time_fn_;
+  AddFn add_fn_;
+  // (window_start, key) -> accumulator; map keeps starts sorted for cheap
+  // ripe-prefix eviction.
+  std::map<std::pair<TimestampMs, Key>, Acc> windows_;
+  TimestampMs max_event_time_ = kNoTime;
+  std::size_t dropped_late_ = 0;
+};
+
+/// Event-time session window: elements of one key belong to the same
+/// session while consecutive timestamps are within `session_gap`; a
+/// longer silence closes the session (emitted on the next element or at
+/// Flush). This is online trip segmentation — the streaming counterpart
+/// of trajectory/SplitAtGaps.
+template <typename T, typename Key, typename Acc>
+class SessionWindowOperator
+    : public Operator<T, WindowResult<Key, Acc>> {
+ public:
+  using Out = WindowResult<Key, Acc>;
+  using KeyFn = std::function<Key(const T&)>;
+  using TimeFn = std::function<TimestampMs(const T&)>;
+  using AddFn = std::function<void(Acc*, const T&)>;
+
+  SessionWindowOperator(std::string name, DurationMs session_gap,
+                        KeyFn key_fn, TimeFn time_fn, AddFn add_fn)
+      : Operator<T, Out>(std::move(name)),
+        session_gap_(session_gap),
+        key_fn_(std::move(key_fn)),
+        time_fn_(std::move(time_fn)),
+        add_fn_(std::move(add_fn)) {}
+
+  void Process(const T& item, std::vector<Out>* out) override {
+    const Key key = key_fn_(item);
+    const TimestampMs ts = time_fn_(item);
+    auto it = sessions_.find(key);
+    if (it != sessions_.end() && ts - it->second.last_time > session_gap_) {
+      out->push_back(Out{key, it->second.start_time, it->second.last_time,
+                         std::move(it->second.acc)});
+      sessions_.erase(it);
+      it = sessions_.end();
+    }
+    if (it == sessions_.end()) {
+      Session s;
+      s.start_time = ts;
+      s.last_time = ts;
+      add_fn_(&s.acc, item);
+      sessions_.emplace(key, std::move(s));
+    } else {
+      it->second.last_time = std::max(it->second.last_time, ts);
+      add_fn_(&it->second.acc, item);
+    }
+  }
+
+  void Flush(std::vector<Out>* out) override {
+    for (auto& [key, s] : sessions_) {
+      out->push_back(Out{key, s.start_time, s.last_time, std::move(s.acc)});
+    }
+    sessions_.clear();
+  }
+
+  std::size_t OpenSessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    TimestampMs start_time = 0;
+    TimestampMs last_time = 0;
+    Acc acc{};
+  };
+
+  const DurationMs session_gap_;
+  KeyFn key_fn_;
+  TimeFn time_fn_;
+  AddFn add_fn_;
+  std::map<Key, Session> sessions_;
+};
+
+/// Per-key sliding window that retains raw elements within `span` of the
+/// newest element for that key; on every input it emits a callback result
+/// computed over the key's retained deque. Used by CEP primitives that need
+/// the recent history of an entity (e.g. loitering detection).
+template <typename T, typename Key, typename Out>
+class SlidingWindowOperator : public Operator<T, Out> {
+ public:
+  using KeyFn = std::function<Key(const T&)>;
+  using TimeFn = std::function<TimestampMs(const T&)>;
+  /// Computes outputs from the retained window (oldest..newest) after the
+  /// new element was appended.
+  using EvalFn =
+      std::function<void(const Key&, const std::vector<T>&, std::vector<Out>*)>;
+
+  SlidingWindowOperator(std::string name, DurationMs span, KeyFn key_fn,
+                        TimeFn time_fn, EvalFn eval_fn)
+      : Operator<T, Out>(std::move(name)),
+        span_(span),
+        key_fn_(std::move(key_fn)),
+        time_fn_(std::move(time_fn)),
+        eval_fn_(std::move(eval_fn)) {}
+
+  void Process(const T& item, std::vector<Out>* out) override {
+    const Key key = key_fn_(item);
+    std::vector<T>& buf = state_[key];
+    buf.push_back(item);
+    const TimestampMs newest = time_fn_(item);
+    // Evict from the front anything older than the span.
+    std::size_t keep_from = 0;
+    while (keep_from < buf.size() &&
+           time_fn_(buf[keep_from]) + span_ < newest) {
+      ++keep_from;
+    }
+    if (keep_from > 0) buf.erase(buf.begin(), buf.begin() + keep_from);
+    eval_fn_(key, buf, out);
+  }
+
+ private:
+  const DurationMs span_;
+  KeyFn key_fn_;
+  TimeFn time_fn_;
+  EvalFn eval_fn_;
+  std::map<Key, std::vector<T>> state_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_STREAM_WINDOW_H_

@@ -1,0 +1,185 @@
+#include "synopses/compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geo.h"
+
+namespace datacron {
+
+DeadReckoningCompressor::DeadReckoningCompressor(double threshold_m)
+    : Operator<PositionReport, PositionReport>("dead_reckoning_compressor"),
+      threshold_m_(threshold_m) {}
+
+void DeadReckoningCompressor::Process(const PositionReport& report,
+                                      std::vector<PositionReport>* out) {
+  EntityState& st = state_[report.entity_id];
+  if (!st.has_last_kept) {
+    st.has_last_kept = true;
+    st.last_kept = report;
+    st.last_seen = report;
+    out->push_back(report);
+    return;
+  }
+  if (report.timestamp < st.last_seen.timestamp) return;  // out of order
+  st.last_seen = report;
+
+  const double horizon_s =
+      static_cast<double>(report.timestamp - st.last_kept.timestamp) / 1000.0;
+  const GeoPoint predicted = DeadReckon(
+      st.last_kept.position, st.last_kept.course_deg, st.last_kept.speed_mps,
+      st.last_kept.vertical_rate_mps, horizon_s);
+  const double deviation =
+      report.domain == Domain::kAviation
+          ? Distance3dMeters(predicted, report.position)
+          : HaversineMeters(predicted.ll(), report.position.ll());
+  if (deviation > threshold_m_) {
+    st.last_kept = report;
+    out->push_back(report);
+  }
+}
+
+void DeadReckoningCompressor::Flush(std::vector<PositionReport>* out) {
+  for (auto& [id, st] : state_) {
+    if (st.has_last_kept &&
+        st.last_seen.timestamp != st.last_kept.timestamp) {
+      out->push_back(st.last_seen);
+    }
+  }
+  state_.clear();
+}
+
+double SedMeters(const PositionReport& a, const PositionReport& b,
+                 const PositionReport& p) {
+  const double span =
+      static_cast<double>(b.timestamp - a.timestamp);
+  double f = span > 0
+                 ? static_cast<double>(p.timestamp - a.timestamp) / span
+                 : 0.0;
+  f = std::clamp(f, 0.0, 1.0);
+  GeoPoint synced;
+  synced.lat_deg =
+      a.position.lat_deg + f * (b.position.lat_deg - a.position.lat_deg);
+  synced.lon_deg =
+      a.position.lon_deg + f * (b.position.lon_deg - a.position.lon_deg);
+  synced.alt_m = a.position.alt_m + f * (b.position.alt_m - a.position.alt_m);
+  return Distance3dMeters(synced, p.position);
+}
+
+namespace {
+
+/// Shared recursive skeleton: `deviation(a, b, p)` scores how badly `p`
+/// deviates from the segment (a, b).
+template <typename DeviationFn>
+void DpRecurse(const std::vector<PositionReport>& pts, std::size_t first,
+               std::size_t last, double epsilon,
+               const DeviationFn& deviation, std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  double worst = -1.0;
+  std::size_t worst_idx = first;
+  for (std::size_t i = first + 1; i < last; ++i) {
+    const double d = deviation(pts[first], pts[last], pts[i]);
+    if (d > worst) {
+      worst = d;
+      worst_idx = i;
+    }
+  }
+  if (worst > epsilon) {
+    (*keep)[worst_idx] = true;
+    DpRecurse(pts, first, worst_idx, epsilon, deviation, keep);
+    DpRecurse(pts, worst_idx, last, epsilon, deviation, keep);
+  }
+}
+
+template <typename DeviationFn>
+std::vector<PositionReport> DpRun(const std::vector<PositionReport>& points,
+                                  double epsilon,
+                                  const DeviationFn& deviation) {
+  if (points.size() <= 2) return points;
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  DpRecurse(points, 0, points.size() - 1, epsilon, deviation, &keep);
+  std::vector<PositionReport> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PositionReport> DouglasPeucker(
+    const std::vector<PositionReport>& points, double epsilon_m) {
+  return DpRun(points, epsilon_m,
+               [](const PositionReport& a, const PositionReport& b,
+                  const PositionReport& p) {
+                 return PointToSegmentMeters(p.position.ll(),
+                                             a.position.ll(),
+                                             b.position.ll());
+               });
+}
+
+std::vector<PositionReport> DouglasPeuckerSed(
+    const std::vector<PositionReport>& points, double epsilon_m) {
+  return DpRun(points, epsilon_m, SedMeters);
+}
+
+bool InterpolateAt(const std::vector<PositionReport>& kept, TimestampMs t,
+                   GeoPoint* out) {
+  if (kept.empty() || out == nullptr) return false;
+  if (t <= kept.front().timestamp) {
+    *out = kept.front().position;
+    return true;
+  }
+  if (t >= kept.back().timestamp) {
+    *out = kept.back().position;
+    return true;
+  }
+  // Binary search for the bracketing pair.
+  std::size_t lo = 0;
+  std::size_t hi = kept.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (kept[mid].timestamp <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const PositionReport& a = kept[lo];
+  const PositionReport& b = kept[hi];
+  const double span = static_cast<double>(b.timestamp - a.timestamp);
+  const double f =
+      span > 0 ? static_cast<double>(t - a.timestamp) / span : 0.0;
+  out->lat_deg =
+      a.position.lat_deg + f * (b.position.lat_deg - a.position.lat_deg);
+  out->lon_deg =
+      a.position.lon_deg + f * (b.position.lon_deg - a.position.lon_deg);
+  out->alt_m = a.position.alt_m + f * (b.position.alt_m - a.position.alt_m);
+  return true;
+}
+
+CompressionQuality EvaluateCompression(
+    const std::vector<PositionReport>& truth,
+    const std::vector<PositionReport>& kept) {
+  CompressionQuality q;
+  q.original_points = truth.size();
+  q.kept_points = kept.size();
+  if (truth.empty() || kept.empty()) return q;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const PositionReport& p : truth) {
+    GeoPoint interp;
+    InterpolateAt(kept, p.timestamp, &interp);
+    const double d = Distance3dMeters(interp, p.position);
+    sum += d;
+    sum_sq += d * d;
+    q.max_sed_m = std::max(q.max_sed_m, d);
+  }
+  q.mean_sed_m = sum / truth.size();
+  q.rmse_m = std::sqrt(sum_sq / truth.size());
+  return q;
+}
+
+}  // namespace datacron

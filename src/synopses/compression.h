@@ -1,0 +1,93 @@
+#ifndef DATACRON_SYNOPSES_COMPRESSION_H_
+#define DATACRON_SYNOPSES_COMPRESSION_H_
+
+#include <map>
+#include <vector>
+
+#include "sources/model.h"
+#include "stream/operator.h"
+
+namespace datacron {
+
+/// Online dead-reckoning threshold compressor.
+///
+/// Keeps the last *kept* report per entity; a new report is kept only when
+/// the position dead-reckoned from the kept report (using its speed/course/
+/// vertical rate) deviates from the actual position by more than
+/// `threshold_m` meters (3D distance for aviation). This is the classic
+/// one-pass trajectory compression with a per-point error bound — exactly
+/// the guarantee the paper's "compression without affecting the quality of
+/// analytics" claim rests on.
+class DeadReckoningCompressor
+    : public Operator<PositionReport, PositionReport> {
+ public:
+  explicit DeadReckoningCompressor(double threshold_m);
+
+  void Process(const PositionReport& report,
+               std::vector<PositionReport>* out) override;
+
+  /// Emits the last report of each entity so trajectories are closed.
+  void Flush(std::vector<PositionReport>* out) override;
+
+  double threshold_m() const { return threshold_m_; }
+
+ private:
+  struct EntityState {
+    PositionReport last_kept;
+    PositionReport last_seen;
+    bool has_last_kept = false;
+  };
+
+  double threshold_m_;
+  std::map<EntityId, EntityState> state_;
+};
+
+/// Offline Douglas–Peucker simplification over a single-entity,
+/// time-ordered sequence of reports, using perpendicular (cross-track)
+/// distance in meters. Returns the kept subsequence (always includes the
+/// first and last points).
+std::vector<PositionReport> DouglasPeucker(
+    const std::vector<PositionReport>& points, double epsilon_m);
+
+/// Spatiotemporal Douglas–Peucker using Synchronized Euclidean Distance:
+/// the deviation of point p is measured against where the moving object
+/// *would have been at p's timestamp* when travelling a->b uniformly.
+/// SED respects the time axis, so simplification preserves kinematics, not
+/// just geometry — the right metric for forecasting workloads.
+std::vector<PositionReport> DouglasPeuckerSed(
+    const std::vector<PositionReport>& points, double epsilon_m);
+
+/// Synchronized Euclidean Distance of `p` against uniform motion a->b.
+double SedMeters(const PositionReport& a, const PositionReport& b,
+                 const PositionReport& p);
+
+/// Quality of a compressed trajectory versus dense ground truth: for every
+/// truth sample, the distance to the compressed trajectory's interpolated
+/// position at that timestamp.
+struct CompressionQuality {
+  double mean_sed_m = 0.0;
+  double max_sed_m = 0.0;
+  double rmse_m = 0.0;
+  std::size_t original_points = 0;
+  std::size_t kept_points = 0;
+
+  double CompressionRatio() const {
+    return kept_points == 0
+               ? 0.0
+               : static_cast<double>(original_points) / kept_points;
+  }
+};
+
+/// Evaluates `kept` (time-ordered subset for one entity) against `truth`.
+CompressionQuality EvaluateCompression(
+    const std::vector<PositionReport>& truth,
+    const std::vector<PositionReport>& kept);
+
+/// Linear interpolation of a compressed trajectory at time `t` (clamped to
+/// the ends). Returns false when `kept` is empty.
+bool InterpolateAt(const std::vector<PositionReport>& kept, TimestampMs t,
+                   GeoPoint* out);
+
+}  // namespace datacron
+
+#endif  // DATACRON_SYNOPSES_COMPRESSION_H_

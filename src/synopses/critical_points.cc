@@ -1,0 +1,134 @@
+#include "synopses/critical_points.h"
+
+#include <cmath>
+
+#include "geo/geo.h"
+
+namespace datacron {
+
+const char* CriticalPointTypeName(CriticalPointType type) {
+  switch (type) {
+    case CriticalPointType::kTrajectoryStart:
+      return "trajectory_start";
+    case CriticalPointType::kStopStart:
+      return "stop_start";
+    case CriticalPointType::kStopEnd:
+      return "stop_end";
+    case CriticalPointType::kTurningPoint:
+      return "turning_point";
+    case CriticalPointType::kSpeedChange:
+      return "speed_change";
+    case CriticalPointType::kGapStart:
+      return "gap_start";
+    case CriticalPointType::kGapEnd:
+      return "gap_end";
+    case CriticalPointType::kAltitudeChange:
+      return "altitude_change";
+    case CriticalPointType::kHeartbeat:
+      return "heartbeat";
+    case CriticalPointType::kTrajectoryEnd:
+      return "trajectory_end";
+  }
+  return "?";
+}
+
+CriticalPointDetector::CriticalPointDetector(CriticalPointConfig config)
+    : Operator<PositionReport, CriticalPoint>("critical_point_detector"),
+      config_(config) {}
+
+void CriticalPointDetector::Emit(const PositionReport& report,
+                                 CriticalPointType type, EntityState* state,
+                                 std::vector<CriticalPoint>* out) {
+  out->push_back(CriticalPoint{report, type});
+  state->last_emitted = report;
+  state->course_accum_deg = 0.0;
+}
+
+void CriticalPointDetector::Process(const PositionReport& report,
+                                    std::vector<CriticalPoint>* out) {
+  EntityState& st = state_[report.entity_id];
+  if (!st.started) {
+    st.started = true;
+    st.stopped = report.speed_mps < config_.stop_speed_mps;
+    st.last_report = report;
+    Emit(report, CriticalPointType::kTrajectoryStart, &st, out);
+    return;
+  }
+
+  // Out-of-order reports would corrupt the O(1) state; drop them here.
+  // The windowing layer upstream reorders within its lateness bound.
+  if (report.timestamp < st.last_report.timestamp) return;
+
+  // 1. Communication gap: emit the point before the silence (GapStart, at
+  // the previous report's location) and the resumption point (GapEnd).
+  const DurationMs silence = report.timestamp - st.last_report.timestamp;
+  if (silence >= config_.gap_threshold) {
+    out->push_back(CriticalPoint{st.last_report, CriticalPointType::kGapStart});
+    st.last_emitted = st.last_report;
+    Emit(report, CriticalPointType::kGapEnd, &st, out);
+    st.stopped = report.speed_mps < config_.stop_speed_mps;
+    st.last_report = report;
+    return;
+  }
+
+  // 2. Stop detection (hysteresis between stop start/end).
+  const bool now_stopped = report.speed_mps < config_.stop_speed_mps;
+  if (now_stopped != st.stopped) {
+    st.stopped = now_stopped;
+    Emit(report,
+         now_stopped ? CriticalPointType::kStopStart
+                     : CriticalPointType::kStopEnd,
+         &st, out);
+    st.last_report = report;
+    return;
+  }
+
+  // 3. Turning point: accumulated heading change since the last emission.
+  st.course_accum_deg +=
+      CourseDifferenceDeg(report.course_deg, st.last_report.course_deg);
+  if (!now_stopped && st.course_accum_deg >= config_.turn_threshold_deg) {
+    Emit(report, CriticalPointType::kTurningPoint, &st, out);
+    st.last_report = report;
+    return;
+  }
+
+  // 4. Speed change vs. the last emitted point.
+  const double base_speed =
+      std::max(st.last_emitted.speed_mps, config_.stop_speed_mps);
+  if (std::fabs(report.speed_mps - st.last_emitted.speed_mps) >=
+      config_.speed_change_ratio * base_speed) {
+    Emit(report, CriticalPointType::kSpeedChange, &st, out);
+    st.last_report = report;
+    return;
+  }
+
+  // 5. Altitude regime change (aviation).
+  if (report.domain == Domain::kAviation &&
+      std::fabs(report.vertical_rate_mps -
+                st.last_emitted.vertical_rate_mps) >=
+          config_.vertical_rate_threshold_mps) {
+    Emit(report, CriticalPointType::kAltitudeChange, &st, out);
+    st.last_report = report;
+    return;
+  }
+
+  // 6. Heartbeat keep-alive.
+  if (config_.heartbeat_interval > 0 &&
+      report.timestamp - st.last_emitted.timestamp >=
+          config_.heartbeat_interval) {
+    Emit(report, CriticalPointType::kHeartbeat, &st, out);
+  }
+  st.last_report = report;
+}
+
+void CriticalPointDetector::Flush(std::vector<CriticalPoint>* out) {
+  for (auto& [id, st] : state_) {
+    if (st.started) {
+      out->push_back(
+          CriticalPoint{st.last_report, CriticalPointType::kTrajectoryEnd});
+    }
+  }
+  state_.clear();
+}
+
+}  // namespace datacron

@@ -1,0 +1,95 @@
+#ifndef DATACRON_SYNOPSES_CRITICAL_POINTS_H_
+#define DATACRON_SYNOPSES_CRITICAL_POINTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sources/model.h"
+#include "stream/operator.h"
+
+namespace datacron {
+
+/// Kinds of trajectory "critical points" — the semantically important
+/// samples the in-situ processing keeps. Everything between consecutive
+/// critical points is assumed to be well-approximated by dead reckoning,
+/// which is what gives the high compression rates the paper claims without
+/// hurting downstream analytics.
+enum class CriticalPointType : std::uint8_t {
+  kTrajectoryStart = 0,
+  kStopStart,
+  kStopEnd,
+  kTurningPoint,
+  kSpeedChange,
+  kGapStart,
+  kGapEnd,
+  kAltitudeChange,   // aviation: climb/descent regime change
+  kHeartbeat,        // periodic keep-alive when nothing else fires
+  kTrajectoryEnd,
+};
+
+const char* CriticalPointTypeName(CriticalPointType type);
+
+/// A position report annotated as critical.
+struct CriticalPoint {
+  PositionReport report;
+  CriticalPointType type = CriticalPointType::kHeartbeat;
+};
+
+/// Thresholds of the online detector. Defaults follow the maritime
+/// settings in the datAcron synopses literature (stop < 0.5 kn, turn >
+/// 6 degrees, speed change > 25%, gap > 10 min).
+struct CriticalPointConfig {
+  /// Below this speed an entity is considered stopped.
+  double stop_speed_mps = 0.5 * kKnotsToMps;
+  /// Accumulated course change that triggers a turning point.
+  double turn_threshold_deg = 6.0;
+  /// Relative speed change (vs. speed at last emission) that triggers.
+  double speed_change_ratio = 0.25;
+  /// A silence longer than this is a communication gap.
+  DurationMs gap_threshold = 10 * kMinute;
+  /// Vertical rate change that triggers an altitude-change point (m/s);
+  /// only meaningful for aviation.
+  double vertical_rate_threshold_mps = 3.0;
+  /// Emit a heartbeat if nothing fired for this long (0 disables).
+  DurationMs heartbeat_interval = 10 * kMinute;
+};
+
+/// Streaming operator: PositionReport -> CriticalPoint. Keeps O(1) state
+/// per entity; this is one of the paper's "primitive operators applied
+/// directly on the data streams". Reports of many entities may interleave.
+class CriticalPointDetector
+    : public Operator<PositionReport, CriticalPoint> {
+ public:
+  explicit CriticalPointDetector(CriticalPointConfig config = {});
+
+  void Process(const PositionReport& report,
+               std::vector<CriticalPoint>* out) override;
+
+  /// Emits TrajectoryEnd for every tracked entity.
+  void Flush(std::vector<CriticalPoint>* out) override;
+
+  const CriticalPointConfig& config() const { return config_; }
+
+  /// Number of entities with live state.
+  std::size_t TrackedEntities() const { return state_.size(); }
+
+ private:
+  struct EntityState {
+    PositionReport last_report;
+    PositionReport last_emitted;
+    double course_accum_deg = 0.0;
+    bool stopped = false;
+    bool started = false;
+  };
+
+  void Emit(const PositionReport& report, CriticalPointType type,
+            EntityState* state, std::vector<CriticalPoint>* out);
+
+  CriticalPointConfig config_;
+  std::map<EntityId, EntityState> state_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_SYNOPSES_CRITICAL_POINTS_H_

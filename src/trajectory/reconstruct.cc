@@ -1,0 +1,158 @@
+#include "trajectory/reconstruct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geo.h"
+
+namespace datacron {
+
+std::vector<PositionReport> RejectOutliers(
+    const std::vector<PositionReport>& points, double max_speed_mps,
+    std::size_t* rejected) {
+  std::vector<PositionReport> out;
+  out.reserve(points.size());
+  std::size_t dropped = 0;
+  for (const PositionReport& p : points) {
+    if (!IsValidPosition(p.position.ll())) {
+      ++dropped;
+      continue;
+    }
+    if (!out.empty()) {
+      const PositionReport& prev = out.back();
+      const double dt_s =
+          static_cast<double>(p.timestamp - prev.timestamp) / 1000.0;
+      if (dt_s > 0) {
+        const double d = Distance3dMeters(prev.position, p.position);
+        if (d / dt_s > max_speed_mps) {
+          ++dropped;
+          continue;
+        }
+      } else if (dt_s == 0 && p.position == prev.position) {
+        ++dropped;  // exact duplicate
+        continue;
+      }
+    }
+    out.push_back(p);
+  }
+  if (rejected != nullptr) *rejected = dropped;
+  return out;
+}
+
+std::vector<std::vector<PositionReport>> SplitAtGaps(
+    const std::vector<PositionReport>& points, DurationMs gap_threshold) {
+  std::vector<std::vector<PositionReport>> segments;
+  std::vector<PositionReport> current;
+  for (const PositionReport& p : points) {
+    if (!current.empty() &&
+        p.timestamp - current.back().timestamp > gap_threshold) {
+      segments.push_back(std::move(current));
+      current.clear();
+    }
+    current.push_back(p);
+  }
+  if (!current.empty()) segments.push_back(std::move(current));
+  return segments;
+}
+
+std::vector<PositionReport> Resample(
+    const std::vector<PositionReport>& segment, DurationMs interval) {
+  std::vector<PositionReport> out;
+  if (segment.empty()) return out;
+  if (segment.size() == 1) return segment;
+
+  const TimestampMs t0 = segment.front().timestamp;
+  const TimestampMs t1 = segment.back().timestamp;
+  std::size_t cursor = 0;
+  for (TimestampMs t = t0; t <= t1; t += interval) {
+    while (cursor + 1 < segment.size() &&
+           segment[cursor + 1].timestamp <= t) {
+      ++cursor;
+    }
+    PositionReport r = segment[cursor];
+    if (cursor + 1 < segment.size() &&
+        segment[cursor + 1].timestamp > segment[cursor].timestamp) {
+      const PositionReport& a = segment[cursor];
+      const PositionReport& b = segment[cursor + 1];
+      const double f = static_cast<double>(t - a.timestamp) /
+                       static_cast<double>(b.timestamp - a.timestamp);
+      r.position.lat_deg =
+          a.position.lat_deg + f * (b.position.lat_deg - a.position.lat_deg);
+      r.position.lon_deg =
+          a.position.lon_deg + f * (b.position.lon_deg - a.position.lon_deg);
+      r.position.alt_m = a.position.alt_m + f * (b.position.alt_m - a.position.alt_m);
+    }
+    r.timestamp = t;
+    out.push_back(r);
+  }
+
+  // Recompute speed/course from the resampled motion so kinematics are
+  // self-consistent after interpolation.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    const double dt_s =
+        static_cast<double>(out[i + 1].timestamp - out[i].timestamp) / 1000.0;
+    if (dt_s <= 0) continue;
+    const double d =
+        HaversineMeters(out[i].position.ll(), out[i + 1].position.ll());
+    out[i].speed_mps = d / dt_s;
+    if (d > 1.0) {
+      out[i].course_deg =
+          InitialBearingDeg(out[i].position.ll(), out[i + 1].position.ll());
+    }
+    out[i].vertical_rate_mps =
+        (out[i + 1].position.alt_m - out[i].position.alt_m) / dt_s;
+  }
+  if (out.size() >= 2) {
+    // Last point inherits the final leg's kinematics.
+    out.back().speed_mps = out[out.size() - 2].speed_mps;
+    out.back().course_deg = out[out.size() - 2].course_deg;
+    out.back().vertical_rate_mps = out[out.size() - 2].vertical_rate_mps;
+  }
+  return out;
+}
+
+std::vector<Trajectory> Reconstruct(const std::vector<PositionReport>& raw,
+                                    const ReconstructionConfig& config,
+                                    ReconstructionStats* stats) {
+  ReconstructionStats local;
+  local.input_points = raw.size();
+
+  std::vector<PositionReport> sorted = raw;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const PositionReport& a, const PositionReport& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  const std::vector<PositionReport> clean =
+      RejectOutliers(sorted, config.max_speed_mps, &local.outliers_rejected);
+
+  std::vector<Trajectory> out;
+  for (std::vector<PositionReport>& seg :
+       SplitAtGaps(clean, config.gap_split_threshold)) {
+    if (seg.size() < config.min_segment_points) continue;
+    Trajectory traj;
+    traj.entity_id = seg.front().entity_id;
+    traj.domain = seg.front().domain;
+    traj.points = Resample(seg, config.resample_interval);
+    local.output_points += traj.points.size();
+    out.push_back(std::move(traj));
+  }
+  local.segments = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+double ReconstructionErrorMeters(const Trajectory& reconstructed,
+                                 const TruthTrace& truth) {
+  if (reconstructed.points.empty()) return 0.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const PositionReport& p : reconstructed.points) {
+    PositionReport t;
+    if (!truth.StateAt(p.timestamp, &t)) continue;
+    sum += Distance3dMeters(p.position, t.position);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+}  // namespace datacron

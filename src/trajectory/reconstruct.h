@@ -1,0 +1,64 @@
+#ifndef DATACRON_TRAJECTORY_RECONSTRUCT_H_
+#define DATACRON_TRAJECTORY_RECONSTRUCT_H_
+
+#include <vector>
+
+#include "sources/model.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+
+/// Trajectory reconstruction (paper Section 1: "reconstruction ... of
+/// moving entities' trajectories"): turn a noisy, lossy, irregular report
+/// stream back into a clean, regularly sampled trajectory.
+struct ReconstructionConfig {
+  /// A point implying a speed above this (relative to its predecessor) is
+  /// an impossible jump and is rejected. Maritime default ~55 m/s
+  /// (~107 kn); use ~400 m/s for aviation.
+  double max_speed_mps = 55.0;
+  /// Resampling interval of the reconstructed trajectory.
+  DurationMs resample_interval = 30 * kSecond;
+  /// Silences longer than this are *not* interpolated across — they split
+  /// the trajectory into trips (a gap means the entity genuinely left
+  /// coverage; inventing positions there would poison analytics).
+  DurationMs gap_split_threshold = 15 * kMinute;
+  /// Minimum points for a trip segment to be kept.
+  std::size_t min_segment_points = 2;
+};
+
+struct ReconstructionStats {
+  std::size_t input_points = 0;
+  std::size_t outliers_rejected = 0;
+  std::size_t segments = 0;
+  std::size_t output_points = 0;
+};
+
+/// Removes kinematically impossible points (speed gate against the last
+/// accepted point). Input must be time-ordered.
+std::vector<PositionReport> RejectOutliers(
+    const std::vector<PositionReport>& points, double max_speed_mps,
+    std::size_t* rejected = nullptr);
+
+/// Splits a time-ordered point sequence into trip segments at gaps.
+std::vector<std::vector<PositionReport>> SplitAtGaps(
+    const std::vector<PositionReport>& points, DurationMs gap_threshold);
+
+/// Resamples one segment at a fixed interval by kinematic interpolation
+/// (positions lerped; speed/course recomputed from the resampled motion).
+std::vector<PositionReport> Resample(
+    const std::vector<PositionReport>& segment, DurationMs interval);
+
+/// Full pipeline: outlier gate -> gap split -> resample. Returns one
+/// Trajectory per trip segment.
+std::vector<Trajectory> Reconstruct(const std::vector<PositionReport>& raw,
+                                    const ReconstructionConfig& config,
+                                    ReconstructionStats* stats = nullptr);
+
+/// Mean distance between a reconstructed trajectory and ground truth,
+/// sampled at the reconstruction's own timestamps.
+double ReconstructionErrorMeters(const Trajectory& reconstructed,
+                                 const TruthTrace& truth);
+
+}  // namespace datacron
+
+#endif  // DATACRON_TRAJECTORY_RECONSTRUCT_H_

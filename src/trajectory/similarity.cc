@@ -1,0 +1,108 @@
+#include "trajectory/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/geo.h"
+
+namespace datacron {
+
+namespace {
+
+double PointDistance(const PositionReport& x, const PositionReport& y) {
+  return EquirectangularMeters(x.position.ll(), y.position.ll());
+}
+
+}  // namespace
+
+double DtwDistanceMeters(const Trajectory& a, const Trajectory& b) {
+  const std::vector<PositionReport>& p = a.points;
+  const std::vector<PositionReport>& q = b.points;
+  if (p.empty() || q.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t n = p.size();
+  const std::size_t m = q.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Rolling rows: cost and path length for normalization.
+  std::vector<double> prev_cost(m + 1, kInf), cur_cost(m + 1, kInf);
+  std::vector<std::size_t> prev_len(m + 1, 0), cur_len(m + 1, 0);
+  prev_cost[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur_cost[0] = kInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const double d = PointDistance(p[i - 1], q[j - 1]);
+      double best = prev_cost[j - 1];
+      std::size_t best_len = prev_len[j - 1];
+      if (prev_cost[j] < best) {
+        best = prev_cost[j];
+        best_len = prev_len[j];
+      }
+      if (cur_cost[j - 1] < best) {
+        best = cur_cost[j - 1];
+        best_len = cur_len[j - 1];
+      }
+      cur_cost[j] = best + d;
+      cur_len[j] = best_len + 1;
+    }
+    std::swap(prev_cost, cur_cost);
+    std::swap(prev_len, cur_len);
+  }
+  const double total = prev_cost[m];
+  const std::size_t len = prev_len[m];
+  return len == 0 ? total : total / static_cast<double>(len);
+}
+
+double FrechetDistanceMeters(const Trajectory& a, const Trajectory& b) {
+  const std::vector<PositionReport>& p = a.points;
+  const std::vector<PositionReport>& q = b.points;
+  if (p.empty() || q.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t n = p.size();
+  const std::size_t m = q.size();
+  std::vector<double> prev(m), cur(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double d = PointDistance(p[0], q[j]);
+    prev[j] = j == 0 ? d : std::max(prev[j - 1], d);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double d = PointDistance(p[i], q[j]);
+      double reach;
+      if (j == 0) {
+        reach = prev[0];
+      } else {
+        reach = std::min({prev[j], prev[j - 1], cur[j - 1]});
+      }
+      cur[j] = std::max(reach, d);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m - 1];
+}
+
+ClusteringResult ClusterByThreshold(const std::vector<Trajectory>& trajs,
+                                    double threshold_m,
+                                    TrajectoryDistanceFn distance) {
+  ClusteringResult result;
+  result.assignment.assign(trajs.size(), -1);
+  for (std::size_t i = 0; i < trajs.size(); ++i) {
+    int assigned = -1;
+    for (std::size_t c = 0; c < result.medoids.size(); ++c) {
+      if (distance(trajs[i], trajs[result.medoids[c]]) <= threshold_m) {
+        assigned = static_cast<int>(c);
+        break;
+      }
+    }
+    if (assigned < 0) {
+      result.medoids.push_back(i);
+      assigned = static_cast<int>(result.medoids.size() - 1);
+    }
+    result.assignment[i] = assigned;
+  }
+  return result;
+}
+
+}  // namespace datacron

@@ -1,0 +1,42 @@
+#ifndef DATACRON_TRAJECTORY_SIMILARITY_H_
+#define DATACRON_TRAJECTORY_SIMILARITY_H_
+
+#include <vector>
+
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+
+/// Dynamic Time Warping distance between two trajectories (meters;
+/// sum of matched pair distances along the optimal warping path divided by
+/// path length, i.e. normalized DTW). O(n*m) time, O(min(n,m)) memory.
+double DtwDistanceMeters(const Trajectory& a, const Trajectory& b);
+
+/// Discrete Fréchet distance between two trajectories (meters) — the
+/// classic "dog leash" measure; more sensitive to worst-case deviation
+/// than DTW. O(n*m).
+double FrechetDistanceMeters(const Trajectory& a, const Trajectory& b);
+
+/// Simple agglomerative-style medoid clustering under a distance
+/// threshold: greedily assigns each trajectory to the first medoid within
+/// `threshold_m`, creating a new cluster otherwise. Returns medoid indices
+/// per input trajectory. Deterministic given input order. Used by the
+/// cluster-based route predictor (forecast module).
+struct ClusteringResult {
+  /// cluster id per input trajectory.
+  std::vector<int> assignment;
+  /// index (into the input) of each cluster's medoid.
+  std::vector<std::size_t> medoids;
+};
+
+using TrajectoryDistanceFn = double (*)(const Trajectory&,
+                                        const Trajectory&);
+
+ClusteringResult ClusterByThreshold(const std::vector<Trajectory>& trajs,
+                                    double threshold_m,
+                                    TrajectoryDistanceFn distance =
+                                        &DtwDistanceMeters);
+
+}  // namespace datacron
+
+#endif  // DATACRON_TRAJECTORY_SIMILARITY_H_

@@ -1,0 +1,88 @@
+#include "trajectory/trajectory_index.h"
+
+#include <algorithm>
+#include <set>
+
+namespace datacron {
+
+void TrajectoryIndex::Build(const std::vector<Trajectory>& trajectories) {
+  segments_.clear();
+  std::vector<RTree::Entry> entries;
+  for (const Trajectory& traj : trajectories) {
+    for (std::size_t i = 1; i < traj.points.size(); ++i) {
+      const PositionReport& a = traj.points[i - 1];
+      const PositionReport& b = traj.points[i];
+      Segment seg;
+      seg.entity = traj.entity_id;
+      seg.a = a.position.ll();
+      seg.b = b.position.ll();
+      seg.t_start = a.timestamp;
+      seg.t_end = b.timestamp;
+      BoundingBox box = BoundingBox::OfPoint(seg.a);
+      box.Extend(seg.b);
+      entries.push_back({box, segments_.size()});
+      segments_.push_back(seg);
+    }
+  }
+  rtree_.Build(std::move(entries));
+}
+
+bool TrajectoryIndex::SegmentIntersectsBox(const LatLon& a, const LatLon& b,
+                                           const BoundingBox& box) {
+  if (box.Contains(a) || box.Contains(b)) return true;
+  // Liang-Barsky style clipping of the parametric segment against the
+  // rectangle (lat = y, lon = x).
+  const double dx = b.lon_deg - a.lon_deg;
+  const double dy = b.lat_deg - a.lat_deg;
+  double t0 = 0.0, t1 = 1.0;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a.lon_deg - box.min_lon, box.max_lon - a.lon_deg,
+                       a.lat_deg - box.min_lat, box.max_lat - a.lat_deg};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0) return false;  // parallel and outside
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0) {
+      t0 = std::max(t0, r);
+    } else {
+      t1 = std::min(t1, r);
+    }
+    if (t0 > t1) return false;
+  }
+  return true;
+}
+
+std::vector<EntityId> TrajectoryIndex::Query(const BoundingBox& box,
+                                             TimestampMs t0,
+                                             TimestampMs t1) const {
+  const bool temporal = t0 <= t1;
+  std::set<EntityId> found;
+  for (std::uint64_t idx : rtree_.Search(box)) {
+    const Segment& seg = segments_[idx];
+    if (temporal && (seg.t_end < t0 || seg.t_start > t1)) continue;
+    if (found.count(seg.entity)) continue;
+    if (SegmentIntersectsBox(seg.a, seg.b, box)) found.insert(seg.entity);
+  }
+  return {found.begin(), found.end()};
+}
+
+std::vector<EntityId> TrajectoryIndex::NearestEntities(
+    const LatLon& p, std::size_t k) const {
+  std::vector<EntityId> out;
+  std::set<EntityId> seen;
+  // Over-fetch segments: distinct entities may need several candidates.
+  const std::vector<std::uint64_t> nearest =
+      rtree_.Nearest(p, std::min(segments_.size(), k * 8 + 16));
+  for (std::uint64_t idx : nearest) {
+    const EntityId entity = segments_[idx].entity;
+    if (seen.insert(entity).second) {
+      out.push_back(entity);
+      if (out.size() >= k) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace datacron

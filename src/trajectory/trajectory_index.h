@@ -1,0 +1,55 @@
+#ifndef DATACRON_TRAJECTORY_TRAJECTORY_INDEX_H_
+#define DATACRON_TRAJECTORY_TRAJECTORY_INDEX_H_
+
+#include <vector>
+
+#include "common/time_utils.h"
+#include "geo/rtree.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+
+/// Spatiotemporal index over trajectory *segments*: each consecutive point
+/// pair becomes one R-tree entry, so range queries return exactly the
+/// trajectories whose path crosses the window (not merely those with a
+/// sample inside it — a fast vessel can cross a small box between two
+/// samples). The standard access method for "which movers passed through
+/// here, then?" questions in trajectory databases.
+class TrajectoryIndex {
+ public:
+  /// Builds from a set of trajectories. Each segment carries its time
+  /// span for the temporal filter.
+  void Build(const std::vector<Trajectory>& trajectories);
+
+  std::size_t SegmentCount() const { return segments_.size(); }
+  bool empty() const { return segments_.empty(); }
+
+  /// Entities whose trajectory intersects `box`, optionally restricted to
+  /// segments overlapping [t0, t1] (pass t0 > t1 to ignore time).
+  /// Intersection is tested exactly against the segment geometry, not
+  /// just its bounding box.
+  std::vector<EntityId> Query(const BoundingBox& box, TimestampMs t0 = 1,
+                              TimestampMs t1 = 0) const;
+
+  /// The `k` distinct entities with a segment nearest to `p`.
+  std::vector<EntityId> NearestEntities(const LatLon& p,
+                                        std::size_t k) const;
+
+ private:
+  struct Segment {
+    EntityId entity;
+    LatLon a, b;
+    TimestampMs t_start, t_end;
+  };
+
+  /// True if segment (a,b) intersects the rectangle.
+  static bool SegmentIntersectsBox(const LatLon& a, const LatLon& b,
+                                   const BoundingBox& box);
+
+  std::vector<Segment> segments_;
+  RTree rtree_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_TRAJECTORY_TRAJECTORY_INDEX_H_

@@ -1,0 +1,81 @@
+#include "trajectory/trajectory_store.h"
+
+#include <algorithm>
+
+#include "geo/geo.h"
+
+namespace datacron {
+
+double Trajectory::LengthMeters() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += HaversineMeters(points[i - 1].position.ll(),
+                             points[i].position.ll());
+  }
+  return total;
+}
+
+BoundingBox Trajectory::Bounds() const {
+  BoundingBox box = BoundingBox::Empty();
+  for (const PositionReport& p : points) box.Extend(p.position.ll());
+  return box;
+}
+
+void TrajectoryStore::Add(const PositionReport& report) {
+  Trajectory& traj = trajectories_[report.entity_id];
+  if (traj.points.empty()) {
+    traj.entity_id = report.entity_id;
+    traj.domain = report.domain;
+  }
+  if (traj.points.empty() ||
+      traj.points.back().timestamp <= report.timestamp) {
+    traj.points.push_back(report);
+    return;
+  }
+  // Out-of-order: insert at the right position.
+  auto it = std::upper_bound(
+      traj.points.begin(), traj.points.end(), report,
+      [](const PositionReport& a, const PositionReport& b) {
+        return a.timestamp < b.timestamp;
+      });
+  traj.points.insert(it, report);
+}
+
+void TrajectoryStore::AddAll(const std::vector<PositionReport>& reports) {
+  for (const PositionReport& r : reports) Add(r);
+}
+
+std::size_t TrajectoryStore::TotalPoints() const {
+  std::size_t n = 0;
+  for (const auto& [id, traj] : trajectories_) n += traj.points.size();
+  return n;
+}
+
+const Trajectory& TrajectoryStore::Get(EntityId id) const {
+  static const Trajectory kEmpty;
+  auto it = trajectories_.find(id);
+  return it == trajectories_.end() ? kEmpty : it->second;
+}
+
+std::vector<EntityId> TrajectoryStore::Entities() const {
+  std::vector<EntityId> out;
+  out.reserve(trajectories_.size());
+  for (const auto& [id, traj] : trajectories_) out.push_back(id);
+  return out;
+}
+
+std::vector<PositionReport> TrajectoryStore::GetRange(EntityId id,
+                                                      TimestampMs t0,
+                                                      TimestampMs t1) const {
+  std::vector<PositionReport> out;
+  const Trajectory& traj = Get(id);
+  auto lo = std::lower_bound(
+      traj.points.begin(), traj.points.end(), t0,
+      [](const PositionReport& p, TimestampMs t) { return p.timestamp < t; });
+  for (auto it = lo; it != traj.points.end() && it->timestamp <= t1; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace datacron

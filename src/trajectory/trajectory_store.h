@@ -1,0 +1,64 @@
+#ifndef DATACRON_TRAJECTORY_TRAJECTORY_STORE_H_
+#define DATACRON_TRAJECTORY_TRAJECTORY_STORE_H_
+
+#include <map>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// A reconstructed, time-ordered trajectory of one entity (possibly one
+/// trip segment of it).
+struct Trajectory {
+  EntityId entity_id = 0;
+  Domain domain = Domain::kMaritime;
+  std::vector<PositionReport> points;
+
+  bool empty() const { return points.empty(); }
+  TimestampMs StartTime() const {
+    return points.empty() ? 0 : points.front().timestamp;
+  }
+  TimestampMs EndTime() const {
+    return points.empty() ? 0 : points.back().timestamp;
+  }
+  DurationMs Duration() const { return EndTime() - StartTime(); }
+
+  /// Sum of inter-point great-circle distances (meters).
+  double LengthMeters() const;
+
+  BoundingBox Bounds() const;
+};
+
+/// Accumulates reports per entity, keeping them time-ordered. The
+/// trajectory-management layer every analytics component reads from.
+class TrajectoryStore {
+ public:
+  /// Inserts a report in timestamp order (amortized O(1) for in-order
+  /// streams; out-of-order reports shift into place).
+  void Add(const PositionReport& report);
+
+  void AddAll(const std::vector<PositionReport>& reports);
+
+  std::size_t EntityCount() const { return trajectories_.size(); }
+  std::size_t TotalPoints() const;
+
+  /// The entity's full trajectory; empty when unknown.
+  const Trajectory& Get(EntityId id) const;
+
+  std::vector<EntityId> Entities() const;
+
+  /// Points of `id` with timestamp in [t0, t1].
+  std::vector<PositionReport> GetRange(EntityId id, TimestampMs t0,
+                                       TimestampMs t1) const;
+
+  void Clear() { trajectories_.clear(); }
+
+ private:
+  std::map<EntityId, Trajectory> trajectories_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_TRAJECTORY_TRAJECTORY_STORE_H_

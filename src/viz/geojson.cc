@@ -1,0 +1,89 @@
+#include "viz/geojson.h"
+
+#include "common/strings.h"
+
+namespace datacron {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string FeatureCollection(const std::vector<std::string>& features) {
+  std::string out = "{\"type\":\"FeatureCollection\",\"features\":[";
+  out += Join(features, ",");
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+std::string TrajectoriesToGeoJson(const std::vector<Trajectory>& trajs) {
+  std::vector<std::string> features;
+  features.reserve(trajs.size());
+  for (const Trajectory& t : trajs) {
+    std::string coords;
+    for (std::size_t i = 0; i < t.points.size(); ++i) {
+      if (i > 0) coords += ",";
+      coords += StrFormat("[%.6f,%.6f,%.1f]", t.points[i].position.lon_deg,
+                          t.points[i].position.lat_deg,
+                          t.points[i].position.alt_m);
+    }
+    features.push_back(StrFormat(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+        "\"coordinates\":[%s]},\"properties\":{\"entity\":%u,"
+        "\"domain\":\"%s\",\"points\":%zu}}",
+        coords.c_str(), t.entity_id, DomainName(t.domain),
+        t.points.size()));
+  }
+  return FeatureCollection(features);
+}
+
+std::string EventsToGeoJson(const std::vector<Event>& events) {
+  std::vector<std::string> features;
+  features.reserve(events.size());
+  for (const Event& e : events) {
+    std::string ents;
+    for (std::size_t i = 0; i < e.entities.size(); ++i) {
+      if (i > 0) ents += ",";
+      ents += StrFormat("%u", e.entities[i]);
+    }
+    features.push_back(StrFormat(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+        "\"coordinates\":[%.6f,%.6f]},\"properties\":{\"kind\":\"%s\","
+        "\"label\":\"%s\",\"time\":%lld,\"lead_s\":%.0f,"
+        "\"entities\":[%s]}}",
+        e.position.lon_deg, e.position.lat_deg, EventKindName(e.kind),
+        JsonEscape(e.label).c_str(), static_cast<long long>(e.time),
+        e.LeadTime() / 1000.0, ents.c_str()));
+  }
+  return FeatureCollection(features);
+}
+
+std::string AreasToGeoJson(const std::vector<NamedArea>& areas) {
+  std::vector<std::string> features;
+  features.reserve(areas.size());
+  for (const NamedArea& a : areas) {
+    std::string ring;
+    const auto& verts = a.polygon.vertices();
+    if (verts.empty()) continue;
+    for (std::size_t i = 0; i <= verts.size(); ++i) {
+      const LatLon& v = verts[i % verts.size()];  // closed ring
+      if (i > 0) ring += ",";
+      ring += StrFormat("[%.6f,%.6f]", v.lon_deg, v.lat_deg);
+    }
+    features.push_back(StrFormat(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+        "\"coordinates\":[[%s]]},\"properties\":{\"name\":\"%s\"}}",
+        ring.c_str(), JsonEscape(a.name).c_str()));
+  }
+  return FeatureCollection(features);
+}
+
+}  // namespace datacron

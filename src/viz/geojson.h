@@ -1,0 +1,27 @@
+#ifndef DATACRON_VIZ_GEOJSON_H_
+#define DATACRON_VIZ_GEOJSON_H_
+
+#include <string>
+#include <vector>
+
+#include "cep/event.h"
+#include "geo/polygon.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+
+/// GeoJSON export — the interchange the VA front-end consumes. Each
+/// function renders a full FeatureCollection document.
+
+/// Trajectories as LineString features with entity/domain properties.
+std::string TrajectoriesToGeoJson(const std::vector<Trajectory>& trajs);
+
+/// Events as Point features with kind/label/lead-time properties.
+std::string EventsToGeoJson(const std::vector<Event>& events);
+
+/// Areas as Polygon features.
+std::string AreasToGeoJson(const std::vector<NamedArea>& areas);
+
+}  // namespace datacron
+
+#endif  // DATACRON_VIZ_GEOJSON_H_

@@ -1,0 +1,91 @@
+#include "viz/raster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace datacron {
+
+DensityRaster::DensityRaster(const BoundingBox& region, int width,
+                             int height)
+    : region_(region),
+      width_(std::max(1, width)),
+      height_(std::max(1, height)),
+      cells_(static_cast<std::size_t>(width_) * height_, 0.0) {}
+
+void DensityRaster::Add(const LatLon& p, double weight) {
+  if (!region_.Contains(p)) return;
+  const double fx =
+      (p.lon_deg - region_.min_lon) / (region_.max_lon - region_.min_lon);
+  const double fy =
+      (p.lat_deg - region_.min_lat) / (region_.max_lat - region_.min_lat);
+  const int x = std::min(width_ - 1, static_cast<int>(fx * width_));
+  const int y = std::min(height_ - 1, static_cast<int>(fy * height_));
+  cells_[Index(x, y)] += weight;
+}
+
+void DensityRaster::AddReports(const std::vector<PositionReport>& reports) {
+  for (const PositionReport& r : reports) Add(r.position.ll());
+}
+
+double DensityRaster::MaxValue() const {
+  double m = 0.0;
+  for (double c : cells_) m = std::max(m, c);
+  return m;
+}
+
+DensityRaster DensityRaster::Downsample(int factor) const {
+  factor = std::max(1, factor);
+  DensityRaster out(region_, std::max(1, width_ / factor),
+                    std::max(1, height_ / factor));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const int ox = std::min(out.width_ - 1, x / factor);
+      const int oy = std::min(out.height_ - 1, y / factor);
+      out.cells_[out.Index(ox, oy)] += cells_[Index(x, y)];
+    }
+  }
+  return out;
+}
+
+std::string DensityRaster::ToAscii() const {
+  static const char kRamp[] = " .:-=+*#%@";
+  const int ramp_max = static_cast<int>(sizeof(kRamp)) - 2;
+  const double max_val = MaxValue();
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width_ + 1) * height_));
+  for (int y = height_ - 1; y >= 0; --y) {  // north at top
+    for (int x = 0; x < width_; ++x) {
+      const double v = cells_[Index(x, y)];
+      int level = 0;
+      if (max_val > 0 && v > 0) {
+        // Log scale keeps sparse sea lanes visible next to dense ports.
+        level = 1 + static_cast<int>((ramp_max - 1) *
+                                     std::log1p(v) / std::log1p(max_val));
+        level = std::min(level, ramp_max);
+      }
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string DensityRaster::ToCsv() const {
+  std::string out = "x,y,lat,lon,count\n";
+  const double dlat = (region_.max_lat - region_.min_lat) / height_;
+  const double dlon = (region_.max_lon - region_.min_lon) / width_;
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const double v = cells_[Index(x, y)];
+      if (v <= 0) continue;
+      out += StrFormat("%d,%d,%.5f,%.5f,%.1f\n", x, y,
+                       region_.min_lat + (y + 0.5) * dlat,
+                       region_.min_lon + (x + 0.5) * dlon, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace datacron

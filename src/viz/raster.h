@@ -1,0 +1,53 @@
+#ifndef DATACRON_VIZ_RASTER_H_
+#define DATACRON_VIZ_RASTER_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// 2D density raster — the aggregation backend of the visual-analytics
+/// component: the VA front-end datAcron describes renders density maps and
+/// trajectory overviews; this produces those aggregates (and an ASCII
+/// rendering for terminal inspection).
+class DensityRaster {
+ public:
+  DensityRaster(const BoundingBox& region, int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const BoundingBox& region() const { return region_; }
+
+  void Add(const LatLon& p, double weight = 1.0);
+  void AddReports(const std::vector<PositionReport>& reports);
+
+  double At(int x, int y) const { return cells_[Index(x, y)]; }
+  double MaxValue() const;
+
+  /// Downsampled copy (level-of-detail for zoomed-out views).
+  DensityRaster Downsample(int factor) const;
+
+  /// Terminal rendering: rows top (north) to bottom, density ramp
+  /// " .:-=+*#%@".
+  std::string ToAscii() const;
+
+  /// "x,y,lat,lon,count" CSV of non-empty cells.
+  std::string ToCsv() const;
+
+ private:
+  std::size_t Index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+  BoundingBox region_;
+  int width_;
+  int height_;
+  std::vector<double> cells_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_VIZ_RASTER_H_

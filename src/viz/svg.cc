@@ -1,0 +1,105 @@
+#include "viz/svg.h"
+
+#include "common/strings.h"
+
+namespace datacron {
+
+SvgMap::SvgMap(const BoundingBox& region, int width, int height)
+    : region_(region), width_(width), height_(height) {}
+
+SvgMap::Pt SvgMap::Project(const LatLon& p) const {
+  const double fx =
+      (p.lon_deg - region_.min_lon) / (region_.max_lon - region_.min_lon);
+  const double fy =
+      (p.lat_deg - region_.min_lat) / (region_.max_lat - region_.min_lat);
+  return Pt{fx * width_, (1.0 - fy) * height_};
+}
+
+std::string SvgMap::ColorOf(EntityId id) {
+  // Golden-angle hue walk: adjacent ids get well-separated hues.
+  const int hue = static_cast<int>((id * 137) % 360);
+  return StrFormat("hsl(%d,70%%,45%%)", hue);
+}
+
+const char* SvgMap::ColorOfKind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCollisionForecast:
+      return "#d62728";  // red
+    case EventKind::kEncounter:
+      return "#ff7f0e";  // orange
+    case EventKind::kLoitering:
+    case EventKind::kGap:
+    case EventKind::kSpeedAnomaly:
+      return "#9467bd";  // purple
+    case EventKind::kCapacityWarning:
+    case EventKind::kCapacityForecast:
+      return "#8c564b";  // brown
+    case EventKind::kHotspot:
+    case EventKind::kHotspotForecast:
+      return "#e377c2";  // pink
+    default:
+      return "#7f7f7f";  // grey
+  }
+}
+
+void SvgMap::AddTrajectory(const Trajectory& traj) {
+  if (traj.points.size() < 2) return;
+  std::string points;
+  for (const PositionReport& r : traj.points) {
+    const Pt p = Project(r.position.ll());
+    points += StrFormat("%.1f,%.1f ", p.x, p.y);
+  }
+  layers_.push_back(StrFormat(
+      "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+      "stroke-width=\"1.2\" stroke-opacity=\"0.8\"><title>entity "
+      "%u</title></polyline>",
+      points.c_str(), ColorOf(traj.entity_id).c_str(), traj.entity_id));
+}
+
+void SvgMap::AddTrajectories(const std::vector<Trajectory>& trajs) {
+  for (const Trajectory& t : trajs) AddTrajectory(t);
+}
+
+void SvgMap::AddArea(const NamedArea& area) {
+  if (area.polygon.empty()) return;
+  std::string points;
+  for (const LatLon& v : area.polygon.vertices()) {
+    const Pt p = Project(v);
+    points += StrFormat("%.1f,%.1f ", p.x, p.y);
+  }
+  layers_.push_back(StrFormat(
+      "<polygon points=\"%s\" fill=\"#1f77b4\" fill-opacity=\"0.08\" "
+      "stroke=\"#1f77b4\" stroke-dasharray=\"4 3\"><title>%s</title>"
+      "</polygon>",
+      points.c_str(), area.name.c_str()));
+}
+
+void SvgMap::AddEvent(const Event& event) {
+  const Pt p = Project(event.position.ll());
+  const double radius = IsForecastKind(event.kind) ? 6.0 : 4.0;
+  layers_.push_back(StrFormat(
+      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" "
+      "fill-opacity=\"0.75\"><title>%s</title></circle>",
+      p.x, p.y, radius, ColorOfKind(event.kind),
+      EventKindName(event.kind)));
+}
+
+void SvgMap::AddEvents(const std::vector<Event>& events) {
+  for (const Event& e : events) AddEvent(e);
+}
+
+std::string SvgMap::Render() const {
+  std::string out = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+      "height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+      "<rect width=\"%d\" height=\"%d\" fill=\"#f4f8fb\"/>\n",
+      width_, height_, width_, height_, width_, height_);
+  for (const std::string& layer : layers_) {
+    out += layer;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace datacron

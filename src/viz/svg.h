@@ -1,0 +1,49 @@
+#ifndef DATACRON_VIZ_SVG_H_
+#define DATACRON_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "cep/event.h"
+#include "geo/polygon.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+
+/// Self-contained SVG rendering of a monitoring picture: trajectories as
+/// polylines (colored per entity), areas as polygons, events as circles
+/// colored by kind. One call, one standalone .svg document — the
+/// zero-dependency visual-analytics output for reports and debugging.
+class SvgMap {
+ public:
+  /// `region` maps to a width x height pixel viewport (y flipped so north
+  /// is up).
+  SvgMap(const BoundingBox& region, int width = 900, int height = 600);
+
+  void AddTrajectory(const Trajectory& traj);
+  void AddTrajectories(const std::vector<Trajectory>& trajs);
+  void AddArea(const NamedArea& area);
+  void AddEvent(const Event& event);
+  void AddEvents(const std::vector<Event>& events);
+
+  /// Complete SVG document.
+  std::string Render() const;
+
+ private:
+  struct Pt {
+    double x, y;
+  };
+  Pt Project(const LatLon& p) const;
+
+  /// Deterministic per-entity stroke color.
+  static std::string ColorOf(EntityId id);
+  static const char* ColorOfKind(EventKind kind);
+
+  BoundingBox region_;
+  int width_, height_;
+  std::vector<std::string> layers_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_VIZ_SVG_H_

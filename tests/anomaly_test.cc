@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "cep/anomaly.h"
+#include "common/rng.h"
+#include "stream/pipeline.h"
+
+namespace datacron {
+namespace {
+
+PositionReport Moving(EntityId id, TimestampMs t, double lat, double lon,
+                      double speed) {
+  PositionReport r;
+  r.entity_id = id;
+  r.timestamp = t;
+  r.position = {lat, lon, 0};
+  r.speed_mps = speed;
+  return r;
+}
+
+TEST(GapDetectorTest, FiresOnReappearanceWithAttributes) {
+  GapDetector det;
+  std::vector<Event> out;
+  det.ProcessCounted(Moving(1, 0, 36.0, 24.0, 5), &out);
+  det.ProcessCounted(Moving(1, 5 * kMinute, 36.01, 24.0, 5), &out);
+  EXPECT_TRUE(out.empty());  // below threshold
+  det.ProcessCounted(Moving(1, 30 * kMinute, 36.2, 24.0, 5), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, EventKind::kGap);
+  EXPECT_NEAR(out[0].attributes.at("silence_s"), 25 * 60, 1);
+  EXPECT_GT(out[0].attributes.at("dark_distance_m"), 15000);
+}
+
+TEST(GapDetectorTest, PerEntityState) {
+  GapDetector det;
+  std::vector<Event> out;
+  det.ProcessCounted(Moving(1, 0, 36.0, 24.0, 5), &out);
+  // Entity 2's first report long after entity 1's: no gap (no history).
+  det.ProcessCounted(Moving(2, 40 * kMinute, 37.0, 25.0, 5), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GapDetectorTest, ConfigurableThreshold) {
+  GapDetector::Config cfg;
+  cfg.gap_threshold = 2 * kMinute;
+  GapDetector det(cfg);
+  std::vector<Event> out;
+  det.ProcessCounted(Moving(1, 0, 36.0, 24.0, 5), &out);
+  det.ProcessCounted(Moving(1, 3 * kMinute, 36.01, 24.0, 5), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SpeedAnomalyTest, FlagsSpikeAfterWarmup) {
+  SpeedAnomalyDetector det;
+  std::vector<Event> out;
+  Rng rng(5);
+  TimestampMs t = 0;
+  for (int i = 0; i < 60; ++i) {
+    det.ProcessCounted(
+        Moving(1, t, 36.0, 24.0, 8.0 + rng.Gaussian(0, 0.3)), &out);
+    t += 10 * kSecond;
+  }
+  EXPECT_TRUE(out.empty());
+  det.ProcessCounted(Moving(1, t, 36.0, 24.0, 25.0), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, EventKind::kSpeedAnomaly);
+  EXPECT_GT(out[0].attributes.at("zscore"), 4.0);
+  EXPECT_NEAR(out[0].attributes.at("profile_mean_mps"), 8.0, 0.5);
+}
+
+TEST(SpeedAnomalyTest, NoAlarmDuringWarmup) {
+  SpeedAnomalyDetector det;
+  std::vector<Event> out;
+  // Wild speeds but fewer than warmup_reports samples.
+  for (int i = 0; i < 10; ++i) {
+    det.ProcessCounted(
+        Moving(1, i * 1000, 36, 24, i % 2 == 0 ? 1.0 : 30.0), &out);
+  }
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpeedAnomalyTest, SelfBaselining) {
+  // A fast ferry's 25 m/s is normal for it; a trawler's is not.
+  SpeedAnomalyDetector det;
+  std::vector<Event> out;
+  Rng rng(6);
+  for (int i = 0; i < 60; ++i) {
+    det.ProcessCounted(
+        Moving(1, i * 10000, 36, 24, 25.0 + rng.Gaussian(0, 0.3)), &out);
+    det.ProcessCounted(
+        Moving(2, i * 10000, 37, 25, 3.0 + rng.Gaussian(0, 0.3)), &out);
+  }
+  EXPECT_TRUE(out.empty());
+  det.ProcessCounted(Moving(1, 700000, 36, 24, 25.5), &out);  // ferry: fine
+  EXPECT_TRUE(out.empty());
+  det.ProcessCounted(Moving(2, 700000, 37, 25, 25.5), &out);  // trawler: !
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].entities[0], 2u);
+}
+
+TEST(SpeedAnomalyTest, AnomalousSampleDoesNotPoisonProfile) {
+  SpeedAnomalyDetector::Config cfg;
+  cfg.realarm_interval = 0;
+  SpeedAnomalyDetector det(cfg);
+  std::vector<Event> out;
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    det.ProcessCounted(
+        Moving(1, i * 10000, 36, 24, 8.0 + rng.Gaussian(0, 0.3)), &out);
+  }
+  // Two consecutive spikes: both must alarm (profile unchanged by first).
+  det.ProcessCounted(Moving(1, 700000, 36, 24, 25.0), &out);
+  det.ProcessCounted(Moving(1, 710000, 36, 24, 25.0), &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(SpeedAnomalyTest, RealarmSuppression) {
+  SpeedAnomalyDetector det;  // default 10-min realarm
+  std::vector<Event> out;
+  Rng rng(8);
+  for (int i = 0; i < 60; ++i) {
+    det.ProcessCounted(
+        Moving(1, i * 10000, 36, 24, 8.0 + rng.Gaussian(0, 0.3)), &out);
+  }
+  det.ProcessCounted(Moving(1, 700000, 36, 24, 25.0), &out);
+  det.ProcessCounted(Moving(1, 710000, 36, 24, 25.0), &out);  // suppressed
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace datacron

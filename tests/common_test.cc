@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "common/time_utils.h"
+
+namespace datacron {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto fields = Split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto fields = Split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"a", "bb", "ccc"};
+  EXPECT_EQ(Join(parts, ","), "a,bb,ccc");
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("node:123", "node:"));
+  EXPECT_FALSE(StartsWith("no", "node:"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("3.25x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(StringsTest, ParseInt64Strict) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-12345678901", &v));
+  EXPECT_EQ(v, -12345678901LL);
+  EXPECT_FALSE(ParseInt64("12.5", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  // Long output is not truncated.
+  const std::string big = StrFormat("%0512d", 1);
+  EXPECT_EQ(big.size(), 512u);
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(CsvTest, PlainRow) {
+  CsvWriter w;
+  CsvReader r;
+  const std::string line = w.FormatRow({"a", "b", "c"});
+  EXPECT_EQ(line, "a,b,c");
+  auto parsed = r.ParseRow(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, QuotedRoundTrip) {
+  CsvWriter w;
+  CsvReader r;
+  const std::vector<std::string> fields = {"a,b", "say \"hi\"", "plain"};
+  auto parsed = r.ParseRow(w.FormatRow(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), fields);
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  CsvReader r;
+  EXPECT_FALSE(r.ParseRow("\"abc").ok());
+}
+
+TEST(CsvTest, EmptyLineIsOneEmptyField) {
+  CsvReader r;
+  auto parsed = r.ParseRow("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), 1u);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gaussian(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(23);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(0, 1);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(PercentileTrackerTest, KnownPercentiles) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.Add(i);
+  EXPECT_NEAR(t.p50(), 50.5, 0.6);
+  EXPECT_NEAR(t.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(t.Max(), 100.0, 1e-9);
+  EXPECT_GT(t.p99(), 98.0);
+}
+
+TEST(PercentileTrackerTest, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_DOUBLE_EQ(t.p50(), 0.0);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0, 10, 10);
+  h.Add(-1);
+  h.Add(0);
+  h.Add(9.99);
+  h.Add(10);
+  h.Add(5.5);
+  EXPECT_EQ(h.TotalCount(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.BinCount(0), 1u);
+  EXPECT_EQ(h.BinCount(9), 1u);
+  EXPECT_EQ(h.BinCount(5), 1u);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+// ---------------------------------------------------------------- Time
+
+TEST(TimeTest, FormatKnownTimestamp) {
+  // 2017-03-21T00:00:00Z = 1490054400000 ms.
+  EXPECT_EQ(FormatIso8601(1490054400000), "2017-03-21T00:00:00.000Z");
+}
+
+TEST(TimeTest, ParseFormatRoundTrip) {
+  const TimestampMs cases[] = {0, 1490054400123, 1700000000999};
+  for (TimestampMs ts : cases) {
+    TimestampMs parsed = 0;
+    ASSERT_TRUE(ParseIso8601(FormatIso8601(ts), &parsed));
+    EXPECT_EQ(parsed, ts);
+  }
+}
+
+TEST(TimeTest, ParseWithoutMillisOrZone) {
+  TimestampMs parsed = 0;
+  ASSERT_TRUE(ParseIso8601("2017-03-21T12:30:15", &parsed));
+  EXPECT_EQ(parsed, 1490099415000);
+}
+
+TEST(TimeTest, ParseRejectsGarbage) {
+  TimestampMs parsed = 0;
+  EXPECT_FALSE(ParseIso8601("not a date", &parsed));
+  EXPECT_FALSE(ParseIso8601("2017-13-01T00:00:00Z", &parsed));
+  EXPECT_FALSE(ParseIso8601("2017-03-21T00:00:00Zjunk", &parsed));
+}
+
+TEST(TimeTest, MonotonicAdvances) {
+  const std::int64_t a = MonotonicNanos();
+  const std::int64_t b = MonotonicNanos();
+  EXPECT_GE(b, a);
+}
+
+// ---------------------------------------------------------------- Pool
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 40 + 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZero) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ManyTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&sum] { sum += 1; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 200);
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "rdf/rdfizer.h"
+#include "sources/ais_generator.h"
+#include "stream/pipeline.h"
+#include "trajectory/episodes.h"
+
+namespace datacron {
+namespace {
+
+CriticalPoint Cp(EntityId id, CriticalPointType type, TimestampMs t,
+                 double lat, double lon, double speed = 6.0) {
+  CriticalPoint cp;
+  cp.type = type;
+  cp.report.entity_id = id;
+  cp.report.timestamp = t;
+  cp.report.position = {lat, lon, 0};
+  cp.report.speed_mps = speed;
+  return cp;
+}
+
+TEST(EpisodeBuilderTest, MoveStopMoveSequence) {
+  EpisodeBuilder builder;
+  const std::vector<CriticalPoint> synopsis = {
+      Cp(1, CriticalPointType::kTrajectoryStart, 0, 36.0, 24.0),
+      Cp(1, CriticalPointType::kTurningPoint, 10 * kMinute, 36.05, 24.0),
+      Cp(1, CriticalPointType::kStopStart, 20 * kMinute, 36.1, 24.0, 0.1),
+      Cp(1, CriticalPointType::kStopEnd, 50 * kMinute, 36.1, 24.0, 1.0),
+      Cp(1, CriticalPointType::kTrajectoryEnd, 70 * kMinute, 36.2, 24.0),
+  };
+  const auto episodes = builder.Build(synopsis);
+  ASSERT_EQ(episodes.size(), 3u);
+  EXPECT_EQ(episodes[0].kind, EpisodeKind::kMove);
+  EXPECT_EQ(episodes[0].start_time, 0);
+  EXPECT_EQ(episodes[0].end_time, 20 * kMinute);
+  EXPECT_EQ(episodes[1].kind, EpisodeKind::kStop);
+  EXPECT_EQ(episodes[1].Duration(), 30 * kMinute);
+  EXPECT_EQ(episodes[2].kind, EpisodeKind::kMove);
+  // Move path length accumulates via the turning point.
+  EXPECT_GT(episodes[0].path_m, 10000);
+}
+
+TEST(EpisodeBuilderTest, GapEpisode) {
+  EpisodeBuilder builder;
+  const auto episodes = builder.Build({
+      Cp(1, CriticalPointType::kTrajectoryStart, 0, 36.0, 24.0),
+      Cp(1, CriticalPointType::kGapStart, 10 * kMinute, 36.05, 24.0),
+      Cp(1, CriticalPointType::kGapEnd, 40 * kMinute, 36.3, 24.0),
+      Cp(1, CriticalPointType::kTrajectoryEnd, 50 * kMinute, 36.35, 24.0),
+  });
+  ASSERT_EQ(episodes.size(), 3u);
+  EXPECT_EQ(episodes[1].kind, EpisodeKind::kGap);
+  EXPECT_EQ(episodes[1].Duration(), 30 * kMinute);
+  EXPECT_GT(episodes[1].displacement_m, 20000);  // moved while dark
+}
+
+TEST(EpisodeBuilderTest, StopAnnotatedWithArea) {
+  std::vector<NamedArea> areas = {
+      {"port_x", Polygon::Rectangle(BoundingBox::Of(36.05, 23.95, 36.15,
+                                                    24.05))}};
+  EpisodeBuilder builder(areas);
+  const auto episodes = builder.Build({
+      Cp(1, CriticalPointType::kTrajectoryStart, 0, 36.0, 24.0),
+      Cp(1, CriticalPointType::kStopStart, 10 * kMinute, 36.1, 24.0, 0.1),
+      Cp(1, CriticalPointType::kStopEnd, 30 * kMinute, 36.1, 24.0, 1.0),
+      Cp(1, CriticalPointType::kTrajectoryEnd, 40 * kMinute, 36.2, 24.0),
+  });
+  ASSERT_EQ(episodes.size(), 3u);
+  EXPECT_EQ(episodes[1].kind, EpisodeKind::kStop);
+  EXPECT_EQ(episodes[1].area, "port_x");
+  EXPECT_EQ(episodes[0].area, "");  // move started outside
+}
+
+TEST(EpisodeBuilderTest, InterleavedEntities) {
+  EpisodeBuilder builder;
+  std::vector<Episode> out;
+  builder.Process(Cp(1, CriticalPointType::kTrajectoryStart, 0, 36, 24),
+                  &out);
+  builder.Process(Cp(2, CriticalPointType::kTrajectoryStart, 0, 37, 25),
+                  &out);
+  builder.Process(
+      Cp(1, CriticalPointType::kStopStart, 1000, 36.01, 24, 0.1), &out);
+  builder.Process(
+      Cp(2, CriticalPointType::kTrajectoryEnd, 2000, 37.01, 25), &out);
+  builder.Flush(&out);
+  // Entity 1: move + open stop (flushed). Entity 2: move.
+  ASSERT_EQ(out.size(), 3u);
+  int entity1 = 0, entity2 = 0;
+  for (const Episode& e : out) {
+    if (e.entity == 1) ++entity1;
+    if (e.entity == 2) ++entity2;
+  }
+  EXPECT_EQ(entity1, 2);
+  EXPECT_EQ(entity2, 1);
+}
+
+TEST(EpisodeBuilderTest, StartsStoppedOpensStop) {
+  EpisodeBuilder builder;
+  const auto episodes = builder.Build({
+      Cp(1, CriticalPointType::kTrajectoryStart, 0, 36, 24, 0.1),
+      Cp(1, CriticalPointType::kStopEnd, 10 * kMinute, 36, 24, 1.5),
+      Cp(1, CriticalPointType::kTrajectoryEnd, 20 * kMinute, 36.05, 24),
+  });
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].kind, EpisodeKind::kStop);
+  EXPECT_EQ(episodes[1].kind, EpisodeKind::kMove);
+}
+
+TEST(EpisodeBuilderTest, EndToEndFromDetector) {
+  // Fleet with dwells: the synopsis-to-episode chain on real streams.
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = 8;
+  cfg.duration = kHour;
+  cfg.stop_probability = 0.5;
+  cfg.min_dwell = 10 * kMinute;
+  const auto traces = GenerateAisFleet(cfg);
+  ObservationConfig obs;
+  obs.fixed_interval_ms = 10 * kSecond;
+  const auto stream = ObserveFleet(traces, obs);
+  CriticalPointDetector detector;
+  const auto synopsis = pipeline::RunBatch(&detector, stream);
+  EpisodeBuilder builder;
+  const auto episodes = builder.Build(synopsis);
+  ASSERT_FALSE(episodes.empty());
+  // Episodes per entity must tile the trajectory: consecutive episodes
+  // share boundary timestamps.
+  std::map<EntityId, std::vector<const Episode*>> per_entity;
+  for (const Episode& e : episodes) per_entity[e.entity].push_back(&e);
+  for (const auto& [id, eps] : per_entity) {
+    for (std::size_t i = 1; i < eps.size(); ++i) {
+      EXPECT_EQ(eps[i - 1]->end_time, eps[i]->start_time)
+          << "entity " << id << " episode " << i;
+    }
+  }
+}
+
+TEST(EpisodeBuilderTest, ToStringReadable) {
+  Episode e;
+  e.entity = 7;
+  e.kind = EpisodeKind::kStop;
+  e.start_time = 1490054400000;
+  e.end_time = e.start_time + 20 * kMinute;
+  e.area = "anchorage";
+  const std::string s = ToString(e);
+  EXPECT_NE(s.find("stop"), std::string::npos);
+  EXPECT_NE(s.find("20min"), std::string::npos);
+  EXPECT_NE(s.find("@anchorage"), std::string::npos);
+}
+
+TEST(EpisodeRdfTest, TransformEpisodeProducesTaggedResource) {
+  TermDictionary dict;
+  Vocab vocab(&dict);
+  Rdfizer rdfizer(Rdfizer::Config{}, &dict, &vocab);
+  Episode e;
+  e.entity = 9;
+  e.kind = EpisodeKind::kStop;
+  e.start_time = rdfizer.config().epoch + 90 * kMinute;
+  e.end_time = e.start_time + 10 * kMinute;
+  e.start_pos = {36.5, 24.5, 0};
+  e.end_pos = e.start_pos;
+  e.area = "port_x";
+  const auto triples = rdfizer.TransformEpisode(e);
+  EXPECT_GE(triples.size(), 9u);
+  const TermId ep = dict.Find(EpisodeIri(9, e.start_time));
+  ASSERT_NE(ep, kInvalidTermId);
+  EXPECT_TRUE(rdfizer.tags().count(ep));
+  EXPECT_EQ(rdfizer.tags().at(ep).bucket, 1);
+  bool in_area = false;
+  for (const Triple& t : triples) {
+    if (t.s == ep && t.p == vocab.p_within_area) in_area = true;
+  }
+  EXPECT_TRUE(in_area);
+}
+
+}  // namespace
+}  // namespace datacron

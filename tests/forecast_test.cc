@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "forecast/eval.h"
+#include "forecast/kalman.h"
+#include "forecast/kinematic.h"
+#include "forecast/markov.h"
+#include "forecast/route.h"
+#include "sources/ais_generator.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+namespace {
+
+PositionReport Moving(EntityId id, TimestampMs t, const GeoPoint& pos,
+                      double speed, double course) {
+  PositionReport r;
+  r.entity_id = id;
+  r.timestamp = t;
+  r.position = pos;
+  r.speed_mps = speed;
+  r.course_deg = course;
+  return r;
+}
+
+/// Feeds a straight constant-velocity track; returns the last report.
+PositionReport FeedStraight(Predictor* p, EntityId id, int n,
+                            DurationMs dt, double speed, double course) {
+  GeoPoint pos{36.5, 24.5, 0};
+  PositionReport last;
+  for (int i = 0; i < n; ++i) {
+    last = Moving(id, i * dt, pos, speed, course);
+    p->Observe(last);
+    pos = DeadReckon(pos, course, speed, 0, dt / 1000.0);
+  }
+  return last;
+}
+
+// ---------------------------------------------------------- dead reckon
+
+TEST(DeadReckoningPredictorTest, ExactOnStraightLine) {
+  DeadReckoningPredictor p;
+  const PositionReport last = FeedStraight(&p, 1, 10, 10000, 8.0, 77.0);
+  GeoPoint predicted;
+  ASSERT_TRUE(p.Predict(1, 5 * kMinute, &predicted));
+  const GeoPoint expected =
+      DeadReckon(last.position, 77.0, 8.0, 0, 300.0);
+  EXPECT_NEAR(HaversineMeters(predicted.ll(), expected.ll()), 0, 0.5);
+}
+
+TEST(DeadReckoningPredictorTest, UnknownEntityFails) {
+  DeadReckoningPredictor p;
+  GeoPoint out;
+  EXPECT_FALSE(p.Predict(42, kMinute, &out));
+}
+
+// ---------------------------------------------------------- CTRV
+
+TEST(CtrvPredictorTest, TracksConstantTurn) {
+  // Entity turning at a steady 0.5 deg/s.
+  CtrvPredictor ctrv;
+  DeadReckoningPredictor dr;
+  GeoPoint pos{36.5, 24.5, 0};
+  double course = 0.0;
+  const double speed = 10.0;
+  const DurationMs dt = 10 * kSecond;
+  for (int i = 0; i < 60; ++i) {
+    const auto r = Moving(1, i * dt, pos, speed, course);
+    ctrv.Observe(r);
+    dr.Observe(r);
+    pos = DeadReckon(pos, course, speed, 0, dt / 1000.0);
+    course = std::fmod(course + 0.5 * dt / 1000.0, 360.0);
+  }
+  // Ground truth continuation for 5 more minutes of the same turn.
+  GeoPoint truth = pos;
+  double tc = course;
+  for (int s = 0; s < 30; ++s) {
+    truth = DeadReckon(truth, tc, speed, 0, 10.0);
+    tc = std::fmod(tc + 5.0, 360.0);
+  }
+  GeoPoint ctrv_pred, dr_pred;
+  ASSERT_TRUE(ctrv.Predict(1, 5 * kMinute, &ctrv_pred));
+  ASSERT_TRUE(dr.Predict(1, 5 * kMinute, &dr_pred));
+  const double ctrv_err = HaversineMeters(ctrv_pred.ll(), truth.ll());
+  const double dr_err = HaversineMeters(dr_pred.ll(), truth.ll());
+  EXPECT_LT(ctrv_err, dr_err * 0.5)
+      << "ctrv=" << ctrv_err << " dr=" << dr_err;
+}
+
+TEST(CtrvPredictorTest, StraightLineDegradesToDeadReckoning) {
+  CtrvPredictor ctrv;
+  DeadReckoningPredictor dr;
+  FeedStraight(&ctrv, 1, 20, 10000, 8.0, 45.0);
+  FeedStraight(&dr, 1, 20, 10000, 8.0, 45.0);
+  GeoPoint a, b;
+  ASSERT_TRUE(ctrv.Predict(1, 10 * kMinute, &a));
+  ASSERT_TRUE(dr.Predict(1, 10 * kMinute, &b));
+  EXPECT_LT(HaversineMeters(a.ll(), b.ll()), 50.0);
+}
+
+// ---------------------------------------------------------- Kalman
+
+TEST(KalmanPredictorTest, ConvergesOnNoisyStraightTrack) {
+  KalmanPredictor::Config cfg;
+  KalmanPredictor kalman(cfg);
+  Rng rng(4242);
+  GeoPoint pos{36.5, 24.5, 0};
+  const double speed = 10.0, course = 90.0;
+  PositionReport last;
+  for (int i = 0; i < 120; ++i) {
+    PositionReport r = Moving(1, i * 10000, pos, speed, course);
+    // Noise on position & velocity measurements.
+    const LatLon noisy = DestinationPoint(
+        r.position.ll(), rng.Uniform(0, 360),
+        std::fabs(rng.Gaussian(0, 15)));
+    r.position.lat_deg = noisy.lat_deg;
+    r.position.lon_deg = noisy.lon_deg;
+    r.speed_mps = std::max(0.0, speed + rng.Gaussian(0, 0.5));
+    r.course_deg = course + rng.Gaussian(0, 3);
+    kalman.Observe(r);
+    last = r;
+    pos = DeadReckon(pos, course, speed, 0, 10.0);
+  }
+  // Filtered estimate should be closer to truth than the last raw fix.
+  GeoPoint est;
+  double ve, vn;
+  ASSERT_TRUE(kalman.CurrentEstimate(1, &est, &ve, &vn));
+  EXPECT_NEAR(ve, 10.0, 0.8);  // eastbound
+  EXPECT_NEAR(vn, 0.0, 0.8);
+  // True current position is `pos` rewound one step.
+  const GeoPoint truth = DeadReckon(pos, course, -speed, 0, 10.0);
+  const double est_err = HaversineMeters(est.ll(), truth.ll());
+  EXPECT_LT(est_err, 25.0);
+}
+
+TEST(KalmanPredictorTest, PredictionPropagatesVelocity) {
+  KalmanPredictor kalman;
+  const PositionReport last = FeedStraight(&kalman, 1, 60, 10000, 8.0, 0.0);
+  GeoPoint pred;
+  ASSERT_TRUE(kalman.Predict(1, 10 * kMinute, &pred));
+  const GeoPoint expected = DeadReckon(last.position, 0.0, 8.0, 0, 600.0);
+  EXPECT_LT(HaversineMeters(pred.ll(), expected.ll()), 100.0);
+}
+
+TEST(KalmanPredictorTest, AviationAltitudeTracked) {
+  KalmanPredictor kalman;
+  GeoPoint pos{45, 10, 5000};
+  for (int i = 0; i < 30; ++i) {
+    PositionReport r = Moving(7, i * 5000, pos, 200, 90);
+    r.domain = Domain::kAviation;
+    r.vertical_rate_mps = 10;
+    kalman.Observe(r);
+    pos = DeadReckon(pos, 90, 200, 10, 5.0);
+  }
+  GeoPoint pred;
+  ASSERT_TRUE(kalman.Predict(7, kMinute, &pred));
+  // Altitude after 1 min of +10 m/s climb from current ~6450 m.
+  EXPECT_NEAR(pred.alt_m, pos.alt_m + 600 - 50, 120);
+}
+
+TEST(KalmanPredictorTest, UnknownEntityFails) {
+  KalmanPredictor kalman;
+  GeoPoint out;
+  EXPECT_FALSE(kalman.Predict(9, kMinute, &out));
+}
+
+// ---------------------------------------------------------- Markov
+
+TEST(MarkovGridPredictorTest, LearnsLaneAndFollowsIt) {
+  // History: many entities travel an L-shaped lane (east, then north).
+  MarkovGridPredictor::Config cfg;
+  cfg.cell_deg = 0.02;
+  cfg.min_transition_count = 2;
+  MarkovGridPredictor markov(cfg);
+  std::vector<PositionReport> history;
+  for (int run = 0; run < 10; ++run) {
+    GeoPoint pos{36.5, 24.0, 0};
+    TimestampMs t = 0;
+    double course = 90;
+    for (int i = 0; i < 400; ++i) {
+      history.push_back(
+          Moving(100 + run, t, pos, 10, course));
+      // Turn north at lon >= 24.5.
+      course = pos.lon_deg >= 24.5 ? 0.0 : 90.0;
+      pos = DeadReckon(pos, course, 10, 0, 30.0);
+      t += 30 * kSecond;
+    }
+  }
+  markov.Train(history);
+  EXPECT_GT(markov.TransitionCount(), 10u);
+
+  // A fresh entity currently heading east, just before the corner. The
+  // lane's latitude sits a hair under 36.5 (great-circle eastbound steps
+  // drift south), so the probe uses 36.49 to share the lane's cell row.
+  markov.Observe(Moving(1, 0, {36.49, 24.45, 0}, 10, 90));
+  GeoPoint pred;
+  // Horizon long enough to pass the corner: ~1.2h at 10 m/s covers ~43km;
+  // corner is ~4.4km ahead. Use 60 min -> 36 km: mostly northbound.
+  ASSERT_TRUE(markov.Predict(1, 60 * kMinute, &pred));
+  // Dead reckoning would put it far east (lon ~24.85); the lane turns
+  // north so the markov prediction should have turned (lat rises).
+  EXPECT_GT(pred.lat_deg, 36.6);
+  EXPECT_LT(pred.lon_deg, 24.7);
+}
+
+TEST(MarkovGridPredictorTest, FallsBackToDeadReckoningUntrained) {
+  MarkovGridPredictor markov;
+  markov.Observe(Moving(1, 0, {36.5, 24.5, 0}, 10, 90));
+  GeoPoint pred;
+  ASSERT_TRUE(markov.Predict(1, 10 * kMinute, &pred));
+  const GeoPoint dr = DeadReckon({36.5, 24.5, 0}, 90, 10, 0, 600);
+  EXPECT_LT(HaversineMeters(pred.ll(), dr.ll()), 3000.0);
+}
+
+// ---------------------------------------------------------- route
+
+TEST(RoutePredictorTest, FollowsMatchedRoute) {
+  // One historical route: straight east at lat 36.5 for ~36 km.
+  Trajectory route;
+  route.entity_id = 500;
+  GeoPoint pos{36.5, 24.0, 0};
+  for (int i = 0; i < 120; ++i) {
+    route.points.push_back(Moving(500, i * 30000, pos, 10, 90));
+    pos = DeadReckon(pos, 90, 10, 0, 30.0);
+  }
+  RoutePredictor::Config cfg;
+  RoutePredictor rp(cfg);
+  rp.Train({route});
+  EXPECT_EQ(rp.MedoidCount(), 1u);
+
+  rp.Observe(Moving(1, 0, {36.502, 24.1, 0}, 10, 88));
+  GeoPoint pred;
+  ASSERT_TRUE(rp.Predict(1, 20 * kMinute, &pred));
+  // 12 km east along the route.
+  const GeoPoint expected = DeadReckon({36.5, 24.1, 0}, 90, 10, 0, 1200);
+  EXPECT_LT(HaversineMeters(pred.ll(), expected.ll()), 2500.0);
+}
+
+TEST(RoutePredictorTest, OffRouteFallsBackToDeadReckoning) {
+  RoutePredictor rp;
+  rp.Train({});  // no routes at all
+  rp.Observe(Moving(1, 0, {36.5, 24.5, 0}, 10, 45));
+  GeoPoint pred;
+  ASSERT_TRUE(rp.Predict(1, 10 * kMinute, &pred));
+  const GeoPoint dr = DeadReckon({36.5, 24.5, 0}, 45, 10, 0, 600);
+  EXPECT_LT(HaversineMeters(pred.ll(), dr.ll()), 1.0);
+}
+
+TEST(RoutePredictorTest, CourseMismatchIgnoresRoute) {
+  Trajectory route;
+  route.entity_id = 500;
+  GeoPoint pos{36.5, 24.0, 0};
+  for (int i = 0; i < 60; ++i) {
+    route.points.push_back(Moving(500, i * 30000, pos, 10, 90));
+    pos = DeadReckon(pos, 90, 10, 0, 30.0);
+  }
+  RoutePredictor rp;
+  rp.Train({route});
+  // Entity on the route but heading SOUTH (course 180): no match.
+  rp.Observe(Moving(1, 0, {36.5, 24.1, 0}, 10, 180));
+  GeoPoint pred;
+  ASSERT_TRUE(rp.Predict(1, 10 * kMinute, &pred));
+  const GeoPoint dr = DeadReckon({36.5, 24.1, 0}, 180, 10, 0, 600);
+  EXPECT_LT(HaversineMeters(pred.ll(), dr.ll()), 1.0);
+}
+
+// ---------------------------------------------------------- harness
+
+TEST(ForecastEvalTest, ErrorGrowsWithHorizonForDeadReckoning) {
+  AisGeneratorConfig fleet;
+  fleet.num_vessels = 6;
+  fleet.duration = kHour;
+  const auto traces = GenerateAisFleet(fleet);
+  ForecastEvalConfig cfg;
+  cfg.horizons = {kMinute, 5 * kMinute, 15 * kMinute};
+  cfg.warmup = 2 * kMinute;
+  DeadReckoningPredictor dr;
+  const auto eval = EvaluatePredictor(&dr, traces, cfg);
+  ASSERT_EQ(eval.horizons.size(), 3u);
+  for (const auto& h : eval.horizons) {
+    EXPECT_GT(h.predictions, 0u);
+  }
+  EXPECT_LT(eval.horizons[0].error_m.mean(),
+            eval.horizons[1].error_m.mean());
+  EXPECT_LT(eval.horizons[1].error_m.mean(),
+            eval.horizons[2].error_m.mean());
+  EXPECT_FALSE(eval.ToTable().empty());
+}
+
+TEST(ForecastEvalTest, ShortHorizonErrorIsSmall) {
+  AisGeneratorConfig fleet;
+  fleet.num_vessels = 5;
+  fleet.duration = 40 * kMinute;
+  const auto traces = GenerateAisFleet(fleet);
+  ForecastEvalConfig cfg;
+  cfg.horizons = {30 * kSecond};
+  DeadReckoningPredictor dr;
+  const auto eval = EvaluatePredictor(&dr, traces, cfg);
+  // 30 s at <= 11 m/s: error well under 500 m even with noise.
+  EXPECT_LT(eval.horizons[0].error_m.mean(), 500.0);
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,224 @@
+// Property-style parameterized sweeps over the geospatial substrate:
+// inverses, bijections, and agreement with brute force.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/curves.h"
+#include "geo/geo.h"
+
+namespace datacron {
+namespace {
+
+// ---------------------------------------------------- destination/bearing
+
+class DestinationInverseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DestinationInverseTest, BearingAndDistanceRecovered) {
+  Rng rng(1000 + GetParam());
+  const LatLon origin{rng.Uniform(-60, 60), rng.Uniform(-170, 170)};
+  const double bearing = rng.Uniform(0, 360);
+  const double dist = rng.Uniform(100, 200000);
+  const LatLon dest = DestinationPoint(origin, bearing, dist);
+  EXPECT_NEAR(HaversineMeters(origin, dest), dist, dist * 1e-6 + 0.01);
+  // Initial bearing matches except near the poles where it degenerates.
+  if (std::fabs(origin.lat_deg) < 75) {
+    const double back = InitialBearingDeg(origin, dest);
+    EXPECT_NEAR(CourseDifferenceDeg(back, bearing), 0.0, 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DestinationInverseTest,
+                         ::testing::Range(0, 50));
+
+// ---------------------------------------------------- triangle inequality
+
+class TriangleInequalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleInequalityTest, HaversineSatisfiesTriangle) {
+  Rng rng(2000 + GetParam());
+  const LatLon a{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+  const LatLon b{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+  const LatLon c{rng.Uniform(-80, 80), rng.Uniform(-179, 179)};
+  EXPECT_LE(HaversineMeters(a, c),
+            HaversineMeters(a, b) + HaversineMeters(b, c) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TriangleInequalityTest,
+                         ::testing::Range(0, 50));
+
+// ---------------------------------------------------- ENU round trip
+
+class EnuRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnuRoundTripTest, FromEnuInvertsToEnu) {
+  Rng rng(3000 + GetParam());
+  const GeoPoint ref{rng.Uniform(-70, 70), rng.Uniform(-170, 170),
+                     rng.Uniform(0, 10000)};
+  const GeoPoint p{ref.lat_deg + rng.Uniform(-0.5, 0.5),
+                   ref.lon_deg + rng.Uniform(-0.5, 0.5),
+                   ref.alt_m + rng.Uniform(-1000, 1000)};
+  const GeoPoint back = FromEnu(ref, ToEnu(ref, p));
+  EXPECT_NEAR(back.lat_deg, p.lat_deg, 1e-9);
+  EXPECT_NEAR(back.lon_deg, p.lon_deg, 1e-9);
+  EXPECT_NEAR(back.alt_m, p.alt_m, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnuRoundTripTest, ::testing::Range(0, 50));
+
+// ---------------------------------------------------- Morton bijection
+
+class MortonTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MortonTest, EncodeDecodeBijective) {
+  Rng rng(4000 + GetParam());
+  const std::uint32_t x = static_cast<std::uint32_t>(rng.NextUint64());
+  const std::uint32_t y = static_cast<std::uint32_t>(rng.NextUint64());
+  std::uint32_t dx = 0, dy = 0;
+  MortonDecode(MortonEncode(x, y), &dx, &dy);
+  EXPECT_EQ(dx, x);
+  EXPECT_EQ(dy, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MortonTest, ::testing::Range(0, 50));
+
+TEST(MortonTest, KnownValues) {
+  EXPECT_EQ(MortonEncode(0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0), 1u);
+  EXPECT_EQ(MortonEncode(0, 1), 2u);
+  EXPECT_EQ(MortonEncode(1, 1), 3u);
+  EXPECT_EQ(MortonEncode(2, 2), 12u);
+}
+
+// ---------------------------------------------------- Hilbert properties
+
+class HilbertBijectionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertBijectionTest, EncodeDecodeBijective) {
+  const int order = 6;  // 64x64 grid
+  Rng rng(5000 + GetParam());
+  const std::uint32_t n = 1u << order;
+  const std::uint32_t x = static_cast<std::uint32_t>(rng.UniformInt(0, n - 1));
+  const std::uint32_t y = static_cast<std::uint32_t>(rng.UniformInt(0, n - 1));
+  std::uint32_t dx = 0, dy = 0;
+  HilbertDecode(order, HilbertEncode(order, x, y), &dx, &dy);
+  EXPECT_EQ(dx, x);
+  EXPECT_EQ(dy, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HilbertBijectionTest,
+                         ::testing::Range(0, 100));
+
+TEST(HilbertTest, CurveIsContinuous) {
+  // Consecutive Hilbert indices map to 4-adjacent cells — the locality
+  // property the partitioner relies on.
+  const int order = 5;
+  const std::uint32_t n = 1u << order;
+  std::uint32_t px = 0, py = 0;
+  HilbertDecode(order, 0, &px, &py);
+  for (std::uint64_t d = 1; d < static_cast<std::uint64_t>(n) * n; ++d) {
+    std::uint32_t x = 0, y = 0;
+    HilbertDecode(order, d, &x, &y);
+    const std::uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    EXPECT_EQ(manhattan, 1u) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, CoversAllCellsExactlyOnce) {
+  const int order = 4;
+  const std::uint32_t n = 1u << order;
+  std::vector<bool> seen(n * n, false);
+  for (std::uint64_t d = 0; d < static_cast<std::uint64_t>(n) * n; ++d) {
+    std::uint32_t x = 0, y = 0;
+    HilbertDecode(order, d, &x, &y);
+    ASSERT_LT(x, n);
+    ASSERT_LT(y, n);
+    EXPECT_FALSE(seen[y * n + x]);
+    seen[y * n + x] = true;
+  }
+}
+
+TEST(HilbertIndexOfTest, ClampsOutOfRegion) {
+  const BoundingBox region = BoundingBox::Of(35, 23, 39, 27);
+  const std::uint64_t inside = HilbertIndexOf(region, 8, {37, 25});
+  (void)inside;
+  // Outside positions clamp instead of crashing.
+  const std::uint64_t north = HilbertIndexOf(region, 8, {50, 25});
+  const std::uint64_t corner = HilbertIndexOf(region, 8, {39, 27});
+  EXPECT_EQ(north, HilbertIndexOf(region, 8, {39, 25}));
+  (void)corner;
+}
+
+// ---------------------------------------------------- Hilbert vs Morton
+
+/// Partitions a 2^order grid into k equal curve ranges and counts the
+/// 4-connected components across all partitions. A perfectly local curve
+/// yields exactly k components (each range is one solid region).
+int RangeComponents(int order, unsigned k, bool use_hilbert) {
+  const unsigned n = 1u << order;
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * n;
+  std::vector<int> part(n * n);
+  for (unsigned y = 0; y < n; ++y) {
+    for (unsigned x = 0; x < n; ++x) {
+      const std::uint64_t d =
+          use_hilbert ? HilbertEncode(order, x, y) : MortonEncode(x, y);
+      part[y * n + x] = static_cast<int>(d * k / total);
+    }
+  }
+  std::vector<bool> seen(n * n, false);
+  int comps = 0;
+  for (unsigned i = 0; i < n * n; ++i) {
+    if (seen[i]) continue;
+    ++comps;
+    std::vector<unsigned> stack{i};
+    seen[i] = true;
+    while (!stack.empty()) {
+      const unsigned c = stack.back();
+      stack.pop_back();
+      const unsigned x = c % n, y = c / n;
+      auto push = [&](unsigned xx, unsigned yy) {
+        const unsigned j = yy * n + xx;
+        if (!seen[j] && part[j] == part[c]) {
+          seen[j] = true;
+          stack.push_back(j);
+        }
+      };
+      if (x + 1 < n) push(x + 1, y);
+      if (x > 0) push(x - 1, y);
+      if (y + 1 < n) push(x, y + 1);
+      if (y > 0) push(x, y - 1);
+    }
+  }
+  return comps;
+}
+
+class CurveLocalityTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CurveLocalityTest, HilbertRangesAreAlwaysConnected) {
+  // This is the locality property the Hilbert partitioner buys: every
+  // contiguous index range is one solid spatial region.
+  EXPECT_EQ(RangeComponents(5, GetParam(), /*use_hilbert=*/true),
+            static_cast<int>(GetParam()));
+}
+
+TEST_P(CurveLocalityTest, MortonNeverBeatsHilbertOnConnectivity) {
+  EXPECT_GE(RangeComponents(5, GetParam(), /*use_hilbert=*/false),
+            RangeComponents(5, GetParam(), /*use_hilbert=*/true));
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, CurveLocalityTest,
+                         ::testing::Values(2u, 3u, 5u, 7u, 8u, 12u, 16u));
+
+TEST(CurveLocalityTest, MortonFragmentsAtNonPowerOfTwo) {
+  // The concrete counterexample: 7 Morton ranges on a 32x32 grid split
+  // into more than 7 regions, while Hilbert stays at exactly 7.
+  EXPECT_GT(RangeComponents(5, 7, /*use_hilbert=*/false), 7);
+  EXPECT_EQ(RangeComponents(5, 7, /*use_hilbert=*/true), 7);
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/bbox.h"
+#include "geo/geo.h"
+#include "geo/polygon.h"
+
+namespace datacron {
+namespace {
+
+// ------------------------------------------------------------- distances
+
+TEST(GeoTest, HaversineKnownDistance) {
+  // Athens (37.98, 23.73) to Heraklion (35.34, 25.13): ~315 km.
+  const double d = HaversineMeters({37.98, 23.73}, {35.34, 25.13});
+  EXPECT_NEAR(d, 315000, 5000);
+}
+
+TEST(GeoTest, HaversineZero) {
+  EXPECT_DOUBLE_EQ(HaversineMeters({10, 20}, {10, 20}), 0.0);
+}
+
+TEST(GeoTest, HaversineSymmetric) {
+  const LatLon a{37.9, 23.7}, b{36.4, 25.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(GeoTest, OneDegreeLatitudeIs111Km) {
+  const double d = HaversineMeters({30, 10}, {31, 10});
+  EXPECT_NEAR(d, 111195, 200);
+}
+
+TEST(GeoTest, EquirectangularCloseToHaversineLocally) {
+  const LatLon a{37.0, 24.0}, b{37.3, 24.4};
+  const double h = HaversineMeters(a, b);
+  const double e = EquirectangularMeters(a, b);
+  EXPECT_NEAR(e, h, h * 0.005);
+}
+
+TEST(GeoTest, Distance3dIncludesAltitude) {
+  const GeoPoint a{37, 24, 0};
+  const GeoPoint b{37, 24, 3000};
+  EXPECT_DOUBLE_EQ(Distance3dMeters(a, b), 3000.0);
+}
+
+// ------------------------------------------------------------- bearings
+
+TEST(GeoTest, BearingCardinalDirections) {
+  const LatLon origin{37, 24};
+  EXPECT_NEAR(InitialBearingDeg(origin, {38, 24}), 0.0, 0.01);    // north
+  EXPECT_NEAR(InitialBearingDeg(origin, {37, 25}), 90.0, 0.5);    // east
+  EXPECT_NEAR(InitialBearingDeg(origin, {36, 24}), 180.0, 0.01);  // south
+  EXPECT_NEAR(InitialBearingDeg(origin, {37, 23}), 270.0, 0.5);   // west
+}
+
+TEST(GeoTest, DestinationInverseOfBearing) {
+  const LatLon origin{37.5, 24.2};
+  const LatLon dest = DestinationPoint(origin, 63.0, 25000);
+  EXPECT_NEAR(HaversineMeters(origin, dest), 25000, 1.0);
+  EXPECT_NEAR(InitialBearingDeg(origin, dest), 63.0, 0.1);
+}
+
+TEST(GeoTest, DeadReckonStationary) {
+  const GeoPoint p{37, 24, 100};
+  const GeoPoint q = DeadReckon(p, 45, 0.0, 0.0, 600);
+  EXPECT_NEAR(q.lat_deg, p.lat_deg, 1e-12);
+  EXPECT_NEAR(q.lon_deg, p.lon_deg, 1e-12);
+  EXPECT_DOUBLE_EQ(q.alt_m, 100.0);
+}
+
+TEST(GeoTest, DeadReckonClimb) {
+  const GeoPoint p{37, 24, 1000};
+  const GeoPoint q = DeadReckon(p, 0, 100.0, 10.0, 60);
+  EXPECT_NEAR(HaversineMeters(p.ll(), q.ll()), 6000, 5);
+  EXPECT_DOUBLE_EQ(q.alt_m, 1600.0);
+}
+
+TEST(GeoTest, CourseDifference) {
+  EXPECT_DOUBLE_EQ(CourseDifferenceDeg(10, 350), 20.0);
+  EXPECT_DOUBLE_EQ(CourseDifferenceDeg(0, 180), 180.0);
+  EXPECT_DOUBLE_EQ(CourseDifferenceDeg(90, 90), 0.0);
+  EXPECT_DOUBLE_EQ(CourseDifferenceDeg(359, 1), 2.0);
+}
+
+TEST(GeoTest, WrapLongitude) {
+  EXPECT_DOUBLE_EQ(WrapLongitude(181), -179.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(-181), 179.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(540), 180.0 - 360.0);
+  EXPECT_DOUBLE_EQ(WrapLongitude(90), 90.0);
+}
+
+TEST(GeoTest, IsValidPosition) {
+  EXPECT_TRUE(IsValidPosition({0, 0}));
+  EXPECT_TRUE(IsValidPosition({-90, -180}));
+  EXPECT_FALSE(IsValidPosition({91, 0}));
+  EXPECT_FALSE(IsValidPosition({0, 180}));
+  EXPECT_FALSE(IsValidPosition({NAN, 0}));
+}
+
+// ------------------------------------------------------------- ENU
+
+TEST(GeoTest, EnuRoundTrip) {
+  const GeoPoint ref{37.2, 24.1, 50};
+  const GeoPoint p{37.25, 24.18, 250};
+  const GeoPoint back = FromEnu(ref, ToEnu(ref, p));
+  EXPECT_NEAR(back.lat_deg, p.lat_deg, 1e-9);
+  EXPECT_NEAR(back.lon_deg, p.lon_deg, 1e-9);
+  EXPECT_NEAR(back.alt_m, p.alt_m, 1e-9);
+}
+
+TEST(GeoTest, EnuAxesOrientation) {
+  const GeoPoint ref{37, 24, 0};
+  const EnuVector north = ToEnu(ref, {37.01, 24, 0});
+  EXPECT_GT(north.north_m, 0);
+  EXPECT_NEAR(north.east_m, 0, 1e-6);
+  const EnuVector east = ToEnu(ref, {37, 24.01, 0});
+  EXPECT_GT(east.east_m, 0);
+  EXPECT_NEAR(east.north_m, 0, 1e-6);
+}
+
+TEST(GeoTest, PointToSegment) {
+  const LatLon a{37, 24}, b{37, 25};
+  // Point directly above the middle of the segment.
+  const double d = PointToSegmentMeters({37.1, 24.5}, a, b);
+  EXPECT_NEAR(d, HaversineMeters({37, 24.5}, {37.1, 24.5}), 200);
+  // Point beyond endpoint clamps to the endpoint.
+  const double d2 = PointToSegmentMeters({37, 23.5}, a, b);
+  EXPECT_NEAR(d2, HaversineMeters({37, 23.5}, a), 100);
+}
+
+// ------------------------------------------------------------- bbox
+
+TEST(BBoxTest, EmptyBehaves) {
+  BoundingBox e = BoundingBox::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_FALSE(e.Contains(LatLon{0, 0}));
+  EXPECT_FALSE(e.Intersects(BoundingBox::Of(0, 0, 1, 1)));
+  EXPECT_DOUBLE_EQ(e.AreaDeg2(), 0.0);
+}
+
+TEST(BBoxTest, ExtendAndContains) {
+  BoundingBox b = BoundingBox::Empty();
+  b.Extend(LatLon{37, 24});
+  b.Extend(LatLon{38, 25});
+  EXPECT_TRUE(b.Contains(LatLon{37.5, 24.5}));
+  EXPECT_FALSE(b.Contains(LatLon{36.9, 24.5}));
+  EXPECT_TRUE(b.Contains(LatLon{37, 24}));  // border inclusive
+}
+
+TEST(BBoxTest, IntersectsCases) {
+  const BoundingBox a = BoundingBox::Of(0, 0, 10, 10);
+  EXPECT_TRUE(a.Intersects(BoundingBox::Of(5, 5, 15, 15)));
+  EXPECT_TRUE(a.Intersects(BoundingBox::Of(10, 10, 20, 20)));  // touch
+  EXPECT_FALSE(a.Intersects(BoundingBox::Of(11, 0, 20, 10)));
+  EXPECT_TRUE(a.Intersects(BoundingBox::Of(2, 2, 3, 3)));  // contained
+}
+
+TEST(BBoxTest, InflatedGrowsAndShrinks) {
+  const BoundingBox a = BoundingBox::Of(10, 10, 20, 20);
+  const BoundingBox grown = a.Inflated(1);
+  EXPECT_TRUE(grown.Contains(LatLon{9.5, 9.5}));
+  const BoundingBox shrunk = a.Inflated(-2);
+  EXPECT_FALSE(shrunk.Contains(LatLon{11, 11}));
+  EXPECT_TRUE(shrunk.Contains(LatLon{15, 15}));
+}
+
+TEST(BBoxTest, DistanceToPoint) {
+  const BoundingBox a = BoundingBox::Of(37, 24, 38, 25);
+  EXPECT_DOUBLE_EQ(a.DistanceToMeters({37.5, 24.5}), 0.0);
+  EXPECT_GT(a.DistanceToMeters({39, 24.5}), 100000);
+}
+
+// ------------------------------------------------------------- polygon
+
+TEST(PolygonTest, RectangleContains) {
+  const Polygon p = Polygon::Rectangle(BoundingBox::Of(37, 24, 38, 25));
+  EXPECT_TRUE(p.Contains({37.5, 24.5}));
+  EXPECT_FALSE(p.Contains({38.5, 24.5}));
+  EXPECT_FALSE(p.Contains({37.5, 25.5}));
+}
+
+TEST(PolygonTest, TriangleContains) {
+  const Polygon tri({{0, 0}, {0, 10}, {10, 5}});
+  EXPECT_TRUE(tri.Contains({3, 5}));
+  EXPECT_FALSE(tri.Contains({8, 1}));
+  EXPECT_FALSE(tri.Contains({-1, 5}));
+}
+
+TEST(PolygonTest, CircleApproximation) {
+  const LatLon center{37, 24};
+  const Polygon c = Polygon::Circle(center, 10000, 32);
+  EXPECT_TRUE(c.Contains(center));
+  EXPECT_TRUE(c.Contains(DestinationPoint(center, 45, 8000)));
+  EXPECT_FALSE(c.Contains(DestinationPoint(center, 45, 12000)));
+}
+
+TEST(PolygonTest, AreaOfUnitSquare) {
+  const Polygon sq = Polygon::Rectangle(BoundingBox::Of(0, 0, 1, 1));
+  EXPECT_NEAR(sq.AreaDeg2(), 1.0, 1e-12);
+}
+
+TEST(PolygonTest, EmptyPolygonContainsNothing) {
+  Polygon p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.Contains({0, 0}));
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  const Polygon sq = Polygon::Rectangle(BoundingBox::Of(0, 0, 2, 2));
+  const LatLon c = sq.Centroid();
+  EXPECT_NEAR(c.lat_deg, 1.0, 1e-12);
+  EXPECT_NEAR(c.lon_deg, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "geo/rtree.h"
+
+namespace datacron {
+namespace {
+
+const BoundingBox kRegion = BoundingBox::Of(35, 23, 39, 27);
+
+// ------------------------------------------------------------ UniformGrid
+
+TEST(UniformGridTest, Dimensions) {
+  UniformGrid g(kRegion, 0.5);
+  EXPECT_EQ(g.cols(), 8);
+  EXPECT_EQ(g.rows(), 8);
+  EXPECT_EQ(g.CellCount(), 64);
+}
+
+TEST(UniformGridTest, CellOfCorners) {
+  UniformGrid g(kRegion, 0.5);
+  EXPECT_EQ(g.CellOf({35.0, 23.0}), (GridCell{0, 0}));
+  EXPECT_EQ(g.CellOf({38.99, 26.99}), (GridCell{7, 7}));
+}
+
+TEST(UniformGridTest, OutsideClampsToBorder) {
+  UniformGrid g(kRegion, 0.5);
+  EXPECT_EQ(g.CellOf({50.0, 25.0}).iy, 7);
+  EXPECT_EQ(g.CellOf({20.0, 25.0}).iy, 0);
+  EXPECT_EQ(g.CellOf({37.0, -10.0}).ix, 0);
+}
+
+TEST(UniformGridTest, CellBoundsContainCenter) {
+  UniformGrid g(kRegion, 0.25);
+  for (std::int64_t i = 0; i < g.CellCount(); i += 17) {
+    const GridCell c = g.FromLinearIndex(i);
+    EXPECT_TRUE(g.CellBounds(c).Contains(g.CellCenter(c)));
+    EXPECT_EQ(g.LinearIndex(c), i);
+  }
+}
+
+TEST(UniformGridTest, CellOfCenterIsSameCell) {
+  UniformGrid g(kRegion, 0.25);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const LatLon p{rng.Uniform(35, 39), rng.Uniform(23, 27)};
+    const GridCell c = g.CellOf(p);
+    EXPECT_EQ(g.CellOf(g.CellCenter(c)), c);
+  }
+}
+
+TEST(UniformGridTest, NeighborsCountInteriorAndCorner) {
+  UniformGrid g(kRegion, 0.5);
+  EXPECT_EQ(g.Neighbors({3, 3}).size(), 8u);
+  EXPECT_EQ(g.Neighbors({0, 0}).size(), 3u);
+  EXPECT_EQ(g.Neighbors({0, 3}).size(), 5u);
+}
+
+TEST(UniformGridTest, CellsInBoxCoversQuery) {
+  UniformGrid g(kRegion, 0.5);
+  const auto cells = g.CellsInBox(BoundingBox::Of(36.1, 24.1, 36.9, 25.4));
+  // lat 36.1..36.9 -> rows 2..3; lon 24.1..25.4 -> cols 2..4 => 2*3 cells.
+  EXPECT_EQ(cells.size(), 6u);
+}
+
+TEST(UniformGridTest, KeyRoundTrip) {
+  const GridCell c{-3, 1234};
+  EXPECT_EQ(GridCell::FromKey(c.Key()), c);
+}
+
+// ------------------------------------------------------------ GridIndex
+
+TEST(GridIndexTest, CandidatesIncludeNearby) {
+  GridIndex<int> index(kRegion, 0.1);
+  index.Insert({36.0, 24.0}, 1);
+  index.Insert({36.01, 24.01}, 2);
+  index.Insert({38.5, 26.5}, 3);
+  const auto near = index.NeighborhoodCandidates({36.005, 24.005});
+  EXPECT_TRUE(std::count(near.begin(), near.end(), 1));
+  EXPECT_TRUE(std::count(near.begin(), near.end(), 2));
+  EXPECT_FALSE(std::count(near.begin(), near.end(), 3));
+}
+
+TEST(GridIndexTest, BoxCandidatesSuperset) {
+  Rng rng(6);
+  GridIndex<std::size_t> index(kRegion, 0.2);
+  std::vector<LatLon> points;
+  for (std::size_t i = 0; i < 500; ++i) {
+    points.push_back({rng.Uniform(35, 39), rng.Uniform(23, 27)});
+    index.Insert(points.back(), i);
+  }
+  const BoundingBox query = BoundingBox::Of(36, 24, 37, 25);
+  const auto candidates = index.Candidates(query);
+  const std::set<std::size_t> cand_set(candidates.begin(), candidates.end());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (query.Contains(points[i])) {
+      EXPECT_TRUE(cand_set.count(i)) << "missing point " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------ RTree
+
+RTree BuildRandomTree(std::size_t n, std::uint64_t seed,
+                      std::vector<BoundingBox>* boxes) {
+  Rng rng(seed);
+  std::vector<RTree::Entry> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lat = rng.Uniform(35, 39);
+    const double lon = rng.Uniform(23, 27);
+    const double h = rng.Uniform(0.001, 0.05);
+    const BoundingBox box = BoundingBox::Of(lat, lon, lat + h, lon + h);
+    boxes->push_back(box);
+    entries.push_back({box, i});
+  }
+  RTree tree;
+  tree.Build(std::move(entries));
+  return tree;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Search(kRegion).empty());
+  EXPECT_TRUE(tree.Nearest({37, 25}, 3).empty());
+}
+
+TEST(RTreeTest, SearchMatchesBruteForce) {
+  std::vector<BoundingBox> boxes;
+  const RTree tree = BuildRandomTree(1000, 77, &boxes);
+  Rng rng(78);
+  for (int q = 0; q < 50; ++q) {
+    const double lat = rng.Uniform(35, 38.5);
+    const double lon = rng.Uniform(23, 26.5);
+    const BoundingBox query =
+        BoundingBox::Of(lat, lon, lat + rng.Uniform(0.05, 0.5),
+                        lon + rng.Uniform(0.05, 0.5));
+    std::set<std::uint64_t> expected;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+      if (query.Intersects(boxes[i])) expected.insert(i);
+    }
+    const auto got = tree.Search(query);
+    const std::set<std::uint64_t> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected);
+  }
+}
+
+TEST(RTreeTest, SearchPoint) {
+  std::vector<RTree::Entry> entries = {
+      {BoundingBox::Of(36, 24, 37, 25), 1},
+      {BoundingBox::Of(36.5, 24.5, 37.5, 25.5), 2},
+      {BoundingBox::Of(38, 26, 38.5, 26.5), 3},
+  };
+  RTree tree;
+  tree.Build(std::move(entries));
+  const auto hits = tree.SearchPoint({36.7, 24.7});
+  const std::set<std::uint64_t> hit_set(hits.begin(), hits.end());
+  EXPECT_EQ(hit_set, (std::set<std::uint64_t>{1, 2}));
+}
+
+TEST(RTreeTest, NearestMatchesBruteForce) {
+  std::vector<BoundingBox> boxes;
+  const RTree tree = BuildRandomTree(500, 79, &boxes);
+  const LatLon query{37.0, 25.0};
+  const auto got = tree.Nearest(query, 10);
+  ASSERT_EQ(got.size(), 10u);
+  // Brute force: order by min distance to the query point.
+  std::vector<std::pair<double, std::uint64_t>> dist;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    dist.push_back({boxes[i].DistanceToMeters(query), i});
+  }
+  std::sort(dist.begin(), dist.end());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    // Distances must agree (ids may tie arbitrarily).
+    EXPECT_NEAR(boxes[got[k]].DistanceToMeters(query), dist[k].first, 1e-6);
+  }
+}
+
+TEST(RTreeTest, NearestOrdered) {
+  std::vector<BoundingBox> boxes;
+  const RTree tree = BuildRandomTree(300, 80, &boxes);
+  const LatLon query{36.2, 26.2};
+  const auto got = tree.Nearest(query, 20);
+  for (std::size_t k = 1; k < got.size(); ++k) {
+    EXPECT_LE(boxes[got[k - 1]].DistanceToMeters(query),
+              boxes[got[k]].DistanceToMeters(query) + 1e-9);
+  }
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Build({{BoundingBox::Of(36, 24, 37, 25), 42}});
+  EXPECT_EQ(tree.size(), 1u);
+  const auto hits = tree.Search(BoundingBox::Of(36.5, 24.5, 36.6, 24.6));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+}
+
+class RTreeCapacityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeCapacityTest, AnyCapacityGivesSameAnswers) {
+  std::vector<BoundingBox> boxes;
+  Rng rng(90);
+  std::vector<RTree::Entry> entries;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const double lat = rng.Uniform(35, 39);
+    const double lon = rng.Uniform(23, 27);
+    const BoundingBox box = BoundingBox::Of(lat, lon, lat + 0.01, lon + 0.01);
+    boxes.push_back(box);
+    entries.push_back({box, i});
+  }
+  RTree tree;
+  tree.Build(std::move(entries), GetParam());
+  const BoundingBox query = BoundingBox::Of(36, 24, 37.5, 25.5);
+  std::set<std::uint64_t> expected;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    if (query.Intersects(boxes[i])) expected.insert(i);
+  }
+  const auto got = tree.Search(query);
+  EXPECT_EQ(std::set<std::uint64_t>(got.begin(), got.end()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RTreeCapacityTest,
+                         ::testing::Values(2, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace datacron

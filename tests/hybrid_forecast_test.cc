@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "forecast/hybrid.h"
+#include "sources/ais_generator.h"
+
+namespace datacron {
+namespace {
+
+PositionReport Moving(EntityId id, TimestampMs t, const GeoPoint& pos,
+                      double speed, double course) {
+  PositionReport r;
+  r.entity_id = id;
+  r.timestamp = t;
+  r.position = pos;
+  r.speed_mps = speed;
+  r.course_deg = course;
+  return r;
+}
+
+Trajectory EastLane() {
+  Trajectory route;
+  route.entity_id = 500;
+  GeoPoint pos{36.5, 24.0, 0};
+  for (int i = 0; i < 120; ++i) {
+    route.points.push_back(Moving(500, i * 30000, pos, 10, 90));
+    pos = DeadReckon(pos, 90, 10, 0, 30.0);
+  }
+  return route;
+}
+
+TEST(HybridPredictorTest, ShortHorizonUsesKalman) {
+  HybridPredictor hybrid;
+  hybrid.Train({EastLane()});
+  // Feed a straight track; at a 1-minute horizon the hybrid must agree
+  // with its Kalman component, not the route walker.
+  GeoPoint pos{36.5, 24.1, 0};
+  for (int i = 0; i < 30; ++i) {
+    hybrid.Observe(Moving(1, i * 10000, pos, 10, 90));
+    pos = DeadReckon(pos, 90, 10, 0, 10.0);
+  }
+  GeoPoint hybrid_pred, kalman_pred;
+  ASSERT_TRUE(hybrid.Predict(1, kMinute, &hybrid_pred));
+  ASSERT_TRUE(hybrid.kalman().Predict(1, kMinute, &kalman_pred));
+  EXPECT_NEAR(HaversineMeters(hybrid_pred.ll(), kalman_pred.ll()), 0, 0.1);
+}
+
+TEST(HybridPredictorTest, LongHorizonUsesRoute) {
+  HybridPredictor hybrid;
+  hybrid.Train({EastLane()});
+  GeoPoint pos{36.5, 24.1, 0};
+  for (int i = 0; i < 30; ++i) {
+    hybrid.Observe(Moving(1, i * 10000, pos, 10, 90));
+    pos = DeadReckon(pos, 90, 10, 0, 10.0);
+  }
+  GeoPoint hybrid_pred, route_pred;
+  ASSERT_TRUE(hybrid.Predict(1, 20 * kMinute, &hybrid_pred));
+  ASSERT_TRUE(hybrid.route().Predict(1, 20 * kMinute, &route_pred));
+  EXPECT_NEAR(HaversineMeters(hybrid_pred.ll(), route_pred.ll()), 0, 0.1);
+}
+
+TEST(HybridPredictorTest, UnknownEntityFails) {
+  HybridPredictor hybrid;
+  GeoPoint out;
+  EXPECT_FALSE(hybrid.Predict(404, kMinute, &out));
+}
+
+TEST(HybridPredictorTest, UntrainedFallsBackGracefully) {
+  HybridPredictor hybrid;  // no Train()
+  GeoPoint pos{36.5, 24.5, 0};
+  for (int i = 0; i < 20; ++i) {
+    hybrid.Observe(Moving(1, i * 10000, pos, 8, 45));
+    pos = DeadReckon(pos, 45, 8, 0, 10.0);
+  }
+  GeoPoint out;
+  EXPECT_TRUE(hybrid.Predict(1, kMinute, &out));
+  EXPECT_TRUE(hybrid.Predict(1, 30 * kMinute, &out));
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "partition/partitioned_store.h"
+#include "partition/partitioner.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "rdf/rdfizer.h"
+#include "sources/ais_generator.h"
+
+namespace datacron {
+namespace {
+
+TEST(ParserTest, MinimalSelectWhere) {
+  TermDictionary dict;
+  auto parsed = ParseQuery(
+      "SELECT ?v WHERE { ?v <rdf:type> <dc:Vessel> . }", &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ParsedQuery& q = parsed.value();
+  EXPECT_EQ(q.query.num_vars, 1);
+  EXPECT_EQ(q.query.bgp.size(), 1u);
+  EXPECT_EQ(q.select, (std::vector<std::string>{"v"}));
+  EXPECT_TRUE(q.query.bgp[0].s.IsVar());
+  EXPECT_FALSE(q.query.bgp[0].p.IsVar());
+  EXPECT_EQ(dict.Text(q.query.bgp[0].p.term).value(), "rdf:type");
+}
+
+TEST(ParserTest, MultiplePatternsSharedVars) {
+  TermDictionary dict;
+  auto parsed = ParseQuery(
+      "SELECT ?node ?speed WHERE {"
+      "  ?node <rdf:type> <dc:PositionNode> ."
+      "  ?node <dc:hasSpeed> ?speed ."
+      "}",
+      &dict);
+  ASSERT_TRUE(parsed.ok());
+  const ParsedQuery& q = parsed.value();
+  EXPECT_EQ(q.query.num_vars, 2);
+  EXPECT_EQ(q.query.bgp.size(), 2u);
+  EXPECT_EQ(q.query.bgp[0].s.var, q.query.bgp[1].s.var);
+  EXPECT_EQ(q.select_vars.size(), 2u);
+}
+
+TEST(ParserTest, LastPatternDotOptional) {
+  TermDictionary dict;
+  auto parsed =
+      ParseQuery("SELECT ?v WHERE { ?v <rdf:type> <dc:Vessel> }", &dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().query.bgp.size(), 1u);
+}
+
+TEST(ParserTest, WithinClause) {
+  TermDictionary dict;
+  auto parsed = ParseQuery(
+      "SELECT ?n WHERE { ?n <rdf:type> <dc:PositionNode> . }"
+      " WITHIN 36.0 24.0 37.0 25.0 ON ?n",
+      &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Query& q = parsed.value().query;
+  ASSERT_EQ(q.spatial.size(), 1u);
+  EXPECT_EQ(q.spatial[0].var, 0);
+  EXPECT_DOUBLE_EQ(q.spatial[0].box.min_lat, 36.0);
+  EXPECT_DOUBLE_EQ(q.spatial[0].box.max_lon, 25.0);
+}
+
+TEST(ParserTest, DuringClauseIsoAndEpoch) {
+  TermDictionary dict;
+  auto parsed = ParseQuery(
+      "SELECT ?n WHERE { ?n <rdf:type> <dc:PositionNode> . }"
+      " DURING 2017-03-20T00:00:00Z 2017-03-21T00:00:00Z ON ?n",
+      &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().query.temporal.size(), 1u);
+  EXPECT_EQ(parsed.value().query.temporal[0].t_min, 1489968000000);
+
+  auto parsed2 = ParseQuery(
+      "SELECT ?n WHERE { ?n <rdf:type> <dc:PositionNode> . }"
+      " DURING 1000 2000 ON ?n",
+      &dict);
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(parsed2.value().query.temporal[0].t_min, 1000);
+  EXPECT_EQ(parsed2.value().query.temporal[0].t_max, 2000);
+}
+
+TEST(ParserTest, SelectStar) {
+  TermDictionary dict;
+  auto parsed = ParseQuery(
+      "SELECT * WHERE { ?a <dc:hasNextNode> ?b . }", &dict);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().select,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, TypedLiteralObject) {
+  TermDictionary dict;
+  auto parsed = ParseQuery(
+      "SELECT ?n WHERE { ?n <dc:hasNodeKind> \"stop_start\"^^string . }",
+      &dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TermId lit = parsed.value().query.bgp[0].o.term;
+  EXPECT_EQ(dict.Text(lit).value(), "stop_start");
+  EXPECT_EQ(dict.Kind(lit), TermKind::kLiteralString);
+}
+
+TEST(ParserTest, Errors) {
+  TermDictionary dict;
+  EXPECT_FALSE(ParseQuery("", &dict).ok());
+  EXPECT_FALSE(ParseQuery("WHERE { ?a <b> <c> . }", &dict).ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?a { ?a <b> <c> . }", &dict).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?a WHERE { ?a <b> . }", &dict).ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ?a WHERE { ?a <b> <c> .", &dict).ok());
+  EXPECT_FALSE(ParseQuery(
+      "SELECT ?zzz WHERE { ?a <b> <c> . }", &dict).ok());  // unused var
+  EXPECT_FALSE(ParseQuery(
+      "SELECT ?a WHERE { ?a <b> <c> . } WITHIN 1 2 3 ON ?a", &dict).ok());
+}
+
+TEST(ParserTest, ParsedQueryExecutesEndToEnd) {
+  // Full integration: parse text, run it against a fleet store.
+  TermDictionary dict;
+  Vocab vocab(&dict);
+  Rdfizer rdfizer(Rdfizer::Config{}, &dict, &vocab);
+  AisGeneratorConfig fleet;
+  fleet.num_vessels = 6;
+  fleet.duration = 20 * kMinute;
+  ObservationConfig obs;
+  std::vector<Triple> triples;
+  for (const auto& r : ObserveFleet(GenerateAisFleet(fleet), obs)) {
+    const auto ts = rdfizer.TransformReport(r);
+    triples.insert(triples.end(), ts.begin(), ts.end());
+  }
+  HashPartitioner scheme(2, &rdfizer.tags());
+  PartitionedRdfStore store;
+  store.Load(triples, scheme, rdfizer.grid());
+  QueryEngine engine(&store, &rdfizer);
+
+  auto parsed = ParseQuery(
+      "SELECT ?v WHERE { ?v <rdf:type> <dc:Vessel> . }", &dict);
+  ASSERT_TRUE(parsed.ok());
+  const auto rs = engine.ExecuteGlobal(parsed.value().query);
+  EXPECT_EQ(rs.rows.size(), 6u);
+
+  // Spatiotemporal text query over nodes.
+  auto parsed2 = ParseQuery(
+      "SELECT ?n ?s WHERE {"
+      "  ?n <rdf:type> <dc:PositionNode> ."
+      "  ?n <dc:hasSpeed> ?s ."
+      "} WITHIN 35.0 23.0 39.0 27.0 ON ?n",
+      &dict);
+  ASSERT_TRUE(parsed2.ok());
+  const auto rs2 = engine.ExecuteGlobal(parsed2.value().query);
+  EXPECT_GT(rs2.rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "partition/partitioned_store.h"
+#include "partition/partitioner.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "rdf/rdfizer.h"
+#include "sources/ais_generator.h"
+
+namespace datacron {
+namespace {
+
+/// Fixture: fleet RDF-ized into a 4-way Hilbert-partitioned store plus a
+/// 1-partition reference store (ground truth for completeness checks).
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : vocab_(&dict_) {
+    Rdfizer::Config cfg;
+    rdfizer_ = std::make_unique<Rdfizer>(cfg, &dict_, &vocab_);
+    AisGeneratorConfig fleet;
+    fleet.num_vessels = 8;
+    fleet.duration = 30 * kMinute;
+    traces_ = GenerateAisFleet(fleet);
+    ObservationConfig obs;
+    obs.fixed_interval_ms = 30 * kSecond;
+    reports_ = ObserveFleet(traces_, obs);
+    for (const auto& r : reports_) {
+      const auto ts = rdfizer_->TransformReport(r);
+      triples_.insert(triples_.end(), ts.begin(), ts.end());
+    }
+    scheme_ =
+        HilbertPartitioner::Build(4, &rdfizer_->tags(), rdfizer_->grid());
+    store_.Load(triples_, *scheme_, rdfizer_->grid(), vocab_.p_next_node);
+    HashPartitioner single(1, &rdfizer_->tags());
+    reference_.Load(triples_, single, rdfizer_->grid());
+  }
+
+  /// Star query: nodes of a given entity with their speed.
+  Query NodeStarQuery(EntityId entity) {
+    QueryBuilder qb;
+    qb.Where("node", vocab_.p_of_entity, dict_.Intern(EntityIri(entity)));
+    qb.WhereVar("node", vocab_.p_speed, "speed");
+    return qb.Build();
+  }
+
+  std::set<std::vector<TermId>> RowSet(const ResultSet& rs) {
+    return {rs.rows.begin(), rs.rows.end()};
+  }
+
+  TermDictionary dict_;
+  Vocab vocab_;
+  std::unique_ptr<Rdfizer> rdfizer_;
+  std::vector<TruthTrace> traces_;
+  std::vector<PositionReport> reports_;
+  std::vector<Triple> triples_;
+  std::unique_ptr<HilbertPartitioner> scheme_;
+  PartitionedRdfStore store_;
+  PartitionedRdfStore reference_;
+};
+
+TEST_F(QueryEngineTest, BuilderAssignsVariables) {
+  QueryBuilder qb;
+  qb.WhereVar("a", 1, "b");
+  qb.WhereVar("b", 2, "c");
+  const Query q = qb.Build();
+  EXPECT_EQ(q.num_vars, 3);
+  EXPECT_EQ(q.bgp.size(), 2u);
+  EXPECT_EQ(q.bgp[0].o.var, q.bgp[1].s.var);  // "b" shared
+}
+
+TEST_F(QueryEngineTest, StarQueryLocalEqualsGlobalEqualsReference) {
+  const Query q = NodeStarQuery(traces_[0].entity_id);
+  QueryEngine part_engine(&store_, rdfizer_.get());
+  QueryEngine ref_engine(&reference_, rdfizer_.get());
+  const auto local = part_engine.ExecuteLocal(q);
+  const auto global = part_engine.ExecuteGlobal(q);
+  const auto ref = ref_engine.ExecuteLocal(q);
+  EXPECT_FALSE(ref.rows.empty());
+  EXPECT_EQ(RowSet(local), RowSet(ref));
+  EXPECT_EQ(RowSet(global), RowSet(ref));
+}
+
+TEST_F(QueryEngineTest, TypeScanFindsAllVessels) {
+  QueryBuilder qb;
+  qb.Where("v", vocab_.p_type, vocab_.c_vessel);
+  QueryEngine engine(&store_, rdfizer_.get());
+  const auto rs = engine.ExecuteGlobal(qb.Build());
+  EXPECT_EQ(rs.rows.size(), 8u);
+}
+
+TEST_F(QueryEngineTest, SpatialConstraintFiltersNodes) {
+  // All nodes within a box, via constraint; verify against node_geo.
+  // The box covers most of the region so the fleet surely intersects it.
+  const BoundingBox box = BoundingBox::Of(35.3, 23.3, 38.7, 26.7);
+  QueryBuilder qb;
+  qb.Pattern(QueryTerm::Var(qb.Var("node")),
+             QueryTerm::Bound(vocab_.p_type),
+             QueryTerm::Bound(vocab_.c_position_node));
+  qb.Within("node", box);
+  QueryEngine engine(&store_, rdfizer_.get());
+  const auto rs = engine.ExecuteGlobal(qb.Build());
+  std::size_t expected = 0;
+  for (const auto& [node, geo] : rdfizer_->node_geo()) {
+    if (box.Contains(LatLon{geo.lat_deg, geo.lon_deg})) ++expected;
+  }
+  EXPECT_EQ(rs.rows.size(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST_F(QueryEngineTest, TemporalConstraintFiltersNodes) {
+  const TimestampMs t0 = reports_.front().timestamp;
+  const TimestampMs t1 = t0 + 10 * kMinute;
+  QueryBuilder qb;
+  qb.Pattern(QueryTerm::Var(qb.Var("node")),
+             QueryTerm::Bound(vocab_.p_type),
+             QueryTerm::Bound(vocab_.c_position_node));
+  qb.During("node", t0, t1);
+  QueryEngine engine(&store_, rdfizer_.get());
+  const auto rs = engine.ExecuteGlobal(qb.Build());
+  std::size_t expected = 0;
+  for (const auto& [node, geo] : rdfizer_->node_geo()) {
+    if (geo.timestamp >= t0 && geo.timestamp <= t1) ++expected;
+  }
+  EXPECT_EQ(rs.rows.size(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST_F(QueryEngineTest, GlobalCompletesCrossPartitionPaths) {
+  // Path query: node -> next -> node; global must equal the reference.
+  QueryBuilder qb;
+  qb.WhereVar("a", vocab_.p_next_node, "b");
+  QueryEngine part_engine(&store_, rdfizer_.get());
+  QueryEngine ref_engine(&reference_, rdfizer_.get());
+  const auto global = part_engine.ExecuteGlobal(qb.Build());
+  const auto ref = ref_engine.ExecuteLocal(qb.Build());
+  EXPECT_FALSE(ref.rows.empty());
+  EXPECT_EQ(RowSet(global), RowSet(ref));
+  // Local union misses the cross-partition edges (the known trade-off).
+  const auto local = part_engine.ExecuteLocal(qb.Build());
+  EXPECT_LE(local.rows.size(), ref.rows.size());
+}
+
+TEST_F(QueryEngineTest, ParallelExecutionMatchesSequential) {
+  ThreadPool pool(4);
+  const Query q = NodeStarQuery(traces_[1].entity_id);
+  QueryEngine seq(&store_, rdfizer_.get(), nullptr);
+  QueryEngine par(&store_, rdfizer_.get(), &pool);
+  EXPECT_EQ(RowSet(seq.ExecuteLocal(q)), RowSet(par.ExecuteLocal(q)));
+  EXPECT_EQ(RowSet(seq.ExecuteGlobal(q)), RowSet(par.ExecuteGlobal(q)));
+}
+
+TEST_F(QueryEngineTest, PruningReducesScannedPartitions) {
+  // Constrain to a tiny region: fewer partitions scanned than total.
+  QueryBuilder qb;
+  qb.Pattern(QueryTerm::Var(qb.Var("node")),
+             QueryTerm::Bound(vocab_.p_type),
+             QueryTerm::Bound(vocab_.c_position_node));
+  qb.Within("node", BoundingBox::Of(35.1, 23.1, 35.3, 23.3));
+  QueryEngine engine(&store_, rdfizer_.get());
+  const auto rs = engine.ExecuteLocal(qb.Build());
+  EXPECT_LT(rs.stats.partitions_scanned, rs.stats.partitions_total);
+}
+
+TEST_F(QueryEngineTest, EmptyQueryGivesEmptyResult) {
+  QueryEngine engine(&store_, rdfizer_.get());
+  Query q;
+  EXPECT_TRUE(engine.ExecuteLocal(q).rows.empty());
+  EXPECT_TRUE(engine.ExecuteGlobal(q).rows.empty());
+}
+
+TEST_F(QueryEngineTest, UnsatisfiableQueryGivesNoRows) {
+  QueryBuilder qb;
+  qb.Where("v", vocab_.p_type, dict_.Intern("dc:NoSuchClass"));
+  QueryEngine engine(&store_, rdfizer_.get());
+  EXPECT_TRUE(engine.ExecuteGlobal(qb.Build()).rows.empty());
+  EXPECT_TRUE(engine.ExecuteLocal(qb.Build()).rows.empty());
+}
+
+TEST_F(QueryEngineTest, JoinAcrossThreePatterns) {
+  // Vessel -> its trajectory nodes in an area with speed — a realistic
+  // spatiotemporal analytical query.
+  const BoundingBox box = BoundingBox::Of(35.5, 23.5, 38.5, 26.5);
+  QueryBuilder qb;
+  qb.Pattern(QueryTerm::Var(qb.Var("v")), QueryTerm::Bound(vocab_.p_type),
+             QueryTerm::Bound(vocab_.c_vessel));
+  qb.Pattern(QueryTerm::Var(qb.Var("node")),
+             QueryTerm::Bound(vocab_.p_of_entity),
+             QueryTerm::Var(qb.Var("v")));
+  qb.WhereVar("node", vocab_.p_speed, "speed");
+  qb.Within("node", box);
+  QueryEngine part_engine(&store_, rdfizer_.get());
+  QueryEngine ref_engine(&reference_, rdfizer_.get());
+  const auto global = part_engine.ExecuteGlobal(qb.Build());
+  const auto ref = ref_engine.ExecuteGlobal(qb.Build());
+  EXPECT_EQ(RowSet(global), RowSet(ref));
+  EXPECT_FALSE(global.rows.empty());
+}
+
+class QueryFuzzTest : public QueryEngineTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(QueryFuzzTest, RandomBgpGlobalMatchesReference) {
+  // Random 1-3 pattern conjunctive queries over the real vocabulary;
+  // the partitioned global execution must agree with the single-store
+  // reference on every one of them.
+  Rng rng(4100 + GetParam());
+  const std::vector<TermId> predicates = {
+      vocab_.p_type,      vocab_.p_of_entity, vocab_.p_speed,
+      vocab_.p_course,    vocab_.p_in_cell,   vocab_.p_in_bucket,
+      vocab_.p_next_node, vocab_.p_has_node,
+  };
+  QueryBuilder qb;
+  const int num_patterns = static_cast<int>(rng.UniformInt(1, 3));
+  const char* vars[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < num_patterns; ++i) {
+    const TermId pred =
+        predicates[static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(predicates.size()) - 1))];
+    // Subject: always a variable (possibly shared); object: variable or
+    // a bound class/entity.
+    const char* subj = vars[rng.UniformInt(0, 1)];
+    if (rng.Bernoulli(0.5)) {
+      qb.WhereVar(subj, pred, vars[rng.UniformInt(1, 3)]);
+    } else {
+      const TermId objects[] = {
+          vocab_.c_position_node, vocab_.c_vessel,
+          dict_.Intern(EntityIri(traces_[0].entity_id))};
+      qb.Where(subj, pred, objects[rng.UniformInt(0, 2)]);
+    }
+  }
+  if (rng.Bernoulli(0.4)) {
+    qb.Within(vars[0], BoundingBox::Of(35.5, 23.5, 38.0, 26.0));
+  }
+  const Query q = qb.Build();
+
+  QueryEngine part_engine(&store_, rdfizer_.get());
+  QueryEngine ref_engine(&reference_, rdfizer_.get());
+  const auto got = part_engine.ExecuteGlobal(q);
+  const auto ref = ref_engine.ExecuteGlobal(q);
+  EXPECT_EQ(RowSet(got), RowSet(ref)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest, ::testing::Range(0, 25));
+
+TEST_F(QueryEngineTest, StatsPopulated) {
+  const Query q = NodeStarQuery(traces_[2].entity_id);
+  QueryEngine engine(&store_, rdfizer_.get());
+  const auto rs = engine.ExecuteGlobal(q);
+  EXPECT_EQ(rs.stats.result_rows, rs.rows.size());
+  EXPECT_GT(rs.stats.partitions_total, 0);
+  EXPECT_GE(rs.stats.wall_ms, 0.0);
+  EXPECT_FALSE(rs.stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "stream/operator.h"
+#include "stream/pipeline.h"
+#include "stream/queue.h"
+#include "stream/window.h"
+
+namespace datacron {
+namespace {
+
+// ------------------------------------------------------------- queue
+
+TEST(BoundedQueueTest, PushPopOrder) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Push(2));
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, BlockingProducerConsumer) {
+  BoundedQueue<int> q(4);
+  constexpr int kN = 1000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kN; ++i) q.Push(i);
+    q.Close();
+  });
+  int expected = 0;
+  while (auto v = q.Pop()) {
+    EXPECT_EQ(*v, expected++);
+  }
+  EXPECT_EQ(expected, kN);
+  producer.join();
+}
+
+// ------------------------------------------------------------- operators
+
+TEST(OperatorTest, MapTransforms) {
+  MapOperator<int, int> op("double", [](const int& x) { return 2 * x; });
+  const auto out = pipeline::RunBatch(&op, {1, 2, 3});
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 6}));
+  EXPECT_EQ(op.metrics().items_in, 3u);
+  EXPECT_EQ(op.metrics().items_out, 3u);
+}
+
+TEST(OperatorTest, FilterSelectivityMetrics) {
+  FilterOperator<int> op("evens", [](const int& x) { return x % 2 == 0; });
+  const auto out = pipeline::RunBatch(&op, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(out, (std::vector<int>{2, 4, 6}));
+  EXPECT_DOUBLE_EQ(op.metrics().SelectivityPct(), 50.0);
+}
+
+TEST(OperatorTest, FlatMapFanOut) {
+  FlatMapOperator<int, int> op("repeat",
+                               [](const int& x, std::vector<int>* out) {
+                                 for (int i = 0; i < x; ++i)
+                                   out->push_back(x);
+                               });
+  const auto out = pipeline::RunBatch(&op, {1, 2, 3});
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+}
+
+// ------------------------------------------------------------- windows
+
+struct Tuple {
+  int key;
+  TimestampMs ts;
+  double value;
+};
+
+using SumWindow = TumblingWindowOperator<Tuple, int, double>;
+
+SumWindow MakeSumWindow(DurationMs size, DurationMs lateness) {
+  return SumWindow(
+      "sum", size, lateness, [](const Tuple& t) { return t.key; },
+      [](const Tuple& t) { return t.ts; },
+      [](double* acc, const Tuple& t) { *acc += t.value; });
+}
+
+TEST(TumblingWindowTest, AggregatesPerKeyAndWindow) {
+  auto op = MakeSumWindow(1000, 0);
+  const std::vector<Tuple> input = {
+      {1, 100, 1.0}, {1, 200, 2.0}, {2, 300, 5.0},
+      {1, 1100, 4.0},  // closes window [0,1000) on watermark 1100
+      {2, 2500, 7.0},  // closes [1000,2000)
+  };
+  const auto out = pipeline::RunBatch(&op, input);
+  ASSERT_EQ(out.size(), 4u);
+  // First two closed windows: key1 sum 3, key2 sum 5 in [0,1000).
+  double key1_first = 0, key2_first = 0;
+  for (const auto& w : out) {
+    if (w.window_start == 0 && w.key == 1) key1_first = w.value;
+    if (w.window_start == 0 && w.key == 2) key2_first = w.value;
+  }
+  EXPECT_DOUBLE_EQ(key1_first, 3.0);
+  EXPECT_DOUBLE_EQ(key2_first, 5.0);
+}
+
+TEST(TumblingWindowTest, LateDataDroppedBeyondLateness) {
+  auto op = MakeSumWindow(1000, 500);
+  std::vector<SumWindow::Out> out;
+  op.ProcessCounted({1, 100, 1.0}, &out);
+  op.ProcessCounted({1, 5000, 1.0}, &out);  // watermark -> 4500
+  op.ProcessCounted({1, 200, 99.0}, &out);  // too late, dropped
+  EXPECT_EQ(op.dropped_late(), 1u);
+  op.Flush(&out);
+  double total = 0;
+  for (const auto& w : out) total += w.value;
+  EXPECT_DOUBLE_EQ(total, 2.0);  // the late tuple never counted
+}
+
+TEST(TumblingWindowTest, AllowedLatenessAcceptsSlightlyLate) {
+  auto op = MakeSumWindow(1000, 2000);
+  std::vector<SumWindow::Out> out;
+  op.ProcessCounted({1, 100, 1.0}, &out);
+  op.ProcessCounted({1, 1500, 1.0}, &out);
+  op.ProcessCounted({1, 300, 1.0}, &out);  // late but within lateness
+  EXPECT_EQ(op.dropped_late(), 0u);
+  op.Flush(&out);
+  double first_window = 0;
+  for (const auto& w : out) {
+    if (w.window_start == 0) first_window = w.value;
+  }
+  EXPECT_DOUBLE_EQ(first_window, 2.0);
+}
+
+TEST(TumblingWindowTest, FlushEmitsPending) {
+  auto op = MakeSumWindow(60000, 0);
+  std::vector<SumWindow::Out> out;
+  op.ProcessCounted({1, 100, 2.5}, &out);
+  EXPECT_TRUE(out.empty());
+  op.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 2.5);
+}
+
+using CountSession = SessionWindowOperator<Tuple, int, int>;
+
+CountSession MakeSession(DurationMs gap) {
+  return CountSession(
+      "session", gap, [](const Tuple& t) { return t.key; },
+      [](const Tuple& t) { return t.ts; },
+      [](int* acc, const Tuple&) { *acc += 1; });
+}
+
+TEST(SessionWindowTest, GapClosesSession) {
+  auto op = MakeSession(1000);
+  std::vector<CountSession::Out> out;
+  op.ProcessCounted({1, 0, 0}, &out);
+  op.ProcessCounted({1, 500, 0}, &out);
+  op.ProcessCounted({1, 900, 0}, &out);
+  EXPECT_TRUE(out.empty());
+  op.ProcessCounted({1, 5000, 0}, &out);  // silence > gap: session closed
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 3);
+  EXPECT_EQ(out[0].window_start, 0);
+  EXPECT_EQ(out[0].window_end, 900);
+  op.Flush(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].value, 1);  // the reopened session
+}
+
+TEST(SessionWindowTest, KeysIndependent) {
+  auto op = MakeSession(1000);
+  std::vector<CountSession::Out> out;
+  op.ProcessCounted({1, 0, 0}, &out);
+  op.ProcessCounted({2, 0, 0}, &out);
+  op.ProcessCounted({1, 5000, 0}, &out);  // closes key 1 only
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, 1);
+  EXPECT_EQ(op.OpenSessions(), 2u);
+}
+
+TEST(SessionWindowTest, ContinuousStreamIsOneSession) {
+  auto op = MakeSession(60000);
+  std::vector<CountSession::Out> out;
+  for (int i = 0; i < 100; ++i) {
+    op.ProcessCounted({1, static_cast<TimestampMs>(i) * 1000, 0}, &out);
+  }
+  EXPECT_TRUE(out.empty());
+  op.Flush(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 100);
+}
+
+TEST(SlidingWindowTest, KeepsSpanAndEvicts) {
+  using Out = std::pair<int, std::size_t>;  // (key, window size)
+  SlidingWindowOperator<Tuple, int, Out> op(
+      "slide", 1000, [](const Tuple& t) { return t.key; },
+      [](const Tuple& t) { return t.ts; },
+      [](const int& key, const std::vector<Tuple>& win,
+         std::vector<Out>* out) { out->push_back({key, win.size()}); });
+  std::vector<Out> out;
+  op.ProcessCounted({1, 0, 0}, &out);
+  op.ProcessCounted({1, 500, 0}, &out);
+  op.ProcessCounted({1, 900, 0}, &out);
+  op.ProcessCounted({1, 2000, 0}, &out);  // evicts everything older
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[2].second, 3u);
+  EXPECT_EQ(out[3].second, 1u);
+}
+
+// ------------------------------------------------------------- pipeline
+
+TEST(PipelineTest, RunBatch2Chains) {
+  MapOperator<int, int> inc("inc", [](const int& x) { return x + 1; });
+  FilterOperator<int> odd("odd", [](const int& x) { return x % 2 == 1; });
+  const auto out = pipeline::RunBatch2(&inc, &odd, {1, 2, 3, 4});
+  EXPECT_EQ(out, (std::vector<int>{3, 5}));
+}
+
+TEST(PipelineTest, ThreadedMatchesInline) {
+  std::vector<int> input(2000);
+  for (int i = 0; i < 2000; ++i) input[i] = i;
+
+  MapOperator<int, int> m1("m", [](const int& x) { return x * 3; });
+  FilterOperator<int> f1("f", [](const int& x) { return x % 2 == 0; });
+  auto inline_out = pipeline::RunBatch2(&m1, &f1, input);
+
+  MapOperator<int, int> m2("m", [](const int& x) { return x * 3; });
+  FilterOperator<int> f2("f", [](const int& x) { return x % 2 == 0; });
+  auto threaded_out = pipeline::RunThreaded2(&m2, &f2, input, 64);
+
+  EXPECT_EQ(inline_out, threaded_out);
+}
+
+TEST(PipelineTest, WindowInThreadedPipeline) {
+  // Window operator as the second stage of a threaded pipeline.
+  std::vector<Tuple> input;
+  for (int i = 0; i < 100; ++i) {
+    input.push_back({i % 3, static_cast<TimestampMs>(i) * 100, 1.0});
+  }
+  MapOperator<Tuple, Tuple> identity("id",
+                                     [](const Tuple& t) { return t; });
+  auto window = MakeSumWindow(1000, 0);
+  const auto out = pipeline::RunThreaded2(&identity, &window, input, 16);
+  double total = 0;
+  for (const auto& w : out) total += w.value;
+  EXPECT_DOUBLE_EQ(total, 100.0);  // nothing lost
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "rdf/streaming_store.h"
+
+namespace datacron {
+namespace {
+
+Triple T(TermId s, TermId p, TermId o) { return Triple{s, p, o}; }
+
+StreamingRdfStore::Config SmallConfig() {
+  StreamingRdfStore::Config cfg;
+  cfg.bucket_ms = kMinute;
+  cfg.retention_buckets = 3;
+  return cfg;
+}
+
+TEST(StreamingStoreTest, OpenBucketIsQueryable) {
+  StreamingRdfStore store(SmallConfig());
+  store.Add(10 * kSecond, {T(1, 2, 3)});
+  EXPECT_EQ(store.OpenTriples(), 1u);
+  EXPECT_EQ(store.Match({1, 0, 0}).size(), 1u);
+  EXPECT_EQ(store.Match({9, 0, 0}).size(), 0u);
+}
+
+TEST(StreamingStoreTest, WatermarkSealsBuckets) {
+  StreamingRdfStore store(SmallConfig());
+  store.Add(10 * kSecond, {T(1, 2, 3)});
+  store.Add(70 * kSecond, {T(4, 5, 6)});
+  EXPECT_EQ(store.SealedBuckets(), 0u);
+  store.AdvanceTo(2 * kMinute);  // bucket 0 and 1 seal
+  EXPECT_EQ(store.SealedBuckets(), 2u);
+  EXPECT_EQ(store.OpenTriples(), 0u);
+  // Sealed data still answers.
+  EXPECT_EQ(store.Match({1, 0, 0}).size(), 1u);
+  EXPECT_EQ(store.Match({4, 0, 0}).size(), 1u);
+}
+
+TEST(StreamingStoreTest, RetentionEvictsOldBuckets) {
+  StreamingRdfStore store(SmallConfig());  // keep 3 buckets
+  for (int i = 0; i < 8; ++i) {
+    store.Add(i * kMinute + 5 * kSecond,
+              {T(static_cast<TermId>(100 + i), 1, 1)});
+  }
+  store.AdvanceTo(8 * kMinute);
+  EXPECT_EQ(store.SealedBuckets(), 3u);
+  EXPECT_EQ(store.evicted_triples(), 5u);
+  // Oldest evicted, youngest kept.
+  EXPECT_TRUE(store.Match({100, 0, 0}).empty());
+  EXPECT_EQ(store.Match({107, 0, 0}).size(), 1u);
+}
+
+TEST(StreamingStoreTest, LateDataRoutedToOpenBucket) {
+  StreamingRdfStore store(SmallConfig());
+  store.Add(10 * kSecond, {T(1, 1, 1)});
+  store.AdvanceTo(3 * kMinute);
+  // An event whose bucket already sealed: must not vanish.
+  store.Add(20 * kSecond, {T(9, 9, 9)});
+  EXPECT_EQ(store.Match({9, 0, 0}).size(), 1u);
+  store.AdvanceTo(4 * kMinute);  // seals the rerouted bucket, within retention
+  EXPECT_EQ(store.Match({9, 0, 0}).size(), 1u);  // sealed now, retained
+  store.AdvanceTo(10 * kMinute);  // now far past retention: evicted
+  EXPECT_TRUE(store.Match({9, 0, 0}).empty());
+}
+
+TEST(StreamingStoreTest, IntegratedArchivalQuery) {
+  TripleStore archival;
+  archival.Add(T(50, 60, 70));
+  archival.Seal();
+  StreamingRdfStore store(SmallConfig());
+  store.AttachArchival(&archival);
+  store.Add(10 * kSecond, {T(50, 60, 71)});
+  // One Match over data-at-rest + data-in-motion.
+  EXPECT_EQ(store.Match({50, 60, 0}).size(), 2u);
+  EXPECT_EQ(store.Count({50, 0, 0}), 2u);
+}
+
+TEST(StreamingStoreTest, SnapshotMaterializesLiveContents) {
+  StreamingRdfStore store(SmallConfig());
+  store.Add(10 * kSecond, {T(1, 1, 1), T(2, 2, 2)});
+  store.AdvanceTo(2 * kMinute);
+  store.Add(130 * kSecond, {T(3, 3, 3)});
+  const TripleStore snap = store.Snapshot();
+  EXPECT_EQ(snap.size(), 3u);
+  EXPECT_TRUE(snap.sealed());
+}
+
+TEST(StreamingStoreTest, LiveTriplesAccounting) {
+  StreamingRdfStore store(SmallConfig());
+  store.Add(10 * kSecond, {T(1, 1, 1)});
+  store.Add(70 * kSecond, {T(2, 2, 2), T(3, 3, 3)});
+  EXPECT_EQ(store.LiveTriples(), 3u);
+  store.AdvanceTo(3 * kMinute);
+  EXPECT_EQ(store.LiveTriples(), 3u);  // sealing does not lose data
+}
+
+}  // namespace
+}  // namespace datacron

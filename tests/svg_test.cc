@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "viz/svg.h"
+
+namespace datacron {
+namespace {
+
+const BoundingBox kRegion = BoundingBox::Of(36, 24, 37, 25);
+
+Trajectory Line(EntityId id) {
+  Trajectory t;
+  t.entity_id = id;
+  for (int i = 0; i < 5; ++i) {
+    PositionReport r;
+    r.entity_id = id;
+    r.timestamp = i * 60000;
+    r.position = {36.2 + i * 0.1, 24.2 + i * 0.1, 0};
+    t.points.push_back(r);
+  }
+  return t;
+}
+
+TEST(SvgMapTest, DocumentStructure) {
+  SvgMap map(kRegion, 800, 400);
+  map.AddTrajectory(Line(1));
+  const std::string doc = map.Render();
+  EXPECT_EQ(doc.find("<svg"), 0u);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("width=\"800\""), std::string::npos);
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgMapTest, NorthIsUp) {
+  SvgMap map(kRegion, 100, 100);
+  // A point at the region's north edge must project to y ~ 0.
+  Trajectory north;
+  north.entity_id = 1;
+  for (int i = 0; i < 2; ++i) {
+    PositionReport r;
+    r.position = {36.99, 24.2 + i * 0.1, 0};
+    north.points.push_back(r);
+  }
+  map.AddTrajectory(north);
+  const std::string doc = map.Render();
+  // y coordinate of the polyline points should be ~1.0 (north at top).
+  EXPECT_NE(doc.find(",1.0"), std::string::npos);
+}
+
+TEST(SvgMapTest, EventAndAreaLayers) {
+  SvgMap map(kRegion);
+  Event e;
+  e.kind = EventKind::kCollisionForecast;
+  e.position = {36.5, 24.5, 0};
+  map.AddEvent(e);
+  map.AddArea(NamedArea{
+      "zone", Polygon::Rectangle(BoundingBox::Of(36.2, 24.2, 36.4, 24.4))});
+  const std::string doc = map.Render();
+  EXPECT_NE(doc.find("<circle"), std::string::npos);
+  EXPECT_NE(doc.find("<polygon"), std::string::npos);
+  EXPECT_NE(doc.find("#d62728"), std::string::npos);  // collision color
+  EXPECT_NE(doc.find("<title>zone</title>"), std::string::npos);
+}
+
+TEST(SvgMapTest, DistinctEntitiesDistinctColors) {
+  SvgMap map(kRegion);
+  map.AddTrajectory(Line(1));
+  map.AddTrajectory(Line(2));
+  const std::string doc = map.Render();
+  // Two different hsl() strokes.
+  const std::size_t first = doc.find("hsl(");
+  const std::size_t second = doc.find("hsl(", first + 1);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_NE(doc.substr(first, 12), doc.substr(second, 12));
+}
+
+TEST(SvgMapTest, SinglePointTrajectorySkipped) {
+  SvgMap map(kRegion);
+  Trajectory t;
+  t.entity_id = 1;
+  t.points.resize(1);
+  map.AddTrajectory(t);
+  EXPECT_EQ(map.Render().find("<polyline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sources/ais_generator.h"
+#include "stream/pipeline.h"
+#include "synopses/compression.h"
+#include "synopses/critical_points.h"
+
+namespace datacron {
+namespace {
+
+PositionReport MakeReport(EntityId id, TimestampMs t, double lat, double lon,
+                          double speed_mps, double course_deg) {
+  PositionReport r;
+  r.entity_id = id;
+  r.timestamp = t;
+  r.position = {lat, lon, 0};
+  r.speed_mps = speed_mps;
+  r.course_deg = course_deg;
+  return r;
+}
+
+/// A straight constant-speed run of `n` reports every `dt` ms.
+std::vector<PositionReport> StraightRun(EntityId id, int n, DurationMs dt,
+                                        double speed_mps,
+                                        double course_deg) {
+  std::vector<PositionReport> out;
+  GeoPoint pos{37.0, 24.0, 0};
+  for (int i = 0; i < n; ++i) {
+    PositionReport r = MakeReport(id, i * dt, pos.lat_deg, pos.lon_deg,
+                                  speed_mps, course_deg);
+    out.push_back(r);
+    pos = DeadReckon(pos, course_deg, speed_mps, 0, dt / 1000.0);
+  }
+  return out;
+}
+
+// ----------------------------------------------------- critical points
+
+TEST(CriticalPointTest, FirstReportIsTrajectoryStart) {
+  CriticalPointDetector det;
+  std::vector<CriticalPoint> out;
+  det.ProcessCounted(MakeReport(1, 0, 37, 24, 5, 90), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, CriticalPointType::kTrajectoryStart);
+}
+
+TEST(CriticalPointTest, StraightRunEmitsAlmostNothing) {
+  CriticalPointDetector det;
+  const auto run = StraightRun(1, 200, 10 * kSecond, 8.0, 45.0);
+  const auto cps = pipeline::RunBatch(&det, run);
+  // Start + end + at most a few heartbeats: huge compression.
+  EXPECT_LE(cps.size(), 6u);
+}
+
+TEST(CriticalPointTest, TurnEmitsTurningPoint) {
+  CriticalPointDetector det;
+  std::vector<CriticalPoint> out;
+  auto run = StraightRun(1, 20, 10 * kSecond, 8.0, 45.0);
+  for (const auto& r : run) det.ProcessCounted(r, &out);
+  // Now turn hard.
+  PositionReport turn = run.back();
+  turn.timestamp += 10 * kSecond;
+  turn.course_deg = 80.0;
+  det.ProcessCounted(turn, &out);
+  bool found = false;
+  for (const auto& cp : out) {
+    if (cp.type == CriticalPointType::kTurningPoint) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CriticalPointTest, StopStartAndEnd) {
+  CriticalPointDetector det;
+  std::vector<CriticalPoint> out;
+  det.ProcessCounted(MakeReport(1, 0, 37, 24, 6, 0), &out);
+  det.ProcessCounted(MakeReport(1, 10000, 37.001, 24, 0.1, 0), &out);
+  det.ProcessCounted(MakeReport(1, 20000, 37.001, 24, 0.1, 0), &out);
+  det.ProcessCounted(MakeReport(1, 30000, 37.001, 24, 5.0, 0), &out);
+  std::map<CriticalPointType, int> counts;
+  for (const auto& cp : out) counts[cp.type]++;
+  EXPECT_EQ(counts[CriticalPointType::kStopStart], 1);
+  EXPECT_EQ(counts[CriticalPointType::kStopEnd], 1);
+}
+
+TEST(CriticalPointTest, GapEmitsGapStartAndEnd) {
+  CriticalPointDetector det;
+  std::vector<CriticalPoint> out;
+  det.ProcessCounted(MakeReport(1, 0, 37, 24, 6, 0), &out);
+  det.ProcessCounted(MakeReport(1, 10 * kSecond, 37.001, 24, 6, 0), &out);
+  det.ProcessCounted(MakeReport(1, 30 * kMinute, 37.05, 24, 6, 0), &out);
+  std::map<CriticalPointType, int> counts;
+  for (const auto& cp : out) counts[cp.type]++;
+  EXPECT_EQ(counts[CriticalPointType::kGapStart], 1);
+  EXPECT_EQ(counts[CriticalPointType::kGapEnd], 1);
+}
+
+TEST(CriticalPointTest, SpeedChangeDetected) {
+  CriticalPointDetector det;
+  std::vector<CriticalPoint> out;
+  det.ProcessCounted(MakeReport(1, 0, 37, 24, 8.0, 0), &out);
+  det.ProcessCounted(MakeReport(1, 10000, 37.001, 24, 8.1, 0), &out);
+  det.ProcessCounted(MakeReport(1, 20000, 37.002, 24, 12.0, 0), &out);
+  bool found = false;
+  for (const auto& cp : out) {
+    if (cp.type == CriticalPointType::kSpeedChange) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CriticalPointTest, FlushEmitsTrajectoryEnd) {
+  CriticalPointDetector det;
+  std::vector<CriticalPoint> out;
+  det.ProcessCounted(MakeReport(1, 0, 37, 24, 5, 0), &out);
+  det.ProcessCounted(MakeReport(2, 0, 38, 25, 5, 0), &out);
+  det.Flush(&out);
+  int ends = 0;
+  for (const auto& cp : out) {
+    if (cp.type == CriticalPointType::kTrajectoryEnd) ++ends;
+  }
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(det.TrackedEntities(), 0u);
+}
+
+TEST(CriticalPointTest, EveryTypeHasName) {
+  for (int i = 0; i <= static_cast<int>(CriticalPointType::kTrajectoryEnd);
+       ++i) {
+    EXPECT_STRNE(CriticalPointTypeName(static_cast<CriticalPointType>(i)),
+                 "?");
+  }
+}
+
+// ----------------------------------------------------- DR compressor
+
+TEST(DeadReckoningCompressorTest, StraightLineKeepsAlmostNothing) {
+  DeadReckoningCompressor comp(50.0);
+  const auto run = StraightRun(1, 500, 5 * kSecond, 8.0, 90.0);
+  const auto kept = pipeline::RunBatch(&comp, run);
+  EXPECT_LE(kept.size(), 10u);  // >50x compression on a straight run
+}
+
+TEST(DeadReckoningCompressorTest, FirstAndLastKept) {
+  DeadReckoningCompressor comp(50.0);
+  const auto run = StraightRun(7, 100, 5 * kSecond, 8.0, 90.0);
+  const auto kept = pipeline::RunBatch(&comp, run);
+  ASSERT_GE(kept.size(), 2u);
+  EXPECT_EQ(kept.front().timestamp, run.front().timestamp);
+  EXPECT_EQ(kept.back().timestamp, run.back().timestamp);
+}
+
+class DrCompressorErrorBoundTest : public ::testing::TestWithParam<double> {
+};
+
+TEST_P(DrCompressorErrorBoundTest, RealFleetRespectsThresholdScale) {
+  // On realistic manoeuvring traffic, reconstruction error stays within a
+  // small multiple of the threshold (kept points bound deviation at kept
+  // timestamps; interpolation between them adds bounded slack).
+  const double threshold = GetParam();
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = 4;
+  cfg.duration = kHour;
+  const auto traces = GenerateAisFleet(cfg);
+  ObservationConfig obs;
+  obs.position_noise_m = 0;
+  obs.drop_probability = 0;
+  obs.gap_probability = 0;
+  obs.fixed_interval_ms = 10 * kSecond;
+  for (const auto& trace : traces) {
+    DeadReckoningCompressor comp(threshold);
+    const auto reports = Observe(trace, obs);
+    const auto kept = pipeline::RunBatch(&comp, reports);
+    EXPECT_LT(kept.size(), reports.size());
+    const CompressionQuality q = EvaluateCompression(reports, kept);
+    EXPECT_LE(q.max_sed_m, threshold * 3 + 50)
+        << "threshold=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DrCompressorErrorBoundTest,
+                         ::testing::Values(20.0, 50.0, 100.0, 200.0, 500.0));
+
+TEST(DeadReckoningCompressorTest, HigherThresholdCompressesMore) {
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = 5;
+  cfg.duration = kHour;
+  const auto traces = GenerateAisFleet(cfg);
+  ObservationConfig obs;
+  obs.fixed_interval_ms = 10 * kSecond;
+  obs.gap_probability = 0;
+  obs.drop_probability = 0;
+  const auto reports = ObserveFleet(traces, obs);
+  DeadReckoningCompressor tight(20.0), loose(500.0);
+  const auto kept_tight = pipeline::RunBatch(&tight, reports);
+  const auto kept_loose = pipeline::RunBatch(&loose, reports);
+  EXPECT_GT(kept_tight.size(), kept_loose.size());
+}
+
+// ----------------------------------------------------- Douglas-Peucker
+
+TEST(DouglasPeuckerTest, CollinearPointsCollapse) {
+  const auto run = StraightRun(1, 50, 10 * kSecond, 8.0, 0.0);
+  const auto kept = DouglasPeucker(run, 10.0);
+  EXPECT_LE(kept.size(), 3u);
+  EXPECT_EQ(kept.front().timestamp, run.front().timestamp);
+  EXPECT_EQ(kept.back().timestamp, run.back().timestamp);
+}
+
+TEST(DouglasPeuckerTest, CornerIsKept) {
+  auto leg1 = StraightRun(1, 20, 10 * kSecond, 8.0, 0.0);
+  // Second leg heads east from the end of leg1.
+  std::vector<PositionReport> run = leg1;
+  GeoPoint pos = leg1.back().position;
+  for (int i = 1; i <= 20; ++i) {
+    pos = DeadReckon(pos, 90.0, 8.0, 0, 10.0);
+    run.push_back(MakeReport(1, leg1.back().timestamp + i * 10 * kSecond,
+                             pos.lat_deg, pos.lon_deg, 8.0, 90.0));
+  }
+  const auto kept = DouglasPeucker(run, 30.0);
+  ASSERT_GE(kept.size(), 3u);
+  // The corner (end of leg1) must be among the kept points.
+  bool corner_kept = false;
+  for (const auto& k : kept) {
+    if (k.timestamp == leg1.back().timestamp) corner_kept = true;
+  }
+  EXPECT_TRUE(corner_kept);
+}
+
+TEST(DouglasPeuckerSedTest, CatchesTemporalDeviation) {
+  // A vessel accelerating along a straight line: spatially collinear
+  // (plain DP keeps only the endpoints) but its timing deviates from
+  // uniform motion, which only SED can see.
+  std::vector<PositionReport> run;
+  for (int i = 0; i <= 20; ++i) {
+    const double f = (i / 20.0) * (i / 20.0);  // quadratic progress
+    run.push_back(
+        MakeReport(1, i * 60 * kSecond, 37.0 + 0.2 * f, 24.0, 8.0, 0));
+  }
+  const auto plain = DouglasPeucker(run, 50.0);
+  const auto sed = DouglasPeuckerSed(run, 50.0);
+  EXPECT_EQ(plain.size(), 2u);  // spatially a line: endpoints only
+  EXPECT_GT(sed.size(), 2u);    // kinematics require interior points
+}
+
+TEST(SedMetersTest, MidpointOfUniformMotionIsZero) {
+  const auto a = MakeReport(1, 0, 37.0, 24.0, 8, 0);
+  const auto b = MakeReport(1, 100000, 37.1, 24.0, 8, 0);
+  const auto mid = MakeReport(1, 50000, 37.05, 24.0, 8, 0);
+  EXPECT_NEAR(SedMeters(a, b, mid), 0.0, 0.5);
+  const auto off = MakeReport(1, 50000, 37.08, 24.0, 8, 0);
+  EXPECT_GT(SedMeters(a, b, off), 3000);
+}
+
+// ----------------------------------------------------- quality metrics
+
+TEST(CompressionQualityTest, IdentityHasZeroError) {
+  const auto run = StraightRun(1, 50, 10 * kSecond, 8.0, 30.0);
+  const CompressionQuality q = EvaluateCompression(run, run);
+  EXPECT_NEAR(q.max_sed_m, 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(q.CompressionRatio(), 1.0);
+}
+
+TEST(InterpolateAtTest, ClampsAndInterpolates) {
+  const auto run = StraightRun(1, 10, 10 * kSecond, 8.0, 0.0);
+  GeoPoint p;
+  ASSERT_TRUE(InterpolateAt(run, -5000, &p));
+  EXPECT_DOUBLE_EQ(p.lat_deg, run.front().position.lat_deg);
+  ASSERT_TRUE(InterpolateAt(run, run.back().timestamp + 5000, &p));
+  EXPECT_DOUBLE_EQ(p.lat_deg, run.back().position.lat_deg);
+  ASSERT_TRUE(InterpolateAt(run, 45 * kSecond, &p));
+  EXPECT_GT(p.lat_deg, run[4].position.lat_deg);
+  EXPECT_LT(p.lat_deg, run[5].position.lat_deg);
+}
+
+TEST(InterpolateAtTest, EmptyFails) {
+  GeoPoint p;
+  EXPECT_FALSE(InterpolateAt({}, 0, &p));
+}
+
+}  // namespace
+}  // namespace datacron

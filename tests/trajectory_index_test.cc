@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sources/ais_generator.h"
+#include "trajectory/trajectory_index.h"
+
+namespace datacron {
+namespace {
+
+Trajectory Line(EntityId id, LatLon from, LatLon to, int points,
+                TimestampMs t0 = 0, DurationMs dt = 60000) {
+  Trajectory t;
+  t.entity_id = id;
+  for (int i = 0; i < points; ++i) {
+    const double f = points > 1 ? static_cast<double>(i) / (points - 1) : 0;
+    PositionReport r;
+    r.entity_id = id;
+    r.timestamp = t0 + i * dt;
+    r.position = {from.lat_deg + f * (to.lat_deg - from.lat_deg),
+                  from.lon_deg + f * (to.lon_deg - from.lon_deg), 0};
+    t.points.push_back(r);
+  }
+  return t;
+}
+
+TEST(TrajectoryIndexTest, FindsCrossingEvenWithoutSampleInside) {
+  // Sparse trajectory: samples at 24.0 and 25.0 lon only, crossing a tiny
+  // box at ~24.5 between samples.
+  TrajectoryIndex index;
+  index.Build({Line(1, {36.5, 24.0}, {36.5, 25.0}, 2)});
+  const BoundingBox tiny = BoundingBox::Of(36.45, 24.45, 36.55, 24.55);
+  const auto hits = index.Query(tiny);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(TrajectoryIndexTest, MissesNonCrossing) {
+  TrajectoryIndex index;
+  index.Build({Line(1, {36.5, 24.0}, {36.5, 25.0}, 10)});
+  EXPECT_TRUE(index.Query(BoundingBox::Of(37.0, 24.4, 37.2, 24.6)).empty());
+}
+
+TEST(TrajectoryIndexTest, DiagonalSegmentVsCorneredBox) {
+  // A diagonal segment whose bbox overlaps the query box but whose
+  // geometry does not — the exact test must reject it.
+  TrajectoryIndex index;
+  index.Build({Line(1, {36.0, 24.0}, {37.0, 25.0}, 2)});
+  // Box in the upper-left corner of the segment's bbox, away from the
+  // diagonal.
+  const BoundingBox corner = BoundingBox::Of(36.8, 24.05, 36.95, 24.15);
+  EXPECT_TRUE(index.Query(corner).empty());
+  // Box on the diagonal matches.
+  const BoundingBox on_diag = BoundingBox::Of(36.45, 24.45, 36.55, 24.55);
+  EXPECT_EQ(index.Query(on_diag).size(), 1u);
+}
+
+TEST(TrajectoryIndexTest, TemporalFilter) {
+  TrajectoryIndex index;
+  index.Build({Line(1, {36.5, 24.0}, {36.5, 25.0}, 11, 0, 60000)});
+  const BoundingBox east_half = BoundingBox::Of(36.4, 24.5, 36.6, 25.0);
+  // The east half is traversed in the second half of the 10-minute run.
+  EXPECT_EQ(index.Query(east_half, 0, 10 * kMinute).size(), 1u);
+  EXPECT_TRUE(index.Query(east_half, 0, 2 * kMinute).empty());
+  EXPECT_EQ(index.Query(east_half, 8 * kMinute, 10 * kMinute).size(), 1u);
+}
+
+TEST(TrajectoryIndexTest, DistinctEntities) {
+  TrajectoryIndex index;
+  index.Build({
+      Line(1, {36.5, 24.0}, {36.5, 25.0}, 20),
+      Line(2, {36.6, 24.0}, {36.6, 25.0}, 20),
+      Line(3, {38.0, 26.0}, {38.5, 26.5}, 20),
+  });
+  auto hits = index.Query(BoundingBox::Of(36.4, 24.2, 36.7, 24.8));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<EntityId>{1, 2}));
+}
+
+TEST(TrajectoryIndexTest, NearestEntitiesDistinctAndOrdered) {
+  TrajectoryIndex index;
+  index.Build({
+      Line(1, {36.50, 24.0}, {36.50, 25.0}, 30),
+      Line(2, {36.60, 24.0}, {36.60, 25.0}, 30),
+      Line(3, {36.90, 24.0}, {36.90, 25.0}, 30),
+  });
+  const auto nearest = index.NearestEntities({36.48, 24.5}, 2);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_EQ(nearest[0], 1u);
+  EXPECT_EQ(nearest[1], 2u);
+}
+
+TEST(TrajectoryIndexTest, EmptyIndex) {
+  TrajectoryIndex index;
+  index.Build({});
+  EXPECT_TRUE(index.empty());
+  EXPECT_TRUE(index.Query(BoundingBox::Of(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(index.NearestEntities({0, 0}, 3).empty());
+}
+
+TEST(TrajectoryIndexTest, MatchesBruteForceOnFleet) {
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = 15;
+  cfg.duration = 30 * kMinute;
+  const auto traces = GenerateAisFleet(cfg);
+  std::vector<Trajectory> trajs;
+  for (const auto& tr : traces) {
+    Trajectory t;
+    t.entity_id = tr.entity_id;
+    for (std::size_t i = 0; i < tr.samples.size(); i += 30) {
+      t.points.push_back(tr.samples[i]);
+    }
+    trajs.push_back(std::move(t));
+  }
+  TrajectoryIndex index;
+  index.Build(trajs);
+
+  Rng rng(31);
+  for (int q = 0; q < 20; ++q) {
+    const double lat = rng.Uniform(35, 38.5);
+    const double lon = rng.Uniform(23, 26.5);
+    const BoundingBox box = BoundingBox::Of(lat, lon, lat + 0.3, lon + 0.3);
+    auto got = index.Query(box);
+    std::sort(got.begin(), got.end());
+    // Brute force over all segments.
+    std::vector<EntityId> expected;
+    for (const auto& t : trajs) {
+      bool crosses = false;
+      for (std::size_t i = 1; i < t.points.size() && !crosses; ++i) {
+        BoundingBox seg_box =
+            BoundingBox::OfPoint(t.points[i - 1].position.ll());
+        seg_box.Extend(t.points[i].position.ll());
+        if (!box.Intersects(seg_box)) continue;
+        // Sample the segment densely as the reference predicate.
+        for (int s = 0; s <= 50; ++s) {
+          const double f = s / 50.0;
+          const LatLon p{
+              t.points[i - 1].position.lat_deg +
+                  f * (t.points[i].position.lat_deg -
+                       t.points[i - 1].position.lat_deg),
+              t.points[i - 1].position.lon_deg +
+                  f * (t.points[i].position.lon_deg -
+                       t.points[i - 1].position.lon_deg)};
+          if (box.Contains(p)) {
+            crosses = true;
+            break;
+          }
+        }
+      }
+      if (crosses) expected.push_back(t.entity_id);
+    }
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sources/ais_generator.h"
+#include "trajectory/reconstruct.h"
+#include "trajectory/similarity.h"
+#include "trajectory/trajectory_store.h"
+
+namespace datacron {
+namespace {
+
+PositionReport At(EntityId id, TimestampMs t, double lat, double lon,
+                  double speed = 5.0) {
+  PositionReport r;
+  r.entity_id = id;
+  r.timestamp = t;
+  r.position = {lat, lon, 0};
+  r.speed_mps = speed;
+  return r;
+}
+
+Trajectory MakeTraj(EntityId id,
+                    std::initializer_list<std::pair<double, double>> pts) {
+  Trajectory t;
+  t.entity_id = id;
+  TimestampMs ts = 0;
+  for (const auto& [lat, lon] : pts) {
+    t.points.push_back(At(id, ts, lat, lon));
+    ts += 60 * kSecond;
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- store
+
+TEST(TrajectoryStoreTest, InOrderAppend) {
+  TrajectoryStore store;
+  store.Add(At(1, 100, 36, 24));
+  store.Add(At(1, 200, 36.001, 24));
+  store.Add(At(2, 150, 37, 25));
+  EXPECT_EQ(store.EntityCount(), 2u);
+  EXPECT_EQ(store.TotalPoints(), 3u);
+  EXPECT_EQ(store.Get(1).points.size(), 2u);
+}
+
+TEST(TrajectoryStoreTest, OutOfOrderInsertSorts) {
+  TrajectoryStore store;
+  store.Add(At(1, 300, 36.002, 24));
+  store.Add(At(1, 100, 36.000, 24));
+  store.Add(At(1, 200, 36.001, 24));
+  const auto& pts = store.Get(1).points;
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].timestamp, 100);
+  EXPECT_EQ(pts[1].timestamp, 200);
+  EXPECT_EQ(pts[2].timestamp, 300);
+}
+
+TEST(TrajectoryStoreTest, UnknownEntityEmpty) {
+  TrajectoryStore store;
+  EXPECT_TRUE(store.Get(99).empty());
+}
+
+TEST(TrajectoryStoreTest, GetRange) {
+  TrajectoryStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Add(At(1, i * 1000, 36 + i * 0.001, 24));
+  }
+  const auto range = store.GetRange(1, 2500, 6500);
+  ASSERT_EQ(range.size(), 4u);
+  EXPECT_EQ(range.front().timestamp, 3000);
+  EXPECT_EQ(range.back().timestamp, 6000);
+}
+
+TEST(TrajectoryTest, LengthAndBounds) {
+  const Trajectory t = MakeTraj(1, {{36, 24}, {36, 24.1}, {36, 24.2}});
+  EXPECT_NEAR(t.LengthMeters(),
+              2 * HaversineMeters({36, 24}, {36, 24.1}), 1.0);
+  const BoundingBox b = t.Bounds();
+  EXPECT_DOUBLE_EQ(b.min_lon, 24.0);
+  EXPECT_DOUBLE_EQ(b.max_lon, 24.2);
+  EXPECT_EQ(t.Duration(), 2 * 60 * kSecond);
+}
+
+// ------------------------------------------------------------- cleaning
+
+TEST(RejectOutliersTest, SpeedGateDropsImpossibleJump) {
+  std::vector<PositionReport> pts = {
+      At(1, 0, 36.0, 24.0),
+      At(1, 10 * kSecond, 36.001, 24.0),  // ~111 m in 10 s, fine
+      At(1, 20 * kSecond, 36.5, 24.0),    // ~55 km in 10 s, impossible
+      At(1, 30 * kSecond, 36.002, 24.0),
+  };
+  std::size_t rejected = 0;
+  const auto clean = RejectOutliers(pts, 55.0, &rejected);
+  EXPECT_EQ(rejected, 1u);
+  ASSERT_EQ(clean.size(), 3u);
+  EXPECT_EQ(clean[2].timestamp, 30 * kSecond);
+}
+
+TEST(RejectOutliersTest, InvalidPositionsDropped) {
+  std::vector<PositionReport> pts = {At(1, 0, 36, 24), At(1, 1000, 95, 24)};
+  std::size_t rejected = 0;
+  const auto clean = RejectOutliers(pts, 55.0, &rejected);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_EQ(clean.size(), 1u);
+}
+
+TEST(SplitAtGapsTest, SplitsOnSilence) {
+  std::vector<PositionReport> pts;
+  for (int i = 0; i < 5; ++i) pts.push_back(At(1, i * 10000, 36, 24));
+  for (int i = 0; i < 5; ++i) {
+    pts.push_back(At(1, kHour + i * 10000, 36.1, 24));
+  }
+  const auto segments = SplitAtGaps(pts, 15 * kMinute);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].size(), 5u);
+  EXPECT_EQ(segments[1].size(), 5u);
+}
+
+TEST(ResampleTest, FixedIntervalOutput) {
+  std::vector<PositionReport> seg = {
+      At(1, 0, 36.0, 24.0), At(1, 95 * kSecond, 36.01, 24.0)};
+  const auto resampled = Resample(seg, 30 * kSecond);
+  ASSERT_EQ(resampled.size(), 4u);  // t = 0, 30, 60, 90
+  for (std::size_t i = 0; i < resampled.size(); ++i) {
+    EXPECT_EQ(resampled[i].timestamp,
+              static_cast<TimestampMs>(i) * 30 * kSecond);
+  }
+  // Interpolated latitudes are monotone.
+  for (std::size_t i = 1; i < resampled.size(); ++i) {
+    EXPECT_GT(resampled[i].position.lat_deg,
+              resampled[i - 1].position.lat_deg);
+  }
+}
+
+TEST(ResampleTest, RecomputedSpeedMatchesMotion) {
+  // 111 m per 30 s => ~3.7 m/s.
+  std::vector<PositionReport> seg = {At(1, 0, 36.0, 24.0, 99),
+                                     At(1, 60 * kSecond, 36.002, 24.0, 99)};
+  const auto resampled = Resample(seg, 30 * kSecond);
+  ASSERT_GE(resampled.size(), 2u);
+  EXPECT_NEAR(resampled[0].speed_mps, 3.7, 0.2);
+}
+
+TEST(ReconstructTest, FullPipelineOnNoisyFleet) {
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = 3;
+  cfg.duration = kHour;
+  const auto traces = GenerateAisFleet(cfg);
+  ObservationConfig obs;
+  obs.position_noise_m = 15;
+  obs.gap_probability = 0.002;
+  for (const auto& trace : traces) {
+    const auto reports = Observe(trace, obs);
+    ReconstructionConfig rc;
+    ReconstructionStats stats;
+    const auto trips = Reconstruct(reports, rc, &stats);
+    ASSERT_FALSE(trips.empty());
+    EXPECT_EQ(stats.input_points, reports.size());
+    EXPECT_EQ(stats.segments, trips.size());
+    // Reconstruction should track truth within noise + interpolation.
+    for (const auto& trip : trips) {
+      EXPECT_LT(ReconstructionErrorMeters(trip, trace), 120.0);
+    }
+  }
+}
+
+TEST(ReconstructTest, GapsProduceMultipleTrips) {
+  std::vector<PositionReport> reports;
+  for (int i = 0; i < 20; ++i) reports.push_back(At(1, i * 30000, 36, 24));
+  for (int i = 0; i < 20; ++i) {
+    reports.push_back(At(1, 2 * kHour + i * 30000, 36.5, 24.5));
+  }
+  const auto trips = Reconstruct(reports, ReconstructionConfig{});
+  EXPECT_EQ(trips.size(), 2u);
+}
+
+// ------------------------------------------------------------- similarity
+
+TEST(DtwTest, IdentityIsZero) {
+  const Trajectory t = MakeTraj(1, {{36, 24}, {36.1, 24.1}, {36.2, 24.2}});
+  EXPECT_NEAR(DtwDistanceMeters(t, t), 0.0, 1e-9);
+}
+
+TEST(DtwTest, Symmetric) {
+  const Trajectory a = MakeTraj(1, {{36, 24}, {36.1, 24.1}, {36.2, 24.3}});
+  const Trajectory b = MakeTraj(2, {{36, 24.05}, {36.15, 24.2}});
+  EXPECT_NEAR(DtwDistanceMeters(a, b), DtwDistanceMeters(b, a), 1e-6);
+}
+
+TEST(DtwTest, ParallelRoutesSeparatedByOffset) {
+  // Two parallel tracks ~11 km apart: DTW ~ offset.
+  Trajectory a = MakeTraj(1, {{36, 24}, {36, 24.2}, {36, 24.4}});
+  Trajectory b = MakeTraj(2, {{36.1, 24}, {36.1, 24.2}, {36.1, 24.4}});
+  EXPECT_NEAR(DtwDistanceMeters(a, b), 11120, 500);
+}
+
+TEST(DtwTest, EmptyIsInfinite) {
+  Trajectory a = MakeTraj(1, {{36, 24}});
+  Trajectory empty;
+  EXPECT_TRUE(std::isinf(DtwDistanceMeters(a, empty)));
+}
+
+TEST(FrechetTest, IdentityIsZero) {
+  const Trajectory t = MakeTraj(1, {{36, 24}, {36.1, 24.1}});
+  EXPECT_NEAR(FrechetDistanceMeters(t, t), 0.0, 1e-9);
+}
+
+TEST(FrechetTest, DominatedByWorstDeviation) {
+  Trajectory a = MakeTraj(1, {{36, 24}, {36, 24.2}, {36, 24.4}});
+  Trajectory b = MakeTraj(2, {{36, 24}, {36.2, 24.2}, {36, 24.4}});
+  // Only the middle deviates (~22 km); Fréchet must see it.
+  EXPECT_GT(FrechetDistanceMeters(a, b), 20000);
+  // DTW averages it away over the path.
+  EXPECT_LT(DtwDistanceMeters(a, b), FrechetDistanceMeters(a, b));
+}
+
+TEST(FrechetTest, SymmetricOnSamples) {
+  const Trajectory a = MakeTraj(1, {{36, 24}, {36.3, 24.5}, {36.2, 24.9}});
+  const Trajectory b = MakeTraj(2, {{36.1, 24}, {36.4, 24.4}});
+  EXPECT_NEAR(FrechetDistanceMeters(a, b), FrechetDistanceMeters(b, a),
+              1e-6);
+}
+
+TEST(ClusterTest, GroupsSimilarSeparatesDifferent) {
+  std::vector<Trajectory> trajs = {
+      MakeTraj(1, {{36, 24}, {36, 24.2}, {36, 24.4}}),
+      MakeTraj(2, {{36.005, 24}, {36.005, 24.2}, {36.005, 24.4}}),
+      MakeTraj(3, {{38, 26}, {38, 26.2}, {38, 26.4}}),
+  };
+  const auto result = ClusterByThreshold(trajs, 2000);
+  EXPECT_EQ(result.medoids.size(), 2u);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_NE(result.assignment[0], result.assignment[2]);
+}
+
+TEST(ClusterTest, EveryTrajectoryAssigned) {
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = 10;
+  cfg.duration = 30 * kMinute;
+  const auto traces = GenerateAisFleet(cfg);
+  std::vector<Trajectory> trajs;
+  for (const auto& tr : traces) {
+    Trajectory t;
+    t.entity_id = tr.entity_id;
+    for (std::size_t i = 0; i < tr.samples.size(); i += 60) {
+      t.points.push_back(tr.samples[i]);
+    }
+    trajs.push_back(std::move(t));
+  }
+  const auto result = ClusterByThreshold(trajs, 10000);
+  ASSERT_EQ(result.assignment.size(), trajs.size());
+  for (int a : result.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, static_cast<int>(result.medoids.size()));
+  }
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sources/ais_generator.h"
+#include "viz/geojson.h"
+#include "viz/raster.h"
+
+namespace datacron {
+namespace {
+
+const BoundingBox kRegion = BoundingBox::Of(35, 23, 39, 27);
+
+TEST(DensityRasterTest, AddAccumulates) {
+  DensityRaster raster(kRegion, 10, 10);
+  raster.Add({36.5, 24.5});
+  raster.Add({36.5, 24.5});
+  EXPECT_DOUBLE_EQ(raster.MaxValue(), 2.0);
+}
+
+TEST(DensityRasterTest, OutsidePointsIgnored) {
+  DensityRaster raster(kRegion, 10, 10);
+  raster.Add({50.0, 24.5});
+  raster.Add({36.5, 40.0});
+  EXPECT_DOUBLE_EQ(raster.MaxValue(), 0.0);
+}
+
+TEST(DensityRasterTest, CornerMapping) {
+  DensityRaster raster(kRegion, 4, 4);
+  raster.Add({35.01, 23.01});
+  EXPECT_DOUBLE_EQ(raster.At(0, 0), 1.0);
+  raster.Add({38.99, 26.99});
+  EXPECT_DOUBLE_EQ(raster.At(3, 3), 1.0);
+}
+
+TEST(DensityRasterTest, AsciiDimensions) {
+  DensityRaster raster(kRegion, 20, 8);
+  raster.Add({36.5, 24.5});
+  const std::string art = raster.ToAscii();
+  // 8 lines of 20 chars plus newlines.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 8);
+  EXPECT_EQ(art.size(), static_cast<std::size_t>((20 + 1) * 8));
+  EXPECT_NE(art.find('@'), std::string::npos);  // the max cell
+}
+
+TEST(DensityRasterTest, NorthIsTopRow) {
+  DensityRaster raster(kRegion, 4, 4);
+  raster.Add({38.9, 24.5});  // north edge
+  const std::string art = raster.ToAscii();
+  const std::size_t first_newline = art.find('\n');
+  EXPECT_NE(art.substr(0, first_newline).find('@'), std::string::npos);
+}
+
+TEST(DensityRasterTest, DownsampleConservesMass) {
+  AisGeneratorConfig cfg;
+  cfg.num_vessels = 10;
+  cfg.duration = 20 * kMinute;
+  const auto traces = GenerateAisFleet(cfg);
+  ObservationConfig obs;
+  DensityRaster raster(kRegion, 64, 64);
+  raster.AddReports(ObserveFleet(traces, obs));
+  const DensityRaster small = raster.Downsample(4);
+  double total_big = 0, total_small = 0;
+  for (int y = 0; y < raster.height(); ++y) {
+    for (int x = 0; x < raster.width(); ++x) total_big += raster.At(x, y);
+  }
+  for (int y = 0; y < small.height(); ++y) {
+    for (int x = 0; x < small.width(); ++x) total_small += small.At(x, y);
+  }
+  EXPECT_DOUBLE_EQ(total_big, total_small);
+  EXPECT_EQ(small.width(), 16);
+}
+
+TEST(DensityRasterTest, CsvListsNonEmptyCells) {
+  DensityRaster raster(kRegion, 10, 10);
+  raster.Add({36.5, 24.5});
+  raster.Add({37.5, 25.5});
+  const std::string csv = raster.ToCsv();
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("x,y,lat,lon,count"), std::string::npos);
+}
+
+// ----------------------------------------------------------- GeoJSON
+
+bool BalancedBraces(const std::string& s) {
+  int depth = 0;
+  for (char c : s) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(GeoJsonTest, TrajectoriesDocument) {
+  Trajectory t;
+  t.entity_id = 200000001;
+  t.domain = Domain::kMaritime;
+  for (int i = 0; i < 5; ++i) {
+    PositionReport r;
+    r.position = {36.0 + i * 0.01, 24.0, 0};
+    r.timestamp = i * 1000;
+    t.points.push_back(r);
+  }
+  const std::string doc = TrajectoriesToGeoJson({t, t});
+  EXPECT_TRUE(BalancedBraces(doc));
+  EXPECT_NE(doc.find("FeatureCollection"), std::string::npos);
+  EXPECT_NE(doc.find("LineString"), std::string::npos);
+  EXPECT_NE(doc.find("\"entity\":200000001"), std::string::npos);
+  // Two features.
+  std::size_t count = 0, pos = 0;
+  while ((pos = doc.find("\"type\":\"Feature\"", pos)) !=
+         std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(GeoJsonTest, EventsDocumentEscapesLabels) {
+  Event e;
+  e.kind = EventKind::kAreaEntry;
+  e.label = "port \"alpha\"";
+  e.position = {36.5, 24.5, 0};
+  e.entities = {7};
+  const std::string doc = EventsToGeoJson({e});
+  EXPECT_TRUE(BalancedBraces(doc));
+  EXPECT_NE(doc.find("\\\"alpha\\\""), std::string::npos);
+  EXPECT_NE(doc.find("area_entry"), std::string::npos);
+}
+
+TEST(GeoJsonTest, AreasDocumentClosesRing) {
+  NamedArea a{"zone",
+              Polygon::Rectangle(BoundingBox::Of(36, 24, 37, 25))};
+  const std::string doc = AreasToGeoJson({a});
+  EXPECT_TRUE(BalancedBraces(doc));
+  // Closed ring: 5 coordinate pairs for a rectangle.
+  std::size_t count = 0, pos = 0;
+  while ((pos = doc.find("[24", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_GE(count, 2u);
+  EXPECT_NE(doc.find("Polygon"), std::string::npos);
+}
+
+TEST(GeoJsonTest, EmptyCollections) {
+  EXPECT_TRUE(BalancedBraces(TrajectoriesToGeoJson({})));
+  EXPECT_TRUE(BalancedBraces(EventsToGeoJson({})));
+  EXPECT_TRUE(BalancedBraces(AreasToGeoJson({})));
+}
+
+}  // namespace
+}  // namespace datacron
