@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "partition/partitioned_store.h"
 #include "partition/partitioner.h"
 #include "query/engine.h"
@@ -104,6 +105,43 @@ void BM_SealCost(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * d.triples.size());
 }
 BENCHMARK(BM_SealCost)->Unit(benchmark::kMillisecond);
+
+void BM_SealCostParallel(benchmark::State& state) {
+  Dataset& d = Data();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TripleStore fresh;
+    fresh.AddBatch(d.triples);
+    fresh.Seal(&pool);
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(state.iterations() * d.triples.size());
+}
+BENCHMARK(BM_SealCostParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionLoadParallel(benchmark::State& state) {
+  Dataset& d = Data();
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  HashPartitioner scheme(8, &d.rdfizer->tags());
+  for (auto _ : state) {
+    PartitionedRdfStore store;
+    store.Load(d.triples, scheme, d.rdfizer->grid(), d.vocab->p_next_node,
+               state.range(0) > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(state.iterations() * d.triples.size());
+}
+BENCHMARK(BM_PartitionLoadParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StarJoinQuery(benchmark::State& state) {
   Dataset& d = Data();

@@ -1,0 +1,59 @@
+#ifndef DATACRON_COMMON_PARALLEL_SORT_H_
+#define DATACRON_COMMON_PARALLEL_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace datacron {
+
+/// Below this size the pool overhead dominates and a plain std::sort wins.
+inline constexpr std::size_t kMinParallelSortSize = 1u << 14;
+
+/// Sorts `*v` under `less` using `pool`: the vector is cut into one chunk
+/// per worker, chunks sort as independent pool tasks, and sorted runs are
+/// combined by rounds of pairwise std::inplace_merge (also pool tasks).
+///
+/// The result is byte-identical to a serial std::sort for the orderings
+/// the triple store uses (total orders where equivalent elements are
+/// bitwise equal), so parallel and serial Seal() build identical indexes.
+/// Falls back to std::sort when `pool` is null or the input is small.
+/// Safe to call from inside a pool task (ParallelFor help-runs).
+template <typename T, typename Less>
+void ParallelSort(std::vector<T>* v, Less less, ThreadPool* pool) {
+  if (pool == nullptr || v->size() < kMinParallelSortSize ||
+      pool->num_threads() < 2) {
+    std::sort(v->begin(), v->end(), less);
+    return;
+  }
+  const std::size_t n = v->size();
+  const std::size_t chunks = std::min(n, pool->num_threads());
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+  // Chunk c covers [c*per_chunk, min(n, (c+1)*per_chunk)).
+  const std::size_t runs = (n + per_chunk - 1) / per_chunk;
+  auto begin_of = [&](std::size_t run) { return std::min(n, run * per_chunk); };
+
+  pool->ParallelFor(runs, [&](std::size_t c) {
+    std::sort(v->begin() + begin_of(c), v->begin() + begin_of(c + 1), less);
+  });
+
+  // Merge rounds: width doubles until one run remains.
+  for (std::size_t width = 1; width < runs; width *= 2) {
+    const std::size_t pairs = (runs + 2 * width - 1) / (2 * width);
+    pool->ParallelFor(pairs, [&](std::size_t p) {
+      const std::size_t lo = begin_of(p * 2 * width);
+      const std::size_t mid = begin_of(std::min(runs, p * 2 * width + width));
+      const std::size_t hi = begin_of(std::min(runs, p * 2 * width + 2 * width));
+      if (mid < hi) {
+        std::inplace_merge(v->begin() + lo, v->begin() + mid,
+                           v->begin() + hi, less);
+      }
+    });
+  }
+}
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_PARALLEL_SORT_H_

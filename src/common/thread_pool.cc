@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
 
 namespace datacron {
 
@@ -38,22 +40,77 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+
+  // Per-call completion state. Chunks reference `fn` (stack-bound), so the
+  // call must not return before every chunk has finished — including after
+  // an exception — or the remaining chunks would run against a dangling
+  // reference.
+  struct Barrier {
+    std::atomic<std::size_t> remaining;
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+  };
   const std::size_t chunks = std::min(n, num_threads() * 4);
   const std::size_t per_chunk = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining.store((n + per_chunk - 1) / per_chunk,
+                           std::memory_order_relaxed);
+
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(n, begin + per_chunk);
     if (begin >= end) break;
-    futures.push_back(Submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    auto chunk = [begin, end, &fn, barrier] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(barrier->mu);
+        if (!barrier->first_error) {
+          barrier->first_error = std::current_exception();
+        }
+      }
+      if (barrier->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Lock so the notify cannot race a waiter between its predicate
+        // check and its wait.
+        std::lock_guard<std::mutex> lock(barrier->mu);
+        barrier->done.notify_all();
+      }
+    };
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back(std::move(chunk));
+    }
+    cv_.notify_one();
   }
-  for (auto& f : futures) f.get();
+
+  // Help-run queued tasks while waiting. This makes nested ParallelFor
+  // safe: a worker whose chunks queue behind it executes them itself
+  // instead of blocking on a future forever. Stolen tasks may belong to
+  // other submitters; running them here only speeds the pool up.
+  while (barrier->remaining.load(std::memory_order_acquire) > 0) {
+    if (TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(barrier->mu);
+    barrier->done.wait(lock, [&] {
+      return barrier->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (barrier->first_error) std::rethrow_exception(barrier->first_error);
 }
 
 }  // namespace datacron

@@ -13,9 +13,15 @@
 
 namespace datacron {
 
-/// Fixed-size worker pool used by the parallel query executor and the
-/// pipeline runner. Tasks are `std::function<void()>`; `Submit` returns a
-/// future for composition, `ParallelFor` is a convenience barrier.
+/// Fixed-size worker pool used by the parallel query executor, the
+/// pipeline runner and the bulk-ingest path. Tasks are
+/// `std::function<void()>`; `Submit` returns a future for composition,
+/// `ParallelFor` is a convenience barrier.
+///
+/// ParallelFor is re-entrant: a task running on a pool worker may itself
+/// call ParallelFor (the ingest path nests bucket-level and sort-level
+/// parallelism). The calling thread help-runs queued tasks while it waits,
+/// so nested calls cannot deadlock even on a single-worker pool.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -44,12 +50,19 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n), partitioned across the pool; blocks until
-  /// every iteration has completed.
+  /// every iteration has completed. The calling thread participates (it
+  /// help-runs queued chunks), so ParallelFor may be invoked from inside a
+  /// pool task. If any iteration throws, every chunk still runs to
+  /// completion and the first exception is rethrown to the caller.
   void ParallelFor(std::size_t n,
                    const std::function<void(std::size_t)>& fn);
 
  private:
   void WorkerLoop();
+
+  /// Pops and runs one queued task if any is immediately available.
+  /// Returns false when the queue was empty.
+  bool TryRunOneTask();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -110,10 +110,10 @@ std::vector<Event> DatacronEngine::Finish() {
   return events;
 }
 
-TripleStore DatacronEngine::BuildStore() const {
+TripleStore DatacronEngine::BuildStore(ThreadPool* pool) const {
   TripleStore store;
   store.AddBatch(triples_);
-  store.Seal();
+  store.Seal(pool);
   return store;
 }
 

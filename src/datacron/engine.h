@@ -74,8 +74,9 @@ class DatacronEngine {
   /// entity, derived online from the synopsis and also RDF-ized).
   const std::vector<Episode>& episodes() const { return episodes_; }
 
-  /// Convenience: sealed single-node store over triples().
-  TripleStore BuildStore() const;
+  /// Convenience: sealed single-node store over triples(). With a pool,
+  /// sealing (the three permutation sorts) runs on the pool.
+  TripleStore BuildStore(ThreadPool* pool = nullptr) const;
 
   /// Dead-reckoning predictor fed from the live stream (always-on cheap
   /// forecaster; heavier predictors are offline-trained, see forecast/).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace datacron {
 
@@ -17,20 +18,63 @@ std::string PartitionStats::ToString() const {
 void PartitionedRdfStore::Load(const std::vector<Triple>& triples,
                                const PartitionScheme& scheme,
                                const UniformGrid& grid,
-                               TermId link_predicate) {
+                               TermId link_predicate, ThreadPool* pool) {
   const int k = scheme.num_partitions();
   parts_.assign(static_cast<std::size_t>(k), TripleStore());
   meta_.assign(static_cast<std::size_t>(k), PartitionMeta());
 
   std::size_t cross_edges = 0;
   std::size_t link_edges = 0;
-  for (const Triple& t : triples) {
-    const int p = scheme.PartitionOf(t);
-    parts_[p].Add(t);
-    ++meta_[p].triple_count;
-    if (link_predicate != kInvalidTermId && t.p == link_predicate) {
-      ++link_edges;
-      if (scheme.PartitionOfNode(t.o) != p) ++cross_edges;
+  const bool parallel =
+      pool != nullptr && pool->num_threads() >= 2 && triples.size() >= 4096;
+  if (parallel) {
+    // Pass 1 (parallel): each input chunk scatters its triples into
+    // chunk-local per-partition buckets and tallies edge stats.
+    const std::size_t chunks = pool->num_threads() * 2;
+    const std::size_t per_chunk = (triples.size() + chunks - 1) / chunks;
+    struct ChunkScatter {
+      std::vector<std::vector<Triple>> buckets;
+      std::size_t link_edges = 0;
+      std::size_t cross_edges = 0;
+    };
+    std::vector<ChunkScatter> partial(chunks);
+    pool->ParallelFor(chunks, [&](std::size_t c) {
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(triples.size(), begin + per_chunk);
+      partial[c].buckets.resize(static_cast<std::size_t>(k));
+      for (std::size_t i = begin; i < end; ++i) {
+        const Triple& t = triples[i];
+        const int p = scheme.PartitionOf(t);
+        partial[c].buckets[p].push_back(t);
+        if (link_predicate != kInvalidTermId && t.p == link_predicate) {
+          ++partial[c].link_edges;
+          if (scheme.PartitionOfNode(t.o) != p) ++partial[c].cross_edges;
+        }
+      }
+    });
+    for (const ChunkScatter& s : partial) {
+      link_edges += s.link_edges;
+      cross_edges += s.cross_edges;
+    }
+    // Pass 2 (parallel): each partition concatenates its buckets in chunk
+    // (= input) order and seals. Contents match the serial scatter.
+    pool->ParallelFor(static_cast<std::size_t>(k), [&](std::size_t p) {
+      std::size_t total = 0;
+      for (const ChunkScatter& s : partial) total += s.buckets[p].size();
+      parts_[p].Reserve(total);
+      for (const ChunkScatter& s : partial) parts_[p].AddBatch(s.buckets[p]);
+      meta_[p].triple_count = total;
+      parts_[p].Seal();
+    });
+  } else {
+    for (const Triple& t : triples) {
+      const int p = scheme.PartitionOf(t);
+      parts_[p].Add(t);
+      ++meta_[p].triple_count;
+      if (link_predicate != kInvalidTermId && t.p == link_predicate) {
+        ++link_edges;
+        if (scheme.PartitionOfNode(t.o) != p) ++cross_edges;
+      }
     }
   }
 

@@ -12,6 +12,8 @@
 
 namespace datacron {
 
+class ThreadPool;
+
 /// Pruning metadata of one partition: the spatiotemporal envelope of its
 /// tagged resources. The parallel query executor skips partitions whose
 /// envelope misses the query's spatial/temporal constraints.
@@ -50,9 +52,13 @@ class PartitionedRdfStore {
   /// Distributes `triples` by `scheme`, seals every partition and computes
   /// metadata. `grid` must be the grid the tags were computed on;
   /// `link_predicate` (may be kInvalidTermId) identifies the edge
-  /// predicate used for the locality statistic.
+  /// predicate used for the locality statistic. With a pool, partition
+  /// assignment runs as a chunked parallel pass and partitions gather and
+  /// seal concurrently; partitions, metadata and stats are identical to
+  /// the serial path.
   void Load(const std::vector<Triple>& triples, const PartitionScheme& scheme,
-            const UniformGrid& grid, TermId link_predicate = kInvalidTermId);
+            const UniformGrid& grid, TermId link_predicate = kInvalidTermId,
+            ThreadPool* pool = nullptr);
 
   int num_partitions() const { return static_cast<int>(parts_.size()); }
   const TripleStore& partition(int i) const { return parts_[i]; }

@@ -1,10 +1,16 @@
 #include "rdf/ntriples.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
+#include "common/thread_pool.h"
 
 namespace datacron {
 
 namespace {
+
+/// Documents below this size parse serially even when a pool is supplied.
+constexpr std::size_t kMinParallelParseBytes = 1u << 16;
 
 const char* KindSuffix(TermKind kind) {
   switch (kind) {
@@ -61,15 +67,17 @@ void AppendTerm(TermId id, const TermDictionary& dict, std::string* out) {
 }
 
 /// Parses one term starting at `*pos`; advances past it and any trailing
-/// whitespace.
-bool ParseTerm(const std::string& line, std::size_t* pos,
-               TermDictionary* dict, TermId* out) {
+/// whitespace. Terms intern through `terms` — the shared dictionary on the
+/// serial path, a shard-local TermBatch on the parallel path. IRIs intern
+/// straight from the document slice (no temporary string).
+bool ParseTerm(std::string_view line, std::size_t* pos, TermSource* terms,
+               TermId* out) {
   while (*pos < line.size() && line[*pos] == ' ') ++(*pos);
   if (*pos >= line.size()) return false;
   if (line[*pos] == '<') {
     const std::size_t end = line.find('>', *pos);
-    if (end == std::string::npos) return false;
-    *out = dict->Intern(line.substr(*pos + 1, end - *pos - 1));
+    if (end == std::string_view::npos) return false;
+    *out = terms->Intern(line.substr(*pos + 1, end - *pos - 1));
     *pos = end + 1;
     return true;
   }
@@ -90,15 +98,62 @@ bool ParseTerm(const std::string& line, std::size_t* pos,
     std::size_t k_end = k;
     while (k_end < line.size() && line[k_end] != ' ') ++k_end;
     TermKind kind;
-    if (!KindFromSuffix(
-            std::string_view(line).substr(k, k_end - k), &kind)) {
+    if (!KindFromSuffix(line.substr(k, k_end - k), &kind)) {
       return false;
     }
-    *out = dict->Intern(lexical, kind);
+    *out = terms->Intern(lexical, kind);
     *pos = k_end;
     return true;
   }
   return false;
+}
+
+/// Parses one `s p o .` statement. Returns the empty string on success
+/// (or blank line, with *parsed=false), else the error description.
+const char* ParseLine(std::string_view line, TermSource* terms, Triple* t,
+                      bool* parsed) {
+  *parsed = false;
+  if (Trim(line).empty()) return nullptr;
+  std::size_t pos = 0;
+  if (!ParseTerm(line, &pos, terms, &t->s) ||
+      !ParseTerm(line, &pos, terms, &t->p) ||
+      !ParseTerm(line, &pos, terms, &t->o)) {
+    return "malformed term";
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size() || line[pos] != '.') {
+    return "missing terminating '.'";
+  }
+  *parsed = true;
+  return nullptr;
+}
+
+/// Parses the byte range `text` line by line, interning via `terms`.
+/// On error fills *err_line (1-based within the range) and *err_msg;
+/// triples preceding the bad line are kept in *out. Returns total lines
+/// consumed (up to and including an erroring line).
+bool ParseRange(std::string_view text, TermSource* terms,
+                std::vector<Triple>* out, std::size_t* lines,
+                std::size_t* err_line, const char** err_msg) {
+  *lines = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    ++(*lines);
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    Triple t;
+    bool parsed = false;
+    const char* msg = ParseLine(line, terms, &t, &parsed);
+    if (msg != nullptr) {
+      *err_line = *lines;
+      *err_msg = msg;
+      return false;
+    }
+    if (parsed) out->push_back(t);
+  }
+  return true;
 }
 
 }  // namespace
@@ -120,31 +175,73 @@ std::string SerializeNTriples(const std::vector<Triple>& triples,
 
 Status ParseNTriples(const std::string& text, TermDictionary* dict,
                      std::vector<Triple>* out) {
-  std::size_t line_no = 0;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    ++line_no;
-    const std::string line = text.substr(start, end - start);
-    start = end + 1;
-    if (Trim(line).empty()) continue;
+  std::size_t lines = 0;
+  std::size_t err_line = 0;
+  const char* err_msg = nullptr;
+  if (!ParseRange(text, dict, out, &lines, &err_line, &err_msg)) {
+    return Status::ParseError(StrFormat("line %zu: %s", err_line, err_msg));
+  }
+  return Status::OK();
+}
 
-    Triple t;
-    std::size_t pos = 0;
-    if (!ParseTerm(line, &pos, dict, &t.s) ||
-        !ParseTerm(line, &pos, dict, &t.p) ||
-        !ParseTerm(line, &pos, dict, &t.o)) {
-      return Status::ParseError(
-          StrFormat("line %zu: malformed term", line_no));
+Status ParseNTriples(const std::string& text, TermDictionary* dict,
+                     std::vector<Triple>* out, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() < 2 ||
+      text.size() < kMinParallelParseBytes) {
+    return ParseNTriples(text, dict, out);
+  }
+
+  // Shard boundaries: equal byte ranges snapped forward to the next '\n'
+  // so every shard owns whole lines.
+  const std::size_t want = pool->num_threads() * 2;
+  std::vector<std::size_t> starts;
+  starts.push_back(0);
+  for (std::size_t s = 1; s < want; ++s) {
+    std::size_t pos = s * (text.size() / want);
+    pos = text.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+    if (pos > starts.back() && pos < text.size()) starts.push_back(pos);
+  }
+  const std::size_t shards = starts.size();
+
+  struct Shard {
+    explicit Shard(const TermDictionary* global) : terms(global) {}
+    TermBatch terms;
+    std::vector<Triple> triples;
+    std::size_t lines = 0;
+    std::size_t err_line = 0;  // 1-based within the shard; 0 = no error
+    const char* err_msg = nullptr;
+  };
+  std::vector<Shard> results;
+  results.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) results.emplace_back(dict);
+
+  const std::string_view doc(text);
+  pool->ParallelFor(shards, [&](std::size_t s) {
+    Shard& sh = results[s];
+    const std::size_t begin = starts[s];
+    const std::size_t end = s + 1 < shards ? starts[s + 1] : doc.size();
+    ParseRange(doc.substr(begin, end - begin), &sh.terms, &sh.triples,
+               &sh.lines, &sh.err_line, &sh.err_msg);
+  });
+
+  // Merge in document order; the first erroring shard determines the
+  // global error line. Shards before it merge fully (as the serial parser
+  // would have appended them), including the partial erroring shard.
+  std::size_t line_offset = 0;
+  for (const Shard& sh : results) {
+    const std::vector<TermId> remap = dict->MergeBatch(sh.terms);
+    out->reserve(out->size() + sh.triples.size());
+    for (const Triple& t : sh.triples) {
+      out->push_back({RemapTerm(t.s, remap), RemapTerm(t.p, remap),
+                      RemapTerm(t.o, remap)});
     }
-    // Statement terminator.
-    while (pos < line.size() && line[pos] == ' ') ++pos;
-    if (pos >= line.size() || line[pos] != '.') {
-      return Status::ParseError(
-          StrFormat("line %zu: missing terminating '.'", line_no));
+    if (sh.err_line != 0) {
+      return Status::ParseError(StrFormat(
+          "line %zu: %s", line_offset + sh.err_line, sh.err_msg));
     }
-    out->push_back(t);
+    line_offset += sh.lines;
   }
   return Status::OK();
 }

@@ -10,6 +10,8 @@
 
 namespace datacron {
 
+class ThreadPool;
+
 /// N-Triples-style serialization of dictionary-encoded triples — the
 /// interchange path to external RDF tooling and the persistence format of
 /// the archival store.
@@ -31,6 +33,16 @@ std::string SerializeNTriples(const std::vector<Triple>& triples,
 /// on the first malformed line (reporting its number).
 Status ParseNTriples(const std::string& text, TermDictionary* dict,
                      std::vector<Triple>* out);
+
+/// Parallel variant: splits the document on line boundaries into shards,
+/// parses each shard on `pool` with a thread-local TermBatch, and merges
+/// shard results in document order. On success the resulting dictionary
+/// ids and triples are identical to the serial parse; on failure the
+/// reported line number matches the serial parse (triples preceding the
+/// bad line are still appended). Falls back to the serial parser when
+/// `pool` is null or the document is small.
+Status ParseNTriples(const std::string& text, TermDictionary* dict,
+                     std::vector<Triple>* out, ThreadPool* pool);
 
 }  // namespace datacron
 

@@ -1,6 +1,18 @@
 #include "rdf/rdfizer.h"
 
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+
 namespace datacron {
+
+namespace {
+
+/// Below this batch size the chunk/merge overhead of the parallel path is
+/// not worth paying.
+constexpr std::size_t kMinParallelBatch = 256;
+
+}  // namespace
 
 Rdfizer::Rdfizer(const Config& config, TermDictionary* dict,
                  const Vocab* vocab)
@@ -13,25 +25,39 @@ TermId Rdfizer::NodeIdOf(const PositionReport& report) const {
   return dict_->Find(PositionNodeIri(report.entity_id, report.timestamp));
 }
 
-TermId Rdfizer::EmitNode(const PositionReport& report,
-                         std::vector<Triple>* out) {
+Rdfizer::Sink Rdfizer::MemberSink() {
+  Sink sink;
+  sink.terms = dict_;
+  sink.tags = &tags_;
+  sink.node_geo = &node_geo_;
+  sink.prev_node = &prev_node_;
+  sink.known_entities = &known_entities_;
+  return sink;
+}
+
+TermId Rdfizer::EmitNode(const PositionReport& report, const Sink& sink,
+                         std::vector<Triple>* out) const {
+  TermSource& terms = *sink.terms;
   const TermId node =
-      dict_->Intern(PositionNodeIri(report.entity_id, report.timestamp));
+      terms.Intern(PositionNodeIri(report.entity_id, report.timestamp));
 
   // Entity-level triples, once per entity.
   auto [ent_it, is_new_entity] =
-      known_entities_.try_emplace(report.entity_id, kInvalidTermId);
+      sink.known_entities->try_emplace(report.entity_id, kInvalidTermId);
   if (is_new_entity) {
-    const TermId entity = dict_->Intern(EntityIri(report.entity_id));
+    const TermId entity = terms.Intern(EntityIri(report.entity_id));
     ent_it->second = entity;
     out->push_back({entity, vocab_->p_type,
                     report.domain == Domain::kMaritime ? vocab_->c_vessel
                                                        : vocab_->c_aircraft});
-    const TermId traj = dict_->Intern(TrajectoryIri(report.entity_id));
+    const TermId traj = terms.Intern(TrajectoryIri(report.entity_id));
     out->push_back({traj, vocab_->p_type, vocab_->c_trajectory});
+    if (sink.entity_order != nullptr) {
+      sink.entity_order->push_back(report.entity_id);
+    }
   }
   const TermId entity = ent_it->second;
-  const TermId traj = dict_->Intern(TrajectoryIri(report.entity_id));
+  const TermId traj = terms.Intern(TrajectoryIri(report.entity_id));
 
   const GridCell cell = grid_.CellOf(report.position.ll());
   const std::int64_t bucket = BucketOf(report.timestamp);
@@ -40,51 +66,167 @@ TermId Rdfizer::EmitNode(const PositionReport& report,
   out->push_back({node, vocab_->p_of_entity, entity});
   out->push_back({traj, vocab_->p_has_node, node});
   out->push_back(
-      {node, vocab_->p_timestamp, dict_->InternDateTime(report.timestamp)});
+      {node, vocab_->p_timestamp, terms.InternDateTime(report.timestamp)});
   out->push_back(
-      {node, vocab_->p_lat, dict_->InternDouble(report.position.lat_deg)});
+      {node, vocab_->p_lat, terms.InternDouble(report.position.lat_deg)});
   out->push_back(
-      {node, vocab_->p_lon, dict_->InternDouble(report.position.lon_deg)});
+      {node, vocab_->p_lon, terms.InternDouble(report.position.lon_deg)});
   if (report.domain == Domain::kAviation) {
     out->push_back(
-        {node, vocab_->p_alt, dict_->InternDouble(report.position.alt_m)});
+        {node, vocab_->p_alt, terms.InternDouble(report.position.alt_m)});
     out->push_back({node, vocab_->p_vrate,
-                    dict_->InternDouble(report.vertical_rate_mps)});
+                    terms.InternDouble(report.vertical_rate_mps)});
   }
   out->push_back(
-      {node, vocab_->p_speed, dict_->InternDouble(report.speed_mps)});
+      {node, vocab_->p_speed, terms.InternDouble(report.speed_mps)});
   out->push_back(
-      {node, vocab_->p_course, dict_->InternDouble(report.course_deg)});
+      {node, vocab_->p_course, terms.InternDouble(report.course_deg)});
   out->push_back(
-      {node, vocab_->p_in_cell, dict_->Intern(CellIri(cell.ix, cell.iy))});
+      {node, vocab_->p_in_cell, terms.Intern(CellIri(cell.ix, cell.iy))});
   out->push_back(
-      {node, vocab_->p_in_bucket, dict_->Intern(BucketIri(bucket))});
+      {node, vocab_->p_in_bucket, terms.Intern(BucketIri(bucket))});
 
   if (config_.emit_sequence_links) {
-    auto prev_it = prev_node_.find(report.entity_id);
-    if (prev_it != prev_node_.end() && prev_it->second != node) {
-      out->push_back({prev_it->second, vocab_->p_next_node, node});
+    auto prev_it = sink.prev_node->find(report.entity_id);
+    if (prev_it != sink.prev_node->end()) {
+      if (prev_it->second != node) {
+        out->push_back({prev_it->second, vocab_->p_next_node, node});
+      }
+    } else if (sink.first_node != nullptr) {
+      (*sink.first_node)[report.entity_id] = node;
     }
-    prev_node_[report.entity_id] = node;
+    (*sink.prev_node)[report.entity_id] = node;
   }
 
-  tags_[node] = StTag{cell, bucket};
-  node_geo_[node] = NodeGeo{report.position.lat_deg, report.position.lon_deg,
-                            report.position.alt_m, report.timestamp};
+  (*sink.tags)[node] = StTag{cell, bucket};
+  (*sink.node_geo)[node] =
+      NodeGeo{report.position.lat_deg, report.position.lon_deg,
+              report.position.alt_m, report.timestamp};
   return node;
 }
 
 std::vector<Triple> Rdfizer::TransformReport(const PositionReport& report) {
   std::vector<Triple> out;
   out.reserve(14);
-  EmitNode(report, &out);
+  const Sink sink = MemberSink();
+  EmitNode(report, sink, &out);
+  return out;
+}
+
+std::vector<Triple> Rdfizer::TransformBatch(
+    const std::vector<PositionReport>& reports, ThreadPool* pool) {
+  std::vector<Triple> out;
+  if (reports.empty()) return out;
+
+  const std::size_t max_chunks = std::max<std::size_t>(1, reports.size() / 64);
+  const std::size_t chunks =
+      pool == nullptr
+          ? 1
+          : std::min(max_chunks, pool->num_threads() * 2);
+  if (chunks < 2 || reports.size() < kMinParallelBatch) {
+    out.reserve(reports.size() * 12);
+    for (const PositionReport& r : reports) {
+      const auto ts = TransformReport(r);
+      out.insert(out.end(), ts.begin(), ts.end());
+    }
+    return out;
+  }
+
+  // Phase 1: chunk-local transform. Each worker interns into its own
+  // TermBatch (read-only probes of the shared dictionary, batch-local ids
+  // for new terms) and tracks entity/link state locally.
+  struct Chunk {
+    explicit Chunk(const TermDictionary* global) : terms(global) {}
+    TermBatch terms;
+    std::vector<Triple> triples;
+    std::unordered_map<TermId, StTag> tags;
+    std::unordered_map<TermId, NodeGeo> node_geo;
+    std::unordered_map<EntityId, TermId> prev_node;  // final value = last node
+    std::unordered_map<EntityId, TermId> first_node;
+    std::unordered_map<EntityId, TermId> known_entities;
+    std::vector<EntityId> entity_order;
+  };
+  const std::size_t per_chunk = (reports.size() + chunks - 1) / chunks;
+  std::vector<Chunk> results;
+  results.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) results.emplace_back(dict_);
+
+  pool->ParallelFor(chunks, [&](std::size_t c) {
+    Chunk& ch = results[c];
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(reports.size(), begin + per_chunk);
+    Sink sink;
+    sink.terms = &ch.terms;
+    sink.tags = &ch.tags;
+    sink.node_geo = &ch.node_geo;
+    sink.prev_node = &ch.prev_node;
+    sink.known_entities = &ch.known_entities;
+    sink.entity_order = &ch.entity_order;
+    sink.first_node = &ch.first_node;
+    ch.triples.reserve((end - begin) * 12);
+    for (std::size_t i = begin; i < end; ++i) {
+      EmitNode(reports[i], sink, &ch.triples);
+    }
+  });
+
+  // Phase 2: deterministic merge in chunk (= input) order. Merging local
+  // dictionaries in order reproduces the global first-occurrence order of
+  // every term, so the ids match the serial path exactly.
+  out.reserve(reports.size() * 12);
+  for (Chunk& ch : results) {
+    const std::vector<TermId> remap = dict_->MergeBatch(ch.terms);
+
+    // Entities this chunk saw first locally but that were already known
+    // globally: their entity/trajectory typing triples are redundant
+    // re-emissions — drop them, as the serial path emits them once.
+    std::unordered_set<TermId> drop_typing_subjects;
+    for (EntityId e : ch.entity_order) {
+      const TermId entity = RemapTerm(ch.known_entities[e], remap);
+      auto [it, is_new] = known_entities_.try_emplace(e, entity);
+      if (!is_new) {
+        drop_typing_subjects.insert(entity);
+        drop_typing_subjects.insert(dict_->Find(TrajectoryIri(e)));
+      }
+    }
+
+    for (const Triple& t : ch.triples) {
+      const Triple g{RemapTerm(t.s, remap), RemapTerm(t.p, remap),
+                     RemapTerm(t.o, remap)};
+      if (!drop_typing_subjects.empty() && g.p == vocab_->p_type &&
+          drop_typing_subjects.count(g.s) > 0) {
+        continue;
+      }
+      out.push_back(g);
+    }
+
+    for (const auto& [node, tag] : ch.tags) {
+      tags_[RemapTerm(node, remap)] = tag;
+    }
+    for (const auto& [node, geo] : ch.node_geo) {
+      node_geo_[RemapTerm(node, remap)] = geo;
+    }
+
+    // Stitch sequence links across the chunk boundary: last node of the
+    // previous chunk (or batch) chains to this chunk's first node.
+    if (config_.emit_sequence_links) {
+      for (EntityId e : ch.entity_order) {
+        const TermId first = RemapTerm(ch.first_node[e], remap);
+        auto prev_it = prev_node_.find(e);
+        if (prev_it != prev_node_.end() && prev_it->second != first) {
+          out.push_back({prev_it->second, vocab_->p_next_node, first});
+        }
+        prev_node_[e] = RemapTerm(ch.prev_node[e], remap);
+      }
+    }
+  }
   return out;
 }
 
 std::vector<Triple> Rdfizer::TransformCriticalPoint(const CriticalPoint& cp) {
   std::vector<Triple> out;
   out.reserve(15);
-  const TermId node = EmitNode(cp.report, &out);
+  const Sink sink = MemberSink();
+  const TermId node = EmitNode(cp.report, sink, &out);
   out.push_back({node, vocab_->p_node_kind,
                  dict_->Intern(CriticalPointTypeName(cp.type),
                                TermKind::kLiteralString)});

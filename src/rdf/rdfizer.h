@@ -15,6 +15,8 @@
 
 namespace datacron {
 
+class ThreadPool;
+
 /// Spatiotemporal placement of a resource: grid cell + time bucket.
 /// Partitioners and the query planner prune on these.
 struct StTag {
@@ -31,6 +33,8 @@ struct NodeGeo {
   double lon_deg = 0.0;
   double alt_m = 0.0;
   TimestampMs timestamp = 0;
+
+  bool operator==(const NodeGeo&) const = default;
 };
 
 /// The "data transformation" component (paper Section 2): converts
@@ -55,6 +59,17 @@ class Rdfizer {
   /// Triples for one position report (~10 per report). The node resource
   /// is registered in tags() and node_geo().
   std::vector<Triple> TransformReport(const PositionReport& report);
+
+  /// Bulk variant of TransformReport: fans contiguous report chunks across
+  /// `pool` workers, each interning into a thread-local TermBatch, then
+  /// merges chunk results in input order. The merged dictionary ids,
+  /// tags()/node_geo() side tables and the triple *set* (entity typing
+  /// emitted once, sequence links stitched across chunk boundaries) are
+  /// identical to calling TransformReport serially — independent of thread
+  /// count and chunking. Falls back to the serial loop when `pool` is null
+  /// or the batch is small.
+  std::vector<Triple> TransformBatch(const std::vector<PositionReport>& reports,
+                                     ThreadPool* pool);
 
   /// Triples for one critical point — a report plus its semantic node
   /// kind. This is what flows to the store on the synopses path.
@@ -86,9 +101,30 @@ class Rdfizer {
   TermId NodeIdOf(const PositionReport& report) const;
 
  private:
+  /// Where one EmitNode call reads/writes shared ingest state. The serial
+  /// path points this at the members; the parallel path points it at
+  /// chunk-local tables (with a TermBatch as the term source) so workers
+  /// never contend, then merges deterministically.
+  struct Sink {
+    TermSource* terms = nullptr;
+    std::unordered_map<TermId, StTag>* tags = nullptr;
+    std::unordered_map<TermId, NodeGeo>* node_geo = nullptr;
+    std::unordered_map<EntityId, TermId>* prev_node = nullptr;
+    std::unordered_map<EntityId, TermId>* known_entities = nullptr;
+    /// Batch-only extras (null on the serial path): entities in
+    /// first-occurrence order, and the first node per entity, both needed
+    /// to stitch chunks back together deterministically.
+    std::vector<EntityId>* entity_order = nullptr;
+    std::unordered_map<EntityId, TermId>* first_node = nullptr;
+  };
+
   /// Emits the shared node skeleton (type, entity, kinematics, cell,
   /// bucket, optional sequence link); returns the node TermId.
-  TermId EmitNode(const PositionReport& report, std::vector<Triple>* out);
+  TermId EmitNode(const PositionReport& report, const Sink& sink,
+                  std::vector<Triple>* out) const;
+
+  /// Sink over the member state (the serial path).
+  Sink MemberSink();
 
   Config config_;
   TermDictionary* dict_;

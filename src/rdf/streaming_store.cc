@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace datacron {
 
 StreamingRdfStore::StreamingRdfStore(Config config) : config_(config) {}
+
+StreamingRdfStore::StreamingRdfStore(Config config, ThreadPool* pool)
+    : config_(config), pool_(pool) {}
 
 void StreamingRdfStore::Add(TimestampMs t,
                             const std::vector<Triple>& triples) {
@@ -20,16 +25,28 @@ void StreamingRdfStore::Add(TimestampMs t,
 
 void StreamingRdfStore::AdvanceTo(TimestampMs watermark) {
   const std::int64_t sealable_below = BucketOf(watermark);
-  // Seal pending buckets strictly below the watermark's bucket.
+  // Collect pending buckets strictly below the watermark's bucket, then
+  // seal them — each bucket as an independent pool task when a pool is
+  // attached (Seal itself also parallelizes large single buckets; nested
+  // ParallelFor is safe because callers help-run).
+  std::vector<Bucket> ripe;
   for (auto it = pending_.begin();
        it != pending_.end() && it->first < sealable_below;) {
     Bucket bucket;
     bucket.index = it->first;
     bucket.store.AddBatch(it->second);
-    bucket.store.Seal();
-    sealed_.push_back(std::move(bucket));
-    sealed_through_ = std::max(sealed_through_, it->first);
+    ripe.push_back(std::move(bucket));
     it = pending_.erase(it);
+  }
+  if (pool_ != nullptr && ripe.size() > 1) {
+    pool_->ParallelFor(ripe.size(),
+                       [&](std::size_t i) { ripe[i].store.Seal(); });
+  } else {
+    for (Bucket& b : ripe) b.store.Seal(pool_);
+  }
+  for (Bucket& b : ripe) {
+    sealed_through_ = std::max(sealed_through_, b.index);
+    sealed_.push_back(std::move(b));
   }
   std::sort(sealed_.begin(), sealed_.end(),
             [](const Bucket& a, const Bucket& b) { return a.index < b.index; });
@@ -76,7 +93,7 @@ TripleStore StreamingRdfStore::Snapshot() const {
     snap.AddBatch(b.store.Match(TriplePattern{}));
   }
   for (const auto& [idx, buf] : pending_) snap.AddBatch(buf);
-  snap.Seal();
+  snap.Seal(pool_);
   return snap;
 }
 

@@ -11,6 +11,8 @@
 
 namespace datacron {
 
+class ThreadPool;
+
 /// Sliding-window triple store for data-in-motion (paper Section 1:
 /// "data-at-rest (archival) and data-in-motion (streaming) ... following
 /// an integrated approach").
@@ -35,9 +37,15 @@ class StreamingRdfStore {
 
   StreamingRdfStore() : StreamingRdfStore(Config()) {}
   explicit StreamingRdfStore(Config config);
+  StreamingRdfStore(Config config, ThreadPool* pool);
 
   /// Attaches the archival (data-at-rest) store; not owned, may be null.
   void AttachArchival(const TripleStore* archival) { archival_ = archival; }
+
+  /// Attaches a worker pool (not owned, may be null): AdvanceTo then seals
+  /// ripe buckets concurrently and Snapshot seals in parallel. Results are
+  /// identical to the serial path.
+  void AttachPool(ThreadPool* pool) { pool_ = pool; }
 
   /// Inserts triples with event time `t`. Out-of-order inserts into
   /// already-sealed buckets are routed to the open bucket (late data is
@@ -79,6 +87,7 @@ class StreamingRdfStore {
   }
 
   Config config_;
+  ThreadPool* pool_ = nullptr;
   const TripleStore* archival_ = nullptr;
   std::deque<Bucket> sealed_;  // ascending bucket index
   /// Unsealed buckets: bucket index -> raw triple buffer.

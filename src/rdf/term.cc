@@ -1,29 +1,63 @@
 #include "rdf/term.h"
 
+#include <functional>
+
 #include "common/strings.h"
 
 namespace datacron {
 
-TermDictionary::TermDictionary() {
-  texts_.reserve(1024);
-  kinds_.reserve(1024);
+TermId TermSource::InternInt(std::int64_t value) {
+  return Intern(StrFormat("%lld", static_cast<long long>(value)),
+                TermKind::kLiteralInt);
 }
 
-TermId TermDictionary::Intern(const std::string& text, TermKind kind) {
-  auto [it, inserted] = ids_.try_emplace(text, texts_.size() + 1);
-  if (inserted) {
-    texts_.push_back(text);
+TermId TermSource::InternDouble(double value) {
+  return Intern(StrFormat("%.10g", value), TermKind::kLiteralDouble);
+}
+
+TermId TermSource::InternDateTime(std::int64_t epoch_ms) {
+  return Intern(StrFormat("dt:%lld", static_cast<long long>(epoch_ms)),
+                TermKind::kLiteralDateTime);
+}
+
+TermDictionary::TermDictionary() = default;
+
+TermDictionary::Stripe& TermDictionary::StripeOf(std::string_view text) const {
+  const std::size_t h = std::hash<std::string_view>{}(text);
+  // kStripes is a power of two; mix the high bits in so unordered_map
+  // bucket selection (low bits) and stripe selection stay independent.
+  return const_cast<Stripe&>(stripes_[(h ^ (h >> 17)) & (kStripes - 1)]);
+}
+
+TermId TermDictionary::Intern(std::string_view text, TermKind kind) {
+  Stripe& stripe = StripeOf(text);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  auto it = stripe.ids.find(text);
+  if (it != stripe.ids.end()) return it->second;
+
+  TermId id;
+  std::string_view stored;
+  {
+    std::lock_guard<std::mutex> id_lock(id_mu_);
+    texts_.emplace_back(text);
     kinds_.push_back(kind);
+    id = static_cast<TermId>(texts_.size());
+    stored = texts_.back();
   }
-  return it->second;
+  count_.fetch_add(1, std::memory_order_release);
+  stripe.ids.emplace(stored, id);
+  return id;
 }
 
-TermId TermDictionary::Find(const std::string& text) const {
-  auto it = ids_.find(text);
-  return it == ids_.end() ? kInvalidTermId : it->second;
+TermId TermDictionary::Find(std::string_view text) const {
+  const Stripe& stripe = StripeOf(text);
+  std::lock_guard<std::mutex> stripe_lock(stripe.mu);
+  auto it = stripe.ids.find(text);
+  return it == stripe.ids.end() ? kInvalidTermId : it->second;
 }
 
 Result<std::string> TermDictionary::Text(TermId id) const {
+  std::lock_guard<std::mutex> id_lock(id_mu_);
   if (id == kInvalidTermId || id > texts_.size()) {
     return Status::NotFound(StrFormat("unknown term id %llu",
                                       static_cast<unsigned long long>(id)));
@@ -32,22 +66,31 @@ Result<std::string> TermDictionary::Text(TermId id) const {
 }
 
 TermKind TermDictionary::Kind(TermId id) const {
+  std::lock_guard<std::mutex> id_lock(id_mu_);
   if (id == kInvalidTermId || id > kinds_.size()) return TermKind::kIri;
   return kinds_[id - 1];
 }
 
-TermId TermDictionary::InternInt(std::int64_t value) {
-  return Intern(StrFormat("%lld", static_cast<long long>(value)),
-                TermKind::kLiteralInt);
+std::vector<TermId> TermDictionary::MergeBatch(const TermBatch& batch) {
+  std::vector<TermId> remap(batch.local_size());
+  for (std::size_t i = 0; i < batch.local_size(); ++i) {
+    remap[i] = Intern(batch.local_text(i), batch.local_kind(i));
+  }
+  return remap;
 }
 
-TermId TermDictionary::InternDouble(double value) {
-  return Intern(StrFormat("%.10g", value), TermKind::kLiteralDouble);
-}
-
-TermId TermDictionary::InternDateTime(std::int64_t epoch_ms) {
-  return Intern(StrFormat("dt:%lld", static_cast<long long>(epoch_ms)),
-                TermKind::kLiteralDateTime);
+TermId TermBatch::Intern(std::string_view text, TermKind kind) {
+  if (global_ != nullptr) {
+    const TermId global_id = global_->Find(text);
+    if (global_id != kInvalidTermId) return global_id;
+  }
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  texts_.emplace_back(text);
+  kinds_.push_back(kind);
+  const TermId id = kLocalTermBit | static_cast<TermId>(texts_.size() - 1);
+  ids_.emplace(std::string_view(texts_.back()), id);
+  return id;
 }
 
 }  // namespace datacron

@@ -1,8 +1,13 @@
 #ifndef DATACRON_RDF_TERM_H_
 #define DATACRON_RDF_TERM_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +20,11 @@ using TermId = std::uint64_t;
 
 constexpr TermId kInvalidTermId = 0;
 
+/// High bit marking a *batch-local* id produced by TermBatch during
+/// parallel ingest. Local ids never escape: TermDictionary::MergeBatch
+/// rewrites them to global ids before triples reach any store.
+constexpr TermId kLocalTermBit = TermId{1} << 63;
+
 /// Kind of an RDF term. Spatiotemporal resource ids additionally embed a
 /// grid cell / time bucket (see SpatioTemporalEncoder) but remain ordinary
 /// IRIs at the dictionary level.
@@ -26,38 +36,118 @@ enum class TermKind : std::uint8_t {
   kLiteralDateTime,
 };
 
+/// Anything that can intern terms: the global TermDictionary on the serial
+/// path, a TermBatch on the parallel ingest path. The typed-literal
+/// helpers render the value and forward to Intern.
+class TermSource {
+ public:
+  virtual ~TermSource() = default;
+
+  /// Returns the id of `text` (of kind `kind`), interning it if new.
+  virtual TermId Intern(std::string_view text,
+                        TermKind kind = TermKind::kIri) = 0;
+
+  /// Convenience: intern a typed literal rendered from a value.
+  TermId InternInt(std::int64_t value);
+  TermId InternDouble(double value);
+  TermId InternDateTime(std::int64_t epoch_ms);
+};
+
+class TermBatch;
+
 /// Bidirectional string<->id dictionary. Encoding datasets once and
 /// operating on fixed-width ids is what makes triple joins cheap — the
 /// standard design of RDF stores (RDF-3X, Virtuoso) that datAcron's
 /// parallel stores build on.
-class TermDictionary {
+///
+/// Thread-safe via lock striping: the text->id map is sharded into
+/// kStripes stripes keyed by the text hash, so concurrent Intern/Find
+/// calls only contend when they touch the same stripe (misses additionally
+/// serialize briefly on the id allocator). Ids stay dense and are assigned
+/// in arrival order, so the single-threaded path is bit-for-bit what it
+/// always was; deterministic ids under parallel ingest come from the
+/// two-phase TermBatch + MergeBatch scheme (see DESIGN.md).
+class TermDictionary : public TermSource {
  public:
   TermDictionary();
 
+  TermDictionary(const TermDictionary&) = delete;
+  TermDictionary& operator=(const TermDictionary&) = delete;
+
   /// Returns the id of `text` (of kind `kind`), interning it if new.
   /// Deterministic: the same insertion sequence yields the same ids.
-  TermId Intern(const std::string& text, TermKind kind = TermKind::kIri);
+  TermId Intern(std::string_view text, TermKind kind = TermKind::kIri) override;
 
   /// Lookup without interning; kInvalidTermId when absent.
-  TermId Find(const std::string& text) const;
+  TermId Find(std::string_view text) const;
 
   /// Inverse mapping. Returns an error for unknown ids.
   Result<std::string> Text(TermId id) const;
 
   TermKind Kind(TermId id) const;
 
-  std::size_t size() const { return texts_.size(); }
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
 
-  /// Convenience: intern a typed literal rendered from a value.
-  TermId InternInt(std::int64_t value);
-  TermId InternDouble(double value);
-  TermId InternDateTime(std::int64_t epoch_ms);
+  /// Interns every batch-local term of `batch` in local-id order and
+  /// returns the remap table: remap[i] is the global id of local id i.
+  /// Because local dictionaries preserve first-occurrence order and
+  /// callers merge chunks in input order, the resulting global ids are
+  /// identical to what serial interning of the full input would produce —
+  /// independent of thread count and chunk boundaries.
+  std::vector<TermId> MergeBatch(const TermBatch& batch);
 
  private:
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<std::string> texts_;   // index = id - 1
+  static constexpr std::size_t kStripes = 16;  // power of two
+
+  struct Stripe {
+    mutable std::mutex mu;
+    /// Keys view into texts_ entries (std::deque never relocates), so the
+    /// hot lookup path hashes the caller's bytes directly — no temporary
+    /// std::string per probe.
+    std::unordered_map<std::string_view, TermId> ids;
+  };
+
+  Stripe& StripeOf(std::string_view text) const;
+
+  std::array<Stripe, kStripes> stripes_;
+  mutable std::mutex id_mu_;       // guards texts_/kinds_ growth
+  std::deque<std::string> texts_;  // index = id - 1; stable storage
+  std::deque<TermKind> kinds_;
+  std::atomic<std::size_t> count_{0};
+};
+
+/// Thread-local dictionary for one ingest chunk (phase 1 of the two-phase
+/// parallel intern). Global hits resolve to real ids via a read-only probe
+/// of the shared dictionary; new terms get batch-local ids tagged with
+/// kLocalTermBit, later rewritten by TermDictionary::MergeBatch. No locks
+/// on this path — each worker owns its batch exclusively.
+class TermBatch : public TermSource {
+ public:
+  /// `global` may be null (pure local batch); when set, it must not be
+  /// mutated while this batch is interning.
+  explicit TermBatch(const TermDictionary* global) : global_(global) {}
+
+  TermId Intern(std::string_view text, TermKind kind = TermKind::kIri) override;
+
+  /// Number of batch-local (new) terms.
+  std::size_t local_size() const { return texts_.size(); }
+
+  /// Local term text/kind by local index, in first-occurrence order.
+  const std::string& local_text(std::size_t i) const { return texts_[i]; }
+  TermKind local_kind(std::size_t i) const { return kinds_[i]; }
+
+ private:
+  const TermDictionary* global_;
+  std::unordered_map<std::string_view, TermId> ids_;
+  std::deque<std::string> texts_;  // stable storage for map keys
   std::vector<TermKind> kinds_;
 };
+
+/// Rewrites a possibly batch-local id through `remap` (from MergeBatch);
+/// global ids pass through unchanged.
+inline TermId RemapTerm(TermId id, const std::vector<TermId>& remap) {
+  return (id & kLocalTermBit) ? remap[id & ~kLocalTermBit] : id;
+}
 
 }  // namespace datacron
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/parallel_sort.h"
+#include "common/thread_pool.h"
+
 namespace datacron {
 
 namespace {
@@ -58,18 +61,47 @@ void TripleStore::Add(const Triple& t) {
 }
 
 void TripleStore::AddBatch(const std::vector<Triple>& batch) {
+  // Reserve up front (keeping geometric growth across repeated batches) so
+  // bulk load does not reallocate mid-insert.
+  if (spo_.capacity() < spo_.size() + batch.size()) {
+    spo_.reserve(std::max(spo_.size() + batch.size(), 2 * spo_.capacity()));
+  }
   spo_.insert(spo_.end(), batch.begin(), batch.end());
   sealed_ = false;
 }
 
-void TripleStore::Seal() {
+void TripleStore::Seal(ThreadPool* pool) {
   if (sealed_) return;
-  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  ParallelSort(&spo_, SpoLess(), pool);
   spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
-  pos_ = spo_;
-  std::sort(pos_.begin(), pos_.end(), PosLess());
-  osp_ = spo_;
-  std::sort(osp_.begin(), osp_.end(), OspLess());
+  auto build_pos = [this, pool] {
+    pos_.clear();
+    pos_.reserve(spo_.size());
+    pos_.assign(spo_.begin(), spo_.end());
+    ParallelSort(&pos_, PosLess(), pool);
+  };
+  auto build_osp = [this, pool] {
+    osp_.clear();
+    osp_.reserve(spo_.size());
+    osp_.assign(spo_.begin(), spo_.end());
+    ParallelSort(&osp_, OspLess(), pool);
+  };
+  if (pool != nullptr && pool->num_threads() >= 2 &&
+      spo_.size() >= kMinParallelSortSize) {
+    // The two permutation builds are independent; run them as one
+    // two-iteration ParallelFor so the caller help-runs if it is itself a
+    // pool worker.
+    pool->ParallelFor(2, [&](std::size_t i) {
+      if (i == 0) {
+        build_pos();
+      } else {
+        build_osp();
+      }
+    });
+  } else {
+    build_pos();
+    build_osp();
+  }
   sealed_ = true;
 }
 

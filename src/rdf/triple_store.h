@@ -9,6 +9,8 @@
 
 namespace datacron {
 
+class ThreadPool;
+
 /// One dictionary-encoded RDF statement.
 struct Triple {
   TermId s = kInvalidTermId;
@@ -43,8 +45,15 @@ class TripleStore {
   void Add(const Triple& t);
   void AddBatch(const std::vector<Triple>& batch);
 
+  /// Reserves buffer capacity for an upcoming bulk load.
+  void Reserve(std::size_t n) { spo_.reserve(n); }
+
   /// Sorts the three permutations and deduplicates. Idempotent.
-  void Seal();
+  /// With a pool, the SPO sort runs as a chunked parallel sort and the POS
+  /// and OSP permutations build concurrently; the sealed indexes are
+  /// byte-identical to the serial path (sorted + deduplicated is a
+  /// canonical form). Safe to call from inside a pool task.
+  void Seal(ThreadPool* pool = nullptr);
 
   bool sealed() const { return sealed_; }
   std::size_t size() const { return spo_.size(); }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace datacron {
 
 namespace {
@@ -216,11 +218,25 @@ std::vector<PositionReport> Observe(const TruthTrace& trace,
 }
 
 std::vector<PositionReport> ObserveFleet(
-    const std::vector<TruthTrace>& traces, const ObservationConfig& config) {
+    const std::vector<TruthTrace>& traces, const ObservationConfig& config,
+    ThreadPool* pool) {
   std::vector<PositionReport> all;
-  for (const TruthTrace& trace : traces) {
-    std::vector<PositionReport> reports = Observe(trace, config);
-    all.insert(all.end(), reports.begin(), reports.end());
+  if (pool != nullptr && pool->num_threads() >= 2 && traces.size() > 1) {
+    // Observation is per-entity-seeded, so traces are independent tasks;
+    // concatenating in trace order matches the serial loop exactly.
+    std::vector<std::vector<PositionReport>> streams(traces.size());
+    pool->ParallelFor(traces.size(), [&](std::size_t i) {
+      streams[i] = Observe(traces[i], config);
+    });
+    std::size_t total = 0;
+    for (const auto& s : streams) total += s.size();
+    all.reserve(total);
+    for (const auto& s : streams) all.insert(all.end(), s.begin(), s.end());
+  } else {
+    for (const TruthTrace& trace : traces) {
+      std::vector<PositionReport> reports = Observe(trace, config);
+      all.insert(all.end(), reports.begin(), reports.end());
+    }
   }
   if (config.out_of_order_jitter_ms > 0) {
     // Sort by simulated arrival time = event time + uniform delay.

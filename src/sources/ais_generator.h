@@ -10,6 +10,8 @@
 
 namespace datacron {
 
+class ThreadPool;
+
 /// Configuration of the synthetic maritime (AIS) fleet simulator.
 ///
 /// Substitutes for the live AIS feeds used by datAcron: each vessel sails a
@@ -85,9 +87,12 @@ struct ObservationConfig {
 std::vector<PositionReport> Observe(const TruthTrace& trace,
                                     const ObservationConfig& config);
 
-/// Observes a whole fleet and merges the streams in arrival order.
+/// Observes a whole fleet and merges the streams in arrival order. With a
+/// pool, traces observe as parallel tasks; per-entity RNG seeding makes the
+/// merged stream identical to the serial path.
 std::vector<PositionReport> ObserveFleet(
-    const std::vector<TruthTrace>& traces, const ObservationConfig& config);
+    const std::vector<TruthTrace>& traces, const ObservationConfig& config,
+    ThreadPool* pool = nullptr);
 
 }  // namespace datacron
 

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "common/csv.h"
 #include "common/rng.h"
@@ -342,6 +344,90 @@ TEST(ThreadPoolTest, ManyTasks) {
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(sum.load(), 200);
+}
+
+// A pool task that itself calls ParallelFor must not deadlock: the worker
+// help-runs the queued chunks instead of blocking behind them. The
+// single-worker pool is the hardest case — every chunk queues behind the
+// caller.
+TEST(ThreadPoolTest, NestedParallelForOnWorkerDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::atomic<int> hits{0};
+  auto f = pool.Submit([&] {
+    pool.ParallelFor(64, [&](std::size_t) { hits.fetch_add(1); });
+  });
+  f.get();
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(4, [&](std::size_t) {
+    pool.ParallelFor(4, [&](std::size_t) {
+      pool.ParallelFor(8, [&](std::size_t) { hits.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(hits.load(), 4 * 4 * 8);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](std::size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 13) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The call returned only after every chunk finished (otherwise later
+  // chunks would have referenced a dead stack frame); the pool stays
+  // usable.
+  std::atomic<int> after{0};
+  pool.ParallelFor(50, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50);
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForAllIterationsThrow) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(
+                   40, [&](std::size_t) { throw std::runtime_error("each"); }),
+               std::runtime_error);
+  std::atomic<int> after{0};
+  pool.ParallelFor(10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 6; ++t) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < 20; ++rep) {
+        pool.ParallelFor(32, [&](std::size_t) { hits.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(hits.load(), 6 * 20 * 32);
+}
+
+TEST(ThreadPoolTest, NestedParallelForWithExceptionInInner) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_done{0};
+  pool.ParallelFor(4, [&](std::size_t) {
+    try {
+      pool.ParallelFor(8, [&](std::size_t j) {
+        if (j == 5) throw std::runtime_error("inner");
+      });
+    } catch (const std::runtime_error&) {
+    }
+    outer_done.fetch_add(1);
+  });
+  EXPECT_EQ(outer_done.load(), 4);
 }
 
 }  // namespace
