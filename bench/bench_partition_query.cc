@@ -7,9 +7,18 @@
 // For each scheme x partition count: load-balance, locality
 // (cross-partition sequence edges), partition pruning on a spatially
 // selective query, and wall time of three query classes in local and
-// global execution, sequential vs. thread pool.
+// global execution, sequential vs. thread pool. A second section sweeps
+// the pool size on the join-heavy global queries, verifying byte-identical
+// results at every thread count and attributing wall time per stage.
+//
+// Emits BENCH_query.json: every measured (query, strategy, scheme, k,
+// threads) cell with wall and per-stage milliseconds. `--quick` shrinks
+// the fleet for CI smoke runs.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
@@ -30,16 +39,17 @@ struct Workload {
   Query spatial_query;
   Query star_query;
   Query path_query;
+  Query join_query;
 };
 
-std::unique_ptr<Workload> BuildWorkload() {
+std::unique_ptr<Workload> BuildWorkload(bool quick) {
   auto w = std::make_unique<Workload>();
   w->vocab = std::make_unique<Vocab>(&w->dict);
   w->rdfizer = std::make_unique<Rdfizer>(Rdfizer::Config{}, &w->dict,
                                          w->vocab.get());
   AisGeneratorConfig fleet;
-  fleet.num_vessels = 80;
-  fleet.duration = 90 * kMinute;
+  fleet.num_vessels = quick ? 24 : 80;
+  fleet.duration = (quick ? 30 : 90) * kMinute;
   ObservationConfig obs;
   obs.fixed_interval_ms = 10 * kSecond;
   for (const auto& r : ObserveFleet(GenerateAisFleet(fleet), obs)) {
@@ -73,15 +83,80 @@ std::unique_ptr<Workload> BuildWorkload() {
     qb.Within("a", BoundingBox::Of(35.2, 23.2, 36.2, 24.2));
     w->path_query = qb.Build();
   }
+  {
+    // Join-heavy analytical query: every vessel joined to its in-area
+    // position nodes with speed — three patterns, two hash joins over
+    // fleet-sized intermediates.
+    QueryBuilder qb;
+    qb.Pattern(QueryTerm::Var(qb.Var("v")),
+               QueryTerm::Bound(w->vocab->p_type),
+               QueryTerm::Bound(w->vocab->c_vessel));
+    qb.Pattern(QueryTerm::Var(qb.Var("node")),
+               QueryTerm::Bound(w->vocab->p_of_entity),
+               QueryTerm::Var(qb.Var("v")));
+    qb.WhereVar("node", w->vocab->p_speed, "speed");
+    qb.Within("node", BoundingBox::Of(35.2, 23.2, 36.2, 24.2));
+    w->join_query = qb.Build();
+  }
   return w;
 }
 
-double TimeMs(const std::function<void()>& fn, int reps = 3) {
+/// One measured cell of the JSON report. threads == 0 means "no pool"
+/// (pure sequential engine).
+struct BenchRecord {
+  std::string query, strategy, scheme;
+  int k = 0;
+  int threads = 0;
+  QueryExecStats stats;
+};
+
+std::vector<BenchRecord> g_records;
+
+void Record(const std::string& query, const std::string& strategy,
+            const std::string& scheme, int k, int threads,
+            const QueryExecStats& stats) {
+  g_records.push_back({query, strategy, scheme, k, threads, stats});
+}
+
+void WriteJson(const char* path, std::size_t triples) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"experiment\": \"E5_query\",\n");
+  std::fprintf(f, "  \"triples\": %zu,\n  \"records\": [\n", triples);
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const BenchRecord& r = g_records[i];
+    std::fprintf(
+        f,
+        "    {\"query\": \"%s\", \"strategy\": \"%s\", \"scheme\": \"%s\", "
+        "\"k\": %d, \"threads\": %d, \"wall_ms\": %.4f, \"plan_ms\": %.4f, "
+        "\"scan_ms\": %.4f, \"join_ms\": %.4f, \"filter_ms\": %.4f, "
+        "\"result_rows\": %zu, \"intermediate_rows\": %zu, \"join_rows\": [",
+        r.query.c_str(), r.strategy.c_str(), r.scheme.c_str(), r.k,
+        r.threads, r.stats.wall_ms, r.stats.plan_ms, r.stats.scan_ms,
+        r.stats.join_ms, r.stats.filter_ms, r.stats.result_rows,
+        r.stats.intermediate_rows);
+    for (std::size_t j = 0; j < r.stats.join_rows.size(); ++j) {
+      std::fprintf(f, "%s%zu", j ? ", " : "", r.stats.join_rows[j]);
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < g_records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path, g_records.size());
+}
+
+/// Best-of-reps wall time; the stats of the best run land in *out.
+double TimeMs(const std::function<QueryExecStats()>& fn, QueryExecStats* out,
+              int reps = 3) {
   double best = 1e18;
   for (int i = 0; i < reps; ++i) {
     Stopwatch t;
-    fn();
-    best = std::min(best, t.ElapsedMillis());
+    const QueryExecStats stats = fn();
+    const double ms = t.ElapsedMillis();
+    if (ms < best) {
+      best = ms;
+      if (out != nullptr) *out = stats;
+    }
   }
   return best;
 }
@@ -90,51 +165,118 @@ void RunScheme(const Workload& w, const PartitionScheme& scheme,
                ThreadPool* pool) {
   PartitionedRdfStore store;
   store.Load(w.triples, scheme, w.rdfizer->grid(), w.vocab->p_next_node);
+  const int k = scheme.num_partitions();
 
   QueryEngine seq(&store, w.rdfizer.get(), nullptr);
   QueryEngine par(&store, w.rdfizer.get(), pool);
+  const int pool_threads = static_cast<int>(pool->num_threads());
 
   const auto pruned = seq.PrunedPartitions(w.spatial_query);
-  std::size_t spatial_rows = 0, path_rows_local = 0, path_rows_global = 0;
-  const double spatial_seq = TimeMs([&] {
-    spatial_rows = seq.ExecuteLocal(w.spatial_query).rows.size();
-  });
-  const double spatial_par = TimeMs(
-      [&] { par.ExecuteLocal(w.spatial_query); });
-  const double star_seq =
-      TimeMs([&] { seq.ExecuteLocal(w.star_query); });
-  const double path_local = TimeMs([&] {
-    path_rows_local = seq.ExecuteLocal(w.path_query).rows.size();
-  });
-  const double path_global = TimeMs([&] {
-    path_rows_global = seq.ExecuteGlobal(w.path_query).rows.size();
-  });
+  std::size_t path_rows_local = 0, path_rows_global = 0;
+  QueryExecStats st;
+  auto measure = [&](const Query& q, const QueryEngine& engine,
+                     bool global, const char* name, int threads) {
+    const double ms = TimeMs(
+        [&] {
+          const ResultSet rs =
+              global ? engine.ExecuteGlobal(q) : engine.ExecuteLocal(q);
+          return rs.stats;
+        },
+        &st);
+    Record(name, global ? "global" : "local", scheme.name(), k, threads,
+           st);
+    return ms;
+  };
+
+  const double spatial_seq =
+      measure(w.spatial_query, seq, false, "spatial", 0);
+  const double spatial_par =
+      measure(w.spatial_query, par, false, "spatial", pool_threads);
+  const double star_seq = measure(w.star_query, seq, false, "star", 0);
+  const double path_local = measure(w.path_query, seq, false, "path", 0);
+  const double path_global = measure(w.path_query, seq, true, "path", 0);
+  path_rows_global = st.result_rows;
+  path_rows_local = seq.ExecuteLocal(w.path_query).stats.result_rows;
+  const double join_global = measure(w.join_query, seq, true, "join", 0);
 
   std::printf(
       "%-15s %3d %8.3f %10.1f%% %6zu/%-3d %10.2f %10.2f %10.3f %10.2f "
-      "%10.2f %8.0f%%\n",
-      scheme.name().c_str(), scheme.num_partitions(),
-      store.stats().balance_factor,
+      "%10.2f %10.2f %8.0f%%\n",
+      scheme.name().c_str(), k, store.stats().balance_factor,
       100.0 * store.stats().cross_partition_edge_ratio, pruned.size(),
       store.num_partitions(), spatial_seq, spatial_par, star_seq,
-      path_local, path_global,
-      path_rows_global
-          ? 100.0 * path_rows_local / path_rows_global
-          : 0.0);
-  (void)spatial_rows;
+      path_local, path_global, join_global,
+      path_rows_global ? 100.0 * path_rows_local / path_rows_global : 0.0);
+}
+
+/// Thread sweep on the global-strategy join-heavy queries over the
+/// Hilbert k=8 store: serial baseline vs pool of 1/2/4/8 workers, with
+/// the determinism contract enforced (pooled rows must be byte-identical
+/// to serial rows). Returns false on a determinism violation.
+bool JoinSweep(const Workload& w) {
+  auto scheme =
+      HilbertPartitioner::Build(8, &w.rdfizer->tags(), w.rdfizer->grid());
+  PartitionedRdfStore store;
+  store.Load(w.triples, *scheme, w.rdfizer->grid(), w.vocab->p_next_node);
+  QueryEngine seq(&store, w.rdfizer.get(), nullptr);
+
+  struct Case {
+    const char* name;
+    const Query* query;
+  };
+  const Case cases[] = {{"join", &w.join_query}, {"path", &w.path_query}};
+
+  std::printf(
+      "\nE5b: global join sweep, hilbert k=8 (byte-identical at every "
+      "thread count)\n");
+  std::printf("%-6s %8s %10s %9s %9s %9s %9s %9s %9s\n", "query", "threads",
+              "rows", "wall_ms", "plan_ms", "scan_ms", "join_ms",
+              "filter_ms", "speedup");
+  bool ok = true;
+  for (const Case& c : cases) {
+    QueryExecStats st;
+    const ResultSet serial_rs = seq.ExecuteGlobal(*c.query);
+    const double serial_ms =
+        TimeMs([&] { return seq.ExecuteGlobal(*c.query).stats; }, &st);
+    Record(c.name, "global", "hilbert", 8, 0, st);
+    std::printf("%-6s %8s %10zu %9.2f %9.3f %9.2f %9.2f %9.3f %9s\n",
+                c.name, "serial", serial_rs.rows.size(), serial_ms,
+                st.plan_ms, st.scan_ms, st.join_ms, st.filter_ms, "1.0x");
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      ThreadPool pool(threads);
+      QueryEngine par(&store, w.rdfizer.get(), &pool);
+      const ResultSet pooled_rs = par.ExecuteGlobal(*c.query);
+      if (pooled_rs.rows != serial_rs.rows) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s global differs at %zu "
+                     "threads\n",
+                     c.name, threads);
+        ok = false;
+      }
+      const double ms =
+          TimeMs([&] { return par.ExecuteGlobal(*c.query).stats; }, &st);
+      Record(c.name, "global", "hilbert", 8,
+             static_cast<int>(threads), st);
+      std::printf("%-6s %8zu %10zu %9.2f %9.3f %9.2f %9.2f %9.3f %8.1fx\n",
+                  c.name, threads, pooled_rs.rows.size(), ms, st.plan_ms,
+                  st.scan_ms, st.join_ms, st.filter_ms, serial_ms / ms);
+    }
+  }
+  return ok;
 }
 
 }  // namespace
 
-void Run() {
-  auto w = BuildWorkload();
+int Run(bool quick) {
+  auto w = BuildWorkload(quick);
   ThreadPool pool(4);
-  std::printf("E5: partitioning & parallel query (%zu triples)\n",
-              w->triples.size());
+  std::printf("E5: partitioning & parallel query (%zu triples%s)\n",
+              w->triples.size(), quick ? ", quick" : "");
   std::printf(
-      "%-15s %3s %8s %10s %10s %10s %10s %10s %10s %10s %9s\n", "scheme",
-      "k", "balance", "cross_edge", "pruned", "spatial_ms", "spatialP_ms",
-      "star_ms", "pathL_ms", "pathG_ms", "localcompl");
+      "%-15s %3s %8s %10s %10s %10s %10s %10s %10s %10s %10s %9s\n",
+      "scheme", "k", "balance", "cross_edge", "pruned", "spatial_ms",
+      "spatialP_ms", "star_ms", "pathL_ms", "pathG_ms", "joinG_ms",
+      "localcompl");
 
   for (int k : {2, 4, 8}) {
     HashPartitioner hash(k, &w->rdfizer->tags());
@@ -153,11 +295,18 @@ void Run() {
       RunScheme(*w, *st, &pool);
     }
   }
+
+  const bool ok = JoinSweep(*w);
+  WriteJson("BENCH_query.json", w->triples.size());
+  return ok ? 0 : 1;
 }
 
 }  // namespace datacron
 
-int main() {
-  datacron::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  return datacron::Run(quick);
 }

@@ -1,0 +1,145 @@
+#ifndef DATACRON_COMMON_FLAT_HASH_H_
+#define DATACRON_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace datacron {
+
+/// splitmix64 finalizer: mixes a 64-bit key into a well-distributed hash.
+/// Also used by the query executor to pack multi-variable join keys into
+/// one u64.
+inline std::uint64_t MixU64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Open-addressing hash map for integer keys on query hot paths: linear
+/// probing over a power-of-two slot array, keys mixed with MixU64, max
+/// load factor 3/4. No erase — probe sequences stay tombstone-free, so
+/// lookups terminate at the first empty slot. Values must be
+/// default-constructible and movable.
+template <typename K, typename V>
+class FlatHashMap {
+  static_assert(sizeof(K) <= sizeof(std::uint64_t),
+                "keys must fit in the u64 mixer");
+
+ public:
+  FlatHashMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Pre-sizes the table for `n` entries without rehashing later.
+  void Reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) cap <<= 1;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Inserts `key` with a default value if absent; returns the value slot.
+  V& operator[](const K& key) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const std::size_t i = ProbeFor(key);
+    if (!used_[i]) {
+      used_[i] = 1;
+      slots_[i].key = key;
+      slots_[i].value = V();
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  V* Find(const K& key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t i = ProbeFor(key);
+    return used_[i] ? &slots_[i].value : nullptr;
+  }
+  const V* Find(const K& key) const {
+    if (slots_.empty()) return nullptr;
+    const std::size_t i = ProbeFor(key);
+    return used_[i] ? &slots_[i].value : nullptr;
+  }
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Visits every (key, value) pair in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  std::size_t ProbeFor(const K& key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = MixU64(static_cast<std::uint64_t>(key)) & mask;
+    while (used_[i] && slots_[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash(std::size_t new_cap) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(new_cap, Slot());
+    used_.assign(new_cap, 0);
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) continue;
+      std::size_t j =
+          MixU64(static_cast<std::uint64_t>(old_slots[i].key)) & mask;
+      while (used_[j]) j = (j + 1) & mask;
+      used_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+};
+
+/// Companion set with the same layout and probing discipline.
+template <typename K>
+class FlatHashSet {
+ public:
+  FlatHashSet() = default;
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Reserve(std::size_t n) { map_.Reserve(n); }
+
+  /// Returns true when `key` was newly inserted.
+  bool Insert(const K& key) {
+    const std::size_t before = map_.size();
+    map_[key] = 1;
+    return map_.size() != before;
+  }
+  bool Contains(const K& key) const { return map_.Contains(key); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&fn](const K& key, std::uint8_t) { fn(key); });
+  }
+
+ private:
+  FlatHashMap<K, std::uint8_t> map_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_FLAT_HASH_H_

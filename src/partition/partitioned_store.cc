@@ -98,6 +98,20 @@ void PartitionedRdfStore::Load(const std::vector<Triple>& triples,
 
   for (TripleStore& part : parts_) part.Seal();
 
+  // Predicate-existence metadata for executor-side partition skipping.
+  auto fill_predicates = [this](std::size_t p) {
+    const std::vector<TermId> preds = parts_[p].Predicates();
+    meta_[p].predicates.Reserve(preds.size());
+    for (TermId pred : preds) meta_[p].predicates.Insert(pred);
+  };
+  if (parallel) {
+    pool->ParallelFor(static_cast<std::size_t>(k), fill_predicates);
+  } else {
+    for (std::size_t p = 0; p < static_cast<std::size_t>(k); ++p) {
+      fill_predicates(p);
+    }
+  }
+
   stats_ = PartitionStats();
   stats_.scheme = scheme.name();
   stats_.num_partitions = k;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "geo/bbox.h"
 #include "partition/partitioner.h"
 #include "rdf/triple_store.h"
@@ -23,8 +24,17 @@ struct PartitionMeta {
   std::int64_t max_bucket = std::numeric_limits<std::int64_t>::min();
   std::size_t triple_count = 0;
   std::size_t tagged_resources = 0;
+  /// Distinct predicates stored in the partition. A pattern with a bound
+  /// predicate absent from this set cannot match here, so the executor
+  /// skips the partition without touching its indexes.
+  FlatHashSet<TermId> predicates;
 
   bool HasTimeRange() const { return min_bucket <= max_bucket; }
+
+  /// True unless `p` is a bound predicate the partition provably lacks.
+  bool MightMatchPredicate(TermId p) const {
+    return p == kInvalidTermId || predicates.Contains(p);
+  }
 };
 
 /// Load-balance and locality statistics of a partitioning — what E5

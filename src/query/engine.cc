@@ -1,8 +1,7 @@
 #include "query/engine.h"
 
 #include <algorithm>
-#include <map>
-#include <mutex>
+#include <cstdint>
 
 #include "common/strings.h"
 #include "common/time_utils.h"
@@ -11,14 +10,18 @@ namespace datacron {
 
 std::string QueryExecStats::ToString() const {
   return StrFormat(
-      "partitions=%d/%d intermediate=%zu results=%zu wall=%.3fms",
+      "partitions=%d/%d intermediate=%zu results=%zu wall=%.3fms "
+      "(plan=%.3f scan=%.3f join=%.3f filter=%.3fms joins=%zu)",
       partitions_scanned, partitions_total, intermediate_rows, result_rows,
-      wall_ms);
+      wall_ms, plan_ms, scan_ms, join_ms, filter_ms, join_rows.size());
 }
 
 QueryEngine::QueryEngine(const PartitionedRdfStore* store,
                          const Rdfizer* rdfizer, ThreadPool* pool)
-    : store_(store), rdfizer_(rdfizer), pool_(pool) {}
+    : store_(store), rdfizer_(rdfizer), pool_(pool) {
+  geo_.Reserve(rdfizer->node_geo().size());
+  for (const auto& [node, geo] : rdfizer->node_geo()) geo_[node] = geo;
+}
 
 namespace {
 
@@ -47,15 +50,17 @@ ResolvedPattern Resolve(const QueryTriple& qt, const Binding& binding) {
 }
 
 /// Binds the free positions of `rp` from a matched triple; returns false
-/// when a repeated variable binds inconsistently.
+/// when a repeated variable binds inconsistently. A pattern has at most 3
+/// free positions, so the newly-bound set is a fixed stack array (the
+/// caller unbinds `newly_bound[0..*num_newly)` afterwards either way).
 bool BindMatch(const ResolvedPattern& rp, const Triple& t, Binding* binding,
-               std::vector<int>* newly_bound) {
+               int newly_bound[3], int* num_newly) {
   auto bind_one = [&](int var, TermId value) {
     if (var < 0) return true;
     TermId& slot = (*binding)[var];
     if (slot == kInvalidTermId) {
       slot = value;
-      newly_bound->push_back(var);
+      newly_bound[(*num_newly)++] = var;
       return true;
     }
     return slot == value;
@@ -64,23 +69,298 @@ bool BindMatch(const ResolvedPattern& rp, const Triple& t, Binding* binding,
          bind_one(rp.var_o, t.o);
 }
 
+/// Below this many rows a chunk is not worth a pool task.
+constexpr std::size_t kMinRowsPerChunk = 4096;
+
+/// Deterministic chunking: how many probe/filter chunks to cut `n` rows
+/// into. The count may depend on the pool size — chunk outputs are always
+/// concatenated in chunk order, so results are identical for any value.
+/// Chunk count is work-proportional so small tables never pay task
+/// overhead.
+std::size_t NumChunks(std::size_t n, ThreadPool* pool) {
+  if (n == 0) return 0;
+  if (pool == nullptr || pool->num_threads() < 2) return 1;
+  return std::max<std::size_t>(
+      1, std::min(n / kMinRowsPerChunk, pool->num_threads() * 4));
+}
+
+void RunChunks(std::size_t chunks, ThreadPool* pool,
+               const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && chunks > 1) {
+    pool->ParallelFor(chunks, fn);
+  } else {
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+  }
+}
+
+/// Columnar binding table of one pattern / join result: only the bound
+/// variables as columns, rows stored row-major in one flat TermId array.
+struct ColumnTable {
+  std::vector<int> vars;      // sorted distinct variable indices
+  std::vector<TermId> cells;  // rows * vars.size() entries
+  std::size_t rows = 0;
+
+  std::size_t width() const { return vars.size(); }
+  const TermId* Row(std::size_t r) const {
+    return cells.data() + r * vars.size();
+  }
+};
+
+int ColumnOf(const std::vector<int>& vars, int var) {
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool SharesVar(const std::vector<int>& a, const std::vector<int>& b) {
+  for (int v : a) {
+    if (ColumnOf(b, v) >= 0) return true;
+  }
+  return false;
+}
+
+/// Packs the join-key columns of a row into one u64: a single shared
+/// variable is the TermId itself (exact); multiple shared variables are
+/// hash-mixed (probes re-verify the actual values).
+std::uint64_t PackKey(const TermId* row, const int* cols, std::size_t n) {
+  if (n == 1) return row[cols[0]];
+  std::uint64_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) k = MixU64(k ^ row[cols[i]]);
+  return k;
+}
+
+constexpr std::uint32_t kChainEnd = 0xffffffffu;
+/// Build-side shard count under a pool. Must stay a power of two; shard
+/// selection uses the top 3 mix bits so it never correlates with the
+/// FlatHashMap slot index (low mix bits).
+constexpr std::size_t kJoinShards = 8;
+/// Below this many build rows a single serial map build beats sharding.
+constexpr std::size_t kMinShardedBuildRows = 16384;
+
+std::size_t ShardOf(std::uint64_t key) { return MixU64(key) >> 61; }
+
+/// Hash-joins two columnar tables on their shared vars (cartesian when
+/// none). The smaller table is the build side. Deterministic at any
+/// thread count: output rows are ordered by probe row index, then build
+/// row index — because the build side chains its rows in row order
+/// (sharded by key, not by arrival) and probe chunks concatenate in
+/// chunk order.
+ColumnTable JoinTables(const ColumnTable& left, const ColumnTable& right,
+                       ThreadPool* pool) {
+  ColumnTable out;
+  out.vars = left.vars;
+  for (int v : right.vars) {
+    if (ColumnOf(out.vars, v) < 0) out.vars.push_back(v);
+  }
+  std::sort(out.vars.begin(), out.vars.end());
+  const std::size_t ow = out.width();
+
+  // The smaller table builds the hash map, the larger probes it. The
+  // choice depends only on row counts, never on scheduling.
+  const bool build_is_left = left.rows < right.rows;
+  const ColumnTable& build = build_is_left ? left : right;
+  const ColumnTable& probe = build_is_left ? right : left;
+
+  std::vector<int> out_from_probe(ow), out_from_build(ow);
+  for (std::size_t c = 0; c < ow; ++c) {
+    out_from_probe[c] = ColumnOf(probe.vars, out.vars[c]);
+    out_from_build[c] = ColumnOf(build.vars, out.vars[c]);
+  }
+  std::vector<int> pshared, bshared;
+  for (std::size_t c = 0; c < probe.vars.size(); ++c) {
+    const int bc = ColumnOf(build.vars, probe.vars[c]);
+    if (bc >= 0) {
+      pshared.push_back(static_cast<int>(c));
+      bshared.push_back(bc);
+    }
+  }
+  const std::size_t nshared = pshared.size();
+
+  // Build side: packed key per row, then disjoint open-addressing maps
+  // built in parallel (one per key shard). Each map chains its rows in
+  // ascending row order through `next` (disjoint writes across shards).
+  std::vector<std::uint64_t> bkeys(build.rows);
+  {
+    const std::size_t chunks = NumChunks(build.rows, pool);
+    const std::size_t per =
+        chunks ? (build.rows + chunks - 1) / chunks : 0;
+    RunChunks(chunks, pool, [&](std::size_t c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(build.rows, begin + per);
+      for (std::size_t r = begin; r < end; ++r) {
+        bkeys[r] = PackKey(build.Row(r), bshared.data(), nshared);
+      }
+    });
+  }
+  struct Chain {
+    std::uint32_t head = kChainEnd;
+    std::uint32_t tail = kChainEnd;
+  };
+  const std::size_t shards = (pool != nullptr && pool->num_threads() >= 2 &&
+                              build.rows >= kMinShardedBuildRows)
+                                 ? kJoinShards
+                                 : 1;
+  std::vector<FlatHashMap<std::uint64_t, Chain>> maps(shards);
+  std::vector<std::uint32_t> next(build.rows, kChainEnd);
+  RunChunks(shards, pool, [&](std::size_t s) {
+    FlatHashMap<std::uint64_t, Chain>& m = maps[s];
+    for (std::size_t r = 0; r < build.rows; ++r) {
+      const std::uint64_t key = bkeys[r];
+      if (shards > 1 && ShardOf(key) != s) continue;
+      Chain& ch = m[key];
+      const auto r32 = static_cast<std::uint32_t>(r);
+      if (ch.head == kChainEnd) {
+        ch.head = r32;
+      } else {
+        next[ch.tail] = r32;
+      }
+      ch.tail = r32;
+    }
+  });
+
+  // Probe side: chunked over rows, chunk outputs concatenated in chunk
+  // order = global probe-row order.
+  const std::size_t chunks = NumChunks(probe.rows, pool);
+  std::vector<std::vector<TermId>> chunk_cells(chunks);
+  std::vector<std::size_t> chunk_rows(chunks, 0);
+  const std::size_t per = chunks ? (probe.rows + chunks - 1) / chunks : 0;
+  RunChunks(chunks, pool, [&](std::size_t c) {
+    std::vector<TermId>& cells = chunk_cells[c];
+    std::size_t emitted = 0;
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(probe.rows, begin + per);
+    for (std::size_t r = begin; r < end; ++r) {
+      const TermId* prow = probe.Row(r);
+      const std::uint64_t key = PackKey(prow, pshared.data(), nshared);
+      const Chain* ch = maps[shards > 1 ? ShardOf(key) : 0].Find(key);
+      if (ch == nullptr) continue;
+      for (std::uint32_t bi = ch->head; bi != kChainEnd; bi = next[bi]) {
+        const TermId* brow = build.Row(bi);
+        if (nshared > 1) {
+          // Mixed keys can collide across distinct tuples — re-verify.
+          bool eq = true;
+          for (std::size_t i = 0; i < nshared; ++i) {
+            if (prow[pshared[i]] != brow[bshared[i]]) {
+              eq = false;
+              break;
+            }
+          }
+          if (!eq) continue;
+        }
+        for (std::size_t oc = 0; oc < ow; ++oc) {
+          cells.push_back(out_from_probe[oc] >= 0
+                              ? prow[out_from_probe[oc]]
+                              : brow[out_from_build[oc]]);
+        }
+        ++emitted;
+      }
+    }
+    chunk_rows[c] = emitted;
+  });
+  for (std::size_t c = 0; c < chunks; ++c) out.rows += chunk_rows[c];
+  out.cells.reserve(out.rows * ow);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    out.cells.insert(out.cells.end(), chunk_cells[c].begin(),
+                     chunk_cells[c].end());
+  }
+  return out;
+}
+
+/// Everything precomputed about one pattern before its partition scans:
+/// the resolved pattern, its narrow column layout, and the constraints
+/// that can be pushed down onto its columns.
+struct PatternScanSpec {
+  ResolvedPattern rp;
+  std::vector<int> vars;  // sorted distinct free variables
+  int col_s = -1, col_p = -1, col_o = -1;
+  std::vector<std::pair<int, const SpatialConstraint*>> spatial;
+  std::vector<std::pair<int, const TemporalConstraint*>> temporal;
+};
+
+PatternScanSpec MakeScanSpec(const QueryTriple& qt, const Query& query,
+                             const Binding& empty) {
+  PatternScanSpec spec;
+  spec.rp = Resolve(qt, empty);
+  auto add_var = [&spec](int var) {
+    if (var >= 0 && ColumnOf(spec.vars, var) < 0) spec.vars.push_back(var);
+  };
+  add_var(spec.rp.var_s);
+  add_var(spec.rp.var_p);
+  add_var(spec.rp.var_o);
+  std::sort(spec.vars.begin(), spec.vars.end());
+  spec.col_s = spec.rp.var_s >= 0 ? ColumnOf(spec.vars, spec.rp.var_s) : -1;
+  spec.col_p = spec.rp.var_p >= 0 ? ColumnOf(spec.vars, spec.rp.var_p) : -1;
+  spec.col_o = spec.rp.var_o >= 0 ? ColumnOf(spec.vars, spec.rp.var_o) : -1;
+  for (const SpatialConstraint& c : query.spatial) {
+    const int col = ColumnOf(spec.vars, c.var);
+    if (col >= 0) spec.spatial.emplace_back(col, &c);
+  }
+  for (const TemporalConstraint& c : query.temporal) {
+    const int col = ColumnOf(spec.vars, c.var);
+    if (col >= 0) spec.temporal.emplace_back(col, &c);
+  }
+  return spec;
+}
+
+/// Scans one pattern within one partition, appending narrow rows to
+/// `cells`; returns the number of rows emitted. The core of the fused
+/// pattern×partition scan stage.
+std::size_t ScanPatternPartition(const TripleStore& part,
+                                 const PatternScanSpec& spec,
+                                 const FlatHashMap<TermId, NodeGeo>& geo,
+                                 std::vector<TermId>* cells) {
+  const std::size_t w = spec.vars.size();
+  std::size_t emitted = 0;
+  part.Scan(spec.rp.concrete, [&](const Triple& t) {
+    TermId row[3] = {kInvalidTermId, kInvalidTermId, kInvalidTermId};
+    bool ok = true;
+    auto put = [&row, &ok](int col, TermId v) {
+      if (col < 0) return;
+      if (row[col] == kInvalidTermId) {
+        row[col] = v;
+      } else if (row[col] != v) {
+        ok = false;  // repeated variable bound inconsistently
+      }
+    };
+    put(spec.col_s, t.s);
+    put(spec.col_p, t.p);
+    put(spec.col_o, t.o);
+    if (!ok) return true;
+    for (const auto& [col, c] : spec.spatial) {
+      const NodeGeo* g = geo.Find(row[col]);
+      if (g == nullptr || !c->box.Contains(LatLon{g->lat_deg, g->lon_deg})) {
+        return true;
+      }
+    }
+    for (const auto& [col, c] : spec.temporal) {
+      const NodeGeo* g = geo.Find(row[col]);
+      if (g == nullptr || g->timestamp < c->t_min ||
+          g->timestamp > c->t_max) {
+        return true;
+      }
+    }
+    for (std::size_t i = 0; i < w; ++i) cells->push_back(row[i]);
+    ++emitted;
+    return true;
+  });
+  return emitted;
+}
+
 }  // namespace
 
 bool QueryEngine::SatisfiesConstraints(const Query& query,
                                        const Binding& binding,
                                        bool require_bound) const {
-  const auto& geo = rdfizer_->node_geo();
   for (const SpatialConstraint& c : query.spatial) {
     const TermId value = binding[c.var];
     if (value == kInvalidTermId) {
       if (require_bound) return false;
       continue;
     }
-    auto it = geo.find(value);
-    if (it == geo.end()) return false;
-    if (!c.box.Contains(LatLon{it->second.lat_deg, it->second.lon_deg})) {
-      return false;
-    }
+    const NodeGeo* g = geo_.Find(value);
+    if (g == nullptr) return false;
+    if (!c.box.Contains(LatLon{g->lat_deg, g->lon_deg})) return false;
   }
   for (const TemporalConstraint& c : query.temporal) {
     const TermId value = binding[c.var];
@@ -88,11 +368,9 @@ bool QueryEngine::SatisfiesConstraints(const Query& query,
       if (require_bound) return false;
       continue;
     }
-    auto it = geo.find(value);
-    if (it == geo.end()) return false;
-    if (it->second.timestamp < c.t_min || it->second.timestamp > c.t_max) {
-      return false;
-    }
+    const NodeGeo* g = geo_.Find(value);
+    if (g == nullptr) return false;
+    if (g->timestamp < c.t_min || g->timestamp > c.t_max) return false;
   }
   return true;
 }
@@ -146,26 +424,29 @@ std::vector<int> QueryEngine::PlanOrder(const TripleStore& store,
 }
 
 void QueryEngine::Extend(const TripleStore& store, const Query& query,
-                         std::vector<int>* pattern_order, std::size_t depth,
-                         Binding* binding,
+                         const std::vector<int>& pattern_order,
+                         std::size_t depth, Binding* binding,
                          std::vector<Binding>* out) const {
-  if (depth == pattern_order->size()) {
+  if (depth == pattern_order.size()) {
     if (SatisfiesConstraints(query, *binding, /*require_bound=*/true)) {
       out->push_back(*binding);
     }
     return;
   }
-  const QueryTriple& qt = query.bgp[(*pattern_order)[depth]];
+  const QueryTriple& qt = query.bgp[pattern_order[depth]];
   const ResolvedPattern rp = Resolve(qt, *binding);
   store.Scan(rp.concrete, [&](const Triple& t) {
-    std::vector<int> newly_bound;
-    if (BindMatch(rp, t, binding, &newly_bound)) {
+    int newly_bound[3];
+    int num_newly = 0;
+    if (BindMatch(rp, t, binding, newly_bound, &num_newly)) {
       // Early constraint check on whatever is bound so far.
       if (SatisfiesConstraints(query, *binding, /*require_bound=*/false)) {
         Extend(store, query, pattern_order, depth + 1, binding, out);
       }
     }
-    for (int v : newly_bound) (*binding)[v] = kInvalidTermId;
+    for (int i = 0; i < num_newly; ++i) {
+      (*binding)[newly_bound[i]] = kInvalidTermId;
+    }
     return true;
   });
 }
@@ -173,9 +454,9 @@ void QueryEngine::Extend(const TripleStore& store, const Query& query,
 void QueryEngine::EvalBgpInStore(const TripleStore& store, const Query& query,
                                  std::vector<Binding>* out) const {
   if (query.bgp.empty()) return;
-  std::vector<int> order = PlanOrder(store, query);
+  const std::vector<int> order = PlanOrder(store, query);
   Binding binding(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
-  Extend(store, query, &order, 0, &binding, out);
+  Extend(store, query, order, 0, &binding, out);
 }
 
 std::vector<int> QueryEngine::PrunedPartitions(const Query& query) const {
@@ -209,82 +490,51 @@ std::vector<int> QueryEngine::PrunedPartitions(const Query& query) const {
 ResultSet QueryEngine::ExecuteLocal(const Query& query) const {
   Stopwatch timer;
   ResultSet rs;
-  const std::vector<int> candidates = PrunedPartitions(query);
   rs.stats.partitions_total = store_->num_partitions();
+
+  Stopwatch plan_timer;
+  // Constraint pruning plus predicate-existence skipping: a partition
+  // lacking any bound predicate of the BGP cannot contribute a match.
+  std::vector<int> candidates;
+  for (int p : PrunedPartitions(query)) {
+    bool possible = true;
+    for (const QueryTriple& qt : query.bgp) {
+      if (!qt.p.IsVar() &&
+          !store_->meta(p).MightMatchPredicate(qt.p.term)) {
+        possible = false;
+        break;
+      }
+    }
+    if (possible) candidates.push_back(p);
+  }
+  rs.stats.plan_ms = plan_timer.ElapsedMillis();
   rs.stats.partitions_scanned = static_cast<int>(candidates.size());
 
-  std::mutex mu;
+  // Each partition evaluates into its own slot; slots concatenate in
+  // partition-index order, so the row order is identical at any thread
+  // count (never mutex-arrival order).
+  Stopwatch scan_timer;
+  std::vector<std::vector<Binding>> per_part(candidates.size());
   auto eval_one = [&](std::size_t idx) {
-    std::vector<Binding> local;
-    EvalBgpInStore(store_->partition(candidates[idx]), query, &local);
-    std::lock_guard<std::mutex> lock(mu);
-    rs.rows.insert(rs.rows.end(), local.begin(), local.end());
+    EvalBgpInStore(store_->partition(candidates[idx]), query,
+                   &per_part[idx]);
   };
   if (pool_ != nullptr) {
     pool_->ParallelFor(candidates.size(), eval_one);
   } else {
     for (std::size_t i = 0; i < candidates.size(); ++i) eval_one(i);
   }
+  std::size_t total = 0;
+  for (const auto& rows : per_part) total += rows.size();
+  rs.rows.reserve(total);
+  for (auto& rows : per_part) {
+    for (Binding& b : rows) rs.rows.push_back(std::move(b));
+  }
+  rs.stats.scan_ms = scan_timer.ElapsedMillis();
   rs.stats.result_rows = rs.rows.size();
   rs.stats.wall_ms = timer.ElapsedMillis();
   return rs;
 }
-
-namespace {
-
-/// Binding table of one pattern: which vars it binds plus its rows.
-struct BindingTable {
-  std::vector<int> vars;           // bound variable indices (sorted)
-  std::vector<Binding> rows;       // full-width rows
-};
-
-std::vector<int> SharedVars(const std::vector<int>& a,
-                            const std::vector<int>& b) {
-  std::vector<int> out;
-  for (int v : a) {
-    if (std::find(b.begin(), b.end(), v) != b.end()) out.push_back(v);
-  }
-  return out;
-}
-
-/// Hash-joins two tables on their shared vars (cartesian when none).
-BindingTable Join(const BindingTable& left, const BindingTable& right,
-                  int num_vars) {
-  BindingTable out;
-  out.vars = left.vars;
-  for (int v : right.vars) {
-    if (std::find(out.vars.begin(), out.vars.end(), v) == out.vars.end()) {
-      out.vars.push_back(v);
-    }
-  }
-  std::sort(out.vars.begin(), out.vars.end());
-
-  const std::vector<int> shared = SharedVars(left.vars, right.vars);
-  auto key_of = [&shared](const Binding& b) {
-    std::vector<TermId> key;
-    key.reserve(shared.size());
-    for (int v : shared) key.push_back(b[v]);
-    return key;
-  };
-
-  std::map<std::vector<TermId>, std::vector<std::size_t>> hash;
-  for (std::size_t i = 0; i < right.rows.size(); ++i) {
-    hash[key_of(right.rows[i])].push_back(i);
-  }
-  for (const Binding& lrow : left.rows) {
-    auto it = hash.find(key_of(lrow));
-    if (it == hash.end()) continue;
-    for (std::size_t ri : it->second) {
-      Binding merged(static_cast<std::size_t>(num_vars), kInvalidTermId);
-      for (int v : left.vars) merged[v] = lrow[v];
-      for (int v : right.vars) merged[v] = right.rows[ri][v];
-      out.rows.push_back(std::move(merged));
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
   Stopwatch timer;
@@ -292,6 +542,7 @@ ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
   rs.stats.partitions_total = store_->num_partitions();
   if (query.bgp.empty()) return rs;
 
+  Stopwatch plan_timer;
   // Vars carrying spatial/temporal constraints: their patterns can be
   // scanned on the pruned partition subset only (tagged subjects obey the
   // partition envelopes); all other patterns scan everything.
@@ -301,91 +552,127 @@ ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
   for (const SpatialConstraint& c : query.spatial) constrained[c.var] = true;
   for (const TemporalConstraint& c : query.temporal)
     constrained[c.var] = true;
-
-  std::vector<int> all_parts(static_cast<std::size_t>(store_->num_partitions()));
+  std::vector<int> all_parts(
+      static_cast<std::size_t>(store_->num_partitions()));
   for (int i = 0; i < store_->num_partitions(); ++i) all_parts[i] = i;
 
-  // Scan every pattern (in parallel across partitions) into a table.
-  std::vector<BindingTable> tables(query.bgp.size());
+  const std::size_t n = query.bgp.size();
+  Binding empty(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
+  std::vector<PatternScanSpec> specs;
+  specs.reserve(n);
+  for (const QueryTriple& qt : query.bgp) {
+    specs.push_back(MakeScanSpec(qt, query, empty));
+  }
+  rs.stats.plan_ms = plan_timer.ElapsedMillis();
+
+  // Scan every pattern into a narrow columnar table, with constraint and
+  // predicate-existence pushdown. All pattern×partition pairs run under
+  // ONE ParallelFor; per-job outputs concatenate per pattern in
+  // partition-index order, so tables are identical at any thread count.
+  Stopwatch scan_timer;
+  std::vector<ColumnTable> tables(n);
+  struct ScanJob {
+    std::size_t pattern;
+    int part;
+  };
+  std::vector<ScanJob> jobs;
   std::size_t max_scanned = pruned.size();
-  for (std::size_t pi = 0; pi < query.bgp.size(); ++pi) {
+  for (std::size_t pi = 0; pi < n; ++pi) {
     const QueryTriple& qt = query.bgp[pi];
-    BindingTable& table = tables[pi];
-    if (qt.s.IsVar()) table.vars.push_back(qt.s.var);
-    if (qt.p.IsVar() &&
-        std::find(table.vars.begin(), table.vars.end(), qt.p.var) ==
-            table.vars.end()) {
-      table.vars.push_back(qt.p.var);
-    }
-    if (qt.o.IsVar() &&
-        std::find(table.vars.begin(), table.vars.end(), qt.o.var) ==
-            table.vars.end()) {
-      table.vars.push_back(qt.o.var);
-    }
-    std::sort(table.vars.begin(), table.vars.end());
-
     const bool subject_constrained = qt.s.IsVar() && constrained[qt.s.var];
-    const std::vector<int>& parts = subject_constrained ? pruned : all_parts;
-    max_scanned = std::max(max_scanned, parts.size());
-
-    Binding empty(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
-    const ResolvedPattern rp = Resolve(qt, empty);
-
-    std::mutex mu;
-    auto scan_one = [&](std::size_t idx) {
-      std::vector<Binding> local;
-      store_->partition(parts[idx]).Scan(rp.concrete, [&](const Triple& t) {
-        Binding b(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
-        std::vector<int> newly;
-        if (BindMatch(rp, t, &b, &newly)) {
-          // Per-pattern constraint pushdown on this pattern's vars.
-          if (SatisfiesConstraints(query, b, /*require_bound=*/false)) {
-            local.push_back(std::move(b));
-          }
-        }
-        return true;
-      });
-      std::lock_guard<std::mutex> lock(mu);
-      table.rows.insert(table.rows.end(), local.begin(), local.end());
-    };
-    if (pool_ != nullptr) {
-      pool_->ParallelFor(parts.size(), scan_one);
-    } else {
-      for (std::size_t i = 0; i < parts.size(); ++i) scan_one(i);
+    const std::vector<int>& base = subject_constrained ? pruned : all_parts;
+    std::size_t scanned = 0;
+    for (int p : base) {
+      if (store_->meta(p).MightMatchPredicate(specs[pi].rp.concrete.p)) {
+        jobs.push_back({pi, p});
+        ++scanned;
+      }
     }
-    rs.stats.intermediate_rows += table.rows.size();
+    max_scanned = std::max(max_scanned, scanned);
+  }
+  std::vector<std::vector<TermId>> job_cells(jobs.size());
+  std::vector<std::size_t> job_rows(jobs.size(), 0);
+  auto scan_one = [&](std::size_t j) {
+    job_rows[j] = ScanPatternPartition(store_->partition(jobs[j].part),
+                                       specs[jobs[j].pattern], geo_,
+                                       &job_cells[j]);
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(jobs.size(), scan_one);
+  } else {
+    for (std::size_t j = 0; j < jobs.size(); ++j) scan_one(j);
+  }
+  for (std::size_t pi = 0; pi < n; ++pi) tables[pi].vars = specs[pi].vars;
+  // Jobs were appended pattern-major in partition order, so a linear
+  // pass concatenates each pattern's chunks deterministically.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    ColumnTable& table = tables[jobs[j].pattern];
+    table.rows += job_rows[j];
+    table.cells.insert(table.cells.end(), job_cells[j].begin(),
+                       job_cells[j].end());
+  }
+  for (const ColumnTable& table : tables) {
+    rs.stats.intermediate_rows += table.rows;
   }
   rs.stats.partitions_scanned = static_cast<int>(max_scanned);
+  rs.stats.scan_ms = scan_timer.ElapsedMillis();
 
-  // Join tables: smallest first, preferring join partners that share vars.
-  std::vector<std::size_t> remaining(tables.size());
-  for (std::size_t i = 0; i < tables.size(); ++i) remaining[i] = i;
-  std::sort(remaining.begin(), remaining.end(),
-            [&tables](std::size_t a, std::size_t b) {
-              return tables[a].rows.size() < tables[b].rows.size();
-            });
-  BindingTable acc = std::move(tables[remaining.front()]);
+  // Join tables: smallest first, preferring join partners that share
+  // vars (stable order, so the plan is identical at any thread count).
+  Stopwatch join_timer;
+  std::vector<std::size_t> remaining(n);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = i;
+  std::stable_sort(remaining.begin(), remaining.end(),
+                   [&tables](std::size_t a, std::size_t b) {
+                     return tables[a].rows < tables[b].rows;
+                   });
+  ColumnTable acc = std::move(tables[remaining.front()]);
   remaining.erase(remaining.begin());
   while (!remaining.empty()) {
     std::size_t pick = 0;
     for (std::size_t i = 0; i < remaining.size(); ++i) {
-      if (!SharedVars(acc.vars, tables[remaining[i]].vars).empty()) {
+      if (SharesVar(acc.vars, tables[remaining[i]].vars)) {
         pick = i;
         break;
       }
     }
-    acc = Join(acc, tables[remaining[pick]], query.num_vars);
+    acc = JoinTables(acc, tables[remaining[pick]], pool_);
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
-    rs.stats.intermediate_rows += acc.rows.size();
-    if (acc.rows.empty()) break;
+    rs.stats.intermediate_rows += acc.rows;
+    rs.stats.join_rows.push_back(acc.rows);
+    if (acc.rows == 0) break;
   }
+  rs.stats.join_ms = join_timer.ElapsedMillis();
 
-  // Final constraint check (all vars bound now).
-  for (Binding& b : acc.rows) {
-    if (SatisfiesConstraints(query, b, /*require_bound=*/true)) {
-      rs.rows.push_back(std::move(b));
+  // Final constraint check (all surviving vars bound now), widening the
+  // columnar rows back to full-width bindings. Chunk outputs concatenate
+  // in chunk order — deterministic.
+  Stopwatch filter_timer;
+  if (acc.rows > 0) {
+    const std::size_t ow = acc.width();
+    const std::size_t chunks = NumChunks(acc.rows, pool_);
+    std::vector<std::vector<Binding>> chunk_out(chunks);
+    const std::size_t per = (acc.rows + chunks - 1) / chunks;
+    RunChunks(chunks, pool_, [&](std::size_t c) {
+      const std::size_t begin = c * per;
+      const std::size_t end = std::min(acc.rows, begin + per);
+      for (std::size_t r = begin; r < end; ++r) {
+        Binding b(static_cast<std::size_t>(query.num_vars), kInvalidTermId);
+        const TermId* row = acc.Row(r);
+        for (std::size_t i = 0; i < ow; ++i) b[acc.vars[i]] = row[i];
+        if (SatisfiesConstraints(query, b, /*require_bound=*/true)) {
+          chunk_out[c].push_back(std::move(b));
+        }
+      }
+    });
+    std::size_t total = 0;
+    for (const auto& rows : chunk_out) total += rows.size();
+    rs.rows.reserve(total);
+    for (auto& rows : chunk_out) {
+      for (Binding& b : rows) rs.rows.push_back(std::move(b));
     }
   }
+  rs.stats.filter_ms = filter_timer.ElapsedMillis();
   rs.stats.result_rows = rs.rows.size();
   rs.stats.wall_ms = timer.ElapsedMillis();
   return rs;

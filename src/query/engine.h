@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/thread_pool.h"
 #include "partition/partitioned_store.h"
 #include "query/query.h"
@@ -12,18 +13,29 @@
 
 namespace datacron {
 
-/// Execution diagnostics of one query run (E5 reports these).
+/// Execution diagnostics of one query run (E5 reports these), including a
+/// per-stage wall-time breakdown so the bench can attribute cost to
+/// planning, index scans, hash joins and the final constraint filter.
 struct QueryExecStats {
   int partitions_total = 0;
   int partitions_scanned = 0;
   std::size_t intermediate_rows = 0;
   std::size_t result_rows = 0;
   double wall_ms = 0.0;
+  double plan_ms = 0.0;
+  double scan_ms = 0.0;
+  double join_ms = 0.0;
+  double filter_ms = 0.0;
+  /// Intermediate row count after each hash join, in join order.
+  std::vector<std::size_t> join_rows;
 
   std::string ToString() const;
 };
 
-/// A query answer: the rows plus execution statistics.
+/// A query answer: the rows plus execution statistics. Row order is
+/// deterministic — identical for serial and pooled execution at any
+/// thread count (partition-index / row-index merge order, never
+/// lock-arrival order).
 struct ResultSet {
   std::vector<Binding> rows;
   QueryExecStats stats;
@@ -39,14 +51,18 @@ struct ResultSet {
 ///    subject-based placement; true for neighborhood queries under
 ///    locality-preserving placement most of the time).
 ///  - ExecuteGlobal: every triple pattern is scanned across the pruned
-///    partitions in parallel, then binding tables are hash-joined in
-///    selectivity order. Always complete, at higher cost.
+///    partitions in parallel into a columnar binding table (only the
+///    pattern's own variables, rows in one flat TermId array), then
+///    tables are hash-joined in selectivity order on packed u64 keys
+///    over open-addressing FlatHashMaps, with a partitioned parallel
+///    build side. Always complete, at higher cost.
 /// The E5 benchmark quantifies the gap — the classic locality-versus-
 /// completeness trade in distributed RDF stores.
 class QueryEngine {
  public:
   /// `rdfizer` provides the node geometry/time side tables used by the
-  /// constraints; `pool` may be null for sequential execution.
+  /// constraints (snapshotted into a flat probe table at construction);
+  /// `pool` may be null for sequential execution.
   QueryEngine(const PartitionedRdfStore* store, const Rdfizer* rdfizer,
               ThreadPool* pool = nullptr);
 
@@ -61,9 +77,11 @@ class QueryEngine {
   void EvalBgpInStore(const TripleStore& store, const Query& query,
                       std::vector<Binding>* out) const;
 
-  /// Recursive pattern-at-a-time extension.
+  /// Recursive pattern-at-a-time extension. Allocation-free per triple:
+  /// a pattern has at most 3 free positions, so newly bound variables
+  /// live in a fixed stack array.
   void Extend(const TripleStore& store, const Query& query,
-              std::vector<int>* pattern_order, std::size_t depth,
+              const std::vector<int>& pattern_order, std::size_t depth,
               Binding* binding, std::vector<Binding>* out) const;
 
   /// True when `binding` satisfies all spatial/temporal constraints whose
@@ -78,6 +96,9 @@ class QueryEngine {
   const PartitionedRdfStore* store_;
   const Rdfizer* rdfizer_;
   ThreadPool* pool_;
+  /// Flat open-addressing snapshot of the rdfizer's node geometry table —
+  /// the constraint checks probe this on every candidate row.
+  FlatHashMap<TermId, NodeGeo> geo_;
 };
 
 }  // namespace datacron

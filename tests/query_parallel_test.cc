@@ -1,0 +1,293 @@
+// Determinism and correctness of the parallel query executor: serial and
+// pooled execution must return *byte-identical* row vectors (not just
+// equal row sets) at every thread count, for every query class and both
+// strategies. Plus unit tests for the open-addressing FlatHashMap /
+// FlatHashSet the join path is built on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "partition/partitioned_store.h"
+#include "partition/partitioner.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "rdf/rdfizer.h"
+#include "sources/ais_generator.h"
+
+namespace datacron {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlatHashMap / FlatHashSet
+
+TEST(FlatHashMapTest, InsertFindRoundTrip) {
+  FlatHashMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  m[7] = 42;
+  m[9] = 13;
+  ASSERT_NE(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(7), 42);
+  EXPECT_EQ(*m.Find(9), 13);
+  EXPECT_EQ(m.Find(8), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+  m[7] = 43;  // overwrite, not duplicate
+  EXPECT_EQ(*m.Find(7), 43);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMapTest, GrowthPreservesAllEntries) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  Rng rng(991);
+  std::vector<std::uint64_t> keys;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k =
+        static_cast<std::uint64_t>(rng.UniformInt(1, 1'000'000'000));
+    if (!seen.insert(k).second) continue;
+    keys.push_back(k);
+    m[k] = k * 3;
+  }
+  EXPECT_EQ(m.size(), keys.size());
+  EXPECT_GT(m.capacity(), 16u);  // many rehashes happened
+  for (std::uint64_t k : keys) {
+    ASSERT_NE(m.Find(k), nullptr) << k;
+    EXPECT_EQ(*m.Find(k), k * 3);
+  }
+  // Capacity stays a power of two with load factor <= 3/4.
+  EXPECT_EQ(m.capacity() & (m.capacity() - 1), 0u);
+  EXPECT_LE(m.size() * 4, m.capacity() * 3);
+}
+
+TEST(FlatHashMapTest, CollidingKeysProbeLinearly) {
+  // Dense sequential keys plus sparse huge keys force slot collisions at
+  // every capacity; all entries must stay reachable (tombstone-free
+  // probing never breaks a chain because nothing is ever deleted).
+  FlatHashMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 1; k <= 4096; ++k) m[k] = static_cast<int>(k);
+  for (std::uint64_t k = 1; k <= 4096; ++k) {
+    ASSERT_NE(m.Find(k), nullptr) << k;
+    EXPECT_EQ(*m.Find(k), static_cast<int>(k));
+  }
+  for (std::uint64_t k = 5000; k <= 6000; ++k) EXPECT_EQ(m.Find(k), nullptr);
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsRehash) {
+  FlatHashMap<std::uint64_t, int> m;
+  m.Reserve(1000);
+  const std::size_t cap = m.capacity();
+  for (std::uint64_t k = 1; k <= 1000; ++k) m[k] = 1;
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.size(), 1000u);
+}
+
+TEST(FlatHashMapTest, ForEachVisitsEverything) {
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  std::uint64_t want_sum = 0;
+  for (std::uint64_t k = 1; k <= 500; ++k) {
+    m[k * 977] = k;
+    want_sum += k;
+  }
+  std::uint64_t got_sum = 0;
+  std::size_t count = 0;
+  m.ForEach([&](std::uint64_t key, std::uint64_t value) {
+    EXPECT_EQ(key, value * 977);
+    got_sum += value;
+    ++count;
+  });
+  EXPECT_EQ(count, 500u);
+  EXPECT_EQ(got_sum, want_sum);
+}
+
+TEST(FlatHashSetTest, InsertReportsNovelty) {
+  FlatHashSet<TermId> s;
+  EXPECT_TRUE(s.Insert(5));
+  EXPECT_FALSE(s.Insert(5));
+  EXPECT_TRUE(s.Insert(6));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(6));
+  EXPECT_FALSE(s.Contains(7));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel query determinism over an AIS workload
+
+/// Fixture: a fleet RDF-ized into an 8-way Hilbert-partitioned store plus
+/// a 1-partition reference store, and the three E5 query classes plus the
+/// join-heavy analytical query.
+class QueryParallelTest : public ::testing::Test {
+ protected:
+  QueryParallelTest() : vocab_(&dict_) {
+    rdfizer_ = std::make_unique<Rdfizer>(Rdfizer::Config{}, &dict_, &vocab_);
+    AisGeneratorConfig fleet;
+    fleet.num_vessels = 10;
+    fleet.duration = 20 * kMinute;
+    traces_ = GenerateAisFleet(fleet);
+    ObservationConfig obs;
+    obs.fixed_interval_ms = 15 * kSecond;
+    for (const auto& r : ObserveFleet(traces_, obs)) {
+      const auto ts = rdfizer_->TransformReport(r);
+      triples_.insert(triples_.end(), ts.begin(), ts.end());
+    }
+    scheme_ =
+        HilbertPartitioner::Build(8, &rdfizer_->tags(), rdfizer_->grid());
+    store_.Load(triples_, *scheme_, rdfizer_->grid(), vocab_.p_next_node);
+    HashPartitioner single(1, &rdfizer_->tags());
+    reference_.Load(triples_, single, rdfizer_->grid());
+
+    {
+      QueryBuilder qb;
+      qb.Pattern(QueryTerm::Var(qb.Var("node")),
+                 QueryTerm::Bound(vocab_.p_type),
+                 QueryTerm::Bound(vocab_.c_position_node));
+      qb.WhereVar("node", vocab_.p_speed, "speed");
+      qb.Within("node", BoundingBox::Of(35.0, 23.0, 37.5, 25.5));
+      spatial_query_ = qb.Build();
+    }
+    {
+      QueryBuilder qb;
+      qb.Where("node", vocab_.p_of_entity,
+               dict_.Intern(EntityIri(traces_[0].entity_id)));
+      qb.WhereVar("node", vocab_.p_speed, "speed");
+      star_query_ = qb.Build();
+    }
+    {
+      QueryBuilder qb;
+      qb.WhereVar("a", vocab_.p_next_node, "b");
+      qb.WhereVar("b", vocab_.p_next_node, "c");
+      qb.Within("a", BoundingBox::Of(35.0, 23.0, 37.5, 25.5));
+      path_query_ = qb.Build();
+    }
+    {
+      QueryBuilder qb;
+      qb.Pattern(QueryTerm::Var(qb.Var("v")),
+                 QueryTerm::Bound(vocab_.p_type),
+                 QueryTerm::Bound(vocab_.c_vessel));
+      qb.Pattern(QueryTerm::Var(qb.Var("node")),
+                 QueryTerm::Bound(vocab_.p_of_entity),
+                 QueryTerm::Var(qb.Var("v")));
+      qb.WhereVar("node", vocab_.p_speed, "speed");
+      qb.Within("node", BoundingBox::Of(35.0, 23.0, 37.5, 25.5));
+      join_query_ = qb.Build();
+    }
+  }
+
+  std::vector<const Query*> AllQueries() const {
+    return {&spatial_query_, &star_query_, &path_query_, &join_query_};
+  }
+
+  static std::set<Binding> RowSet(const ResultSet& rs) {
+    return {rs.rows.begin(), rs.rows.end()};
+  }
+
+  TermDictionary dict_;
+  Vocab vocab_;
+  std::unique_ptr<Rdfizer> rdfizer_;
+  std::vector<TruthTrace> traces_;
+  std::vector<Triple> triples_;
+  std::unique_ptr<HilbertPartitioner> scheme_;
+  PartitionedRdfStore store_;
+  PartitionedRdfStore reference_;
+  Query spatial_query_, star_query_, path_query_, join_query_;
+};
+
+TEST_F(QueryParallelTest, RowsByteIdenticalAtEveryThreadCount) {
+  QueryEngine serial(&store_, rdfizer_.get(), nullptr);
+  const char* names[] = {"spatial", "star", "path", "join"};
+  std::vector<ResultSet> want_local, want_global;
+  for (const Query* q : AllQueries()) {
+    want_local.push_back(serial.ExecuteLocal(*q));
+    want_global.push_back(serial.ExecuteGlobal(*q));
+  }
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    QueryEngine par(&store_, rdfizer_.get(), &pool);
+    const auto queries = AllQueries();
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      // Exact vector equality: same rows in the same order, not a set
+      // comparison — the determinism contract of the executor.
+      EXPECT_EQ(par.ExecuteLocal(*queries[i]).rows, want_local[i].rows)
+          << names[i] << " local, threads=" << threads;
+      EXPECT_EQ(par.ExecuteGlobal(*queries[i]).rows, want_global[i].rows)
+          << names[i] << " global, threads=" << threads;
+    }
+  }
+}
+
+TEST_F(QueryParallelTest, GlobalMatchesReferenceStore) {
+  // The columnar packed-key join path must stay *complete*: global
+  // execution on the partitioned store equals the 1-partition reference.
+  ThreadPool pool(4);
+  QueryEngine part_engine(&store_, rdfizer_.get(), &pool);
+  QueryEngine ref_engine(&reference_, rdfizer_.get());
+  for (const Query* q : AllQueries()) {
+    const auto got = part_engine.ExecuteGlobal(*q);
+    const auto ref = ref_engine.ExecuteGlobal(*q);
+    EXPECT_EQ(RowSet(got), RowSet(ref));
+    EXPECT_FALSE(ref.rows.empty());
+  }
+}
+
+TEST_F(QueryParallelTest, LocalStarMatchesReference) {
+  // Star queries are colocated under subject placement: the local union
+  // must be complete and identical to the reference.
+  ThreadPool pool(4);
+  QueryEngine part_engine(&store_, rdfizer_.get(), &pool);
+  QueryEngine ref_engine(&reference_, rdfizer_.get());
+  EXPECT_EQ(RowSet(part_engine.ExecuteLocal(star_query_)),
+            RowSet(ref_engine.ExecuteLocal(star_query_)));
+}
+
+TEST_F(QueryParallelTest, StageBreakdownPopulated) {
+  QueryEngine engine(&store_, rdfizer_.get());
+  const auto rs = engine.ExecuteGlobal(join_query_);
+  EXPECT_FALSE(rs.rows.empty());
+  // 3 patterns -> 2 joins, each recording its intermediate row count.
+  EXPECT_EQ(rs.stats.join_rows.size(), 2u);
+  EXPECT_GE(rs.stats.join_rows.back(), rs.stats.result_rows);
+  EXPECT_GE(rs.stats.plan_ms, 0.0);
+  EXPECT_GE(rs.stats.scan_ms, 0.0);
+  EXPECT_GE(rs.stats.join_ms, 0.0);
+  EXPECT_GE(rs.stats.filter_ms, 0.0);
+  EXPECT_GE(rs.stats.wall_ms,
+            rs.stats.scan_ms + rs.stats.join_ms + rs.stats.filter_ms);
+  EXPECT_NE(rs.stats.ToString().find("join="), std::string::npos);
+}
+
+TEST_F(QueryParallelTest, PredicateExistenceSkipsPartitions) {
+  // Every partition's predicate set is populated by Load...
+  for (int p = 0; p < store_.num_partitions(); ++p) {
+    EXPECT_TRUE(store_.meta(p).MightMatchPredicate(vocab_.p_type));
+    EXPECT_TRUE(store_.meta(p).MightMatchPredicate(kInvalidTermId));
+  }
+  // ...so a query over a predicate no partition stores scans nothing.
+  QueryBuilder qb;
+  qb.WhereVar("a", dict_.Intern("dc:noSuchPredicate"), "b");
+  QueryEngine engine(&store_, rdfizer_.get());
+  const auto local = engine.ExecuteLocal(qb.Build());
+  EXPECT_TRUE(local.rows.empty());
+  EXPECT_EQ(local.stats.partitions_scanned, 0);
+  EXPECT_TRUE(engine.ExecuteGlobal(qb.Build()).rows.empty());
+}
+
+TEST_F(QueryParallelTest, LocalResultsIndependentOfPoolChunking) {
+  // Run the same pooled query repeatedly: scheduling may differ run to
+  // run, output must not.
+  ThreadPool pool(8);
+  QueryEngine par(&store_, rdfizer_.get(), &pool);
+  const auto first = par.ExecuteGlobal(path_query_);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(par.ExecuteGlobal(path_query_).rows, first.rows) << i;
+    EXPECT_EQ(par.ExecuteLocal(path_query_).rows,
+              par.ExecuteLocal(path_query_).rows);
+  }
+}
+
+}  // namespace
+}  // namespace datacron
