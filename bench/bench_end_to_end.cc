@@ -5,8 +5,19 @@
 // CEP) over a fleet stream and prints the per-stage and total per-tuple
 // latency distribution, plus sustained throughput, then closes the loop
 // with a query over the produced store.
+//
+// E10b sweeps the sharded runtime (IngestBatch) over 1/2/4/8 shards with
+// a matching thread pool, enforcing the determinism contract — events,
+// triples and episodes must be byte-identical to the serial Ingest loop
+// at every shard count (nonzero exit on violation) — and prints the
+// merged per-operator metrics table. Emits BENCH_engine.json; `--quick`
+// shrinks the fleet for CI smoke runs.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "common/time_utils.h"
 #include "datacron/engine.h"
 #include "partition/partitioned_store.h"
@@ -23,36 +34,99 @@ void PrintStage(const char* name, const PercentileTracker& t) {
               name, t.p50(), t.p95(), t.p99(), t.Max());
 }
 
-}  // namespace
-
-void Run() {
-  AisGeneratorConfig fleet;
-  fleet.num_vessels = 100;
-  fleet.duration = kHour;
-  const auto traces = GenerateAisFleet(fleet);
-  ObservationConfig obs;
-  obs.fixed_interval_ms = 10 * kSecond;
-  const auto stream = ObserveFleet(traces, obs);
-
+DatacronEngine::Config EngineConfig(std::size_t num_shards) {
   DatacronEngine::Config cfg;
   cfg.areas.push_back(NamedArea{
       "zone_a", Polygon::Rectangle(BoundingBox::Of(35.5, 23.5, 36.5, 24.5))});
   cfg.areas.push_back(NamedArea{
       "zone_b", Polygon::Rectangle(BoundingBox::Of(37.0, 25.0, 38.0, 26.0))});
-  DatacronEngine engine(cfg);
+  cfg.num_shards = num_shards;
+  return cfg;
+}
 
-  Stopwatch total_timer;
-  std::size_t event_count = 0;
-  for (const auto& r : stream) {
-    event_count += engine.Ingest(r).size();
+/// One measured cell of the JSON report. threads == 0 means the serial
+/// report-by-report Ingest loop (no pool, no batch API).
+struct BenchRecord {
+  int shards = 1;
+  int threads = 0;
+  double wall_s = 0.0;
+  double reports_per_s = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+std::vector<BenchRecord> g_records;
+
+void WriteJson(const char* path, std::size_t reports) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"experiment\": \"E10_engine\",\n");
+  std::fprintf(f, "  \"reports\": %zu,\n  \"records\": [\n", reports);
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const BenchRecord& r = g_records[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"threads\": %d, \"wall_s\": %.4f, "
+                 "\"reports_per_s\": %.0f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 r.shards, r.threads, r.wall_s, r.reports_per_s, r.speedup,
+                 r.identical ? "true" : "false",
+                 i + 1 < g_records.size() ? "," : "");
   }
-  event_count += engine.Finish().size();
-  const double total_s = total_timer.ElapsedSeconds();
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path, g_records.size());
+}
+
+/// Everything the determinism contract compares between two engine runs.
+struct RunOutputs {
+  std::vector<Event> events;
+  std::vector<Triple> triples;
+  std::vector<Episode> episodes;
+  std::size_t critical_points = 0;
+
+  bool operator==(const RunOutputs&) const = default;
+};
+
+RunOutputs Snapshot(DatacronEngine* engine, std::vector<Event> events) {
+  RunOutputs out;
+  out.events = std::move(events);
+  out.triples = engine->triples();
+  out.episodes = engine->episodes();
+  out.critical_points = engine->critical_points();
+  return out;
+}
+
+}  // namespace
+
+int Run(bool quick) {
+  AisGeneratorConfig fleet;
+  fleet.num_vessels = quick ? 25 : 100;
+  fleet.duration = quick ? 20 * kMinute : kHour;
+  const auto traces = GenerateAisFleet(fleet);
+  ObservationConfig obs;
+  obs.fixed_interval_ms = 10 * kSecond;
+  const auto stream = ObserveFleet(traces, obs);
+
+  // --- E10: serial per-tuple latency (the baseline). -----------------
+  DatacronEngine engine(EngineConfig(1));
+  Stopwatch total_timer;
+  std::vector<Event> serial_events;
+  for (const auto& r : stream) {
+    const auto evs = engine.Ingest(r);
+    serial_events.insert(serial_events.end(), evs.begin(), evs.end());
+  }
+  const auto final_events = engine.Finish();
+  serial_events.insert(serial_events.end(), final_events.begin(),
+                       final_events.end());
+  const double serial_s = total_timer.ElapsedSeconds();
+  const RunOutputs serial = Snapshot(&engine, std::move(serial_events));
+  g_records.push_back({1, 0, serial_s, stream.size() / serial_s, 1.0, true});
 
   std::printf("E10: end-to-end pipeline latency (%zu vessels, %zu reports, "
-              "%zu events, %zu critical points, %zu triples)\n\n",
-              fleet.num_vessels, stream.size(), event_count,
-              engine.critical_points(), engine.triples().size());
+              "%zu events, %zu critical points, %zu triples%s)\n\n",
+              fleet.num_vessels, stream.size(), serial.events.size(),
+              engine.critical_points(), engine.triples().size(),
+              quick ? ", quick" : "");
 
   const auto& lat = engine.latencies();
   PrintStage("synopses", lat.synopses_ms);
@@ -62,11 +136,50 @@ void Run() {
   PrintStage("TOTAL", lat.total_ms);
   std::printf("\n  sustained throughput: %.0f reports/s (%.2f s wall for "
               "%lld min of simulated traffic => %.0fx real time)\n",
-              stream.size() / total_s, total_s,
+              stream.size() / serial_s, serial_s,
               static_cast<long long>(fleet.duration / kMinute),
-              (fleet.duration / 1000.0) / total_s);
+              (fleet.duration / 1000.0) / serial_s);
 
-  // Close the loop: partition + query what the pipeline produced.
+  // --- E10b: sharded-runtime sweep with determinism guard. -----------
+  std::printf("\nE10b: sharded IngestBatch sweep (byte-identical to the "
+              "serial loop at every shard count)\n");
+  std::printf("%8s %8s %10s %14s %9s %10s\n", "shards", "threads", "wall_s",
+              "reports_per_s", "speedup", "identical");
+  std::printf("%8s %8d %10.3f %14.0f %9s %10s\n", "serial", 0, serial_s,
+              stream.size() / serial_s, "1.0x", "-");
+  bool ok = true;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    DatacronEngine sharded(EngineConfig(shards));
+    ThreadPool pool(shards);
+    Stopwatch timer;
+    std::vector<Event> events = sharded.IngestBatch(stream, &pool);
+    const auto fin = sharded.Finish();
+    events.insert(events.end(), fin.begin(), fin.end());
+    const double wall_s = timer.ElapsedSeconds();
+    const RunOutputs outputs = Snapshot(&sharded, std::move(events));
+    const bool identical = outputs == serial;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: sharded run differs from serial "
+                   "at %zu shards\n",
+                   shards);
+      ok = false;
+    }
+    g_records.push_back({static_cast<int>(shards),
+                         static_cast<int>(pool.num_threads()), wall_s,
+                         stream.size() / wall_s, serial_s / wall_s,
+                         identical});
+    std::printf("%8zu %8zu %10.3f %14.0f %8.1fx %10s\n", shards,
+                pool.num_threads(), wall_s, stream.size() / wall_s,
+                serial_s / wall_s, identical ? "yes" : "NO");
+    if (shards == 8) {
+      std::printf("\n  per-operator metrics (8 shards, keyed rows merged "
+                  "across shards):\n");
+      std::printf("%s", sharded.MetricsReport().c_str());
+    }
+  }
+
+  // --- Close the loop: partition + query what the pipeline produced. --
   auto scheme = HilbertPartitioner::Build(4, &engine.rdfizer()->tags(),
                                           engine.rdfizer()->grid());
   PartitionedRdfStore store;
@@ -87,11 +200,17 @@ void Run() {
               "-> %zu rows in %.2f ms (%s)\n",
               store.TotalTriples(), load_ms, rs.rows.size(),
               query_timer.ElapsedMillis(), rs.stats.ToString().c_str());
+
+  WriteJson("BENCH_engine.json", stream.size());
+  return ok ? 0 : 1;
 }
 
 }  // namespace datacron
 
-int main() {
-  datacron::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  return datacron::Run(quick);
 }

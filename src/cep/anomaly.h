@@ -15,6 +15,9 @@ namespace datacron {
 /// maritime "dark activity" analysis.
 class GapDetector : public Operator<PositionReport, Event> {
  public:
+  /// Last-report state is per entity: safe to shard by entity.
+  static constexpr StageKind kStage = StageKind::kKeyed;
+
   struct Config {
     DurationMs gap_threshold = 10 * kMinute;
   };
@@ -37,6 +40,9 @@ class GapDetector : public Operator<PositionReport, Event> {
 /// is normal; a trawler doing 25 kn is not).
 class SpeedAnomalyDetector : public Operator<PositionReport, Event> {
  public:
+  /// Speed profile is per entity: safe to shard by entity.
+  static constexpr StageKind kStage = StageKind::kKeyed;
+
   struct Config {
     /// Minimum history before the profile is trusted.
     std::size_t warmup_reports = 30;

@@ -23,6 +23,9 @@ namespace datacron {
 /// Re-alarms for the same pair are suppressed for `realarm_interval`.
 class ProximityDetector : public Operator<PositionReport, Event> {
  public:
+  /// Pair state spans entities: must see the whole stream.
+  static constexpr StageKind kStage = StageKind::kGlobal;
+
   struct Config {
     BoundingBox region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
     /// Encounter distance.
@@ -62,6 +65,9 @@ class ProximityDetector : public Operator<PositionReport, Event> {
 /// Area entry/exit recognizer over named polygons.
 class AreaEventDetector : public Operator<PositionReport, Event> {
  public:
+  /// Inside/outside state is per (entity, area): safe to shard by entity.
+  static constexpr StageKind kStage = StageKind::kKeyed;
+
   explicit AreaEventDetector(std::vector<NamedArea> areas);
 
   void Process(const PositionReport& report,
@@ -77,6 +83,9 @@ class AreaEventDetector : public Operator<PositionReport, Event> {
 /// displacement over the window stays under the radius.
 class LoiteringDetector : public Operator<PositionReport, Event> {
  public:
+  /// Displacement window is per entity: safe to shard by entity.
+  static constexpr StageKind kStage = StageKind::kKeyed;
+
   struct Config {
     DurationMs window = 20 * kMinute;
     double radius_m = 1000.0;
@@ -104,6 +113,9 @@ class LoiteringDetector : public Operator<PositionReport, Event> {
 /// kCapacityForecast before the overload happens.
 class CapacityMonitor : public Operator<PositionReport, Event> {
  public:
+  /// Sector occupancy counts all entities: must see the whole stream.
+  static constexpr StageKind kStage = StageKind::kGlobal;
+
   struct Sector {
     std::string name;
     Polygon polygon;

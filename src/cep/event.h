@@ -53,6 +53,10 @@ struct Event {
 
   DurationMs LeadTime() const { return predicted_time - time; }
 
+  /// Field-wise equality; lets tests assert byte-identity of event
+  /// streams across serial and sharded engine runs.
+  bool operator==(const Event&) const = default;
+
   std::string ToString() const;
 };
 

@@ -75,6 +75,9 @@ class HotspotAnalyzer {
 /// kHotspotForecast for emerging ones.
 class HotspotDetector : public Operator<PositionReport, Event> {
  public:
+  /// Cell density aggregates across entities: must see the whole stream.
+  static constexpr StageKind kStage = StageKind::kGlobal;
+
   HotspotDetector(HotspotAnalyzer::Config config, DurationMs window);
 
   void Process(const PositionReport& report,

@@ -1,6 +1,7 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
@@ -55,6 +56,38 @@ double PercentileTracker::Percentile(double p) const {
   const double frac = rank - lo;
   if (lo + 1 >= samples_.size()) return samples_.back();
   return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void LogHistogram::Add(double x) {
+  const auto v = x <= 0.0 ? std::uint64_t{0} : static_cast<std::uint64_t>(x);
+  const std::size_t b =
+      v == 0 ? 0
+             : std::min<std::size_t>(kBuckets - 1,
+                                     64 - std::countl_zero(v));
+  ++counts_[b];
+  ++total_;
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double want = p / 100.0 * static_cast<double>(total_);
+  std::size_t rank = static_cast<std::size_t>(std::ceil(want));
+  rank = std::min(std::max<std::size_t>(rank, 1), total_);
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= rank) {
+      if (b == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      return lo * 1.5;  // midpoint of [2^(b-1), 2^b)
+    }
+  }
+  return 0.0;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -1,20 +1,38 @@
 #include "datacron/engine.h"
 
+#include <algorithm>
+#include <cstdio>
+
+#include "common/flat_hash.h"
+#include "common/thread_pool.h"
 #include "common/time_utils.h"
+#include "stream/sharded_runtime.h"
 
 namespace datacron {
+
+// The engine's placement of each operator must agree with the operator's
+// own declared stage kind — a keyed operator accidentally holding
+// cross-entity state would silently break shard-count invariance.
+static_assert(CriticalPointDetector::kStage == StageKind::kKeyed);
+static_assert(AreaEventDetector::kStage == StageKind::kKeyed);
+static_assert(LoiteringDetector::kStage == StageKind::kKeyed);
+static_assert(GapDetector::kStage == StageKind::kKeyed);
+static_assert(SpeedAnomalyDetector::kStage == StageKind::kKeyed);
+static_assert(EpisodeBuilder::kStage == StageKind::kKeyed);
+static_assert(ProximityDetector::kStage == StageKind::kGlobal);
+static_assert(CapacityMonitor::kStage == StageKind::kGlobal);
+static_assert(HotspotDetector::kStage == StageKind::kGlobal);
 
 DatacronEngine::DatacronEngine(Config config)
     : config_(std::move(config)),
       vocab_(std::make_unique<Vocab>(&dict_)),
       rdfizer_(std::make_unique<Rdfizer>(config_.rdf, &dict_, vocab_.get())),
-      detector_(config_.synopses),
-      proximity_(config_.proximity),
-      area_events_(config_.areas),
-      loitering_(config_.loitering),
-      gap_(config_.gap),
-      speed_anomaly_(config_.speed_anomaly),
-      episode_builder_(config_.areas) {
+      proximity_(config_.proximity) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    shards_.emplace_back(config_);
+  }
   if (!config_.sectors.empty()) {
     capacity_ = std::make_unique<CapacityMonitor>(config_.sectors,
                                                   config_.capacity);
@@ -25,86 +43,247 @@ DatacronEngine::DatacronEngine(Config config)
   }
 }
 
-std::vector<Event> DatacronEngine::Ingest(const PositionReport& report) {
-  std::vector<Event> events;
-  const std::int64_t t_start = MonotonicNanos();
-  ++reports_ingested_;
+std::size_t DatacronEngine::ShardOf(EntityId entity) const {
+  return MixU64(entity) % shards_.size();
+}
 
+void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
+                                  TermSource* serial_terms,
+                                  ReportOutput* out) {
   // 1. In-situ processing: synopses.
+  const std::int64_t t0 = MonotonicNanos();
   std::vector<CriticalPoint> cps;
-  detector_.ProcessCounted(report, &cps);
-  critical_points_ += cps.size();
-  const std::int64_t t_synopses = MonotonicNanos();
+  shard->detector.ProcessCounted(report, &cps);
+  out->cp_count = cps.size();
+  const std::int64_t t1 = MonotonicNanos();
 
   // 2. Data transformation: critical points (or everything) to RDF, and
   //    semantic-trajectory episodes derived from the synopsis.
-  if (config_.rdfize_all_reports) {
-    const std::vector<Triple> ts = rdfizer_->TransformReport(report);
-    triples_.insert(triples_.end(), ts.begin(), ts.end());
-  } else {
-    for (const CriticalPoint& cp : cps) {
-      const std::vector<Triple> ts = rdfizer_->TransformCriticalPoint(cp);
-      triples_.insert(triples_.end(), ts.begin(), ts.end());
+  if (config_.rdfize_all_reports || !cps.empty()) {
+    TermSource* terms = serial_terms;
+    if (terms == nullptr) {
+      out->terms = std::make_unique<TermBatch>(&dict_);
+      terms = out->terms.get();
     }
-  }
-  std::vector<Episode> completed;
-  for (const CriticalPoint& cp : cps) {
-    episode_builder_.Process(cp, &completed);
-  }
-  for (const Episode& e : completed) {
-    const std::vector<Triple> ts = rdfizer_->TransformEpisode(e);
-    triples_.insert(triples_.end(), ts.begin(), ts.end());
-    episodes_.push_back(e);
-  }
-  const std::int64_t t_transform = MonotonicNanos();
 
-  // 3. Trajectory management.
+    // Pre-seed the sink with this entity's RDF continuation state,
+    // reconstructed by re-interning IRI text. Each IRI either already
+    // exists in the global dictionary or was first interned by an earlier
+    // report of this same entity — whose batch merges earlier in input
+    // order — so re-interning never allocates an id out of
+    // first-occurrence order and the ids match the serial run.
+    const EntityId entity = report.entity_id;
+    std::unordered_map<EntityId, TermId> prev_node;
+    std::unordered_map<EntityId, TermId> known;
+    if (shard->rdf_known.count(entity) > 0) {
+      known.emplace(entity, terms->Intern(EntityIri(entity)));
+    }
+    if (config_.rdf.emit_sequence_links) {
+      auto prev_it = shard->prev_node_ts.find(entity);
+      if (prev_it != shard->prev_node_ts.end()) {
+        prev_node.emplace(
+            entity, terms->Intern(PositionNodeIri(entity, prev_it->second)));
+      }
+    }
+    Rdfizer::Sink sink;
+    sink.terms = terms;
+    sink.tags = &out->tags;
+    sink.node_geo = &out->node_geo;
+    sink.prev_node = &prev_node;
+    sink.known_entities = &known;
+
+    if (config_.rdfize_all_reports) {
+      rdfizer_->TransformReportInto(report, sink, &out->triples);
+      shard->prev_node_ts[entity] = report.timestamp;
+      shard->rdf_known.insert(entity);
+    } else {
+      for (const CriticalPoint& cp : cps) {
+        rdfizer_->TransformCriticalPointInto(cp, sink, &out->triples);
+        // Gap-start points carry the pre-gap report, so the last cp's
+        // timestamp — not the report's — is the continuation point.
+        shard->prev_node_ts[cp.report.entity_id] = cp.report.timestamp;
+        shard->rdf_known.insert(cp.report.entity_id);
+      }
+    }
+    std::vector<Episode> completed;
+    for (const CriticalPoint& cp : cps) {
+      shard->episode_builder.Process(cp, &completed);
+    }
+    for (const Episode& e : completed) {
+      rdfizer_->TransformEpisodeInto(e, sink, &out->triples);
+    }
+    out->episodes = std::move(completed);
+  }
+  const std::int64_t t2 = MonotonicNanos();
+
+  // 4a. Keyed complex event recognition (global CEP runs in
+  //     AbsorbOutput, which splices these events in after proximity).
+  shard->area_events.ProcessCounted(report, &out->keyed_events);
+  shard->loitering.ProcessCounted(report, &out->keyed_events);
+  shard->gap.ProcessCounted(report, &out->keyed_events);
+  shard->speed_anomaly.ProcessCounted(report, &out->keyed_events);
+
+  out->synopses_ns = t1 - t0;
+  out->transform_ns = t2 - t1;
+  out->keyed_cep_ns = MonotonicNanos() - t2;
+}
+
+void DatacronEngine::AbsorbOutput(const PositionReport& report,
+                                  ReportOutput* out,
+                                  std::vector<Event>* events) {
+  ++reports_ingested_;
+  critical_points_ += out->cp_count;
+
+  // 3. Trajectory management + deterministic merge of keyed outputs.
+  const std::int64_t t0 = MonotonicNanos();
+  if (out->terms != nullptr) {
+    const std::vector<TermId> remap = dict_.MergeBatch(*out->terms);
+    triples_.reserve(triples_.size() + out->triples.size());
+    for (const Triple& t : out->triples) {
+      triples_.push_back({RemapTerm(t.s, remap), RemapTerm(t.p, remap),
+                          RemapTerm(t.o, remap)});
+    }
+    rdfizer_->AbsorbSideTables(out->tags, out->node_geo, remap);
+  } else {
+    triples_.insert(triples_.end(), out->triples.begin(),
+                    out->triples.end());
+    rdfizer_->AbsorbSideTables(out->tags, out->node_geo, {});
+  }
+  for (Episode& e : out->episodes) episodes_.push_back(std::move(e));
   trajectories_.Add(report);
   predictor_.Observe(report);
-  const std::int64_t t_trajectory = MonotonicNanos();
+  const std::int64_t t1 = MonotonicNanos();
 
-  // 4. Complex event recognition & forecasting.
-  proximity_.ProcessCounted(report, &events);
-  area_events_.ProcessCounted(report, &events);
-  loitering_.ProcessCounted(report, &events);
-  gap_.ProcessCounted(report, &events);
-  speed_anomaly_.ProcessCounted(report, &events);
-  if (capacity_ != nullptr) capacity_->ProcessCounted(report, &events);
-  if (hotspots_ != nullptr) hotspots_->ProcessCounted(report, &events);
-  const std::int64_t t_end = MonotonicNanos();
+  // 4b. Global complex event recognition. The serial engine emits
+  //     proximity, area, loitering, gap, speed, capacity, hotspot per
+  //     report; keyed_events holds the middle four already in order.
+  proximity_.ProcessCounted(report, events);
+  events->insert(events->end(), out->keyed_events.begin(),
+                 out->keyed_events.end());
+  if (capacity_ != nullptr) capacity_->ProcessCounted(report, events);
+  if (hotspots_ != nullptr) hotspots_->ProcessCounted(report, events);
+  const std::int64_t t2 = MonotonicNanos();
 
-  latencies_.synopses_ms.Add((t_synopses - t_start) / 1e6);
-  latencies_.transform_ms.Add((t_transform - t_synopses) / 1e6);
-  latencies_.trajectory_ms.Add((t_trajectory - t_transform) / 1e6);
-  latencies_.cep_ms.Add((t_end - t_trajectory) / 1e6);
-  latencies_.total_ms.Add((t_end - t_start) / 1e6);
+  latencies_.synopses_ms.Add(out->synopses_ns / 1e6);
+  latencies_.transform_ms.Add(out->transform_ns / 1e6);
+  latencies_.trajectory_ms.Add((t1 - t0) / 1e6);
+  latencies_.cep_ms.Add((out->keyed_cep_ns + (t2 - t1)) / 1e6);
+  latencies_.total_ms.Add(
+      (out->synopses_ns + out->transform_ns + out->keyed_cep_ns +
+       (t2 - t0)) /
+      1e6);
+}
+
+std::vector<Event> DatacronEngine::Ingest(const PositionReport& report) {
+  std::vector<Event> events;
+  ReportOutput out;
+  ProcessKeyed(&shards_[ShardOf(report.entity_id)], report, &dict_, &out);
+  AbsorbOutput(report, &out, &events);
+  return events;
+}
+
+std::vector<Event> DatacronEngine::IngestBatch(
+    std::span<const PositionReport> reports, ThreadPool* pool) {
+  std::vector<Event> events;
+  typename ShardedRuntime<PositionReport, ReportOutput>::Options opts;
+  opts.num_shards = shards_.size();
+  opts.epoch_size = config_.epoch_size;
+  opts.max_epochs_in_flight = config_.max_epochs_in_flight;
+  ShardedRuntime<PositionReport, ReportOutput> runtime(opts);
+
+  // Without real parallelism, intern straight into the global dictionary
+  // (no per-report TermBatch merge overhead); the runtime routes by the
+  // same key either way, so keyed state lands on the same shards.
+  const bool parallel = pool != nullptr && shards_.size() > 1;
+  runtime.Run(
+      reports, parallel ? pool : nullptr,
+      [](const PositionReport& r) { return MixU64(r.entity_id); },
+      [this, parallel](std::size_t shard, const PositionReport& r,
+                       ReportOutput* out) {
+        ProcessKeyed(&shards_[shard], r, parallel ? nullptr : &dict_, out);
+      },
+      [this, &events](std::span<const PositionReport> items,
+                      std::span<ReportOutput> slots) {
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          AbsorbOutput(items[i], &slots[i], &events);
+        }
+      });
   return events;
 }
 
 std::vector<Event> DatacronEngine::Finish() {
   std::vector<Event> events;
+
+  // Per-shard trajectory-end flushes, merged in ascending entity order —
+  // exactly the std::map iteration order a single detector would emit.
+  // Entity sets are disjoint across shards, so the order is total.
   std::vector<CriticalPoint> cps;
-  detector_.Flush(&cps);
+  for (Shard& s : shards_) s.detector.Flush(&cps);
+  std::stable_sort(cps.begin(), cps.end(),
+                   [](const CriticalPoint& a, const CriticalPoint& b) {
+                     return a.report.entity_id < b.report.entity_id;
+                   });
   critical_points_ += cps.size();
+
+  std::unordered_map<TermId, StTag> tags;
+  std::unordered_map<TermId, NodeGeo> node_geo;
   if (!config_.rdfize_all_reports) {
     for (const CriticalPoint& cp : cps) {
-      const std::vector<Triple> ts = rdfizer_->TransformCriticalPoint(cp);
-      triples_.insert(triples_.end(), ts.begin(), ts.end());
+      const EntityId entity = cp.report.entity_id;
+      Shard& shard = shards_[ShardOf(entity)];
+      std::unordered_map<EntityId, TermId> prev_node;
+      std::unordered_map<EntityId, TermId> known;
+      if (shard.rdf_known.count(entity) > 0) {
+        known.emplace(entity, dict_.Intern(EntityIri(entity)));
+      }
+      if (config_.rdf.emit_sequence_links) {
+        auto prev_it = shard.prev_node_ts.find(entity);
+        if (prev_it != shard.prev_node_ts.end()) {
+          prev_node.emplace(
+              entity, dict_.Intern(PositionNodeIri(entity, prev_it->second)));
+        }
+      }
+      Rdfizer::Sink sink;
+      sink.terms = &dict_;
+      sink.tags = &tags;
+      sink.node_geo = &node_geo;
+      sink.prev_node = &prev_node;
+      sink.known_entities = &known;
+      rdfizer_->TransformCriticalPointInto(cp, sink, &triples_);
+      shard.prev_node_ts[entity] = cp.report.timestamp;
+      shard.rdf_known.insert(entity);
     }
   }
+
   std::vector<Episode> completed;
   for (const CriticalPoint& cp : cps) {
-    episode_builder_.Process(cp, &completed);
+    shards_[ShardOf(cp.report.entity_id)].episode_builder.Process(
+        cp, &completed);
   }
-  episode_builder_.Flush(&completed);
+  // Trailing (still-open) episodes: per-shard flushes merged by entity,
+  // matching the single-builder map order.
+  std::vector<Episode> trailing;
+  for (Shard& s : shards_) s.episode_builder.Flush(&trailing);
+  std::stable_sort(trailing.begin(), trailing.end(),
+                   [](const Episode& a, const Episode& b) {
+                     return a.entity < b.entity;
+                   });
+  completed.insert(completed.end(), trailing.begin(), trailing.end());
+
+  Rdfizer::Sink episode_sink;
+  episode_sink.terms = &dict_;
+  episode_sink.tags = &tags;
+  episode_sink.node_geo = &node_geo;
   for (const Episode& e : completed) {
-    const std::vector<Triple> ts = rdfizer_->TransformEpisode(e);
-    triples_.insert(triples_.end(), ts.begin(), ts.end());
+    rdfizer_->TransformEpisodeInto(e, episode_sink, &triples_);
     episodes_.push_back(e);
   }
+  rdfizer_->AbsorbSideTables(tags, node_geo, {});
+
   proximity_.Flush(&events);
-  area_events_.Flush(&events);
-  loitering_.Flush(&events);
+  // Keyed CEP flushes are no-ops today; looped per shard for symmetry.
+  for (Shard& s : shards_) s.area_events.Flush(&events);
+  for (Shard& s : shards_) s.loitering.Flush(&events);
   if (capacity_ != nullptr) capacity_->Flush(&events);
   if (hotspots_ != nullptr) hotspots_->Flush(&events);
   return events;
@@ -115,6 +294,50 @@ TripleStore DatacronEngine::BuildStore(ThreadPool* pool) const {
   store.AddBatch(triples_);
   store.Seal(pool);
   return store;
+}
+
+std::string DatacronEngine::MetricsReport() const {
+  struct Row {
+    const char* stage;
+    OperatorMetrics m;
+    std::size_t shards;
+  };
+  std::vector<Row> rows;
+  const auto merged = [this](auto member) {
+    OperatorMetrics m;
+    for (const Shard& s : shards_) m.Merge((s.*member).metrics());
+    return m;
+  };
+  const std::size_t n = shards_.size();
+  rows.push_back({"synopses", merged(&Shard::detector), n});
+  rows.push_back({"cep-keyed", merged(&Shard::area_events), n});
+  rows.push_back({"cep-keyed", merged(&Shard::loitering), n});
+  rows.push_back({"cep-keyed", merged(&Shard::gap), n});
+  rows.push_back({"cep-keyed", merged(&Shard::speed_anomaly), n});
+  rows.push_back({"cep-global", proximity_.metrics(), 1});
+  if (capacity_ != nullptr) {
+    rows.push_back({"cep-global", capacity_->metrics(), 1});
+  }
+  if (hotspots_ != nullptr) {
+    rows.push_back({"cep-global", hotspots_->metrics(), 1});
+  }
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-10s %-24s %6s %10s %10s %7s %10s %10s\n", "stage",
+                "operator", "shards", "items_in", "items_out", "sel%",
+                "p50_ns", "p99_ns");
+  out += line;
+  for (const Row& r : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-10s %-24s %6zu %10zu %10zu %6.1f%% %10.0f %10.0f\n",
+                  r.stage, r.m.name.c_str(), r.shards, r.m.items_in,
+                  r.m.items_out, r.m.SelectivityPct(), r.m.latency_ns.p50(),
+                  r.m.latency_ns.p99());
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace datacron

@@ -2,6 +2,10 @@
 #define DATACRON_DATACRON_ENGINE_H_
 
 #include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cep/anomaly.h"
@@ -29,6 +33,17 @@ namespace datacron {
 /// Ingest() pushes one report through every stage and accounts wall time
 /// per stage — the "operational latency in ms" requirement of Section 4
 /// is validated by E10 over these trackers.
+///
+/// The engine is key-partitioned: every per-entity ("keyed") operator —
+/// synopses, keyed CEP detectors, episode building, per-entity RDF
+/// continuation state — lives in one of `Config::num_shards` shards,
+/// selected by hashing the entity id. IngestBatch() runs the shards in
+/// parallel on a ThreadPool via ShardedRuntime while the cross-entity
+/// ("global") stages — proximity/capacity/hotspot CEP, dictionary merge,
+/// trajectory store, predictor — consume the per-report outputs on the
+/// calling thread in input order. Events, triples, episodes, trajectories
+/// and dictionary ids are byte-identical to a serial run at any shard
+/// count (see DESIGN.md, "Sharded online engine").
 class DatacronEngine {
  public:
   struct Config {
@@ -49,15 +64,33 @@ class DatacronEngine {
     /// RDF-ize every report instead of only critical points (costlier;
     /// default keeps the synopses-compressed path the paper advocates).
     bool rdfize_all_reports = false;
+    /// Keyed-state partitions (clamped to >= 1). IngestBatch runs them in
+    /// parallel; output is identical at any value.
+    std::size_t num_shards = 1;
+    /// Reports per epoch of the sharded runtime (IngestBatch only).
+    std::size_t epoch_size = 1024;
+    /// Epochs the router may run ahead of the in-order merge stage.
+    std::size_t max_epochs_in_flight = 4;
   };
 
   explicit DatacronEngine(Config config);
 
   /// Processes one report through all stages; returns the complex events
-  /// it triggered.
+  /// it triggered. This is the 1-shard special case of IngestBatch: the
+  /// report runs through its shard inline, then through the global stages.
   std::vector<Event> Ingest(const PositionReport& report);
 
+  /// Processes a batch through the sharded runtime: keyed stages in
+  /// parallel on `pool` (null pool or a single shard degrade to the
+  /// serial path), global stages on the calling thread in input order.
+  /// Returns the concatenated events in the same order a serial
+  /// report-by-report Ingest loop would produce.
+  std::vector<Event> IngestBatch(std::span<const PositionReport> reports,
+                                 ThreadPool* pool);
+
   /// Flushes stateful operators (trajectory ends, last windows).
+  /// Per-shard flush outputs are merged in ascending entity order, so the
+  /// result is independent of the shard count.
   std::vector<Event> Finish();
 
   // -- component access -----------------------------------------------
@@ -95,21 +128,81 @@ class DatacronEngine {
 
   std::size_t reports_ingested() const { return reports_ingested_; }
   std::size_t critical_points() const { return critical_points_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Formatted per-stage, per-detector observability table: items in/out,
+  /// selectivity and p50/p99 process nanos. Keyed operators report their
+  /// per-shard metrics merged via OperatorMetrics::Merge.
+  std::string MetricsReport() const;
 
  private:
+  /// All keyed (entity-partitioned) state. Each entity is owned by
+  /// exactly one shard (ShardOf), so shards never share mutable state and
+  /// the keyed stage runs lock-free in parallel.
+  struct Shard {
+    explicit Shard(const Config& config)
+        : detector(config.synopses),
+          area_events(config.areas),
+          loitering(config.loitering),
+          gap(config.gap),
+          speed_anomaly(config.speed_anomaly),
+          episode_builder(config.areas) {}
+
+    CriticalPointDetector detector;
+    AreaEventDetector area_events;
+    LoiteringDetector loitering;
+    GapDetector gap;
+    SpeedAnomalyDetector speed_anomaly;
+    EpisodeBuilder episode_builder;
+    /// Timestamp of the entity's last emitted RDF node; the previous-node
+    /// IRI is reconstructed from it when pre-seeding a transform sink, so
+    /// sequence links chain correctly across reports without the shard
+    /// holding (possibly batch-local) TermIds.
+    std::unordered_map<EntityId, TimestampMs> prev_node_ts;
+    /// Entities whose entity-level typing triples were already emitted.
+    std::unordered_set<EntityId> rdf_known;
+  };
+
+  /// Everything the keyed stage produces for one report; carried from the
+  /// shard to the in-order global stage by the sharded runtime.
+  struct ReportOutput {
+    std::size_t cp_count = 0;
+    std::vector<Event> keyed_events;
+    std::vector<Episode> episodes;
+    std::vector<Triple> triples;
+    /// Batch-local term ids to merge (null when the keyed stage interned
+    /// straight into the global dictionary — Ingest and the no-pool path).
+    std::unique_ptr<TermBatch> terms;
+    std::unordered_map<TermId, StTag> tags;
+    std::unordered_map<TermId, NodeGeo> node_geo;
+    std::int64_t synopses_ns = 0;
+    std::int64_t transform_ns = 0;
+    std::int64_t keyed_cep_ns = 0;
+  };
+
+  std::size_t ShardOf(EntityId entity) const;
+
+  /// Keyed stage: synopses, RDF transform, episode building, keyed CEP —
+  /// touches only `shard` state and `out`. With `serial_terms` set the
+  /// transform interns into it directly; otherwise a per-report TermBatch
+  /// is created in `out` for the coordinator to merge in input order.
+  void ProcessKeyed(Shard* shard, const PositionReport& report,
+                    TermSource* serial_terms, ReportOutput* out);
+
+  /// Global stage for one report, on the calling thread in input order:
+  /// global CEP, dictionary merge + triple/episode/side-table absorption,
+  /// trajectory store, predictor, latency accounting.
+  void AbsorbOutput(const PositionReport& report, ReportOutput* out,
+                    std::vector<Event>* events);
+
   Config config_;
   TermDictionary dict_;
   std::unique_ptr<Vocab> vocab_;
   std::unique_ptr<Rdfizer> rdfizer_;
-  CriticalPointDetector detector_;
+  std::vector<Shard> shards_;
   ProximityDetector proximity_;
-  AreaEventDetector area_events_;
-  LoiteringDetector loitering_;
-  GapDetector gap_;
-  SpeedAnomalyDetector speed_anomaly_;
   std::unique_ptr<CapacityMonitor> capacity_;   // null when no sectors
   std::unique_ptr<HotspotDetector> hotspots_;   // null when window == 0
-  EpisodeBuilder episode_builder_;
   std::vector<Episode> episodes_;
   TrajectoryStore trajectories_;
   DeadReckoningPredictor predictor_;

@@ -108,9 +108,69 @@ TermId Rdfizer::EmitNode(const PositionReport& report, const Sink& sink,
 std::vector<Triple> Rdfizer::TransformReport(const PositionReport& report) {
   std::vector<Triple> out;
   out.reserve(14);
-  const Sink sink = MemberSink();
-  EmitNode(report, sink, &out);
+  TransformReportInto(report, MemberSink(), &out);
   return out;
+}
+
+void Rdfizer::TransformReportInto(const PositionReport& report,
+                                  const Sink& sink,
+                                  std::vector<Triple>* out) const {
+  EmitNode(report, sink, out);
+}
+
+void Rdfizer::TransformCriticalPointInto(const CriticalPoint& cp,
+                                         const Sink& sink,
+                                         std::vector<Triple>* out) const {
+  const TermId node = EmitNode(cp.report, sink, out);
+  out->push_back({node, vocab_->p_node_kind,
+                  sink.terms->Intern(CriticalPointTypeName(cp.type),
+                                     TermKind::kLiteralString)});
+}
+
+void Rdfizer::TransformEpisodeInto(const Episode& episode, const Sink& sink,
+                                   std::vector<Triple>* out) const {
+  TermSource& terms = *sink.terms;
+  const TermId ep =
+      terms.Intern(EpisodeIri(episode.entity, episode.start_time));
+  const TermId entity = terms.Intern(EntityIri(episode.entity));
+  out->push_back({ep, vocab_->p_type, vocab_->c_episode});
+  out->push_back({ep, vocab_->p_of_entity, entity});
+  out->push_back({ep, vocab_->p_episode_kind,
+                  terms.Intern(EpisodeKindName(episode.kind),
+                               TermKind::kLiteralString)});
+  out->push_back({ep, vocab_->p_episode_start,
+                  terms.InternDateTime(episode.start_time)});
+  out->push_back(
+      {ep, vocab_->p_episode_end, terms.InternDateTime(episode.end_time)});
+  out->push_back(
+      {ep, vocab_->p_path_length, terms.InternDouble(episode.path_m)});
+  if (!episode.area.empty()) {
+    const TermId area = terms.Intern(AreaIri(episode.area));
+    out->push_back({area, vocab_->p_type, vocab_->c_area});
+    out->push_back({ep, vocab_->p_within_area, area});
+  }
+  const GridCell cell = grid_.CellOf(episode.start_pos.ll());
+  const std::int64_t bucket = BucketOf(episode.start_time);
+  out->push_back(
+      {ep, vocab_->p_in_cell, terms.Intern(CellIri(cell.ix, cell.iy))});
+  out->push_back(
+      {ep, vocab_->p_in_bucket, terms.Intern(BucketIri(bucket))});
+  (*sink.tags)[ep] = StTag{cell, bucket};
+  (*sink.node_geo)[ep] =
+      NodeGeo{episode.start_pos.lat_deg, episode.start_pos.lon_deg,
+              episode.start_pos.alt_m, episode.start_time};
+}
+
+void Rdfizer::AbsorbSideTables(
+    const std::unordered_map<TermId, StTag>& tags,
+    const std::unordered_map<TermId, NodeGeo>& node_geo,
+    const std::vector<TermId>& remap) {
+  for (const auto& [node, tag] : tags) {
+    tags_[RemapTerm(node, remap)] = tag;
+  }
+  for (const auto& [node, geo] : node_geo) {
+    node_geo_[RemapTerm(node, remap)] = geo;
+  }
 }
 
 std::vector<Triple> Rdfizer::TransformBatch(
@@ -199,12 +259,7 @@ std::vector<Triple> Rdfizer::TransformBatch(
       out.push_back(g);
     }
 
-    for (const auto& [node, tag] : ch.tags) {
-      tags_[RemapTerm(node, remap)] = tag;
-    }
-    for (const auto& [node, geo] : ch.node_geo) {
-      node_geo_[RemapTerm(node, remap)] = geo;
-    }
+    AbsorbSideTables(ch.tags, ch.node_geo, remap);
 
     // Stitch sequence links across the chunk boundary: last node of the
     // previous chunk (or batch) chains to this chunk's first node.
@@ -225,46 +280,14 @@ std::vector<Triple> Rdfizer::TransformBatch(
 std::vector<Triple> Rdfizer::TransformCriticalPoint(const CriticalPoint& cp) {
   std::vector<Triple> out;
   out.reserve(15);
-  const Sink sink = MemberSink();
-  const TermId node = EmitNode(cp.report, sink, &out);
-  out.push_back({node, vocab_->p_node_kind,
-                 dict_->Intern(CriticalPointTypeName(cp.type),
-                               TermKind::kLiteralString)});
+  TransformCriticalPointInto(cp, MemberSink(), &out);
   return out;
 }
 
 std::vector<Triple> Rdfizer::TransformEpisode(const Episode& episode) {
   std::vector<Triple> out;
   out.reserve(9);
-  const TermId ep = dict_->Intern(
-      EpisodeIri(episode.entity, episode.start_time));
-  const TermId entity = dict_->Intern(EntityIri(episode.entity));
-  out.push_back({ep, vocab_->p_type, vocab_->c_episode});
-  out.push_back({ep, vocab_->p_of_entity, entity});
-  out.push_back({ep, vocab_->p_episode_kind,
-                 dict_->Intern(EpisodeKindName(episode.kind),
-                               TermKind::kLiteralString)});
-  out.push_back({ep, vocab_->p_episode_start,
-                 dict_->InternDateTime(episode.start_time)});
-  out.push_back({ep, vocab_->p_episode_end,
-                 dict_->InternDateTime(episode.end_time)});
-  out.push_back(
-      {ep, vocab_->p_path_length, dict_->InternDouble(episode.path_m)});
-  if (!episode.area.empty()) {
-    const TermId area = dict_->Intern(AreaIri(episode.area));
-    out.push_back({area, vocab_->p_type, vocab_->c_area});
-    out.push_back({ep, vocab_->p_within_area, area});
-  }
-  const GridCell cell = grid_.CellOf(episode.start_pos.ll());
-  const std::int64_t bucket = BucketOf(episode.start_time);
-  out.push_back(
-      {ep, vocab_->p_in_cell, dict_->Intern(CellIri(cell.ix, cell.iy))});
-  out.push_back(
-      {ep, vocab_->p_in_bucket, dict_->Intern(BucketIri(bucket))});
-  tags_[ep] = StTag{cell, bucket};
-  node_geo_[ep] =
-      NodeGeo{episode.start_pos.lat_deg, episode.start_pos.lon_deg,
-              episode.start_pos.alt_m, episode.start_time};
+  TransformEpisodeInto(episode, MemberSink(), &out);
   return out;
 }
 

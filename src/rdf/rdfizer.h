@@ -54,11 +54,51 @@ class Rdfizer {
     bool emit_sequence_links = true;
   };
 
+  /// Where one transform call reads/writes shared ingest state. The serial
+  /// path points this at the members; parallel paths (TransformBatch
+  /// chunks, the sharded engine's per-report outputs) point it at local
+  /// tables (with a TermBatch as the term source) so workers never
+  /// contend, then merge deterministically.
+  struct Sink {
+    TermSource* terms = nullptr;
+    std::unordered_map<TermId, StTag>* tags = nullptr;
+    std::unordered_map<TermId, NodeGeo>* node_geo = nullptr;
+    std::unordered_map<EntityId, TermId>* prev_node = nullptr;
+    std::unordered_map<EntityId, TermId>* known_entities = nullptr;
+    /// Batch-only extras (null on the serial path): entities in
+    /// first-occurrence order, and the first node per entity, both needed
+    /// to stitch chunks back together deterministically.
+    std::vector<EntityId>* entity_order = nullptr;
+    std::unordered_map<EntityId, TermId>* first_node = nullptr;
+  };
+
   Rdfizer(const Config& config, TermDictionary* dict, const Vocab* vocab);
 
   /// Triples for one position report (~10 per report). The node resource
   /// is registered in tags() and node_geo().
   std::vector<Triple> TransformReport(const PositionReport& report);
+
+  /// Re-entrant TransformReport: all mutable state lives in `sink`, so
+  /// shard workers can transform concurrently against per-shard sinks.
+  /// No Rdfizer member is touched.
+  void TransformReportInto(const PositionReport& report, const Sink& sink,
+                           std::vector<Triple>* out) const;
+
+  /// Re-entrant TransformCriticalPoint (see TransformReportInto).
+  void TransformCriticalPointInto(const CriticalPoint& cp, const Sink& sink,
+                                  std::vector<Triple>* out) const;
+
+  /// Re-entrant TransformEpisode: needs only sink.terms/tags/node_geo.
+  void TransformEpisodeInto(const Episode& episode, const Sink& sink,
+                            std::vector<Triple>* out) const;
+
+  /// Merges sink-local tags/node_geo tables (keyed by possibly batch-local
+  /// TermIds) into the member side tables, rewriting ids through `remap`
+  /// (pass an empty remap when the sink interned straight into the global
+  /// dictionary).
+  void AbsorbSideTables(const std::unordered_map<TermId, StTag>& tags,
+                        const std::unordered_map<TermId, NodeGeo>& node_geo,
+                        const std::vector<TermId>& remap);
 
   /// Bulk variant of TransformReport: fans contiguous report chunks across
   /// `pool` workers, each interning into a thread-local TermBatch, then
@@ -101,23 +141,6 @@ class Rdfizer {
   TermId NodeIdOf(const PositionReport& report) const;
 
  private:
-  /// Where one EmitNode call reads/writes shared ingest state. The serial
-  /// path points this at the members; the parallel path points it at
-  /// chunk-local tables (with a TermBatch as the term source) so workers
-  /// never contend, then merges deterministically.
-  struct Sink {
-    TermSource* terms = nullptr;
-    std::unordered_map<TermId, StTag>* tags = nullptr;
-    std::unordered_map<TermId, NodeGeo>* node_geo = nullptr;
-    std::unordered_map<EntityId, TermId>* prev_node = nullptr;
-    std::unordered_map<EntityId, TermId>* known_entities = nullptr;
-    /// Batch-only extras (null on the serial path): entities in
-    /// first-occurrence order, and the first node per entity, both needed
-    /// to stitch chunks back together deterministically.
-    std::vector<EntityId>* entity_order = nullptr;
-    std::unordered_map<EntityId, TermId>* first_node = nullptr;
-  };
-
   /// Emits the shared node skeleton (type, entity, kinematics, cell,
   /// bucket, optional sequence link); returns the node TermId.
   TermId EmitNode(const PositionReport& report, const Sink& sink,

@@ -123,8 +123,11 @@ class TermDictionary : public TermSource {
 /// on this path — each worker owns its batch exclusively.
 class TermBatch : public TermSource {
  public:
-  /// `global` may be null (pure local batch); when set, it must not be
-  /// mutated while this batch is interning.
+  /// `global` may be null (pure local batch). Concurrent mutation of
+  /// `global` while this batch interns is allowed (Find is lock-striped):
+  /// a probe that misses a term another thread is adding just produces a
+  /// batch-local id, and MergeBatch re-interning it later is idempotent —
+  /// the remap resolves to the already-assigned global id.
   explicit TermBatch(const TermDictionary* global) : global_(global) {}
 
   TermId Intern(std::string_view text, TermKind kind = TermKind::kIri) override;

@@ -11,16 +11,46 @@
 
 namespace datacron {
 
+/// Execution placement of a stateful streaming operator in the sharded
+/// runtime (stream/sharded_runtime.h):
+///
+///  - kKeyed: all state is partitioned by entity, so the operator can be
+///    instantiated once per shard and each instance only ever sees the
+///    reports of the entities hashed to its shard — no locks, and output
+///    identical to a single instance seeing the whole stream.
+///  - kGlobal: the operator's state spans entities (pair proximity, sector
+///    occupancy, grid density); it must be fed the full stream in input
+///    order from the sequential epoch-merge stage.
+enum class StageKind : std::uint8_t { kKeyed = 0, kGlobal };
+
 /// Per-operator counters; each operator owns one and the pipeline runner
 /// aggregates them. Latency is measured per Process() call in nanoseconds.
+///
+/// The counters are deliberately *mergeable* (Merge below): anything that
+/// runs an operator from more than one thread — the sharded runtime's
+/// per-shard keyed copies, staged pipelines — gives every thread its own
+/// operator instance and folds the metrics on read, instead of mutating a
+/// shared counter across threads.
 struct OperatorMetrics {
   std::string name;
   std::size_t items_in = 0;
   std::size_t items_out = 0;
   RunningStats process_nanos;
+  /// Same samples as process_nanos, log-bucketed for p50/p99 readout.
+  LogHistogram latency_ns;
 
   double SelectivityPct() const {
     return items_in == 0 ? 0.0 : 100.0 * items_out / items_in;
+  }
+
+  /// Folds another instance's counters into this one (per-shard copies of
+  /// a keyed operator, per-thread copies of a pipeline stage).
+  void Merge(const OperatorMetrics& other) {
+    if (name.empty()) name = other.name;
+    items_in += other.items_in;
+    items_out += other.items_out;
+    process_nanos.Merge(other.process_nanos);
+    latency_ns.Merge(other.latency_ns);
   }
 };
 
@@ -45,8 +75,9 @@ class Operator {
     const std::size_t before = out->size();
     const std::int64_t t0 = MonotonicNanos();
     Process(item, out);
-    metrics_.process_nanos.Add(
-        static_cast<double>(MonotonicNanos() - t0));
+    const double dt = static_cast<double>(MonotonicNanos() - t0);
+    metrics_.process_nanos.Add(dt);
+    metrics_.latency_ns.Add(dt);
     ++metrics_.items_in;
     metrics_.items_out += out->size() - before;
   }

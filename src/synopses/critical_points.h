@@ -61,6 +61,9 @@ struct CriticalPointConfig {
 class CriticalPointDetector
     : public Operator<PositionReport, CriticalPoint> {
  public:
+  /// All state is per entity: safe to shard by entity.
+  static constexpr StageKind kStage = StageKind::kKeyed;
+
   explicit CriticalPointDetector(CriticalPointConfig config = {});
 
   void Process(const PositionReport& report,

@@ -36,6 +36,10 @@ struct Episode {
   double path_m = 0.0;
 
   DurationMs Duration() const { return end_time - start_time; }
+
+  /// Field-wise equality; lets tests assert byte-identity of episode
+  /// streams across serial and sharded engine runs.
+  bool operator==(const Episode&) const = default;
 };
 
 /// Derives episodes from the critical-point synopsis (not the raw stream —
@@ -44,6 +48,10 @@ struct Episode {
 /// Stops are annotated against `areas` by their anchor position.
 class EpisodeBuilder {
  public:
+  /// All state is per entity: safe to shard by entity. (Not an Operator
+  /// subclass, but placed like one by the sharded engine.)
+  static constexpr StageKind kStage = StageKind::kKeyed;
+
   explicit EpisodeBuilder(std::vector<NamedArea> areas = {});
 
   /// Consumes one critical point; completed episodes are appended to
