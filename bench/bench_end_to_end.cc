@@ -12,11 +12,17 @@
 // at every shard count (nonzero exit on violation) — and prints the
 // merged per-operator metrics table. Emits BENCH_engine.json; `--quick`
 // shrinks the fleet for CI smoke runs.
+//
+// E10c repeats the sweep on the cluster runtime: 1/2/4 ClusterNodes over
+// the in-process loopback transport behind a ClusterEngine coordinator,
+// with the same byte-identity guard against the serial loop, and emits
+// BENCH_cluster.json.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "cluster/local_cluster.h"
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
 #include "datacron/engine.h"
@@ -87,13 +93,45 @@ struct RunOutputs {
   bool operator==(const RunOutputs&) const = default;
 };
 
-RunOutputs Snapshot(DatacronEngine* engine, std::vector<Event> events) {
+RunOutputs Snapshot(const DatacronEngine& engine, std::vector<Event> events) {
   RunOutputs out;
   out.events = std::move(events);
-  out.triples = engine->triples();
-  out.episodes = engine->episodes();
-  out.critical_points = engine->critical_points();
+  out.triples = engine.triples();
+  out.episodes = engine.episodes();
+  out.critical_points = engine.critical_points();
   return out;
+}
+
+/// One measured cell of the cluster sweep (BENCH_cluster.json).
+struct ClusterRecord {
+  int nodes = 1;
+  double wall_s = 0.0;
+  double reports_per_s = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+std::vector<ClusterRecord> g_cluster_records;
+
+void WriteClusterJson(const char* path, std::size_t reports) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"experiment\": \"E10c_cluster\",\n");
+  std::fprintf(f, "  \"transport\": \"loopback\",\n");
+  std::fprintf(f, "  \"reports\": %zu,\n  \"records\": [\n", reports);
+  for (std::size_t i = 0; i < g_cluster_records.size(); ++i) {
+    const ClusterRecord& r = g_cluster_records[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"wall_s\": %.4f, "
+                 "\"reports_per_s\": %.0f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 r.nodes, r.wall_s, r.reports_per_s, r.speedup,
+                 r.identical ? "true" : "false",
+                 i + 1 < g_cluster_records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path, g_cluster_records.size());
 }
 
 }  // namespace
@@ -119,7 +157,7 @@ int Run(bool quick) {
   serial_events.insert(serial_events.end(), final_events.begin(),
                        final_events.end());
   const double serial_s = total_timer.ElapsedSeconds();
-  const RunOutputs serial = Snapshot(&engine, std::move(serial_events));
+  const RunOutputs serial = Snapshot(engine, std::move(serial_events));
   g_records.push_back({1, 0, serial_s, stream.size() / serial_s, 1.0, true});
 
   std::printf("E10: end-to-end pipeline latency (%zu vessels, %zu reports, "
@@ -156,7 +194,7 @@ int Run(bool quick) {
     const auto fin = sharded.Finish();
     events.insert(events.end(), fin.begin(), fin.end());
     const double wall_s = timer.ElapsedSeconds();
-    const RunOutputs outputs = Snapshot(&sharded, std::move(events));
+    const RunOutputs outputs = Snapshot(sharded, std::move(events));
     const bool identical = outputs == serial;
     if (!identical) {
       std::fprintf(stderr,
@@ -178,6 +216,67 @@ int Run(bool quick) {
       std::printf("%s", sharded.MetricsReport().c_str());
     }
   }
+
+  // --- E10c: cluster sweep with the same determinism guard. ----------
+  std::printf("\nE10c: cluster IngestBatch sweep (loopback transport, "
+              "byte-identical to the serial loop at every node count)\n");
+  std::printf("%8s %10s %14s %9s %10s\n", "nodes", "wall_s", "reports_per_s",
+              "speedup", "identical");
+  for (const std::size_t nodes : {1u, 2u, 4u}) {
+    LocalCluster::Options copts;
+    copts.engine = EngineConfig(1);
+    copts.num_nodes = nodes;
+    copts.wire = LocalCluster::Wire::kLoopback;
+    Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(copts);
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "cluster start failed at %zu nodes: %s\n", nodes,
+                   cluster.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch timer;
+    Result<std::vector<Event>> evs =
+        cluster.value()->engine().IngestBatch(stream);
+    Result<std::vector<Event>> fin = cluster.value()->engine().Finish();
+    if (!evs.ok() || !fin.ok()) {
+      std::fprintf(stderr, "cluster ingest failed at %zu nodes: %s\n", nodes,
+                   (evs.ok() ? fin.status() : evs.status())
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    const double wall_s = timer.ElapsedSeconds();
+    std::vector<Event> events = std::move(evs).value();
+    events.insert(events.end(), fin.value().begin(), fin.value().end());
+    const RunOutputs outputs =
+        Snapshot(cluster.value()->engine().engine(), std::move(events));
+    const bool identical = outputs == serial;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: cluster run differs from serial "
+                   "at %zu nodes\n",
+                   nodes);
+      ok = false;
+    }
+    g_cluster_records.push_back({static_cast<int>(nodes), wall_s,
+                                 stream.size() / wall_s, serial_s / wall_s,
+                                 identical});
+    std::printf("%8zu %10.3f %14.0f %8.1fx %10s\n", nodes, wall_s,
+                stream.size() / wall_s, serial_s / wall_s,
+                identical ? "yes" : "NO");
+    if (nodes == 4) {
+      std::printf("\n  fleet metrics (4 nodes, keyed rows merged across the "
+                  "transport):\n");
+      Result<std::string> report = cluster.value()->engine().MetricsReport();
+      if (report.ok()) std::printf("%s", report.value().c_str());
+    }
+    const Status stop = cluster.value()->Stop();
+    if (!stop.ok()) {
+      std::fprintf(stderr, "cluster stop failed at %zu nodes: %s\n", nodes,
+                   stop.ToString().c_str());
+      return 1;
+    }
+  }
+  WriteClusterJson("BENCH_cluster.json", stream.size());
 
   // --- Close the loop: partition + query what the pipeline produced. --
   auto scheme = HilbertPartitioner::Build(4, &engine.rdfizer()->tags(),

@@ -1,0 +1,287 @@
+#include "cluster/coordinator.h"
+
+#include <iterator>
+#include <utility>
+
+#include "common/flat_hash.h"
+#include "net/codec.h"
+
+namespace datacron {
+
+ClusterEngine::ClusterEngine(Options opts,
+                             std::vector<std::unique_ptr<Transport>> nodes)
+    : opts_(std::move(opts)),
+      local_(opts_.engine),
+      nodes_(std::move(nodes)),
+      watermarks_(nodes_.size()) {
+  if (opts_.engine.epoch_size == 0) opts_.engine.epoch_size = 1;
+  if (opts_.engine.max_epochs_in_flight == 0) {
+    opts_.engine.max_epochs_in_flight = 1;
+  }
+}
+
+Status ClusterEngine::Connect() {
+  if (connected_) return Status::OK();
+  const std::size_t n_nodes = nodes_.size();
+  if (n_nodes == 0) {
+    return Status::InvalidArgument("cluster has no nodes");
+  }
+  // Transports may arrive in any accept order (TCP); the Hello's node id
+  // puts each one in its routing slot.
+  std::vector<std::unique_ptr<Transport>> ordered(n_nodes);
+  std::vector<HelloMsg> hellos(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Result<std::string> payload = nodes_[i]->Recv();
+    if (!payload.ok()) return payload.status();
+    HelloMsg hello;
+    if (Status s = Decode(payload.value(), &hello); !s.ok()) return s;
+    if (hello.num_nodes != n_nodes) {
+      return Status::FailedPrecondition("node fleet-size mismatch");
+    }
+    if (hello.node_id >= n_nodes || ordered[hello.node_id] != nullptr) {
+      return Status::FailedPrecondition("duplicate or bad node id");
+    }
+    ordered[hello.node_id] = std::move(nodes_[i]);
+    hellos[hello.node_id] = std::move(hello);
+  }
+  nodes_ = std::move(ordered);
+
+  // Seed each node's remap with its construction-time baseline. The nodes
+  // share this engine's config, so the baselines resolve to the ids the
+  // coordinator's own vocabulary already holds.
+  remap_.assign(n_nodes, {});
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    local_.dictionary()->ImportDelta(hellos[n].baseline, &remap_[n]);
+  }
+  connected_ = true;
+  return Status::OK();
+}
+
+Status ClusterEngine::RetireFront(std::deque<PendingEpoch>* ring,
+                                  std::vector<Event>* events) {
+  PendingEpoch& e = ring->front();
+  const std::size_t n_nodes = nodes_.size();
+
+  std::vector<EpochResultMsg> replies(n_nodes);
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    Result<std::string> payload = nodes_[n]->Recv();
+    if (!payload.ok()) return payload.status();
+    MsgType type;
+    if (Status s = DecodeType(payload.value(), &type); !s.ok()) return s;
+    if (type == MsgType::kWatermark) {
+      WatermarkMsg wm;
+      if (Status s = Decode(payload.value(), &wm); !s.ok()) return s;
+      if (wm.epoch != e.id) {
+        return Status::Internal("epoch watermark out of order");
+      }
+      if (!e.routing.by_part[n].empty()) {
+        return Status::Internal("watermark reply for a nonempty sub-batch");
+      }
+      replies[n].epoch = wm.epoch;
+    } else {
+      if (Status s = Decode(payload.value(), &replies[n]); !s.ok()) return s;
+      if (replies[n].epoch != e.id) {
+        return Status::Internal("epoch result out of order");
+      }
+      if (replies[n].dict_size_before != remap_[n].size()) {
+        return Status::Internal("node dictionary delta stream out of sync");
+      }
+      if (replies[n].results.size() != e.routing.by_part[n].size()) {
+        return Status::Internal("epoch result count mismatch");
+      }
+    }
+    watermarks_.Advance(n, e.id);
+  }
+  if (!watermarks_.AllPassed(e.id)) {
+    return Status::Internal("epoch barrier did not release");
+  }
+
+  // Absorb per report in *input* order, remapping each report's outputs
+  // through its node's id table right after importing the report's
+  // dictionary delta — this interleaving is what reproduces the serial
+  // engine's first-occurrence id assignment.
+  std::vector<std::size_t> cursor(n_nodes, 0);
+  for (std::size_t i = 0; i < e.items.size(); ++i) {
+    const std::size_t n =
+        static_cast<std::size_t>(MixU64(e.items[i].entity_id) % n_nodes);
+    WireReportResult& res = replies[n].results[cursor[n]++];
+    std::vector<TermId>& remap = remap_[n];
+    local_.dictionary()->ImportDelta(res.new_terms, &remap);
+
+    DatacronEngine::ReportOutput out;
+    out.cp_count = res.cp_count;
+    out.keyed_events = std::move(res.keyed_events);
+    out.episodes = std::move(res.episodes);
+    out.triples.reserve(res.triples.size());
+    for (const Triple& t : res.triples) {
+      if (t.s == kInvalidTermId || t.s > remap.size() ||
+          t.p == kInvalidTermId || t.p > remap.size() ||
+          t.o == kInvalidTermId || t.o > remap.size()) {
+        return Status::Internal("triple term id outside node dictionary");
+      }
+      out.triples.push_back(
+          {remap[t.s - 1], remap[t.p - 1], remap[t.o - 1]});
+    }
+    for (const auto& [id, tag] : res.tags) {
+      if (id == kInvalidTermId || id > remap.size()) {
+        return Status::Internal("tag term id outside node dictionary");
+      }
+      out.tags.emplace(remap[id - 1], tag);
+    }
+    for (const auto& [id, geo] : res.node_geo) {
+      if (id == kInvalidTermId || id > remap.size()) {
+        return Status::Internal("node-geo term id outside node dictionary");
+      }
+      out.node_geo.emplace(remap[id - 1], geo);
+    }
+    out.synopses_ns = res.synopses_ns;
+    out.transform_ns = res.transform_ns;
+    out.keyed_cep_ns = res.keyed_cep_ns;
+    local_.AbsorbKeyedOutput(e.items[i], &out, events);
+  }
+  ring->pop_front();
+  return Status::OK();
+}
+
+Result<std::vector<Event>> ClusterEngine::IngestBatch(
+    std::span<const PositionReport> reports) {
+  if (Status s = Connect(); !s.ok()) return s;
+  const std::size_t n_nodes = nodes_.size();
+  std::vector<Event> events;
+  std::deque<PendingEpoch> ring;
+  Status failure = Status::OK();
+  std::int64_t epochs = 0;
+
+  ForEachEpoch(reports.size(), opts_.engine.epoch_size,
+               [&](std::int64_t id, std::size_t pos, std::size_t len) {
+    if (!failure.ok()) return;
+    while (ring.size() >= opts_.engine.max_epochs_in_flight) {
+      if (Status s = RetireFront(&ring, &events); !s.ok()) {
+        failure = s;
+        return;
+      }
+    }
+    PendingEpoch e;
+    e.id = next_epoch_ + id;
+    e.items = reports.subspan(pos, len);
+    e.routing = EpochRouting::Build(
+        e.items, n_nodes,
+        [](const PositionReport& r) { return MixU64(r.entity_id); });
+    // Every node receives every epoch (possibly empty) so its reply
+    // stream stays aligned with the epoch sequence and the watermark
+    // barrier can release.
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      ReportBatchMsg msg;
+      msg.epoch = e.id;
+      msg.reports.reserve(e.routing.by_part[n].size());
+      for (std::uint32_t idx : e.routing.by_part[n]) {
+        msg.reports.push_back(e.items[idx]);
+      }
+      if (Status s = nodes_[n]->Send(Encode(msg)); !s.ok()) {
+        failure = s;
+        return;
+      }
+    }
+    ring.push_back(std::move(e));
+    epochs = id + 1;
+  });
+  if (!failure.ok()) return failure;
+  while (!ring.empty()) {
+    if (Status s = RetireFront(&ring, &events); !s.ok()) return s;
+  }
+  next_epoch_ += epochs;
+  return events;
+}
+
+Result<std::vector<Event>> ClusterEngine::IngestFromQueue(
+    AdmissionQueue<PositionReport>* queue) {
+  std::vector<Event> events;
+  const std::size_t batch_max =
+      opts_.engine.epoch_size * opts_.engine.max_epochs_in_flight;
+  for (;;) {
+    std::vector<PositionReport> batch = queue->PopBatch(batch_max);
+    if (batch.empty()) break;  // closed and drained
+    Result<std::vector<Event>> r = IngestBatch(batch);
+    if (!r.ok()) return r.status();
+    std::vector<Event> chunk = std::move(r).value();
+    events.insert(events.end(), std::make_move_iterator(chunk.begin()),
+                  std::make_move_iterator(chunk.end()));
+  }
+  return events;
+}
+
+Result<std::vector<Event>> ClusterEngine::Finish() {
+  if (Status s = Connect(); !s.ok()) return s;
+  const std::size_t n_nodes = nodes_.size();
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    if (Status s = nodes_[n]->Send(EncodeControl(MsgType::kFlushRequest));
+        !s.ok()) {
+      return s;
+    }
+  }
+  // Entity sets are disjoint across nodes (entity-sticky routing), so
+  // FinishFromFlushes' ascending-entity merge over the collected flushes
+  // reproduces the serial Finish order.
+  std::vector<KeyedFlush> flushes(n_nodes);
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    Result<std::string> payload = nodes_[n]->Recv();
+    if (!payload.ok()) return payload.status();
+    FlushResultMsg msg;
+    if (Status s = Decode(payload.value(), &msg); !s.ok()) return s;
+    flushes[n] = std::move(msg.flush);
+  }
+  return local_.FinishFromFlushes(flushes);
+}
+
+Result<std::string> ClusterEngine::MetricsReport() {
+  if (Status s = Connect(); !s.ok()) return s;
+  const std::size_t n_nodes = nodes_.size();
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    if (Status s = nodes_[n]->Send(EncodeControl(MsgType::kMetricsRequest));
+        !s.ok()) {
+      return s;
+    }
+  }
+  // Fold rows across nodes by (stage, operator); node 0's row order is
+  // the serial engine's, so the fleet table reads the same.
+  std::vector<MetricsRow> merged;
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    Result<std::string> payload = nodes_[n]->Recv();
+    if (!payload.ok()) return payload.status();
+    MetricsResultMsg msg;
+    if (Status s = Decode(payload.value(), &msg); !s.ok()) return s;
+    for (MetricsRow& row : msg.rows) {
+      MetricsRow* match = nullptr;
+      for (MetricsRow& m : merged) {
+        if (m.stage == row.stage && m.metrics.name == row.metrics.name) {
+          match = &m;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        merged.push_back(std::move(row));
+      } else {
+        match->metrics.Merge(row.metrics);
+        match->instances += row.instances;
+      }
+    }
+  }
+  for (MetricsRow& row : local_.GlobalMetricsRows()) {
+    merged.push_back(std::move(row));
+  }
+  return DatacronEngine::RenderMetricsTable(merged);
+}
+
+Status ClusterEngine::Shutdown() {
+  Status first = Status::OK();
+  for (const std::unique_ptr<Transport>& node : nodes_) {
+    if (Status s = node->Send(EncodeControl(MsgType::kShutdown));
+        !s.ok() && first.ok()) {
+      first = s;
+    }
+    node->Close();
+  }
+  return first;
+}
+
+}  // namespace datacron

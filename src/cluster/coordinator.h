@@ -1,0 +1,130 @@
+#ifndef DATACRON_CLUSTER_COORDINATOR_H_
+#define DATACRON_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datacron/engine.h"
+#include "net/transport.h"
+#include "stream/epoch.h"
+
+namespace datacron {
+
+/// The cluster coordinator: a DatacronEngine fleet spread over N nodes
+/// behind one engine-shaped facade. The coordinator owns the *global* half
+/// of the dataflow — canonical term dictionary, triple/episode stores,
+/// cross-entity CEP, trajectory store, predictor — while each node runs
+/// the *keyed* half for the entities routed to it.
+///
+/// Determinism (byte-identity with serial DatacronEngine::Ingest at any
+/// node count, epoch size, or transport):
+///
+///  - Routing is entity-sticky: node = MixU64(entity) % N, so each
+///    entity's whole subsequence is processed by one node in input order —
+///    the same per-key subsequence the in-process ShardedRuntime feeds a
+///    shard (stream/epoch.h is the shared contract).
+///  - Nodes intern into their own dictionary and ship *per-report*
+///    dictionary deltas. The coordinator imports each report's delta in
+///    global input order, so a term's canonical id is assigned at its
+///    first-in-input occurrence — exactly the serial order. (A term new to
+///    the stream is always new to its processing node too: the node's
+///    dictionary only holds terms from that node's earlier reports, which
+///    are earlier in the input.)
+///  - All global stages run on the coordinator in input order, per report,
+///    once the epoch barrier (EpochWatermarks) has released the epoch.
+///
+/// Flow control: up to Config::max_epochs_in_flight epochs are routed
+/// ahead of the in-order merge; the front epoch is then retired by
+/// blocking on every node's reply (transports are FIFO, nodes reply in
+/// epoch order). That bound is what keeps the socket variant free of
+/// send-send deadlock: node replies queue while at most a bounded window
+/// of batches is buffered toward each node.
+class ClusterEngine {
+ public:
+  struct Options {
+    /// Must equal the config every ClusterNode was constructed with (the
+    /// dictionary baselines have to line up).
+    DatacronEngine::Config engine;
+  };
+
+  /// Takes one connected transport per node. Call Connect() (or any
+  /// ingest entry point, which connects lazily) before use.
+  ClusterEngine(Options opts,
+                std::vector<std::unique_ptr<Transport>> nodes);
+
+  /// Performs the Hello handshake: receives each node's id and dictionary
+  /// baseline, orders transports by node id, and seeds the per-node term
+  /// remap tables. Idempotent.
+  Status Connect();
+
+  /// Routes `reports` to the fleet epoch by epoch and absorbs the keyed
+  /// outputs in input order. Returns the same events, in the same order,
+  /// as a serial engine ingesting `reports`.
+  Result<std::vector<Event>> IngestBatch(
+      std::span<const PositionReport> reports);
+
+  /// Drains a live push source through the fleet; same admission
+  /// semantics as DatacronEngine::IngestFromQueue (the Config's
+  /// AdmissionPolicy decides whether a lagging fleet blocks the producer
+  /// or sheds the oldest queued reports).
+  Result<std::vector<Event>> IngestFromQueue(
+      AdmissionQueue<PositionReport>* queue);
+
+  /// Admission buffer matching Options::engine (see
+  /// DatacronEngine::NewAdmissionQueue).
+  std::unique_ptr<AdmissionQueue<PositionReport>> NewAdmissionQueue() const {
+    return local_.NewAdmissionQueue();
+  }
+
+  /// End-of-stream: collects every node's KeyedFlush and runs the global
+  /// merge — the distributed form of DatacronEngine::Finish().
+  Result<std::vector<Event>> Finish();
+
+  /// Fleet-wide observability table: per-node keyed operator rows merged
+  /// by (stage, operator) across nodes, plus the coordinator's global
+  /// rows, in DatacronEngine::MetricsReport's format.
+  Result<std::string> MetricsReport();
+
+  /// Tells every node to exit its serve loop and closes the transports.
+  Status Shutdown();
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// The coordinator-side engine holding the merged global state: its
+  /// triples(), episodes(), trajectories(), dictionary contents and
+  /// latency trackers are the cluster's output.
+  const DatacronEngine& engine() const { return local_; }
+
+ private:
+  /// One routed-but-unmerged epoch in the in-flight window.
+  struct PendingEpoch {
+    std::int64_t id = 0;
+    std::span<const PositionReport> items;
+    EpochRouting routing;
+  };
+
+  /// Receives every node's reply for the front epoch, advances the
+  /// watermark barrier, and absorbs the epoch's outputs in input order.
+  Status RetireFront(std::deque<PendingEpoch>* ring,
+                     std::vector<Event>* events);
+
+  Options opts_;
+  DatacronEngine local_;
+  std::vector<std::unique_ptr<Transport>> nodes_;
+  /// Per node: remap_[n][i] is the canonical (coordinator) id of the
+  /// node's dense dictionary id i+1. Extended by each imported delta.
+  std::vector<std::vector<TermId>> remap_;
+  EpochWatermarks watermarks_;
+  /// Epochs are numbered globally across IngestBatch calls so the
+  /// watermark barrier stays monotonic over the whole session.
+  std::int64_t next_epoch_ = 0;
+  bool connected_ = false;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,73 @@
+#include "cluster/local_cluster.h"
+
+#include <utility>
+
+namespace datacron {
+
+Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(
+    const Options& opts) {
+  if (opts.num_nodes == 0) {
+    return Status::InvalidArgument("cluster needs at least one node");
+  }
+  std::vector<std::unique_ptr<Transport>> coordinator_side;
+  std::vector<std::unique_ptr<Transport>> node_side;
+  coordinator_side.reserve(opts.num_nodes);
+  node_side.reserve(opts.num_nodes);
+
+  if (opts.wire == Wire::kLoopback) {
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      auto [a, b] = LoopbackTransport::CreatePair();
+      coordinator_side.push_back(std::move(a));
+      node_side.push_back(std::move(b));
+    }
+  } else {
+    Result<std::unique_ptr<TcpListener>> listener = TcpListener::Create();
+    if (!listener.ok()) return listener.status();
+    for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+      // Connect-then-accept sequentially: accept order matches connect
+      // order here, but ClusterEngine::Connect orders by Hello node id
+      // anyway, so nothing depends on it.
+      Result<std::unique_ptr<Transport>> client =
+          TcpConnect(listener.value()->port());
+      if (!client.ok()) return client.status();
+      Result<std::unique_ptr<Transport>> server =
+          listener.value()->Accept();
+      if (!server.ok()) return server.status();
+      node_side.push_back(std::move(client).value());
+      coordinator_side.push_back(std::move(server).value());
+    }
+  }
+
+  std::unique_ptr<LocalCluster> cluster(new LocalCluster());
+  for (std::size_t i = 0; i < opts.num_nodes; ++i) {
+    cluster->nodes_.push_back(std::make_unique<ClusterNode>(
+        opts.engine, std::move(node_side[i]), static_cast<std::uint32_t>(i),
+        static_cast<std::uint32_t>(opts.num_nodes)));
+    cluster->nodes_.back()->Start();
+  }
+  ClusterEngine::Options engine_opts;
+  engine_opts.engine = opts.engine;
+  cluster->engine_ = std::make_unique<ClusterEngine>(
+      std::move(engine_opts), std::move(coordinator_side));
+  if (Status s = cluster->engine_->Connect(); !s.ok()) {
+    (void)cluster->Stop();  // best effort; report the handshake failure
+    return s;
+  }
+  return cluster;
+}
+
+LocalCluster::~LocalCluster() {
+  if (!stopped_) (void)Stop();
+}
+
+Status LocalCluster::Stop() {
+  if (stopped_) return Status::OK();
+  stopped_ = true;
+  Status first = engine_ != nullptr ? engine_->Shutdown() : Status::OK();
+  for (const std::unique_ptr<ClusterNode>& node : nodes_) {
+    if (Status s = node->Join(); !s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+}  // namespace datacron

@@ -1,0 +1,53 @@
+#ifndef DATACRON_CLUSTER_LOCAL_CLUSTER_H_
+#define DATACRON_CLUSTER_LOCAL_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/node.h"
+
+namespace datacron {
+
+/// A whole fleet in one process: N ClusterNodes, each serving on its own
+/// thread, wired to a connected ClusterEngine over the chosen transport.
+/// This is how tests and benches stand up a cluster; a real deployment
+/// runs ClusterNode::Serve in separate processes against TcpListener
+/// endpoints instead.
+class LocalCluster {
+ public:
+  enum class Wire { kLoopback, kTcp };
+
+  struct Options {
+    DatacronEngine::Config engine;
+    std::size_t num_nodes = 2;
+    Wire wire = Wire::kLoopback;
+  };
+
+  /// Spawns the node threads, performs the Hello handshake, and returns a
+  /// ready-to-ingest cluster.
+  static Result<std::unique_ptr<LocalCluster>> Start(const Options& opts);
+
+  /// Stops the fleet if Stop() was not called.
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  ClusterEngine& engine() { return *engine_; }
+
+  /// Shuts the fleet down and joins the node threads; returns the first
+  /// node serve error, if any.
+  Status Stop();
+
+ private:
+  LocalCluster() = default;
+
+  std::unique_ptr<ClusterEngine> engine_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  bool stopped_ = false;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_CLUSTER_LOCAL_CLUSTER_H_

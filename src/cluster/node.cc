@@ -1,0 +1,139 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/codec.h"
+
+namespace datacron {
+
+ClusterNode::ClusterNode(DatacronEngine::Config config,
+                         std::unique_ptr<Transport> transport,
+                         std::uint32_t node_id, std::uint32_t num_nodes)
+    : engine_(std::move(config)),
+      transport_(std::move(transport)),
+      node_id_(node_id),
+      num_nodes_(num_nodes) {}
+
+ClusterNode::~ClusterNode() {
+  if (thread_.joinable()) {
+    transport_->Close();
+    thread_.join();
+  }
+}
+
+Status ClusterNode::SendHello() {
+  HelloMsg hello;
+  hello.node_id = node_id_;
+  hello.num_nodes = num_nodes_;
+  TermDictionary* dict = engine_.dictionary();
+  if (dict->size() > 0) {
+    Result<std::vector<TermExport>> baseline =
+        dict->ExportRange(1, dict->size());
+    if (!baseline.ok()) return baseline.status();
+    hello.baseline = std::move(baseline).value();
+  }
+  return transport_->Send(Encode(hello));
+}
+
+Status ClusterNode::HandleBatch(const std::string& payload) {
+  ReportBatchMsg batch;
+  if (Status s = Decode(payload, &batch); !s.ok()) return s;
+  if (batch.reports.empty()) {
+    // Empty sub-batch: reply with the epoch-watermark control message so
+    // the coordinator's barrier can advance past this epoch.
+    WatermarkMsg wm;
+    wm.epoch = batch.epoch;
+    return transport_->Send(Encode(wm));
+  }
+
+  TermDictionary* dict = engine_.dictionary();
+  EpochResultMsg result;
+  result.epoch = batch.epoch;
+  result.dict_size_before = dict->size();
+  result.results.reserve(batch.reports.size());
+  for (const PositionReport& report : batch.reports) {
+    const std::size_t before = dict->size();
+    DatacronEngine::ReportOutput out;
+    engine_.ProcessKeyedOnly(report, dict, &out);
+    const std::size_t after = dict->size();
+
+    WireReportResult res;
+    res.cp_count = out.cp_count;
+    res.keyed_events = std::move(out.keyed_events);
+    res.episodes = std::move(out.episodes);
+    res.triples = std::move(out.triples);
+    if (after > before) {
+      // The terms this report interned: the contiguous id range the node
+      // dictionary grew by. Exported in id (== intern) order, this is the
+      // per-report dictionary delta the coordinator replays.
+      Result<std::vector<TermExport>> delta =
+          dict->ExportRange(static_cast<TermId>(before) + 1, after - before);
+      if (!delta.ok()) return delta.status();
+      res.new_terms = std::move(delta).value();
+    }
+    // Side tables travel id-sorted so the encoded bytes are canonical
+    // regardless of hash-map iteration order.
+    res.tags.assign(out.tags.begin(), out.tags.end());
+    std::sort(res.tags.begin(), res.tags.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    res.node_geo.assign(out.node_geo.begin(), out.node_geo.end());
+    std::sort(res.node_geo.begin(), res.node_geo.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    res.synopses_ns = out.synopses_ns;
+    res.transform_ns = out.transform_ns;
+    res.keyed_cep_ns = out.keyed_cep_ns;
+    result.results.push_back(std::move(res));
+  }
+  return transport_->Send(Encode(result));
+}
+
+Status ClusterNode::Serve() {
+  if (Status s = SendHello(); !s.ok()) return s;
+  for (;;) {
+    Result<std::string> payload = transport_->Recv();
+    if (!payload.ok()) {
+      // Orderly close counts as shutdown; anything else is an error.
+      if (payload.status().code() == StatusCode::kFailedPrecondition) {
+        return Status::OK();
+      }
+      return payload.status();
+    }
+    MsgType type;
+    if (Status s = DecodeType(payload.value(), &type); !s.ok()) return s;
+    switch (type) {
+      case MsgType::kReportBatch: {
+        if (Status s = HandleBatch(payload.value()); !s.ok()) return s;
+        break;
+      }
+      case MsgType::kFlushRequest: {
+        FlushResultMsg msg;
+        msg.flush = engine_.FlushKeyed();
+        if (Status s = transport_->Send(Encode(msg)); !s.ok()) return s;
+        break;
+      }
+      case MsgType::kMetricsRequest: {
+        MetricsResultMsg msg;
+        msg.rows = engine_.KeyedMetricsRows();
+        if (Status s = transport_->Send(Encode(msg)); !s.ok()) return s;
+        break;
+      }
+      case MsgType::kShutdown:
+        transport_->Close();
+        return Status::OK();
+      default:
+        return Status::ParseError("unexpected message type at node");
+    }
+  }
+}
+
+void ClusterNode::Start() {
+  thread_ = std::thread([this] { serve_status_ = Serve(); });
+}
+
+Status ClusterNode::Join() {
+  if (thread_.joinable()) thread_.join();
+  return serve_status_;
+}
+
+}  // namespace datacron

@@ -21,6 +21,10 @@ class RunningStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
+  /// Raw sum of squared deviations (Welford's M2) — the mergeable state,
+  /// exposed so accumulators can cross a process boundary (cluster
+  /// metrics) without losing precision through variance().
+  double m2() const { return m2_; }
   /// Population variance; 0 for fewer than 2 samples.
   double variance() const { return count_ > 1 ? m2_ / count_ : 0.0; }
   double stddev() const;
@@ -29,6 +33,14 @@ class RunningStats {
   double sum() const { return mean_ * count_; }
 
   std::string ToString() const;
+
+  /// Reconstructs an accumulator from its raw state (the inverse of
+  /// count()/mean()/m2()/min()/max()); a decoded instance merges exactly
+  /// like the original. `count == 0` yields an empty accumulator.
+  static RunningStats FromRaw(std::size_t count, double mean, double m2,
+                              double min, double max);
+
+  bool operator==(const RunningStats&) const = default;
 
  private:
   std::size_t count_ = 0;
@@ -77,6 +89,22 @@ class LogHistogram {
   double Percentile(double p) const;
   double p50() const { return Percentile(50); }
   double p99() const { return Percentile(99); }
+
+  /// Raw bucket access for (de)serialization: a histogram rebuilt by
+  /// feeding every bucket_count(b) through AddBucketCount merges exactly
+  /// like the original. Before these existed, per-shard histograms could
+  /// only merge within one process — the cluster metrics path needs them.
+  static constexpr std::size_t num_buckets() { return kBuckets; }
+  std::size_t bucket_count(std::size_t b) const {
+    return b < kBuckets ? counts_[b] : 0;
+  }
+  void AddBucketCount(std::size_t b, std::size_t n) {
+    if (b >= kBuckets || n == 0) return;
+    counts_[b] += n;
+    total_ += n;
+  }
+
+  bool operator==(const LogHistogram&) const = default;
 
  private:
   /// Bucket b>0 covers [2^(b-1), 2^b); bucket 0 holds zeros.

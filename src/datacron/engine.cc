@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 
 #include "common/flat_hash.h"
 #include "common/thread_pool.h"
@@ -182,6 +183,17 @@ std::vector<Event> DatacronEngine::Ingest(const PositionReport& report) {
   return events;
 }
 
+void DatacronEngine::ProcessKeyedOnly(const PositionReport& report,
+                                      TermSource* terms, ReportOutput* out) {
+  ProcessKeyed(&shards_[ShardOf(report.entity_id)], report, terms, out);
+}
+
+void DatacronEngine::AbsorbKeyedOutput(const PositionReport& report,
+                                       ReportOutput* out,
+                                       std::vector<Event>* events) {
+  AbsorbOutput(report, out, events);
+}
+
 std::vector<Event> DatacronEngine::IngestBatch(
     std::span<const PositionReport> reports, ThreadPool* pool) {
   std::vector<Event> events;
@@ -212,13 +224,77 @@ std::vector<Event> DatacronEngine::IngestBatch(
 }
 
 std::vector<Event> DatacronEngine::Finish() {
-  std::vector<Event> events;
+  KeyedFlush flush = FlushKeyed();
+  return FinishFromFlushes(std::span<KeyedFlush>(&flush, 1));
+}
+
+KeyedFlush DatacronEngine::FlushKeyed() {
+  KeyedFlush f;
 
   // Per-shard trajectory-end flushes, merged in ascending entity order —
   // exactly the std::map iteration order a single detector would emit.
   // Entity sets are disjoint across shards, so the order is total.
+  for (Shard& s : shards_) s.detector.Flush(&f.critical_points);
+  std::stable_sort(f.critical_points.begin(), f.critical_points.end(),
+                   [](const CriticalPoint& a, const CriticalPoint& b) {
+                     return a.report.entity_id < b.report.entity_id;
+                   });
+
+  // RDF continuation state for every entity in the flush, so the
+  // coordinator-side transform can chain sequence links correctly.
+  std::unordered_set<EntityId> seen;
+  for (const CriticalPoint& cp : f.critical_points) {
+    const EntityId entity = cp.report.entity_id;
+    if (!seen.insert(entity).second) continue;
+    Shard& shard = shards_[ShardOf(entity)];
+    EntityRdfContinuation c;
+    c.entity = entity;
+    c.rdf_known = shard.rdf_known.count(entity) > 0;
+    auto prev_it = shard.prev_node_ts.find(entity);
+    if (prev_it != shard.prev_node_ts.end()) {
+      c.has_prev_node = true;
+      c.prev_node_ts = prev_it->second;
+    }
+    f.continuations.push_back(c);
+  }
+
+  // Feed the flush points through the episode builders (keyed state, no
+  // dictionary access), then flush the still-open episodes per entity.
+  for (const CriticalPoint& cp : f.critical_points) {
+    shards_[ShardOf(cp.report.entity_id)].episode_builder.Process(
+        cp, &f.completed_episodes);
+  }
+  for (Shard& s : shards_) s.episode_builder.Flush(&f.trailing_episodes);
+  std::stable_sort(f.trailing_episodes.begin(), f.trailing_episodes.end(),
+                   [](const Episode& a, const Episode& b) {
+                     return a.entity < b.entity;
+                   });
+
+  // Keyed CEP flushes are no-ops today; looped per shard for symmetry.
+  for (Shard& s : shards_) s.area_events.Flush(&f.events);
+  for (Shard& s : shards_) s.loitering.Flush(&f.events);
+  return f;
+}
+
+std::vector<Event> DatacronEngine::FinishFromFlushes(
+    std::span<KeyedFlush> flushes) {
+  std::vector<Event> events;
+
+  // Entity sets are disjoint across flushes (one node owns each entity),
+  // and every per-flush list is already grouped by ascending entity, so a
+  // stable sort of the concatenation reproduces the order a single
+  // engine's flush would have produced.
   std::vector<CriticalPoint> cps;
-  for (Shard& s : shards_) s.detector.Flush(&cps);
+  std::unordered_map<EntityId, TimestampMs> prev_node_ts;
+  std::unordered_set<EntityId> rdf_known;
+  for (KeyedFlush& f : flushes) {
+    cps.insert(cps.end(), f.critical_points.begin(),
+               f.critical_points.end());
+    for (const EntityRdfContinuation& c : f.continuations) {
+      if (c.has_prev_node) prev_node_ts[c.entity] = c.prev_node_ts;
+      if (c.rdf_known) rdf_known.insert(c.entity);
+    }
+  }
   std::stable_sort(cps.begin(), cps.end(),
                    [](const CriticalPoint& a, const CriticalPoint& b) {
                      return a.report.entity_id < b.report.entity_id;
@@ -230,15 +306,14 @@ std::vector<Event> DatacronEngine::Finish() {
   if (!config_.rdfize_all_reports) {
     for (const CriticalPoint& cp : cps) {
       const EntityId entity = cp.report.entity_id;
-      Shard& shard = shards_[ShardOf(entity)];
       std::unordered_map<EntityId, TermId> prev_node;
       std::unordered_map<EntityId, TermId> known;
-      if (shard.rdf_known.count(entity) > 0) {
+      if (rdf_known.count(entity) > 0) {
         known.emplace(entity, dict_.Intern(EntityIri(entity)));
       }
       if (config_.rdf.emit_sequence_links) {
-        auto prev_it = shard.prev_node_ts.find(entity);
-        if (prev_it != shard.prev_node_ts.end()) {
+        auto prev_it = prev_node_ts.find(entity);
+        if (prev_it != prev_node_ts.end()) {
           prev_node.emplace(
               entity, dict_.Intern(PositionNodeIri(entity, prev_it->second)));
         }
@@ -250,24 +325,24 @@ std::vector<Event> DatacronEngine::Finish() {
       sink.prev_node = &prev_node;
       sink.known_entities = &known;
       rdfizer_->TransformCriticalPointInto(cp, sink, &triples_);
-      shard.prev_node_ts[entity] = cp.report.timestamp;
-      shard.rdf_known.insert(entity);
+      prev_node_ts[entity] = cp.report.timestamp;
+      rdf_known.insert(entity);
     }
   }
 
   std::vector<Episode> completed;
-  for (const CriticalPoint& cp : cps) {
-    shards_[ShardOf(cp.report.entity_id)].episode_builder.Process(
-        cp, &completed);
-  }
-  // Trailing (still-open) episodes: per-shard flushes merged by entity,
-  // matching the single-builder map order.
   std::vector<Episode> trailing;
-  for (Shard& s : shards_) s.episode_builder.Flush(&trailing);
-  std::stable_sort(trailing.begin(), trailing.end(),
-                   [](const Episode& a, const Episode& b) {
-                     return a.entity < b.entity;
-                   });
+  for (KeyedFlush& f : flushes) {
+    completed.insert(completed.end(), f.completed_episodes.begin(),
+                     f.completed_episodes.end());
+    trailing.insert(trailing.end(), f.trailing_episodes.begin(),
+                    f.trailing_episodes.end());
+  }
+  const auto by_entity = [](const Episode& a, const Episode& b) {
+    return a.entity < b.entity;
+  };
+  std::stable_sort(completed.begin(), completed.end(), by_entity);
+  std::stable_sort(trailing.begin(), trailing.end(), by_entity);
   completed.insert(completed.end(), trailing.begin(), trailing.end());
 
   Rdfizer::Sink episode_sink;
@@ -281,9 +356,9 @@ std::vector<Event> DatacronEngine::Finish() {
   rdfizer_->AbsorbSideTables(tags, node_geo, {});
 
   proximity_.Flush(&events);
-  // Keyed CEP flushes are no-ops today; looped per shard for symmetry.
-  for (Shard& s : shards_) s.area_events.Flush(&events);
-  for (Shard& s : shards_) s.loitering.Flush(&events);
+  for (KeyedFlush& f : flushes) {
+    events.insert(events.end(), f.events.begin(), f.events.end());
+  }
   if (capacity_ != nullptr) capacity_->Flush(&events);
   if (hotspots_ != nullptr) hotspots_->Flush(&events);
   return events;
@@ -296,13 +371,8 @@ TripleStore DatacronEngine::BuildStore(ThreadPool* pool) const {
   return store;
 }
 
-std::string DatacronEngine::MetricsReport() const {
-  struct Row {
-    const char* stage;
-    OperatorMetrics m;
-    std::size_t shards;
-  };
-  std::vector<Row> rows;
+std::vector<MetricsRow> DatacronEngine::KeyedMetricsRows() const {
+  std::vector<MetricsRow> rows;
   const auto merged = [this](auto member) {
     OperatorMetrics m;
     for (const Shard& s : shards_) m.Merge((s.*member).metrics());
@@ -314,6 +384,11 @@ std::string DatacronEngine::MetricsReport() const {
   rows.push_back({"cep-keyed", merged(&Shard::loitering), n});
   rows.push_back({"cep-keyed", merged(&Shard::gap), n});
   rows.push_back({"cep-keyed", merged(&Shard::speed_anomaly), n});
+  return rows;
+}
+
+std::vector<MetricsRow> DatacronEngine::GlobalMetricsRows() const {
+  std::vector<MetricsRow> rows;
   rows.push_back({"cep-global", proximity_.metrics(), 1});
   if (capacity_ != nullptr) {
     rows.push_back({"cep-global", capacity_->metrics(), 1});
@@ -321,7 +396,11 @@ std::string DatacronEngine::MetricsReport() const {
   if (hotspots_ != nullptr) {
     rows.push_back({"cep-global", hotspots_->metrics(), 1});
   }
+  return rows;
+}
 
+std::string DatacronEngine::RenderMetricsTable(
+    std::span<const MetricsRow> rows) {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
@@ -329,15 +408,47 @@ std::string DatacronEngine::MetricsReport() const {
                 "operator", "shards", "items_in", "items_out", "sel%",
                 "p50_ns", "p99_ns");
   out += line;
-  for (const Row& r : rows) {
+  for (const MetricsRow& r : rows) {
     std::snprintf(line, sizeof(line),
                   "%-10s %-24s %6zu %10zu %10zu %6.1f%% %10.0f %10.0f\n",
-                  r.stage, r.m.name.c_str(), r.shards, r.m.items_in,
-                  r.m.items_out, r.m.SelectivityPct(), r.m.latency_ns.p50(),
-                  r.m.latency_ns.p99());
+                  r.stage.c_str(), r.metrics.name.c_str(), r.instances,
+                  r.metrics.items_in, r.metrics.items_out,
+                  r.metrics.SelectivityPct(), r.metrics.latency_ns.p50(),
+                  r.metrics.latency_ns.p99());
     out += line;
   }
   return out;
+}
+
+std::string DatacronEngine::MetricsReport() const {
+  std::vector<MetricsRow> rows = KeyedMetricsRows();
+  std::vector<MetricsRow> global = GlobalMetricsRows();
+  rows.insert(rows.end(), std::make_move_iterator(global.begin()),
+              std::make_move_iterator(global.end()));
+  return RenderMetricsTable(rows);
+}
+
+std::unique_ptr<AdmissionQueue<PositionReport>>
+DatacronEngine::NewAdmissionQueue() const {
+  AdmissionQueue<PositionReport>::Options opts;
+  opts.capacity = config_.admission_capacity != 0
+                      ? config_.admission_capacity
+                      : config_.epoch_size * config_.max_epochs_in_flight;
+  opts.policy = config_.admission;
+  return std::make_unique<AdmissionQueue<PositionReport>>(opts);
+}
+
+std::vector<Event> DatacronEngine::IngestFromQueue(
+    AdmissionQueue<PositionReport>* queue, ThreadPool* pool) {
+  std::vector<Event> events;
+  for (;;) {
+    const std::vector<PositionReport> batch =
+        queue->PopBatch(config_.epoch_size * config_.max_epochs_in_flight);
+    if (batch.empty()) break;  // closed and drained
+    const std::vector<Event> evs = IngestBatch(batch, pool);
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  return events;
 }
 
 }  // namespace datacron

@@ -18,11 +18,59 @@
 #include "rdf/rdfizer.h"
 #include "rdf/triple_store.h"
 #include "sources/model.h"
+#include "stream/admission.h"
+#include "stream/operator.h"
 #include "synopses/critical_points.h"
 #include "trajectory/episodes.h"
 #include "trajectory/trajectory_store.h"
 
 namespace datacron {
+
+/// Per-entity RDF continuation state a keyed shard holds between reports,
+/// exported at flush time so the coordinator (cluster Finish, see
+/// FlushKeyed/FinishFromFlushes) can reconstruct sequence links and
+/// entity-typing decisions for the trailing critical points.
+struct EntityRdfContinuation {
+  EntityId entity = 0;
+  /// Timestamp of the entity's last emitted RDF node (valid when
+  /// has_prev_node); the node IRI is reconstructed from it.
+  bool has_prev_node = false;
+  TimestampMs prev_node_ts = 0;
+  /// Entity-level typing triples were already emitted for this entity.
+  bool rdf_known = false;
+
+  bool operator==(const EntityRdfContinuation&) const = default;
+};
+
+/// Everything the keyed half of the engine emits when its stateful
+/// operators are flushed at end-of-stream — the unit a cluster node ships
+/// to the coordinator so the final merge runs in one place, in the same
+/// order a single-process Finish would use.
+struct KeyedFlush {
+  /// Trajectory-end (and friends) critical points, ascending entity order.
+  std::vector<CriticalPoint> critical_points;
+  /// Continuation state for every entity appearing in critical_points.
+  std::vector<EntityRdfContinuation> continuations;
+  /// Episodes completed by feeding critical_points through the builders.
+  std::vector<Episode> completed_episodes;
+  /// Still-open episodes flushed from the builders, ascending entity.
+  std::vector<Episode> trailing_episodes;
+  /// Keyed CEP flush events (empty for today's detectors).
+  std::vector<Event> events;
+
+  bool operator==(const KeyedFlush&) const = default;
+};
+
+/// One row of the per-stage observability table; keyed rows merge across
+/// shards (and, in a cluster, across nodes).
+struct MetricsRow {
+  std::string stage;
+  OperatorMetrics metrics;
+  /// Shard/node instances folded into `metrics`.
+  std::size_t instances = 1;
+
+  bool operator==(const MetricsRow&) const = default;
+};
 
 /// The overall datAcron architecture (paper Section 2) as one object:
 ///
@@ -71,6 +119,12 @@ class DatacronEngine {
     std::size_t epoch_size = 1024;
     /// Epochs the router may run ahead of the in-order merge stage.
     std::size_t max_epochs_in_flight = 4;
+    /// What a live push source does when the in-flight window is full
+    /// (see NewAdmissionQueue / IngestFromQueue).
+    AdmissionPolicy admission = AdmissionPolicy::kBlock;
+    /// Admission buffer capacity; 0 derives the in-flight window
+    /// (epoch_size * max_epochs_in_flight).
+    std::size_t admission_capacity = 0;
   };
 
   explicit DatacronEngine(Config config);
@@ -88,15 +142,87 @@ class DatacronEngine {
   std::vector<Event> IngestBatch(std::span<const PositionReport> reports,
                                  ThreadPool* pool);
 
+  /// Drains a live push source: repeatedly pops admitted batches from
+  /// `queue` and runs them through IngestBatch until the queue is closed
+  /// and empty. With Config::admission == kBlock the source stalls when
+  /// the engine lags; with kDropOldest stale reports are shed at the
+  /// queue (queue->dropped() counts them) and everything admitted is
+  /// still processed in arrival order.
+  std::vector<Event> IngestFromQueue(AdmissionQueue<PositionReport>* queue,
+                                     ThreadPool* pool);
+
+  /// Builds the admission buffer matching this engine's configuration:
+  /// capacity = Config::admission_capacity (default: the in-flight window
+  /// epoch_size * max_epochs_in_flight) and policy = Config::admission.
+  std::unique_ptr<AdmissionQueue<PositionReport>> NewAdmissionQueue() const;
+
   /// Flushes stateful operators (trajectory ends, last windows).
   /// Per-shard flush outputs are merged in ascending entity order, so the
-  /// result is independent of the shard count.
+  /// result is independent of the shard count. Equivalent to
+  /// FinishFromFlushes over this engine's own FlushKeyed().
   std::vector<Event> Finish();
+
+  // -- cluster seams (src/cluster) ------------------------------------
+  //
+  // A cluster node owns a DatacronEngine but drives only its keyed half
+  // (ProcessKeyedOnly against the node-local dictionary, FlushKeyed at
+  // end-of-stream); the coordinator owns another and drives only its
+  // global half (AbsorbKeyedOutput per report in input order,
+  // FinishFromFlushes over every node's flush). Serial Ingest/Finish are
+  // the two halves composed in one process, so cluster output is
+  // byte-identical by construction.
+
+  /// Everything the keyed stage produces for one report; carried from the
+  /// shard to the in-order global stage (in-process by the sharded
+  /// runtime, across the wire by the cluster transport).
+  struct ReportOutput {
+    std::size_t cp_count = 0;
+    std::vector<Event> keyed_events;
+    std::vector<Episode> episodes;
+    std::vector<Triple> triples;
+    /// Batch-local term ids to merge (null when the keyed stage interned
+    /// straight into a TermDictionary — Ingest, the no-pool path, and
+    /// cluster nodes interning into their node-local dictionary).
+    std::unique_ptr<TermBatch> terms;
+    std::unordered_map<TermId, StTag> tags;
+    std::unordered_map<TermId, NodeGeo> node_geo;
+    std::int64_t synopses_ns = 0;
+    std::int64_t transform_ns = 0;
+    std::int64_t keyed_cep_ns = 0;
+  };
+
+  /// Runs only the keyed half for one report, on the local shard its
+  /// entity hashes to, interning terms into `terms` (cluster nodes pass
+  /// their node-local dictionary). No global stage runs.
+  void ProcessKeyedOnly(const PositionReport& report, TermSource* terms,
+                        ReportOutput* out);
+
+  /// Runs only the global half for one report, on the calling thread, in
+  /// input order. `out` must hold ids of this engine's dictionary
+  /// (out->terms == nullptr; the cluster coordinator remaps node-local
+  /// ids through the epoch dictionary deltas first) or a mergeable
+  /// TermBatch from ProcessKeyed.
+  void AbsorbKeyedOutput(const PositionReport& report, ReportOutput* out,
+                         std::vector<Event>* events);
+
+  /// Drains this engine's keyed state (detector + builder flushes and the
+  /// RDF continuation tables) without running any global stage or
+  /// touching the dictionary — the node half of Finish.
+  KeyedFlush FlushKeyed();
+
+  /// The coordinator half of Finish: merges any number of keyed flushes
+  /// (entity sets must be disjoint — each entity lives on one node) in
+  /// ascending entity order, transforms the trailing critical points and
+  /// episodes against this engine's dictionary, and flushes the global
+  /// detectors. With a single flush from the same engine this is exactly
+  /// the serial Finish.
+  std::vector<Event> FinishFromFlushes(std::span<KeyedFlush> flushes);
 
   // -- component access -----------------------------------------------
 
   const TrajectoryStore& trajectories() const { return trajectories_; }
   TermDictionary* dictionary() { return &dict_; }
+  const TermDictionary& dictionary() const { return dict_; }
   const Vocab& vocab() const { return *vocab_; }
   Rdfizer* rdfizer() { return rdfizer_.get(); }
 
@@ -135,6 +261,17 @@ class DatacronEngine {
   /// per-shard metrics merged via OperatorMetrics::Merge.
   std::string MetricsReport() const;
 
+  /// The keyed (entity-partitioned) rows of MetricsReport, merged across
+  /// local shards. Cluster nodes ship these to the coordinator, which
+  /// folds them across nodes into one fleet-wide table.
+  std::vector<MetricsRow> KeyedMetricsRows() const;
+
+  /// The global (cross-entity) rows: proximity, capacity, hotspot.
+  std::vector<MetricsRow> GlobalMetricsRows() const;
+
+  /// Renders rows in MetricsReport's table format.
+  static std::string RenderMetricsTable(std::span<const MetricsRow> rows);
+
  private:
   /// All keyed (entity-partitioned) state. Each entity is owned by
   /// exactly one shard (ShardOf), so shards never share mutable state and
@@ -161,23 +298,6 @@ class DatacronEngine {
     std::unordered_map<EntityId, TimestampMs> prev_node_ts;
     /// Entities whose entity-level typing triples were already emitted.
     std::unordered_set<EntityId> rdf_known;
-  };
-
-  /// Everything the keyed stage produces for one report; carried from the
-  /// shard to the in-order global stage by the sharded runtime.
-  struct ReportOutput {
-    std::size_t cp_count = 0;
-    std::vector<Event> keyed_events;
-    std::vector<Episode> episodes;
-    std::vector<Triple> triples;
-    /// Batch-local term ids to merge (null when the keyed stage interned
-    /// straight into the global dictionary — Ingest and the no-pool path).
-    std::unique_ptr<TermBatch> terms;
-    std::unordered_map<TermId, StTag> tags;
-    std::unordered_map<TermId, NodeGeo> node_geo;
-    std::int64_t synopses_ns = 0;
-    std::int64_t transform_ns = 0;
-    std::int64_t keyed_cep_ns = 0;
   };
 
   std::size_t ShardOf(EntityId entity) const;

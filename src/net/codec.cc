@@ -1,0 +1,491 @@
+#include "net/codec.h"
+
+#include <utility>
+
+namespace datacron {
+
+namespace {
+
+/// Status propagation for the deeply nested decoders.
+#define DC_RET(expr)                              \
+  do {                                            \
+    if (Status _s = (expr); !_s.ok()) return _s;  \
+  } while (0)
+
+/// Reads a u8 enum value, rejecting anything past `max` — a corrupted
+/// frame must not produce an out-of-range enum.
+template <typename E>
+Status GetEnum(WireReader& r, E* v, E max) {
+  std::uint8_t u = 0;
+  DC_RET(r.U8(&u));
+  if (u > static_cast<std::uint8_t>(max)) {
+    return Status::ParseError("enum value out of range");
+  }
+  *v = static_cast<E>(u);
+  return Status::OK();
+}
+
+// --- field codecs, one Put/Get pair per struct --------------------------
+
+void Put(WireWriter& w, const GeoPoint& p) {
+  w.F64(p.lat_deg);
+  w.F64(p.lon_deg);
+  w.F64(p.alt_m);
+}
+
+Status Get(WireReader& r, GeoPoint* p) {
+  DC_RET(r.F64(&p->lat_deg));
+  DC_RET(r.F64(&p->lon_deg));
+  DC_RET(r.F64(&p->alt_m));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const PositionReport& rep) {
+  w.U32(rep.entity_id);
+  w.U8(static_cast<std::uint8_t>(rep.domain));
+  w.I64(rep.timestamp);
+  Put(w, rep.position);
+  w.F64(rep.speed_mps);
+  w.F64(rep.course_deg);
+  w.F64(rep.vertical_rate_mps);
+}
+constexpr std::size_t kMinReportBytes = 61;
+
+Status Get(WireReader& r, PositionReport* rep) {
+  DC_RET(r.U32(&rep->entity_id));
+  DC_RET(GetEnum(r, &rep->domain, Domain::kAviation));
+  DC_RET(r.I64(&rep->timestamp));
+  DC_RET(Get(r, &rep->position));
+  DC_RET(r.F64(&rep->speed_mps));
+  DC_RET(r.F64(&rep->course_deg));
+  DC_RET(r.F64(&rep->vertical_rate_mps));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const Event& e) {
+  w.U8(static_cast<std::uint8_t>(e.kind));
+  w.I64(e.time);
+  w.I64(e.predicted_time);
+  w.U32(static_cast<std::uint32_t>(e.entities.size()));
+  for (EntityId id : e.entities) w.U32(id);
+  Put(w, e.position);
+  w.Str(e.label);
+  w.U32(static_cast<std::uint32_t>(e.attributes.size()));
+  for (const auto& [key, value] : e.attributes) {
+    w.Str(key);
+    w.F64(value);
+  }
+}
+constexpr std::size_t kMinEventBytes = 53;
+
+Status Get(WireReader& r, Event* e) {
+  DC_RET(GetEnum(r, &e->kind, EventKind::kComposite));
+  DC_RET(r.I64(&e->time));
+  DC_RET(r.I64(&e->predicted_time));
+  std::size_t n = 0;
+  DC_RET(r.Count(&n, sizeof(std::uint32_t)));
+  e->entities.resize(n);
+  for (std::size_t i = 0; i < n; ++i) DC_RET(r.U32(&e->entities[i]));
+  DC_RET(Get(r, &e->position));
+  DC_RET(r.Str(&e->label));
+  DC_RET(r.Count(&n, /*min_element_bytes=*/12));
+  e->attributes.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key;
+    double value = 0.0;
+    DC_RET(r.Str(&key));
+    DC_RET(r.F64(&value));
+    e->attributes.emplace_hint(e->attributes.end(), std::move(key), value);
+  }
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const Episode& e) {
+  w.U32(e.entity);
+  w.U8(static_cast<std::uint8_t>(e.kind));
+  w.I64(e.start_time);
+  w.I64(e.end_time);
+  Put(w, e.start_pos);
+  Put(w, e.end_pos);
+  w.Str(e.area);
+  w.F64(e.displacement_m);
+  w.F64(e.path_m);
+}
+constexpr std::size_t kMinEpisodeBytes = 89;
+
+Status Get(WireReader& r, Episode* e) {
+  DC_RET(r.U32(&e->entity));
+  DC_RET(GetEnum(r, &e->kind, EpisodeKind::kGap));
+  DC_RET(r.I64(&e->start_time));
+  DC_RET(r.I64(&e->end_time));
+  DC_RET(Get(r, &e->start_pos));
+  DC_RET(Get(r, &e->end_pos));
+  DC_RET(r.Str(&e->area));
+  DC_RET(r.F64(&e->displacement_m));
+  DC_RET(r.F64(&e->path_m));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const Triple& t) {
+  w.U64(t.s);
+  w.U64(t.p);
+  w.U64(t.o);
+}
+constexpr std::size_t kMinTripleBytes = 24;
+
+Status Get(WireReader& r, Triple* t) {
+  DC_RET(r.U64(&t->s));
+  DC_RET(r.U64(&t->p));
+  DC_RET(r.U64(&t->o));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const TermExport& t) {
+  w.Str(t.text);
+  w.U8(static_cast<std::uint8_t>(t.kind));
+}
+constexpr std::size_t kMinTermBytes = 5;
+
+Status Get(WireReader& r, TermExport* t) {
+  DC_RET(r.Str(&t->text));
+  DC_RET(GetEnum(r, &t->kind, TermKind::kLiteralDateTime));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const std::pair<TermId, StTag>& tag) {
+  w.U64(tag.first);
+  w.U32(static_cast<std::uint32_t>(tag.second.cell.ix));
+  w.U32(static_cast<std::uint32_t>(tag.second.cell.iy));
+  w.I64(tag.second.bucket);
+}
+constexpr std::size_t kMinTagBytes = 24;
+
+Status Get(WireReader& r, std::pair<TermId, StTag>* tag) {
+  DC_RET(r.U64(&tag->first));
+  std::uint32_t ix = 0;
+  std::uint32_t iy = 0;
+  DC_RET(r.U32(&ix));
+  DC_RET(r.U32(&iy));
+  tag->second.cell.ix = static_cast<std::int32_t>(ix);
+  tag->second.cell.iy = static_cast<std::int32_t>(iy);
+  DC_RET(r.I64(&tag->second.bucket));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const std::pair<TermId, NodeGeo>& g) {
+  w.U64(g.first);
+  w.F64(g.second.lat_deg);
+  w.F64(g.second.lon_deg);
+  w.F64(g.second.alt_m);
+  w.I64(g.second.timestamp);
+}
+constexpr std::size_t kMinNodeGeoBytes = 40;
+
+Status Get(WireReader& r, std::pair<TermId, NodeGeo>* g) {
+  DC_RET(r.U64(&g->first));
+  DC_RET(r.F64(&g->second.lat_deg));
+  DC_RET(r.F64(&g->second.lon_deg));
+  DC_RET(r.F64(&g->second.alt_m));
+  DC_RET(r.I64(&g->second.timestamp));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const CriticalPoint& cp) {
+  Put(w, cp.report);
+  w.U8(static_cast<std::uint8_t>(cp.type));
+}
+constexpr std::size_t kMinCriticalPointBytes = kMinReportBytes + 1;
+
+Status Get(WireReader& r, CriticalPoint* cp) {
+  DC_RET(Get(r, &cp->report));
+  DC_RET(GetEnum(r, &cp->type, CriticalPointType::kTrajectoryEnd));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const EntityRdfContinuation& c) {
+  w.U32(c.entity);
+  w.Bool(c.has_prev_node);
+  w.I64(c.prev_node_ts);
+  w.Bool(c.rdf_known);
+}
+constexpr std::size_t kMinContinuationBytes = 14;
+
+Status Get(WireReader& r, EntityRdfContinuation* c) {
+  DC_RET(r.U32(&c->entity));
+  DC_RET(r.Bool(&c->has_prev_node));
+  DC_RET(r.I64(&c->prev_node_ts));
+  DC_RET(r.Bool(&c->rdf_known));
+  return Status::OK();
+}
+
+// Forward declarations so the vector helpers can encode compound elements
+// whose Put/Get pairs are defined further down.
+void Put(WireWriter& w, const WireReportResult& res);
+Status Get(WireReader& r, WireReportResult* res);
+void Put(WireWriter& w, const MetricsRow& row);
+Status Get(WireReader& r, MetricsRow* row);
+
+/// Vector helper over any element with a Put/Get pair above.
+template <typename T>
+void PutVec(WireWriter& w, const std::vector<T>& v) {
+  w.U32(static_cast<std::uint32_t>(v.size()));
+  for (const T& item : v) Put(w, item);
+}
+
+template <typename T>
+Status GetVec(WireReader& r, std::vector<T>* v, std::size_t min_bytes) {
+  std::size_t n = 0;
+  DC_RET(r.Count(&n, min_bytes));
+  v->resize(n);
+  for (std::size_t i = 0; i < n; ++i) DC_RET(Get(r, &(*v)[i]));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const WireReportResult& res) {
+  w.U64(res.cp_count);
+  PutVec(w, res.keyed_events);
+  PutVec(w, res.episodes);
+  PutVec(w, res.triples);
+  PutVec(w, res.new_terms);
+  PutVec(w, res.tags);
+  PutVec(w, res.node_geo);
+  w.I64(res.synopses_ns);
+  w.I64(res.transform_ns);
+  w.I64(res.keyed_cep_ns);
+}
+constexpr std::size_t kMinResultBytes = 56;
+
+Status Get(WireReader& r, WireReportResult* res) {
+  DC_RET(r.U64(&res->cp_count));
+  DC_RET(GetVec(r, &res->keyed_events, kMinEventBytes));
+  DC_RET(GetVec(r, &res->episodes, kMinEpisodeBytes));
+  DC_RET(GetVec(r, &res->triples, kMinTripleBytes));
+  DC_RET(GetVec(r, &res->new_terms, kMinTermBytes));
+  DC_RET(GetVec(r, &res->tags, kMinTagBytes));
+  DC_RET(GetVec(r, &res->node_geo, kMinNodeGeoBytes));
+  DC_RET(r.I64(&res->synopses_ns));
+  DC_RET(r.I64(&res->transform_ns));
+  DC_RET(r.I64(&res->keyed_cep_ns));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const KeyedFlush& f) {
+  PutVec(w, f.critical_points);
+  PutVec(w, f.continuations);
+  PutVec(w, f.completed_episodes);
+  PutVec(w, f.trailing_episodes);
+  PutVec(w, f.events);
+}
+
+Status Get(WireReader& r, KeyedFlush* f) {
+  DC_RET(GetVec(r, &f->critical_points, kMinCriticalPointBytes));
+  DC_RET(GetVec(r, &f->continuations, kMinContinuationBytes));
+  DC_RET(GetVec(r, &f->completed_episodes, kMinEpisodeBytes));
+  DC_RET(GetVec(r, &f->trailing_episodes, kMinEpisodeBytes));
+  DC_RET(GetVec(r, &f->events, kMinEventBytes));
+  return Status::OK();
+}
+
+/// OperatorMetrics ships its mergeable raw state: the Welford accumulator
+/// fields and the nonzero histogram buckets (sparse — most of the 64 log2
+/// buckets are empty for any real latency distribution).
+void Put(WireWriter& w, const OperatorMetrics& m) {
+  w.Str(m.name);
+  w.U64(m.items_in);
+  w.U64(m.items_out);
+  w.U64(m.process_nanos.count());
+  w.F64(m.process_nanos.mean());
+  w.F64(m.process_nanos.m2());
+  w.F64(m.process_nanos.min());
+  w.F64(m.process_nanos.max());
+  std::uint32_t nonzero = 0;
+  for (std::size_t b = 0; b < LogHistogram::num_buckets(); ++b) {
+    if (m.latency_ns.bucket_count(b) != 0) ++nonzero;
+  }
+  w.U32(nonzero);
+  for (std::size_t b = 0; b < LogHistogram::num_buckets(); ++b) {
+    const std::size_t c = m.latency_ns.bucket_count(b);
+    if (c == 0) continue;
+    w.U8(static_cast<std::uint8_t>(b));
+    w.U64(c);
+  }
+}
+constexpr std::size_t kMinMetricsBytes = 64;
+
+Status Get(WireReader& r, OperatorMetrics* m) {
+  DC_RET(r.Str(&m->name));
+  std::uint64_t items_in = 0;
+  std::uint64_t items_out = 0;
+  DC_RET(r.U64(&items_in));
+  DC_RET(r.U64(&items_out));
+  m->items_in = items_in;
+  m->items_out = items_out;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  DC_RET(r.U64(&count));
+  DC_RET(r.F64(&mean));
+  DC_RET(r.F64(&m2));
+  DC_RET(r.F64(&min));
+  DC_RET(r.F64(&max));
+  m->process_nanos = RunningStats::FromRaw(count, mean, m2, min, max);
+  std::size_t buckets = 0;
+  DC_RET(r.Count(&buckets, /*min_element_bytes=*/9));
+  m->latency_ns = LogHistogram();
+  for (std::size_t i = 0; i < buckets; ++i) {
+    std::uint8_t b = 0;
+    std::uint64_t c = 0;
+    DC_RET(r.U8(&b));
+    DC_RET(r.U64(&c));
+    if (b >= LogHistogram::num_buckets() || c == 0) {
+      return Status::ParseError("bad histogram bucket");
+    }
+    m->latency_ns.AddBucketCount(b, c);
+  }
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const MetricsRow& row) {
+  w.Str(row.stage);
+  Put(w, row.metrics);
+  w.U64(row.instances);
+}
+constexpr std::size_t kMinRowBytes = 4 + kMinMetricsBytes + 8;
+
+Status Get(WireReader& r, MetricsRow* row) {
+  DC_RET(r.Str(&row->stage));
+  DC_RET(Get(r, &row->metrics));
+  std::uint64_t instances = 0;
+  DC_RET(r.U64(&instances));
+  row->instances = instances;
+  return Status::OK();
+}
+
+// --- envelope -----------------------------------------------------------
+
+WireWriter Envelope(MsgType type) {
+  WireWriter w;
+  w.U16(static_cast<std::uint16_t>(type));
+  return w;
+}
+
+Status OpenEnvelope(WireReader& r, MsgType expected) {
+  std::uint16_t type = 0;
+  DC_RET(r.U16(&type));
+  if (type != static_cast<std::uint16_t>(expected)) {
+    return Status::ParseError("unexpected message type");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Encode(const HelloMsg& msg) {
+  WireWriter w = Envelope(MsgType::kHello);
+  w.U32(msg.node_id);
+  w.U32(msg.num_nodes);
+  PutVec(w, msg.baseline);
+  return w.Take();
+}
+
+std::string Encode(const ReportBatchMsg& msg) {
+  WireWriter w = Envelope(MsgType::kReportBatch);
+  w.I64(msg.epoch);
+  PutVec(w, msg.reports);
+  return w.Take();
+}
+
+std::string Encode(const EpochResultMsg& msg) {
+  WireWriter w = Envelope(MsgType::kEpochResult);
+  w.I64(msg.epoch);
+  w.U64(msg.dict_size_before);
+  PutVec(w, msg.results);
+  return w.Take();
+}
+
+std::string Encode(const WatermarkMsg& msg) {
+  WireWriter w = Envelope(MsgType::kWatermark);
+  w.I64(msg.epoch);
+  return w.Take();
+}
+
+std::string Encode(const FlushResultMsg& msg) {
+  WireWriter w = Envelope(MsgType::kFlushResult);
+  Put(w, msg.flush);
+  return w.Take();
+}
+
+std::string Encode(const MetricsResultMsg& msg) {
+  WireWriter w = Envelope(MsgType::kMetricsResult);
+  PutVec(w, msg.rows);
+  return w.Take();
+}
+
+std::string EncodeControl(MsgType type) {
+  return Envelope(type).Take();
+}
+
+Status DecodeType(const std::string& payload, MsgType* type) {
+  WireReader r(payload);
+  std::uint16_t t = 0;
+  DC_RET(r.U16(&t));
+  if (t < static_cast<std::uint16_t>(MsgType::kHello) ||
+      t > static_cast<std::uint16_t>(MsgType::kShutdown)) {
+    return Status::ParseError("unknown message type");
+  }
+  *type = static_cast<MsgType>(t);
+  return Status::OK();
+}
+
+Status Decode(const std::string& payload, HelloMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kHello));
+  DC_RET(r.U32(&msg->node_id));
+  DC_RET(r.U32(&msg->num_nodes));
+  DC_RET(GetVec(r, &msg->baseline, kMinTermBytes));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, ReportBatchMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kReportBatch));
+  DC_RET(r.I64(&msg->epoch));
+  DC_RET(GetVec(r, &msg->reports, kMinReportBytes));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, EpochResultMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kEpochResult));
+  DC_RET(r.I64(&msg->epoch));
+  DC_RET(r.U64(&msg->dict_size_before));
+  DC_RET(GetVec(r, &msg->results, kMinResultBytes));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, WatermarkMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kWatermark));
+  DC_RET(r.I64(&msg->epoch));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, FlushResultMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kFlushResult));
+  DC_RET(Get(r, &msg->flush));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, MetricsResultMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kMetricsResult));
+  DC_RET(GetVec(r, &msg->rows, kMinRowBytes));
+  return r.ExpectEnd();
+}
+
+#undef DC_RET
+
+}  // namespace datacron

@@ -1,0 +1,142 @@
+#ifndef DATACRON_NET_CODEC_H_
+#define DATACRON_NET_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "datacron/engine.h"
+#include "net/wire.h"
+#include "rdf/term.h"
+
+namespace datacron {
+
+/// Cluster protocol messages. Every payload is a u16 message type followed
+/// by the body, encoded with the wire primitives (net/wire.h). Decoders
+/// validate the type tag, every enum value, every sequence count, and that
+/// the body consumes the payload exactly; anything off returns ParseError.
+///
+/// Flow (coordinator <-> node):
+///
+///   node        -> Hello            once, after connect: node id, fleet
+///                                   size, and the node dictionary's
+///                                   construction-time baseline terms
+///   coordinator -> ReportBatch      one per (epoch, node); may be empty
+///   node        -> EpochResult      keyed outputs + per-report dictionary
+///                                   deltas for a nonempty batch
+///   node        -> Watermark        in place of EpochResult for an empty
+///                                   batch: advances the epoch barrier
+///   coordinator -> FlushRequest     end-of-stream
+///   node        -> FlushResult      the node's KeyedFlush
+///   coordinator -> MetricsRequest
+///   node        -> MetricsResult    keyed operator rows, raw counters
+///   coordinator -> Shutdown         node serve loop exits
+enum class MsgType : std::uint16_t {
+  kHello = 1,
+  kReportBatch,
+  kEpochResult,
+  kWatermark,
+  kFlushRequest,
+  kFlushResult,
+  kMetricsRequest,
+  kMetricsResult,
+  kShutdown,
+};
+
+struct HelloMsg {
+  std::uint32_t node_id = 0;
+  std::uint32_t num_nodes = 0;
+  /// The node dictionary's contents at connect time (vocab terms interned
+  /// by construction, ids 1..baseline.size()); seeds the coordinator's
+  /// id remap before any report flows.
+  std::vector<TermExport> baseline;
+
+  bool operator==(const HelloMsg&) const = default;
+};
+
+struct ReportBatchMsg {
+  std::int64_t epoch = 0;
+  std::vector<PositionReport> reports;
+
+  bool operator==(const ReportBatchMsg&) const = default;
+};
+
+/// DatacronEngine::ReportOutput flattened for the wire: the TermBatch
+/// becomes `new_terms` (the node-dictionary delta this report created, in
+/// intern order) and the side tables become id-sorted vectors so the
+/// encoded bytes are canonical regardless of hash-map iteration order.
+struct WireReportResult {
+  std::uint64_t cp_count = 0;
+  std::vector<Event> keyed_events;
+  std::vector<Episode> episodes;
+  std::vector<Triple> triples;
+  std::vector<TermExport> new_terms;
+  std::vector<std::pair<TermId, StTag>> tags;
+  std::vector<std::pair<TermId, NodeGeo>> node_geo;
+  std::int64_t synopses_ns = 0;
+  std::int64_t transform_ns = 0;
+  std::int64_t keyed_cep_ns = 0;
+
+  bool operator==(const WireReportResult&) const = default;
+};
+
+struct EpochResultMsg {
+  std::int64_t epoch = 0;
+  /// Node dictionary size before the first report of this epoch; the
+  /// coordinator cross-checks it against its remap table to catch lost or
+  /// reordered epochs.
+  std::uint64_t dict_size_before = 0;
+  /// One entry per report of the epoch's sub-batch, in input order.
+  std::vector<WireReportResult> results;
+
+  bool operator==(const EpochResultMsg&) const = default;
+};
+
+/// Epoch-watermark control message: the node saw epoch `epoch` (an empty
+/// sub-batch) and the coordinator's barrier may advance past it.
+struct WatermarkMsg {
+  std::int64_t epoch = 0;
+
+  bool operator==(const WatermarkMsg&) const = default;
+};
+
+struct FlushResultMsg {
+  KeyedFlush flush;
+
+  bool operator==(const FlushResultMsg&) const = default;
+};
+
+struct MetricsResultMsg {
+  std::vector<MetricsRow> rows;
+
+  bool operator==(const MetricsResultMsg&) const = default;
+};
+
+/// --- encode -------------------------------------------------------------
+
+std::string Encode(const HelloMsg& msg);
+std::string Encode(const ReportBatchMsg& msg);
+std::string Encode(const EpochResultMsg& msg);
+std::string Encode(const WatermarkMsg& msg);
+std::string Encode(const FlushResultMsg& msg);
+std::string Encode(const MetricsResultMsg& msg);
+/// kFlushRequest, kMetricsRequest, kShutdown: type tag only.
+std::string EncodeControl(MsgType type);
+
+/// --- decode -------------------------------------------------------------
+
+/// Peeks the envelope's message type without consuming the body.
+Status DecodeType(const std::string& payload, MsgType* type);
+
+Status Decode(const std::string& payload, HelloMsg* msg);
+Status Decode(const std::string& payload, ReportBatchMsg* msg);
+Status Decode(const std::string& payload, EpochResultMsg* msg);
+Status Decode(const std::string& payload, WatermarkMsg* msg);
+Status Decode(const std::string& payload, FlushResultMsg* msg);
+Status Decode(const std::string& payload, MetricsResultMsg* msg);
+
+}  // namespace datacron
+
+#endif  // DATACRON_NET_CODEC_H_

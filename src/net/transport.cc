@@ -1,0 +1,283 @@
+#include "net/transport.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "net/wire.h"
+
+namespace datacron {
+
+std::uint32_t Fnv1a32(std::string_view bytes) {
+  std::uint32_t h = 0x811C9DC5u;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  WireWriter w;
+  w.U32(kFrameMagic);
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U32(Fnv1a32(payload));
+  std::string out = w.Take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+Status DecodeFrameHeader(const char* header, std::uint32_t* payload_len) {
+  WireReader r(std::string_view(header, kFrameHeaderBytes));
+  std::uint32_t magic = 0;
+  std::uint32_t len = 0;
+  std::uint32_t checksum = 0;
+  if (Status s = r.U32(&magic); !s.ok()) return s;
+  if (Status s = r.U32(&len); !s.ok()) return s;
+  if (Status s = r.U32(&checksum); !s.ok()) return s;
+  if (magic != kFrameMagic) {
+    return Status::ParseError("bad frame magic");
+  }
+  if (len > kMaxFramePayloadBytes) {
+    return Status::ParseError("frame payload length exceeds limit");
+  }
+  *payload_len = len;
+  return Status::OK();
+}
+
+Status VerifyFramePayload(const char* header, std::string_view payload) {
+  WireReader r(std::string_view(header, kFrameHeaderBytes));
+  std::uint32_t magic = 0;
+  std::uint32_t len = 0;
+  std::uint32_t checksum = 0;
+  if (Status s = r.U32(&magic); !s.ok()) return s;
+  if (Status s = r.U32(&len); !s.ok()) return s;
+  if (Status s = r.U32(&checksum); !s.ok()) return s;
+  if (payload.size() != len) {
+    return Status::ParseError("frame payload length mismatch");
+  }
+  if (Fnv1a32(payload) != checksum) {
+    return Status::ParseError("frame checksum mismatch");
+  }
+  return Status::OK();
+}
+
+/// --- Loopback -----------------------------------------------------------
+
+struct LoopbackTransport::Channel {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> queue;
+  bool closed = false;
+};
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+LoopbackTransport::CreatePair() {
+  auto a_to_b = std::make_shared<Channel>();
+  auto b_to_a = std::make_shared<Channel>();
+  std::unique_ptr<Transport> a(new LoopbackTransport(a_to_b, b_to_a));
+  std::unique_ptr<Transport> b(new LoopbackTransport(b_to_a, a_to_b));
+  return {std::move(a), std::move(b)};
+}
+
+Status LoopbackTransport::Send(const std::string& payload) {
+  std::lock_guard<std::mutex> lk(tx_->mu);
+  if (tx_->closed) {
+    return Status::FailedPrecondition("loopback transport closed");
+  }
+  tx_->queue.push_back(payload);
+  tx_->cv.notify_all();
+  return Status::OK();
+}
+
+Result<std::string> LoopbackTransport::Recv() {
+  std::unique_lock<std::mutex> lk(rx_->mu);
+  rx_->cv.wait(lk, [this] { return !rx_->queue.empty() || rx_->closed; });
+  if (rx_->queue.empty()) {
+    return Status::FailedPrecondition("loopback transport closed");
+  }
+  std::string payload = std::move(rx_->queue.front());
+  rx_->queue.pop_front();
+  return payload;
+}
+
+void LoopbackTransport::Close() {
+  for (const auto& ch : {tx_, rx_}) {
+    std::lock_guard<std::mutex> lk(ch->mu);
+    ch->closed = true;
+    ch->cv.notify_all();
+  }
+}
+
+/// --- TCP ----------------------------------------------------------------
+
+namespace {
+
+/// Writes all of `data`, restarting on EINTR and short writes.
+Status WriteAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("tcp send failed: ") +
+                              std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `len` bytes. FailedPrecondition on clean EOF at a frame
+/// boundary (off == 0), Internal on EOF mid-frame or I/O error.
+Status ReadExact(int fd, char* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, buf + off, len - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("tcp recv failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0) {
+        return Status::FailedPrecondition("tcp transport closed by peer");
+      }
+      return Status::Internal("tcp connection truncated mid-frame");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd) : fd_(fd) {
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpTransport() override { Close(); }
+
+  Status Send(const std::string& payload) override {
+    std::lock_guard<std::mutex> lk(send_mu_);
+    if (closed_) return Status::FailedPrecondition("tcp transport closed");
+    return WriteAll(fd_, EncodeFrame(payload));
+  }
+
+  Result<std::string> Recv() override {
+    std::lock_guard<std::mutex> lk(recv_mu_);
+    if (closed_) return Status::FailedPrecondition("tcp transport closed");
+    char header[kFrameHeaderBytes];
+    if (Status s = ReadExact(fd_, header, kFrameHeaderBytes); !s.ok()) {
+      return s;
+    }
+    std::uint32_t payload_len = 0;
+    if (Status s = DecodeFrameHeader(header, &payload_len); !s.ok()) {
+      return s;
+    }
+    std::string payload(payload_len, '\0');
+    if (payload_len > 0) {
+      if (Status s = ReadExact(fd_, payload.data(), payload_len); !s.ok()) {
+        return s;
+      }
+    }
+    if (Status s = VerifyFramePayload(header, payload); !s.ok()) return s;
+    return payload;
+  }
+
+  void Close() override {
+    bool expected = false;
+    if (!closed_.compare_exchange_strong(expected, true)) return;
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+  }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+};
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Create(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("bind() failed: ") +
+                            std::strerror(errno));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("listen() failed: ") +
+                            std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("getsockname() failed: ") +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() { ::close(fd_); }
+
+Result<std::unique_ptr<Transport>> TcpListener::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("accept() failed: ") +
+                              std::strerror(errno));
+    }
+    return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+  }
+}
+
+Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket() failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return Status::Internal(std::string("connect() failed: ") +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+}
+
+}  // namespace datacron

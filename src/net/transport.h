@@ -1,0 +1,120 @@
+#ifndef DATACRON_NET_TRANSPORT_H_
+#define DATACRON_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace datacron {
+
+/// Point-to-point, ordered, reliable message channel between a cluster
+/// coordinator and one node. Two implementations ship with the repo: an
+/// in-process loopback (tests, benches) and a length-prefixed TCP socket
+/// (deployment). Both deliver whole payloads in FIFO order.
+///
+/// Thread-safety: one thread may Send while another Recvs, but each
+/// direction must be driven by at most one thread at a time.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers one payload. Blocks only for flow control (full peer queue
+  /// or socket buffer). FailedPrecondition once the channel is closed.
+  virtual Status Send(const std::string& payload) = 0;
+
+  /// Blocks until one payload arrives. FailedPrecondition on orderly
+  /// close with nothing left to drain, ParseError on a corrupt frame,
+  /// Internal on I/O errors.
+  virtual Result<std::string> Recv() = 0;
+
+  /// Closes both directions; pending Recvs wake with FailedPrecondition.
+  /// Idempotent.
+  virtual void Close() = 0;
+};
+
+/// --- Frame codec (TCP framing; exposed for tests) -----------------------
+///
+/// Every TCP payload travels inside a frame:
+///
+///   u32 magic     "DACR" (0x44414352), little-endian
+///   u32 length    payload byte count
+///   u32 checksum  FNV-1a over the payload bytes
+///   ...           payload
+///
+/// The magic catches stream desync, the length bounds the read, and the
+/// checksum rejects corruption before the payload reaches the codec.
+
+inline constexpr std::uint32_t kFrameMagic = 0x44414352;  // "DACR"
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Upper bound on a single frame's payload; a length above this is treated
+/// as corruption rather than an allocation request.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 1u << 30;
+
+std::uint32_t Fnv1a32(std::string_view bytes);
+
+/// Returns header + payload, ready to write to a byte stream.
+std::string EncodeFrame(std::string_view payload);
+
+/// Validates a 12-byte header. On success stores the payload length.
+Status DecodeFrameHeader(const char* header, std::uint32_t* payload_len);
+
+/// Validates the payload against the header's checksum.
+Status VerifyFramePayload(const char* header, std::string_view payload);
+
+/// --- In-process loopback ------------------------------------------------
+
+class LoopbackTransport final : public Transport {
+ public:
+  /// Two connected endpoints: what one Sends the other Recvs.
+  static std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+  CreatePair();
+
+  Status Send(const std::string& payload) override;
+  Result<std::string> Recv() override;
+  void Close() override;
+
+ private:
+  struct Channel;
+  LoopbackTransport(std::shared_ptr<Channel> tx, std::shared_ptr<Channel> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  std::shared_ptr<Channel> tx_;
+  std::shared_ptr<Channel> rx_;
+};
+
+/// --- TCP (127.0.0.1) ----------------------------------------------------
+
+class TcpTransport;
+
+/// Listening socket bound to 127.0.0.1. Pass port 0 to let the kernel pick
+/// one; `port()` reports the bound port either way.
+class TcpListener {
+ public:
+  static Result<std::unique_ptr<TcpListener>> Create(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for one inbound connection.
+  Result<std::unique_ptr<Transport>> Accept();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  std::uint16_t port_;
+};
+
+/// Connects to a TcpListener on 127.0.0.1.
+Result<std::unique_ptr<Transport>> TcpConnect(std::uint16_t port);
+
+}  // namespace datacron
+
+#endif  // DATACRON_NET_TRANSPORT_H_

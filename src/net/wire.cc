@@ -1,0 +1,125 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace datacron {
+
+namespace {
+
+template <typename T>
+void AppendLe(std::string* buf, T v) {
+  char bytes[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  buf->append(bytes, sizeof(T));
+}
+
+template <typename T>
+T ReadLe(const char* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void WireWriter::U16(std::uint16_t v) { AppendLe(&buf_, v); }
+void WireWriter::U32(std::uint32_t v) { AppendLe(&buf_, v); }
+void WireWriter::U64(std::uint64_t v) { AppendLe(&buf_, v); }
+
+void WireWriter::F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+Status WireReader::Take(std::size_t n, const char** out) {
+  if (remaining() < n) {
+    return Status::ParseError("wire payload truncated");
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status WireReader::U8(std::uint8_t* v) {
+  const char* p;
+  if (Status s = Take(1, &p); !s.ok()) return s;
+  *v = static_cast<std::uint8_t>(*p);
+  return Status::OK();
+}
+
+Status WireReader::U16(std::uint16_t* v) {
+  const char* p;
+  if (Status s = Take(2, &p); !s.ok()) return s;
+  *v = ReadLe<std::uint16_t>(p);
+  return Status::OK();
+}
+
+Status WireReader::U32(std::uint32_t* v) {
+  const char* p;
+  if (Status s = Take(4, &p); !s.ok()) return s;
+  *v = ReadLe<std::uint32_t>(p);
+  return Status::OK();
+}
+
+Status WireReader::U64(std::uint64_t* v) {
+  const char* p;
+  if (Status s = Take(8, &p); !s.ok()) return s;
+  *v = ReadLe<std::uint64_t>(p);
+  return Status::OK();
+}
+
+Status WireReader::I64(std::int64_t* v) {
+  std::uint64_t u;
+  if (Status s = U64(&u); !s.ok()) return s;
+  *v = static_cast<std::int64_t>(u);
+  return Status::OK();
+}
+
+Status WireReader::F64(double* v) {
+  std::uint64_t u;
+  if (Status s = U64(&u); !s.ok()) return s;
+  *v = std::bit_cast<double>(u);
+  return Status::OK();
+}
+
+Status WireReader::Bool(bool* v) {
+  std::uint8_t u;
+  if (Status s = U8(&u); !s.ok()) return s;
+  if (u > 1) return Status::ParseError("wire bool out of range");
+  *v = u != 0;
+  return Status::OK();
+}
+
+Status WireReader::Str(std::string* v) {
+  std::uint32_t len;
+  if (Status s = U32(&len); !s.ok()) return s;
+  const char* p;
+  if (Status s = Take(len, &p); !s.ok()) return s;
+  v->assign(p, len);
+  return Status::OK();
+}
+
+Status WireReader::Count(std::size_t* n, std::size_t min_element_bytes) {
+  std::uint32_t count;
+  if (Status s = U32(&count); !s.ok()) return s;
+  if (min_element_bytes == 0) min_element_bytes = 1;
+  if (count > remaining() / min_element_bytes) {
+    return Status::ParseError("wire sequence count exceeds payload");
+  }
+  *n = count;
+  return Status::OK();
+}
+
+Status WireReader::ExpectEnd() const {
+  if (!AtEnd()) return Status::ParseError("trailing bytes in wire payload");
+  return Status::OK();
+}
+
+}  // namespace datacron

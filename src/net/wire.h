@@ -1,0 +1,73 @@
+#ifndef DATACRON_NET_WIRE_H_
+#define DATACRON_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace datacron {
+
+/// Binary wire primitives for the cluster protocol. Fixed-width
+/// little-endian integers and IEEE doubles, u32-length-prefixed strings.
+/// The writer never fails; every reader step is bounds-checked and
+/// returns a Status — a truncated or corrupted payload yields ParseError,
+/// never a crash or an unbounded allocation.
+
+class WireWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  void Str(std::string_view s);
+
+  std::size_t size() const { return buf_.size(); }
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status U8(std::uint8_t* v);
+  Status U16(std::uint16_t* v);
+  Status U32(std::uint32_t* v);
+  Status U64(std::uint64_t* v);
+  Status I64(std::int64_t* v);
+  Status F64(double* v);
+  Status Bool(bool* v);
+  Status Str(std::string* v);
+
+  /// Reads a u32 element count and sanity-checks it: each element of a
+  /// sequence occupies at least `min_element_bytes` payload bytes, so a
+  /// count larger than remaining()/min_element_bytes is corrupt — caught
+  /// here, before the caller reserves memory for it.
+  Status Count(std::size_t* n, std::size_t min_element_bytes = 1);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  /// ParseError unless every payload byte was consumed — trailing bytes
+  /// mean a framing/codec mismatch.
+  Status ExpectEnd() const;
+
+ private:
+  Status Take(std::size_t n, const char** out);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_NET_WIRE_H_

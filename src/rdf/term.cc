@@ -71,6 +71,33 @@ TermKind TermDictionary::Kind(TermId id) const {
   return kinds_[id - 1];
 }
 
+Result<std::vector<TermExport>> TermDictionary::ExportRange(
+    TermId first_id, std::size_t count) const {
+  std::vector<TermExport> out;
+  out.reserve(count);
+  std::lock_guard<std::mutex> id_lock(id_mu_);
+  if (first_id == kInvalidTermId || first_id + count > texts_.size() + 1) {
+    return Status::OutOfRange(
+        StrFormat("export range [%llu, %llu) exceeds dictionary size %zu",
+                  static_cast<unsigned long long>(first_id),
+                  static_cast<unsigned long long>(first_id + count),
+                  texts_.size()));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(TermExport{texts_[first_id - 1 + i],
+                             kinds_[first_id - 1 + i]});
+  }
+  return out;
+}
+
+void TermDictionary::ImportDelta(const std::vector<TermExport>& delta,
+                                 std::vector<TermId>* remap) {
+  remap->reserve(remap->size() + delta.size());
+  for (const TermExport& t : delta) {
+    remap->push_back(Intern(t.text, t.kind));
+  }
+}
+
 std::vector<TermId> TermDictionary::MergeBatch(const TermBatch& batch) {
   std::vector<TermId> remap(batch.local_size());
   for (std::size_t i = 0; i < batch.local_size(); ++i) {

@@ -55,6 +55,16 @@ class TermSource {
 
 class TermBatch;
 
+/// One exported dictionary entry: the unit of the epoch dictionary deltas
+/// a cluster node ships to the coordinator (see cluster/). Exported in id
+/// order, so importing a delta reproduces the node's interning order.
+struct TermExport {
+  std::string text;
+  TermKind kind = TermKind::kIri;
+
+  bool operator==(const TermExport&) const = default;
+};
+
 /// Bidirectional string<->id dictionary. Encoding datasets once and
 /// operating on fixed-width ids is what makes triple joins cheap — the
 /// standard design of RDF stores (RDF-3X, Virtuoso) that datAcron's
@@ -95,6 +105,22 @@ class TermDictionary : public TermSource {
   /// identical to what serial interning of the full input would produce —
   /// independent of thread count and chunk boundaries.
   std::vector<TermId> MergeBatch(const TermBatch& batch);
+
+  /// Exports the `count` entries starting at id `first_id` in id order —
+  /// the dictionary delta for one epoch (or one report) of cluster
+  /// ingest. Ids outside [1, size()] yield an error, never a crash.
+  Result<std::vector<TermExport>> ExportRange(TermId first_id,
+                                              std::size_t count) const;
+
+  /// Interns an exported delta in order, appending one global id per
+  /// entry to `remap`. After importing node deltas in the node's id
+  /// order, `(*remap)[i]` is the global id of node-local id `i + base`
+  /// where `base` is the remap size before the first import — exactly the
+  /// node-local-to-global translation table the cluster coordinator keeps
+  /// per node. Idempotent: entries already present resolve to their
+  /// existing ids.
+  void ImportDelta(const std::vector<TermExport>& delta,
+                   std::vector<TermId>* remap);
 
  private:
   static constexpr std::size_t kStripes = 16;  // power of two

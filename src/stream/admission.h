@@ -1,0 +1,125 @@
+#ifndef DATACRON_STREAM_ADMISSION_H_
+#define DATACRON_STREAM_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace datacron {
+
+/// What a bounded ingest buffer does when a push source outruns the
+/// engine. IngestBatch already bounds in-flight *epochs*; this surfaces
+/// that bound to live sources (an NMEA feed cannot grow an input span
+/// forever — it must either stall the producer or shed load).
+enum class AdmissionPolicy : std::uint8_t {
+  /// Producer blocks in Push() until the consumer frees capacity.
+  /// Lossless; backpressure propagates upstream.
+  kBlock = 0,
+  /// Push() always succeeds immediately; the *oldest* buffered item is
+  /// evicted to make room (stale positions are worth the least). Drops
+  /// are counted, never silent.
+  kDropOldest,
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+/// Bounded producer/consumer buffer between a push source and the engine
+/// ingest loop. Thread-safe: any number of producers call Push, one (or
+/// more) consumers call PopBatch. Capacity should be the engine's
+/// in-flight window (epoch_size * max_epochs_in_flight) so the admission
+/// bound and the runtime's epoch bound are the same knob — see
+/// DatacronEngine::NewAdmissionQueue().
+template <typename T>
+class AdmissionQueue {
+ public:
+  struct Options {
+    std::size_t capacity = 4096;
+    AdmissionPolicy policy = AdmissionPolicy::kBlock;
+  };
+
+  explicit AdmissionQueue(Options opts) : opts_(opts) {
+    if (opts_.capacity == 0) opts_.capacity = 1;
+  }
+
+  /// Admits one item under the queue's policy. Returns false only when
+  /// the queue is closed (the item is discarded and not counted dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (opts_.policy == AdmissionPolicy::kBlock) {
+      not_full_.wait(lk, [this] {
+        return closed_ || items_.size() < opts_.capacity;
+      });
+      if (closed_) return false;
+    } else {
+      if (closed_) return false;
+      while (items_.size() >= opts_.capacity) {
+        items_.pop_front();
+        ++dropped_;
+      }
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops up to `max_items` admitted items in arrival order. Blocks until
+  /// at least one item is available or the queue is closed; an empty
+  /// result means closed-and-drained (end of stream).
+  std::vector<T> PopBatch(std::size_t max_items) {
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    std::vector<T> out;
+    const std::size_t n =
+        items_.size() < max_items ? items_.size() : max_items;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Ends the stream: blocked producers return false, consumers drain the
+  /// remaining items and then see empty batches.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Items evicted by kDropOldest so far (always 0 under kBlock).
+  std::size_t dropped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+  }
+
+  /// Currently buffered items (<= capacity at all times).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return opts_.capacity; }
+  AdmissionPolicy policy() const { return opts_.policy; }
+
+ private:
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_STREAM_ADMISSION_H_

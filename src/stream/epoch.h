@@ -1,0 +1,90 @@
+#ifndef DATACRON_STREAM_EPOCH_H_
+#define DATACRON_STREAM_EPOCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace datacron {
+
+/// The routing/watermark contract shared by the in-process ShardedRuntime
+/// and the distributed cluster runtime (cluster/coordinator): input is cut
+/// into *epochs* (contiguous ranges), every item of an epoch is routed by
+/// key to one of n partitions, and the epoch may only be merged (global
+/// stage / coordinator absorb) once every partition's watermark has passed
+/// it. Keeping the contract in one place guarantees the two runtimes
+/// agree on what "deterministic at any partition count" means.
+
+/// Per-partition index lists of one epoch: by_part[p] holds the indices
+/// (relative to the epoch's first item) of the items partition p must
+/// process, in input order.
+struct EpochRouting {
+  std::vector<std::vector<std::uint32_t>> by_part;
+
+  /// Routes `items` across `num_parts` partitions: item i goes to
+  /// key(items[i]) % num_parts. Every partition gets an entry (possibly
+  /// empty) so its watermark can advance past the epoch.
+  template <typename In, typename KeyFn>
+  static EpochRouting Build(std::span<const In> items,
+                            std::size_t num_parts, KeyFn&& key) {
+    EpochRouting r;
+    r.by_part.resize(num_parts);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      r.by_part[key(items[i]) % num_parts].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+    return r;
+  }
+};
+
+/// Tracks the per-partition epoch watermarks behind the merge barrier.
+/// watermark(p) == e means partition p has finished every epoch <= e.
+/// Not internally synchronized: the in-process runtime updates it under
+/// its own lock, the cluster coordinator from its single receive loop.
+class EpochWatermarks {
+ public:
+  static constexpr std::int64_t kNone = -1;
+
+  explicit EpochWatermarks(std::size_t num_parts)
+      : marks_(num_parts, kNone) {}
+
+  std::size_t num_parts() const { return marks_.size(); }
+  std::int64_t watermark(std::size_t part) const { return marks_[part]; }
+
+  /// Advances partition `part` to `epoch`. Watermarks never move
+  /// backwards: a stale update (epoch lower than the current mark) is
+  /// ignored, so redeliveries cannot re-open a released barrier.
+  void Advance(std::size_t part, std::int64_t epoch) {
+    if (epoch > marks_[part]) marks_[part] = epoch;
+  }
+
+  /// True once every partition's watermark has reached `epoch` — the
+  /// barrier condition for merging that epoch.
+  bool AllPassed(std::int64_t epoch) const {
+    for (const std::int64_t w : marks_) {
+      if (w < epoch) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::int64_t> marks_;
+};
+
+/// Cuts [0, n) into epochs of at most `epoch_size` items and invokes
+/// fn(epoch_id, pos, len) for each, in order. Both runtimes derive their
+/// epoch boundaries from this so an epoch id means the same input range
+/// everywhere.
+template <typename Fn>
+void ForEachEpoch(std::size_t n, std::size_t epoch_size, Fn&& fn) {
+  std::int64_t id = 0;
+  for (std::size_t pos = 0; pos < n; pos += epoch_size) {
+    const std::size_t len = epoch_size < n - pos ? epoch_size : n - pos;
+    fn(id++, pos, len);
+  }
+}
+
+}  // namespace datacron
+
+#endif  // DATACRON_STREAM_EPOCH_H_

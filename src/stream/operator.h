@@ -43,6 +43,8 @@ struct OperatorMetrics {
     return items_in == 0 ? 0.0 : 100.0 * items_out / items_in;
   }
 
+  bool operator==(const OperatorMetrics&) const = default;
+
   /// Folds another instance's counters into this one (per-shard copies of
   /// a keyed operator, per-thread copies of a pipeline stage).
   void Merge(const OperatorMetrics& other) {

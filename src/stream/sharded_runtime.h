@@ -9,9 +9,11 @@
 #include <exception>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "stream/epoch.h"
 
 namespace datacron {
 
@@ -81,12 +83,14 @@ class ShardedRuntime {
  private:
   /// One contiguous input range plus its routing table and output slots.
   /// Lives in the coordinator's ring (std::deque keeps addresses stable
-  /// while shards hold pointers to in-flight epochs).
+  /// while shards hold pointers to in-flight epochs). The routing table
+  /// is the shared EpochRouting contract (stream/epoch.h) that the
+  /// cluster coordinator also builds per epoch.
   struct Epoch {
     std::int64_t id = 0;
     std::span<const In> items;
     std::vector<Slot> slots;
-    std::vector<std::vector<std::uint32_t>> by_shard;
+    EpochRouting routing;
   };
 
   struct Mailbox {
@@ -97,19 +101,17 @@ class ShardedRuntime {
   };
 
   struct RunState {
-    explicit RunState(std::size_t n)
-        : mailboxes(n), watermarks(n, kNoWatermark) {}
+    explicit RunState(std::size_t n) : mailboxes(n), watermarks(n) {}
 
     std::vector<Mailbox> mailboxes;
     std::mutex mu;
     std::condition_variable cv;
-    /// watermarks[s] == e means shard s has finished every epoch <= e.
-    std::vector<std::int64_t> watermarks;
+    /// Per-shard epoch watermarks behind the merge barrier; updated and
+    /// read under `mu`.
+    EpochWatermarks watermarks;
     std::size_t active_drains = 0;
     std::exception_ptr error;
   };
-
-  static constexpr std::int64_t kNoWatermark = -1;
 
   template <typename KeyFn, typename KeyedFn, typename GlobalFn>
   void RunSerial(std::span<const In> input, KeyFn& key, KeyedFn& keyed,
@@ -159,7 +161,7 @@ class ShardedRuntime {
         }
         if (!failed) {
           try {
-            for (std::uint32_t idx : e->by_shard[shard]) {
+            for (std::uint32_t idx : e->routing.by_part[shard]) {
               keyed(shard, e->items[idx], &e->slots[idx]);
             }
           } catch (...) {
@@ -169,7 +171,7 @@ class ShardedRuntime {
         }
         {
           std::lock_guard<std::mutex> lk(st.mu);
-          st.watermarks[shard] = e->id;
+          st.watermarks.Advance(shard, e->id);
         }
         st.cv.notify_all();
       }
@@ -207,11 +209,7 @@ class ShardedRuntime {
     std::deque<Epoch> ring;
 
     auto front_done = [&]() {  // st.mu must be held
-      const std::int64_t id = ring.front().id;
-      for (std::int64_t w : st.watermarks) {
-        if (w < id) return false;
-      }
-      return true;
+      return st.watermarks.AllPassed(ring.front().id);
     };
 
     // Runs the global stage over the oldest epoch and retires it. When
@@ -243,31 +241,25 @@ class ShardedRuntime {
       return true;
     };
 
-    std::int64_t next_id = 0;
-    for (std::size_t pos = 0; pos < input.size();
-         pos += opts_.epoch_size) {
+    ForEachEpoch(input.size(), opts_.epoch_size, [&](std::int64_t id,
+                                                     std::size_t pos,
+                                                     std::size_t len) {
       while (ring.size() >= opts_.max_epochs_in_flight) {
         consume_front(/*blocking=*/true);
       }
       while (!ring.empty() && consume_front(/*blocking=*/false)) {
       }
 
-      const std::size_t len =
-          std::min(opts_.epoch_size, input.size() - pos);
       ring.emplace_back();
       Epoch& e = ring.back();
-      e.id = next_id++;
+      e.id = id;
       e.items = input.subspan(pos, len);
       e.slots.resize(len);
-      e.by_shard.resize(n);
-      for (std::size_t i = 0; i < len; ++i) {
-        e.by_shard[key(e.items[i]) % n].push_back(
-            static_cast<std::uint32_t>(i));
-      }
+      e.routing = EpochRouting::Build(e.items, n, key);
       // Every shard receives every epoch (possibly with an empty index
       // list) so its watermark advances and the barrier can release.
       for (std::size_t s = 0; s < n; ++s) post(s, &e);
-    }
+    });
 
     while (!ring.empty()) consume_front(/*blocking=*/true);
 

@@ -1,12 +1,25 @@
-// The stream module is header-only templates; this translation unit exists
-// so the static library has an archive member and template headers get a
-// syntax check during library builds.
+// The stream module is mostly header-only templates; this translation
+// unit holds the few non-template symbols and syntax-checks the headers
+// during library builds.
+#include "stream/admission.h"
+#include "stream/epoch.h"
 #include "stream/operator.h"
 #include "stream/pipeline.h"
 #include "stream/queue.h"
 #include "stream/window.h"
 
 namespace datacron {
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kDropOldest:
+      return "drop-oldest";
+  }
+  return "unknown";
+}
+
 namespace {
 // Force a couple of common instantiations to catch template errors early.
 [[maybe_unused]] void InstantiationCheck() {
@@ -15,6 +28,12 @@ namespace {
   std::vector<int> out;
   map_op.ProcessCounted(1, &out);
   filter_op.ProcessCounted(2, &out);
+  AdmissionQueue<int> queue({2, AdmissionPolicy::kDropOldest});
+  queue.Push(1);
+  queue.Close();
+  EpochWatermarks marks(2);
+  marks.Advance(0, 0);
+  ForEachEpoch(4, 2, [&](std::int64_t, std::size_t, std::size_t) {});
 }
 }  // namespace
 }  // namespace datacron

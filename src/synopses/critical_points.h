@@ -34,6 +34,8 @@ const char* CriticalPointTypeName(CriticalPointType type);
 struct CriticalPoint {
   PositionReport report;
   CriticalPointType type = CriticalPointType::kHeartbeat;
+
+  bool operator==(const CriticalPoint&) const = default;
 };
 
 /// Thresholds of the online detector. Defaults follow the maritime

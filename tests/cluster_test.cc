@@ -1,0 +1,367 @@
+// Cluster runtime: byte-identity of the multi-node engine with serial
+// Ingest at 1/2/4 nodes over loopback and TCP transports, including
+// epoch-boundary edge cases; admission-policy semantics of the live push
+// path; and the fleet-wide metrics merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "cluster/local_cluster.h"
+#include "datacron/engine.h"
+#include "sources/adsb_generator.h"
+#include "sources/ais_generator.h"
+#include "stream/admission.h"
+
+namespace datacron {
+namespace {
+
+DatacronEngine::Config ClusterConfig(std::size_t epoch_size = 128) {
+  DatacronEngine::Config cfg;
+  cfg.areas.push_back(NamedArea{
+      "port_alpha", Polygon::Rectangle(BoundingBox::Of(36, 24, 36.5, 24.5))});
+  cfg.sectors.push_back(CapacityMonitor::Sector{
+      "aegean", Polygon::Rectangle(BoundingBox::Of(35.0, 23.0, 39.0, 27.0)),
+      5});
+  cfg.hotspot_window = 10 * kMinute;
+  cfg.hotspot.zscore_threshold = 2.0;
+  cfg.gap.gap_threshold = 5 * kMinute;
+  cfg.synopses.gap_threshold = 5 * kMinute;
+  cfg.epoch_size = epoch_size;
+  return cfg;
+}
+
+/// Mixed AIS + ADS-B replay with an injected silence window, same shape as
+/// the in-process shard identity test: gap state, episode flushes and the
+/// RDF continuation tables all cross epoch and node boundaries.
+std::vector<PositionReport> MixedStream() {
+  AisGeneratorConfig fleet;
+  fleet.num_vessels = 10;
+  fleet.duration = 30 * kMinute;
+  ObservationConfig obs;
+  obs.fixed_interval_ms = 15 * kSecond;
+  std::vector<PositionReport> ais = ObserveFleet(GenerateAisFleet(fleet), obs);
+
+  AdsbGeneratorConfig air;
+  air.region = BoundingBox::Of(35.0, 23.0, 39.0, 27.0);
+  air.num_airports = 3;
+  air.num_flights = 5;
+  air.duration = 30 * kMinute;
+  air.departure_window = 10 * kMinute;
+  ObservationConfig air_obs;
+  air_obs.fixed_interval_ms = 10 * kSecond;
+  std::vector<PositionReport> adsb =
+      ObserveFleet(GenerateAdsbTraffic(air), air_obs);
+
+  std::vector<PositionReport> merged;
+  merged.reserve(ais.size() + adsb.size());
+  merged.insert(merged.end(), ais.begin(), ais.end());
+  merged.insert(merged.end(), adsb.begin(), adsb.end());
+  std::sort(merged.begin(), merged.end(), ReportTimeOrder());
+
+  const EntityId silenced = merged.front().entity_id;
+  const TimestampMs t0 = merged.front().timestamp + 8 * kMinute;
+  const TimestampMs t1 = t0 + 15 * kMinute;
+  std::erase_if(merged, [&](const PositionReport& r) {
+    return r.entity_id == silenced && r.timestamp >= t0 && r.timestamp < t1;
+  });
+  return merged;
+}
+
+struct RunOutputs {
+  std::vector<Event> events;
+  std::vector<Triple> triples;
+  std::vector<Episode> episodes;
+  std::size_t critical_points = 0;
+  std::size_t reports = 0;
+  std::size_t dict_size = 0;
+  std::size_t entity_count = 0;
+  std::size_t total_points = 0;
+};
+
+RunOutputs Snapshot(const DatacronEngine& engine, std::vector<Event> events) {
+  RunOutputs run;
+  run.events = std::move(events);
+  run.triples = engine.triples();
+  run.episodes = engine.episodes();
+  run.critical_points = engine.critical_points();
+  run.reports = engine.reports_ingested();
+  run.dict_size = engine.dictionary().size();
+  run.entity_count = engine.trajectories().EntityCount();
+  run.total_points = engine.trajectories().TotalPoints();
+  return run;
+}
+
+RunOutputs RunSerial(const std::vector<PositionReport>& stream) {
+  DatacronEngine engine(ClusterConfig());
+  std::vector<Event> events;
+  for (const PositionReport& r : stream) {
+    const auto evs = engine.Ingest(r);
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  const auto final_events = engine.Finish();
+  events.insert(events.end(), final_events.begin(), final_events.end());
+  return Snapshot(engine, std::move(events));
+}
+
+RunOutputs RunCluster(const std::vector<PositionReport>& stream,
+                      std::size_t num_nodes, LocalCluster::Wire wire,
+                      std::size_t epoch_size = 128) {
+  LocalCluster::Options opts;
+  opts.engine = ClusterConfig(epoch_size);
+  opts.num_nodes = num_nodes;
+  opts.wire = wire;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(opts);
+  EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+  if (!cluster.ok()) return {};
+
+  Result<std::vector<Event>> events =
+      cluster.value()->engine().IngestBatch(stream);
+  EXPECT_TRUE(events.ok()) << events.status().ToString();
+  if (!events.ok()) return {};
+  Result<std::vector<Event>> final_events =
+      cluster.value()->engine().Finish();
+  EXPECT_TRUE(final_events.ok()) << final_events.status().ToString();
+  if (!final_events.ok()) return {};
+
+  std::vector<Event> all = std::move(events).value();
+  all.insert(all.end(), final_events.value().begin(),
+             final_events.value().end());
+  RunOutputs run =
+      Snapshot(cluster.value()->engine().engine(), std::move(all));
+  const Status stop = cluster.value()->Stop();
+  EXPECT_TRUE(stop.ok()) << stop.ToString();
+  return run;
+}
+
+void ExpectIdentical(const RunOutputs& a, const RunOutputs& b) {
+  EXPECT_EQ(a.reports, b.reports);
+  EXPECT_EQ(a.critical_points, b.critical_points);
+  EXPECT_EQ(a.dict_size, b.dict_size);
+  EXPECT_EQ(a.entity_count, b.entity_count);
+  EXPECT_EQ(a.total_points, b.total_points);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_TRUE(a.events == b.events);
+  ASSERT_EQ(a.triples.size(), b.triples.size());
+  EXPECT_TRUE(a.triples == b.triples);
+  ASSERT_EQ(a.episodes.size(), b.episodes.size());
+  EXPECT_TRUE(a.episodes == b.episodes);
+}
+
+TEST(ClusterTest, ByteIdenticalAcrossNodeCountsOverLoopback) {
+  const auto stream = MixedStream();
+  ASSERT_GT(stream.size(), 1000u);
+  const RunOutputs serial = RunSerial(stream);
+  ASSERT_FALSE(serial.events.empty());
+  ASSERT_FALSE(serial.triples.empty());
+  ASSERT_FALSE(serial.episodes.empty());
+
+  for (const std::size_t nodes : {1u, 2u, 4u}) {
+    SCOPED_TRACE(nodes);
+    const RunOutputs run =
+        RunCluster(stream, nodes, LocalCluster::Wire::kLoopback);
+    ExpectIdentical(serial, run);
+  }
+}
+
+TEST(ClusterTest, ByteIdenticalOverTcpSockets) {
+  const auto stream = MixedStream();
+  const RunOutputs serial = RunSerial(stream);
+  for (const std::size_t nodes : {1u, 2u, 4u}) {
+    SCOPED_TRACE(nodes);
+    const RunOutputs run =
+        RunCluster(stream, nodes, LocalCluster::Wire::kTcp);
+    ExpectIdentical(serial, run);
+  }
+}
+
+TEST(ClusterTest, ByteIdenticalAtEpochBoundaryEdgeCases) {
+  const auto stream = MixedStream();
+  const RunOutputs serial = RunSerial(stream);
+  // Epoch size 1 maximizes barrier churn (every report is its own epoch
+  // and dictionary delta); 32 leaves most entity state straddling epochs.
+  for (const std::size_t epoch_size : {1u, 32u}) {
+    SCOPED_TRACE(epoch_size);
+    const RunOutputs run = RunCluster(
+        stream, 4, LocalCluster::Wire::kLoopback, epoch_size);
+    ExpectIdentical(serial, run);
+  }
+}
+
+TEST(ClusterTest, SplitIngestBatchesMatchOneBatch) {
+  // Epoch numbering is global across IngestBatch calls, so feeding the
+  // stream in slices must behave exactly like one batch.
+  const auto stream = MixedStream();
+  const RunOutputs serial = RunSerial(stream);
+
+  LocalCluster::Options opts;
+  opts.engine = ClusterConfig();
+  opts.num_nodes = 2;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(opts);
+  ASSERT_TRUE(cluster.ok());
+  std::vector<Event> events;
+  const std::size_t third = stream.size() / 3;
+  const std::span<const PositionReport> all(stream);
+  for (const auto slice :
+       {all.subspan(0, third), all.subspan(third, third),
+        all.subspan(2 * third)}) {
+    Result<std::vector<Event>> evs =
+        cluster.value()->engine().IngestBatch(slice);
+    ASSERT_TRUE(evs.ok()) << evs.status().ToString();
+    events.insert(events.end(), evs.value().begin(), evs.value().end());
+  }
+  Result<std::vector<Event>> final_events = cluster.value()->engine().Finish();
+  ASSERT_TRUE(final_events.ok());
+  events.insert(events.end(), final_events.value().begin(),
+                final_events.value().end());
+  ExpectIdentical(serial, Snapshot(cluster.value()->engine().engine(),
+                                   std::move(events)));
+  ASSERT_TRUE(cluster.value()->Stop().ok());
+}
+
+TEST(ClusterTest, FleetMetricsMergeAcrossNodes) {
+  const auto stream = MixedStream();
+  LocalCluster::Options opts;
+  opts.engine = ClusterConfig();
+  opts.num_nodes = 3;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(opts);
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE(cluster.value()->engine().IngestBatch(stream).ok());
+
+  Result<std::string> report = cluster.value()->engine().MetricsReport();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // One table covering the whole fleet: every keyed detector (merged
+  // across the three nodes) plus the coordinator's global stages.
+  for (const char* name :
+       {"critical_point_detector", "area_event_detector",
+        "loitering_detector", "gap_detector", "speed_anomaly_detector",
+        "proximity_detector", "capacity_monitor", "hotspot_detector"}) {
+    EXPECT_NE(report.value().find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(report.value().find("cep-keyed"), std::string::npos);
+  EXPECT_NE(report.value().find("cep-global"), std::string::npos);
+  ASSERT_TRUE(cluster.value()->Stop().ok());
+}
+
+// ---------------------------------------------------------------------
+// Admission policy (live push path)
+// ---------------------------------------------------------------------
+
+TEST(AdmissionQueueTest, BlockPolicyStallsProducerUntilDrained) {
+  AdmissionQueue<int>::Options opts;
+  opts.capacity = 2;
+  opts.policy = AdmissionPolicy::kBlock;
+  AdmissionQueue<int> queue(opts);
+
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));
+  std::thread producer([&queue] { EXPECT_TRUE(queue.Push(3)); });
+  // The third push must block while the queue is full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::vector<int> got = queue.PopBatch(8);
+  producer.join();
+  std::vector<int> rest = queue.PopBatch(8);
+  got.insert(got.end(), rest.begin(), rest.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.dropped(), 0u);
+}
+
+TEST(AdmissionQueueTest, DropOldestPolicyShedsFromTheFront) {
+  AdmissionQueue<int>::Options opts;
+  opts.capacity = 2;
+  opts.policy = AdmissionPolicy::kDropOldest;
+  AdmissionQueue<int> queue(opts);
+
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.dropped(), 3u);
+  EXPECT_EQ(queue.PopBatch(8), (std::vector<int>{4, 5}));
+
+  queue.Close();
+  EXPECT_FALSE(queue.Push(6));
+  EXPECT_TRUE(queue.PopBatch(8).empty());
+}
+
+TEST(AdmissionTest, EngineQueueIngestMatchesSerialUnderBlockPolicy) {
+  const auto stream = MixedStream();
+  const RunOutputs serial = RunSerial(stream);
+
+  DatacronEngine::Config cfg = ClusterConfig();
+  cfg.admission = AdmissionPolicy::kBlock;
+  cfg.admission_capacity = 64;  // tiny: force the producer to stall
+  DatacronEngine engine(cfg);
+  auto queue = engine.NewAdmissionQueue();
+  EXPECT_EQ(queue->capacity(), 64u);
+  EXPECT_EQ(queue->policy(), AdmissionPolicy::kBlock);
+
+  std::thread producer([&] {
+    for (const PositionReport& r : stream) queue->Push(r);
+    queue->Close();
+  });
+  std::vector<Event> events = engine.IngestFromQueue(queue.get(), nullptr);
+  producer.join();
+  const auto final_events = engine.Finish();
+  events.insert(events.end(), final_events.begin(), final_events.end());
+  EXPECT_EQ(queue->dropped(), 0u);
+  ExpectIdentical(serial, Snapshot(engine, std::move(events)));
+}
+
+TEST(AdmissionTest, DropOldestShedsWhenConsumerLags) {
+  const auto stream = MixedStream();
+  DatacronEngine::Config cfg = ClusterConfig();
+  cfg.admission = AdmissionPolicy::kDropOldest;
+  cfg.admission_capacity = 256;
+  DatacronEngine engine(cfg);
+  auto queue = engine.NewAdmissionQueue();
+
+  // No consumer while the whole stream is pushed: everything beyond the
+  // buffer is shed from the front, the freshest reports survive.
+  for (const PositionReport& r : stream) ASSERT_TRUE(queue->Push(r));
+  queue->Close();
+  EXPECT_EQ(queue->dropped(), stream.size() - 256);
+
+  std::vector<Event> events = engine.IngestFromQueue(queue.get(), nullptr);
+  EXPECT_EQ(engine.reports_ingested(), 256u);
+  // The admitted suffix is processed in arrival order.
+  const std::vector<Triple>& triples = engine.triples();
+  EXPECT_FALSE(triples.empty());
+}
+
+TEST(AdmissionTest, ClusterQueueIngestMatchesSerial) {
+  const auto stream = MixedStream();
+  const RunOutputs serial = RunSerial(stream);
+
+  LocalCluster::Options opts;
+  opts.engine = ClusterConfig();
+  opts.engine.admission = AdmissionPolicy::kBlock;
+  opts.num_nodes = 2;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(opts);
+  ASSERT_TRUE(cluster.ok());
+
+  auto queue = cluster.value()->engine().NewAdmissionQueue();
+  std::thread producer([&] {
+    for (const PositionReport& r : stream) queue->Push(r);
+    queue->Close();
+  });
+  Result<std::vector<Event>> events =
+      cluster.value()->engine().IngestFromQueue(queue.get());
+  producer.join();
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  Result<std::vector<Event>> final_events = cluster.value()->engine().Finish();
+  ASSERT_TRUE(final_events.ok());
+
+  std::vector<Event> all = std::move(events).value();
+  all.insert(all.end(), final_events.value().begin(),
+             final_events.value().end());
+  ExpectIdentical(serial, Snapshot(cluster.value()->engine().engine(),
+                                   std::move(all)));
+  ASSERT_TRUE(cluster.value()->Stop().ok());
+}
+
+}  // namespace
+}  // namespace datacron

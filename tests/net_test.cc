@@ -1,0 +1,462 @@
+// Wire codec and transport units: encode/decode round-trips over randomized
+// messages (seeded, reproducible), rejection of truncated and corrupted
+// payloads without crashing, frame checksum behavior, and loopback/TCP
+// transport semantics.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/codec.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace datacron {
+namespace {
+
+// ---------------------------------------------------------------------
+// Randomized message builders (seeded — every failure is reproducible).
+// ---------------------------------------------------------------------
+
+std::string RandString(Rng& rng, std::size_t max_len) {
+  const std::size_t len =
+      static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(max_len)));
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng.UniformInt(0, 25)));
+  }
+  return s;
+}
+
+PositionReport RandReport(Rng& rng) {
+  PositionReport r;
+  r.entity_id = static_cast<EntityId>(rng.NextUint64());
+  r.domain = rng.Bernoulli(0.5) ? Domain::kMaritime : Domain::kAviation;
+  r.timestamp = rng.UniformInt(0, 1'000'000'000);
+  r.position = {rng.Uniform(-90, 90), rng.Uniform(-180, 180),
+                rng.Uniform(0, 12000)};
+  r.speed_mps = rng.Uniform(0, 300);
+  r.course_deg = rng.Uniform(0, 360);
+  r.vertical_rate_mps = rng.Uniform(-20, 20);
+  return r;
+}
+
+Event RandEvent(Rng& rng) {
+  Event e;
+  e.kind = static_cast<EventKind>(rng.UniformInt(0, 11));
+  e.time = rng.UniformInt(0, 1'000'000'000);
+  e.predicted_time = e.time + rng.UniformInt(0, 60'000);
+  const std::size_t n = static_cast<std::size_t>(rng.UniformInt(0, 3));
+  for (std::size_t i = 0; i < n; ++i) {
+    e.entities.push_back(static_cast<EntityId>(rng.NextUint64()));
+  }
+  e.position = {rng.Uniform(-90, 90), rng.Uniform(-180, 180), 0.0};
+  e.label = RandString(rng, 12);
+  const std::size_t attrs = static_cast<std::size_t>(rng.UniformInt(0, 3));
+  for (std::size_t i = 0; i < attrs; ++i) {
+    e.attributes[RandString(rng, 8)] = rng.Uniform(-1e6, 1e6);
+  }
+  return e;
+}
+
+Episode RandEpisode(Rng& rng) {
+  Episode e;
+  e.entity = static_cast<EntityId>(rng.NextUint64());
+  e.kind = static_cast<EpisodeKind>(rng.UniformInt(0, 2));
+  e.start_time = rng.UniformInt(0, 1'000'000'000);
+  e.end_time = e.start_time + rng.UniformInt(0, 3'600'000);
+  e.start_pos = {rng.Uniform(-90, 90), rng.Uniform(-180, 180), 0.0};
+  e.end_pos = {rng.Uniform(-90, 90), rng.Uniform(-180, 180), 0.0};
+  e.area = RandString(rng, 10);
+  e.displacement_m = rng.Uniform(0, 1e5);
+  e.path_m = e.displacement_m + rng.Uniform(0, 1e4);
+  return e;
+}
+
+TermExport RandTerm(Rng& rng) {
+  TermExport t;
+  t.text = RandString(rng, 24);
+  t.kind = static_cast<TermKind>(rng.UniformInt(0, 4));
+  return t;
+}
+
+WireReportResult RandResult(Rng& rng) {
+  WireReportResult res;
+  res.cp_count = rng.NextUint64() % 4;
+  for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
+    res.keyed_events.push_back(RandEvent(rng));
+  }
+  for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
+    res.episodes.push_back(RandEpisode(rng));
+  }
+  for (std::int64_t i = rng.UniformInt(0, 4); i > 0; --i) {
+    res.triples.push_back({rng.NextUint64() % 100 + 1,
+                           rng.NextUint64() % 100 + 1,
+                           rng.NextUint64() % 100 + 1});
+  }
+  for (std::int64_t i = rng.UniformInt(0, 3); i > 0; --i) {
+    res.new_terms.push_back(RandTerm(rng));
+  }
+  for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
+    res.tags.push_back(
+        {rng.NextUint64() % 100 + 1,
+         StTag{{static_cast<std::int32_t>(rng.UniformInt(-50, 50)),
+                static_cast<std::int32_t>(rng.UniformInt(-50, 50))},
+               rng.UniformInt(0, 1000)}});
+  }
+  for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
+    res.node_geo.push_back(
+        {rng.NextUint64() % 100 + 1,
+         NodeGeo{rng.Uniform(-90, 90), rng.Uniform(-180, 180), 0.0,
+                 rng.UniformInt(0, 1'000'000)}});
+  }
+  res.synopses_ns = rng.UniformInt(0, 1'000'000);
+  res.transform_ns = rng.UniformInt(0, 1'000'000);
+  res.keyed_cep_ns = rng.UniformInt(0, 1'000'000);
+  return res;
+}
+
+CriticalPoint RandCriticalPoint(Rng& rng) {
+  CriticalPoint cp;
+  cp.report = RandReport(rng);
+  cp.type = static_cast<CriticalPointType>(rng.UniformInt(0, 9));
+  return cp;
+}
+
+MetricsRow RandMetricsRow(Rng& rng) {
+  MetricsRow row;
+  row.stage = RandString(rng, 10);
+  row.metrics.name = RandString(rng, 16);
+  const std::size_t samples = static_cast<std::size_t>(rng.UniformInt(0, 64));
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double ns = rng.Uniform(10, 1e7);
+    row.metrics.process_nanos.Add(ns);
+    row.metrics.latency_ns.Add(ns);
+  }
+  row.metrics.items_in = samples;
+  row.metrics.items_out = samples / 2;
+  row.instances = static_cast<std::size_t>(rng.UniformInt(1, 8));
+  return row;
+}
+
+template <typename Msg>
+void ExpectRoundTrip(const Msg& msg) {
+  const std::string payload = Encode(msg);
+  Msg decoded;
+  const Status s = Decode(payload, &decoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(msg == decoded);
+}
+
+/// Every strict prefix of a valid payload must be rejected — the decoder
+/// reads deterministically from the front, so truncation always surfaces
+/// as ParseError, never a partial decode or a crash.
+template <typename Msg>
+void ExpectTruncationRejected(const Msg& msg) {
+  const std::string payload = Encode(msg);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    Msg decoded;
+    const Status s = Decode(payload.substr(0, len), &decoded);
+    EXPECT_FALSE(s.ok()) << "prefix length " << len << " of "
+                         << payload.size();
+  }
+}
+
+TEST(CodecTest, RoundTripPropertyOverRandomMessages) {
+  Rng rng(0xC0DEC);
+  for (int trial = 0; trial < 40; ++trial) {
+    SCOPED_TRACE(trial);
+    HelloMsg hello;
+    hello.node_id = static_cast<std::uint32_t>(rng.UniformInt(0, 7));
+    hello.num_nodes = hello.node_id + 1;
+    for (std::int64_t i = rng.UniformInt(0, 10); i > 0; --i) {
+      hello.baseline.push_back(RandTerm(rng));
+    }
+    ExpectRoundTrip(hello);
+
+    ReportBatchMsg batch;
+    batch.epoch = rng.UniformInt(0, 1000);
+    for (std::int64_t i = rng.UniformInt(0, 8); i > 0; --i) {
+      batch.reports.push_back(RandReport(rng));
+    }
+    ExpectRoundTrip(batch);
+
+    EpochResultMsg result;
+    result.epoch = rng.UniformInt(0, 1000);
+    result.dict_size_before = rng.NextUint64() % 10000;
+    for (std::int64_t i = rng.UniformInt(0, 4); i > 0; --i) {
+      result.results.push_back(RandResult(rng));
+    }
+    ExpectRoundTrip(result);
+
+    WatermarkMsg wm;
+    wm.epoch = rng.UniformInt(0, 1000);
+    ExpectRoundTrip(wm);
+
+    FlushResultMsg flush;
+    for (std::int64_t i = rng.UniformInt(0, 5); i > 0; --i) {
+      flush.flush.critical_points.push_back(RandCriticalPoint(rng));
+    }
+    for (std::int64_t i = rng.UniformInt(0, 5); i > 0; --i) {
+      flush.flush.continuations.push_back(
+          {static_cast<EntityId>(rng.NextUint64()), rng.Bernoulli(0.5),
+           rng.UniformInt(0, 1'000'000'000), rng.Bernoulli(0.5)});
+    }
+    for (std::int64_t i = rng.UniformInt(0, 3); i > 0; --i) {
+      flush.flush.completed_episodes.push_back(RandEpisode(rng));
+    }
+    for (std::int64_t i = rng.UniformInt(0, 3); i > 0; --i) {
+      flush.flush.trailing_episodes.push_back(RandEpisode(rng));
+    }
+    for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
+      flush.flush.events.push_back(RandEvent(rng));
+    }
+    ExpectRoundTrip(flush);
+
+    MetricsResultMsg metrics;
+    for (std::int64_t i = rng.UniformInt(0, 6); i > 0; --i) {
+      metrics.rows.push_back(RandMetricsRow(rng));
+    }
+    ExpectRoundTrip(metrics);
+  }
+}
+
+TEST(CodecTest, MetricsRoundTripPreservesMergeBehavior) {
+  // The raw Welford + histogram-bucket encoding must reproduce an
+  // accumulator that merges exactly like the original — that is what
+  // makes fleet-wide metrics merging across processes possible.
+  Rng rng(0x5EED);
+  MetricsRow a = RandMetricsRow(rng);
+  MetricsRow b = RandMetricsRow(rng);
+  MetricsResultMsg msg;
+  msg.rows = {a, b};
+  MetricsResultMsg decoded;
+  ASSERT_TRUE(Decode(Encode(msg), &decoded).ok());
+
+  OperatorMetrics direct = a.metrics;
+  direct.Merge(b.metrics);
+  OperatorMetrics via_wire = decoded.rows[0].metrics;
+  via_wire.Merge(decoded.rows[1].metrics);
+  EXPECT_TRUE(direct == via_wire);
+  EXPECT_DOUBLE_EQ(direct.process_nanos.mean(),
+                   via_wire.process_nanos.mean());
+  EXPECT_DOUBLE_EQ(direct.latency_ns.p99(), via_wire.latency_ns.p99());
+}
+
+TEST(CodecTest, TruncatedPayloadsAreRejectedAtEveryPrefix) {
+  Rng rng(0x7A11);
+  EpochResultMsg result;
+  result.epoch = 3;
+  result.dict_size_before = 17;
+  result.results.push_back(RandResult(rng));
+  ExpectTruncationRejected(result);
+
+  FlushResultMsg flush;
+  flush.flush.critical_points.push_back(RandCriticalPoint(rng));
+  flush.flush.continuations.push_back({42, true, 1234, false});
+  ExpectTruncationRejected(flush);
+
+  MetricsResultMsg metrics;
+  metrics.rows.push_back(RandMetricsRow(rng));
+  ExpectTruncationRejected(metrics);
+}
+
+TEST(CodecTest, CorruptedBytesNeverCrashTheDecoder) {
+  Rng rng(0xBADF00D);
+  EpochResultMsg result;
+  result.epoch = 1;
+  for (int i = 0; i < 3; ++i) result.results.push_back(RandResult(rng));
+  const std::string payload = Encode(result);
+
+  // Single-byte corruption at every offset: the decoder must return
+  // (either outcome is legal for payload bytes — a flipped double is just
+  // a different double) without crashing or over-allocating.
+  for (std::size_t off = 0; off < payload.size(); ++off) {
+    std::string corrupt = payload;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x5A);
+    EpochResultMsg decoded;
+    (void)Decode(corrupt, &decoded);
+  }
+}
+
+TEST(CodecTest, StructuralCorruptionIsRejected) {
+  WatermarkMsg wm;
+  wm.epoch = 9;
+  std::string payload = Encode(wm);
+
+  // Wrong type tag.
+  std::string wrong_type = payload;
+  wrong_type[0] = static_cast<char>(0x7F);
+  WatermarkMsg decoded;
+  EXPECT_FALSE(Decode(wrong_type, &decoded).ok());
+  MsgType type;
+  EXPECT_FALSE(DecodeType(wrong_type, &type).ok());
+
+  // Trailing bytes.
+  std::string trailing = payload + "x";
+  EXPECT_FALSE(Decode(trailing, &decoded).ok());
+
+  // Inflated sequence count: a count far beyond the remaining payload is
+  // caught before any allocation happens.
+  ReportBatchMsg batch;
+  batch.epoch = 1;
+  batch.reports.push_back(PositionReport{});
+  std::string inflated = Encode(batch);
+  // The count field sits right after the u16 type and i64 epoch.
+  inflated[10] = static_cast<char>(0xFF);
+  inflated[11] = static_cast<char>(0xFF);
+  inflated[12] = static_cast<char>(0xFF);
+  inflated[13] = static_cast<char>(0xFF);
+  ReportBatchMsg decoded_batch;
+  EXPECT_FALSE(Decode(inflated, &decoded_batch).ok());
+
+  // Out-of-range enum (Domain byte of the first report).
+  std::string bad_enum = Encode(batch);
+  bad_enum[14 + 4] = static_cast<char>(0x9);
+  EXPECT_FALSE(Decode(bad_enum, &decoded_batch).ok());
+}
+
+// ---------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------
+
+TEST(FrameTest, EncodeDecodeVerifyRoundTrip) {
+  const std::string payload = "the quick brown fox";
+  const std::string frame = EncodeFrame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  std::uint32_t len = 0;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &len).ok());
+  EXPECT_EQ(len, payload.size());
+  EXPECT_TRUE(
+      VerifyFramePayload(frame.data(), frame.substr(kFrameHeaderBytes))
+          .ok());
+}
+
+TEST(FrameTest, BadMagicAndOversizeLengthAreRejected) {
+  std::string frame = EncodeFrame("abc");
+  std::uint32_t len = 0;
+  frame[0] = 'X';
+  EXPECT_FALSE(DecodeFrameHeader(frame.data(), &len).ok());
+
+  WireWriter w;
+  w.U32(kFrameMagic);
+  w.U32(kMaxFramePayloadBytes + 1);
+  w.U32(0);
+  EXPECT_FALSE(DecodeFrameHeader(w.data().data(), &len).ok());
+}
+
+TEST(FrameTest, ChecksumCatchesPayloadCorruption) {
+  const std::string payload = "sensitive bits";
+  const std::string frame = EncodeFrame(payload);
+  std::string corrupt = frame.substr(kFrameHeaderBytes);
+  corrupt[3] = static_cast<char>(corrupt[3] ^ 0x01);
+  EXPECT_FALSE(VerifyFramePayload(frame.data(), corrupt).ok());
+  // Length mismatch is also caught.
+  EXPECT_FALSE(VerifyFramePayload(frame.data(), payload + "z").ok());
+}
+
+// ---------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------
+
+TEST(LoopbackTransportTest, DeliversInFifoOrderBothWays) {
+  auto [a, b] = LoopbackTransport::CreatePair();
+  ASSERT_TRUE(a->Send("one").ok());
+  ASSERT_TRUE(a->Send("two").ok());
+  ASSERT_TRUE(b->Send("reply").ok());
+
+  Result<std::string> r1 = b->Recv();
+  Result<std::string> r2 = b->Recv();
+  Result<std::string> r3 = a->Recv();
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ(r1.value(), "one");
+  EXPECT_EQ(r2.value(), "two");
+  EXPECT_EQ(r3.value(), "reply");
+}
+
+TEST(LoopbackTransportTest, CloseWakesBlockedReceiver) {
+  auto [a, b] = LoopbackTransport::CreatePair();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->Close();
+  });
+  Result<std::string> r = b->Recv();
+  closer.join();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(b->Send("late").ok());
+}
+
+TEST(TcpTransportTest, FramedRoundTripIncludingLargeAndEmptyPayloads) {
+  Result<std::unique_ptr<TcpListener>> listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  Result<std::unique_ptr<Transport>> client =
+      TcpConnect(listener.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<std::unique_ptr<Transport>> server = listener.value()->Accept();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::string big(1 << 20, '\0');
+  Rng rng(0xB16);
+  for (char& c : big) c = static_cast<char>(rng.NextUint64());
+
+  ASSERT_TRUE(client.value()->Send("hello").ok());
+  ASSERT_TRUE(client.value()->Send("").ok());
+  ASSERT_TRUE(client.value()->Send(big).ok());
+
+  Result<std::string> r1 = server.value()->Recv();
+  Result<std::string> r2 = server.value()->Recv();
+  Result<std::string> r3 = server.value()->Recv();
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ(r1.value(), "hello");
+  EXPECT_EQ(r2.value(), "");
+  EXPECT_TRUE(r3.value() == big);
+
+  client.value()->Close();
+  Result<std::string> eof = server.value()->Recv();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TcpTransportTest, GarbageStreamIsRejectedNotCrashed) {
+  Result<std::unique_ptr<TcpListener>> listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener.value()->port();
+
+  // A raw socket writing non-frame bytes: Recv must fail with ParseError
+  // (bad magic), not hang or crash.
+  std::thread writer([port] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const char garbage[] = "this is not a DACR frame at all............";
+    (void)::send(fd, garbage, sizeof(garbage), 0);
+    ::close(fd);
+  });
+  Result<std::unique_ptr<Transport>> server = listener.value()->Accept();
+  ASSERT_TRUE(server.ok());
+  Result<std::string> r = server.value()->Recv();
+  writer.join();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace datacron
