@@ -26,6 +26,8 @@
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
 #include "datacron/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/partitioned_store.h"
 #include "partition/partitioner.h"
 #include "query/engine.h"
@@ -62,11 +64,13 @@ struct BenchRecord {
 };
 
 std::vector<BenchRecord> g_records;
+double g_trace_overhead_pct = 0.0;
 
 void WriteJson(const char* path, std::size_t reports) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"experiment\": \"E10_engine\",\n");
+  std::fprintf(f, "  \"trace_overhead_pct\": %.2f,\n", g_trace_overhead_pct);
   std::fprintf(f, "  \"reports\": %zu,\n  \"records\": [\n", reports);
   for (std::size_t i = 0; i < g_records.size(); ++i) {
     const BenchRecord& r = g_records[i];
@@ -134,9 +138,36 @@ void WriteClusterJson(const char* path, std::size_t reports) {
   std::printf("wrote %s (%zu records)\n", path, g_cluster_records.size());
 }
 
+/// Accumulated "name": {snapshot} pairs for BENCH_engine_metrics.json.
+/// Each phase folds its engine-local snapshot with a checkpoint of the
+/// process-wide registry (registry counters are cumulative across phases).
+std::string g_metrics_phases;
+
+void AddMetricsPhase(const char* name, obs::MetricsSnapshot snap) {
+  snap.Merge(obs::MetricsRegistry::Global().Snapshot());
+  if (!g_metrics_phases.empty()) g_metrics_phases += ",\n";
+  g_metrics_phases += "    \"";
+  g_metrics_phases += name;
+  g_metrics_phases += "\": ";
+  g_metrics_phases += snap.ToJson();
+}
+
+void WriteMetricsJson(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\n  \"experiment\": \"E10_metrics\",\n"
+               "  \"note\": \"registry counters are cumulative process "
+               "checkpoints; engine.* rows are per-phase instances\",\n"
+               "  \"phases\": {\n%s\n  }\n}\n",
+               g_metrics_phases.c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-int Run(bool quick) {
+int Run(bool quick, const char* trace_out) {
   AisGeneratorConfig fleet;
   fleet.num_vessels = quick ? 25 : 100;
   fleet.duration = quick ? 20 * kMinute : kHour;
@@ -177,6 +208,29 @@ int Run(bool quick) {
               stream.size() / serial_s, serial_s,
               static_cast<long long>(fleet.duration / kMinute),
               (fleet.duration / 1000.0) / serial_s);
+  AddMetricsPhase("serial", engine.MetricsSnapshot());
+
+  // --- Tracing overhead: the same serial loop with spans recording. ---
+  // Everything below runs traced; the trace (if requested) covers the
+  // traced serial run, the shard sweep, and the cluster sweep.
+  std::vector<obs::TraceSpanRecord> all_spans;
+  obs::TraceCollector::Discard();
+  obs::EnableTracing(true);
+  {
+    DatacronEngine traced(EngineConfig(1));
+    Stopwatch traced_timer;
+    for (const auto& r : stream) traced.Ingest(r);
+    traced.Finish();
+    const double traced_s = traced_timer.ElapsedSeconds();
+    g_trace_overhead_pct = 100.0 * (traced_s - serial_s) / serial_s;
+    std::printf("\n  tracing overhead: %.2f s traced vs %.2f s untraced "
+                "(%+.2f%%)\n",
+                traced_s, serial_s, g_trace_overhead_pct);
+  }
+  {
+    std::vector<obs::TraceSpanRecord> spans = obs::TraceCollector::Drain();
+    all_spans.insert(all_spans.end(), spans.begin(), spans.end());
+  }
 
   // --- E10b: sharded-runtime sweep with determinism guard. -----------
   std::printf("\nE10b: sharded IngestBatch sweep (byte-identical to the "
@@ -214,7 +268,16 @@ int Run(bool quick) {
       std::printf("\n  per-operator metrics (8 shards, keyed rows merged "
                   "across shards):\n");
       std::printf("%s", sharded.MetricsReport().c_str());
+      obs::MetricsSnapshot snap = sharded.MetricsSnapshot();
+      snap.AddHistogram("pool.queue_ns", pool.QueueWaitNanos());
+      AddMetricsPhase("sharded_8", std::move(snap));
     }
+  }
+  {
+    // Drain the shard sweep's spans before the cluster phase so the ring
+    // buffers start empty (minimizes overflow drops in the trace).
+    std::vector<obs::TraceSpanRecord> spans = obs::TraceCollector::Drain();
+    all_spans.insert(all_spans.end(), spans.begin(), spans.end());
   }
 
   // --- E10c: cluster sweep with the same determinism guard. ----------
@@ -268,6 +331,8 @@ int Run(bool quick) {
                   "transport):\n");
       Result<std::string> report = cluster.value()->engine().MetricsReport();
       if (report.ok()) std::printf("%s", report.value().c_str());
+      AddMetricsPhase("cluster_4",
+                      cluster.value()->engine().engine().MetricsSnapshot());
     }
     const Status stop = cluster.value()->Stop();
     if (!stop.ok()) {
@@ -277,6 +342,26 @@ int Run(bool quick) {
     }
   }
   WriteClusterJson("BENCH_cluster.json", stream.size());
+
+  {
+    std::vector<obs::TraceSpanRecord> spans = obs::TraceCollector::Drain();
+    all_spans.insert(all_spans.end(), spans.begin(), spans.end());
+  }
+  obs::EnableTracing(false);
+  if (trace_out != nullptr) {
+    const std::string json = obs::ChromeTraceJson(all_spans);
+    std::FILE* f = std::fopen(trace_out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out);
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu spans, %llu dropped to ring overflow)\n",
+                trace_out, all_spans.size(),
+                static_cast<unsigned long long>(
+                    obs::TraceCollector::DroppedCount()));
+  }
 
   // --- Close the loop: partition + query what the pipeline produced. --
   auto scheme = HilbertPartitioner::Build(4, &engine.rdfizer()->tags(),
@@ -301,6 +386,7 @@ int Run(bool quick) {
               query_timer.ElapsedMillis(), rs.stats.ToString().c_str());
 
   WriteJson("BENCH_engine.json", stream.size());
+  WriteMetricsJson("BENCH_engine_metrics.json");
   return ok ? 0 : 1;
 }
 
@@ -308,8 +394,12 @@ int Run(bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  const char* trace_out = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
   }
-  return datacron::Run(quick);
+  return datacron::Run(quick, trace_out);
 }

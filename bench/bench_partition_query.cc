@@ -22,6 +22,7 @@
 
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
+#include "obs/metrics.h"
 #include "partition/partitioned_store.h"
 #include "partition/partitioner.h"
 #include "query/engine.h"
@@ -298,6 +299,18 @@ int Run(bool quick) {
 
   const bool ok = JoinSweep(*w);
   WriteJson("BENCH_query.json", w->triples.size());
+
+  // Companion snapshot of the process-wide metrics the sweep produced
+  // (query.local/query.global counts, pool.queue_ns, ...).
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  snap.AddHistogram("pool.queue_ns", pool.QueueWaitNanos());
+  if (std::FILE* f = std::fopen("BENCH_query_metrics.json", "w")) {
+    const std::string json = snap.ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_query_metrics.json\n");
+  }
   return ok ? 0 : 1;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/flat_hash.h"
 #include "net/codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace datacron {
 
@@ -61,7 +63,9 @@ Status ClusterEngine::RetireFront(std::deque<PendingEpoch>* ring,
                                   std::vector<Event>* events) {
   PendingEpoch& e = ring->front();
   const std::size_t n_nodes = nodes_.size();
+  obs::ScopedTraceContext trace_ctx(e.id);
 
+  obs::TraceSpan recv_span("cluster.epoch_recv", "cluster");
   std::vector<EpochResultMsg> replies(n_nodes);
   for (std::size_t n = 0; n < n_nodes; ++n) {
     Result<std::string> payload = nodes_[n]->Recv();
@@ -95,18 +99,29 @@ Status ClusterEngine::RetireFront(std::deque<PendingEpoch>* ring,
   if (!watermarks_.AllPassed(e.id)) {
     return Status::Internal("epoch barrier did not release");
   }
+  recv_span.End();
+
+  static obs::Counter* delta_terms_counter =
+      obs::MetricsRegistry::Global().counter("cluster.delta_terms");
 
   // Absorb per report in *input* order, remapping each report's outputs
   // through its node's id table right after importing the report's
   // dictionary delta — this interleaving is what reproduces the serial
   // engine's first-occurrence id assignment.
+  DATACRON_TRACE_SPAN("cluster.epoch_absorb", "cluster");
   std::vector<std::size_t> cursor(n_nodes, 0);
   for (std::size_t i = 0; i < e.items.size(); ++i) {
     const std::size_t n =
         static_cast<std::size_t>(MixU64(e.items[i].entity_id) % n_nodes);
     WireReportResult& res = replies[n].results[cursor[n]++];
     std::vector<TermId>& remap = remap_[n];
-    local_.dictionary()->ImportDelta(res.new_terms, &remap);
+    if (!res.new_terms.empty()) {
+      DATACRON_TRACE_SPAN("cluster.delta_import", "cluster");
+      delta_terms_counter->Add(res.new_terms.size());
+      local_.dictionary()->ImportDelta(res.new_terms, &remap);
+    } else {
+      local_.dictionary()->ImportDelta(res.new_terms, &remap);
+    }
 
     DatacronEngine::ReportOutput out;
     out.cp_count = res.cp_count;
@@ -170,6 +185,8 @@ Result<std::vector<Event>> ClusterEngine::IngestBatch(
     // Every node receives every epoch (possibly empty) so its reply
     // stream stays aligned with the epoch sequence and the watermark
     // barrier can release.
+    obs::TraceSpan send_span("cluster.epoch_send", "cluster");
+    send_span.set_epoch(e.id);
     for (std::size_t n = 0; n < n_nodes; ++n) {
       ReportBatchMsg msg;
       msg.epoch = e.id;
@@ -207,6 +224,7 @@ Result<std::vector<Event>> ClusterEngine::IngestFromQueue(
     events.insert(events.end(), std::make_move_iterator(chunk.begin()),
                   std::make_move_iterator(chunk.end()));
   }
+  local_.RecordAdmissionDrops(*queue);
   return events;
 }
 

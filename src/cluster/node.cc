@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/codec.h"
+#include "obs/trace.h"
 
 namespace datacron {
 
@@ -39,6 +40,9 @@ Status ClusterNode::SendHello() {
 Status ClusterNode::HandleBatch(const std::string& payload) {
   ReportBatchMsg batch;
   if (Status s = Decode(payload, &batch); !s.ok()) return s;
+  obs::ScopedTraceContext trace_ctx(batch.epoch,
+                                    static_cast<std::int32_t>(node_id_));
+  DATACRON_TRACE_SPAN("cluster.node_batch", "cluster");
   if (batch.reports.empty()) {
     // Empty sub-batch: reply with the epoch-watermark control message so
     // the coordinator's barrier can advance past this epoch.
@@ -67,6 +71,7 @@ Status ClusterNode::HandleBatch(const std::string& payload) {
       // The terms this report interned: the contiguous id range the node
       // dictionary grew by. Exported in id (== intern) order, this is the
       // per-report dictionary delta the coordinator replays.
+      DATACRON_TRACE_SPAN("cluster.delta_export", "cluster");
       Result<std::vector<TermExport>> delta =
           dict->ExportRange(static_cast<TermId>(before) + 1, after - before);
       if (!delta.ok()) return delta.status();

@@ -10,6 +10,7 @@ namespace datacron {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink*> g_sink{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,6 +25,26 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool Passes(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+void Emit(LogLevel level, const char* component,
+          const std::string& message) {
+  if (LogSink* sink = g_sink.load(std::memory_order_acquire)) {
+    sink->Write(level, component, message);
+    return;
+  }
+  if (component != nullptr) {
+    std::fprintf(stderr, "[%s %s %s] %s\n", LevelName(level),
+                 FormatIso8601(NowMs()).c_str(), component, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s] %s\n", LevelName(level),
+                 FormatIso8601(NowMs()).c_str(), message.c_str());
+  }
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -34,26 +55,54 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+LogSink* SetLogSink(LogSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
 void Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) <
-      g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
-  std::fprintf(stderr, "[%s %s] %s\n", LevelName(level),
-               FormatIso8601(NowMs()).c_str(), message.c_str());
+  if (!Passes(level)) return;
+  Emit(level, nullptr, message);
+}
+
+void Log(LogLevel level, const char* component, const std::string& message) {
+  if (!Passes(level)) return;
+  Emit(level, component, message);
 }
 
 void Logf(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) <
-      g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
+  if (!Passes(level)) return;
   char buf[1024];
   va_list args;
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
-  Log(level, buf);
+  Emit(level, nullptr, buf);
+}
+
+void Logfc(LogLevel level, const char* component, const char* fmt, ...) {
+  if (!Passes(level)) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  Emit(level, component, buf);
+}
+
+void CaptureLogSink::Write(LogLevel level, const char* component,
+                           const std::string& message) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.push_back({level, component ? component : "", message});
+}
+
+std::vector<CaptureLogSink::Entry> CaptureLogSink::Entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_;
+}
+
+void CaptureLogSink::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
 }
 
 }  // namespace datacron

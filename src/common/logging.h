@@ -1,7 +1,9 @@
 #ifndef DATACRON_COMMON_LOGGING_H_
 #define DATACRON_COMMON_LOGGING_H_
 
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace datacron {
 
@@ -11,12 +13,58 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// Writes "[LEVEL ts] message" to stderr if `level` passes the filter.
+/// Destination for log records that pass the level filter. Implementations
+/// must be thread-safe — engine, pool, and cluster threads all log.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  /// `component` is a short subsystem tag ("engine", "cluster", "net",
+  /// ...) or nullptr for untagged messages.
+  virtual void Write(LogLevel level, const char* component,
+                     const std::string& message) = 0;
+};
+
+/// Swaps the process-wide sink, returning the previous one (nullptr means
+/// the default stderr sink was active). The caller keeps ownership of the
+/// installed sink and must outlive all logging calls; pass nullptr to
+/// restore the stderr default.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Writes "[LEVEL ts] message" to the active sink if `level` passes the
+/// filter (default sink: stderr).
 void Log(LogLevel level, const std::string& message);
+
+/// Tagged variant: "[LEVEL ts component] message".
+void Log(LogLevel level, const char* component, const std::string& message);
 
 /// printf-style logging convenience.
 void Logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
+
+/// printf-style with a component tag.
+void Logfc(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/// Test sink that buffers records instead of printing them. Install with
+/// SetLogSink(&capture), restore with SetLogSink(previous).
+class CaptureLogSink : public LogSink {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string component;  // "" for untagged
+    std::string message;
+  };
+
+  void Write(LogLevel level, const char* component,
+             const std::string& message) override;
+
+  std::vector<Entry> Entries() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace datacron
 

@@ -23,6 +23,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::function<void()> ThreadPool::PopFrontLocked() {
+  QueuedTask task = std::move(queue_.front());
+  queue_.pop_front();
+  queue_wait_ns_.Add(
+      static_cast<double>(MonotonicNanos() - task.enqueue_ns));
+  return std::move(task.fn);
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -33,8 +41,7 @@ void ThreadPool::WorkerLoop() {
         if (shutting_down_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      task = PopFrontLocked();
     }
     task();
   }
@@ -45,8 +52,7 @@ bool ThreadPool::TryRunOneTask() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
+    task = PopFrontLocked();
   }
   task();
   return true;
@@ -94,7 +100,7 @@ void ThreadPool::ParallelFor(std::size_t n,
     };
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back(std::move(chunk));
+      queue_.push_back({std::move(chunk), MonotonicNanos()});
     }
     cv_.notify_one();
   }

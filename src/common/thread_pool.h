@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.h"
+#include "common/time_utils.h"
+
 namespace datacron {
 
 /// Fixed-size worker pool used by the parallel query executor, the
@@ -43,10 +46,19 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back({[task] { (*task)(); }, MonotonicNanos()});
     }
     cv_.notify_one();
     return fut;
+  }
+
+  /// Distribution of enqueue-to-dequeue wait nanos over every task run so
+  /// far — the scheduler-latency signal the observability layer publishes
+  /// as "pool.queue_ns". Accounted under the queue mutex the pool already
+  /// holds at dequeue, so the hot path pays one clock read per task.
+  LogHistogram QueueWaitNanos() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_wait_ns_;
   }
 
   /// Runs fn(i) for i in [0, n), partitioned across the pool; blocks until
@@ -58,16 +70,26 @@ class ThreadPool {
                    const std::function<void(std::size_t)>& fn);
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::int64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   /// Pops and runs one queued task if any is immediately available.
   /// Returns false when the queue was empty.
   bool TryRunOneTask();
 
+  /// Pops the front task under mu_ (held by the caller) and accounts its
+  /// queue wait.
+  std::function<void()> PopFrontLocked();
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  std::deque<QueuedTask> queue_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  LogHistogram queue_wait_ns_;
   bool shutting_down_ = false;
 };
 

@@ -7,6 +7,7 @@
 #include "common/flat_hash.h"
 #include "common/thread_pool.h"
 #include "common/time_utils.h"
+#include "obs/trace.h"
 #include "stream/sharded_runtime.h"
 
 namespace datacron {
@@ -132,12 +133,21 @@ void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
 void DatacronEngine::AbsorbOutput(const PositionReport& report,
                                   ReportOutput* out,
                                   std::vector<Event>* events) {
+  static obs::Counter* reports_counter =
+      obs::MetricsRegistry::Global().counter("engine.reports");
+  static obs::Counter* cp_counter =
+      obs::MetricsRegistry::Global().counter("engine.critical_points");
   ++reports_ingested_;
   critical_points_ += out->cp_count;
+  reports_counter->Add();
+  cp_counter->Add(out->cp_count);
 
   // 3. Trajectory management + deterministic merge of keyed outputs.
   const std::int64_t t0 = MonotonicNanos();
   if (out->terms != nullptr) {
+    // Only the parallel path pays a per-report batch merge — the span is
+    // what lets a trace attribute the sharded runtime's coordination tax.
+    DATACRON_TRACE_SPAN("engine.term_merge", "engine");
     const std::vector<TermId> remap = dict_.MergeBatch(*out->terms);
     triples_.reserve(triples_.size() + out->triples.size());
     for (const Triple& t : out->triples) {
@@ -173,9 +183,25 @@ void DatacronEngine::AbsorbOutput(const PositionReport& report,
       (out->synopses_ns + out->transform_ns + out->keyed_cep_ns +
        (t2 - t0)) /
       1e6);
+
+  // Always-on per-stage epoch timeline in the unified registry; two
+  // relaxed adds per stage per report.
+  static obs::AtomicLogHistogram* synopses_hist =
+      obs::MetricsRegistry::Global().histogram("engine.synopses_ns");
+  static obs::AtomicLogHistogram* transform_hist =
+      obs::MetricsRegistry::Global().histogram("engine.transform_ns");
+  static obs::AtomicLogHistogram* trajectory_hist =
+      obs::MetricsRegistry::Global().histogram("engine.trajectory_ns");
+  static obs::AtomicLogHistogram* cep_hist =
+      obs::MetricsRegistry::Global().histogram("engine.cep_ns");
+  synopses_hist->Observe(static_cast<double>(out->synopses_ns));
+  transform_hist->Observe(static_cast<double>(out->transform_ns));
+  trajectory_hist->Observe(static_cast<double>(t1 - t0));
+  cep_hist->Observe(static_cast<double>(out->keyed_cep_ns + (t2 - t1)));
 }
 
 std::vector<Event> DatacronEngine::Ingest(const PositionReport& report) {
+  DATACRON_TRACE_SPAN("engine.ingest", "engine");
   std::vector<Event> events;
   ReportOutput out;
   ProcessKeyed(&shards_[ShardOf(report.entity_id)], report, &dict_, &out);
@@ -425,7 +451,49 @@ std::string DatacronEngine::MetricsReport() const {
   std::vector<MetricsRow> global = GlobalMetricsRows();
   rows.insert(rows.end(), std::make_move_iterator(global.begin()),
               std::make_move_iterator(global.end()));
-  return RenderMetricsTable(rows);
+  std::string out = RenderMetricsTable(rows);
+  if (admission_dropped_ > 0) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "admission: policy=%s dropped=%zu entities_hit=%zu\n",
+                  AdmissionPolicyName(config_.admission),
+                  admission_dropped_, admission_drops_.size());
+    out += line;
+    // Worst offenders first so the report names who was shed.
+    std::vector<std::pair<std::uint64_t, std::size_t>> by_count =
+        admission_drops_;
+    std::stable_sort(by_count.begin(), by_count.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    const std::size_t shown = std::min<std::size_t>(by_count.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::snprintf(line, sizeof(line),
+                    "  entity %llu: %zu dropped\n",
+                    static_cast<unsigned long long>(by_count[i].first),
+                    by_count[i].second);
+      out += line;
+    }
+  }
+  return out;
+}
+
+obs::MetricsSnapshot DatacronEngine::MetricsSnapshot() const {
+  obs::MetricsSnapshot snap;
+  std::vector<MetricsRow> rows = KeyedMetricsRows();
+  std::vector<MetricsRow> global = GlobalMetricsRows();
+  rows.insert(rows.end(), std::make_move_iterator(global.begin()),
+              std::make_move_iterator(global.end()));
+  for (const MetricsRow& r : rows) {
+    obs::AddOperatorMetrics("engine." + r.stage + "." + r.metrics.name,
+                            r.metrics, &snap);
+  }
+  snap.AddCounter("engine.reports", reports_ingested_);
+  snap.AddCounter("engine.critical_points", critical_points_);
+  snap.AddCounter("engine.triples", triples_.size());
+  snap.AddCounter("engine.episodes", episodes_.size());
+  snap.AddCounter("admission.dropped", admission_dropped_);
+  return snap;
 }
 
 std::unique_ptr<AdmissionQueue<PositionReport>>
@@ -435,7 +503,10 @@ DatacronEngine::NewAdmissionQueue() const {
                       ? config_.admission_capacity
                       : config_.epoch_size * config_.max_epochs_in_flight;
   opts.policy = config_.admission;
-  return std::make_unique<AdmissionQueue<PositionReport>>(opts);
+  opts.drop_key = [](const PositionReport& r) {
+    return static_cast<std::uint64_t>(r.entity_id);
+  };
+  return std::make_unique<AdmissionQueue<PositionReport>>(std::move(opts));
 }
 
 std::vector<Event> DatacronEngine::IngestFromQueue(
@@ -448,7 +519,14 @@ std::vector<Event> DatacronEngine::IngestFromQueue(
     const std::vector<Event> evs = IngestBatch(batch, pool);
     events.insert(events.end(), evs.begin(), evs.end());
   }
+  RecordAdmissionDrops(*queue);
   return events;
+}
+
+void DatacronEngine::RecordAdmissionDrops(
+    const AdmissionQueue<PositionReport>& queue) {
+  admission_dropped_ = queue.dropped();
+  admission_drops_ = queue.DropsByKey();
 }
 
 }  // namespace datacron

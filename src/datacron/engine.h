@@ -14,6 +14,7 @@
 #include "cep/hotspot.h"
 #include "common/stats.h"
 #include "forecast/kinematic.h"
+#include "obs/metrics.h"
 #include "link/link_discovery.h"
 #include "rdf/rdfizer.h"
 #include "rdf/triple_store.h"
@@ -154,7 +155,14 @@ class DatacronEngine {
   /// Builds the admission buffer matching this engine's configuration:
   /// capacity = Config::admission_capacity (default: the in-flight window
   /// epoch_size * max_epochs_in_flight) and policy = Config::admission.
+  /// The queue counts kDropOldest evictions per entity id.
   std::unique_ptr<AdmissionQueue<PositionReport>> NewAdmissionQueue() const;
+
+  /// Copies `queue`'s cumulative shedding totals (dropped() and
+  /// DropsByKey()) into this engine so MetricsReport()/MetricsSnapshot()
+  /// can attribute load shedding. IngestFromQueue calls it on drain; the
+  /// cluster coordinator calls it for its own queue loop.
+  void RecordAdmissionDrops(const AdmissionQueue<PositionReport>& queue);
 
   /// Flushes stateful operators (trajectory ends, last windows).
   /// Per-shard flush outputs are merged in ascending entity order, so the
@@ -258,8 +266,16 @@ class DatacronEngine {
 
   /// Formatted per-stage, per-detector observability table: items in/out,
   /// selectivity and p50/p99 process nanos. Keyed operators report their
-  /// per-shard metrics merged via OperatorMetrics::Merge.
+  /// per-shard metrics merged via OperatorMetrics::Merge. When reports
+  /// were shed by a kDropOldest admission queue (IngestFromQueue), an
+  /// admission section lists total and per-entity drop counts.
   std::string MetricsReport() const;
+
+  /// The unified observability snapshot: every operator row folded in as
+  /// "engine.<stage>.<operator>.*" counters/histograms, per-stage latency
+  /// histograms, report/critical-point totals and admission drops — one
+  /// mergeable object in the src/obs registry format.
+  obs::MetricsSnapshot MetricsSnapshot() const;
 
   /// The keyed (entity-partitioned) rows of MetricsReport, merged across
   /// local shards. Cluster nodes ship these to the coordinator, which
@@ -330,6 +346,10 @@ class DatacronEngine {
   StageLatencies latencies_;
   std::size_t reports_ingested_ = 0;
   std::size_t critical_points_ = 0;
+  /// Latest admission-queue shedding totals, captured by IngestFromQueue
+  /// when its queue closes (cumulative per queue; kBlock leaves them 0).
+  std::size_t admission_dropped_ = 0;
+  std::vector<std::pair<std::uint64_t, std::size_t>> admission_drops_;
 };
 
 }  // namespace datacron

@@ -13,8 +13,33 @@
 #include <mutex>
 
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace datacron {
+
+namespace {
+
+/// Both transports funnel traffic through these process-wide counters so
+/// a single metrics snapshot covers loopback and TCP fleets alike.
+void CountTx(std::size_t bytes) {
+  static obs::Counter* frames =
+      obs::MetricsRegistry::Global().counter("net.tx_frames");
+  static obs::Counter* total =
+      obs::MetricsRegistry::Global().counter("net.tx_bytes");
+  frames->Add();
+  total->Add(static_cast<std::int64_t>(bytes));
+}
+
+void CountRx(std::size_t bytes) {
+  static obs::Counter* frames =
+      obs::MetricsRegistry::Global().counter("net.rx_frames");
+  static obs::Counter* total =
+      obs::MetricsRegistry::Global().counter("net.rx_bytes");
+  frames->Add();
+  total->Add(static_cast<std::int64_t>(bytes));
+}
+
+}  // namespace
 
 std::uint32_t Fnv1a32(std::string_view bytes) {
   std::uint32_t h = 0x811C9DC5u;
@@ -95,6 +120,7 @@ Status LoopbackTransport::Send(const std::string& payload) {
   }
   tx_->queue.push_back(payload);
   tx_->cv.notify_all();
+  CountTx(payload.size());
   return Status::OK();
 }
 
@@ -106,6 +132,7 @@ Result<std::string> LoopbackTransport::Recv() {
   }
   std::string payload = std::move(rx_->queue.front());
   rx_->queue.pop_front();
+  CountRx(payload.size());
   return payload;
 }
 
@@ -173,7 +200,10 @@ class TcpTransport final : public Transport {
   Status Send(const std::string& payload) override {
     std::lock_guard<std::mutex> lk(send_mu_);
     if (closed_) return Status::FailedPrecondition("tcp transport closed");
-    return WriteAll(fd_, EncodeFrame(payload));
+    const std::string frame = EncodeFrame(payload);
+    Status s = WriteAll(fd_, frame);
+    if (s.ok()) CountTx(frame.size());
+    return s;
   }
 
   Result<std::string> Recv() override {
@@ -194,6 +224,7 @@ class TcpTransport final : public Transport {
       }
     }
     if (Status s = VerifyFramePayload(header, payload); !s.ok()) return s;
+    CountRx(kFrameHeaderBytes + payload.size());
     return payload;
   }
 

@@ -1,0 +1,226 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace datacron {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+void EnableTracing(bool on) {
+  internal::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+thread_local TraceContext t_trace_context;
+
+/// One thread's span ring. Single producer (the owning thread), single
+/// consumer (TraceCollector::Drain, serialized by the registry mutex).
+/// The producer publishes a slot with a release store of `head`; the
+/// consumer acquires `head` before reading slots, and releases `tail` so
+/// the producer never overwrites a slot still being read.
+class ThreadRing {
+ public:
+  static constexpr std::size_t kCapacity = 1 << 16;
+
+  explicit ThreadRing(std::uint32_t tid)
+      : slots_(kCapacity), tid_(tid) {}
+
+  std::uint32_t tid() const { return tid_; }
+
+  void Push(const TraceSpanRecord& rec) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h - t >= kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots_[h % kCapacity] = rec;
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  void DrainInto(std::vector<TraceSpanRecord>* out) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    for (std::uint64_t i = t; i < h; ++i) {
+      out->push_back(slots_[i % kCapacity]);
+    }
+    tail_.store(h, std::memory_order_release);
+  }
+
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<TraceSpanRecord> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::uint32_t tid_;
+};
+
+/// Global registry of every thread's ring. Rings are shared_ptr-owned so
+/// a thread may exit while the collector still drains its leftovers.
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 0;
+};
+
+RingRegistry& Registry() {
+  static RingRegistry* r = new RingRegistry();
+  return *r;
+}
+
+ThreadRing& LocalRing() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    RingRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    auto r = std::make_shared<ThreadRing>(reg.next_tid++);
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void JsonEscapeInto(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const TraceContext& CurrentTraceContext() { return t_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(std::int64_t epoch,
+                                       std::int32_t shard)
+    : saved_(t_trace_context) {
+  t_trace_context.epoch = epoch;
+  if (shard >= 0) t_trace_context.shard = shard;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_context = saved_; }
+
+namespace internal {
+void RecordSpan(const char* name, const char* category,
+                std::int64_t start_ns, std::int64_t dur_ns,
+                std::int64_t epoch, std::int32_t shard) {
+  TraceSpanRecord rec;
+  rec.name = name;
+  rec.category = category;
+  rec.start_ns = start_ns;
+  rec.dur_ns = dur_ns;
+  rec.epoch = epoch;
+  rec.shard = shard;
+  ThreadRing& ring = LocalRing();
+  rec.tid = ring.tid();
+  ring.Push(rec);
+}
+}  // namespace internal
+
+std::vector<TraceSpanRecord> TraceCollector::Drain() {
+  std::vector<TraceSpanRecord> out;
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (const std::shared_ptr<ThreadRing>& ring : reg.rings) {
+    ring->DrainInto(&out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceSpanRecord& a, const TraceSpanRecord& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::uint64_t TraceCollector::DroppedCount() {
+  RingRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  std::uint64_t total = 0;
+  for (const std::shared_ptr<ThreadRing>& ring : reg.rings) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+void TraceCollector::Discard() { Drain(); }
+
+std::string ChromeTraceJson(std::span<const TraceSpanRecord> spans) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+
+  // Thread-name metadata so Perfetto labels the rows.
+  std::vector<std::uint32_t> tids;
+  for (const TraceSpanRecord& s : spans) tids.push_back(s.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  bool first = true;
+  for (std::uint32_t tid : tids) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                  "\"tid\":%u,\"args\":{\"name\":\"thread %u\"}}",
+                  first ? "" : ",", tid, tid);
+    out += buf;
+    first = false;
+  }
+
+  for (const TraceSpanRecord& s : spans) {
+    out += first ? "{" : ",{";
+    first = false;
+    out += "\"name\":\"";
+    JsonEscapeInto(&out, s.name == nullptr ? "?" : s.name);
+    out += "\",\"cat\":\"";
+    JsonEscapeInto(&out, s.category == nullptr ? "?" : s.category);
+    // Timestamps are microseconds in the Trace Event format.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"args\":{\"epoch\":%lld,\"shard\":%d}}",
+                  s.tid, s.start_ns / 1e3, s.dur_ns / 1e3,
+                  static_cast<long long>(s.epoch), s.shard);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  const std::vector<TraceSpanRecord> spans = TraceCollector::Drain();
+  const std::string json = ChromeTraceJson(spans);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace obs
+}  // namespace datacron

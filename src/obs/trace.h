@@ -1,0 +1,156 @@
+#ifndef DATACRON_OBS_TRACE_H_
+#define DATACRON_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time_utils.h"
+
+namespace datacron {
+namespace obs {
+
+/// One closed span. `name` and `category` must be string literals (or
+/// otherwise outlive the collector) — the recorder stores the pointers,
+/// never copies, so the hot path does no allocation.
+struct TraceSpanRecord {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::int64_t start_ns = 0;  // MonotonicNanos at open
+  std::int64_t dur_ns = 0;
+  std::int64_t epoch = -1;  // -1 = not epoch-scoped
+  std::int32_t shard = -1;  // -1 = not shard-scoped
+  std::uint32_t tid = 0;    // dense per-process thread index
+};
+
+/// --- global switch ------------------------------------------------------
+///
+/// Tracing is off by default. A disabled TraceSpan costs one relaxed
+/// atomic load — no clock read, no buffer touch — so instrumentation can
+/// stay compiled into every hot path.
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableTracing(bool on);
+
+/// --- thread-local epoch/shard context -----------------------------------
+///
+/// Code that knows the current epoch/shard (the sharded runtime, the
+/// cluster coordinator) sets the context once; every span opened inside
+/// the scope inherits the ids without threading them through call sites.
+
+struct TraceContext {
+  std::int64_t epoch = -1;
+  std::int32_t shard = -1;
+};
+
+const TraceContext& CurrentTraceContext();
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::int64_t epoch, std::int32_t shard = -1);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// --- RAII span ----------------------------------------------------------
+
+namespace internal {
+/// Commits one closed span to the calling thread's ring buffer.
+void RecordSpan(const char* name, const char* category,
+                std::int64_t start_ns, std::int64_t dur_ns,
+                std::int64_t epoch, std::int32_t shard);
+}  // namespace internal
+
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category) {
+    if (!TracingEnabled()) return;
+    name_ = name;
+    category_ = category;
+    const TraceContext& ctx = CurrentTraceContext();
+    epoch_ = ctx.epoch;
+    shard_ = ctx.shard;
+    start_ns_ = MonotonicNanos();
+  }
+
+  ~TraceSpan() { End(); }
+
+  /// Commits the span now instead of at scope exit; later End() calls
+  /// (including the destructor's) are no-ops.
+  void End() {
+    if (start_ns_ < 0) return;
+    internal::RecordSpan(name_, category_, start_ns_,
+                         MonotonicNanos() - start_ns_, epoch_, shard_);
+    start_ns_ = -1;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Overrides the inherited context (call right after construction).
+  void set_epoch(std::int64_t epoch) { epoch_ = epoch; }
+  void set_shard(std::int32_t shard) { shard_ = shard; }
+
+  /// True when this span is live (tracing was on at construction).
+  bool recording() const { return start_ns_ >= 0; }
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::int64_t start_ns_ = -1;
+  std::int64_t epoch_ = -1;
+  std::int32_t shard_ = -1;
+};
+
+#define DATACRON_OBS_CONCAT_(a, b) a##b
+#define DATACRON_OBS_CONCAT(a, b) DATACRON_OBS_CONCAT_(a, b)
+
+/// Opens a span for the rest of the enclosing scope. `name`/`cat` must be
+/// string literals.
+#define DATACRON_TRACE_SPAN(name, cat) \
+  ::datacron::obs::TraceSpan DATACRON_OBS_CONCAT(trace_span_, \
+                                                 __LINE__)(name, cat)
+
+/// --- collection ---------------------------------------------------------
+
+class TraceCollector {
+ public:
+  /// Moves every thread's buffered spans out (ascending start_ns). Safe to
+  /// call while other threads keep recording: each per-thread ring is
+  /// single-producer/single-consumer and drains serialize internally.
+  static std::vector<TraceSpanRecord> Drain();
+
+  /// Spans lost to ring overflow since process start (cumulative).
+  static std::uint64_t DroppedCount();
+
+  /// Drain-and-discard; benches call it between phases they don't trace.
+  static void Discard();
+};
+
+/// Renders spans as Chrome Trace Event JSON ("X" complete events with
+/// epoch/shard args, plus thread-name metadata) loadable by
+/// chrome://tracing and Perfetto.
+std::string ChromeTraceJson(std::span<const TraceSpanRecord> spans);
+
+/// Drains the collector and writes ChromeTraceJson to `path`. Returns
+/// false when the file cannot be written.
+bool WriteChromeTraceFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace datacron
+
+#endif  // DATACRON_OBS_TRACE_H_

@@ -5,6 +5,8 @@
 
 #include "common/strings.h"
 #include "common/time_utils.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace datacron {
 
@@ -488,11 +490,15 @@ std::vector<int> QueryEngine::PrunedPartitions(const Query& query) const {
 }
 
 ResultSet QueryEngine::ExecuteLocal(const Query& query) const {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().counter("query.local");
+  queries->Add();
   Stopwatch timer;
   ResultSet rs;
   rs.stats.partitions_total = store_->num_partitions();
 
   Stopwatch plan_timer;
+  obs::TraceSpan plan_span("query.plan", "query");
   // Constraint pruning plus predicate-existence skipping: a partition
   // lacking any bound predicate of the BGP cannot contribute a match.
   std::vector<int> candidates;
@@ -507,6 +513,7 @@ ResultSet QueryEngine::ExecuteLocal(const Query& query) const {
     }
     if (possible) candidates.push_back(p);
   }
+  plan_span.End();
   rs.stats.plan_ms = plan_timer.ElapsedMillis();
   rs.stats.partitions_scanned = static_cast<int>(candidates.size());
 
@@ -514,6 +521,7 @@ ResultSet QueryEngine::ExecuteLocal(const Query& query) const {
   // partition-index order, so the row order is identical at any thread
   // count (never mutex-arrival order).
   Stopwatch scan_timer;
+  obs::TraceSpan scan_span("query.scan", "query");
   std::vector<std::vector<Binding>> per_part(candidates.size());
   auto eval_one = [&](std::size_t idx) {
     EvalBgpInStore(store_->partition(candidates[idx]), query,
@@ -530,6 +538,7 @@ ResultSet QueryEngine::ExecuteLocal(const Query& query) const {
   for (auto& rows : per_part) {
     for (Binding& b : rows) rs.rows.push_back(std::move(b));
   }
+  scan_span.End();
   rs.stats.scan_ms = scan_timer.ElapsedMillis();
   rs.stats.result_rows = rs.rows.size();
   rs.stats.wall_ms = timer.ElapsedMillis();
@@ -537,12 +546,16 @@ ResultSet QueryEngine::ExecuteLocal(const Query& query) const {
 }
 
 ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().counter("query.global");
+  queries->Add();
   Stopwatch timer;
   ResultSet rs;
   rs.stats.partitions_total = store_->num_partitions();
   if (query.bgp.empty()) return rs;
 
   Stopwatch plan_timer;
+  obs::TraceSpan plan_span("query.plan", "query");
   // Vars carrying spatial/temporal constraints: their patterns can be
   // scanned on the pruned partition subset only (tagged subjects obey the
   // partition envelopes); all other patterns scan everything.
@@ -563,6 +576,7 @@ ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
   for (const QueryTriple& qt : query.bgp) {
     specs.push_back(MakeScanSpec(qt, query, empty));
   }
+  plan_span.End();
   rs.stats.plan_ms = plan_timer.ElapsedMillis();
 
   // Scan every pattern into a narrow columnar table, with constraint and
@@ -570,6 +584,7 @@ ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
   // ONE ParallelFor; per-job outputs concatenate per pattern in
   // partition-index order, so tables are identical at any thread count.
   Stopwatch scan_timer;
+  obs::TraceSpan scan_span("query.scan", "query");
   std::vector<ColumnTable> tables(n);
   struct ScanJob {
     std::size_t pattern;
@@ -615,11 +630,13 @@ ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
     rs.stats.intermediate_rows += table.rows;
   }
   rs.stats.partitions_scanned = static_cast<int>(max_scanned);
+  scan_span.End();
   rs.stats.scan_ms = scan_timer.ElapsedMillis();
 
   // Join tables: smallest first, preferring join partners that share
   // vars (stable order, so the plan is identical at any thread count).
   Stopwatch join_timer;
+  obs::TraceSpan join_span("query.join", "query");
   std::vector<std::size_t> remaining(n);
   for (std::size_t i = 0; i < n; ++i) remaining[i] = i;
   std::stable_sort(remaining.begin(), remaining.end(),
@@ -642,12 +659,14 @@ ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
     rs.stats.join_rows.push_back(acc.rows);
     if (acc.rows == 0) break;
   }
+  join_span.End();
   rs.stats.join_ms = join_timer.ElapsedMillis();
 
   // Final constraint check (all surviving vars bound now), widening the
   // columnar rows back to full-width bindings. Chunk outputs concatenate
   // in chunk order — deterministic.
   Stopwatch filter_timer;
+  obs::TraceSpan filter_span("query.filter", "query");
   if (acc.rows > 0) {
     const std::size_t ow = acc.width();
     const std::size_t chunks = NumChunks(acc.rows, pool_);
@@ -672,6 +691,7 @@ ResultSet QueryEngine::ExecuteGlobal(const Query& query) const {
       for (Binding& b : rows) rs.rows.push_back(std::move(b));
     }
   }
+  filter_span.End();
   rs.stats.filter_ms = filter_timer.ElapsedMillis();
   rs.stats.result_rows = rs.rows.size();
   rs.stats.wall_ms = timer.ElapsedMillis();

@@ -5,9 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace datacron {
 
@@ -39,9 +43,17 @@ class AdmissionQueue {
   struct Options {
     std::size_t capacity = 4096;
     AdmissionPolicy policy = AdmissionPolicy::kBlock;
+    /// When set, kDropOldest evictions are additionally counted per key
+    /// (the engine keys by entity id) so load shedding is attributable —
+    /// a chatty entity evicting a quiet one's reports shows up in
+    /// DropsByKey() instead of disappearing silently.
+    std::function<std::uint64_t(const T&)> drop_key;
   };
 
-  explicit AdmissionQueue(Options opts) : opts_(opts) {
+  explicit AdmissionQueue(Options opts)
+      : opts_(std::move(opts)),
+        dropped_counter_(
+            obs::MetricsRegistry::Global().counter("admission.dropped")) {
     if (opts_.capacity == 0) opts_.capacity = 1;
   }
 
@@ -57,8 +69,12 @@ class AdmissionQueue {
     } else {
       if (closed_) return false;
       while (items_.size() >= opts_.capacity) {
+        if (opts_.drop_key) {
+          ++drops_by_key_[opts_.drop_key(items_.front())];
+        }
         items_.pop_front();
         ++dropped_;
+        dropped_counter_->Add();
       }
     }
     items_.push_back(std::move(item));
@@ -101,6 +117,13 @@ class AdmissionQueue {
     return dropped_;
   }
 
+  /// Per-key eviction counts (ascending key), empty unless Options::
+  /// drop_key was set. The engine surfaces these in MetricsReport().
+  std::vector<std::pair<std::uint64_t, std::size_t>> DropsByKey() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return {drops_by_key_.begin(), drops_by_key_.end()};
+  }
+
   /// Currently buffered items (<= capacity at all times).
   std::size_t size() const {
     std::lock_guard<std::mutex> lk(mu_);
@@ -117,6 +140,8 @@ class AdmissionQueue {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   std::size_t dropped_ = 0;
+  std::map<std::uint64_t, std::size_t> drops_by_key_;
+  obs::Counter* dropped_counter_;
   bool closed_ = false;
 };
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/epoch.h"
 
 namespace datacron {
@@ -117,16 +119,19 @@ class ShardedRuntime {
   void RunSerial(std::span<const In> input, KeyFn& key, KeyedFn& keyed,
                  GlobalFn& global) {
     const std::size_t n = opts_.num_shards;
+    std::int64_t epoch = 0;
     for (std::size_t pos = 0; pos < input.size();
-         pos += opts_.epoch_size) {
+         pos += opts_.epoch_size, ++epoch) {
       const std::size_t len =
           std::min(opts_.epoch_size, input.size() - pos);
       const std::span<const In> items = input.subspan(pos, len);
       std::vector<Slot> slots(len);
+      obs::ScopedTraceContext trace_ctx(epoch);
       for (std::size_t i = 0; i < len; ++i) {
         keyed(static_cast<std::size_t>(key(items[i]) % n), items[i],
               &slots[i]);
       }
+      DATACRON_TRACE_SPAN("shard.global", "shard");
       global(items, std::span<Slot>(slots));
     }
   }
@@ -161,6 +166,9 @@ class ShardedRuntime {
         }
         if (!failed) {
           try {
+            obs::ScopedTraceContext trace_ctx(
+                e->id, static_cast<std::int32_t>(shard));
+            obs::TraceSpan span("shard.drain", "shard");
             for (std::uint32_t idx : e->routing.by_part[shard]) {
               keyed(shard, e->items[idx], &e->slots[idx]);
             }
@@ -185,7 +193,10 @@ class ShardedRuntime {
       }
     };
 
+    static obs::Counter* enqueue_counter =
+        obs::MetricsRegistry::Global().counter("shard.mailbox_enqueues");
     auto post = [&st, &drain, pool](std::size_t shard, Epoch* e) {
+      enqueue_counter->Add();
       Mailbox& mb = st.mailboxes[shard];
       bool schedule = false;
       {
@@ -214,11 +225,20 @@ class ShardedRuntime {
 
     // Runs the global stage over the oldest epoch and retires it. When
     // `blocking`, waits for every shard's watermark to pass it first.
+    static obs::AtomicLogHistogram* barrier_wait_hist =
+        obs::MetricsRegistry::Global().histogram("shard.barrier_wait_ns");
     auto consume_front = [&](bool blocking) -> bool {
       {
         std::unique_lock<std::mutex> lk(st.mu);
         if (blocking) {
-          st.cv.wait(lk, front_done);
+          if (!front_done()) {
+            obs::TraceSpan span("shard.barrier", "shard");
+            span.set_epoch(ring.front().id);
+            const std::int64_t wait_start = MonotonicNanos();
+            st.cv.wait(lk, front_done);
+            barrier_wait_hist->Observe(
+                static_cast<double>(MonotonicNanos() - wait_start));
+          }
         } else if (!front_done()) {
           return false;
         }
@@ -231,6 +251,8 @@ class ShardedRuntime {
       }
       if (!failed) {
         try {
+          obs::ScopedTraceContext trace_ctx(e.id);
+          DATACRON_TRACE_SPAN("shard.global", "shard");
           global(e.items, std::span<Slot>(e.slots));
         } catch (...) {
           std::lock_guard<std::mutex> lk(st.mu);
@@ -250,12 +272,19 @@ class ShardedRuntime {
       while (!ring.empty() && consume_front(/*blocking=*/false)) {
       }
 
+      static obs::Counter* epoch_counter =
+          obs::MetricsRegistry::Global().counter("shard.epochs");
+      epoch_counter->Add();
       ring.emplace_back();
       Epoch& e = ring.back();
       e.id = id;
       e.items = input.subspan(pos, len);
       e.slots.resize(len);
-      e.routing = EpochRouting::Build(e.items, n, key);
+      {
+        obs::TraceSpan span("shard.route", "shard");
+        span.set_epoch(id);
+        e.routing = EpochRouting::Build(e.items, n, key);
+      }
       // Every shard receives every epoch (possibly with an empty index
       // list) so its watermark advances and the barrier can release.
       for (std::size_t s = 0; s < n; ++s) post(s, &e);

@@ -287,6 +287,26 @@ TEST(AdmissionQueueTest, DropOldestPolicyShedsFromTheFront) {
   EXPECT_TRUE(queue.PopBatch(8).empty());
 }
 
+TEST(AdmissionQueueTest, DropOldestAttributesDropsPerKey) {
+  AdmissionQueue<int>::Options opts;
+  opts.capacity = 2;
+  opts.policy = AdmissionPolicy::kDropOldest;
+  opts.drop_key = [](const int& v) {
+    return static_cast<std::uint64_t>(v % 2);
+  };
+  AdmissionQueue<int> queue(opts);
+
+  for (int i = 1; i <= 6; ++i) ASSERT_TRUE(queue.Push(i));
+  // Evicted from the front: 1, 2, 3, 4 — two odd keys, two even keys.
+  EXPECT_EQ(queue.dropped(), 4u);
+  const auto by_key = queue.DropsByKey();
+  ASSERT_EQ(by_key.size(), 2u);
+  EXPECT_EQ(by_key[0].first, 0u);
+  EXPECT_EQ(by_key[0].second, 2u);
+  EXPECT_EQ(by_key[1].first, 1u);
+  EXPECT_EQ(by_key[1].second, 2u);
+}
+
 TEST(AdmissionTest, EngineQueueIngestMatchesSerialUnderBlockPolicy) {
   const auto stream = MixedStream();
   const RunOutputs serial = RunSerial(stream);
@@ -330,6 +350,14 @@ TEST(AdmissionTest, DropOldestShedsWhenConsumerLags) {
   // The admitted suffix is processed in arrival order.
   const std::vector<Triple>& triples = engine.triples();
   EXPECT_FALSE(triples.empty());
+
+  // Load shedding is attributable: the metrics report names the policy,
+  // the total, and the per-entity counts the queue recorded.
+  const std::string report = engine.MetricsReport();
+  EXPECT_NE(report.find("admission: policy=drop-oldest"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("entities_hit="), std::string::npos);
+  EXPECT_NE(report.find("dropped"), std::string::npos);
 }
 
 TEST(AdmissionTest, ClusterQueueIngestMatchesSerial) {

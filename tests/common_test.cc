@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/csv.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -280,6 +281,119 @@ TEST(HistogramTest, BinningAndOverflow) {
   EXPECT_FALSE(h.ToString().empty());
 }
 
+TEST(LogHistogramTest, BucketBoundaries) {
+  // Bucket 0 holds zeros (and negatives, clamped); bucket b>0 covers
+  // [2^(b-1), 2^b).
+  LogHistogram h;
+  h.Add(0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  h.Add(-3);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  h.Add(1);  // [1, 2) -> bucket 1
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  h.Add(2);  // [2, 4) -> bucket 2
+  h.Add(3);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  h.Add(4);  // [4, 8) -> bucket 3
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  h.Add(1023);  // [512, 1024) -> bucket 10
+  h.Add(1024);  // [1024, 2048) -> bucket 11
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  EXPECT_EQ(h.count(), 8u);
+}
+
+TEST(LogHistogramTest, HugeValuesLandInLastBucket) {
+  LogHistogram h;
+  h.Add(1.5e19);  // beyond 2^63 — must cap at the last bucket
+  h.Add(9.9e18);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(LogHistogram::num_buckets() - 1), 2u);
+  // Percentile stays finite and answers from the top bucket.
+  EXPECT_GT(h.p99(), 0.0);
+}
+
+TEST(LogHistogramTest, AddBucketCountRoundTrip) {
+  LogHistogram h;
+  for (double x : {0.0, 1.0, 7.0, 100.0, 5000.0, 1e12}) h.Add(x);
+  LogHistogram rebuilt;
+  for (std::size_t b = 0; b < LogHistogram::num_buckets(); ++b) {
+    rebuilt.AddBucketCount(b, h.bucket_count(b));
+  }
+  EXPECT_EQ(rebuilt, h);
+  // A rebuilt copy merges exactly like the original.
+  LogHistogram via_orig = h, via_rebuilt = rebuilt;
+  LogHistogram extra;
+  extra.Add(42);
+  via_orig.Merge(extra);
+  via_rebuilt.Merge(extra);
+  EXPECT_EQ(via_orig, via_rebuilt);
+}
+
+TEST(RunningStatsTest, FromRawRoundTrip) {
+  RunningStats s;
+  for (double x : {1.5, -2.0, 7.25, 0.0, 100.0}) s.Add(x);
+  RunningStats decoded = RunningStats::FromRaw(s.count(), s.mean(), s.m2(),
+                                               s.min(), s.max());
+  EXPECT_EQ(decoded, s);
+
+  // Merging through the decoded copy matches merging the original.
+  RunningStats other;
+  other.Add(3.0);
+  other.Add(-9.5);
+  RunningStats via_orig = s, via_decoded = decoded;
+  via_orig.Merge(other);
+  via_decoded.Merge(other);
+  EXPECT_EQ(via_orig, via_decoded);
+
+  RunningStats empty = RunningStats::FromRaw(0, 0, 0, 0, 0);
+  EXPECT_EQ(empty, RunningStats{});
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, CaptureSinkReceivesTaggedRecords) {
+  const LogLevel saved_level = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  CaptureLogSink capture;
+  LogSink* previous = SetLogSink(&capture);
+
+  Log(LogLevel::kInfo, "untagged message");
+  Log(LogLevel::kWarning, "engine", "tagged message");
+  Logf(LogLevel::kInfo, "formatted %d", 42);
+  Logfc(LogLevel::kError, "net", "frame %s", "bad");
+
+  SetLogSink(previous);
+  SetLogLevel(saved_level);
+
+  const auto entries = capture.Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].component, "");
+  EXPECT_EQ(entries[0].message, "untagged message");
+  EXPECT_EQ(entries[1].level, LogLevel::kWarning);
+  EXPECT_EQ(entries[1].component, "engine");
+  EXPECT_EQ(entries[2].message, "formatted 42");
+  EXPECT_EQ(entries[3].component, "net");
+  EXPECT_EQ(entries[3].message, "frame bad");
+}
+
+TEST(LoggingTest, SinkHonorsLevelFilter) {
+  const LogLevel saved_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  CaptureLogSink capture;
+  LogSink* previous = SetLogSink(&capture);
+
+  Log(LogLevel::kInfo, "engine", "below the filter");
+  Log(LogLevel::kError, "engine", "passes");
+
+  SetLogSink(previous);
+  SetLogLevel(saved_level);
+
+  const auto entries = capture.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].message, "passes");
+}
+
 // ---------------------------------------------------------------- Time
 
 TEST(TimeTest, FormatKnownTimestamp) {
@@ -333,6 +447,21 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
 TEST(ThreadPoolTest, ParallelForZero) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, QueueWaitHistogramCountsTasks) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  pool.ParallelFor(100, [](std::size_t) {});
+  const LogHistogram wait = pool.QueueWaitNanos();
+  // Every executed task contributes one queue-wait sample (ParallelFor
+  // chunks count per chunk, so >= the 50 submits).
+  EXPECT_GE(wait.count(), 50u);
+  EXPECT_GE(wait.p50(), 0.0);
 }
 
 TEST(ThreadPoolTest, ManyTasks) {
