@@ -61,6 +61,12 @@ struct BenchRecord {
   double reports_per_s = 0.0;
   double speedup = 1.0;
   bool identical = true;
+  // Epoch-coalescing stats (registry counter deltas for this run; the
+  // serial row has epochs == 0 and omits them from the table).
+  std::uint64_t epochs = 0;
+  std::uint64_t mailbox_msgs = 0;
+  double reports_per_epoch = 0.0;
+  double terms_per_merge = 0.0;
 };
 
 std::vector<BenchRecord> g_records;
@@ -77,9 +83,14 @@ void WriteJson(const char* path, std::size_t reports) {
     std::fprintf(f,
                  "    {\"shards\": %d, \"threads\": %d, \"wall_s\": %.4f, "
                  "\"reports_per_s\": %.0f, \"speedup\": %.3f, "
-                 "\"identical\": %s}%s\n",
+                 "\"identical\": %s, \"epochs\": %llu, "
+                 "\"mailbox_msgs\": %llu, \"reports_per_epoch\": %.1f, "
+                 "\"terms_per_merge\": %.1f}%s\n",
                  r.shards, r.threads, r.wall_s, r.reports_per_s, r.speedup,
                  r.identical ? "true" : "false",
+                 static_cast<unsigned long long>(r.epochs),
+                 static_cast<unsigned long long>(r.mailbox_msgs),
+                 r.reports_per_epoch, r.terms_per_merge,
                  i + 1 < g_records.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -235,19 +246,40 @@ int Run(bool quick, const char* trace_out) {
   // --- E10b: sharded-runtime sweep with determinism guard. -----------
   std::printf("\nE10b: sharded IngestBatch sweep (byte-identical to the "
               "serial loop at every shard count)\n");
-  std::printf("%8s %8s %10s %14s %9s %10s\n", "shards", "threads", "wall_s",
-              "reports_per_s", "speedup", "identical");
-  std::printf("%8s %8d %10.3f %14.0f %9s %10s\n", "serial", 0, serial_s,
-              stream.size() / serial_s, "1.0x", "-");
+  std::printf("%8s %8s %10s %14s %9s %10s %8s %9s %11s %11s\n", "shards",
+              "threads", "wall_s", "reports_per_s", "speedup", "identical",
+              "epochs", "rpt/epoch", "terms/merge", "mbox_msgs");
+  std::printf("%8s %8d %10.3f %14.0f %9s %10s %8s %9s %11s %11s\n", "serial",
+              0, serial_s, stream.size() / serial_s, "1.0x", "-", "-", "-",
+              "-", "-");
   bool ok = true;
+  obs::Counter* epochs_ctr =
+      obs::MetricsRegistry::Global().counter("shard.epochs");
+  obs::Counter* mbox_ctr =
+      obs::MetricsRegistry::Global().counter("shard.mailbox_enqueues");
+  obs::Counter* merge_terms_ctr =
+      obs::MetricsRegistry::Global().counter("engine.merge_terms");
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
     DatacronEngine sharded(EngineConfig(shards));
     ThreadPool pool(shards);
+    const std::uint64_t epochs0 = epochs_ctr->Value();
+    const std::uint64_t mbox0 = mbox_ctr->Value();
+    const std::uint64_t terms0 = merge_terms_ctr->Value();
     Stopwatch timer;
     std::vector<Event> events = sharded.IngestBatch(stream, &pool);
     const auto fin = sharded.Finish();
     events.insert(events.end(), fin.begin(), fin.end());
     const double wall_s = timer.ElapsedSeconds();
+    // Epoch-coalescing stats: one coalesced term merge and one mailbox
+    // message per shard per epoch, so terms/merge and messages scale with
+    // epochs rather than with reports.
+    const std::uint64_t epochs = epochs_ctr->Value() - epochs0;
+    const std::uint64_t mbox_msgs = mbox_ctr->Value() - mbox0;
+    const std::uint64_t merge_terms = merge_terms_ctr->Value() - terms0;
+    const double rpt_per_epoch =
+        epochs > 0 ? static_cast<double>(stream.size()) / epochs : 0.0;
+    const double terms_per_merge =
+        epochs > 0 ? static_cast<double>(merge_terms) / epochs : 0.0;
     const RunOutputs outputs = Snapshot(sharded, std::move(events));
     const bool identical = outputs == serial;
     if (!identical) {
@@ -259,11 +291,15 @@ int Run(bool quick, const char* trace_out) {
     }
     g_records.push_back({static_cast<int>(shards),
                          static_cast<int>(pool.num_threads()), wall_s,
-                         stream.size() / wall_s, serial_s / wall_s,
-                         identical});
-    std::printf("%8zu %8zu %10.3f %14.0f %8.1fx %10s\n", shards,
-                pool.num_threads(), wall_s, stream.size() / wall_s,
-                serial_s / wall_s, identical ? "yes" : "NO");
+                         stream.size() / wall_s, serial_s / wall_s, identical,
+                         epochs, mbox_msgs, rpt_per_epoch, terms_per_merge});
+    std::printf("%8zu %8zu %10.3f %14.0f %8.1fx %10s %8llu %9.1f %11.1f "
+                "%11llu\n",
+                shards, pool.num_threads(), wall_s, stream.size() / wall_s,
+                serial_s / wall_s, identical ? "yes" : "NO",
+                static_cast<unsigned long long>(epochs), rpt_per_epoch,
+                terms_per_merge,
+                static_cast<unsigned long long>(mbox_msgs));
     if (shards == 8) {
       std::printf("\n  per-operator metrics (8 shards, keyed rows merged "
                   "across shards):\n");

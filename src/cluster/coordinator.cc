@@ -93,6 +93,13 @@ Status ClusterEngine::RetireFront(std::deque<PendingEpoch>* ring,
       if (replies[n].results.size() != e.routing.by_part[n].size()) {
         return Status::Internal("epoch result count mismatch");
       }
+      std::uint64_t claimed = 0;
+      for (const WireReportResult& res : replies[n].results) {
+        claimed += res.new_term_count;
+      }
+      if (claimed != replies[n].new_terms.size()) {
+        return Status::Internal("epoch dictionary delta count mismatch");
+      }
     }
     watermarks_.Advance(n, e.id);
   }
@@ -105,22 +112,26 @@ Status ClusterEngine::RetireFront(std::deque<PendingEpoch>* ring,
       obs::MetricsRegistry::Global().counter("cluster.delta_terms");
 
   // Absorb per report in *input* order, remapping each report's outputs
-  // through its node's id table right after importing the report's
-  // dictionary delta — this interleaving is what reproduces the serial
-  // engine's first-occurrence id assignment.
+  // through its node's id table right after importing the report's slice
+  // of the node's coalesced epoch dictionary delta — this interleaving is
+  // what reproduces the serial engine's first-occurrence id assignment
+  // even though each node ships one delta per epoch.
   DATACRON_TRACE_SPAN("cluster.epoch_absorb", "cluster");
   std::vector<std::size_t> cursor(n_nodes, 0);
+  std::vector<std::size_t> term_cursor(n_nodes, 0);
   for (std::size_t i = 0; i < e.items.size(); ++i) {
     const std::size_t n =
         static_cast<std::size_t>(MixU64(e.items[i].entity_id) % n_nodes);
     WireReportResult& res = replies[n].results[cursor[n]++];
     std::vector<TermId>& remap = remap_[n];
-    if (!res.new_terms.empty()) {
+    if (res.new_term_count > 0) {
       DATACRON_TRACE_SPAN("cluster.delta_import", "cluster");
-      delta_terms_counter->Add(res.new_terms.size());
-      local_.dictionary()->ImportDelta(res.new_terms, &remap);
-    } else {
-      local_.dictionary()->ImportDelta(res.new_terms, &remap);
+      delta_terms_counter->Add(res.new_term_count);
+      local_.dictionary()->ImportDelta(
+          std::span<const TermExport>(replies[n].new_terms)
+              .subspan(term_cursor[n], res.new_term_count),
+          &remap);
+      term_cursor[n] += res.new_term_count;
     }
 
     DatacronEngine::ReportOutput out;

@@ -60,23 +60,16 @@ Status ClusterNode::HandleBatch(const std::string& payload) {
     const std::size_t before = dict->size();
     DatacronEngine::ReportOutput out;
     engine_.ProcessKeyedOnly(report, dict, &out);
-    const std::size_t after = dict->size();
 
     WireReportResult res;
     res.cp_count = out.cp_count;
+    // The terms this report interned: the contiguous id range the node
+    // dictionary grew by. Only the count travels per report — the epoch's
+    // text payload is exported once, below.
+    res.new_term_count = dict->size() - before;
     res.keyed_events = std::move(out.keyed_events);
     res.episodes = std::move(out.episodes);
     res.triples = std::move(out.triples);
-    if (after > before) {
-      // The terms this report interned: the contiguous id range the node
-      // dictionary grew by. Exported in id (== intern) order, this is the
-      // per-report dictionary delta the coordinator replays.
-      DATACRON_TRACE_SPAN("cluster.delta_export", "cluster");
-      Result<std::vector<TermExport>> delta =
-          dict->ExportRange(static_cast<TermId>(before) + 1, after - before);
-      if (!delta.ok()) return delta.status();
-      res.new_terms = std::move(delta).value();
-    }
     // Side tables travel id-sorted so the encoded bytes are canonical
     // regardless of hash-map iteration order.
     res.tags.assign(out.tags.begin(), out.tags.end());
@@ -89,6 +82,17 @@ Status ClusterNode::HandleBatch(const std::string& payload) {
     res.transform_ns = out.transform_ns;
     res.keyed_cep_ns = out.keyed_cep_ns;
     result.results.push_back(std::move(res));
+  }
+  if (dict->size() > result.dict_size_before) {
+    // One coalesced dictionary delta for the whole epoch, in id (==
+    // intern) order; the per-report counts slice it back apart at the
+    // coordinator.
+    DATACRON_TRACE_SPAN("cluster.delta_export", "cluster");
+    Result<std::vector<TermExport>> delta = dict->ExportRange(
+        static_cast<TermId>(result.dict_size_before) + 1,
+        dict->size() - result.dict_size_before);
+    if (!delta.ok()) return delta.status();
+    result.new_terms = std::move(delta).value();
   }
   return transport_->Send(Encode(result));
 }

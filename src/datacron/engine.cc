@@ -27,6 +27,21 @@ static_assert(HotspotDetector::kStage == StageKind::kGlobal);
 
 DatacronEngine::DatacronEngine(Config config)
     : config_(std::move(config)),
+      reports_counter_(
+          obs::MetricsRegistry::Global().counter("engine.reports")),
+      cp_counter_(
+          obs::MetricsRegistry::Global().counter("engine.critical_points")),
+      merge_terms_counter_(
+          obs::MetricsRegistry::Global().counter("engine.merge_terms")),
+      merge_terms_hist_(obs::MetricsRegistry::Global().histogram(
+          "engine.merge_terms_per_epoch")),
+      synopses_hist_(
+          obs::MetricsRegistry::Global().histogram("engine.synopses_ns")),
+      transform_hist_(
+          obs::MetricsRegistry::Global().histogram("engine.transform_ns")),
+      trajectory_hist_(
+          obs::MetricsRegistry::Global().histogram("engine.trajectory_ns")),
+      cep_hist_(obs::MetricsRegistry::Global().histogram("engine.cep_ns")),
       vocab_(std::make_unique<Vocab>(&dict_)),
       rdfizer_(std::make_unique<Rdfizer>(config_.rdf, &dict_, vocab_.get())),
       proximity_(config_.proximity) {
@@ -49,31 +64,28 @@ std::size_t DatacronEngine::ShardOf(EntityId entity) const {
   return MixU64(entity) % shards_.size();
 }
 
-void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
-                                  TermSource* serial_terms,
-                                  ReportOutput* out) {
+DatacronEngine::KeyedStats DatacronEngine::ProcessKeyedCore(
+    Shard* shard, const PositionReport& report, const KeyedSink& sink) {
+  KeyedStats stats;
+
   // 1. In-situ processing: synopses.
   const std::int64_t t0 = MonotonicNanos();
   std::vector<CriticalPoint> cps;
   shard->detector.ProcessCounted(report, &cps);
-  out->cp_count = cps.size();
+  stats.cp_count = cps.size();
   const std::int64_t t1 = MonotonicNanos();
 
   // 2. Data transformation: critical points (or everything) to RDF, and
   //    semantic-trajectory episodes derived from the synopsis.
   if (config_.rdfize_all_reports || !cps.empty()) {
-    TermSource* terms = serial_terms;
-    if (terms == nullptr) {
-      out->terms = std::make_unique<TermBatch>(&dict_);
-      terms = out->terms.get();
-    }
+    TermSource* terms = sink.terms;
 
     // Pre-seed the sink with this entity's RDF continuation state,
     // reconstructed by re-interning IRI text. Each IRI either already
     // exists in the global dictionary or was first interned by an earlier
-    // report of this same entity — whose batch merges earlier in input
-    // order — so re-interning never allocates an id out of
-    // first-occurrence order and the ids match the serial run.
+    // report of this same entity — which merges earlier in input order —
+    // so re-interning never allocates an id out of first-occurrence order
+    // and the ids match the serial run.
     const EntityId entity = report.entity_id;
     std::unordered_map<EntityId, TermId> prev_node;
     std::unordered_map<EntityId, TermId> known;
@@ -87,20 +99,20 @@ void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
             entity, terms->Intern(PositionNodeIri(entity, prev_it->second)));
       }
     }
-    Rdfizer::Sink sink;
-    sink.terms = terms;
-    sink.tags = &out->tags;
-    sink.node_geo = &out->node_geo;
-    sink.prev_node = &prev_node;
-    sink.known_entities = &known;
+    Rdfizer::Sink rdf_sink;
+    rdf_sink.terms = terms;
+    rdf_sink.tags = sink.tags;
+    rdf_sink.node_geo = sink.node_geo;
+    rdf_sink.prev_node = &prev_node;
+    rdf_sink.known_entities = &known;
 
     if (config_.rdfize_all_reports) {
-      rdfizer_->TransformReportInto(report, sink, &out->triples);
+      rdfizer_->TransformReportInto(report, rdf_sink, sink.triples);
       shard->prev_node_ts[entity] = report.timestamp;
       shard->rdf_known.insert(entity);
     } else {
       for (const CriticalPoint& cp : cps) {
-        rdfizer_->TransformCriticalPointInto(cp, sink, &out->triples);
+        rdfizer_->TransformCriticalPointInto(cp, rdf_sink, sink.triples);
         // Gap-start points carry the pre-gap report, so the last cp's
         // timestamp — not the report's — is the continuation point.
         shard->prev_node_ts[cp.report.entity_id] = cp.report.timestamp;
@@ -112,54 +124,88 @@ void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
       shard->episode_builder.Process(cp, &completed);
     }
     for (const Episode& e : completed) {
-      rdfizer_->TransformEpisodeInto(e, sink, &out->triples);
+      rdfizer_->TransformEpisodeInto(e, rdf_sink, sink.triples);
     }
-    out->episodes = std::move(completed);
+    sink.episodes->insert(sink.episodes->end(),
+                          std::make_move_iterator(completed.begin()),
+                          std::make_move_iterator(completed.end()));
   }
   const std::int64_t t2 = MonotonicNanos();
 
-  // 4a. Keyed complex event recognition (global CEP runs in
-  //     AbsorbOutput, which splices these events in after proximity).
-  shard->area_events.ProcessCounted(report, &out->keyed_events);
-  shard->loitering.ProcessCounted(report, &out->keyed_events);
-  shard->gap.ProcessCounted(report, &out->keyed_events);
-  shard->speed_anomaly.ProcessCounted(report, &out->keyed_events);
+  // 4a. Keyed complex event recognition (global CEP runs in the absorb
+  //     stage, which splices these events in after proximity).
+  shard->area_events.ProcessCounted(report, sink.events);
+  shard->loitering.ProcessCounted(report, sink.events);
+  shard->gap.ProcessCounted(report, sink.events);
+  shard->speed_anomaly.ProcessCounted(report, sink.events);
 
-  out->synopses_ns = t1 - t0;
-  out->transform_ns = t2 - t1;
-  out->keyed_cep_ns = MonotonicNanos() - t2;
+  stats.synopses_ns = t1 - t0;
+  stats.transform_ns = t2 - t1;
+  stats.keyed_cep_ns = MonotonicNanos() - t2;
+  return stats;
+}
+
+void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
+                                  TermSource* terms, ReportOutput* out) {
+  KeyedSink sink;
+  sink.terms = terms;
+  sink.triples = &out->triples;
+  sink.episodes = &out->episodes;
+  sink.events = &out->keyed_events;
+  sink.tags = &out->tags;
+  sink.node_geo = &out->node_geo;
+  const KeyedStats stats = ProcessKeyedCore(shard, report, sink);
+  out->cp_count = stats.cp_count;
+  out->synopses_ns = stats.synopses_ns;
+  out->transform_ns = stats.transform_ns;
+  out->keyed_cep_ns = stats.keyed_cep_ns;
+}
+
+void DatacronEngine::ProcessKeyedArena(std::size_t shard,
+                                       const PositionReport& report,
+                                       ShardSlot* slot, EpochArena* arena,
+                                       bool use_batch) {
+  KeyedSink sink;
+  sink.terms = &dict_;
+  if (use_batch) {
+    // One batch-local dictionary per shard-epoch; every report of the
+    // shard's epoch interns into it, so the merge cost is paid once per
+    // epoch, not once per report.
+    if (arena->terms == nullptr) {
+      arena->terms = std::make_unique<TermBatch>(&dict_);
+    }
+    sink.terms = arena->terms.get();
+  }
+  sink.triples = &arena->triples;
+  sink.episodes = &arena->episodes;
+  sink.events = &arena->events;
+  sink.tags = &arena->tags;
+  sink.node_geo = &arena->node_geo;
+  const KeyedStats stats = ProcessKeyedCore(&shards_[shard], report, sink);
+  slot->shard = static_cast<std::uint32_t>(shard);
+  slot->cp_count = static_cast<std::uint32_t>(stats.cp_count);
+  slot->terms_end = arena->terms != nullptr ? arena->terms->local_size() : 0;
+  slot->triples_end = arena->triples.size();
+  slot->episodes_end = arena->episodes.size();
+  slot->events_end = arena->events.size();
+  slot->synopses_ns = stats.synopses_ns;
+  slot->transform_ns = stats.transform_ns;
+  slot->keyed_cep_ns = stats.keyed_cep_ns;
 }
 
 void DatacronEngine::AbsorbOutput(const PositionReport& report,
                                   ReportOutput* out,
                                   std::vector<Event>* events) {
-  static obs::Counter* reports_counter =
-      obs::MetricsRegistry::Global().counter("engine.reports");
-  static obs::Counter* cp_counter =
-      obs::MetricsRegistry::Global().counter("engine.critical_points");
   ++reports_ingested_;
   critical_points_ += out->cp_count;
-  reports_counter->Add();
-  cp_counter->Add(out->cp_count);
+  reports_counter_->Add();
+  cp_counter_->Add(out->cp_count);
 
-  // 3. Trajectory management + deterministic merge of keyed outputs.
+  // 3. Trajectory management + absorption of the keyed outputs (ids are
+  //    already global on this path).
   const std::int64_t t0 = MonotonicNanos();
-  if (out->terms != nullptr) {
-    // Only the parallel path pays a per-report batch merge — the span is
-    // what lets a trace attribute the sharded runtime's coordination tax.
-    DATACRON_TRACE_SPAN("engine.term_merge", "engine");
-    const std::vector<TermId> remap = dict_.MergeBatch(*out->terms);
-    triples_.reserve(triples_.size() + out->triples.size());
-    for (const Triple& t : out->triples) {
-      triples_.push_back({RemapTerm(t.s, remap), RemapTerm(t.p, remap),
-                          RemapTerm(t.o, remap)});
-    }
-    rdfizer_->AbsorbSideTables(out->tags, out->node_geo, remap);
-  } else {
-    triples_.insert(triples_.end(), out->triples.begin(),
-                    out->triples.end());
-    rdfizer_->AbsorbSideTables(out->tags, out->node_geo, {});
-  }
+  triples_.insert(triples_.end(), out->triples.begin(), out->triples.end());
+  rdfizer_->AbsorbSideTables(out->tags, out->node_geo, {});
   for (Episode& e : out->episodes) episodes_.push_back(std::move(e));
   trajectories_.Add(report);
   predictor_.Observe(report);
@@ -175,29 +221,127 @@ void DatacronEngine::AbsorbOutput(const PositionReport& report,
   if (hotspots_ != nullptr) hotspots_->ProcessCounted(report, events);
   const std::int64_t t2 = MonotonicNanos();
 
-  latencies_.synopses_ms.Add(out->synopses_ns / 1e6);
-  latencies_.transform_ms.Add(out->transform_ns / 1e6);
-  latencies_.trajectory_ms.Add((t1 - t0) / 1e6);
-  latencies_.cep_ms.Add((out->keyed_cep_ns + (t2 - t1)) / 1e6);
-  latencies_.total_ms.Add(
-      (out->synopses_ns + out->transform_ns + out->keyed_cep_ns +
-       (t2 - t0)) /
-      1e6);
+  RecordReportLatencies(out->synopses_ns, out->transform_ns,
+                        out->keyed_cep_ns, t1 - t0, t2 - t1);
+}
+
+void DatacronEngine::RecordReportLatencies(std::int64_t synopses_ns,
+                                           std::int64_t transform_ns,
+                                           std::int64_t keyed_cep_ns,
+                                           std::int64_t trajectory_ns,
+                                           std::int64_t global_cep_ns) {
+  latencies_.synopses_ms.Add(synopses_ns / 1e6);
+  latencies_.transform_ms.Add(transform_ns / 1e6);
+  latencies_.trajectory_ms.Add(trajectory_ns / 1e6);
+  latencies_.cep_ms.Add((keyed_cep_ns + global_cep_ns) / 1e6);
+  latencies_.total_ms.Add((synopses_ns + transform_ns + keyed_cep_ns +
+                           trajectory_ns + global_cep_ns) /
+                          1e6);
 
   // Always-on per-stage epoch timeline in the unified registry; two
   // relaxed adds per stage per report.
-  static obs::AtomicLogHistogram* synopses_hist =
-      obs::MetricsRegistry::Global().histogram("engine.synopses_ns");
-  static obs::AtomicLogHistogram* transform_hist =
-      obs::MetricsRegistry::Global().histogram("engine.transform_ns");
-  static obs::AtomicLogHistogram* trajectory_hist =
-      obs::MetricsRegistry::Global().histogram("engine.trajectory_ns");
-  static obs::AtomicLogHistogram* cep_hist =
-      obs::MetricsRegistry::Global().histogram("engine.cep_ns");
-  synopses_hist->Observe(static_cast<double>(out->synopses_ns));
-  transform_hist->Observe(static_cast<double>(out->transform_ns));
-  trajectory_hist->Observe(static_cast<double>(t1 - t0));
-  cep_hist->Observe(static_cast<double>(out->keyed_cep_ns + (t2 - t1)));
+  synopses_hist_->Observe(static_cast<double>(synopses_ns));
+  transform_hist_->Observe(static_cast<double>(transform_ns));
+  trajectory_hist_->Observe(static_cast<double>(trajectory_ns));
+  cep_hist_->Observe(static_cast<double>(keyed_cep_ns + global_cep_ns));
+}
+
+void DatacronEngine::AbsorbEpoch(std::span<const PositionReport> items,
+                                 std::span<ShardSlot> slots,
+                                 std::span<EpochArena> arenas,
+                                 std::vector<Event>* events) {
+  const std::size_t n = arenas.size();
+
+  // Phase 1 — one coalesced dictionary merge for the whole epoch. Each
+  // report's new terms occupy the contiguous TermBatch slice between its
+  // predecessor's watermark and its own, so replaying those slices in
+  // input order reproduces serial first-occurrence id assignment exactly
+  // (cross-shard duplicates are idempotent re-interns). remaps[s] maps
+  // shard s's batch-local ids to global ids.
+  std::vector<std::vector<TermId>> remaps(n);
+  {
+    DATACRON_TRACE_SPAN("engine.term_merge_epoch", "engine");
+    for (std::size_t s = 0; s < n; ++s) {
+      if (arenas[s].terms != nullptr) {
+        remaps[s].reserve(arenas[s].terms->local_size());
+      }
+    }
+    std::size_t merged = 0;
+    std::vector<std::size_t> cursor(n, 0);
+    for (const ShardSlot& slot : slots) {
+      const TermBatch* batch = arenas[slot.shard].terms.get();
+      if (batch == nullptr) continue;
+      std::vector<TermId>& remap = remaps[slot.shard];
+      for (std::size_t j = cursor[slot.shard]; j < slot.terms_end; ++j) {
+        remap.push_back(dict_.Intern(batch->local_text(j),
+                                     batch->local_kind(j)));
+      }
+      merged += slot.terms_end - cursor[slot.shard];
+      cursor[slot.shard] = slot.terms_end;
+    }
+    merge_terms_counter_->Add(merged);
+    merge_terms_hist_->Observe(static_cast<double>(merged));
+  }
+
+  // Phase 2 — columnar bulk remap, one pass per shard arena. Side tables
+  // are key→value overwrites whose shared keys always carry equal values
+  // (grid-cell tags) or are entity-owned (node geometry), so per-shard
+  // absorption is order-independent.
+  for (std::size_t s = 0; s < n; ++s) {
+    EpochArena& a = arenas[s];
+    if (!remaps[s].empty()) {
+      const std::vector<TermId>& remap = remaps[s];
+      for (Triple& t : a.triples) {
+        t.s = RemapTerm(t.s, remap);
+        t.p = RemapTerm(t.p, remap);
+        t.o = RemapTerm(t.o, remap);
+      }
+    }
+    if (!a.tags.empty() || !a.node_geo.empty()) {
+      rdfizer_->AbsorbSideTables(a.tags, a.node_geo, remaps[s]);
+    }
+  }
+
+  // Phase 3 — input-order walk: splice each report's arena slices into
+  // the global sequences and run the cross-entity CEP per report, so
+  // triples/episodes/events land byte-identically to a serial run.
+  std::vector<std::size_t> triple_cur(n, 0);
+  std::vector<std::size_t> episode_cur(n, 0);
+  std::vector<std::size_t> event_cur(n, 0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const PositionReport& report = items[i];
+    const ShardSlot& slot = slots[i];
+    EpochArena& a = arenas[slot.shard];
+    ++reports_ingested_;
+    critical_points_ += slot.cp_count;
+    reports_counter_->Add();
+    cp_counter_->Add(slot.cp_count);
+
+    const std::int64_t t0 = MonotonicNanos();
+    triples_.insert(triples_.end(),
+                    a.triples.begin() + triple_cur[slot.shard],
+                    a.triples.begin() + slot.triples_end);
+    triple_cur[slot.shard] = slot.triples_end;
+    for (std::size_t j = episode_cur[slot.shard]; j < slot.episodes_end;
+         ++j) {
+      episodes_.push_back(std::move(a.episodes[j]));
+    }
+    episode_cur[slot.shard] = slot.episodes_end;
+    trajectories_.Add(report);
+    predictor_.Observe(report);
+    const std::int64_t t1 = MonotonicNanos();
+
+    proximity_.ProcessCounted(report, events);
+    events->insert(events->end(), a.events.begin() + event_cur[slot.shard],
+                   a.events.begin() + slot.events_end);
+    event_cur[slot.shard] = slot.events_end;
+    if (capacity_ != nullptr) capacity_->ProcessCounted(report, events);
+    if (hotspots_ != nullptr) hotspots_->ProcessCounted(report, events);
+    const std::int64_t t2 = MonotonicNanos();
+
+    RecordReportLatencies(slot.synopses_ns, slot.transform_ns,
+                          slot.keyed_cep_ns, t1 - t0, t2 - t1);
+  }
 }
 
 std::vector<Event> DatacronEngine::Ingest(const PositionReport& report) {
@@ -223,28 +367,29 @@ void DatacronEngine::AbsorbKeyedOutput(const PositionReport& report,
 std::vector<Event> DatacronEngine::IngestBatch(
     std::span<const PositionReport> reports, ThreadPool* pool) {
   std::vector<Event> events;
-  typename ShardedRuntime<PositionReport, ReportOutput>::Options opts;
+  using Runtime = ShardedRuntime<PositionReport, ShardSlot, EpochArena>;
+  typename Runtime::Options opts;
   opts.num_shards = shards_.size();
   opts.epoch_size = config_.epoch_size;
   opts.max_epochs_in_flight = config_.max_epochs_in_flight;
-  ShardedRuntime<PositionReport, ReportOutput> runtime(opts);
+  Runtime runtime(opts);
 
   // Without real parallelism, intern straight into the global dictionary
-  // (no per-report TermBatch merge overhead); the runtime routes by the
-  // same key either way, so keyed state lands on the same shards.
+  // (no TermBatch indirection); the runtime routes by the same key and
+  // accumulates into the same arenas either way, so keyed state and the
+  // epoch-granular absorb path are identical.
   const bool parallel = pool != nullptr && shards_.size() > 1;
   runtime.Run(
       reports, parallel ? pool : nullptr,
       [](const PositionReport& r) { return MixU64(r.entity_id); },
       [this, parallel](std::size_t shard, const PositionReport& r,
-                       ReportOutput* out) {
-        ProcessKeyed(&shards_[shard], r, parallel ? nullptr : &dict_, out);
+                       ShardSlot* slot, EpochArena* arena) {
+        ProcessKeyedArena(shard, r, slot, arena, parallel);
       },
       [this, &events](std::span<const PositionReport> items,
-                      std::span<ReportOutput> slots) {
-        for (std::size_t i = 0; i < items.size(); ++i) {
-          AbsorbOutput(items[i], &slots[i], &events);
-        }
+                      std::span<ShardSlot> slots,
+                      std::span<EpochArena> arenas) {
+        AbsorbEpoch(items, slots, arenas, &events);
       });
   return events;
 }

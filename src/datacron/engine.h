@@ -181,17 +181,16 @@ class DatacronEngine {
   // byte-identical by construction.
 
   /// Everything the keyed stage produces for one report; carried from the
-  /// shard to the in-order global stage (in-process by the sharded
-  /// runtime, across the wire by the cluster transport).
+  /// shard to the in-order global stage. All term ids are real dictionary
+  /// ids — a cluster node interns into its node-local dictionary and the
+  /// coordinator remaps through the epoch dictionary deltas before
+  /// absorbing. (The in-process parallel path does not use ReportOutput:
+  /// IngestBatch accumulates whole shard-epochs in EpochArena instead.)
   struct ReportOutput {
     std::size_t cp_count = 0;
     std::vector<Event> keyed_events;
     std::vector<Episode> episodes;
     std::vector<Triple> triples;
-    /// Batch-local term ids to merge (null when the keyed stage interned
-    /// straight into a TermDictionary — Ingest, the no-pool path, and
-    /// cluster nodes interning into their node-local dictionary).
-    std::unique_ptr<TermBatch> terms;
     std::unordered_map<TermId, StTag> tags;
     std::unordered_map<TermId, NodeGeo> node_geo;
     std::int64_t synopses_ns = 0;
@@ -206,10 +205,9 @@ class DatacronEngine {
                         ReportOutput* out);
 
   /// Runs only the global half for one report, on the calling thread, in
-  /// input order. `out` must hold ids of this engine's dictionary
-  /// (out->terms == nullptr; the cluster coordinator remaps node-local
-  /// ids through the epoch dictionary deltas first) or a mergeable
-  /// TermBatch from ProcessKeyed.
+  /// input order. `out` must hold ids of this engine's dictionary (the
+  /// cluster coordinator remaps node-local ids through the epoch
+  /// dictionary deltas first).
   void AbsorbKeyedOutput(const PositionReport& report, ReportOutput* out,
                          std::vector<Event>* events);
 
@@ -318,21 +316,108 @@ class DatacronEngine {
 
   std::size_t ShardOf(EntityId entity) const;
 
-  /// Keyed stage: synopses, RDF transform, episode building, keyed CEP —
-  /// touches only `shard` state and `out`. With `serial_terms` set the
-  /// transform interns into it directly; otherwise a per-report TermBatch
-  /// is created in `out` for the coordinator to merge in input order.
-  void ProcessKeyed(Shard* shard, const PositionReport& report,
-                    TermSource* serial_terms, ReportOutput* out);
+  /// Per-shard, per-epoch accumulator of the in-process parallel path:
+  /// the unit a shard hands to the global stage, one mailbox delivery per
+  /// shard per epoch. Everything a shard's reports produce lands in these
+  /// contiguous buffers; ShardSlot watermarks cut them back into
+  /// per-report slices so the global stage can replay input order.
+  struct EpochArena {
+    /// Batch-local dictionary for every new term the shard's reports
+    /// intern this epoch (null on the serial fallback, which interns
+    /// straight into the engine dictionary).
+    std::unique_ptr<TermBatch> terms;
+    std::vector<Triple> triples;
+    std::vector<Episode> episodes;
+    std::vector<Event> events;  // keyed CEP events
+    std::unordered_map<TermId, StTag> tags;
+    std::unordered_map<TermId, NodeGeo> node_geo;
+  };
 
-  /// Global stage for one report, on the calling thread in input order:
-  /// global CEP, dictionary merge + triple/episode/side-table absorption,
-  /// trajectory store, predictor, latency accounting.
+  /// Per-report slot of the sharded runtime: scalar results plus
+  /// watermarks into the report's shard EpochArena (sizes *after* the
+  /// report ran; the preceding report's watermark starts the slice).
+  struct ShardSlot {
+    std::uint32_t shard = 0;
+    std::uint32_t cp_count = 0;
+    std::size_t terms_end = 0;
+    std::size_t triples_end = 0;
+    std::size_t episodes_end = 0;
+    std::size_t events_end = 0;
+    std::int64_t synopses_ns = 0;
+    std::int64_t transform_ns = 0;
+    std::int64_t keyed_cep_ns = 0;
+  };
+
+  /// Where one keyed-stage invocation writes: a ReportOutput's own
+  /// buffers (per-report paths) or the shard's EpochArena (IngestBatch).
+  struct KeyedSink {
+    TermSource* terms = nullptr;
+    std::vector<Triple>* triples = nullptr;
+    std::vector<Episode>* episodes = nullptr;
+    std::vector<Event>* events = nullptr;
+    std::unordered_map<TermId, StTag>* tags = nullptr;
+    std::unordered_map<TermId, NodeGeo>* node_geo = nullptr;
+  };
+
+  struct KeyedStats {
+    std::size_t cp_count = 0;
+    std::int64_t synopses_ns = 0;
+    std::int64_t transform_ns = 0;
+    std::int64_t keyed_cep_ns = 0;
+  };
+
+  /// Keyed stage: synopses, RDF transform, episode building, keyed CEP —
+  /// touches only `shard` state and the sink.
+  KeyedStats ProcessKeyedCore(Shard* shard, const PositionReport& report,
+                              const KeyedSink& sink);
+
+  /// ReportOutput-shaped keyed stage (Ingest, cluster nodes). `terms` is
+  /// the dictionary to intern into — never null.
+  void ProcessKeyed(Shard* shard, const PositionReport& report,
+                    TermSource* terms, ReportOutput* out);
+
+  /// Arena-shaped keyed stage (IngestBatch): appends to the shard's
+  /// epoch arena and records the slot watermarks. With `use_batch` the
+  /// transform interns into the arena's TermBatch (created on first use);
+  /// otherwise straight into the engine dictionary (serial fallback).
+  void ProcessKeyedArena(std::size_t shard, const PositionReport& report,
+                         ShardSlot* slot, EpochArena* arena, bool use_batch);
+
+  /// Global stage for one report whose ids are already global: CEP,
+  /// triple/episode/side-table absorption, trajectory store, predictor,
+  /// latency accounting. Runs on the calling thread in input order.
   void AbsorbOutput(const PositionReport& report, ReportOutput* out,
                     std::vector<Event>* events);
 
+  /// Folds one report's stage timings into the percentile trackers and
+  /// the always-on registry histograms.
+  void RecordReportLatencies(std::int64_t synopses_ns,
+                             std::int64_t transform_ns,
+                             std::int64_t keyed_cep_ns,
+                             std::int64_t trajectory_ns,
+                             std::int64_t global_cep_ns);
+
+  /// Global stage for one whole epoch (IngestBatch): one coalesced term
+  /// merge per shard-epoch replayed in input order, columnar bulk remap
+  /// of each arena, then an input-order walk splicing per-report slices
+  /// through the global CEP exactly like a serial run.
+  void AbsorbEpoch(std::span<const PositionReport> items,
+                   std::span<ShardSlot> slots, std::span<EpochArena> arenas,
+                   std::vector<Event>* events);
+
   Config config_;
   TermDictionary dict_;
+  /// Registry instruments for the per-report and per-epoch global-stage
+  /// hot paths, resolved once at construction (no static-guard check per
+  /// report).
+  obs::Counter* reports_counter_;
+  obs::Counter* cp_counter_;
+  obs::Counter* merge_terms_counter_;
+  obs::AtomicLogHistogram* merge_terms_hist_;
+  obs::AtomicLogHistogram* synopses_hist_;
+  obs::AtomicLogHistogram* transform_hist_;
+  obs::AtomicLogHistogram* trajectory_hist_;
+  obs::AtomicLogHistogram* cep_hist_;
   std::unique_ptr<Vocab> vocab_;
   std::unique_ptr<Rdfizer> rdfizer_;
   std::vector<Shard> shards_;

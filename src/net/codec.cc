@@ -243,24 +243,24 @@ Status GetVec(WireReader& r, std::vector<T>* v, std::size_t min_bytes) {
 
 void Put(WireWriter& w, const WireReportResult& res) {
   w.U64(res.cp_count);
+  w.U64(res.new_term_count);
   PutVec(w, res.keyed_events);
   PutVec(w, res.episodes);
   PutVec(w, res.triples);
-  PutVec(w, res.new_terms);
   PutVec(w, res.tags);
   PutVec(w, res.node_geo);
   w.I64(res.synopses_ns);
   w.I64(res.transform_ns);
   w.I64(res.keyed_cep_ns);
 }
-constexpr std::size_t kMinResultBytes = 56;
+constexpr std::size_t kMinResultBytes = 60;
 
 Status Get(WireReader& r, WireReportResult* res) {
   DC_RET(r.U64(&res->cp_count));
+  DC_RET(r.U64(&res->new_term_count));
   DC_RET(GetVec(r, &res->keyed_events, kMinEventBytes));
   DC_RET(GetVec(r, &res->episodes, kMinEpisodeBytes));
   DC_RET(GetVec(r, &res->triples, kMinTripleBytes));
-  DC_RET(GetVec(r, &res->new_terms, kMinTermBytes));
   DC_RET(GetVec(r, &res->tags, kMinTagBytes));
   DC_RET(GetVec(r, &res->node_geo, kMinNodeGeoBytes));
   DC_RET(r.I64(&res->synopses_ns));
@@ -402,6 +402,7 @@ std::string Encode(const EpochResultMsg& msg) {
   w.I64(msg.epoch);
   w.U64(msg.dict_size_before);
   PutVec(w, msg.results);
+  PutVec(w, msg.new_terms);
   return w.Take();
 }
 
@@ -462,6 +463,7 @@ Status Decode(const std::string& payload, EpochResultMsg* msg) {
   DC_RET(r.I64(&msg->epoch));
   DC_RET(r.U64(&msg->dict_size_before));
   DC_RET(GetVec(r, &msg->results, kMinResultBytes));
+  DC_RET(GetVec(r, &msg->new_terms, kMinTermBytes));
   return r.ExpectEnd();
 }
 

@@ -24,8 +24,8 @@ namespace datacron {
 ///                                   size, and the node dictionary's
 ///                                   construction-time baseline terms
 ///   coordinator -> ReportBatch      one per (epoch, node); may be empty
-///   node        -> EpochResult      keyed outputs + per-report dictionary
-///                                   deltas for a nonempty batch
+///   node        -> EpochResult      keyed outputs + one coalesced
+///                                   dictionary delta for a nonempty batch
 ///   node        -> Watermark        in place of EpochResult for an empty
 ///                                   batch: advances the epoch barrier
 ///   coordinator -> FlushRequest     end-of-stream
@@ -63,16 +63,20 @@ struct ReportBatchMsg {
   bool operator==(const ReportBatchMsg&) const = default;
 };
 
-/// DatacronEngine::ReportOutput flattened for the wire: the TermBatch
-/// becomes `new_terms` (the node-dictionary delta this report created, in
-/// intern order) and the side tables become id-sorted vectors so the
-/// encoded bytes are canonical regardless of hash-map iteration order.
+/// DatacronEngine::ReportOutput flattened for the wire. The report's
+/// dictionary delta travels coalesced at the epoch level
+/// (EpochResultMsg::new_terms); `new_term_count` is this report's share of
+/// it, so the coordinator can slice the epoch delta back into per-report
+/// sub-ranges and import them interleaved in global input order. Side
+/// tables travel as id-sorted vectors so the encoded bytes are canonical
+/// regardless of hash-map iteration order.
 struct WireReportResult {
   std::uint64_t cp_count = 0;
+  /// Number of EpochResultMsg::new_terms entries this report interned.
+  std::uint64_t new_term_count = 0;
   std::vector<Event> keyed_events;
   std::vector<Episode> episodes;
   std::vector<Triple> triples;
-  std::vector<TermExport> new_terms;
   std::vector<std::pair<TermId, StTag>> tags;
   std::vector<std::pair<TermId, NodeGeo>> node_geo;
   std::int64_t synopses_ns = 0;
@@ -90,6 +94,11 @@ struct EpochResultMsg {
   std::uint64_t dict_size_before = 0;
   /// One entry per report of the epoch's sub-batch, in input order.
   std::vector<WireReportResult> results;
+  /// One coalesced dictionary delta for the whole epoch: the contiguous
+  /// id range the node dictionary grew by, exported once per epoch in
+  /// intern order. Per-report shares are results[i].new_term_count, and
+  /// the counts sum to new_terms.size().
+  std::vector<TermExport> new_terms;
 
   bool operator==(const EpochResultMsg&) const = default;
 };

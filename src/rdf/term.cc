@@ -90,7 +90,7 @@ Result<std::vector<TermExport>> TermDictionary::ExportRange(
   return out;
 }
 
-void TermDictionary::ImportDelta(const std::vector<TermExport>& delta,
+void TermDictionary::ImportDelta(std::span<const TermExport> delta,
                                  std::vector<TermId>* remap) {
   remap->reserve(remap->size() + delta.size());
   for (const TermExport& t : delta) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -118,9 +119,15 @@ class TermDictionary : public TermSource {
   /// where `base` is the remap size before the first import — exactly the
   /// node-local-to-global translation table the cluster coordinator keeps
   /// per node. Idempotent: entries already present resolve to their
-  /// existing ids.
-  void ImportDelta(const std::vector<TermExport>& delta,
+  /// existing ids. The span overload lets the cluster coordinator replay
+  /// sub-ranges of one coalesced per-epoch delta (sliced per report by
+  /// the shipped term counts) without copying.
+  void ImportDelta(std::span<const TermExport> delta,
                    std::vector<TermId>* remap);
+  void ImportDelta(const std::vector<TermExport>& delta,
+                   std::vector<TermId>* remap) {
+    ImportDelta(std::span<const TermExport>(delta), remap);
+  }
 
  private:
   static constexpr std::size_t kStripes = 16;  // power of two

@@ -19,16 +19,26 @@
 
 namespace datacron {
 
+/// Default per-shard-epoch accumulator for callers whose keyed stage
+/// carries everything through per-item slots.
+struct NoShardArena {};
+
 /// Key-partitioned streaming runtime: the execution layer behind
 /// DatacronEngine::IngestBatch.
 ///
 /// The input is cut into *epochs* (contiguous input ranges). Each item is
 /// routed by a caller-supplied key to one of `num_shards` logical shards;
 /// each shard runs the caller's *keyed* stage over its items with no locks
-/// (keyed state is partitioned, so shards never share mutable state). A
-/// per-item `Slot` carries the keyed stage's output back to the
-/// coordinator, which runs the *global* stage over every epoch in input
-/// order once all shards have passed that epoch's watermark.
+/// (keyed state is partitioned, so shards never share mutable state). The
+/// keyed stage writes per-item results into a `Slot` and may additionally
+/// accumulate bulk output — contiguous buffers, a term batch, side tables
+/// — in its shard's per-epoch `Arena`. One arena exists per (shard,
+/// epoch): it is the unit of shard→coordinator delivery, so every
+/// coordination cost the caller moves from the slot into the arena is
+/// paid once per shard-epoch instead of once per item. The coordinator
+/// runs the *global* stage over every epoch in input order once all
+/// shards have passed that epoch's watermark, receiving the items, the
+/// slots, and all shard arenas of the epoch together.
 ///
 /// Determinism: keyed stages see exactly the per-key subsequence of the
 /// input (per-shard mailboxes are FIFO and drained by at most one task at
@@ -44,7 +54,7 @@ namespace datacron {
 /// deadlock. Bounded in-flight epochs (`max_epochs_in_flight`) give
 /// backpressure: the coordinator stops routing until the oldest epoch has
 /// been fully processed and consumed.
-template <typename In, typename Slot>
+template <typename In, typename Slot, typename Arena = NoShardArena>
 class ShardedRuntime {
  public:
   struct Options {
@@ -55,7 +65,13 @@ class ShardedRuntime {
     std::size_t max_epochs_in_flight = 4;
   };
 
-  explicit ShardedRuntime(Options opts) : opts_(opts) {
+  explicit ShardedRuntime(Options opts)
+      : opts_(opts),
+        enqueue_counter_(
+            obs::MetricsRegistry::Global().counter("shard.mailbox_enqueues")),
+        epoch_counter_(obs::MetricsRegistry::Global().counter("shard.epochs")),
+        barrier_wait_hist_(
+            obs::MetricsRegistry::Global().histogram("shard.barrier_wait_ns")) {
     if (opts_.num_shards == 0) opts_.num_shards = 1;
     if (opts_.epoch_size == 0) opts_.epoch_size = 1;
     if (opts_.max_epochs_in_flight == 0) opts_.max_epochs_in_flight = 1;
@@ -65,13 +81,18 @@ class ShardedRuntime {
 
   /// Runs the full dataflow over `input`.
   ///
-  ///   key(item)                    -> std::uint64_t   (shard = key % n)
-  ///   keyed(shard, item, &slot)    -> fills the item's slot on its shard
-  ///   global(items, slots)         -> one epoch, input order, coordinator
+  ///   key(item)                          -> std::uint64_t (shard = key % n)
+  ///   keyed(shard, item, &slot, &arena)  -> fills the item's slot and may
+  ///                                         append to its shard's epoch
+  ///                                         arena
+  ///   global(items, slots, arenas)       -> one epoch, input order, with
+  ///                                         all num_shards arenas, on the
+  ///                                         coordinator thread
   ///
   /// With a null pool or a single shard the same dataflow runs inline on
-  /// the calling thread (still routed by key, so keyed state lands on the
-  /// same shard instances either way).
+  /// the calling thread (still routed by key and still accumulating into
+  /// per-epoch arenas, so keyed state and output batching are identical
+  /// either way).
   template <typename KeyFn, typename KeyedFn, typename GlobalFn>
   void Run(std::span<const In> input, ThreadPool* pool, KeyFn&& key,
            KeyedFn&& keyed, GlobalFn&& global) {
@@ -83,15 +104,16 @@ class ShardedRuntime {
   }
 
  private:
-  /// One contiguous input range plus its routing table and output slots.
-  /// Lives in the coordinator's ring (std::deque keeps addresses stable
-  /// while shards hold pointers to in-flight epochs). The routing table
-  /// is the shared EpochRouting contract (stream/epoch.h) that the
-  /// cluster coordinator also builds per epoch.
+  /// One contiguous input range plus its routing table, output slots, and
+  /// per-shard arenas. Lives in the coordinator's ring (std::deque keeps
+  /// addresses stable while shards hold pointers to in-flight epochs).
+  /// The routing table is the shared EpochRouting contract
+  /// (stream/epoch.h) that the cluster coordinator also builds per epoch.
   struct Epoch {
     std::int64_t id = 0;
     std::span<const In> items;
     std::vector<Slot> slots;
+    std::vector<Arena> arenas;
     EpochRouting routing;
   };
 
@@ -126,13 +148,15 @@ class ShardedRuntime {
           std::min(opts_.epoch_size, input.size() - pos);
       const std::span<const In> items = input.subspan(pos, len);
       std::vector<Slot> slots(len);
+      std::vector<Arena> arenas(n);
       obs::ScopedTraceContext trace_ctx(epoch);
       for (std::size_t i = 0; i < len; ++i) {
-        keyed(static_cast<std::size_t>(key(items[i]) % n), items[i],
-              &slots[i]);
+        const std::size_t shard =
+            static_cast<std::size_t>(key(items[i]) % n);
+        keyed(shard, items[i], &slots[i], &arenas[shard]);
       }
       DATACRON_TRACE_SPAN("shard.global", "shard");
-      global(items, std::span<Slot>(slots));
+      global(items, std::span<Slot>(slots), std::span<Arena>(arenas));
     }
   }
 
@@ -169,8 +193,9 @@ class ShardedRuntime {
             obs::ScopedTraceContext trace_ctx(
                 e->id, static_cast<std::int32_t>(shard));
             obs::TraceSpan span("shard.drain", "shard");
+            Arena* arena = &e->arenas[shard];
             for (std::uint32_t idx : e->routing.by_part[shard]) {
-              keyed(shard, e->items[idx], &e->slots[idx]);
+              keyed(shard, e->items[idx], &e->slots[idx], arena);
             }
           } catch (...) {
             std::lock_guard<std::mutex> lk(st.mu);
@@ -193,10 +218,8 @@ class ShardedRuntime {
       }
     };
 
-    static obs::Counter* enqueue_counter =
-        obs::MetricsRegistry::Global().counter("shard.mailbox_enqueues");
-    auto post = [&st, &drain, pool](std::size_t shard, Epoch* e) {
-      enqueue_counter->Add();
+    auto post = [this, &st, &drain, pool](std::size_t shard, Epoch* e) {
+      enqueue_counter_->Add();
       Mailbox& mb = st.mailboxes[shard];
       bool schedule = false;
       {
@@ -225,8 +248,6 @@ class ShardedRuntime {
 
     // Runs the global stage over the oldest epoch and retires it. When
     // `blocking`, waits for every shard's watermark to pass it first.
-    static obs::AtomicLogHistogram* barrier_wait_hist =
-        obs::MetricsRegistry::Global().histogram("shard.barrier_wait_ns");
     auto consume_front = [&](bool blocking) -> bool {
       {
         std::unique_lock<std::mutex> lk(st.mu);
@@ -236,7 +257,7 @@ class ShardedRuntime {
             span.set_epoch(ring.front().id);
             const std::int64_t wait_start = MonotonicNanos();
             st.cv.wait(lk, front_done);
-            barrier_wait_hist->Observe(
+            barrier_wait_hist_->Observe(
                 static_cast<double>(MonotonicNanos() - wait_start));
           }
         } else if (!front_done()) {
@@ -253,7 +274,8 @@ class ShardedRuntime {
         try {
           obs::ScopedTraceContext trace_ctx(e.id);
           DATACRON_TRACE_SPAN("shard.global", "shard");
-          global(e.items, std::span<Slot>(e.slots));
+          global(e.items, std::span<Slot>(e.slots),
+                 std::span<Arena>(e.arenas));
         } catch (...) {
           std::lock_guard<std::mutex> lk(st.mu);
           if (!st.error) st.error = std::current_exception();
@@ -272,21 +294,22 @@ class ShardedRuntime {
       while (!ring.empty() && consume_front(/*blocking=*/false)) {
       }
 
-      static obs::Counter* epoch_counter =
-          obs::MetricsRegistry::Global().counter("shard.epochs");
-      epoch_counter->Add();
+      epoch_counter_->Add();
       ring.emplace_back();
       Epoch& e = ring.back();
       e.id = id;
       e.items = input.subspan(pos, len);
       e.slots.resize(len);
+      e.arenas = std::vector<Arena>(n);
       {
         obs::TraceSpan span("shard.route", "shard");
         span.set_epoch(id);
         e.routing = EpochRouting::Build(e.items, n, key);
       }
       // Every shard receives every epoch (possibly with an empty index
-      // list) so its watermark advances and the barrier can release.
+      // list) so its watermark advances and the barrier can release. This
+      // is the only mailbox traffic: one message per shard per epoch,
+      // never per item.
       for (std::size_t s = 0; s < n; ++s) post(s, &e);
     });
 
@@ -305,6 +328,11 @@ class ShardedRuntime {
   }
 
   Options opts_;
+  /// Registry instruments resolved once at construction so the routing
+  /// and barrier hot paths skip the static-guard check per call.
+  obs::Counter* enqueue_counter_;
+  obs::Counter* epoch_counter_;
+  obs::AtomicLogHistogram* barrier_wait_hist_;
 };
 
 }  // namespace datacron

@@ -13,6 +13,7 @@
 
 #include "cluster/local_cluster.h"
 #include "datacron/engine.h"
+#include "obs/metrics.h"
 #include "sources/adsb_generator.h"
 #include "sources/ais_generator.h"
 #include "stream/admission.h"
@@ -189,6 +190,32 @@ TEST(ClusterTest, ByteIdenticalAtEpochBoundaryEdgeCases) {
     const RunOutputs run = RunCluster(
         stream, 4, LocalCluster::Wire::kLoopback, epoch_size);
     ExpectIdentical(serial, run);
+  }
+}
+
+TEST(ClusterTest, OneDeltaFramePerNodePerEpochOnBothWires) {
+  // The dictionary delta is coalesced into the epoch result frame, so a
+  // full run exchanges exactly: 1 hello, 1 flush request, 1 flush result
+  // and 1 shutdown per node, plus 1 report batch and 1 result (or
+  // watermark) per node per epoch — never anything per report. The frame
+  // counters cover both transports, and the output stays byte-identical.
+  const auto stream = MixedStream();
+  const RunOutputs serial = RunSerial(stream);
+  constexpr std::size_t kNodes = 2;
+  constexpr std::size_t kEpochSize = 128;
+  const std::size_t epochs = (stream.size() + kEpochSize - 1) / kEpochSize;
+  obs::Counter* tx = obs::MetricsRegistry::Global().counter("net.tx_frames");
+  obs::Counter* rx = obs::MetricsRegistry::Global().counter("net.rx_frames");
+  for (const LocalCluster::Wire wire :
+       {LocalCluster::Wire::kLoopback, LocalCluster::Wire::kTcp}) {
+    SCOPED_TRACE(wire == LocalCluster::Wire::kTcp ? "tcp" : "loopback");
+    const std::uint64_t tx_before = tx->Value();
+    const std::uint64_t rx_before = rx->Value();
+    const RunOutputs run = RunCluster(stream, kNodes, wire, kEpochSize);
+    ExpectIdentical(serial, run);
+    const std::uint64_t expected = kNodes * (4 + 2 * epochs);
+    EXPECT_EQ(tx->Value() - tx_before, expected);
+    EXPECT_EQ(rx->Value() - rx_before, expected);
   }
 }
 

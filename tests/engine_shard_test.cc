@@ -52,12 +52,13 @@ TEST(ShardedRuntimeTest, GlobalStageSeesInputOrderAndKeyedRoutingHolds) {
   runtime.Run(
       std::span<const int>(input), &pool,
       [](const int& v) { return static_cast<std::uint64_t>(v) % 7; },
-      [&](std::size_t shard, const int& v, SlotRecord* slot) {
+      [&](std::size_t shard, const int& v, SlotRecord* slot, NoShardArena*) {
         slot->shard = shard;
         slot->seq = shard_seq[shard]++;
         records[static_cast<std::size_t>(v)] = *slot;
       },
-      [&](std::span<const int> items, std::span<SlotRecord> slots) {
+      [&](std::span<const int> items, std::span<SlotRecord> slots,
+          std::span<NoShardArena>) {
         (void)slots;
         consumed.insert(consumed.end(), items.begin(), items.end());
       });
@@ -85,12 +86,13 @@ TEST(ShardedRuntimeTest, SerialFallbackStillRoutesByKey) {
   runtime.Run(
       std::span<const int>(input), /*pool=*/nullptr,
       [](const int& v) { return static_cast<std::uint64_t>(v); },
-      [&](std::size_t shard, const int& v, std::size_t* slot) {
+      [&](std::size_t shard, const int& v, std::size_t* slot, NoShardArena*) {
         *slot = shard;
         EXPECT_EQ(shard, static_cast<std::size_t>(v) % 4);
         shards_seen.push_back(shard);
       },
-      [](std::span<const int>, std::span<std::size_t>) {});
+      [](std::span<const int>, std::span<std::size_t>,
+         std::span<NoShardArena>) {});
   EXPECT_EQ(shards_seen.size(), input.size());
 }
 
@@ -109,12 +111,57 @@ TEST(ShardedRuntimeTest, KeyedExceptionPropagatesWithoutHanging) {
       runtime.Run(
           std::span<const int>(input), &pool,
           [](const int& v) { return static_cast<std::uint64_t>(v); },
-          [](std::size_t, const int& v, int* slot) {
+          [](std::size_t, const int& v, int* slot, NoShardArena*) {
             if (v == 17) throw std::runtime_error("keyed stage failure");
             *slot = v;
           },
-          [](std::span<const int>, std::span<int>) {}),
+          [](std::span<const int>, std::span<int>, std::span<NoShardArena>) {
+          }),
       std::runtime_error);
+}
+
+TEST(ShardedRuntimeTest, ArenasAccumulatePerShardPerEpoch) {
+  struct Watermark {
+    std::size_t shard = 0;
+    std::size_t end = 0;  // arena size after this item ran
+  };
+  ShardedRuntime<int, Watermark, std::vector<int>>::Options opts;
+  opts.num_shards = 3;
+  opts.epoch_size = 10;
+  ShardedRuntime<int, Watermark, std::vector<int>> runtime(opts);
+
+  std::vector<int> input(100);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<int>(i);
+  }
+  ThreadPool pool(4);
+  std::vector<int> replayed;
+  runtime.Run(
+      std::span<const int>(input), &pool,
+      [](const int& v) { return static_cast<std::uint64_t>(v); },
+      [](std::size_t shard, const int& v, Watermark* slot,
+         std::vector<int>* arena) {
+        arena->push_back(v);
+        slot->shard = shard;
+        slot->end = arena->size();
+      },
+      [&](std::span<const int> items, std::span<Watermark> slots,
+          std::span<std::vector<int>> arenas) {
+        // Fresh arenas every epoch, one per shard; per-item watermarks
+        // slice them back into input order.
+        ASSERT_EQ(arenas.size(), 3u);
+        std::size_t total = 0;
+        for (const std::vector<int>& a : arenas) total += a.size();
+        EXPECT_EQ(total, items.size());
+        std::vector<std::size_t> cursor(arenas.size(), 0);
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          const Watermark& wm = slots[i];
+          ASSERT_EQ(wm.end, cursor[wm.shard] + 1);
+          replayed.push_back(arenas[wm.shard][cursor[wm.shard]]);
+          cursor[wm.shard] = wm.end;
+        }
+      });
+  EXPECT_EQ(replayed, input);
 }
 
 // ---------------------------------------------------------------------
@@ -298,6 +345,39 @@ TEST(EngineShardTest, ByteIdenticalAtEpochBoundaryEdgeCases) {
     const EngineRun run = RunSharded(stream, 4, epoch_size, &pool);
     ExpectIdentical(serial, run);
   }
+}
+
+TEST(EngineShardTest, ByteIdenticalWhenEpochExceedsBatch) {
+  // One epoch swallows the whole stream: the coalesced per-epoch merge
+  // runs exactly once and must still replay input order.
+  const auto stream = MixedStream();
+  const EngineRun serial = RunSerial(stream);
+  ThreadPool pool(4);
+  const EngineRun run =
+      RunSharded(stream, 4, stream.size() * 2, &pool);
+  ExpectIdentical(serial, run);
+}
+
+TEST(EngineShardTest, ByteIdenticalWhenBatchesStraddleEpochFlushes) {
+  // Feed IngestBatch in uneven chunks that never align with the epoch
+  // size, so shard-epoch arenas are cut mid-entity and continuation
+  // state (sequence links, gap detection) must survive the seams.
+  const auto stream = MixedStream();
+  const EngineRun serial = RunSerial(stream);
+  ThreadPool pool(4);
+  DatacronEngine engine(ShardConfig(4, 128));
+  std::vector<Event> events;
+  const std::span<const PositionReport> all(stream);
+  for (std::size_t pos = 0; pos < all.size(); pos += 777) {
+    const auto evs =
+        engine.IngestBatch(all.subspan(pos, std::min<std::size_t>(
+                                                777, all.size() - pos)),
+                           &pool);
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  const auto final_events = engine.Finish();
+  events.insert(events.end(), final_events.begin(), final_events.end());
+  ExpectIdentical(serial, Snapshot(&engine, std::move(events)));
 }
 
 TEST(EngineShardTest, ByteIdenticalWhenRdfizingAllReports) {

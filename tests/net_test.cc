@@ -93,6 +93,7 @@ TermExport RandTerm(Rng& rng) {
 WireReportResult RandResult(Rng& rng) {
   WireReportResult res;
   res.cp_count = rng.NextUint64() % 4;
+  res.new_term_count = rng.NextUint64() % 6;
   for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
     res.keyed_events.push_back(RandEvent(rng));
   }
@@ -103,9 +104,6 @@ WireReportResult RandResult(Rng& rng) {
     res.triples.push_back({rng.NextUint64() % 100 + 1,
                            rng.NextUint64() % 100 + 1,
                            rng.NextUint64() % 100 + 1});
-  }
-  for (std::int64_t i = rng.UniformInt(0, 3); i > 0; --i) {
-    res.new_terms.push_back(RandTerm(rng));
   }
   for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
     res.tags.push_back(
@@ -197,6 +195,11 @@ TEST(CodecTest, RoundTripPropertyOverRandomMessages) {
     for (std::int64_t i = rng.UniformInt(0, 4); i > 0; --i) {
       result.results.push_back(RandResult(rng));
     }
+    // The coalesced per-epoch dictionary delta travels beside the
+    // per-report results.
+    for (std::int64_t i = rng.UniformInt(0, 8); i > 0; --i) {
+      result.new_terms.push_back(RandTerm(rng));
+    }
     ExpectRoundTrip(result);
 
     WatermarkMsg wm;
@@ -259,6 +262,7 @@ TEST(CodecTest, TruncatedPayloadsAreRejectedAtEveryPrefix) {
   result.epoch = 3;
   result.dict_size_before = 17;
   result.results.push_back(RandResult(rng));
+  result.new_terms.push_back(RandTerm(rng));
   ExpectTruncationRejected(result);
 
   FlushResultMsg flush;
