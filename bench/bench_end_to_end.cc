@@ -17,10 +17,19 @@
 // the in-process loopback transport behind a ClusterEngine coordinator,
 // with the same byte-identity guard against the serial loop, and emits
 // BENCH_cluster.json.
+//
+// E11 isolates the global CEP stage: a dense-fleet ProximityDetector
+// sweep (serial per-report loop vs epoch-batched cell-parallel
+// ProcessBatch at 1/2/4/8 pool threads, byte-identity enforced) and the
+// CapacityMonitor incremental-vs-rescan comparison at two fleet sizes.
+// Emits BENCH_cep.json.
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "cep/detectors.h"
 
 #include "cluster/local_cluster.h"
 #include "common/thread_pool.h"
@@ -163,6 +172,74 @@ void AddMetricsPhase(const char* name, obs::MetricsSnapshot snap) {
   g_metrics_phases += snap.ToJson();
 }
 
+/// One cell of the E11 proximity sweep. threads == 0 is the serial
+/// per-report Process loop; threads >= 1 is epoch-batched ProcessBatch
+/// on a pool of that width.
+struct CepProximityRecord {
+  int threads = 0;
+  double wall_s = 0.0;
+  double reports_per_s = 0.0;
+  std::uint64_t cpa_pairs = 0;
+  double cpa_pairs_per_s = 0.0;
+  std::size_t events = 0;
+  double events_per_s = 0.0;
+  double speedup = 1.0;
+  bool identical = true;
+};
+
+/// One cell of the E11 capacity comparison: incremental vs full-rescan
+/// CapacityMonitor over the same stream at one fleet size.
+struct CepCapacityRecord {
+  std::size_t fleet = 0;
+  std::size_t reports = 0;
+  double rescan_wall_s = 0.0;
+  double incremental_wall_s = 0.0;
+  double speedup = 1.0;
+  double incremental_ns_per_report = 0.0;
+  bool identical = true;
+};
+
+std::vector<CepProximityRecord> g_cep_prox_records;
+std::vector<CepCapacityRecord> g_cep_cap_records;
+
+void WriteCepJson(const char* path, std::size_t reports) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"experiment\": \"E11_global_cep\",\n");
+  std::fprintf(f, "  \"reports\": %zu,\n  \"proximity\": [\n", reports);
+  for (std::size_t i = 0; i < g_cep_prox_records.size(); ++i) {
+    const CepProximityRecord& r = g_cep_prox_records[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"wall_s\": %.4f, "
+                 "\"reports_per_s\": %.0f, \"cpa_pairs\": %llu, "
+                 "\"cpa_pairs_per_s\": %.0f, \"events\": %zu, "
+                 "\"events_per_s\": %.0f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 r.threads, r.wall_s, r.reports_per_s,
+                 static_cast<unsigned long long>(r.cpa_pairs),
+                 r.cpa_pairs_per_s, r.events, r.events_per_s, r.speedup,
+                 r.identical ? "true" : "false",
+                 i + 1 < g_cep_prox_records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"capacity\": [\n");
+  for (std::size_t i = 0; i < g_cep_cap_records.size(); ++i) {
+    const CepCapacityRecord& r = g_cep_cap_records[i];
+    std::fprintf(f,
+                 "    {\"fleet\": %zu, \"reports\": %zu, "
+                 "\"rescan_wall_s\": %.4f, \"incremental_wall_s\": %.4f, "
+                 "\"speedup\": %.3f, \"incremental_ns_per_report\": %.0f, "
+                 "\"identical\": %s}%s\n",
+                 r.fleet, r.reports, r.rescan_wall_s, r.incremental_wall_s,
+                 r.speedup, r.incremental_ns_per_report,
+                 r.identical ? "true" : "false",
+                 i + 1 < g_cep_cap_records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu proximity, %zu capacity records)\n", path,
+              g_cep_prox_records.size(), g_cep_cap_records.size());
+}
+
 void WriteMetricsJson(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) return;
@@ -174,6 +251,172 @@ void WriteMetricsJson(const char* path) {
                g_metrics_phases.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path);
+}
+
+/// Dense fleet in a small box so the proximity blocking grid produces a
+/// heavy CPA pair load (the global stage dominates, not the keyed ones).
+std::vector<PositionReport> DenseCepStream(std::size_t vessels,
+                                           DurationMs duration) {
+  AisGeneratorConfig fleet;
+  fleet.region = BoundingBox::Of(36.0, 24.0, 36.5, 24.5);
+  fleet.num_vessels = vessels;
+  fleet.duration = duration;
+  ObservationConfig obs;
+  obs.fixed_interval_ms = 10 * kSecond;
+  std::vector<PositionReport> reports =
+      ObserveFleet(GenerateAisFleet(fleet), obs);
+  std::sort(reports.begin(), reports.end(), ReportTimeOrder());
+  return reports;
+}
+
+ProximityDetector::Config CepProximityConfig() {
+  ProximityDetector::Config cfg;
+  cfg.region = BoundingBox::Of(36.0, 24.0, 36.5, 24.5);
+  return cfg;
+}
+
+std::vector<CapacityMonitor::Sector> CepSectors() {
+  // 4x4 sector grid over the dense box: rescan pays O(fleet) per sector.
+  std::vector<CapacityMonitor::Sector> sectors;
+  for (int iy = 0; iy < 4; ++iy) {
+    for (int ix = 0; ix < 4; ++ix) {
+      const double lat0 = 36.0 + 0.125 * iy;
+      const double lon0 = 24.0 + 0.125 * ix;
+      sectors.push_back(CapacityMonitor::Sector{
+          "s" + std::to_string(iy * 4 + ix),
+          Polygon::Rectangle(
+              BoundingBox::Of(lat0, lon0, lat0 + 0.125, lon0 + 0.125)),
+          8});
+    }
+  }
+  return sectors;
+}
+
+/// E11: the global CEP stage in isolation. Returns false on a
+/// determinism violation (batch output differing from the serial loop).
+bool RunE11(bool quick) {
+  const std::size_t vessels = quick ? 120 : 300;
+  const DurationMs duration = quick ? 10 * kMinute : 30 * kMinute;
+  const auto stream = DenseCepStream(vessels, duration);
+  obs::Counter* pairs_ctr =
+      obs::MetricsRegistry::Global().counter("cep.cpa_pairs");
+  bool ok = true;
+
+  std::printf("\nE11: global CEP stage (%zu vessels in 0.5x0.5 deg, %zu "
+              "reports%s)\n",
+              vessels, stream.size(), quick ? ", quick" : "");
+  std::printf("  proximity: serial per-report loop vs epoch-batched "
+              "cell-parallel ProcessBatch\n");
+  std::printf("%8s %10s %14s %14s %12s %9s %10s\n", "threads", "wall_s",
+              "reports_per_s", "cpa_pairs_per_s", "events_per_s", "speedup",
+              "identical");
+
+  std::vector<Event> serial_events;
+  double serial_s = 0.0;
+  {
+    ProximityDetector serial(CepProximityConfig());
+    const std::uint64_t pairs0 = pairs_ctr->Value();
+    Stopwatch timer;
+    for (const PositionReport& r : stream) serial.Process(r, &serial_events);
+    serial_s = timer.ElapsedSeconds();
+    const std::uint64_t pairs = pairs_ctr->Value() - pairs0;
+    g_cep_prox_records.push_back(
+        {0, serial_s, stream.size() / serial_s, pairs, pairs / serial_s,
+         serial_events.size(), serial_events.size() / serial_s, 1.0, true});
+    std::printf("%8s %10.3f %14.0f %14.0f %12.0f %9s %10s\n", "serial",
+                serial_s, stream.size() / serial_s, pairs / serial_s,
+                serial_events.size() / serial_s, "1.0x", "-");
+  }
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    ProximityDetector batch(CepProximityConfig());
+    std::vector<Event> events;
+    events.reserve(serial_events.size());
+    constexpr std::size_t kEpoch = 1024;
+    const std::uint64_t pairs0 = pairs_ctr->Value();
+    Stopwatch timer;
+    for (std::size_t i = 0; i < stream.size(); i += kEpoch) {
+      const std::size_t len = std::min(kEpoch, stream.size() - i);
+      batch.ProcessBatch(
+          std::span<const PositionReport>(stream.data() + i, len), &pool,
+          &events, nullptr);
+    }
+    const double wall_s = timer.ElapsedSeconds();
+    const std::uint64_t pairs = pairs_ctr->Value() - pairs0;
+    const bool identical = events == serial_events;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: batched proximity differs from "
+                   "serial at %zu pool threads\n",
+                   threads);
+      ok = false;
+    }
+    g_cep_prox_records.push_back({static_cast<int>(threads), wall_s,
+                                  stream.size() / wall_s, pairs,
+                                  pairs / wall_s, events.size(),
+                                  events.size() / wall_s, serial_s / wall_s,
+                                  identical});
+    std::printf("%8zu %10.3f %14.0f %14.0f %12.0f %8.1fx %10s\n", threads,
+                wall_s, stream.size() / wall_s, pairs / wall_s,
+                events.size() / wall_s, serial_s / wall_s,
+                identical ? "yes" : "NO");
+  }
+
+  std::printf("\n  capacity: incremental per-sector deltas vs full "
+              "O(fleet x sectors) rescan (16 sectors)\n");
+  std::printf("%8s %10s %14s %16s %9s %14s %10s\n", "fleet", "reports",
+              "rescan_wall_s", "incr_wall_s", "speedup", "incr_ns/rpt",
+              "identical");
+  for (const std::size_t cap_fleet :
+       {quick ? 100u : 250u, quick ? 400u : 1000u}) {
+    const auto cap_stream = DenseCepStream(cap_fleet, quick ? 10 * kMinute
+                                                            : 15 * kMinute);
+    CapacityMonitor::Config rescan_cfg;
+    rescan_cfg.incremental = false;
+    CapacityMonitor rescan(CepSectors(), rescan_cfg);
+    std::vector<Event> rescan_events;
+    Stopwatch rescan_timer;
+    for (const PositionReport& r : cap_stream) {
+      rescan.Process(r, &rescan_events);
+    }
+    const double rescan_s = rescan_timer.ElapsedSeconds();
+
+    CapacityMonitor::Config inc_cfg;
+    inc_cfg.incremental = true;
+    CapacityMonitor incremental(CepSectors(), inc_cfg);
+    std::vector<Event> inc_events;
+    Stopwatch inc_timer;
+    for (const PositionReport& r : cap_stream) {
+      incremental.Process(r, &inc_events);
+    }
+    const double inc_s = inc_timer.ElapsedSeconds();
+
+    const bool identical = inc_events == rescan_events;
+    if (!identical) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: incremental capacity differs "
+                   "from rescan at fleet %zu\n",
+                   cap_fleet);
+      ok = false;
+    }
+    const double ns_per_report = 1e9 * inc_s / cap_stream.size();
+    g_cep_cap_records.push_back({cap_fleet, cap_stream.size(), rescan_s,
+                                 inc_s, rescan_s / inc_s, ns_per_report,
+                                 identical});
+    std::printf("%8zu %10zu %14.3f %16.3f %8.1fx %14.0f %10s\n", cap_fleet,
+                cap_stream.size(), rescan_s, inc_s, rescan_s / inc_s,
+                ns_per_report, identical ? "yes" : "NO");
+  }
+  if (g_cep_cap_records.size() == 2) {
+    std::printf("  incremental ns/report ratio (large/small fleet): %.2f "
+                "(~1.0 = fleet-size independent)\n",
+                g_cep_cap_records[1].incremental_ns_per_report /
+                    g_cep_cap_records[0].incremental_ns_per_report);
+  }
+
+  WriteCepJson("BENCH_cep.json", stream.size());
+  return ok;
 }
 
 }  // namespace
@@ -378,6 +621,9 @@ int Run(bool quick, const char* trace_out) {
     }
   }
   WriteClusterJson("BENCH_cluster.json", stream.size());
+
+  // --- E11: global CEP stage (cell-parallel CPA + incremental capacity).
+  if (!RunE11(quick)) ok = false;
 
   {
     std::vector<obs::TraceSpanRecord> spans = obs::TraceCollector::Drain();

@@ -5,16 +5,40 @@
 
 namespace datacron {
 
-CpaResult ComputeCpa(const PositionReport& a_in, const PositionReport& b_in) {
-  // Align both reports to the later timestamp by dead reckoning.
-  PositionReport a = a_in;
-  PositionReport b = b_in;
+namespace {
+
+/// The kinematic state CPA actually needs, extracted once from either a
+/// PositionReport or a FleetSnapshot row so both entry points run the
+/// exact same scalar core (bit-identical results).
+struct Track {
+  GeoPoint position;
+  double speed_mps = 0.0;
+  double course_deg = 0.0;
+  double vrate_mps = 0.0;
+  TimestampMs timestamp = 0;
+};
+
+Track TrackOf(const PositionReport& r) {
+  return Track{r.position, r.speed_mps, r.course_deg, r.vertical_rate_mps,
+               r.timestamp};
+}
+
+Track TrackOf(const FleetSnapshot& fleet, std::size_t i) {
+  return Track{{fleet.lat_deg[i], fleet.lon_deg[i], fleet.alt_m[i]},
+               fleet.speed_mps[i],
+               fleet.course_deg[i],
+               fleet.vrate_mps[i],
+               fleet.ts[i]};
+}
+
+CpaResult CpaCore(Track a, Track b) {
+  // Align both tracks to the later timestamp by dead reckoning.
   const TimestampMs t0 = std::max(a.timestamp, b.timestamp);
-  auto align = [t0](PositionReport* r) {
+  auto align = [t0](Track* r) {
     const double dt_s = static_cast<double>(t0 - r->timestamp) / 1000.0;
     if (dt_s > 0) {
       r->position = DeadReckon(r->position, r->course_deg, r->speed_mps,
-                               r->vertical_rate_mps, dt_s);
+                               r->vrate_mps, dt_s);
       r->timestamp = t0;
     }
   };
@@ -23,7 +47,7 @@ CpaResult ComputeCpa(const PositionReport& a_in, const PositionReport& b_in) {
 
   // Relative kinematics in ENU around a.
   const EnuVector rel_pos = ToEnu(a.position, b.position);
-  auto velocity = [](const PositionReport& r, double* ve, double* vn) {
+  auto velocity = [](const Track& r, double* ve, double* vn) {
     const double c = r.course_deg * kDegToRad;
     *ve = r.speed_mps * std::sin(c);
     *vn = r.speed_mps * std::cos(c);
@@ -52,9 +76,20 @@ CpaResult ComputeCpa(const PositionReport& a_in, const PositionReport& b_in) {
   const double de = rel_pos.east_m + rve * t;
   const double dn = rel_pos.north_m + rvn * t;
   out.d_cpa_m = std::sqrt(de * de + dn * dn);
-  const double rel_vrate = b.vertical_rate_mps - a.vertical_rate_mps;
+  const double rel_vrate = b.vrate_mps - a.vrate_mps;
   out.d_alt_m = std::fabs(rel_pos.up_m + rel_vrate * t);
   return out;
+}
+
+}  // namespace
+
+CpaResult ComputeCpa(const PositionReport& a, const PositionReport& b) {
+  return CpaCore(TrackOf(a), TrackOf(b));
+}
+
+CpaResult ComputeCpa(const FleetSnapshot& fleet, std::size_t a,
+                     std::size_t b) {
+  return CpaCore(TrackOf(fleet, a), TrackOf(fleet, b));
 }
 
 }  // namespace datacron

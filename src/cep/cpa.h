@@ -1,6 +1,9 @@
 #ifndef DATACRON_CEP_CPA_H_
 #define DATACRON_CEP_CPA_H_
 
+#include <cstddef>
+
+#include "cep/fleet_snapshot.h"
 #include "geo/geo.h"
 #include "sources/model.h"
 
@@ -27,6 +30,13 @@ struct CpaResult {
 /// timestamps (the earlier one is projected forward to the later one
 /// first). Works in a local ENU plane around `a`.
 CpaResult ComputeCpa(const PositionReport& a, const PositionReport& b);
+
+/// Same computation over two rows of a struct-of-arrays fleet snapshot —
+/// the form the batched cell-parallel proximity stage evaluates. Shares
+/// the scalar core with the report overload, so results are bit-identical
+/// to ComputeCpa(fleet.ReportAt(a), fleet.ReportAt(b)).
+CpaResult ComputeCpa(const FleetSnapshot& fleet, std::size_t a,
+                     std::size_t b);
 
 }  // namespace datacron
 

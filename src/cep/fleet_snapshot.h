@@ -1,0 +1,89 @@
+#ifndef DATACRON_CEP_FLEET_SNAPSHOT_H_
+#define DATACRON_CEP_FLEET_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Struct-of-arrays log of per-report kinematic states. The proximity
+/// detector appends one row per processed report and keeps a map from
+/// entity id to its latest row, so a batch of CPA evaluations loads
+/// lat/lon/speed/course as contiguous lanes instead of chasing
+/// PositionReport structs — the layout the ROADMAP's SIMD kernel item
+/// needs. Rows are immutable once appended (a newer report for the same
+/// entity appends a new row), which is what lets the parallel CPA stage
+/// read partner rows planned earlier in the same epoch without
+/// synchronization.
+struct FleetSnapshot {
+  std::vector<double> lat_deg;
+  std::vector<double> lon_deg;
+  std::vector<double> alt_m;
+  std::vector<double> speed_mps;
+  std::vector<double> course_deg;
+  std::vector<double> vrate_mps;
+  std::vector<TimestampMs> ts;
+  std::vector<EntityId> entity;
+  std::vector<std::uint8_t> domain;
+
+  std::size_t size() const { return ts.size(); }
+  bool empty() const { return ts.empty(); }
+
+  void Reserve(std::size_t n) {
+    lat_deg.reserve(n);
+    lon_deg.reserve(n);
+    alt_m.reserve(n);
+    speed_mps.reserve(n);
+    course_deg.reserve(n);
+    vrate_mps.reserve(n);
+    ts.reserve(n);
+    entity.reserve(n);
+    domain.reserve(n);
+  }
+
+  void Clear() {
+    lat_deg.clear();
+    lon_deg.clear();
+    alt_m.clear();
+    speed_mps.clear();
+    course_deg.clear();
+    vrate_mps.clear();
+    ts.clear();
+    entity.clear();
+    domain.clear();
+  }
+
+  /// Appends one row; returns its index.
+  std::uint32_t Append(const PositionReport& r) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(ts.size());
+    lat_deg.push_back(r.position.lat_deg);
+    lon_deg.push_back(r.position.lon_deg);
+    alt_m.push_back(r.position.alt_m);
+    speed_mps.push_back(r.speed_mps);
+    course_deg.push_back(r.course_deg);
+    vrate_mps.push_back(r.vertical_rate_mps);
+    ts.push_back(r.timestamp);
+    entity.push_back(r.entity_id);
+    domain.push_back(static_cast<std::uint8_t>(r.domain));
+    return slot;
+  }
+
+  /// Reconstructs row `i` as a PositionReport (compaction, tests).
+  PositionReport ReportAt(std::size_t i) const {
+    PositionReport r;
+    r.entity_id = entity[i];
+    r.domain = static_cast<Domain>(domain[i]);
+    r.timestamp = ts[i];
+    r.position = {lat_deg[i], lon_deg[i], alt_m[i]};
+    r.speed_mps = speed_mps[i];
+    r.course_deg = course_deg[i];
+    r.vertical_rate_mps = vrate_mps[i];
+    return r;
+  }
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_CEP_FLEET_SNAPSHOT_H_

@@ -59,7 +59,12 @@ void HotspotAnalyzer::GlobalStats(
 
 std::vector<HotspotAnalyzer::Hotspot> HotspotAnalyzer::Detect(
     const std::vector<PositionReport>& reports) const {
-  const auto density = Density(reports);
+  return DetectFromDensity(Density(reports));
+}
+
+std::vector<HotspotAnalyzer::Hotspot> HotspotAnalyzer::DetectFromDensity(
+    const std::unordered_map<GridCell, double, GridCellHash>& density)
+    const {
   double mean = 0.0, stddev = 0.0;
   GlobalStats(density, &mean, &stddev);
   std::vector<Hotspot> out;
@@ -115,8 +120,15 @@ HotspotDetector::HotspotDetector(HotspotAnalyzer::Config config,
 
 void HotspotDetector::CloseWindow(TimestampMs window_end,
                                   std::vector<Event>* out) {
-  const auto density = analyzer_.Density(buffer_);
-  for (const HotspotAnalyzer::Hotspot& h : analyzer_.Detect(buffer_)) {
+  // Materialize the incrementally-maintained counts as a density map for
+  // the analyzer; O(occupied cells), not O(window reports).
+  std::unordered_map<GridCell, double, GridCellHash> density;
+  density.reserve(counts_.size());
+  counts_.ForEach([&density](std::uint64_t key, const double& count) {
+    density[GridCell::FromKey(key)] = count;
+  });
+  for (const HotspotAnalyzer::Hotspot& h :
+       analyzer_.DetectFromDensity(density)) {
     Event e;
     e.kind = EventKind::kHotspot;
     e.time = window_end;
@@ -141,9 +153,11 @@ void HotspotDetector::CloseWindow(TimestampMs window_end,
       out->push_back(std::move(e));
     }
   }
-  prev_density_ = density;
+  prev_density_ = std::move(density);
   has_prev_ = true;
-  buffer_.clear();
+  counts_.Clear();
+  seen_.Clear();
+  window_reports_ = 0;
 }
 
 void HotspotDetector::Process(const PositionReport& report,
@@ -156,11 +170,20 @@ void HotspotDetector::Process(const PositionReport& report,
     CloseWindow(window_start_ + window_, out);
     window_start_ += window_;
   }
-  buffer_.push_back(report);
+  // Incremental density update: one grid lookup + one or two hash
+  // upserts per report.
+  const std::uint64_t key =
+      analyzer_.grid().CellOf(report.position.ll()).Key();
+  if (analyzer_.config().distinct_entities) {
+    if (seen_[key].Insert(report.entity_id)) counts_[key] += 1.0;
+  } else {
+    counts_[key] += 1.0;
+  }
+  ++window_reports_;
 }
 
 void HotspotDetector::Flush(std::vector<Event>* out) {
-  if (window_open_ && !buffer_.empty()) {
+  if (window_open_ && window_reports_ > 0) {
     CloseWindow(window_start_ + window_, out);
   }
 }

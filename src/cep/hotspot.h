@@ -1,10 +1,12 @@
 #ifndef DATACRON_CEP_HOTSPOT_H_
 #define DATACRON_CEP_HOTSPOT_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "cep/event.h"
+#include "common/flat_hash.h"
 #include "geo/grid.h"
 #include "sources/model.h"
 #include "stream/operator.h"
@@ -39,6 +41,7 @@ class HotspotAnalyzer {
   explicit HotspotAnalyzer(Config config);
 
   const UniformGrid& grid() const { return grid_; }
+  const Config& config() const { return config_; }
 
   /// Density per cell (distinct entities or report counts).
   std::unordered_map<GridCell, double, GridCellHash> Density(
@@ -47,6 +50,13 @@ class HotspotAnalyzer {
   /// Hotspots of one batch, ordered by descending z-score.
   std::vector<Hotspot> Detect(
       const std::vector<PositionReport>& reports) const;
+
+  /// Same detection over a pre-computed density map — the form the
+  /// streaming wrapper uses, since it maintains per-cell counts
+  /// incrementally instead of re-scanning a window buffer.
+  std::vector<Hotspot> DetectFromDensity(
+      const std::unordered_map<GridCell, double, GridCellHash>& density)
+      const;
 
   /// Trend-based forecast: cells whose density is rising fast enough that
   /// linear extrapolation crosses the hotspot bar within `horizon`
@@ -70,9 +80,11 @@ class HotspotAnalyzer {
   UniformGrid grid_;
 };
 
-/// Tumbling-window streaming wrapper: collects reports per window; when a
-/// window closes it emits kHotspot events for detected cells and
-/// kHotspotForecast for emerging ones.
+/// Tumbling-window streaming wrapper: maintains per-cell density counts
+/// incrementally as reports arrive; when a window closes it emits
+/// kHotspot events for detected cells and kHotspotForecast for emerging
+/// ones. Closing a window is O(occupied cells) — no window buffer is
+/// kept, so memory and close cost are independent of report rate.
 class HotspotDetector : public Operator<PositionReport, Event> {
  public:
   /// Cell density aggregates across entities: must see the whole stream.
@@ -91,7 +103,12 @@ class HotspotDetector : public Operator<PositionReport, Event> {
   DurationMs window_;
   TimestampMs window_start_ = 0;
   bool window_open_ = false;
-  std::vector<PositionReport> buffer_;
+  /// GridCell::Key() -> density count of the open window.
+  FlatHashMap<std::uint64_t, double> counts_;
+  /// GridCell::Key() -> entities already counted there this window
+  /// (distinct_entities mode only).
+  FlatHashMap<std::uint64_t, FlatHashSet<EntityId>> seen_;
+  std::size_t window_reports_ = 0;
   std::unordered_map<GridCell, double, GridCellHash> prev_density_;
   bool has_prev_ = false;
 };

@@ -1,6 +1,7 @@
 #ifndef DATACRON_COMMON_FLAT_HASH_H_
 #define DATACRON_COMMON_FLAT_HASH_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -77,6 +78,16 @@ class FlatHashMap {
     }
   }
 
+  /// Empties the table but keeps the slot array, so a map reused as
+  /// per-batch scratch does not reallocate every batch. (The absence of
+  /// erase is per-entry; dropping everything at once keeps probe
+  /// sequences trivially tombstone-free.)
+  void Clear() {
+    if (size_ == 0) return;
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
  private:
   static constexpr std::size_t kMinCapacity = 16;
 
@@ -130,6 +141,7 @@ class FlatHashSet {
     return map_.size() != before;
   }
   bool Contains(const K& key) const { return map_.Contains(key); }
+  void Clear() { map_.Clear(); }
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {

@@ -249,7 +249,8 @@ void DatacronEngine::RecordReportLatencies(std::int64_t synopses_ns,
 void DatacronEngine::AbsorbEpoch(std::span<const PositionReport> items,
                                  std::span<ShardSlot> slots,
                                  std::span<EpochArena> arenas,
-                                 std::vector<Event>* events) {
+                                 std::vector<Event>* events,
+                                 ThreadPool* pool) {
   const std::size_t n = arenas.size();
 
   // Phase 1 — one coalesced dictionary merge for the whole epoch. Each
@@ -302,9 +303,31 @@ void DatacronEngine::AbsorbEpoch(std::span<const PositionReport> items,
     }
   }
 
-  // Phase 3 — input-order walk: splice each report's arena slices into
-  // the global sequences and run the cross-entity CEP per report, so
-  // triples/episodes/events land byte-identically to a serial run.
+  // Phase 3a — epoch-batched global proximity CEP: the detector plans
+  // candidate CPA pairs serially in input order, evaluates them
+  // cell-parallel on the pool, and emits into prox_events_ with
+  // per-report offsets. Running it once over the whole epoch (instead of
+  // per report in the walk below) is what lets the pairwise CPA math —
+  // the dominant global cost — leave the coordinator thread.
+  std::int64_t prox_ns = 0;
+  {
+    DATACRON_TRACE_SPAN("engine.global_cep_epoch", "engine");
+    prox_events_.clear();
+    const std::int64_t b0 = MonotonicNanos();
+    proximity_.ProcessBatchCounted(items, pool, &prox_events_,
+                                   &prox_offsets_);
+    prox_ns = MonotonicNanos() - b0;
+  }
+  // The batch cost is attributed evenly across the epoch's reports in
+  // the per-report latency trackers.
+  const std::int64_t prox_share_ns =
+      items.empty() ? 0
+                    : prox_ns / static_cast<std::int64_t>(items.size());
+
+  // Phase 3b — input-order walk: splice each report's arena slices and
+  // its proximity slice into the global sequences and run the remaining
+  // cross-entity CEP per report, so triples/episodes/events land
+  // byte-identically to a serial run.
   std::vector<std::size_t> triple_cur(n, 0);
   std::vector<std::size_t> episode_cur(n, 0);
   std::vector<std::size_t> event_cur(n, 0);
@@ -331,7 +354,8 @@ void DatacronEngine::AbsorbEpoch(std::span<const PositionReport> items,
     predictor_.Observe(report);
     const std::int64_t t1 = MonotonicNanos();
 
-    proximity_.ProcessCounted(report, events);
+    events->insert(events->end(), prox_events_.begin() + prox_offsets_[i],
+                   prox_events_.begin() + prox_offsets_[i + 1]);
     events->insert(events->end(), a.events.begin() + event_cur[slot.shard],
                    a.events.begin() + slot.events_end);
     event_cur[slot.shard] = slot.events_end;
@@ -340,7 +364,8 @@ void DatacronEngine::AbsorbEpoch(std::span<const PositionReport> items,
     const std::int64_t t2 = MonotonicNanos();
 
     RecordReportLatencies(slot.synopses_ns, slot.transform_ns,
-                          slot.keyed_cep_ns, t1 - t0, t2 - t1);
+                          slot.keyed_cep_ns, t1 - t0,
+                          (t2 - t1) + prox_share_ns);
   }
 }
 
@@ -386,10 +411,12 @@ std::vector<Event> DatacronEngine::IngestBatch(
                        ShardSlot* slot, EpochArena* arena) {
         ProcessKeyedArena(shard, r, slot, arena, parallel);
       },
-      [this, &events](std::span<const PositionReport> items,
-                      std::span<ShardSlot> slots,
-                      std::span<EpochArena> arenas) {
-        AbsorbEpoch(items, slots, arenas, &events);
+      [this, &events, pool](std::span<const PositionReport> items,
+                            std::span<ShardSlot> slots,
+                            std::span<EpochArena> arenas) {
+        // The CPA fan-out takes the pool whenever one exists — even a
+        // single-shard run parallelizes the global stage.
+        AbsorbEpoch(items, slots, arenas, &events, pool);
       });
   return events;
 }

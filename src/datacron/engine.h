@@ -399,11 +399,13 @@ class DatacronEngine {
 
   /// Global stage for one whole epoch (IngestBatch): one coalesced term
   /// merge per shard-epoch replayed in input order, columnar bulk remap
-  /// of each arena, then an input-order walk splicing per-report slices
-  /// through the global CEP exactly like a serial run.
+  /// of each arena, one epoch-batched proximity run (candidate CPA pairs
+  /// evaluated cell-parallel on `pool`; null = inline), then an
+  /// input-order walk splicing per-report slices through the remaining
+  /// global CEP exactly like a serial run.
   void AbsorbEpoch(std::span<const PositionReport> items,
                    std::span<ShardSlot> slots, std::span<EpochArena> arenas,
-                   std::vector<Event>* events);
+                   std::vector<Event>* events, ThreadPool* pool);
 
   Config config_;
   TermDictionary dict_;
@@ -431,6 +433,11 @@ class DatacronEngine {
   StageLatencies latencies_;
   std::size_t reports_ingested_ = 0;
   std::size_t critical_points_ = 0;
+  /// AbsorbEpoch scratch for the epoch-batched proximity stage, reused
+  /// across epochs: the epoch's proximity events and the per-report
+  /// cumulative offsets that slice them back into input order.
+  std::vector<Event> prox_events_;
+  std::vector<std::size_t> prox_offsets_;
   /// Latest admission-queue shedding totals, captured by IngestFromQueue
   /// when its queue closes (cumulative per queue; kBlock leaves them 0).
   std::size_t admission_dropped_ = 0;

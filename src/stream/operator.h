@@ -87,6 +87,20 @@ class Operator {
   const OperatorMetrics& metrics() const { return metrics_; }
 
  protected:
+  /// Metrics accounting for operators that consume whole batches outside
+  /// ProcessCounted (the epoch-batched global CEP path): `items_in`
+  /// elements in, `items_out` emitted, one latency sample covering the
+  /// whole batch. Keeps items_in/out comparable with a per-item run while
+  /// making explicit that the latency distribution is per batch.
+  void CountBatch(std::size_t items_in, std::size_t items_out,
+                  std::int64_t nanos) {
+    const double dt = static_cast<double>(nanos);
+    metrics_.process_nanos.Add(dt);
+    metrics_.latency_ns.Add(dt);
+    metrics_.items_in += items_in;
+    metrics_.items_out += items_out;
+  }
+
   OperatorMetrics metrics_;
 };
 
