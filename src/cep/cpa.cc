@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace datacron {
 
@@ -9,18 +10,26 @@ namespace {
 
 /// The kinematic state CPA actually needs, extracted once from either a
 /// PositionReport or a FleetSnapshot row so both entry points run the
-/// exact same scalar core (bit-identical results).
+/// exact same code (bit-identical results). The snapshot path loads the
+/// precomputed ve/vn/cos_lat columns; the report path computes them
+/// with the identical expressions.
 struct Track {
   GeoPoint position;
   double speed_mps = 0.0;
   double course_deg = 0.0;
   double vrate_mps = 0.0;
+  double ve_mps = 0.0;
+  double vn_mps = 0.0;
+  double cos_lat = 1.0;
   TimestampMs timestamp = 0;
 };
 
 Track TrackOf(const PositionReport& r) {
-  return Track{r.position, r.speed_mps, r.course_deg, r.vertical_rate_mps,
-               r.timestamp};
+  Track t{r.position,   r.speed_mps, r.course_deg, r.vertical_rate_mps,
+          0.0,          0.0,         0.0,          r.timestamp};
+  CourseToVelocityMps(r.course_deg, r.speed_mps, &t.ve_mps, &t.vn_mps);
+  t.cos_lat = std::cos(r.position.lat_deg * kDegToRad);
+  return t;
 }
 
 Track TrackOf(const FleetSnapshot& fleet, std::size_t i) {
@@ -28,11 +37,24 @@ Track TrackOf(const FleetSnapshot& fleet, std::size_t i) {
                fleet.speed_mps[i],
                fleet.course_deg[i],
                fleet.vrate_mps[i],
+               fleet.ve_mps[i],
+               fleet.vn_mps[i],
+               fleet.cos_lat[i],
                fleet.ts[i]};
 }
 
-CpaResult CpaCore(Track a, Track b) {
-  // Align both tracks to the later timestamp by dead reckoning.
+/// One pair's inputs to the vector phase: positions aligned to a common
+/// clock, latitude cosine of the ENU reference, velocity components.
+/// Pure numbers — everything branchy or transcendental happened here.
+struct CpaLane {
+  double a_lat, a_lon, a_alt, a_cos, a_ve, a_vn, a_vr;
+  double b_lat, b_lon, b_alt, b_ve, b_vn, b_vr;
+};
+
+/// Scalar phase 1: align both tracks to the later timestamp by dead
+/// reckoning (branch + libm, rare in steady streams where partners
+/// share epochs) and gather the lane inputs.
+CpaLane MakeLane(Track a, Track b) {
   const TimestampMs t0 = std::max(a.timestamp, b.timestamp);
   auto align = [t0](Track* r) {
     const double dt_s = static_cast<double>(t0 - r->timestamp) / 1000.0;
@@ -40,56 +62,163 @@ CpaResult CpaCore(Track a, Track b) {
       r->position = DeadReckon(r->position, r->course_deg, r->speed_mps,
                                r->vrate_mps, dt_s);
       r->timestamp = t0;
+      r->cos_lat = std::cos(r->position.lat_deg * kDegToRad);
     }
   };
   align(&a);
   align(&b);
-
-  // Relative kinematics in ENU around a.
-  const EnuVector rel_pos = ToEnu(a.position, b.position);
-  auto velocity = [](const Track& r, double* ve, double* vn) {
-    const double c = r.course_deg * kDegToRad;
-    *ve = r.speed_mps * std::sin(c);
-    *vn = r.speed_mps * std::cos(c);
-  };
-  double ave, avn, bve, bvn;
-  velocity(a, &ave, &avn);
-  velocity(b, &bve, &bvn);
-  const double rve = bve - ave;
-  const double rvn = bvn - avn;
-
-  CpaResult out;
-  out.d_now_m = std::sqrt(rel_pos.east_m * rel_pos.east_m +
-                          rel_pos.north_m * rel_pos.north_m);
-  const double speed2 = rve * rve + rvn * rvn;
-  if (speed2 < 1e-9) {
-    // No relative motion: separation is constant.
-    out.t_cpa_s = 0.0;
-    out.d_cpa_m = out.d_now_m;
-    out.d_alt_m = std::fabs(rel_pos.up_m);
-    return out;
-  }
-  // Minimize |p + v t|^2 -> t = -(p . v) / |v|^2, clamped to the future.
-  double t = -(rel_pos.east_m * rve + rel_pos.north_m * rvn) / speed2;
-  t = std::max(0.0, t);
-  out.t_cpa_s = t;
-  const double de = rel_pos.east_m + rve * t;
-  const double dn = rel_pos.north_m + rvn * t;
-  out.d_cpa_m = std::sqrt(de * de + dn * dn);
-  const double rel_vrate = b.vrate_mps - a.vrate_mps;
-  out.d_alt_m = std::fabs(rel_pos.up_m + rel_vrate * t);
-  return out;
+  return CpaLane{a.position.lat_deg, a.position.lon_deg, a.position.alt_m,
+                 a.cos_lat,          a.ve_mps,           a.vn_mps,
+                 a.vrate_mps,        b.position.lat_deg, b.position.lon_deg,
+                 b.position.alt_m,   b.ve_mps,           b.vn_mps,
+                 b.vrate_mps};
 }
+
+/// SoA view over the lane inputs and result columns.
+struct LaneView {
+  const double *a_lat, *a_lon, *a_alt, *a_cos, *a_ve, *a_vn, *a_vr;
+  const double *b_lat, *b_lon, *b_alt, *b_ve, *b_vn, *b_vr;
+  double *t_cpa, *d_cpa, *d_alt, *d_now;
+};
+
+/// Vector phase 2: the CPA arithmetic, op-for-op the legacy scalar
+/// core (ENU around a with the precomputed cosine, relative velocity,
+/// quadratic minimization clamped to the future). Instantiated at both
+/// abis; lanes are bit-identical between them, which is what the
+/// detectors' byte-identical event guarantee rests on. NaN kinematics
+/// flow through the no-relative-motion test exactly as in the scalar
+/// branch (ordered compare -> moving path; MAXPD clamp -> t = 0).
+template <typename Abi>
+void CpaKernel(const LaneView& v, std::size_t begin, std::size_t end) {
+  using D = simd::Simd<double, Abi>;
+  for (std::size_t i = begin; i < end; i += D::kWidth) {
+    const D a_lat = D::Load(v.a_lat + i);
+    const D b_lat = D::Load(v.b_lat + i);
+    // ToEnu(a, b) with the hoisted cosine: sequential antimeridian
+    // wrap, then scaled equirectangular east/north.
+    D dlon = D::Load(v.b_lon + i) - D::Load(v.a_lon + i);
+    dlon = Select(dlon > D(180.0), dlon - D(360.0), dlon);
+    dlon = Select(dlon < D(-180.0), dlon + D(360.0), dlon);
+    const D east =
+        ((dlon * D(kDegToRad)) * D::Load(v.a_cos + i)) * D(kEarthRadiusMeters);
+    const D north = ((b_lat - a_lat) * D(kDegToRad)) * D(kEarthRadiusMeters);
+    const D up = D::Load(v.b_alt + i) - D::Load(v.a_alt + i);
+
+    const D rve = D::Load(v.b_ve + i) - D::Load(v.a_ve + i);
+    const D rvn = D::Load(v.b_vn + i) - D::Load(v.a_vn + i);
+
+    const D d_now = Sqrt(east * east + north * north);
+    const D speed2 = rve * rve + rvn * rvn;
+    const auto still = speed2 < D(1e-9);
+
+    D t = Max(-(east * rve + north * rvn) / speed2, D(0.0));
+    t = Select(still, D(0.0), t);
+    const D de = east + rve * t;
+    const D dn = north + rvn * t;
+    const D d_cpa = Select(still, d_now, Sqrt(de * de + dn * dn));
+    const D rvr = D::Load(v.b_vr + i) - D::Load(v.a_vr + i);
+    const D d_alt = Select(still, Abs(up), Abs(up + rvr * t));
+
+    t.Store(v.t_cpa + i);
+    d_cpa.Store(v.d_cpa + i);
+    d_alt.Store(v.d_alt + i);
+    d_now.Store(v.d_now + i);
+  }
+}
+
+/// Single-pair evaluation through the same two phases at width 1.
+CpaResult CpaOne(const CpaLane& l) {
+  CpaResult r;
+  const LaneView v{&l.a_lat, &l.a_lon, &l.a_alt, &l.a_cos,   &l.a_ve,
+                   &l.a_vn,  &l.a_vr,  &l.b_lat, &l.b_lon,   &l.b_alt,
+                   &l.b_ve,  &l.b_vn,  &l.b_vr,  &r.t_cpa_s, &r.d_cpa_m,
+                   &r.d_alt_m, &r.d_now_m};
+  CpaKernel<simd::scalar_abi>(v, 0, 1);
+  return r;
+}
+
+/// Reused per-thread lane storage for the batch entry point (the
+/// detector eval pass runs one batch per planned report slice on pool
+/// threads; thread_local keeps it allocation-free and race-free).
+struct CpaScratch {
+  std::vector<double> a_lat, a_lon, a_alt, a_cos, a_ve, a_vn, a_vr;
+  std::vector<double> b_lat, b_lon, b_alt, b_ve, b_vn, b_vr;
+  std::vector<double> t_cpa, d_cpa, d_alt, d_now;
+
+  void Resize(std::size_t n) {
+    a_lat.resize(n);
+    a_lon.resize(n);
+    a_alt.resize(n);
+    a_cos.resize(n);
+    a_ve.resize(n);
+    a_vn.resize(n);
+    a_vr.resize(n);
+    b_lat.resize(n);
+    b_lon.resize(n);
+    b_alt.resize(n);
+    b_ve.resize(n);
+    b_vn.resize(n);
+    b_vr.resize(n);
+    t_cpa.resize(n);
+    d_cpa.resize(n);
+    d_alt.resize(n);
+    d_now.resize(n);
+  }
+
+  LaneView View() {
+    return LaneView{a_lat.data(), a_lon.data(), a_alt.data(), a_cos.data(),
+                    a_ve.data(),  a_vn.data(),  a_vr.data(),  b_lat.data(),
+                    b_lon.data(), b_alt.data(), b_ve.data(),  b_vn.data(),
+                    b_vr.data(),  t_cpa.data(), d_cpa.data(), d_alt.data(),
+                    d_now.data()};
+  }
+};
 
 }  // namespace
 
 CpaResult ComputeCpa(const PositionReport& a, const PositionReport& b) {
-  return CpaCore(TrackOf(a), TrackOf(b));
+  return CpaOne(MakeLane(TrackOf(a), TrackOf(b)));
 }
 
 CpaResult ComputeCpa(const FleetSnapshot& fleet, std::size_t a,
                      std::size_t b) {
-  return CpaCore(TrackOf(fleet, a), TrackOf(fleet, b));
+  return CpaOne(MakeLane(TrackOf(fleet, a), TrackOf(fleet, b)));
+}
+
+void ComputeCpaBatch(const FleetSnapshot& fleet, const CpaPair* pairs,
+                     std::size_t n, CpaResult* out, SimdDispatch dispatch) {
+  if (n == 0) return;
+  static thread_local CpaScratch scratch;
+  scratch.Resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CpaLane lane = MakeLane(TrackOf(fleet, pairs[i].a_row),
+                                  TrackOf(fleet, pairs[i].b_row));
+    scratch.a_lat[i] = lane.a_lat;
+    scratch.a_lon[i] = lane.a_lon;
+    scratch.a_alt[i] = lane.a_alt;
+    scratch.a_cos[i] = lane.a_cos;
+    scratch.a_ve[i] = lane.a_ve;
+    scratch.a_vn[i] = lane.a_vn;
+    scratch.a_vr[i] = lane.a_vr;
+    scratch.b_lat[i] = lane.b_lat;
+    scratch.b_lon[i] = lane.b_lon;
+    scratch.b_alt[i] = lane.b_alt;
+    scratch.b_ve[i] = lane.b_ve;
+    scratch.b_vn[i] = lane.b_vn;
+    scratch.b_vr[i] = lane.b_vr;
+  }
+  const LaneView v = scratch.View();
+  std::size_t main = 0;
+  if (dispatch == SimdDispatch::kNative) {
+    constexpr std::size_t kW = simd::kNativeWidth;
+    main = n - n % kW;
+    CpaKernel<simd::native_abi>(v, 0, main);
+  }
+  CpaKernel<simd::scalar_abi>(v, main, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = CpaResult{scratch.t_cpa[i], scratch.d_cpa[i], scratch.d_alt[i],
+                       scratch.d_now[i]};
+  }
 }
 
 }  // namespace datacron

@@ -2,8 +2,10 @@
 #define DATACRON_CEP_CPA_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "cep/fleet_snapshot.h"
+#include "common/simd/simd.h"
 #include "geo/geo.h"
 #include "sources/model.h"
 
@@ -37,6 +39,28 @@ CpaResult ComputeCpa(const PositionReport& a, const PositionReport& b);
 /// to ComputeCpa(fleet.ReportAt(a), fleet.ReportAt(b)).
 CpaResult ComputeCpa(const FleetSnapshot& fleet, std::size_t a,
                      std::size_t b);
+
+/// A pair of FleetSnapshot row indices to evaluate. Matches the
+/// proximity detector's candidate layout so planned slices feed the
+/// batch kernel without repacking.
+struct CpaPair {
+  std::uint32_t a_row = 0;
+  std::uint32_t b_row = 0;
+};
+
+/// Evaluates CPA for `n` row pairs of `fleet` into `out`.
+///
+/// Two phases: a scalar per-pair phase does the branchy, transcendental
+/// work (dead-reckoning clock alignment; latitude cosines come
+/// precomputed from the snapshot), then a vectorized pure-arithmetic
+/// phase runs the CPA math over SIMD lanes. The vector phase mirrors
+/// the scalar core op for op, so out[i] is bit-identical to
+/// ComputeCpa(fleet, pairs[i].a_row, pairs[i].b_row) under either
+/// dispatch — CPA results feed the collision/encounter gates, where
+/// a last-ulp difference would change emitted events.
+void ComputeCpaBatch(const FleetSnapshot& fleet, const CpaPair* pairs,
+                     std::size_t n, CpaResult* out,
+                     SimdDispatch dispatch = SimdDispatch::kNative);
 
 }  // namespace datacron
 

@@ -192,10 +192,12 @@ void ProximityDetector::RunBatch(std::span<const PositionReport> reports,
     auto eval_group = [this](std::size_t g) {
       for (const std::uint32_t ri : groups_[g]) {
         const std::size_t begin = ri == 0 ? 0 : cand_end_[ri - 1];
-        for (std::size_t c = begin; c < cand_end_[ri]; ++c) {
-          cpa_[c] = ComputeCpa(fleet_, candidates_[c].a_row,
-                               candidates_[c].b_row);
-        }
+        const std::size_t len = cand_end_[ri] - begin;
+        if (len == 0) continue;
+        // SIMD batch over the report's planned slice; lanes are
+        // bit-identical to the per-pair ComputeCpa this replaced.
+        ComputeCpaBatch(fleet_, candidates_.data() + begin, len,
+                        cpa_.data() + begin);
       }
     };
     if (pool != nullptr && live_groups_ > 1 &&
@@ -395,12 +397,15 @@ void LoiteringDetector::Process(const PositionReport& report,
     return;
   }
   if (report.speed_mps < config_.min_speed_mps) return;
-  // Net displacement and max excursion within the window.
+  // Net displacement and max excursion within the window. The latitude
+  // cosine is hoisted out of the loop (the window stays within the
+  // loitering radius, so one reference latitude serves every pair).
   double max_excursion = 0.0;
+  const double cos_lat = std::cos(report.position.lat_deg * kDegToRad);
   for (const PositionReport& p : win) {
     max_excursion = std::max(
-        max_excursion,
-        EquirectangularMeters(p.position.ll(), report.position.ll()));
+        max_excursion, EquirectangularMetersWithCos(cos_lat, p.position.ll(),
+                                                    report.position.ll()));
   }
   if (max_excursion > config_.radius_m) return;
   if (!MayAlarm(&last_alarm_, report.entity_id, report.timestamp,
@@ -446,6 +451,8 @@ CapacityMonitor::CapacityMonitor(std::vector<Sector> sectors, Config config)
     const double reach_deg = reach_m / (meters_per_deg * cos_lat);
     eval_bbox_.push_back(bb.Inflated(std::max(0.5, reach_deg)));
   }
+  for (const BoundingBox& bb : eval_bbox_) eval_bbox_soa_.Add(bb);
+  bbox_near_.resize(eval_bbox_.size());
 }
 
 void CapacityMonitor::Process(const PositionReport& report,
@@ -530,9 +537,10 @@ void CapacityMonitor::ProcessRescan(const PositionReport& report,
 
   std::vector<int> occupancy(sectors_.size(), 0);
   std::vector<int> predicted(sectors_.size(), 0);
+  BboxContainsBatch(eval_bbox_soa_, report.position.ll(), bbox_near_.data());
   for (std::size_t si = 0; si < sectors_.size(); ++si) {
     // Only sectors near the reporting entity get re-evaluated.
-    if (!eval_bbox_[si].Contains(report.position.ll())) continue;
+    if (!bbox_near_[si]) continue;
     const Sector& sector = sectors_[si];
     latest_.ForEach([&](EntityId, const PositionReport& r) {
       if (report.timestamp - r.timestamp > config_.staleness) return;
@@ -550,8 +558,9 @@ void CapacityMonitor::EmitAlarms(const PositionReport& report,
                                  std::span<const int> occupancy,
                                  std::span<const int> predicted,
                                  std::vector<Event>* out) {
+  BboxContainsBatch(eval_bbox_soa_, report.position.ll(), bbox_near_.data());
   for (std::size_t si = 0; si < sectors_.size(); ++si) {
-    if (!eval_bbox_[si].Contains(report.position.ll())) continue;
+    if (!bbox_near_[si]) continue;
     const Sector& sector = sectors_[si];
     if (occupancy[si] > sector.capacity &&
         MayAlarm(&last_warning_, si, report.timestamp,

@@ -14,6 +14,7 @@
 #include "common/flat_hash.h"
 #include "common/thread_pool.h"
 #include "geo/grid.h"
+#include "geo/kernels.h"
 #include "geo/polygon.h"
 #include "obs/metrics.h"
 #include "stream/operator.h"
@@ -102,10 +103,9 @@ class ProximityDetector : public Operator<PositionReport, Event> {
   /// One planned CPA evaluation: latest-row indices into fleet_ for the
   /// incoming report (a) and its partner (b) at plan time. Snapshot rows
   /// are immutable, so the pair can be evaluated on any thread later.
-  struct Candidate {
-    std::uint32_t a_row = 0;
-    std::uint32_t b_row = 0;
-  };
+  /// Aliased to the batch kernel's pair type so a planned slice feeds
+  /// ComputeCpaBatch directly.
+  using Candidate = CpaPair;
 
   void RunBatch(std::span<const PositionReport> reports, ThreadPool* pool,
                 std::vector<Event>* events,
@@ -303,6 +303,12 @@ class CapacityMonitor : public Operator<PositionReport, Event> {
   /// dead-reckoning reach (max_speed_mps x forecast_horizon), never less
   /// than the legacy 0.5 deg margin.
   std::vector<BoundingBox> eval_bbox_;
+  /// Same boxes as SIMD lanes, plus per-report hit bytes (scratch):
+  /// one batched containment test replaces the per-sector predicate in
+  /// the rescan/alarm loops. Bit-identical kernel, so gating decisions
+  /// are unchanged.
+  BboxSoa eval_bbox_soa_;
+  std::vector<std::uint8_t> bbox_near_;
 
   // Incremental-mode state.
   FlatHashMap<EntityId, EntityState> entities_;

@@ -1,9 +1,11 @@
 #ifndef DATACRON_CEP_FLEET_SNAPSHOT_H_
 #define DATACRON_CEP_FLEET_SNAPSHOT_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "geo/geo.h"
 #include "sources/model.h"
 
 namespace datacron {
@@ -24,6 +26,14 @@ struct FleetSnapshot {
   std::vector<double> speed_mps;
   std::vector<double> course_deg;
   std::vector<double> vrate_mps;
+  // Derived columns precomputed at Append so the batched CPA kernel
+  // loads them as lanes instead of calling sin/cos per pair. Computed
+  // with the exact expressions the scalar CPA core used at call time
+  // (CourseToVelocityMps, std::cos(lat * kDegToRad)), so consuming the
+  // columns is bit-identical to recomputing.
+  std::vector<double> ve_mps;
+  std::vector<double> vn_mps;
+  std::vector<double> cos_lat;
   std::vector<TimestampMs> ts;
   std::vector<EntityId> entity;
   std::vector<std::uint8_t> domain;
@@ -38,6 +48,9 @@ struct FleetSnapshot {
     speed_mps.reserve(n);
     course_deg.reserve(n);
     vrate_mps.reserve(n);
+    ve_mps.reserve(n);
+    vn_mps.reserve(n);
+    cos_lat.reserve(n);
     ts.reserve(n);
     entity.reserve(n);
     domain.reserve(n);
@@ -50,6 +63,9 @@ struct FleetSnapshot {
     speed_mps.clear();
     course_deg.clear();
     vrate_mps.clear();
+    ve_mps.clear();
+    vn_mps.clear();
+    cos_lat.clear();
     ts.clear();
     entity.clear();
     domain.clear();
@@ -64,6 +80,11 @@ struct FleetSnapshot {
     speed_mps.push_back(r.speed_mps);
     course_deg.push_back(r.course_deg);
     vrate_mps.push_back(r.vertical_rate_mps);
+    double ve, vn;
+    CourseToVelocityMps(r.course_deg, r.speed_mps, &ve, &vn);
+    ve_mps.push_back(ve);
+    vn_mps.push_back(vn);
+    cos_lat.push_back(std::cos(r.position.lat_deg * kDegToRad));
     ts.push_back(r.timestamp);
     entity.push_back(r.entity_id);
     domain.push_back(static_cast<std::uint8_t>(r.domain));

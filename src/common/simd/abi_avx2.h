@@ -1,0 +1,97 @@
+// AVX2 + FMA backend: 4 x double in a __m256d.
+//
+// Only included when the TU is compiled with -mavx2 -mfma (the
+// top-level CMakeLists adds both or neither). Masks are carried as
+// __m256d lane masks straight out of VCMPPD; comparisons use the
+// ordered+quiet predicates so NaN lanes compare false, matching the
+// scalar backend.
+#ifndef DATACRON_COMMON_SIMD_ABI_AVX2_H_
+#define DATACRON_COMMON_SIMD_ABI_AVX2_H_
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd/fwd.h"
+
+namespace datacron::simd {
+
+template <>
+struct backend<double, avx2_abi> {
+  static constexpr int kWidth = 4;
+  using reg = __m256d;
+  using mask_reg = __m256d;
+
+  static reg broadcast(double v) { return _mm256_set1_pd(v); }
+  static reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg load_strided(const double* p, std::ptrdiff_t stride) {
+    return _mm256_set_pd(p[3 * stride], p[2 * stride], p[stride], p[0]);
+  }
+
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  static reg div(reg a, reg b) { return _mm256_div_pd(a, b); }
+  static reg neg(reg a) { return _mm256_xor_pd(a, _mm256_set1_pd(-0.0)); }
+  static reg fma(reg a, reg b, reg c) { return _mm256_fmadd_pd(a, b, c); }
+  static reg sqrt(reg a) { return _mm256_sqrt_pd(a); }
+  static reg abs(reg a) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+  static reg min(reg a, reg b) { return _mm256_min_pd(a, b); }
+  static reg max(reg a, reg b) { return _mm256_max_pd(a, b); }
+  static reg floor(reg a) { return _mm256_floor_pd(a); }
+  static reg round_nearest(reg a) {
+    return _mm256_round_pd(a, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+
+  static mask_reg lt(reg a, reg b) {
+    return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+  }
+  static mask_reg le(reg a, reg b) {
+    return _mm256_cmp_pd(a, b, _CMP_LE_OQ);
+  }
+  static mask_reg gt(reg a, reg b) {
+    return _mm256_cmp_pd(a, b, _CMP_GT_OQ);
+  }
+  static mask_reg ge(reg a, reg b) {
+    return _mm256_cmp_pd(a, b, _CMP_GE_OQ);
+  }
+  static mask_reg eq(reg a, reg b) {
+    return _mm256_cmp_pd(a, b, _CMP_EQ_OQ);
+  }
+
+  static reg select(mask_reg m, reg if_true, reg if_false) {
+    return _mm256_blendv_pd(if_false, if_true, m);
+  }
+  static mask_reg mask_and(mask_reg a, mask_reg b) {
+    return _mm256_and_pd(a, b);
+  }
+  static mask_reg mask_or(mask_reg a, mask_reg b) {
+    return _mm256_or_pd(a, b);
+  }
+  static mask_reg mask_not(mask_reg a) {
+    return _mm256_xor_pd(
+        a, _mm256_castsi256_pd(_mm256_set1_epi64x(-1)));
+  }
+  static bool any(mask_reg m) { return _mm256_movemask_pd(m) != 0; }
+  static bool all(mask_reg m) { return _mm256_movemask_pd(m) == 0xF; }
+  static void mask_store_bytes(mask_reg m, std::uint8_t* out) {
+    const int bits = _mm256_movemask_pd(m);
+    out[0] = static_cast<std::uint8_t>(bits & 1);
+    out[1] = static_cast<std::uint8_t>((bits >> 1) & 1);
+    out[2] = static_cast<std::uint8_t>((bits >> 2) & 1);
+    out[3] = static_cast<std::uint8_t>((bits >> 3) & 1);
+  }
+
+  static reg bit_and(reg a, reg b) { return _mm256_and_pd(a, b); }
+  static reg bit_or(reg a, reg b) { return _mm256_or_pd(a, b); }
+  static reg bit_xor(reg a, reg b) { return _mm256_xor_pd(a, b); }
+  static reg bit_andnot(reg a, reg b) { return _mm256_andnot_pd(a, b); }
+};
+
+}  // namespace datacron::simd
+
+#endif  // DATACRON_COMMON_SIMD_ABI_AVX2_H_

@@ -1,0 +1,89 @@
+// Scalar (width 1) backend — the correctness reference.
+//
+// Ops are written to mirror the lane semantics of the x86 vector
+// instructions, NOT the std:: conveniences:
+//   * min(a,b) = a < b ? a : b  (returns b when unordered, like MINPD)
+//   * max(a,b) = a > b ? a : b  (returns b when unordered, like MAXPD)
+//   * comparisons are ordered+quiet (false on NaN)
+//   * fma is std::fma — a true fused op, matching VFMADD
+// With -ffp-contract=off (set globally in the top-level CMakeLists)
+// every arithmetic op here is IEEE correctly rounded, so a kernel
+// instantiated at scalar_abi produces bit-identical lanes to the same
+// kernel at any vector abi.
+#ifndef DATACRON_COMMON_SIMD_ABI_SCALAR_H_
+#define DATACRON_COMMON_SIMD_ABI_SCALAR_H_
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd/fwd.h"
+
+namespace datacron::simd {
+
+template <>
+struct backend<double, scalar_abi> {
+  static constexpr int kWidth = 1;
+  using reg = double;
+  using mask_reg = bool;
+
+  static reg broadcast(double v) { return v; }
+  static reg load(const double* p) { return *p; }
+  static void store(double* p, reg v) { *p = v; }
+  static reg load_strided(const double* p, std::ptrdiff_t) { return *p; }
+
+  static reg add(reg a, reg b) { return a + b; }
+  static reg sub(reg a, reg b) { return a - b; }
+  static reg mul(reg a, reg b) { return a * b; }
+  static reg div(reg a, reg b) { return a / b; }
+  static reg neg(reg a) { return -a; }
+  static reg fma(reg a, reg b, reg c) { return std::fma(a, b, c); }
+  static reg sqrt(reg a) { return std::sqrt(a); }
+  static reg abs(reg a) { return std::fabs(a); }
+  static reg min(reg a, reg b) { return a < b ? a : b; }
+  static reg max(reg a, reg b) { return a > b ? a : b; }
+  static reg floor(reg a) { return std::floor(a); }
+  // Matches VROUNDPD round-to-nearest-even (the process default mode).
+  static reg round_nearest(reg a) { return std::nearbyint(a); }
+
+  static mask_reg lt(reg a, reg b) { return a < b; }
+  static mask_reg le(reg a, reg b) { return a <= b; }
+  static mask_reg gt(reg a, reg b) { return a > b; }
+  static mask_reg ge(reg a, reg b) { return a >= b; }
+  static mask_reg eq(reg a, reg b) { return a == b; }
+
+  static reg select(mask_reg m, reg if_true, reg if_false) {
+    return m ? if_true : if_false;
+  }
+  static mask_reg mask_and(mask_reg a, mask_reg b) { return a && b; }
+  static mask_reg mask_or(mask_reg a, mask_reg b) { return a || b; }
+  static mask_reg mask_not(mask_reg a) { return !a; }
+  static bool any(mask_reg m) { return m; }
+  static bool all(mask_reg m) { return m; }
+  static void mask_store_bytes(mask_reg m, std::uint8_t* out) {
+    out[0] = m ? 1 : 0;
+  }
+
+  static reg bit_and(reg a, reg b) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(a) &
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+  static reg bit_or(reg a, reg b) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(a) |
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+  static reg bit_xor(reg a, reg b) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(a) ^
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+  // ANDNPD semantics: (~a) & b.
+  static reg bit_andnot(reg a, reg b) {
+    return std::bit_cast<double>(~std::bit_cast<std::uint64_t>(a) &
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+};
+
+}  // namespace datacron::simd
+
+#endif  // DATACRON_COMMON_SIMD_ABI_SCALAR_H_

@@ -1,0 +1,32 @@
+// Forward declarations for the portable SIMD layer.
+//
+// Backend headers (abi_*.h) include this file and specialize the
+// `backend` primary template for their ABI tag. simd.h includes the
+// backend headers and builds the value-type wrappers on top. Adding a
+// new backend means: add an abi tag here, write abi_<name>.h
+// specializing `backend<double, <name>_abi>`, and extend the native
+// selection block in simd.h.
+#ifndef DATACRON_COMMON_SIMD_FWD_H_
+#define DATACRON_COMMON_SIMD_FWD_H_
+
+namespace datacron::simd {
+
+/// Width-1 reference backend. Every operation is defined to match the
+/// semantics of the vector instructions lane for lane (e.g. min/max
+/// return the second operand when the first comparison is unordered,
+/// exactly like MINPD/MAXPD), so a kernel instantiated at scalar_abi
+/// is the bit-exact per-lane reference for every other backend.
+struct scalar_abi {};
+
+/// 4 x double via AVX2 + FMA. Compiled in only when the translation
+/// unit targets AVX2 (see simd.h).
+struct avx2_abi {};
+
+/// Per-(type, abi) implementation. Specializations provide:
+///   kWidth, reg, mask_reg, and the static ops used by Simd<T, Abi>.
+template <typename T, typename Abi>
+struct backend;
+
+}  // namespace datacron::simd
+
+#endif  // DATACRON_COMMON_SIMD_FWD_H_

@@ -1,0 +1,154 @@
+// Vectorizable transcendentals for the distance kernels.
+//
+// libm's sin/cos/asin are scalar; the haversine/SED kernels need them
+// per lane. These are the classic cephes/fdlibm constructions written
+// over the Simd<double, Abi> wrapper: Cody-Waite two-step range
+// reduction to [-pi/4, pi/4] plus minimax polynomials (sin/cos), and
+// the cephes rational approximations for asin.
+//
+// Accuracy (property-tested in tests/simd_test.cc):
+//   * SinCos: <= 4 ulp of libm for |x| <= 1e5 (the geo kernels only
+//     feed |x| <= 2*pi). The reduction multiple fits 33 bits, so
+//     fj * pio2_hi is exact for |fj| < 2^20.
+//   * Asin:   <= 4 ulp of libm on [-1, 1]; NaN outside, NaN in ->
+//     NaN out.
+// These are NOT bit-identical to libm — kernels built on them are the
+// "ULP-bound" class (distances only), never gate inputs. Across abis
+// the same function IS bit-identical lane for lane, since it only uses
+// wrapper ops.
+#ifndef DATACRON_COMMON_SIMD_MATH_H_
+#define DATACRON_COMMON_SIMD_MATH_H_
+
+#include <cstddef>
+
+#include "common/simd/simd.h"
+
+namespace datacron::simd {
+
+namespace detail {
+
+/// Horner evaluation, highest-degree coefficient first.
+template <typename Abi, std::size_t N>
+inline Simd<double, Abi> Polevl(Simd<double, Abi> x, const double (&c)[N]) {
+  Simd<double, Abi> r(c[0]);
+  for (std::size_t i = 1; i < N; ++i) {
+    r = Fma(r, x, Simd<double, Abi>(c[i]));
+  }
+  return r;
+}
+
+/// Horner with an implicit leading coefficient of 1 (cephes p1evl).
+template <typename Abi, std::size_t N>
+inline Simd<double, Abi> P1evl(Simd<double, Abi> x, const double (&c)[N]) {
+  Simd<double, Abi> r = x + Simd<double, Abi>(c[0]);
+  for (std::size_t i = 1; i < N; ++i) {
+    r = Fma(r, x, Simd<double, Abi>(c[i]));
+  }
+  return r;
+}
+
+inline constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+// fdlibm split of pi/2: pio2_hi carries 33 significant bits.
+inline constexpr double kPio2Hi = 1.57079632673412561417e+00;
+inline constexpr double kPio2Lo = 6.07710050650619224932e-11;
+
+inline constexpr double kSinCoeffs[6] = {
+    1.58962301576546568060e-10, -2.50507477628578072866e-8,
+    2.75573136213857245213e-6,  -1.98412698295895385996e-4,
+    8.33333333332211858878e-3,  -1.66666666666666307295e-1};
+
+inline constexpr double kCosCoeffs[6] = {
+    -1.13585365213876817300e-11, 2.08757008419747316778e-9,
+    -2.75573141792967388112e-7,  2.48015872888517179954e-5,
+    -1.38888888888730564116e-3,  4.16666666666665929218e-2};
+
+// cephes asin.c rationals: P/Q on x^2 for |x| < 0.625, R/S on 1-|x|
+// above.
+inline constexpr double kAsinP[6] = {
+    4.253011369004428248960e-3, -6.019598008014123785661e-1,
+    5.444622390564711410273e0,  -1.626247967210700244449e1,
+    1.956261983317594739197e1,  -8.198089802484824371615e0};
+inline constexpr double kAsinQ[5] = {
+    -1.474091372988853791896e1, 7.049610280856842141659e1,
+    -1.471791292232726029859e2, 1.395105614657485689735e2,
+    -4.918853881490881290097e1};
+inline constexpr double kAsinR[5] = {
+    2.967721961301243206100e-3, -5.634242780008963776856e-1,
+    6.968710824104713396794e0,  -2.556901049652824852289e1,
+    2.853665548261061424989e1};
+inline constexpr double kAsinS[4] = {
+    -2.194779531642920639778e1, 1.470656354026814941758e2,
+    -3.838770957603691357202e2, 3.424398657913078477438e2};
+
+inline constexpr double kPio4 = 7.85398163397448309616e-1;
+inline constexpr double kAsinMoreBits = 6.123233995736765886130e-17;
+
+}  // namespace detail
+
+/// sin(x) and cos(x) per lane. See header comment for the accuracy
+/// contract.
+template <typename Abi>
+inline void SinCos(Simd<double, Abi> x, Simd<double, Abi>* sin_out,
+                   Simd<double, Abi>* cos_out) {
+  using D = Simd<double, Abi>;
+  using detail::Polevl;
+
+  // Nearest multiple of pi/2, then two-step Cody-Waite remainder.
+  const D fj = RoundNearest(x * D(detail::kTwoOverPi));
+  D r = Fma(fj, D(-detail::kPio2Hi), x);
+  r = Fma(fj, D(-detail::kPio2Lo), r);
+
+  // Quadrant index 0..3 as a double: fj mod 4.
+  const D q = Fma(Floor(fj * D(0.25)), D(-4.0), fj);
+
+  const D z = r * r;
+  const D sin_r = Fma(r * z, Polevl<Abi>(z, detail::kSinCoeffs), r);
+  const D cos_r =
+      Fma(z * z, Polevl<Abi>(z, detail::kCosCoeffs), Fma(z, D(-0.5), D(1.0)));
+
+  const auto q1 = q == D(1.0);
+  const auto q2 = q == D(2.0);
+  const auto q3 = q == D(3.0);
+
+  // Quadrant rotation: sin -> {sin, cos, -sin, -cos},
+  //                    cos -> {cos, -sin, -cos, sin}.
+  D s = Select(q1 || q3, cos_r, sin_r);
+  s = Select(q2 || q3, -s, s);
+  D c = Select(q1 || q3, sin_r, cos_r);
+  c = Select(q1 || q2, -c, c);
+  *sin_out = s;
+  *cos_out = c;
+}
+
+/// asin(x) per lane (cephes rational form). NaN outside [-1, 1].
+template <typename Abi>
+inline Simd<double, Abi> Asin(Simd<double, Abi> x) {
+  using D = Simd<double, Abi>;
+  using detail::P1evl;
+  using detail::Polevl;
+
+  const D a = Abs(x);
+
+  // |x| < 0.625: asin(x) = x + x * zz * P(zz)/Q(zz), zz = x^2.
+  const D zz_s = a * a;
+  const D p_s = zz_s * Polevl<Abi>(zz_s, detail::kAsinP) /
+                P1evl<Abi>(zz_s, detail::kAsinQ);
+  const D r_small = Fma(a, p_s, a);
+
+  // |x| >= 0.625: asin(x) = pi/2 - 2*asin(sqrt((1-x)/2)), expanded as
+  // in cephes with the pi/4 + morebits split for the last bits.
+  const D zz_l = D(1.0) - a;
+  const D p_l = zz_l * Polevl<Abi>(zz_l, detail::kAsinR) /
+                P1evl<Abi>(zz_l, detail::kAsinS);
+  const D s = Sqrt(zz_l + zz_l);
+  const D r_large = (D(detail::kPio4) - s) -
+                    Fma(s, p_l, D(-detail::kAsinMoreBits)) +
+                    D(detail::kPio4);
+
+  const D r = Select(a > D(0.625), r_large, r_small);
+  return CopySign(r, x);
+}
+
+}  // namespace datacron::simd
+
+#endif  // DATACRON_COMMON_SIMD_MATH_H_

@@ -1,0 +1,162 @@
+// Portable SIMD value types, in the style of arbor's simd wrappers.
+//
+// Usage: write the kernel ONCE as a template over the abi tag, using
+// Simd<double, Abi> lanes. Instantiate it at native_abi for the fast
+// path and at scalar_abi for remainder tails and the forced-scalar
+// build. Because every wrapper op maps to an IEEE correctly rounded
+// instruction on both backends (and -ffp-contract=off stops the
+// compiler from fusing the scalar side), the two instantiations are
+// bit-identical per lane — which is what lets the batched CPA/bbox
+// kernels feed event gates without perturbing engine output.
+//
+// Backend selection is compile time: building with -mavx2 -mfma (the
+// default on x86-64, see the DATACRON_SIMD cache option) makes
+// native_abi = avx2_abi; DATACRON_SIMD=scalar or a non-AVX2 toolchain
+// makes it scalar_abi. Kernel entry points additionally take a runtime
+// SimdDispatch so tests and benches can compare both paths in one
+// binary.
+#ifndef DATACRON_COMMON_SIMD_SIMD_H_
+#define DATACRON_COMMON_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd/abi_scalar.h"
+#include "common/simd/fwd.h"
+
+#if !defined(DATACRON_SIMD_FORCE_SCALAR) && defined(__AVX2__) && \
+    defined(__FMA__)
+#define DATACRON_SIMD_HAVE_AVX2 1
+#include "common/simd/abi_avx2.h"
+#else
+#define DATACRON_SIMD_HAVE_AVX2 0
+#endif
+
+namespace datacron::simd {
+
+#if DATACRON_SIMD_HAVE_AVX2
+using native_abi = avx2_abi;
+#else
+using native_abi = scalar_abi;
+#endif
+
+template <typename T, typename Abi>
+class SimdMask {
+ public:
+  using B = backend<T, Abi>;
+
+  SimdMask() = default;
+  explicit SimdMask(typename B::mask_reg m) : r_(m) {}
+
+  typename B::mask_reg raw() const { return r_; }
+
+  friend SimdMask operator&&(SimdMask a, SimdMask b) {
+    return SimdMask(B::mask_and(a.r_, b.r_));
+  }
+  friend SimdMask operator||(SimdMask a, SimdMask b) {
+    return SimdMask(B::mask_or(a.r_, b.r_));
+  }
+  SimdMask operator!() const { return SimdMask(B::mask_not(r_)); }
+
+  friend bool Any(SimdMask m) { return B::any(m.r_); }
+  friend bool All(SimdMask m) { return B::all(m.r_); }
+  /// Writes one 0/1 byte per lane.
+  void StoreBytes(std::uint8_t* out) const { B::mask_store_bytes(r_, out); }
+
+ private:
+  typename B::mask_reg r_;
+};
+
+template <typename T, typename Abi>
+class Simd {
+ public:
+  using B = backend<T, Abi>;
+  using Mask = SimdMask<T, Abi>;
+  static constexpr int kWidth = B::kWidth;
+
+  Simd() : r_(B::broadcast(T{})) {}
+  Simd(T v) : r_(B::broadcast(v)) {}  // NOLINT: implicit broadcast
+  /// Wraps a backend register. A named factory instead of a
+  /// constructor because reg == T on the scalar backend.
+  static Simd Raw(typename B::reg v) {
+    Simd s;
+    s.r_ = v;
+    return s;
+  }
+
+  static Simd Load(const T* p) { return Raw(B::load(p)); }
+  /// Lane i loads p[i * stride]. Used for walking matrix columns.
+  static Simd LoadStrided(const T* p, std::ptrdiff_t stride) {
+    return Raw(B::load_strided(p, stride));
+  }
+  void Store(T* p) const { B::store(p, r_); }
+  typename B::reg raw() const { return r_; }
+
+  friend Simd operator+(Simd a, Simd b) { return Raw(B::add(a.r_, b.r_)); }
+  friend Simd operator-(Simd a, Simd b) { return Raw(B::sub(a.r_, b.r_)); }
+  friend Simd operator*(Simd a, Simd b) { return Raw(B::mul(a.r_, b.r_)); }
+  friend Simd operator/(Simd a, Simd b) { return Raw(B::div(a.r_, b.r_)); }
+  Simd operator-() const { return Raw(B::neg(r_)); }
+
+  friend Mask operator<(Simd a, Simd b) { return Mask(B::lt(a.r_, b.r_)); }
+  friend Mask operator<=(Simd a, Simd b) { return Mask(B::le(a.r_, b.r_)); }
+  friend Mask operator>(Simd a, Simd b) { return Mask(B::gt(a.r_, b.r_)); }
+  friend Mask operator>=(Simd a, Simd b) { return Mask(B::ge(a.r_, b.r_)); }
+  friend Mask operator==(Simd a, Simd b) { return Mask(B::eq(a.r_, b.r_)); }
+
+  /// a*b + c as a single fused op (VFMADD / std::fma) on both backends.
+  friend Simd Fma(Simd a, Simd b, Simd c) {
+    return Raw(B::fma(a.r_, b.r_, c.r_));
+  }
+  friend Simd Sqrt(Simd a) { return Raw(B::sqrt(a.r_)); }
+  friend Simd Abs(Simd a) { return Raw(B::abs(a.r_)); }
+  /// MINPD semantics: a < b ? a : b (b when unordered).
+  friend Simd Min(Simd a, Simd b) { return Raw(B::min(a.r_, b.r_)); }
+  /// MAXPD semantics: a > b ? a : b (b when unordered).
+  friend Simd Max(Simd a, Simd b) { return Raw(B::max(a.r_, b.r_)); }
+  friend Simd Floor(Simd a) { return Raw(B::floor(a.r_)); }
+  friend Simd RoundNearest(Simd a) { return Raw(B::round_nearest(a.r_)); }
+  friend Simd Select(Mask m, Simd if_true, Simd if_false) {
+    return Raw(B::select(m.raw(), if_true.r_, if_false.r_));
+  }
+
+  friend Simd BitAnd(Simd a, Simd b) { return Raw(B::bit_and(a.r_, b.r_)); }
+  friend Simd BitOr(Simd a, Simd b) { return Raw(B::bit_or(a.r_, b.r_)); }
+  friend Simd BitXor(Simd a, Simd b) { return Raw(B::bit_xor(a.r_, b.r_)); }
+  /// ANDNPD semantics: (~a) & b.
+  friend Simd BitAndNot(Simd a, Simd b) {
+    return Raw(B::bit_andnot(a.r_, b.r_));
+  }
+  /// |magnitude| with the sign bit of `sign`.
+  friend Simd CopySign(Simd magnitude, Simd sign) {
+    const Simd sign_mask(-0.0);
+    return BitOr(BitAndNot(sign_mask, magnitude), BitAnd(sign_mask, sign));
+  }
+
+ private:
+  typename B::reg r_;
+};
+
+using DoubleV = Simd<double, native_abi>;
+using DoubleS = Simd<double, scalar_abi>;
+
+constexpr int kNativeWidth = Simd<double, native_abi>::kWidth;
+
+inline const char* NativeBackendName() {
+  return DATACRON_SIMD_HAVE_AVX2 ? "avx2" : "scalar";
+}
+
+}  // namespace datacron::simd
+
+namespace datacron {
+
+/// Runtime backend choice on kernel entry points. kNative uses the
+/// compile-time native abi for full vectors (scalar tails as needed);
+/// kScalarOnly forces the width-1 reference path. Both produce
+/// bit-identical lanes; the knob exists so one binary can time and
+/// cross-check both.
+enum class SimdDispatch : std::uint8_t { kNative, kScalarOnly };
+
+}  // namespace datacron
+
+#endif  // DATACRON_COMMON_SIMD_SIMD_H_

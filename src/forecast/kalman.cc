@@ -2,9 +2,18 @@
 
 #include <cmath>
 
+#include "common/simd/simd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace datacron {
 
 // -- small dense 4x4 helpers (row-major) -----------------------------------
+//
+// Templated over the SIMD abi: matrix rows (or row segments) are vector
+// lanes. Every lane accumulates in the same k/j-ascending order at both
+// widths, so the scalar and native instantiations produce bit-identical
+// matrices — the property Config::force_scalar_simd cross-checks.
 
 namespace {
 
@@ -22,15 +31,19 @@ Mat4 Identity() {
   return m;
 }
 
+template <typename Abi>
 Mat4 Multiply(const Mat4& a, const Mat4& b) {
-  Mat4 out{};
+  using D = simd::Simd<double, Abi>;
+  constexpr int kW = D::kWidth;
+  static_assert(kN % kW == 0, "row length must be a multiple of the width");
+  Mat4 out;
   for (int i = 0; i < kN; ++i) {
-    for (int k = 0; k < kN; ++k) {
-      const double aik = Get(a, i, k);
-      if (aik == 0.0) continue;
-      for (int j = 0; j < kN; ++j) {
-        out[i * kN + j] += aik * Get(b, k, j);
+    for (int j = 0; j < kN; j += kW) {
+      D acc(0.0);
+      for (int k = 0; k < kN; ++k) {
+        acc = acc + D(a[i * kN + k]) * D::Load(&b[k * kN + j]);
       }
+      acc.Store(&out[i * kN + j]);
     }
   }
   return out;
@@ -44,23 +57,41 @@ Mat4 Transpose(const Mat4& a) {
   return out;
 }
 
+template <typename Abi>
 Mat4 Add(const Mat4& a, const Mat4& b) {
+  using D = simd::Simd<double, Abi>;
   Mat4 out;
-  for (int i = 0; i < kN * kN; ++i) out[i] = a[i] + b[i];
+  for (int i = 0; i < kN * kN; i += D::kWidth) {
+    (D::Load(&a[i]) + D::Load(&b[i])).Store(&out[i]);
+  }
   return out;
 }
 
+template <typename Abi>
 Vec4 MulVec(const Mat4& a, const Vec4& v) {
-  Vec4 out{};
-  for (int i = 0; i < kN; ++i) {
-    for (int j = 0; j < kN; ++j) out[i] += Get(a, i, j) * v[j];
+  using D = simd::Simd<double, Abi>;
+  constexpr int kW = D::kWidth;
+  Vec4 out;
+  for (int i = 0; i < kN; i += kW) {
+    D acc(0.0);
+    for (int j = 0; j < kN; ++j) {
+      // Lane l reads a[(i+l)*kN + j]: a column segment.
+      acc = acc + D::LoadStrided(&a[i * kN + j], kN) * D(v[j]);
+    }
+    acc.Store(&out[i]);
   }
   return out;
 }
 
 /// Gauss-Jordan inverse; inputs here are SPD (P + R), so pivoting on the
-/// diagonal is safe in practice; a tiny ridge guards degeneracy.
+/// diagonal is safe in practice; a tiny ridge guards degeneracy. Pivot
+/// search and row swaps stay scalar (data-dependent); the row scale and
+/// eliminate passes are lane-parallel. Eliminate uses separate mul and
+/// sub, not Fma, to match the scalar expression under -ffp-contract=off.
+template <typename Abi>
 Mat4 Inverse(Mat4 a) {
+  using D = simd::Simd<double, Abi>;
+  constexpr int kW = D::kWidth;
   Mat4 inv = Identity();
   for (int col = 0; col < kN; ++col) {
     // Partial pivot.
@@ -79,43 +110,50 @@ Mat4 Inverse(Mat4 a) {
         std::swap(inv[col * kN + j], inv[pivot * kN + j]);
       }
     }
-    const double diag = Get(a, col, col);
-    for (int j = 0; j < kN; ++j) {
-      a[col * kN + j] /= diag;
-      inv[col * kN + j] /= diag;
+    const D diag(Get(a, col, col));
+    for (int j = 0; j < kN; j += kW) {
+      (D::Load(&a[col * kN + j]) / diag).Store(&a[col * kN + j]);
+      (D::Load(&inv[col * kN + j]) / diag).Store(&inv[col * kN + j]);
     }
     for (int r = 0; r < kN; ++r) {
       if (r == col) continue;
       const double factor = Get(a, r, col);
       if (factor == 0.0) continue;
-      for (int j = 0; j < kN; ++j) {
-        a[r * kN + j] -= factor * a[col * kN + j];
-        inv[r * kN + j] -= factor * inv[col * kN + j];
+      const D f(factor);
+      for (int j = 0; j < kN; j += kW) {
+        (D::Load(&a[r * kN + j]) - f * D::Load(&a[col * kN + j]))
+            .Store(&a[r * kN + j]);
+        (D::Load(&inv[r * kN + j]) - f * D::Load(&inv[col * kN + j]))
+            .Store(&inv[r * kN + j]);
       }
     }
   }
   return inv;
 }
 
-/// Velocity components implied by a report's speed/course. Course is the
-/// direction of travel, so ve = v*sin(course), vn = v*cos(course).
-void VelocityOf(const PositionReport& r, double* ve, double* vn) {
-  const double c = r.course_deg * kDegToRad;
-  *ve = r.speed_mps * std::sin(c);
-  *vn = r.speed_mps * std::cos(c);
-}
+/// One entity's mutable filter columns, bundled so the predict/update
+/// kernels read like the textbook equations.
+struct StateRef {
+  Vec4& x;
+  Mat4& p;
+  double& alt_m;
+  double& vrate_mps;
+  double& alt_var;
+  double& vrate_var;
+  double& alt_cov;
+};
 
-}  // namespace
-
-void KalmanPredictor::PredictStep(State* st, double dt_s) const {
+template <typename Abi>
+void PredictStep(const KalmanPredictor::Config& config, StateRef st,
+                 double dt_s) {
   Mat4 f = Identity();
   Set(&f, 0, 2, dt_s);
   Set(&f, 1, 3, dt_s);
-  st->x = MulVec(f, st->x);
-  Mat4 fp = Multiply(f, st->p);
-  st->p = Multiply(fp, Transpose(f));
+  st.x = MulVec<Abi>(f, st.x);
+  const Mat4 fp = Multiply<Abi>(f, st.p);
+  st.p = Multiply<Abi>(fp, Transpose(f));
   // White-noise acceleration process model.
-  const double q = config_.process_accel * config_.process_accel;
+  const double q = config.process_accel * config.process_accel;
   const double dt2 = dt_s * dt_s;
   Mat4 qm{};
   Set(&qm, 0, 0, q * dt2 * dt2 / 4);
@@ -126,116 +164,170 @@ void KalmanPredictor::PredictStep(State* st, double dt_s) const {
   Set(&qm, 3, 1, q * dt2 * dt_s / 2);
   Set(&qm, 2, 2, q * dt2);
   Set(&qm, 3, 3, q * dt2);
-  st->p = Add(st->p, qm);
+  st.p = Add<Abi>(st.p, qm);
 
   // Vertical channel.
-  const double qv = config_.process_vert_accel * config_.process_vert_accel;
-  st->alt_m += st->vrate_mps * dt_s;
-  const double new_alt_var = st->alt_var + 2 * dt_s * st->alt_cov +
-                             dt2 * st->vrate_var + qv * dt2 * dt2 / 4;
+  const double qv = config.process_vert_accel * config.process_vert_accel;
+  st.alt_m += st.vrate_mps * dt_s;
+  const double new_alt_var = st.alt_var + 2 * dt_s * st.alt_cov +
+                             dt2 * st.vrate_var + qv * dt2 * dt2 / 4;
   const double new_cov =
-      st->alt_cov + dt_s * st->vrate_var + qv * dt2 * dt_s / 2;
-  st->vrate_var += qv * dt2;
-  st->alt_var = new_alt_var;
-  st->alt_cov = new_cov;
+      st.alt_cov + dt_s * st.vrate_var + qv * dt2 * dt_s / 2;
+  st.vrate_var += qv * dt2;
+  st.alt_var = new_alt_var;
+  st.alt_cov = new_cov;
 }
 
-void KalmanPredictor::UpdateStep(State* st, const Vec4& z, double z_alt,
-                                 double z_vrate) const {
+template <typename Abi>
+void UpdateStep(const KalmanPredictor::Config& config, StateRef st,
+                const Vec4& z, double z_alt, double z_vrate) {
+  using D = simd::Simd<double, Abi>;
   Mat4 r{};
-  Set(&r, 0, 0, config_.meas_pos_m * config_.meas_pos_m);
-  Set(&r, 1, 1, config_.meas_pos_m * config_.meas_pos_m);
-  Set(&r, 2, 2, config_.meas_vel_mps * config_.meas_vel_mps);
-  Set(&r, 3, 3, config_.meas_vel_mps * config_.meas_vel_mps);
-  const Mat4 s = Add(st->p, r);
-  const Mat4 k = Multiply(st->p, Inverse(s));
+  Set(&r, 0, 0, config.meas_pos_m * config.meas_pos_m);
+  Set(&r, 1, 1, config.meas_pos_m * config.meas_pos_m);
+  Set(&r, 2, 2, config.meas_vel_mps * config.meas_vel_mps);
+  Set(&r, 3, 3, config.meas_vel_mps * config.meas_vel_mps);
+  const Mat4 s = Add<Abi>(st.p, r);
+  const Mat4 k = Multiply<Abi>(st.p, Inverse<Abi>(s));
   Vec4 innov;
-  for (int i = 0; i < kN; ++i) innov[i] = z[i] - st->x[i];
-  const Vec4 corr = MulVec(k, innov);
-  for (int i = 0; i < kN; ++i) st->x[i] += corr[i];
+  for (int i = 0; i < kN; ++i) innov[i] = z[i] - st.x[i];
+  const Vec4 corr = MulVec<Abi>(k, innov);
+  for (int i = 0; i < kN; ++i) st.x[i] += corr[i];
   Mat4 ik = Identity();
-  for (int i = 0; i < kN * kN; ++i) ik[i] -= k[i];
-  st->p = Multiply(ik, st->p);
+  for (int i = 0; i < kN * kN; i += D::kWidth) {
+    (D::Load(&ik[i]) - D::Load(&k[i])).Store(&ik[i]);
+  }
+  st.p = Multiply<Abi>(ik, st.p);
 
   // Vertical scalar update (sequential: altitude then rate).
   {
-    const double rr = config_.meas_alt_m * config_.meas_alt_m;
-    const double gain_a = st->alt_var / (st->alt_var + rr);
-    const double gain_c = st->alt_cov / (st->alt_var + rr);
-    const double resid = z_alt - st->alt_m;
-    st->alt_m += gain_a * resid;
-    st->vrate_mps += gain_c * resid;
-    st->vrate_var -= gain_c * st->alt_cov;
-    st->alt_cov *= (1 - gain_a);
-    st->alt_var *= (1 - gain_a);
+    const double rr = config.meas_alt_m * config.meas_alt_m;
+    const double gain_a = st.alt_var / (st.alt_var + rr);
+    const double gain_c = st.alt_cov / (st.alt_var + rr);
+    const double resid = z_alt - st.alt_m;
+    st.alt_m += gain_a * resid;
+    st.vrate_mps += gain_c * resid;
+    st.vrate_var -= gain_c * st.alt_cov;
+    st.alt_cov *= (1 - gain_a);
+    st.alt_var *= (1 - gain_a);
   }
   {
-    const double rr = config_.meas_vrate_mps * config_.meas_vrate_mps;
-    const double gain = st->vrate_var / (st->vrate_var + rr);
-    st->vrate_mps += gain * (z_vrate - st->vrate_mps);
-    st->vrate_var *= (1 - gain);
-    st->alt_cov *= (1 - gain);
+    const double rr = config.meas_vrate_mps * config.meas_vrate_mps;
+    const double gain = st.vrate_var / (st.vrate_var + rr);
+    st.vrate_mps += gain * (z_vrate - st.vrate_mps);
+    st.vrate_var *= (1 - gain);
+    st.alt_cov *= (1 - gain);
   }
 }
 
+}  // namespace
+
+std::uint32_t KalmanPredictor::StateSoa::Append() {
+  const std::uint32_t slot = static_cast<std::uint32_t>(x.size());
+  anchor.emplace_back();
+  x.emplace_back();
+  p.emplace_back();
+  alt_m.push_back(0.0);
+  vrate_mps.push_back(0.0);
+  alt_var.push_back(0.0);
+  vrate_var.push_back(0.0);
+  alt_cov.push_back(0.0);
+  last_time.push_back(0);
+  domain.push_back(Domain::kMaritime);
+  return slot;
+}
+
+template <typename Abi>
+void KalmanPredictor::ObserveWarm(std::uint32_t slot,
+                                  const PositionReport& report) {
+  const double dt_s =
+      static_cast<double>(report.timestamp - states_.last_time[slot]) / 1000.0;
+  if (dt_s < 0) return;  // out of order
+  StateRef st{states_.x[slot],        states_.p[slot],
+              states_.alt_m[slot],    states_.vrate_mps[slot],
+              states_.alt_var[slot],  states_.vrate_var[slot],
+              states_.alt_cov[slot]};
+  if (dt_s > 0) PredictStep<Abi>(config_, st, dt_s);
+
+  const EnuVector enu = ToEnu(states_.anchor[slot], report.position);
+  Vec4 z{enu.east_m, enu.north_m, 0.0, 0.0};
+  CourseToVelocityMps(report.course_deg, report.speed_mps, &z[2], &z[3]);
+  UpdateStep<Abi>(config_, st, z, report.position.alt_m,
+                  report.vertical_rate_mps);
+  states_.last_time[slot] = report.timestamp;
+}
+
 void KalmanPredictor::Observe(const PositionReport& report) {
-  State& st = state_[report.entity_id];
-  if (!st.warm) {
-    st.anchor = report.position;
-    st.x = {0.0, 0.0, 0.0, 0.0};
-    VelocityOf(report, &st.x[2], &st.x[3]);
-    st.p = {};
-    const double p0 = config_.meas_pos_m * config_.meas_pos_m;
-    const double v0 = config_.meas_vel_mps * config_.meas_vel_mps * 4;
-    Set(&st.p, 0, 0, p0);
-    Set(&st.p, 1, 1, p0);
-    Set(&st.p, 2, 2, v0);
-    Set(&st.p, 3, 3, v0);
-    st.alt_m = report.position.alt_m;
-    st.vrate_mps = report.vertical_rate_mps;
-    st.alt_var = config_.meas_alt_m * config_.meas_alt_m;
-    st.vrate_var = config_.meas_vrate_mps * config_.meas_vrate_mps * 4;
-    st.alt_cov = 0.0;
-    st.last_time = report.timestamp;
-    st.domain = report.domain;
-    st.warm = true;
+  const std::uint32_t* found = slot_.Find(report.entity_id);
+  if (found == nullptr) {
+    // Cold init: anchor the ENU frame here, seed velocity from the
+    // report and covariance from the measurement noise.
+    const std::uint32_t slot = states_.Append();
+    slot_[report.entity_id] = slot;
+    states_.anchor[slot] = report.position;
+    Vec4 x0{0.0, 0.0, 0.0, 0.0};
+    CourseToVelocityMps(report.course_deg, report.speed_mps, &x0[2], &x0[3]);
+    states_.x[slot] = x0;
+    Mat4 p0{};
+    const double pp = config_.meas_pos_m * config_.meas_pos_m;
+    const double vv = config_.meas_vel_mps * config_.meas_vel_mps * 4;
+    Set(&p0, 0, 0, pp);
+    Set(&p0, 1, 1, pp);
+    Set(&p0, 2, 2, vv);
+    Set(&p0, 3, 3, vv);
+    states_.p[slot] = p0;
+    states_.alt_m[slot] = report.position.alt_m;
+    states_.vrate_mps[slot] = report.vertical_rate_mps;
+    states_.alt_var[slot] = config_.meas_alt_m * config_.meas_alt_m;
+    states_.vrate_var[slot] =
+        config_.meas_vrate_mps * config_.meas_vrate_mps * 4;
+    states_.alt_cov[slot] = 0.0;
+    states_.last_time[slot] = report.timestamp;
+    states_.domain[slot] = report.domain;
     return;
   }
-  const double dt_s =
-      static_cast<double>(report.timestamp - st.last_time) / 1000.0;
-  if (dt_s < 0) return;  // out of order
-  if (dt_s > 0) PredictStep(&st, dt_s);
+  if (config_.force_scalar_simd) {
+    ObserveWarm<simd::scalar_abi>(*found, report);
+  } else {
+    ObserveWarm<simd::native_abi>(*found, report);
+  }
+}
 
-  const EnuVector enu = ToEnu(st.anchor, report.position);
-  Vec4 z{enu.east_m, enu.north_m, 0.0, 0.0};
-  VelocityOf(report, &z[2], &z[3]);
-  UpdateStep(&st, z, report.position.alt_m, report.vertical_rate_mps);
-  st.last_time = report.timestamp;
+void KalmanPredictor::ObserveBatch(std::span<const PositionReport> reports) {
+  DATACRON_TRACE_SPAN("forecast.kalman_batch", "forecast");
+  static obs::Counter* const reports_counter =
+      obs::MetricsRegistry::Global().counter("forecast.kalman_reports");
+  reports_counter->Add(reports.size());
+  for (const PositionReport& r : reports) Observe(r);
 }
 
 bool KalmanPredictor::Predict(EntityId entity, DurationMs horizon,
                               GeoPoint* out) const {
-  auto it = state_.find(entity);
-  if (it == state_.end() || !it->second.warm) return false;
-  const State& st = it->second;
+  const std::uint32_t* found = slot_.Find(entity);
+  if (found == nullptr) return false;
+  const std::uint32_t slot = *found;
   const double dt_s = horizon / 1000.0;
+  const Vec4& x = states_.x[slot];
   EnuVector enu;
-  enu.east_m = st.x[0] + st.x[2] * dt_s;
-  enu.north_m = st.x[1] + st.x[3] * dt_s;
-  enu.up_m = (st.alt_m + st.vrate_mps * dt_s) - st.anchor.alt_m;
-  *out = FromEnu(st.anchor, enu);
-  if (st.domain == Domain::kMaritime) out->alt_m = 0.0;
+  enu.east_m = x[0] + x[2] * dt_s;
+  enu.north_m = x[1] + x[3] * dt_s;
+  enu.up_m = (states_.alt_m[slot] + states_.vrate_mps[slot] * dt_s) -
+             states_.anchor[slot].alt_m;
+  *out = FromEnu(states_.anchor[slot], enu);
+  if (states_.domain[slot] == Domain::kMaritime) out->alt_m = 0.0;
   return true;
 }
 
 bool KalmanPredictor::CurrentEstimate(EntityId entity, GeoPoint* pos,
                                       double* ve_mps, double* vn_mps) const {
-  auto it = state_.find(entity);
-  if (it == state_.end() || !it->second.warm) return false;
-  const State& st = it->second;
-  *pos = FromEnu(st.anchor, {st.x[0], st.x[1], st.alt_m - st.anchor.alt_m});
-  *ve_mps = st.x[2];
-  *vn_mps = st.x[3];
+  const std::uint32_t* found = slot_.Find(entity);
+  if (found == nullptr) return false;
+  const std::uint32_t slot = *found;
+  const Vec4& x = states_.x[slot];
+  *pos = FromEnu(states_.anchor[slot],
+                 {x[0], x[1], states_.alt_m[slot] - states_.anchor[slot].alt_m});
+  *ve_mps = x[2];
+  *vn_mps = x[3];
   return true;
 }
 

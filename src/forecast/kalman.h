@@ -2,8 +2,11 @@
 #define DATACRON_FORECAST_KALMAN_H_
 
 #include <array>
-#include <map>
+#include <cstdint>
+#include <span>
+#include <vector>
 
+#include "common/flat_hash.h"
 #include "forecast/predictor.h"
 
 namespace datacron {
@@ -16,6 +19,15 @@ namespace datacron {
 ///
 /// The filter smooths observation noise, so at mid horizons it beats raw
 /// dead reckoning whose velocity estimate is one noisy sample.
+///
+/// Storage is a struct-of-arrays state block indexed by a dense slot id
+/// (FlatHashMap entity -> slot): one contiguous column per filter field,
+/// so a fleet-wide pass touches cache lines linearly instead of chasing
+/// std::map nodes. The 4x4 predict/update algebra runs through the
+/// portable SIMD layer (common/simd); rows of each matrix are vector
+/// lanes, and both abi instantiations accumulate in the same order, so
+/// forcing the scalar backend reproduces the native build's state
+/// bit-for-bit.
 class KalmanPredictor : public Predictor {
  public:
   struct Config {
@@ -29,6 +41,10 @@ class KalmanPredictor : public Predictor {
     double process_vert_accel = 0.5;
     double meas_alt_m = 30.0;
     double meas_vrate_mps = 1.0;
+    /// Runs the matrix kernels on the width-1 reference backend instead
+    /// of the native one. Results are bit-identical either way (tested);
+    /// the knob exists for that cross-check and for timing.
+    bool force_scalar_simd = false;
   };
 
   KalmanPredictor() : KalmanPredictor(Config()) {}
@@ -38,6 +54,10 @@ class KalmanPredictor : public Predictor {
 
   void Observe(const PositionReport& report) override;
 
+  /// Feeds a time-ordered slice of reports under one "forecast" trace
+  /// span; equivalent to calling Observe per report.
+  void ObserveBatch(std::span<const PositionReport> reports);
+
   bool Predict(EntityId entity, DurationMs horizon,
                GeoPoint* out) const override;
 
@@ -46,29 +66,40 @@ class KalmanPredictor : public Predictor {
   bool CurrentEstimate(EntityId entity, GeoPoint* pos, double* ve_mps,
                        double* vn_mps) const;
 
+  /// Number of entities with initialized filters.
+  std::size_t fleet_size() const { return states_.size(); }
+
  private:
   /// 4x4 covariance stored row-major.
   using Mat4 = std::array<double, 16>;
   using Vec4 = std::array<double, 4>;
 
-  struct State {
-    GeoPoint anchor;              // ENU reference
-    Vec4 x{};                     // [e, n, ve, vn]
-    Mat4 p{};                     // covariance
-    double alt_m = 0.0;           // vertical CV filter state
-    double vrate_mps = 0.0;
-    double alt_var = 0.0, vrate_var = 0.0, alt_cov = 0.0;
-    TimestampMs last_time = 0;
-    Domain domain = Domain::kMaritime;
-    bool warm = false;
+  /// Struct-of-arrays filter state; column i belongs to the entity that
+  /// slot_ maps to i. Slots are append-only (entities are never
+  /// evicted), so raw column pointers stay valid between rehashes of the
+  /// id map but not across Append calls.
+  struct StateSoa {
+    std::vector<GeoPoint> anchor;  // ENU reference
+    std::vector<Vec4> x;           // [e, n, ve, vn]
+    std::vector<Mat4> p;           // covariance
+    std::vector<double> alt_m;     // vertical CV filter state
+    std::vector<double> vrate_mps;
+    std::vector<double> alt_var, vrate_var, alt_cov;
+    std::vector<TimestampMs> last_time;
+    std::vector<Domain> domain;
+
+    std::size_t size() const { return x.size(); }
+    std::uint32_t Append();
   };
 
-  void PredictStep(State* st, double dt_s) const;
-  void UpdateStep(State* st, const Vec4& z, double z_alt,
-                  double z_vrate) const;
+  /// Warm-path predict+update, templated over the SIMD abi so the
+  /// force_scalar_simd cross-check runs the identical source.
+  template <typename Abi>
+  void ObserveWarm(std::uint32_t slot, const PositionReport& report);
 
   Config config_;
-  std::map<EntityId, State> state_;
+  StateSoa states_;
+  FlatHashMap<EntityId, std::uint32_t> slot_;
 };
 
 }  // namespace datacron

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "geo/kernels.h"
 #include "trajectory/similarity.h"
 
 namespace datacron {
@@ -43,6 +44,9 @@ bool RoutePredictor::Predict(EntityId entity, DurationMs horizon,
   double best_dist = std::numeric_limits<double>::infinity();
   std::size_t best_route = 0, best_point = 0;
   if (point_index_ != nullptr) {
+    // One latitude cosine for the whole candidate scan: every candidate
+    // is within the match radius of the query, so the scale is shared.
+    const double cos_lat = std::cos(r.position.lat_deg * kDegToRad);
     for (std::uint64_t packed :
          point_index_->NeighborhoodCandidates(r.position.ll())) {
       const std::size_t ri = packed >> 32;
@@ -53,7 +57,8 @@ bool RoutePredictor::Predict(EntityId entity, DurationMs horizon,
         continue;
       }
       const double d =
-          EquirectangularMeters(mp.position.ll(), r.position.ll());
+          EquirectangularMetersWithCos(cos_lat, mp.position.ll(),
+                                       r.position.ll());
       if (d < best_dist) {
         best_dist = d;
         best_route = ri;

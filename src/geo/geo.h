@@ -90,6 +90,17 @@ GeoPoint FromEnu(const GeoPoint& ref, const EnuVector& enu);
 /// Smallest absolute difference between two courses, in [0, 180].
 double CourseDifferenceDeg(double a_deg, double b_deg);
 
+/// East/north velocity components of a course-over-ground + speed pair.
+/// Inline so every caller (CPA core, FleetSnapshot precompute, Kalman
+/// init) evaluates the identical libm expression — the precomputed
+/// columns must match on-the-fly computation bit for bit.
+inline void CourseToVelocityMps(double course_deg, double speed_mps,
+                                double* ve_mps, double* vn_mps) {
+  const double c = course_deg * kDegToRad;
+  *ve_mps = speed_mps * std::sin(c);
+  *vn_mps = speed_mps * std::cos(c);
+}
+
 /// Cross-track distance (meters) from point `p` to the great-circle segment
 /// (a, b), clamped to the segment (so endpoints count). Planar
 /// approximation; used by trajectory compression error metrics.

@@ -1,0 +1,229 @@
+#include "geo/kernels.h"
+
+#include <cmath>
+
+#include "common/simd/math.h"
+
+namespace datacron {
+
+namespace {
+
+// Each kernel is written once over the abi tag; the dispatch wrappers
+// below run [0, main) at the native width and the remainder at width 1.
+// Callers of the *Impl templates guarantee (end - begin) % kWidth == 0.
+
+/// Sequential antimeridian wrap, matching the two `if`s in
+/// EquirectangularMeters/ToEnu (the second test sees the adjusted
+/// value).
+template <typename Abi>
+inline simd::Simd<double, Abi> WrapDlon(simd::Simd<double, Abi> dlon) {
+  using D = simd::Simd<double, Abi>;
+  dlon = Select(dlon > D(180.0), dlon - D(360.0), dlon);
+  dlon = Select(dlon < D(-180.0), dlon + D(360.0), dlon);
+  return dlon;
+}
+
+/// Haversine on already-loaded lanes. Mirrors HaversineMeters op for
+/// op, with poly trig in place of libm (ULP-bound class).
+template <typename Abi>
+inline simd::Simd<double, Abi> HaversineLanes(simd::Simd<double, Abi> a_lat,
+                                              simd::Simd<double, Abi> a_lon,
+                                              simd::Simd<double, Abi> b_lat,
+                                              simd::Simd<double, Abi> b_lon) {
+  using D = simd::Simd<double, Abi>;
+  const D lat1 = a_lat * D(kDegToRad);
+  const D lat2 = b_lat * D(kDegToRad);
+  const D dlat = (b_lat - a_lat) * D(kDegToRad);
+  const D dlon = (b_lon - a_lon) * D(kDegToRad);
+  D sin_dlat, cos_half_dlat, sin_dlon, cos_half_dlon, sin1, cos1, sin2, cos2;
+  simd::SinCos<Abi>(dlat * D(0.5), &sin_dlat, &cos_half_dlat);
+  simd::SinCos<Abi>(dlon * D(0.5), &sin_dlon, &cos_half_dlon);
+  simd::SinCos<Abi>(lat1, &sin1, &cos1);
+  simd::SinCos<Abi>(lat2, &sin2, &cos2);
+  const D h = sin_dlat * sin_dlat + ((cos1 * cos2) * sin_dlon) * sin_dlon;
+  // Min's MINPD semantics give 1.0 on a NaN radicand, exactly like
+  // std::min(1.0, sqrt(h)) in the scalar code.
+  return D(2.0 * kEarthRadiusMeters) * simd::Asin<Abi>(Min(Sqrt(h), D(1.0)));
+}
+
+template <typename Abi>
+void HaversineImpl(const double* a_lat, const double* a_lon,
+                   const double* b_lat, const double* b_lon,
+                   std::size_t begin, std::size_t end, double* out) {
+  using D = simd::Simd<double, Abi>;
+  for (std::size_t i = begin; i < end; i += D::kWidth) {
+    const D d = HaversineLanes<Abi>(D::Load(a_lat + i), D::Load(a_lon + i),
+                                    D::Load(b_lat + i), D::Load(b_lon + i));
+    d.Store(out + i);
+  }
+}
+
+template <typename Abi>
+void EquirectImpl(double cos_lat, const double* a_lat, const double* a_lon,
+                  const double* b_lat, const double* b_lon, std::size_t begin,
+                  std::size_t end, double* out) {
+  using D = simd::Simd<double, Abi>;
+  const D cosm(cos_lat);
+  for (std::size_t i = begin; i < end; i += D::kWidth) {
+    const D al = D::Load(a_lat + i);
+    const D bl = D::Load(b_lat + i);
+    const D dlon = WrapDlon<Abi>(D::Load(b_lon + i) - D::Load(a_lon + i));
+    const D x = (dlon * D(kDegToRad)) * cosm;
+    const D y = (bl - al) * D(kDegToRad);
+    const D d = D(kEarthRadiusMeters) * Sqrt(x * x + y * y);
+    d.Store(out + i);
+  }
+}
+
+template <typename Abi>
+void PointToSegmentImpl(double a_lat, double a_lon, double cos_lat0,
+                        double vb_e, double vb_n, double seg_len2,
+                        const double* p_lat, const double* p_lon,
+                        std::size_t begin, std::size_t end, double* out) {
+  using D = simd::Simd<double, Abi>;
+  for (std::size_t i = begin; i < end; i += D::kWidth) {
+    const D dlon = WrapDlon<Abi>(D::Load(p_lon + i) - D(a_lon));
+    const D vp_e = ((dlon * D(kDegToRad)) * D(cos_lat0)) * D(kEarthRadiusMeters);
+    const D vp_n =
+        ((D::Load(p_lat + i) - D(a_lat)) * D(kDegToRad)) * D(kEarthRadiusMeters);
+    D d;
+    if (seg_len2 <= 1e-12) {
+      d = Sqrt(vp_e * vp_e + vp_n * vp_n);
+    } else {
+      D t = (vp_e * D(vb_e) + vp_n * D(vb_n)) / D(seg_len2);
+      // std::clamp(t, 0, 1) spelled as its exact select sequence so a
+      // NaN t passes through unchanged, like the scalar code.
+      t = Select(t < D(0.0), D(0.0), Select(D(1.0) < t, D(1.0), t));
+      const D dx = vp_e - t * D(vb_e);
+      const D dy = vp_n - t * D(vb_n);
+      d = Sqrt(dx * dx + dy * dy);
+    }
+    d.Store(out + i);
+  }
+}
+
+template <typename Abi>
+void SedImpl(double a_lat, double a_lon, double a_alt, double a_ts,
+             double b_lat, double b_lon, double b_alt, double b_ts,
+             const double* p_lat, const double* p_lon, const double* p_alt,
+             const double* p_ts, std::size_t begin, std::size_t end,
+             double* out) {
+  using D = simd::Simd<double, Abi>;
+  const double span = b_ts - a_ts;
+  for (std::size_t i = begin; i < end; i += D::kWidth) {
+    D f = span > 0 ? (D::Load(p_ts + i) - D(a_ts)) / D(span) : D(0.0);
+    f = Select(f < D(0.0), D(0.0), Select(D(1.0) < f, D(1.0), f));
+    const D s_lat = D(a_lat) + f * (D(b_lat) - D(a_lat));
+    const D s_lon = D(a_lon) + f * (D(b_lon) - D(a_lon));
+    const D s_alt = D(a_alt) + f * (D(b_alt) - D(a_alt));
+    const D pl = D::Load(p_lat + i);
+    const D po = D::Load(p_lon + i);
+    const D horizontal = HaversineLanes<Abi>(s_lat, s_lon, pl, po);
+    const D dalt = D::Load(p_alt + i) - s_alt;
+    const D d = Sqrt(horizontal * horizontal + dalt * dalt);
+    d.Store(out + i);
+  }
+}
+
+template <typename Abi>
+void BboxContainsImpl(const BboxSoa& boxes, double p_lat, double p_lon,
+                      std::size_t begin, std::size_t end, std::uint8_t* out) {
+  using D = simd::Simd<double, Abi>;
+  const D lat(p_lat);
+  const D lon(p_lon);
+  for (std::size_t i = begin; i < end; i += D::kWidth) {
+    const auto hit = (lat >= D::Load(boxes.min_lat.data() + i)) &&
+                     (lat <= D::Load(boxes.max_lat.data() + i)) &&
+                     (lon >= D::Load(boxes.min_lon.data() + i)) &&
+                     (lon <= D::Load(boxes.max_lon.data() + i));
+    hit.StoreBytes(out + i);
+  }
+}
+
+/// Split [0, n) into a native-width-aligned head and a scalar tail.
+inline std::size_t MainSpan(std::size_t n, SimdDispatch dispatch) {
+  if (dispatch != SimdDispatch::kNative) return 0;
+  return n - n % static_cast<std::size_t>(simd::kNativeWidth);
+}
+
+}  // namespace
+
+int SimdNativeWidth() { return simd::kNativeWidth; }
+
+const char* SimdBackendName() { return simd::NativeBackendName(); }
+
+void HaversineMetersBatch(const double* a_lat_deg, const double* a_lon_deg,
+                          const double* b_lat_deg, const double* b_lon_deg,
+                          std::size_t n, double* out_m, SimdDispatch dispatch) {
+  const std::size_t main = MainSpan(n, dispatch);
+  HaversineImpl<simd::native_abi>(a_lat_deg, a_lon_deg, b_lat_deg, b_lon_deg,
+                                  0, main, out_m);
+  HaversineImpl<simd::scalar_abi>(a_lat_deg, a_lon_deg, b_lat_deg, b_lon_deg,
+                                  main, n, out_m);
+}
+
+void EquirectangularMetersBatch(double cos_lat, const double* a_lat_deg,
+                                const double* a_lon_deg,
+                                const double* b_lat_deg,
+                                const double* b_lon_deg, std::size_t n,
+                                double* out_m, SimdDispatch dispatch) {
+  const std::size_t main = MainSpan(n, dispatch);
+  EquirectImpl<simd::native_abi>(cos_lat, a_lat_deg, a_lon_deg, b_lat_deg,
+                                 b_lon_deg, 0, main, out_m);
+  EquirectImpl<simd::scalar_abi>(cos_lat, a_lat_deg, a_lon_deg, b_lat_deg,
+                                 b_lon_deg, main, n, out_m);
+}
+
+double EquirectangularMetersWithCos(double cos_lat, const LatLon& a,
+                                    const LatLon& b) {
+  double out;
+  EquirectImpl<simd::scalar_abi>(cos_lat, &a.lat_deg, &a.lon_deg, &b.lat_deg,
+                                 &b.lon_deg, 0, 1, &out);
+  return out;
+}
+
+void PointToSegmentMetersBatch(const LatLon& a, const LatLon& b,
+                               const double* p_lat_deg,
+                               const double* p_lon_deg, std::size_t n,
+                               double* out_m, SimdDispatch dispatch) {
+  // Hoist the per-segment frame exactly as PointToSegmentMeters builds
+  // it per call: ENU around `a`, so cos(a.lat) is the only cosine.
+  const GeoPoint ref{a.lat_deg, a.lon_deg, 0.0};
+  const EnuVector vb = ToEnu(ref, {b.lat_deg, b.lon_deg, 0.0});
+  const double seg_len2 = vb.east_m * vb.east_m + vb.north_m * vb.north_m;
+  const double cos_lat0 = std::cos(a.lat_deg * kDegToRad);
+  const std::size_t main = MainSpan(n, dispatch);
+  PointToSegmentImpl<simd::native_abi>(a.lat_deg, a.lon_deg, cos_lat0,
+                                       vb.east_m, vb.north_m, seg_len2,
+                                       p_lat_deg, p_lon_deg, 0, main, out_m);
+  PointToSegmentImpl<simd::scalar_abi>(a.lat_deg, a.lon_deg, cos_lat0,
+                                       vb.east_m, vb.north_m, seg_len2,
+                                       p_lat_deg, p_lon_deg, main, n, out_m);
+}
+
+void SedMetersBatch(double a_lat_deg, double a_lon_deg, double a_alt_m,
+                    double a_ts, double b_lat_deg, double b_lon_deg,
+                    double b_alt_m, double b_ts, const double* p_lat_deg,
+                    const double* p_lon_deg, const double* p_alt_m,
+                    const double* p_ts, std::size_t n, double* out_m,
+                    SimdDispatch dispatch) {
+  const std::size_t main = MainSpan(n, dispatch);
+  SedImpl<simd::native_abi>(a_lat_deg, a_lon_deg, a_alt_m, a_ts, b_lat_deg,
+                            b_lon_deg, b_alt_m, b_ts, p_lat_deg, p_lon_deg,
+                            p_alt_m, p_ts, 0, main, out_m);
+  SedImpl<simd::scalar_abi>(a_lat_deg, a_lon_deg, a_alt_m, a_ts, b_lat_deg,
+                            b_lon_deg, b_alt_m, b_ts, p_lat_deg, p_lon_deg,
+                            p_alt_m, p_ts, main, n, out_m);
+}
+
+void BboxContainsBatch(const BboxSoa& boxes, const LatLon& p,
+                       std::uint8_t* out, SimdDispatch dispatch) {
+  const std::size_t n = boxes.size();
+  const std::size_t main = MainSpan(n, dispatch);
+  BboxContainsImpl<simd::native_abi>(boxes, p.lat_deg, p.lon_deg, 0, main,
+                                     out);
+  BboxContainsImpl<simd::scalar_abi>(boxes, p.lat_deg, p.lon_deg, main, n,
+                                     out);
+}
+
+}  // namespace datacron

@@ -1,0 +1,116 @@
+// Batched (struct-of-arrays) geometry kernels over the portable SIMD
+// layer in common/simd.
+//
+// Two correctness classes, enforced by tests/geo_property_test.cc:
+//
+//   * Bit-identical kernels — PointToSegmentMetersBatch,
+//     EquirectangularMetersBatch, BboxContainsBatch. Pure arithmetic
+//     per lane (any transcendental is hoisted out and passed in as a
+//     precomputed scalar), so every lane equals the legacy scalar
+//     function bit for bit, on every backend. Safe to feed event
+//     gates and compression keep-decisions.
+//
+//   * ULP-bound kernels — HaversineMetersBatch, SedMetersBatch. These
+//     need sin/cos/asin per lane and use the polynomial forms in
+//     common/simd/math.h instead of libm, so they agree with the
+//     scalar HaversineMeters/SedMeters to ~1e-13 relative (a few ulp
+//     through the trig), not bitwise. Across backends they are still
+//     bit-identical lane for lane. Distances only — never gates.
+//
+// Every entry point takes a SimdDispatch: kNative runs full vectors
+// at the compile-time native width with a scalar-abi remainder tail;
+// kScalarOnly runs the width-1 reference end to end. Outputs are
+// identical either way.
+#ifndef DATACRON_GEO_KERNELS_H_
+#define DATACRON_GEO_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/simd/simd.h"
+#include "geo/bbox.h"
+#include "geo/geo.h"
+
+namespace datacron {
+
+/// Native lane count (4 on AVX2 builds, 1 on forced-scalar builds).
+int SimdNativeWidth();
+/// "avx2" or "scalar".
+const char* SimdBackendName();
+
+/// out_m[i] = HaversineMeters({a_lat[i], a_lon[i]}, {b_lat[i], b_lon[i]})
+/// to within the ULP bound above.
+void HaversineMetersBatch(const double* a_lat_deg, const double* a_lon_deg,
+                          const double* b_lat_deg, const double* b_lon_deg,
+                          std::size_t n, double* out_m,
+                          SimdDispatch dispatch = SimdDispatch::kNative);
+
+/// Equirectangular distance with the latitude cosine precomputed by the
+/// caller (the satellite fix: loops used to recompute cos(mean_lat) per
+/// pair even when the reference latitude was loop-invariant).
+/// Bit-identical to EquirectangularMeters when `cos_lat` is computed as
+/// std::cos((a_lat+b_lat)*0.5*kDegToRad) for that pair.
+void EquirectangularMetersBatch(double cos_lat, const double* a_lat_deg,
+                                const double* a_lon_deg,
+                                const double* b_lat_deg,
+                                const double* b_lon_deg, std::size_t n,
+                                double* out_m,
+                                SimdDispatch dispatch = SimdDispatch::kNative);
+
+/// Scalar convenience over the same kernel, for loops where one endpoint
+/// is fixed: hoist `cos_lat` once, call per pair.
+double EquirectangularMetersWithCos(double cos_lat, const LatLon& a,
+                                    const LatLon& b);
+
+/// out_m[i] = PointToSegmentMeters({p_lat[i], p_lon[i]}, a, b), bit for
+/// bit. The segment frame (ENU around `a`, cos(a.lat)) is hoisted once.
+void PointToSegmentMetersBatch(const LatLon& a, const LatLon& b,
+                               const double* p_lat_deg,
+                               const double* p_lon_deg, std::size_t n,
+                               double* out_m,
+                               SimdDispatch dispatch = SimdDispatch::kNative);
+
+/// Synchronized Euclidean Distance of points p[i] against uniform motion
+/// a -> b. Timestamps are passed as doubles on a common per-track epoch
+/// (exact for spans < 2^53 ms) so f = (p_ts - a_ts) / (b_ts - a_ts)
+/// divides the same values SedMeters does. ULP-bound class (haversine
+/// inside).
+void SedMetersBatch(double a_lat_deg, double a_lon_deg, double a_alt_m,
+                    double a_ts, double b_lat_deg, double b_lon_deg,
+                    double b_alt_m, double b_ts, const double* p_lat_deg,
+                    const double* p_lon_deg, const double* p_alt_m,
+                    const double* p_ts, std::size_t n, double* out_m,
+                    SimdDispatch dispatch = SimdDispatch::kNative);
+
+/// Struct-of-arrays mirror of a BoundingBox list, for testing one point
+/// against many boxes (capacity sectors) with boxes as lanes.
+struct BboxSoa {
+  std::vector<double> min_lat, min_lon, max_lat, max_lon;
+
+  std::size_t size() const { return min_lat.size(); }
+
+  void Clear() {
+    min_lat.clear();
+    min_lon.clear();
+    max_lat.clear();
+    max_lon.clear();
+  }
+
+  void Add(const BoundingBox& b) {
+    min_lat.push_back(b.min_lat);
+    min_lon.push_back(b.min_lon);
+    max_lat.push_back(b.max_lat);
+    max_lon.push_back(b.max_lon);
+  }
+};
+
+/// out[i] = boxes[i].Contains(p) ? 1 : 0, bit-identical to the scalar
+/// predicate (ordered comparisons: NaN coordinates contain nothing).
+void BboxContainsBatch(const BboxSoa& boxes, const LatLon& p,
+                       std::uint8_t* out,
+                       SimdDispatch dispatch = SimdDispatch::kNative);
+
+}  // namespace datacron
+
+#endif  // DATACRON_GEO_KERNELS_H_

@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "geo/kernels.h"
+
 namespace datacron {
 
 namespace {
@@ -72,12 +74,18 @@ std::vector<EntityLink> LinkDiscovery::DiscoverProximityImpl(
   }
 
   LinkCollector collector(config_.time_tolerance);
-  auto verify = [&](const PositionReport* x, const PositionReport* y) {
+  // `cos_lat` is the hoisted equirectangular latitude scale — callers
+  // compute it once per fixed left endpoint instead of per pair (the
+  // lat spread within a proximity neighborhood keeps the error well
+  // under the threshold's resolution).
+  auto verify = [&](const PositionReport* x, const PositionReport* y,
+                    double cos_lat) {
     if (x->entity_id == y->entity_id) return;
     if (std::llabs(x->timestamp - y->timestamp) > config_.time_tolerance)
       return;
     const double d =
-        EquirectangularMeters(x->position.ll(), y->position.ll());
+        EquirectangularMetersWithCos(cos_lat, x->position.ll(),
+                                     y->position.ll());
     if (d <= config_.proximity_threshold_m) collector.Offer(*x, *y, d);
   };
 
@@ -100,11 +108,13 @@ std::vector<EntityLink> LinkDiscovery::DiscoverProximityImpl(
 
     if (!blocked) {
       for (std::size_t i = 0; i < pool.size(); ++i) {
+        const double cos_i =
+            std::cos(pool[i]->position.lat_deg * kDegToRad);
         // Avoid re-reporting next-frame-internal pairs: only pairs with at
         // least one endpoint in the current frame.
         for (std::size_t j = i + 1; j < pool.size(); ++j) {
           if (i >= own_count && j >= own_count) continue;
-          verify(pool[i], pool[j]);
+          verify(pool[i], pool[j], cos_i);
         }
       }
       continue;
@@ -115,11 +125,12 @@ std::vector<EntityLink> LinkDiscovery::DiscoverProximityImpl(
       index.Insert(pool[i]->position.ll(), i);
     }
     for (std::size_t i = 0; i < pool.size(); ++i) {
+      const double cos_i = std::cos(pool[i]->position.lat_deg * kDegToRad);
       for (std::size_t j :
            index.NeighborhoodCandidates(pool[i]->position.ll())) {
         if (j <= i) continue;
         if (i >= own_count && j >= own_count) continue;
-        verify(pool[i], pool[j]);
+        verify(pool[i], pool[j], cos_i);
       }
     }
   }
@@ -190,9 +201,11 @@ std::vector<EntityLink> TrueEncounters(const std::vector<TruthTrace>& traces,
       if (tr.StateAt(t, &r)) states.push_back(r);
     }
     for (std::size_t i = 0; i < states.size(); ++i) {
+      // Same first-endpoint cosine convention as the discovery paths.
+      const double cos_i = std::cos(states[i].position.lat_deg * kDegToRad);
       for (std::size_t j = i + 1; j < states.size(); ++j) {
-        const double d = EquirectangularMeters(states[i].position.ll(),
-                                               states[j].position.ll());
+        const double d = EquirectangularMetersWithCos(
+            cos_i, states[i].position.ll(), states[j].position.ll());
         if (d <= threshold_m) collector.Offer(states[i], states[j], d);
       }
     }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "geo/geo.h"
+#include "geo/kernels.h"
 
 namespace datacron {
 
@@ -68,38 +70,69 @@ double SedMeters(const PositionReport& a, const PositionReport& b,
 
 namespace {
 
-/// Shared recursive skeleton: `deviation(a, b, p)` scores how badly `p`
-/// deviates from the segment (a, b).
-template <typename DeviationFn>
-void DpRecurse(const std::vector<PositionReport>& pts, std::size_t first,
-               std::size_t last, double epsilon,
-               const DeviationFn& deviation, std::vector<bool>* keep) {
-  if (last <= first + 1) return;
-  double worst = -1.0;
-  std::size_t worst_idx = first;
-  for (std::size_t i = first + 1; i < last; ++i) {
-    const double d = deviation(pts[first], pts[last], pts[i]);
-    if (d > worst) {
-      worst = d;
-      worst_idx = i;
+/// Struct-of-arrays copy of one entity's track, built once per DP run
+/// so segment deviations evaluate as contiguous SIMD lanes. Timestamps
+/// are stored as doubles relative to the first point: exact for spans
+/// below 2^53 ms, and differences of exactly-represented integers stay
+/// exact, so the SED time fraction divides the same values the
+/// report-based SedMeters does.
+struct TrackSoa {
+  std::vector<double> lat, lon, alt, ts;
+
+  void Build(const std::vector<PositionReport>& pts) {
+    const std::size_t n = pts.size();
+    lat.resize(n);
+    lon.resize(n);
+    alt.resize(n);
+    ts.resize(n);
+    const TimestampMs t0 = pts.front().timestamp;
+    for (std::size_t i = 0; i < n; ++i) {
+      lat[i] = pts[i].position.lat_deg;
+      lon[i] = pts[i].position.lon_deg;
+      alt[i] = pts[i].position.alt_m;
+      ts[i] = static_cast<double>(pts[i].timestamp - t0);
     }
   }
-  if (worst > epsilon) {
-    (*keep)[worst_idx] = true;
-    DpRecurse(pts, first, worst_idx, epsilon, deviation, keep);
-    DpRecurse(pts, worst_idx, last, epsilon, deviation, keep);
-  }
-}
+};
 
-template <typename DeviationFn>
+/// Shared Douglas-Peucker skeleton, explicit-stack iterative so
+/// adversarial tracks (every point kept -> recursion depth ~ n) cannot
+/// blow the call stack. `deviation(first, last, dev)` scores interior
+/// points against segment (first, last) into dev[first+1 .. last-1].
+/// Pushes (worst, last) before (first, worst) to walk segments in the
+/// old recursion's order; the first-encounter argmax tie-break is
+/// unchanged, so the kept set matches the recursive form exactly.
+template <typename BatchDeviationFn>
 std::vector<PositionReport> DpRun(const std::vector<PositionReport>& points,
                                   double epsilon,
-                                  const DeviationFn& deviation) {
+                                  const BatchDeviationFn& deviation) {
   if (points.size() <= 2) return points;
   std::vector<bool> keep(points.size(), false);
   keep.front() = true;
   keep.back() = true;
-  DpRecurse(points, 0, points.size() - 1, epsilon, deviation, &keep);
+  std::vector<double> dev(points.size());
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  stack.reserve(64);
+  stack.emplace_back(0, points.size() - 1);
+  while (!stack.empty()) {
+    const auto [first, last] = stack.back();
+    stack.pop_back();
+    if (last <= first + 1) continue;
+    deviation(first, last, dev.data());
+    double worst = -1.0;
+    std::size_t worst_idx = first;
+    for (std::size_t i = first + 1; i < last; ++i) {
+      if (dev[i] > worst) {
+        worst = dev[i];
+        worst_idx = i;
+      }
+    }
+    if (worst > epsilon) {
+      keep[worst_idx] = true;
+      stack.emplace_back(worst_idx, last);
+      stack.emplace_back(first, worst_idx);
+    }
+  }
   std::vector<PositionReport> out;
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (keep[i]) out.push_back(points[i]);
@@ -111,18 +144,36 @@ std::vector<PositionReport> DpRun(const std::vector<PositionReport>& points,
 
 std::vector<PositionReport> DouglasPeucker(
     const std::vector<PositionReport>& points, double epsilon_m) {
+  if (points.size() <= 2) return points;
+  TrackSoa soa;
+  soa.Build(points);
+  // PointToSegmentMetersBatch is the bit-identical kernel class: the
+  // kept set equals the legacy per-point PointToSegmentMeters loop's.
   return DpRun(points, epsilon_m,
-               [](const PositionReport& a, const PositionReport& b,
-                  const PositionReport& p) {
-                 return PointToSegmentMeters(p.position.ll(),
-                                             a.position.ll(),
-                                             b.position.ll());
+               [&soa](std::size_t f, std::size_t l, double* dev) {
+                 PointToSegmentMetersBatch(
+                     {soa.lat[f], soa.lon[f]}, {soa.lat[l], soa.lon[l]},
+                     soa.lat.data() + f + 1, soa.lon.data() + f + 1,
+                     l - f - 1, dev + f + 1);
                });
 }
 
 std::vector<PositionReport> DouglasPeuckerSed(
     const std::vector<PositionReport>& points, double epsilon_m) {
-  return DpRun(points, epsilon_m, SedMeters);
+  if (points.size() <= 2) return points;
+  TrackSoa soa;
+  soa.Build(points);
+  // SedMetersBatch is ULP-bound (polynomial haversine inside): kept
+  // sets can differ from the libm SedMeters only when a deviation sits
+  // within ~1e-13 relative of epsilon.
+  return DpRun(points, epsilon_m,
+               [&soa](std::size_t f, std::size_t l, double* dev) {
+                 SedMetersBatch(soa.lat[f], soa.lon[f], soa.alt[f], soa.ts[f],
+                                soa.lat[l], soa.lon[l], soa.alt[l], soa.ts[l],
+                                soa.lat.data() + f + 1, soa.lon.data() + f + 1,
+                                soa.alt.data() + f + 1, soa.ts.data() + f + 1,
+                                l - f - 1, dev + f + 1);
+               });
 }
 
 bool InterpolateAt(const std::vector<PositionReport>& kept, TimestampMs t,

@@ -4,10 +4,14 @@
 // consistency (innovations bounded by covariance).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "cep/cpa.h"
 #include "common/rng.h"
+#include "common/simd/simd.h"
 #include "forecast/kalman.h"
 
 namespace datacron {
@@ -146,6 +150,142 @@ TEST_P(KalmanConsistencyTest, EstimateErrorBoundedUnderNoise) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KalmanConsistencyTest,
                          ::testing::Range(0, 20));
+
+// ----------------------------------------------------------- SIMD batch
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void ExpectBitEqual(const CpaResult& a, const CpaResult& b,
+                    const std::string& what) {
+  EXPECT_EQ(Bits(a.t_cpa_s), Bits(b.t_cpa_s)) << what;
+  EXPECT_EQ(Bits(a.d_cpa_m), Bits(b.d_cpa_m)) << what;
+  EXPECT_EQ(Bits(a.d_alt_m), Bits(b.d_alt_m)) << what;
+  EXPECT_EQ(Bits(a.d_now_m), Bits(b.d_now_m)) << what;
+}
+
+/// Fleet with deliberate pathologies: NaN speed, near-pole, antimeridian
+/// straddles, misaligned timestamps.
+FleetSnapshot AdversarialFleet(Rng* rng, std::size_t rows) {
+  FleetSnapshot fleet;
+  for (std::size_t i = 0; i < rows; ++i) {
+    PositionReport r = RandomState(rng, 1000000 - rng->UniformInt(0, 90) * 1000);
+    switch (i % 5) {
+      case 1:
+        r.position.lat_deg = rng->Uniform(89.0, 90.0);
+        break;
+      case 2:
+        r.position.lon_deg =
+            (i % 2 ? 1 : -1) * rng->Uniform(179.9, 180.0);
+        break;
+      case 3:
+        r.speed_mps = std::nan("");
+        break;
+      case 4:
+        r.speed_mps = 0.0;  // exercises the no-relative-motion branch
+        r.course_deg = 0.0;
+        break;
+      default:
+        break;
+    }
+    r.position.alt_m = rng->Uniform(0, 10000);
+    r.vertical_rate_mps = rng->Uniform(-10, 10);
+    fleet.Append(r);
+  }
+  return fleet;
+}
+
+class CpaBatchEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpaBatchEquivalenceTest, BatchMatchesSingleAndScalarDispatchBitwise) {
+  Rng rng(16000 + GetParam());
+  const std::size_t w = static_cast<std::size_t>(simd::kNativeWidth);
+  // Every batch length through several vectors, covering ragged tails.
+  for (std::size_t n = 1; n <= 3 * w + 1; ++n) {
+    const FleetSnapshot fleet =
+        AdversarialFleet(&rng, std::max<std::size_t>(4, n / 2 + 2));
+    std::vector<CpaPair> pairs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pairs[i].a_row =
+          static_cast<std::uint32_t>(rng.UniformInt(0, fleet.size() - 1));
+      pairs[i].b_row =
+          static_cast<std::uint32_t>(rng.UniformInt(0, fleet.size() - 1));
+    }
+    std::vector<CpaResult> native(n), scalar(n);
+    ComputeCpaBatch(fleet, pairs.data(), n, native.data(),
+                    SimdDispatch::kNative);
+    ComputeCpaBatch(fleet, pairs.data(), n, scalar.data(),
+                    SimdDispatch::kScalarOnly);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string tag =
+          "n=" + std::to_string(n) + " i=" + std::to_string(i);
+      // Native lanes == forced-scalar lanes, bit for bit.
+      ExpectBitEqual(native[i], scalar[i], "dispatch " + tag);
+      // Batch == the one-pair snapshot entry point.
+      ExpectBitEqual(native[i],
+                     ComputeCpa(fleet, pairs[i].a_row, pairs[i].b_row),
+                     "single " + tag);
+      // Batch == the report-based entry point (the pre-SoA API).
+      ExpectBitEqual(native[i],
+                     ComputeCpa(fleet.ReportAt(pairs[i].a_row),
+                                fleet.ReportAt(pairs[i].b_row)),
+                     "report " + tag);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpaBatchEquivalenceTest,
+                         ::testing::Range(0, 15));
+
+// --------------------------------------------- Kalman backend equality
+
+class KalmanBackendEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KalmanBackendEquivalenceTest, ForcedScalarBitIdenticalToNative) {
+  // The matrix kernels accumulate in the same order at every lane width,
+  // so the scalar-backend filter must reproduce the native one exactly —
+  // state, predictions and estimates — over a multi-entity stream with
+  // out-of-order reports.
+  Rng rng(17000 + GetParam());
+  KalmanPredictor::Config native_cfg;
+  KalmanPredictor::Config scalar_cfg;
+  scalar_cfg.force_scalar_simd = true;
+  KalmanPredictor native(native_cfg);
+  KalmanPredictor scalar(scalar_cfg);
+  std::vector<PositionReport> stream;
+  for (int i = 0; i < 200; ++i) {
+    PositionReport r = RandomState(&rng, 1000000 + i * 5000);
+    r.entity_id = static_cast<EntityId>(1 + i % 7);
+    if (i % 23 == 0) r.timestamp -= 60000;  // out-of-order sample
+    if (i % 31 == 0) {
+      r.domain = Domain::kAviation;
+      r.position.alt_m = rng.Uniform(1000, 11000);
+      r.vertical_rate_mps = rng.Uniform(-15, 15);
+    }
+    stream.push_back(r);
+  }
+  native.ObserveBatch(stream);
+  for (const PositionReport& r : stream) scalar.Observe(r);
+  ASSERT_EQ(native.fleet_size(), scalar.fleet_size());
+  for (EntityId id = 1; id <= 7; ++id) {
+    GeoPoint pn, ps;
+    double ven, vnn, ves, vns;
+    ASSERT_TRUE(native.CurrentEstimate(id, &pn, &ven, &vnn));
+    ASSERT_TRUE(scalar.CurrentEstimate(id, &ps, &ves, &vns));
+    EXPECT_EQ(Bits(pn.lat_deg), Bits(ps.lat_deg)) << "entity " << id;
+    EXPECT_EQ(Bits(pn.lon_deg), Bits(ps.lon_deg)) << "entity " << id;
+    EXPECT_EQ(Bits(ven), Bits(ves)) << "entity " << id;
+    EXPECT_EQ(Bits(vnn), Bits(vns)) << "entity " << id;
+    GeoPoint fn, fs;
+    ASSERT_TRUE(native.Predict(id, 600000, &fn));
+    ASSERT_TRUE(scalar.Predict(id, 600000, &fs));
+    EXPECT_EQ(Bits(fn.lat_deg), Bits(fs.lat_deg)) << "entity " << id;
+    EXPECT_EQ(Bits(fn.lon_deg), Bits(fs.lon_deg)) << "entity " << id;
+    EXPECT_EQ(Bits(fn.alt_m), Bits(fs.alt_m)) << "entity " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KalmanBackendEquivalenceTest,
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace datacron

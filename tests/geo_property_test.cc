@@ -1,12 +1,21 @@
 // Property-style parameterized sweeps over the geospatial substrate:
-// inverses, bijections, and agreement with brute force.
+// inverses, bijections, and agreement with brute force — plus the SIMD
+// kernel contracts: native-vs-scalar lane bit-equality at every batch
+// length (including remainder tails), bit-identity of the gate-feeding
+// kernels against the legacy scalar functions, and the documented ulp
+// bounds of the polynomial-trig distance kernels.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
+#include "geo/bbox.h"
 #include "geo/curves.h"
 #include "geo/geo.h"
+#include "geo/kernels.h"
 
 namespace datacron {
 namespace {
@@ -219,6 +228,188 @@ TEST(CurveLocalityTest, MortonFragmentsAtNonPowerOfTwo) {
   EXPECT_GT(RangeComponents(5, 7, /*use_hilbert=*/false), 7);
   EXPECT_EQ(RangeComponents(5, 7, /*use_hilbert=*/true), 7);
 }
+
+// ---------------------------------------------------------- SIMD kernels
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Random point; a slice of each sweep lands on the hard cases:
+/// antimeridian neighborhoods, near-poles.
+LatLon RandomPoint(Rng* rng, int flavor) {
+  switch (flavor) {
+    case 1:  // antimeridian straddle
+      return {rng->Uniform(-60, 60),
+              (rng->Uniform(0, 1) < 0.5 ? -1 : 1) * rng->Uniform(179.5, 180.0)};
+    case 2:  // near-pole
+      return {(rng->Uniform(0, 1) < 0.5 ? -1 : 1) * rng->Uniform(89.0, 90.0),
+              rng->Uniform(-180, 180)};
+    default:
+      return {rng->Uniform(-80, 80), rng->Uniform(-180, 180)};
+  }
+}
+
+/// Every batch length from 1 through a few vectors plus ragged tails.
+std::vector<std::size_t> BatchLengths() {
+  std::vector<std::size_t> lens;
+  const std::size_t w = static_cast<std::size_t>(simd::kNativeWidth);
+  for (std::size_t n = 1; n <= 3 * w + 1; ++n) lens.push_back(n);
+  return lens;
+}
+
+class HaversineBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HaversineBatchTest, LanesBitEqualAcrossDispatchAndUlpCloseToLibm) {
+  Rng rng(11000 + GetParam());
+  for (std::size_t n : BatchLengths()) {
+    std::vector<double> a_lat(n), a_lon(n), b_lat(n), b_lon(n);
+    std::vector<LatLon> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = RandomPoint(&rng, static_cast<int>(i % 3));
+      b[i] = RandomPoint(&rng, static_cast<int>((i + GetParam()) % 3));
+      a_lat[i] = a[i].lat_deg;
+      a_lon[i] = a[i].lon_deg;
+      b_lat[i] = b[i].lat_deg;
+      b_lon[i] = b[i].lon_deg;
+    }
+    std::vector<double> native(n), scalar(n);
+    HaversineMetersBatch(a_lat.data(), a_lon.data(), b_lat.data(),
+                         b_lon.data(), n, native.data(),
+                         SimdDispatch::kNative);
+    HaversineMetersBatch(a_lat.data(), a_lon.data(), b_lat.data(),
+                         b_lon.data(), n, scalar.data(),
+                         SimdDispatch::kScalarOnly);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Backend-independence is exact.
+      EXPECT_EQ(Bits(native[i]), Bits(scalar[i])) << "n=" << n << " i=" << i;
+      // Agreement with libm is the documented ULP-bound class: the
+      // polynomial trig plus the asin cancellation keep it within
+      // ~1e-12 relative of HaversineMeters (plus slack for tiny
+      // distances where the absolute error floor dominates).
+      const double ref = HaversineMeters(a[i], b[i]);
+      EXPECT_NEAR(native[i], ref, 1e-11 * ref + 1e-5)
+          << "a=(" << a[i].lat_deg << "," << a[i].lon_deg << ") b=("
+          << b[i].lat_deg << "," << b[i].lon_deg << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HaversineBatchTest, ::testing::Range(0, 20));
+
+class EquirectBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EquirectBatchTest, BitIdenticalToScalarFunction) {
+  Rng rng(12000 + GetParam());
+  // Pair-for-pair with the pair's own mean-latitude cosine, the batched
+  // kernel reproduces EquirectangularMeters bit for bit (gate class).
+  for (int i = 0; i < 50; ++i) {
+    const LatLon a = RandomPoint(&rng, i % 3);
+    const LatLon b = RandomPoint(&rng, (i + 1) % 3);
+    const double cos_lat =
+        std::cos((a.lat_deg + b.lat_deg) * 0.5 * kDegToRad);
+    EXPECT_EQ(Bits(EquirectangularMetersWithCos(cos_lat, a, b)),
+              Bits(EquirectangularMeters(a, b)));
+  }
+  // And batches agree with the scalar convenience wrapper at every
+  // length, on both dispatch paths.
+  const double cos_ref = std::cos(37.0 * kDegToRad);
+  for (std::size_t n : BatchLengths()) {
+    std::vector<double> a_lat(n), a_lon(n), b_lat(n), b_lon(n);
+    std::vector<LatLon> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = RandomPoint(&rng, static_cast<int>(i % 3));
+      b[i] = RandomPoint(&rng, static_cast<int>((i + 1) % 3));
+      a_lat[i] = a[i].lat_deg;
+      a_lon[i] = a[i].lon_deg;
+      b_lat[i] = b[i].lat_deg;
+      b_lon[i] = b[i].lon_deg;
+    }
+    std::vector<double> native(n), scalar(n);
+    EquirectangularMetersBatch(cos_ref, a_lat.data(), a_lon.data(),
+                               b_lat.data(), b_lon.data(), n, native.data(),
+                               SimdDispatch::kNative);
+    EquirectangularMetersBatch(cos_ref, a_lat.data(), a_lon.data(),
+                               b_lat.data(), b_lon.data(), n, scalar.data(),
+                               SimdDispatch::kScalarOnly);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(Bits(native[i]), Bits(scalar[i])) << "n=" << n << " i=" << i;
+      EXPECT_EQ(Bits(native[i]),
+                Bits(EquirectangularMetersWithCos(cos_ref, a[i], b[i])));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EquirectBatchTest, ::testing::Range(0, 20));
+
+class PointToSegmentBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PointToSegmentBatchTest, BitIdenticalToScalarFunction) {
+  Rng rng(13000 + GetParam());
+  const LatLon seg_a = RandomPoint(&rng, GetParam() % 3);
+  // Mix of real segments and the degenerate point-segment.
+  const LatLon seg_b =
+      GetParam() % 5 == 0
+          ? seg_a
+          : LatLon{seg_a.lat_deg + rng.Uniform(-0.5, 0.5),
+                   seg_a.lon_deg + rng.Uniform(-0.5, 0.5)};
+  for (std::size_t n : BatchLengths()) {
+    std::vector<double> p_lat(n), p_lon(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p_lat[i] = seg_a.lat_deg + rng.Uniform(-1.0, 1.0);
+      p_lon[i] = seg_a.lon_deg + rng.Uniform(-1.0, 1.0);
+    }
+    std::vector<double> native(n), scalar(n);
+    PointToSegmentMetersBatch(seg_a, seg_b, p_lat.data(), p_lon.data(), n,
+                              native.data(), SimdDispatch::kNative);
+    PointToSegmentMetersBatch(seg_a, seg_b, p_lat.data(), p_lon.data(), n,
+                              scalar.data(), SimdDispatch::kScalarOnly);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(Bits(native[i]), Bits(scalar[i])) << "n=" << n << " i=" << i;
+      // Gate class: exact agreement with the legacy scalar function.
+      EXPECT_EQ(Bits(native[i]),
+                Bits(PointToSegmentMeters({p_lat[i], p_lon[i]}, seg_a, seg_b)))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PointToSegmentBatchTest,
+                         ::testing::Range(0, 20));
+
+class BboxBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BboxBatchTest, MatchesScalarContainsIncludingNaN) {
+  Rng rng(14000 + GetParam());
+  std::vector<BoundingBox> boxes;
+  const std::size_t n_boxes =
+      static_cast<std::size_t>(rng.UniformInt(1, 3 * simd::kNativeWidth + 1));
+  BboxSoa soa;
+  for (std::size_t i = 0; i < n_boxes; ++i) {
+    const double lat0 = rng.Uniform(-80, 80);
+    const double lon0 = rng.Uniform(-180, 170);
+    const BoundingBox bb = BoundingBox::Of(
+        lat0, lon0, lat0 + rng.Uniform(0.01, 5), lon0 + rng.Uniform(0.01, 5));
+    boxes.push_back(bb);
+    soa.Add(bb);
+  }
+  std::vector<std::uint8_t> hits(n_boxes);
+  for (int trial = 0; trial < 50; ++trial) {
+    LatLon p = RandomPoint(&rng, trial % 3);
+    if (trial % 7 == 0) {
+      // Inside the first box, so hits are exercised (not just misses).
+      p = {boxes[0].min_lat + 0.001, boxes[0].min_lon + 0.001};
+    }
+    if (trial % 11 == 0) p.lat_deg = std::nan("");
+    const SimdDispatch dispatch =
+        trial % 2 == 0 ? SimdDispatch::kNative : SimdDispatch::kScalarOnly;
+    BboxContainsBatch(soa, p, hits.data(), dispatch);
+    for (std::size_t i = 0; i < n_boxes; ++i) {
+      EXPECT_EQ(hits[i] != 0, boxes[i].Contains(p))
+          << "trial=" << trial << " box=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BboxBatchTest, ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace datacron

@@ -1,0 +1,214 @@
+// The portable SIMD layer's core contract: every wrapper op produces
+// bit-identical lanes on the native and scalar backends — including the
+// NaN/signed-zero corners where vector instructions (MINPD, BLENDV,
+// ordered compares) differ from naive C expressions — and the vector
+// math functions agree with libm to the documented ulp bound.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd/math.h"
+#include "common/simd/simd.h"
+
+namespace datacron {
+namespace {
+
+using simd::kNativeWidth;
+using DV = simd::Simd<double, simd::native_abi>;
+using DS = simd::Simd<double, simd::scalar_abi>;
+
+std::uint64_t Bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// First lane of a native vector (works at any width, unlike raw()).
+double Lane0(DV v) {
+  double lanes[DV::kWidth];
+  v.Store(lanes);
+  return lanes[0];
+}
+
+/// Values that exercise the corner semantics.
+std::vector<double> SpecialValues() {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  return {0.0,  -0.0, 1.0,    -1.0,  0.5,  -2.5, 1e300, -1e300,
+          1e-308, inf, -inf, nan,   180.0, -180.0, 3.75, 1e16};
+}
+
+/// Runs a lane-parallel expression on both backends over the same input
+/// columns and asserts bitwise equality per lane.
+template <typename NativeFn, typename ScalarFn>
+void ExpectLaneEqual(const std::vector<double>& a, const std::vector<double>& b,
+                     const std::vector<double>& c, NativeFn&& nf,
+                     ScalarFn&& sf, const char* what) {
+  const std::size_t n = a.size();
+  std::vector<double> out_native(n), out_scalar(n);
+  for (std::size_t i = 0; i + kNativeWidth <= n; i += kNativeWidth) {
+    nf(DV::Load(a.data() + i), DV::Load(b.data() + i), DV::Load(c.data() + i))
+        .Store(out_native.data() + i);
+  }
+  const std::size_t tail = n - n % kNativeWidth;
+  for (std::size_t i = tail; i < n; ++i) {
+    nf(DV(a[i]), DV(b[i]), DV(c[i])).Store(out_native.data() + i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sf(DS(a[i]), DS(b[i]), DS(c[i])).Store(out_scalar.data() + i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(Bits(out_native[i]), Bits(out_scalar[i]))
+        << what << " lane " << i << ": native=" << out_native[i]
+        << " scalar=" << out_scalar[i] << " (a=" << a[i] << " b=" << b[i]
+        << " c=" << c[i] << ")";
+  }
+}
+
+TEST(SimdWrapperTest, ArithmeticLanesMatchScalarBackend) {
+  Rng rng(42);
+  std::vector<double> a, b, c;
+  for (double s : SpecialValues()) {
+    for (double t : SpecialValues()) {
+      a.push_back(s);
+      b.push_back(t);
+      c.push_back(s + t);
+    }
+  }
+  for (int i = 0; i < 512; ++i) {
+    a.push_back(rng.Uniform(-1e6, 1e6));
+    b.push_back(rng.Uniform(-1e6, 1e6));
+    c.push_back(rng.Uniform(-1e6, 1e6));
+  }
+  auto ops = [](auto x, auto y, auto z) {
+    return (x + y) * z - x / (y * y + decltype(x)(1.0));
+  };
+  ExpectLaneEqual(a, b, c, ops, ops, "arith");
+  auto minmax = [](auto x, auto y, auto z) {
+    return Min(x, y) + Max(y, z);
+  };
+  ExpectLaneEqual(a, b, c, minmax, minmax, "minmax");
+  auto fma = [](auto x, auto y, auto z) { return Fma(x, y, z); };
+  ExpectLaneEqual(a, b, c, fma, fma, "fma");
+  auto sel = [](auto x, auto y, auto z) {
+    return Select(x < y, Sqrt(Abs(z)), Floor(y));
+  };
+  ExpectLaneEqual(a, b, c, sel, sel, "select");
+  auto sign = [](auto x, auto y, auto z) {
+    return CopySign(x, y) + RoundNearest(z);
+  };
+  ExpectLaneEqual(a, b, c, sign, sign, "copysign");
+}
+
+TEST(SimdWrapperTest, MinMaxFollowVectorInstructionNaNRules) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // MINPD/MAXPD return the SECOND operand when any operand is NaN; that
+  // is what makes Max(t, 0.0) a faithful spelling of std::max(0.0, t).
+  EXPECT_EQ(Bits((Min(DS(nan), DS(3.0))).raw()), Bits(3.0));
+  EXPECT_EQ(Bits((Max(DS(nan), DS(3.0))).raw()), Bits(3.0));
+  EXPECT_TRUE(std::isnan(Min(DS(3.0), DS(nan)).raw()));
+  EXPECT_TRUE(std::isnan(Max(DS(3.0), DS(nan)).raw()));
+  EXPECT_EQ(Bits(Lane0(Min(DV(nan), DV(3.0)))), Bits(3.0));
+  EXPECT_EQ(Bits(Lane0(Max(DV(nan), DV(3.0)))), Bits(3.0));
+  // Ordered compares are false on NaN, so Select routes NaN lanes to the
+  // if_false arm — mirroring how an `if (a < b)` scalar branch falls
+  // through on NaN.
+  EXPECT_EQ(Select(DS(nan) < DS(0.0), DS(1.0), DS(2.0)).raw(), 2.0);
+  EXPECT_FALSE(Any(DS(nan) < DS(0.0)));
+  EXPECT_FALSE(Any(DS(nan) >= DS(0.0)));
+}
+
+TEST(SimdWrapperTest, FmaIsFused) {
+  // (1 + 2^-30)^2 = 1 + 2^-29 + 2^-60; the 2^-60 term survives only if
+  // the multiply feeding the subtract is unrounded.
+  const double x = 1.0 + std::ldexp(1.0, -30);
+  const double fused = Fma(DS(x), DS(x), DS(-1.0)).raw();
+  EXPECT_EQ(fused, std::fma(x, x, -1.0));
+  EXPECT_NE(fused, x * x - 1.0);
+  EXPECT_EQ(Bits(Lane0(Fma(DV(x), DV(x), DV(-1.0)))), Bits(fused));
+}
+
+TEST(SimdWrapperTest, MaskStoreBytesWritesZeroOne) {
+  std::vector<double> a(kNativeWidth), b(kNativeWidth);
+  for (int i = 0; i < kNativeWidth; ++i) {
+    a[i] = i;
+    b[i] = 1.5;
+  }
+  std::vector<std::uint8_t> out(kNativeWidth, 0xFF);
+  (DV::Load(a.data()) < DV::Load(b.data())).StoreBytes(out.data());
+  for (int i = 0; i < kNativeWidth; ++i) {
+    EXPECT_EQ(out[i], i < 1.5 ? 1 : 0) << "lane " << i;
+  }
+}
+
+// ------------------------------------------------------------ math.h
+
+std::int64_t UlpDistance(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<std::int64_t>::max();
+  if ((a < 0) != (b < 0)) return std::numeric_limits<std::int64_t>::max();
+  const auto ia = static_cast<std::int64_t>(Bits(std::fabs(a)));
+  const auto ib = static_cast<std::int64_t>(Bits(std::fabs(b)));
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+class SimdMathTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdMathTest, SinCosMatchesLibmWithinUlpBound) {
+  Rng rng(7000 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    // The kernels only ever see radians from degree inputs scaled by
+    // kDegToRad, but the documented domain is |x| <= 1e5.
+    const double x = GetParam() % 2 == 0 ? rng.Uniform(-10.0, 10.0)
+                                         : rng.Uniform(-1e5, 1e5);
+    DS s, c;
+    simd::SinCos<simd::scalar_abi>(DS(x), &s, &c);
+    EXPECT_LE(UlpDistance(s.raw(), std::sin(x)), 4)
+        << "sin(" << x << ") = " << s.raw() << " vs " << std::sin(x);
+    EXPECT_LE(UlpDistance(c.raw(), std::cos(x)), 4)
+        << "cos(" << x << ") = " << c.raw() << " vs " << std::cos(x);
+    // Native lanes are bit-identical to the scalar backend.
+    DV sv, cv;
+    simd::SinCos<simd::native_abi>(DV(x), &sv, &cv);
+    double lanes_s[DV::kWidth], lanes_c[DV::kWidth];
+    sv.Store(lanes_s);
+    cv.Store(lanes_c);
+    for (int l = 0; l < DV::kWidth; ++l) {
+      EXPECT_EQ(Bits(lanes_s[l]), Bits(s.raw()));
+      EXPECT_EQ(Bits(lanes_c[l]), Bits(c.raw()));
+    }
+  }
+}
+
+TEST_P(SimdMathTest, AsinMatchesLibmWithinUlpBound) {
+  Rng rng(7500 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(-1.0, 1.0);
+    if (i % 10 == 0) x = rng.Uniform(-1e-3, 1e-3);  // small-angle branch
+    if (i % 17 == 0) x = i % 2 == 0 ? 1.0 : -1.0;   // endpoints
+    const double got = simd::Asin<simd::scalar_abi>(DS(x)).raw();
+    EXPECT_LE(UlpDistance(got, std::asin(x)), 4)
+        << "asin(" << x << ") = " << got << " vs " << std::asin(x);
+    const DV vec = simd::Asin<simd::native_abi>(DV(x));
+    double lanes[DV::kWidth];
+    vec.Store(lanes);
+    for (int l = 0; l < DV::kWidth; ++l) {
+      EXPECT_EQ(Bits(lanes[l]), Bits(got)) << "x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimdMathTest, ::testing::Range(0, 10));
+
+TEST(SimdMathTest, NanPropagates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  DS s, c;
+  simd::SinCos<simd::scalar_abi>(DS(nan), &s, &c);
+  EXPECT_TRUE(std::isnan(s.raw()));
+  EXPECT_TRUE(std::isnan(c.raw()));
+  EXPECT_TRUE(std::isnan(simd::Asin<simd::scalar_abi>(DS(nan)).raw()));
+}
+
+}  // namespace
+}  // namespace datacron

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
+#include "common/rng.h"
+#include "geo/geo.h"
 #include "sources/ais_generator.h"
 #include "stream/pipeline.h"
 #include "synopses/compression.h"
@@ -276,6 +279,115 @@ TEST(InterpolateAtTest, ClampsAndInterpolates) {
 TEST(InterpolateAtTest, EmptyFails) {
   GeoPoint p;
   EXPECT_FALSE(InterpolateAt({}, 0, &p));
+}
+
+// ----------------------------------------- iterative DP vs reference
+
+/// The legacy recursive skeleton, reproduced here as the reference the
+/// explicit-stack production form must match. `dist(points[i], first,
+/// last)` scores one interior point.
+template <typename DistFn>
+std::vector<PositionReport> RecursiveDpReference(
+    const std::vector<PositionReport>& points, double epsilon,
+    const DistFn& dist) {
+  if (points.size() <= 2) return points;
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  std::function<void(std::size_t, std::size_t)> simplify =
+      [&](std::size_t first, std::size_t last) {
+        if (last <= first + 1) return;
+        double worst = -1.0;
+        std::size_t worst_idx = first;
+        for (std::size_t i = first + 1; i < last; ++i) {
+          const double d = dist(i, first, last);
+          if (d > worst) {
+            worst = d;
+            worst_idx = i;
+          }
+        }
+        if (worst > epsilon) {
+          keep[worst_idx] = true;
+          simplify(first, worst_idx);
+          simplify(worst_idx, last);
+        }
+      };
+  simplify(0, points.size() - 1);
+  std::vector<PositionReport> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+std::vector<PositionReport> RandomTrack(Rng* rng, int n) {
+  std::vector<PositionReport> out;
+  GeoPoint pos{rng->Uniform(35, 39), rng->Uniform(22, 27), 0};
+  double course = rng->Uniform(0, 360);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(MakeReport(1, i * 10 * kSecond, pos.lat_deg, pos.lon_deg,
+                             8.0, course));
+    course += rng->Uniform(-25, 25);
+    pos = DeadReckon(pos, course, rng->Uniform(2, 14), 0, 10.0);
+  }
+  return out;
+}
+
+class DpIterativeEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpIterativeEquivalenceTest, MatchesRecursiveReferenceExactly) {
+  Rng rng(18000 + GetParam());
+  const int n = static_cast<int>(rng.UniformInt(3, 200));
+  const auto track = RandomTrack(&rng, n);
+  const double eps = rng.Uniform(5, 500);
+  // Perpendicular DP is the bit-identical kernel class, so the kept
+  // sets must match the legacy recursion point for point.
+  const auto got = DouglasPeucker(track, eps);
+  const auto want = RecursiveDpReference(
+      track, eps, [&](std::size_t i, std::size_t f, std::size_t l) {
+        return PointToSegmentMeters(track[i].position.ll(),
+                                    track[f].position.ll(),
+                                    track[l].position.ll());
+      });
+  ASSERT_EQ(got.size(), want.size()) << "n=" << n << " eps=" << eps;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].timestamp, want[i].timestamp);
+  }
+  // SED DP uses the ULP-bound haversine kernel; with these margins the
+  // randomized deviations never sit within 1e-13-relative of epsilon,
+  // so the kept sets still match the libm reference exactly.
+  const auto got_sed = DouglasPeuckerSed(track, eps);
+  const auto want_sed = RecursiveDpReference(
+      track, eps, [&](std::size_t i, std::size_t f, std::size_t l) {
+        return SedMeters(track[f], track[l], track[i]);
+      });
+  ASSERT_EQ(got_sed.size(), want_sed.size()) << "n=" << n << " eps=" << eps;
+  for (std::size_t i = 0; i < got_sed.size(); ++i) {
+    EXPECT_EQ(got_sed[i].timestamp, want_sed[i].timestamp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DpIterativeEquivalenceTest,
+                         ::testing::Range(0, 30));
+
+TEST(DouglasPeuckerTest, AdversarialDepthTrackCompletes) {
+  // A sawtooth with amplitude growing toward the end forces the worst
+  // point to sit next to the segment tail, so the old recursion went
+  // ~n/2 frames deep — enough to overflow a thread stack on long
+  // tracks. The explicit-stack form must simplify it fine.
+  const int n = 20000;
+  std::vector<PositionReport> run;
+  run.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double amp = (i % 2 == 1) ? 1e-4 * (1.0 + i * 1e-3) : 0.0;
+    run.push_back(
+        MakeReport(1, i * kSecond, 37.0 + amp, 24.0 + i * 1e-5, 8.0, 90.0));
+  }
+  const auto kept = DouglasPeucker(run, 0.5);
+  EXPECT_EQ(kept.front().timestamp, run.front().timestamp);
+  EXPECT_EQ(kept.back().timestamp, run.back().timestamp);
+  // Every tooth deviates far beyond epsilon, so most points survive.
+  EXPECT_GT(kept.size(), static_cast<std::size_t>(n) / 2);
 }
 
 }  // namespace
