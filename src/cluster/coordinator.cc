@@ -160,13 +160,67 @@ Status ClusterEngine::RetireFront(std::deque<PendingEpoch>* ring,
       }
       out.node_geo.emplace(remap[id - 1], geo);
     }
+    out.sub_deltas = std::move(res.sub_deltas);
+    for (const auto& [id, count] : res.sub_counts) {
+      out.sub_counts[id] = count;
+    }
     out.synopses_ns = res.synopses_ns;
     out.transform_ns = res.transform_ns;
     out.keyed_cep_ns = res.keyed_cep_ns;
     local_.AbsorbKeyedOutput(e.items[i], &out, events);
   }
+  // One subscription epoch per cluster epoch: coalesce the fleet's deltas
+  // and push the batches through the coordinator registry's sink.
+  if (!e.items.empty()) {
+    local_.FlushSubscriptionEpoch(e.items.back().timestamp);
+  }
   ring->pop_front();
   return Status::OK();
+}
+
+Status ClusterEngine::BroadcastSubControl(const std::string& frame) {
+  Status first = Status::OK();
+  for (const std::unique_ptr<Transport>& node : nodes_) {
+    if (Status s = node->Send(frame); !s.ok() && first.ok()) first = s;
+  }
+  for (const std::unique_ptr<Transport>& node : nodes_) {
+    Result<std::string> payload = node->Recv();
+    if (!payload.ok()) {
+      if (first.ok()) first = payload.status();
+      continue;
+    }
+    SubAckMsg ack;
+    if (Status s = Decode(payload.value(), &ack); !s.ok()) {
+      if (first.ok()) first = s;
+    } else if (!ack.ok && first.ok()) {
+      first = Status::Internal("node rejected subscription: " + ack.error);
+    }
+  }
+  return first;
+}
+
+Result<SubscriptionId> ClusterEngine::Subscribe(SubscriberId subscriber,
+                                                const SubscriptionSpec& spec) {
+  if (Status s = Connect(); !s.ok()) return s;
+  Result<SubscriptionId> id = local_.subscriptions()->Subscribe(subscriber,
+                                                                spec);
+  if (!id.ok()) return id;
+  SubscribeMsg msg;
+  msg.id = id.value();
+  msg.subscriber = subscriber;
+  msg.spec = spec;
+  if (Status s = BroadcastSubControl(Encode(msg)); !s.ok()) return s;
+  return id;
+}
+
+Status ClusterEngine::Unsubscribe(SubscriptionId id) {
+  if (Status s = Connect(); !s.ok()) return s;
+  if (!local_.subscriptions()->Unsubscribe(id)) {
+    return Status::InvalidArgument("unknown or inactive subscription");
+  }
+  UnsubscribeMsg msg;
+  msg.id = id;
+  return BroadcastSubControl(Encode(msg));
 }
 
 Result<std::vector<Event>> ClusterEngine::IngestBatch(

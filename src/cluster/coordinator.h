@@ -80,6 +80,21 @@ class ClusterEngine {
     return local_.NewAdmissionQueue();
   }
 
+  /// Registers a standing query fleet-wide: the coordinator assigns the
+  /// id, registers locally (barrier-side state + delta coalescing), and
+  /// broadcasts the registration so every node's shard-local evaluation
+  /// carries the same registry under the same ids. Call between ingest
+  /// calls (control plane and data plane are phased).
+  Result<SubscriptionId> Subscribe(SubscriberId subscriber,
+                                   const SubscriptionSpec& spec);
+
+  /// Deactivates a standing query fleet-wide.
+  Status Unsubscribe(SubscriptionId id);
+
+  /// The coordinator-side registry: attach a delta sink / take batches
+  /// here — every node's deltas funnel through it at the epoch barrier.
+  SubscriptionRegistry* subscriptions() { return local_.subscriptions(); }
+
   /// End-of-stream: collects every node's KeyedFlush and runs the global
   /// merge — the distributed form of DatacronEngine::Finish().
   Result<std::vector<Event>> Finish();
@@ -111,6 +126,9 @@ class ClusterEngine {
   /// watermark barrier, and absorbs the epoch's outputs in input order.
   Status RetireFront(std::deque<PendingEpoch>* ring,
                      std::vector<Event>* events);
+
+  /// Sends `frame` to every node and collects one SubAck from each.
+  Status BroadcastSubControl(const std::string& frame);
 
   Options opts_;
   DatacronEngine local_;

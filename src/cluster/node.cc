@@ -78,6 +78,12 @@ Status ClusterNode::HandleBatch(const std::string& payload) {
     res.node_geo.assign(out.node_geo.begin(), out.node_geo.end());
     std::sort(res.node_geo.begin(), res.node_geo.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
+    res.sub_deltas = std::move(out.sub_deltas);
+    out.sub_counts.ForEach([&res](std::uint64_t id, const double& count) {
+      res.sub_counts.emplace_back(id, count);
+    });
+    std::sort(res.sub_counts.begin(), res.sub_counts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     res.synopses_ns = out.synopses_ns;
     res.transform_ns = out.transform_ns;
     res.keyed_cep_ns = out.keyed_cep_ns;
@@ -125,6 +131,36 @@ Status ClusterNode::Serve() {
         MetricsResultMsg msg;
         msg.rows = engine_.KeyedMetricsRows();
         if (Status s = transport_->Send(Encode(msg)); !s.ok()) return s;
+        break;
+      }
+      case MsgType::kSubscribe: {
+        // Coordinator broadcast: register under the coordinator-assigned
+        // id so every node's registry carries identical slot assignment.
+        SubscribeMsg msg;
+        SubAckMsg ack;
+        if (Status s = Decode(payload.value(), &msg); !s.ok()) {
+          ack.ok = false;
+          ack.error = s.message();
+        } else {
+          ack.id = msg.id;
+          Status reg = engine_.subscriptions()->SubscribeWithId(
+              msg.id, msg.subscriber, msg.spec);
+          if (!reg.ok()) {
+            ack.ok = false;
+            ack.error = reg.message();
+          }
+        }
+        if (Status s = transport_->Send(Encode(ack)); !s.ok()) return s;
+        break;
+      }
+      case MsgType::kUnsubscribe: {
+        UnsubscribeMsg msg;
+        if (Status s = Decode(payload.value(), &msg); !s.ok()) return s;
+        SubAckMsg ack;
+        ack.id = msg.id;
+        ack.ok = engine_.subscriptions()->Unsubscribe(msg.id);
+        if (!ack.ok) ack.error = "unknown or inactive subscription";
+        if (Status s = transport_->Send(Encode(ack)); !s.ok()) return s;
         break;
       }
       case MsgType::kShutdown:

@@ -50,6 +50,9 @@ DatacronEngine::DatacronEngine(Config config)
   for (std::size_t s = 0; s < config_.num_shards; ++s) {
     shards_.emplace_back(config_);
   }
+  SubscriptionRegistry::Options sub_opts;
+  sub_opts.num_shards = config_.num_shards;
+  subs_ = std::make_unique<SubscriptionRegistry>(sub_opts);
   if (!config_.sectors.empty()) {
     capacity_ = std::make_unique<CapacityMonitor>(config_.sectors,
                                                   config_.capacity);
@@ -65,7 +68,9 @@ std::size_t DatacronEngine::ShardOf(EntityId entity) const {
 }
 
 DatacronEngine::KeyedStats DatacronEngine::ProcessKeyedCore(
-    Shard* shard, const PositionReport& report, const KeyedSink& sink) {
+    std::size_t shard_idx, const PositionReport& report,
+    const KeyedSink& sink) {
+  Shard* shard = &shards_[shard_idx];
   KeyedStats stats;
 
   // 1. In-situ processing: synopses.
@@ -139,13 +144,21 @@ DatacronEngine::KeyedStats DatacronEngine::ProcessKeyedCore(
   shard->gap.ProcessCounted(report, sink.events);
   shard->speed_anomaly.ProcessCounted(report, sink.events);
 
+  // 4c. Shard-local standing-query evaluation: geofence transitions and
+  //     hotspot count increments land in the shard's epoch sink and cross
+  //     the barrier only when a subscription fires.
+  if (subs_->keyed_active() && sink.sub_deltas != nullptr) {
+    subs_->EvalKeyed(shard_idx, report, sink.sub_deltas, sink.sub_counts);
+  }
+
   stats.synopses_ns = t1 - t0;
   stats.transform_ns = t2 - t1;
   stats.keyed_cep_ns = MonotonicNanos() - t2;
   return stats;
 }
 
-void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
+void DatacronEngine::ProcessKeyed(std::size_t shard,
+                                  const PositionReport& report,
                                   TermSource* terms, ReportOutput* out) {
   KeyedSink sink;
   sink.terms = terms;
@@ -154,6 +167,8 @@ void DatacronEngine::ProcessKeyed(Shard* shard, const PositionReport& report,
   sink.events = &out->keyed_events;
   sink.tags = &out->tags;
   sink.node_geo = &out->node_geo;
+  sink.sub_deltas = &out->sub_deltas;
+  sink.sub_counts = &out->sub_counts;
   const KeyedStats stats = ProcessKeyedCore(shard, report, sink);
   out->cp_count = stats.cp_count;
   out->synopses_ns = stats.synopses_ns;
@@ -181,13 +196,16 @@ void DatacronEngine::ProcessKeyedArena(std::size_t shard,
   sink.events = &arena->events;
   sink.tags = &arena->tags;
   sink.node_geo = &arena->node_geo;
-  const KeyedStats stats = ProcessKeyedCore(&shards_[shard], report, sink);
+  sink.sub_deltas = &arena->sub_deltas;
+  sink.sub_counts = &arena->sub_counts;
+  const KeyedStats stats = ProcessKeyedCore(shard, report, sink);
   slot->shard = static_cast<std::uint32_t>(shard);
   slot->cp_count = static_cast<std::uint32_t>(stats.cp_count);
   slot->terms_end = arena->terms != nullptr ? arena->terms->local_size() : 0;
   slot->triples_end = arena->triples.size();
   slot->episodes_end = arena->episodes.size();
   slot->events_end = arena->events.size();
+  slot->subs_end = arena->sub_deltas.size();
   slot->synopses_ns = stats.synopses_ns;
   slot->transform_ns = stats.transform_ns;
   slot->keyed_cep_ns = stats.keyed_cep_ns;
@@ -214,11 +232,23 @@ void DatacronEngine::AbsorbOutput(const PositionReport& report,
   // 4b. Global complex event recognition. The serial engine emits
   //     proximity, area, loitering, gap, speed, capacity, hotspot per
   //     report; keyed_events holds the middle four already in order.
+  const std::size_t prox_begin = events->size();
   proximity_.ProcessCounted(report, events);
+  const std::size_t prox_end = events->size();
   events->insert(events->end(), out->keyed_events.begin(),
                  out->keyed_events.end());
   if (capacity_ != nullptr) capacity_->ProcessCounted(report, events);
   if (hotspots_ != nullptr) hotspots_->ProcessCounted(report, events);
+
+  // Subscription barrier feed, in input order: the report's shard-emitted
+  // deltas, its hotspot count increments, and the proximity events that
+  // can wake proximity subscriptions.
+  if (subs_->ever_active()) {
+    subs_->AddKeyedDeltas(out->sub_deltas);
+    subs_->AddHotspotCounts(out->sub_counts);
+    subs_->AddGlobalEvents(std::span<const Event>(
+        events->data() + prox_begin, prox_end - prox_begin));
+  }
   const std::int64_t t2 = MonotonicNanos();
 
   RecordReportLatencies(out->synopses_ns, out->transform_ns,
@@ -331,6 +361,8 @@ void DatacronEngine::AbsorbEpoch(std::span<const PositionReport> items,
   std::vector<std::size_t> triple_cur(n, 0);
   std::vector<std::size_t> episode_cur(n, 0);
   std::vector<std::size_t> event_cur(n, 0);
+  std::vector<std::size_t> sub_cur(n, 0);
+  const bool subs_active = subs_->ever_active();
   for (std::size_t i = 0; i < items.size(); ++i) {
     const PositionReport& report = items[i];
     const ShardSlot& slot = slots[i];
@@ -361,11 +393,32 @@ void DatacronEngine::AbsorbEpoch(std::span<const PositionReport> items,
     event_cur[slot.shard] = slot.events_end;
     if (capacity_ != nullptr) capacity_->ProcessCounted(report, events);
     if (hotspots_ != nullptr) hotspots_->ProcessCounted(report, events);
+
+    // Subscription barrier feed in global input order: each report's
+    // shard-local delta slice, then the proximity events that can wake
+    // proximity subscriptions — the same interleaving the serial path
+    // produces per report.
+    if (subs_active) {
+      subs_->AddKeyedDeltas(std::span<const SubDelta>(
+          a.sub_deltas.data() + sub_cur[slot.shard],
+          slot.subs_end - sub_cur[slot.shard]));
+      sub_cur[slot.shard] = slot.subs_end;
+      subs_->AddGlobalEvents(std::span<const Event>(
+          prox_events_.data() + prox_offsets_[i],
+          prox_offsets_[i + 1] - prox_offsets_[i]));
+    }
     const std::int64_t t2 = MonotonicNanos();
 
     RecordReportLatencies(slot.synopses_ns, slot.transform_ns,
                           slot.keyed_cep_ns, t1 - t0,
                           (t2 - t1) + prox_share_ns);
+  }
+
+  // Hotspot counts are summed (order-independent), so the per-shard maps
+  // fold in at the end; then the epoch closes — coalesce + delta push.
+  if (subs_active) {
+    for (const EpochArena& a : arenas) subs_->AddHotspotCounts(a.sub_counts);
+    subs_->CloseEpoch(items.empty() ? 0 : items.back().timestamp);
   }
 }
 
@@ -373,14 +426,21 @@ std::vector<Event> DatacronEngine::Ingest(const PositionReport& report) {
   DATACRON_TRACE_SPAN("engine.ingest", "engine");
   std::vector<Event> events;
   ReportOutput out;
-  ProcessKeyed(&shards_[ShardOf(report.entity_id)], report, &dict_, &out);
+  ProcessKeyed(ShardOf(report.entity_id), report, &dict_, &out);
   AbsorbOutput(report, &out, &events);
+  // Serial ingest is the epoch-of-one degenerate case: every report ends
+  // a subscription epoch.
+  FlushSubscriptionEpoch(report.timestamp);
   return events;
 }
 
 void DatacronEngine::ProcessKeyedOnly(const PositionReport& report,
                                       TermSource* terms, ReportOutput* out) {
-  ProcessKeyed(&shards_[ShardOf(report.entity_id)], report, terms, out);
+  ProcessKeyed(ShardOf(report.entity_id), report, terms, out);
+}
+
+void DatacronEngine::FlushSubscriptionEpoch(TimestampMs close_ts) {
+  if (subs_->ever_active()) subs_->CloseEpoch(close_ts);
 }
 
 void DatacronEngine::AbsorbKeyedOutput(const PositionReport& report,
@@ -624,7 +684,10 @@ std::string DatacronEngine::MetricsReport() const {
   rows.insert(rows.end(), std::make_move_iterator(global.begin()),
               std::make_move_iterator(global.end()));
   std::string out = RenderMetricsTable(rows);
-  if (admission_dropped_ > 0) {
+  // A lossy admission policy is part of the engine's observable contract,
+  // so the report names it even before anything was shed.
+  if (admission_dropped_ > 0 ||
+      config_.admission != AdmissionPolicy::kBlock) {
     char line[160];
     std::snprintf(line, sizeof(line),
                   "admission: policy=%s dropped=%zu entities_hit=%zu\n",

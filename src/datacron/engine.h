@@ -12,6 +12,7 @@
 #include "cep/detectors.h"
 #include "cep/event.h"
 #include "cep/hotspot.h"
+#include "common/flat_hash.h"
 #include "common/stats.h"
 #include "forecast/kinematic.h"
 #include "obs/metrics.h"
@@ -21,6 +22,7 @@
 #include "sources/model.h"
 #include "stream/admission.h"
 #include "stream/operator.h"
+#include "sub/registry.h"
 #include "synopses/critical_points.h"
 #include "trajectory/episodes.h"
 #include "trajectory/trajectory_store.h"
@@ -193,6 +195,12 @@ class DatacronEngine {
     std::vector<Triple> triples;
     std::unordered_map<TermId, StTag> tags;
     std::unordered_map<TermId, NodeGeo> node_geo;
+    /// Subscription deltas the keyed evaluation emitted for this report
+    /// (geofence transitions) and the report's hotspot-count increments,
+    /// keyed by subscription id. Cluster nodes ship both; the coordinator
+    /// splices them into its epoch in global input order.
+    std::vector<SubDelta> sub_deltas;
+    FlatHashMap<std::uint64_t, double> sub_counts;
     std::int64_t synopses_ns = 0;
     std::int64_t transform_ns = 0;
     std::int64_t keyed_cep_ns = 0;
@@ -223,6 +231,22 @@ class DatacronEngine {
   /// detectors. With a single flush from the same engine this is exactly
   /// the serial Finish.
   std::vector<Event> FinishFromFlushes(std::span<KeyedFlush> flushes);
+
+  // -- continuous-query subscriptions (src/sub) -----------------------
+
+  /// The standing-query registry evaluated inside this engine's shards.
+  /// Register/unregister between ingest calls (control plane and data
+  /// plane are phased); deltas are coalesced and pushed at every epoch
+  /// barrier (IngestBatch) or after every report (serial Ingest, the
+  /// epoch-of-one degenerate case).
+  SubscriptionRegistry* subscriptions() { return subs_.get(); }
+  const SubscriptionRegistry* subscriptions() const { return subs_.get(); }
+
+  /// Closes the registry's current subscription epoch — the cluster
+  /// coordinator calls this once per global epoch after absorbing every
+  /// report (serial Ingest calls it internally). No-op while no
+  /// subscription was ever registered.
+  void FlushSubscriptionEpoch(TimestampMs close_ts);
 
   // -- component access -----------------------------------------------
 
@@ -331,6 +355,10 @@ class DatacronEngine {
     std::vector<Event> events;  // keyed CEP events
     std::unordered_map<TermId, StTag> tags;
     std::unordered_map<TermId, NodeGeo> node_geo;
+    /// Subscription deltas in shard-report order (sliced per report via
+    /// ShardSlot::subs_end) and the epoch's hotspot counts by sub id.
+    std::vector<SubDelta> sub_deltas;
+    FlatHashMap<std::uint64_t, double> sub_counts;
   };
 
   /// Per-report slot of the sharded runtime: scalar results plus
@@ -343,6 +371,7 @@ class DatacronEngine {
     std::size_t triples_end = 0;
     std::size_t episodes_end = 0;
     std::size_t events_end = 0;
+    std::size_t subs_end = 0;
     std::int64_t synopses_ns = 0;
     std::int64_t transform_ns = 0;
     std::int64_t keyed_cep_ns = 0;
@@ -357,6 +386,8 @@ class DatacronEngine {
     std::vector<Event>* events = nullptr;
     std::unordered_map<TermId, StTag>* tags = nullptr;
     std::unordered_map<TermId, NodeGeo>* node_geo = nullptr;
+    std::vector<SubDelta>* sub_deltas = nullptr;
+    FlatHashMap<std::uint64_t, double>* sub_counts = nullptr;
   };
 
   struct KeyedStats {
@@ -366,14 +397,15 @@ class DatacronEngine {
     std::int64_t keyed_cep_ns = 0;
   };
 
-  /// Keyed stage: synopses, RDF transform, episode building, keyed CEP —
-  /// touches only `shard` state and the sink.
-  KeyedStats ProcessKeyedCore(Shard* shard, const PositionReport& report,
+  /// Keyed stage: synopses, RDF transform, episode building, keyed CEP,
+  /// shard-local subscription evaluation — touches only shard `shard`'s
+  /// state and the sink.
+  KeyedStats ProcessKeyedCore(std::size_t shard, const PositionReport& report,
                               const KeyedSink& sink);
 
   /// ReportOutput-shaped keyed stage (Ingest, cluster nodes). `terms` is
   /// the dictionary to intern into — never null.
-  void ProcessKeyed(Shard* shard, const PositionReport& report,
+  void ProcessKeyed(std::size_t shard, const PositionReport& report,
                     TermSource* terms, ReportOutput* out);
 
   /// Arena-shaped keyed stage (IngestBatch): appends to the shard's
@@ -423,6 +455,10 @@ class DatacronEngine {
   std::unique_ptr<Vocab> vocab_;
   std::unique_ptr<Rdfizer> rdfizer_;
   std::vector<Shard> shards_;
+  /// Standing-query registry, sharded like shards_. Always constructed;
+  /// every hook is guarded by ever_active()/keyed_active() so a
+  /// subscription-free stream pays one predictable branch per report.
+  std::unique_ptr<SubscriptionRegistry> subs_;
   ProximityDetector proximity_;
   std::unique_ptr<CapacityMonitor> capacity_;   // null when no sectors
   std::unique_ptr<HotspotDetector> hotspots_;   // null when window == 0

@@ -190,6 +190,63 @@ Status Get(WireReader& r, std::pair<TermId, NodeGeo>* g) {
   return Status::OK();
 }
 
+void Put(WireWriter& w, const LatLon& p) {
+  w.F64(p.lat_deg);
+  w.F64(p.lon_deg);
+}
+constexpr std::size_t kMinLatLonBytes = 16;
+
+Status Get(WireReader& r, LatLon* p) {
+  DC_RET(r.F64(&p->lat_deg));
+  DC_RET(r.F64(&p->lon_deg));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const BoundingBox& b) {
+  w.F64(b.min_lat);
+  w.F64(b.min_lon);
+  w.F64(b.max_lat);
+  w.F64(b.max_lon);
+}
+
+Status Get(WireReader& r, BoundingBox* b) {
+  DC_RET(r.F64(&b->min_lat));
+  DC_RET(r.F64(&b->min_lon));
+  DC_RET(r.F64(&b->max_lat));
+  DC_RET(r.F64(&b->max_lon));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const SubDelta& d) {
+  w.U64(d.sub);
+  w.U8(static_cast<std::uint8_t>(d.kind));
+  w.U32(d.entity);
+  w.I64(d.time);
+  w.F64(d.value);
+}
+constexpr std::size_t kMinSubDeltaBytes = 29;
+
+Status Get(WireReader& r, SubDelta* d) {
+  DC_RET(r.U64(&d->sub));
+  DC_RET(GetEnum(r, &d->kind, DeltaKind::kHotspotOff));
+  DC_RET(r.U32(&d->entity));
+  DC_RET(r.I64(&d->time));
+  DC_RET(r.F64(&d->value));
+  return Status::OK();
+}
+
+void Put(WireWriter& w, const std::pair<std::uint64_t, double>& c) {
+  w.U64(c.first);
+  w.F64(c.second);
+}
+constexpr std::size_t kMinSubCountBytes = 16;
+
+Status Get(WireReader& r, std::pair<std::uint64_t, double>* c) {
+  DC_RET(r.U64(&c->first));
+  DC_RET(r.F64(&c->second));
+  return Status::OK();
+}
+
 void Put(WireWriter& w, const CriticalPoint& cp) {
   Put(w, cp.report);
   w.U8(static_cast<std::uint8_t>(cp.type));
@@ -249,11 +306,13 @@ void Put(WireWriter& w, const WireReportResult& res) {
   PutVec(w, res.triples);
   PutVec(w, res.tags);
   PutVec(w, res.node_geo);
+  PutVec(w, res.sub_deltas);
+  PutVec(w, res.sub_counts);
   w.I64(res.synopses_ns);
   w.I64(res.transform_ns);
   w.I64(res.keyed_cep_ns);
 }
-constexpr std::size_t kMinResultBytes = 60;
+constexpr std::size_t kMinResultBytes = 68;
 
 Status Get(WireReader& r, WireReportResult* res) {
   DC_RET(r.U64(&res->cp_count));
@@ -263,9 +322,62 @@ Status Get(WireReader& r, WireReportResult* res) {
   DC_RET(GetVec(r, &res->triples, kMinTripleBytes));
   DC_RET(GetVec(r, &res->tags, kMinTagBytes));
   DC_RET(GetVec(r, &res->node_geo, kMinNodeGeoBytes));
+  DC_RET(GetVec(r, &res->sub_deltas, kMinSubDeltaBytes));
+  DC_RET(GetVec(r, &res->sub_counts, kMinSubCountBytes));
   DC_RET(r.I64(&res->synopses_ns));
   DC_RET(r.I64(&res->transform_ns));
   DC_RET(r.I64(&res->keyed_cep_ns));
+  return Status::OK();
+}
+
+// --- subscription predicate (nested payload inside Subscribe) -----------
+
+void Put(WireWriter& w, const SubscriptionSpec& spec) {
+  w.U8(static_cast<std::uint8_t>(spec.kind));
+  switch (spec.kind) {
+    case SubKind::kGeofence:
+      Put(w, spec.geofence.bbox);
+      PutVec(w, spec.geofence.polygon);
+      w.U32(spec.geofence.entity);
+      w.Bool(spec.geofence.all_entities);
+      w.I64(spec.geofence.dwell_ms);
+      break;
+    case SubKind::kProximity:
+      w.U32(spec.proximity.entity);
+      w.I64(spec.proximity.min_interval_ms);
+      break;
+    case SubKind::kHotspot:
+      Put(w, spec.hotspot.bbox);
+      w.F64(spec.hotspot.threshold);
+      w.U32(spec.hotspot.window_epochs);
+      break;
+  }
+}
+
+Status Get(WireReader& r, SubscriptionSpec* spec) {
+  *spec = SubscriptionSpec{};
+  DC_RET(GetEnum(r, &spec->kind, SubKind::kHotspot));
+  switch (spec->kind) {
+    case SubKind::kGeofence:
+      DC_RET(Get(r, &spec->geofence.bbox));
+      DC_RET(GetVec(r, &spec->geofence.polygon, kMinLatLonBytes));
+      if (spec->geofence.polygon.size() > kMaxGeofenceVertices) {
+        return Status::ParseError("geofence polygon too large");
+      }
+      DC_RET(r.U32(&spec->geofence.entity));
+      DC_RET(r.Bool(&spec->geofence.all_entities));
+      DC_RET(r.I64(&spec->geofence.dwell_ms));
+      break;
+    case SubKind::kProximity:
+      DC_RET(r.U32(&spec->proximity.entity));
+      DC_RET(r.I64(&spec->proximity.min_interval_ms));
+      break;
+    case SubKind::kHotspot:
+      DC_RET(Get(r, &spec->hotspot.bbox));
+      DC_RET(r.F64(&spec->hotspot.threshold));
+      DC_RET(r.U32(&spec->hotspot.window_epochs));
+      break;
+  }
   return Status::OK();
 }
 
@@ -424,6 +536,41 @@ std::string Encode(const MetricsResultMsg& msg) {
   return w.Take();
 }
 
+std::string Encode(const SubscribeMsg& msg) {
+  WireWriter w = Envelope(MsgType::kSubscribe);
+  w.U64(msg.id);
+  w.U32(msg.subscriber);
+  // The predicate travels as a nested length-prefixed payload so the
+  // decoder can bound it before parsing a single field of it.
+  WireWriter inner;
+  Put(inner, msg.spec);
+  w.Str(inner.data());
+  return w.Take();
+}
+
+std::string Encode(const UnsubscribeMsg& msg) {
+  WireWriter w = Envelope(MsgType::kUnsubscribe);
+  w.U64(msg.id);
+  w.U32(msg.subscriber);
+  return w.Take();
+}
+
+std::string Encode(const SubAckMsg& msg) {
+  WireWriter w = Envelope(MsgType::kSubAck);
+  w.U64(msg.id);
+  w.Bool(msg.ok);
+  w.Str(msg.error);
+  return w.Take();
+}
+
+std::string Encode(const DeltaBatchMsg& msg) {
+  WireWriter w = Envelope(MsgType::kDeltaBatch);
+  w.U32(msg.batch.subscriber);
+  w.I64(msg.batch.epoch);
+  PutVec(w, msg.batch.deltas);
+  return w.Take();
+}
+
 std::string EncodeControl(MsgType type) {
   return Envelope(type).Take();
 }
@@ -433,7 +580,7 @@ Status DecodeType(const std::string& payload, MsgType* type) {
   std::uint16_t t = 0;
   DC_RET(r.U16(&t));
   if (t < static_cast<std::uint16_t>(MsgType::kHello) ||
-      t > static_cast<std::uint16_t>(MsgType::kShutdown)) {
+      t > static_cast<std::uint16_t>(MsgType::kDeltaBatch)) {
     return Status::ParseError("unknown message type");
   }
   *type = static_cast<MsgType>(t);
@@ -485,6 +632,55 @@ Status Decode(const std::string& payload, MetricsResultMsg* msg) {
   WireReader r(payload);
   DC_RET(OpenEnvelope(r, MsgType::kMetricsResult));
   DC_RET(GetVec(r, &msg->rows, kMinRowBytes));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, SubscribeMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kSubscribe));
+  DC_RET(r.U64(&msg->id));
+  DC_RET(r.U32(&msg->subscriber));
+  std::string predicate;
+  DC_RET(r.Str(&predicate));
+  DC_RET(r.ExpectEnd());
+  // Bound the nested payload before parsing any of it: an empty predicate
+  // is not a subscription, and an oversized one is corruption (or abuse),
+  // not a request.
+  if (predicate.empty()) {
+    return Status::ParseError("empty subscription predicate");
+  }
+  if (predicate.size() > kMaxSubPredicateBytes) {
+    return Status::ParseError("oversized subscription predicate");
+  }
+  WireReader pr(predicate);
+  DC_RET(Get(pr, &msg->spec));
+  DC_RET(pr.ExpectEnd());
+  return ValidateSpec(msg->spec);
+}
+
+Status Decode(const std::string& payload, UnsubscribeMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kUnsubscribe));
+  DC_RET(r.U64(&msg->id));
+  DC_RET(r.U32(&msg->subscriber));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, SubAckMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kSubAck));
+  DC_RET(r.U64(&msg->id));
+  DC_RET(r.Bool(&msg->ok));
+  DC_RET(r.Str(&msg->error));
+  return r.ExpectEnd();
+}
+
+Status Decode(const std::string& payload, DeltaBatchMsg* msg) {
+  WireReader r(payload);
+  DC_RET(OpenEnvelope(r, MsgType::kDeltaBatch));
+  DC_RET(r.U32(&msg->batch.subscriber));
+  DC_RET(r.I64(&msg->batch.epoch));
+  DC_RET(GetVec(r, &msg->batch.deltas, kMinSubDeltaBytes));
   return r.ExpectEnd();
 }
 

@@ -33,6 +33,18 @@ namespace datacron {
 ///   coordinator -> MetricsRequest
 ///   node        -> MetricsResult    keyed operator rows, raw counters
 ///   coordinator -> Shutdown         node serve loop exits
+///
+/// Subscription tier (subscriber <-> coordinator, coordinator -> node):
+///
+///   subscriber  -> Subscribe        one standing query; predicate travels
+///                                   as a nested length-prefixed payload
+///   subscriber  -> Unsubscribe      by subscription id
+///   coordinator -> SubAck           assigned id (or error) per request
+///   coordinator -> DeltaBatch       one subscriber's coalesced deltas for
+///                                   one closed epoch; push-only
+///
+/// The coordinator also forwards Subscribe/Unsubscribe to every node so
+/// shard-local evaluation sees the same registry under the same ids.
 enum class MsgType : std::uint16_t {
   kHello = 1,
   kReportBatch,
@@ -43,6 +55,10 @@ enum class MsgType : std::uint16_t {
   kMetricsRequest,
   kMetricsResult,
   kShutdown,
+  kSubscribe,
+  kUnsubscribe,
+  kSubAck,
+  kDeltaBatch,
 };
 
 struct HelloMsg {
@@ -79,6 +95,11 @@ struct WireReportResult {
   std::vector<Triple> triples;
   std::vector<std::pair<TermId, StTag>> tags;
   std::vector<std::pair<TermId, NodeGeo>> node_geo;
+  /// Subscription deltas the node's shard-local evaluation emitted for
+  /// this report, and the report's hotspot-count increments keyed by
+  /// subscription id (id-sorted so encoded bytes are canonical).
+  std::vector<SubDelta> sub_deltas;
+  std::vector<std::pair<std::uint64_t, double>> sub_counts;
   std::int64_t synopses_ns = 0;
   std::int64_t transform_ns = 0;
   std::int64_t keyed_cep_ns = 0;
@@ -123,6 +144,44 @@ struct MetricsResultMsg {
   bool operator==(const MetricsResultMsg&) const = default;
 };
 
+/// Standing-query registration. `id` is 0 from a subscriber (the
+/// coordinator assigns one) and nonzero on the coordinator->node
+/// broadcast (every node registers the same id). The predicate itself is
+/// a nested length-prefixed payload inside the frame; the decoder rejects
+/// zero-length and larger-than-kMaxSubPredicateBytes payloads outright,
+/// and validates the decoded spec with ValidateSpec.
+struct SubscribeMsg {
+  SubscriptionId id = 0;
+  SubscriberId subscriber = 0;
+  SubscriptionSpec spec;
+
+  bool operator==(const SubscribeMsg&) const = default;
+};
+
+struct UnsubscribeMsg {
+  SubscriptionId id = 0;
+  SubscriberId subscriber = 0;
+
+  bool operator==(const UnsubscribeMsg&) const = default;
+};
+
+/// Reply to Subscribe/Unsubscribe: `id` echoes (or assigns) the
+/// subscription id; `ok` false carries a diagnostic in `error`.
+struct SubAckMsg {
+  SubscriptionId id = 0;
+  bool ok = true;
+  std::string error;
+
+  bool operator==(const SubAckMsg&) const = default;
+};
+
+/// One coalesced epoch of deltas for one subscriber.
+struct DeltaBatchMsg {
+  DeltaBatch batch;
+
+  bool operator==(const DeltaBatchMsg&) const = default;
+};
+
 /// --- encode -------------------------------------------------------------
 
 std::string Encode(const HelloMsg& msg);
@@ -131,6 +190,10 @@ std::string Encode(const EpochResultMsg& msg);
 std::string Encode(const WatermarkMsg& msg);
 std::string Encode(const FlushResultMsg& msg);
 std::string Encode(const MetricsResultMsg& msg);
+std::string Encode(const SubscribeMsg& msg);
+std::string Encode(const UnsubscribeMsg& msg);
+std::string Encode(const SubAckMsg& msg);
+std::string Encode(const DeltaBatchMsg& msg);
 /// kFlushRequest, kMetricsRequest, kShutdown: type tag only.
 std::string EncodeControl(MsgType type);
 
@@ -145,6 +208,10 @@ Status Decode(const std::string& payload, EpochResultMsg* msg);
 Status Decode(const std::string& payload, WatermarkMsg* msg);
 Status Decode(const std::string& payload, FlushResultMsg* msg);
 Status Decode(const std::string& payload, MetricsResultMsg* msg);
+Status Decode(const std::string& payload, SubscribeMsg* msg);
+Status Decode(const std::string& payload, UnsubscribeMsg* msg);
+Status Decode(const std::string& payload, SubAckMsg* msg);
+Status Decode(const std::string& payload, DeltaBatchMsg* msg);
 
 }  // namespace datacron
 

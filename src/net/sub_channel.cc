@@ -1,0 +1,168 @@
+#include "net/sub_channel.h"
+
+#include <string>
+#include <utility>
+
+#include "net/codec.h"
+
+namespace datacron {
+
+SubscriptionBroker::SubscriptionBroker(Hooks hooks)
+    : hooks_(std::move(hooks)),
+      push_batches_counter_(
+          obs::MetricsRegistry::Global().counter("sub.push_batches")),
+      push_bytes_counter_(
+          obs::MetricsRegistry::Global().counter("sub.push_bytes")),
+      push_dropped_counter_(
+          obs::MetricsRegistry::Global().counter("sub.push_dropped")) {}
+
+void SubscriptionBroker::Attach(SubscriberId subscriber,
+                                std::unique_ptr<Transport> transport) {
+  for (Channel& c : channels_) {
+    if (c.subscriber == subscriber) {
+      c.transport = std::move(transport);
+      return;
+    }
+  }
+  channels_.push_back({subscriber, std::move(transport)});
+}
+
+Transport* SubscriptionBroker::FindTransport(SubscriberId subscriber) {
+  for (Channel& c : channels_) {
+    if (c.subscriber == subscriber) return c.transport.get();
+  }
+  return nullptr;
+}
+
+Status SubscriptionBroker::HandleControl(SubscriberId subscriber) {
+  Transport* t = FindTransport(subscriber);
+  if (t == nullptr) {
+    return Status::InvalidArgument("no transport for subscriber");
+  }
+  Result<std::string> payload = t->Recv();
+  if (!payload.ok()) return payload.status();
+  MsgType type;
+  SubAckMsg ack;
+  if (Status s = DecodeType(payload.value(), &type); !s.ok()) {
+    ack.ok = false;
+    ack.error = s.message();
+    return t->Send(Encode(ack));
+  }
+  switch (type) {
+    case MsgType::kSubscribe: {
+      SubscribeMsg msg;
+      if (Status s = Decode(payload.value(), &msg); !s.ok()) {
+        // Reject in-band: a bad predicate must not kill the channel.
+        ack.ok = false;
+        ack.error = s.message();
+        break;
+      }
+      Result<SubscriptionId> id = hooks_.subscribe(subscriber, msg.spec);
+      if (!id.ok()) {
+        ack.ok = false;
+        ack.error = id.status().message();
+      } else {
+        ack.id = id.value();
+      }
+      break;
+    }
+    case MsgType::kUnsubscribe: {
+      UnsubscribeMsg msg;
+      if (Status s = Decode(payload.value(), &msg); !s.ok()) {
+        ack.ok = false;
+        ack.error = s.message();
+        break;
+      }
+      ack.id = msg.id;
+      ack.ok = hooks_.unsubscribe(msg.id);
+      if (!ack.ok) ack.error = "unknown or inactive subscription";
+      break;
+    }
+    default:
+      ack.ok = false;
+      ack.error = "unexpected message type on subscriber channel";
+      break;
+  }
+  return t->Send(Encode(ack));
+}
+
+void SubscriptionBroker::PushBatch(const DeltaBatch& batch) {
+  Transport* t = FindTransport(batch.subscriber);
+  if (t == nullptr) {
+    ++batches_dropped_;
+    push_dropped_counter_->Add();
+    return;
+  }
+  DeltaBatchMsg msg;
+  msg.batch = batch;
+  const std::string frame = Encode(msg);
+  if (!t->Send(frame).ok()) {
+    ++batches_dropped_;
+    push_dropped_counter_->Add();
+    return;
+  }
+  ++batches_pushed_;
+  bytes_pushed_ += frame.size();
+  push_batches_counter_->Add();
+  push_bytes_counter_->Add(frame.size());
+}
+
+void SubscriptionBroker::CloseAll() {
+  for (Channel& c : channels_) {
+    if (c.transport != nullptr) c.transport->Close();
+  }
+}
+
+SubscriberClient::SubscriberClient(SubscriberId subscriber,
+                                   std::unique_ptr<Transport> transport)
+    : subscriber_(subscriber), transport_(std::move(transport)) {}
+
+Status SubscriberClient::SendSubscribe(const SubscriptionSpec& spec) {
+  SubscribeMsg msg;
+  msg.subscriber = subscriber_;
+  msg.spec = spec;
+  return transport_->Send(Encode(msg));
+}
+
+Status SubscriberClient::SendUnsubscribe(SubscriptionId id) {
+  UnsubscribeMsg msg;
+  msg.id = id;
+  msg.subscriber = subscriber_;
+  return transport_->Send(Encode(msg));
+}
+
+Result<SubscriptionId> SubscriberClient::AwaitAck() {
+  for (;;) {
+    Result<std::string> payload = transport_->Recv();
+    if (!payload.ok()) return payload.status();
+    MsgType type;
+    if (Status s = DecodeType(payload.value(), &type); !s.ok()) return s;
+    if (type == MsgType::kDeltaBatch) {
+      DeltaBatchMsg msg;
+      if (Status s = Decode(payload.value(), &msg); !s.ok()) return s;
+      buffered_.push_back(std::move(msg.batch));
+      continue;
+    }
+    SubAckMsg ack;
+    if (Status s = Decode(payload.value(), &ack); !s.ok()) return s;
+    if (!ack.ok) return Status::InvalidArgument(ack.error);
+    return ack.id;
+  }
+}
+
+Result<DeltaBatch> SubscriberClient::NextBatch() {
+  if (!buffered_.empty()) {
+    DeltaBatch batch = std::move(buffered_.front());
+    buffered_.pop_front();
+    return batch;
+  }
+  Result<std::string> payload = transport_->Recv();
+  if (!payload.ok()) return payload.status();
+  DeltaBatchMsg msg;
+  if (Status s = Decode(payload.value(), &msg); !s.ok()) return s;
+  return msg.batch;
+}
+
+void SubscriberClient::Close() { transport_->Close(); }
+
+}  // namespace datacron

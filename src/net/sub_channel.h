@@ -1,0 +1,119 @@
+#ifndef DATACRON_NET_SUB_CHANNEL_H_
+#define DATACRON_NET_SUB_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "sub/subscription.h"
+
+namespace datacron {
+
+/// Server side of the subscriber channel: owns one framed transport per
+/// subscriber and speaks the Subscribe/Unsubscribe/SubAck/DeltaBatch
+/// protocol (net/codec.h) over it.
+///
+/// The broker is engine-agnostic — registration flows through the Hooks
+/// callbacks, so the same broker fronts a single-process DatacronEngine
+/// (hooks call its SubscriptionRegistry directly) or a ClusterEngine
+/// coordinator (hooks broadcast to the fleet). Delta push is wired the
+/// other way: point the registry's delta sink at PushBatch and every
+/// coalesced epoch batch goes out as one kDeltaBatch frame.
+///
+/// Threading matches the engines: single-threaded control plane
+/// (HandleControl) phased against the data plane (PushBatch from the
+/// epoch barrier).
+class SubscriptionBroker {
+ public:
+  struct Hooks {
+    /// Registers a standing query; returns the assigned id.
+    std::function<Result<SubscriptionId>(SubscriberId,
+                                         const SubscriptionSpec&)> subscribe;
+    /// Deactivates a standing query; false when unknown/inactive.
+    std::function<bool(SubscriptionId)> unsubscribe;
+  };
+
+  explicit SubscriptionBroker(Hooks hooks);
+
+  /// Registers `transport` as subscriber `subscriber`'s push channel.
+  /// Replaces any previous transport for the same subscriber.
+  void Attach(SubscriberId subscriber, std::unique_ptr<Transport> transport);
+
+  /// Receives one control frame (Subscribe or Unsubscribe) from
+  /// `subscriber` and replies with a SubAck. A malformed predicate is
+  /// acked ok=false with the parse error — the channel survives it.
+  /// Transport failures (close, I/O) are returned.
+  Status HandleControl(SubscriberId subscriber);
+
+  /// Pushes one coalesced epoch batch to its subscriber as a kDeltaBatch
+  /// frame. Batches for subscribers with no attached transport are
+  /// counted and dropped (the registry does not know who is connected).
+  void PushBatch(const DeltaBatch& batch);
+
+  /// Closes every attached transport.
+  void CloseAll();
+
+  std::uint64_t batches_pushed() const { return batches_pushed_; }
+  std::uint64_t bytes_pushed() const { return bytes_pushed_; }
+  std::uint64_t batches_dropped() const { return batches_dropped_; }
+
+ private:
+  struct Channel {
+    SubscriberId subscriber = 0;
+    std::unique_ptr<Transport> transport;
+  };
+
+  Transport* FindTransport(SubscriberId subscriber);
+
+  Hooks hooks_;
+  std::vector<Channel> channels_;
+  std::uint64_t batches_pushed_ = 0;
+  std::uint64_t bytes_pushed_ = 0;
+  std::uint64_t batches_dropped_ = 0;
+
+  obs::Counter* push_batches_counter_;
+  obs::Counter* push_bytes_counter_;
+  obs::Counter* push_dropped_counter_;
+};
+
+/// Client side of the subscriber channel. Subscribe is split into
+/// SendSubscribe/AwaitAck so a single-threaded caller can interleave with
+/// a single-threaded broker; AwaitAck buffers any kDeltaBatch frames that
+/// arrive ahead of the ack (the push stream and the ack share one FIFO
+/// transport), and NextBatch drains that buffer before touching the wire.
+class SubscriberClient {
+ public:
+  SubscriberClient(SubscriberId subscriber,
+                   std::unique_ptr<Transport> transport);
+
+  SubscriberId subscriber() const { return subscriber_; }
+
+  /// Sends a Subscribe frame (id 0 — the broker assigns one).
+  Status SendSubscribe(const SubscriptionSpec& spec);
+
+  /// Sends an Unsubscribe frame for `id`.
+  Status SendUnsubscribe(SubscriptionId id);
+
+  /// Receives the next SubAck, buffering delta batches that precede it.
+  /// An ok=false ack surfaces as InvalidArgument with the broker's error.
+  Result<SubscriptionId> AwaitAck();
+
+  /// Returns the next delta batch (buffered or from the wire).
+  Result<DeltaBatch> NextBatch();
+
+  void Close();
+
+ private:
+  SubscriberId subscriber_;
+  std::unique_ptr<Transport> transport_;
+  std::deque<DeltaBatch> buffered_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_NET_SUB_CHANNEL_H_

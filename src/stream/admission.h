@@ -27,6 +27,14 @@ enum class AdmissionPolicy : std::uint8_t {
   /// evicted to make room (stale positions are worth the least). Drops
   /// are counted, never silent.
   kDropOldest,
+  /// Push() always succeeds immediately; eviction is fair *across keys*.
+  /// Each live key gets a buffered-item budget of capacity / live_keys;
+  /// the victim is the oldest item of the pushing key when that key is
+  /// over budget, otherwise the oldest item of the most-buffered key — a
+  /// chatty entity sheds its own backlog instead of flushing quiet
+  /// entities out of the queue. Requires Options::drop_key (falls back to
+  /// kDropOldest eviction without one).
+  kDropFair,
 };
 
 const char* AdmissionPolicyName(AdmissionPolicy policy);
@@ -55,6 +63,8 @@ class AdmissionQueue {
         dropped_counter_(
             obs::MetricsRegistry::Global().counter("admission.dropped")) {
     if (opts_.capacity == 0) opts_.capacity = 1;
+    fair_ = opts_.policy == AdmissionPolicy::kDropFair &&
+            static_cast<bool>(opts_.drop_key);
   }
 
   /// Admits one item under the queue's policy. Returns false only when
@@ -68,13 +78,24 @@ class AdmissionQueue {
       if (closed_) return false;
     } else {
       if (closed_) return false;
+      const std::uint64_t push_key = fair_ ? opts_.drop_key(item) : 0;
       while (items_.size() >= opts_.capacity) {
+        const std::size_t victim = fair_ ? FairVictim(push_key) : 0;
         if (opts_.drop_key) {
-          ++drops_by_key_[opts_.drop_key(items_.front())];
+          ++drops_by_key_[opts_.drop_key(items_[victim])];
         }
-        items_.pop_front();
+        if (fair_) {
+          DecLive(keys_[victim]);
+          keys_.erase(keys_.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+        }
+        items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(victim));
         ++dropped_;
         dropped_counter_->Add();
+      }
+      if (fair_) {
+        keys_.push_back(push_key);
+        ++live_by_key_[push_key];
       }
     }
     items_.push_back(std::move(item));
@@ -95,6 +116,10 @@ class AdmissionQueue {
     for (std::size_t i = 0; i < n; ++i) {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
+      if (fair_) {
+        DecLive(keys_.front());
+        keys_.pop_front();
+      }
     }
     not_full_.notify_all();
     return out;
@@ -134,11 +159,48 @@ class AdmissionQueue {
   AdmissionPolicy policy() const { return opts_.policy; }
 
  private:
+  /// kDropFair victim: the index (in arrival order) of the oldest item of
+  /// the key to shed. The pushing key sheds itself once it holds at least
+  /// its fair share (capacity / live keys); otherwise the most-buffered
+  /// key sheds. Ties break toward the smallest key — deterministic.
+  std::size_t FairVictim(std::uint64_t push_key) const {
+    const std::size_t live =
+        live_by_key_.empty() ? 1 : live_by_key_.size();
+    const std::size_t budget =
+        opts_.capacity / live > 0 ? opts_.capacity / live : 1;
+    std::uint64_t victim_key = push_key;
+    auto self = live_by_key_.find(push_key);
+    if (self == live_by_key_.end() || self->second < budget) {
+      std::size_t most = 0;
+      for (const auto& [key, count] : live_by_key_) {
+        if (count > most) {
+          most = count;
+          victim_key = key;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == victim_key) return i;
+    }
+    return 0;
+  }
+
+  void DecLive(std::uint64_t key) {
+    auto it = live_by_key_.find(key);
+    if (it == live_by_key_.end()) return;
+    if (--it->second == 0) live_by_key_.erase(it);
+  }
+
   Options opts_;
+  bool fair_ = false;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  /// Arrival-order keys aligned with items_, plus live per-key counts;
+  /// maintained only under kDropFair with a drop_key.
+  std::deque<std::uint64_t> keys_;
+  std::map<std::uint64_t, std::size_t> live_by_key_;
   std::size_t dropped_ = 0;
   std::map<std::uint64_t, std::size_t> drops_by_key_;
   obs::Counter* dropped_counter_;

@@ -16,6 +16,8 @@ const char* AdmissionPolicyName(AdmissionPolicy policy) {
       return "block";
     case AdmissionPolicy::kDropOldest:
       return "drop-oldest";
+    case AdmissionPolicy::kDropFair:
+      return "drop-fair";
   }
   return "unknown";
 }

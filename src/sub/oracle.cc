@@ -1,0 +1,60 @@
+#include "sub/oracle.h"
+
+namespace datacron {
+
+std::vector<DeltaBatch> SubscriptionOracle::EvalEpoch(
+    std::span<const PositionReport> reports, std::span<const Event> prox_events,
+    TimestampMs close_ts) {
+  std::vector<SubDelta> deltas;
+  const std::int64_t epoch = epoch_++;
+  registry_->ForEachActive([&](std::uint32_t slot,
+                               const SubscriptionRegistry::Entry& e) {
+    switch (e.spec.kind) {
+      case SubKind::kGeofence: {
+        const GeofenceSpec& g = e.spec.geofence;
+        for (const PositionReport& r : reports) {
+          if (!g.all_entities && r.entity_id != g.entity) continue;
+          GeofenceState& st =
+              geo_state_[(static_cast<std::uint64_t>(slot) << 32) |
+                         r.entity_id];
+          SubscriptionRegistry::GeofenceStep(e, r, &st, &deltas);
+        }
+        return;
+      }
+      case SubKind::kProximity: {
+        const EntityId watched = e.spec.proximity.entity;
+        for (const Event& ev : prox_events) {
+          if (ev.kind != EventKind::kEncounter &&
+              ev.kind != EventKind::kCollisionForecast) {
+            continue;
+          }
+          for (std::size_t i = 0; i < ev.entities.size(); ++i) {
+            if (ev.entities[i] != watched) continue;
+            const EntityId other =
+                ev.entities.size() == 2 ? ev.entities[i ^ 1] : ev.entities[i];
+            SubscriptionRegistry::ProximityStep(e, ev, other,
+                                                &prox_state_[slot], &deltas);
+            break;  // one step per event, first matching position
+          }
+        }
+        return;
+      }
+      case SubKind::kHotspot: {
+        double count = 0.0;
+        for (const PositionReport& r : reports) {
+          if (SubscriptionRegistry::RegionContains(e, r.position.ll())) {
+            count += 1.0;
+          }
+        }
+        SubscriptionRegistry::HotspotRoll(e, epoch, count, close_ts,
+                                          &hot_state_[slot], &deltas);
+        return;
+      }
+    }
+  });
+  std::vector<DeltaBatch> out;
+  registry_->CoalesceEpoch(epoch, &deltas, &out);
+  return out;
+}
+
+}  // namespace datacron

@@ -1,0 +1,50 @@
+#ifndef DATACRON_SUB_ORACLE_H_
+#define DATACRON_SUB_ORACLE_H_
+
+#include <span>
+#include <vector>
+
+#include "cep/event.h"
+#include "common/flat_hash.h"
+#include "sources/model.h"
+#include "sub/registry.h"
+#include "sub/subscription.h"
+
+namespace datacron {
+
+/// Full re-evaluation reference for the subscription tier: every epoch it
+/// loops over EVERY active subscription and scans the WHOLE epoch — no
+/// entity index, no spatial index, no engaged set, no sparse hotspot
+/// counts. It shares the per-subscription step functions
+/// (SubscriptionRegistry::GeofenceStep / ProximityStep / HotspotRoll) and
+/// the canonical coalescing with the registry, so its batches are the
+/// definition the incremental path must match byte for byte — and its
+/// cost is what the incremental path is benchmarked against.
+///
+/// The oracle holds its own persistent per-subscription state; feed it
+/// the same epoch stream (reports + the epoch's proximity events, both in
+/// input order, same epoch cuts) as the registry sees.
+class SubscriptionOracle {
+ public:
+  /// `registry` supplies the subscription set (specs, compiled regions,
+  /// subscriber routing); the oracle never reads its evaluation state.
+  explicit SubscriptionOracle(const SubscriptionRegistry* registry)
+      : registry_(registry) {}
+
+  /// Re-evaluates one epoch from scratch and returns its coalesced
+  /// batches (same canonical order as SubscriptionRegistry::CloseEpoch).
+  std::vector<DeltaBatch> EvalEpoch(std::span<const PositionReport> reports,
+                                    std::span<const Event> prox_events,
+                                    TimestampMs close_ts);
+
+ private:
+  const SubscriptionRegistry* registry_;
+  FlatHashMap<std::uint64_t, GeofenceState> geo_state_;
+  FlatHashMap<std::uint32_t, ProximityState> prox_state_;
+  FlatHashMap<std::uint32_t, HotspotState> hot_state_;
+  std::int64_t epoch_ = 0;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_SUB_ORACLE_H_

@@ -1,0 +1,667 @@
+#include "sub/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace datacron {
+
+const char* SubKindName(SubKind kind) {
+  switch (kind) {
+    case SubKind::kGeofence:
+      return "geofence";
+    case SubKind::kProximity:
+      return "proximity";
+    case SubKind::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+const char* DeltaKindName(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kEnter:
+      return "enter";
+    case DeltaKind::kExit:
+      return "exit";
+    case DeltaKind::kDwell:
+      return "dwell";
+    case DeltaKind::kProximity:
+      return "proximity";
+    case DeltaKind::kProximityForecast:
+      return "proximity-forecast";
+    case DeltaKind::kHotspotOn:
+      return "hotspot-on";
+    case DeltaKind::kHotspotOff:
+      return "hotspot-off";
+  }
+  return "?";
+}
+
+std::string SubDelta::ToString() const {
+  return "sub " + std::to_string(sub) + " " + DeltaKindName(kind) +
+         " entity=" + std::to_string(entity) + " t=" + std::to_string(time) +
+         " v=" + std::to_string(value);
+}
+
+Status ValidateSpec(const SubscriptionSpec& spec) {
+  switch (spec.kind) {
+    case SubKind::kGeofence: {
+      const GeofenceSpec& g = spec.geofence;
+      if (!g.polygon.empty() && g.polygon.size() < 3) {
+        return Status::InvalidArgument("geofence polygon needs >= 3 vertices");
+      }
+      if (g.polygon.size() > kMaxGeofenceVertices) {
+        return Status::InvalidArgument("geofence polygon too large");
+      }
+      if (g.polygon.empty()) {
+        const BoundingBox& b = g.bbox;
+        // min_lon > max_lon is the antimeridian-wrap convention; only a
+        // latitude inversion makes the box genuinely empty.
+        if (b.min_lat > b.max_lat) {
+          return Status::InvalidArgument("geofence bbox is empty");
+        }
+      }
+      if (g.dwell_ms < 0) {
+        return Status::InvalidArgument("geofence dwell_ms must be >= 0");
+      }
+      return Status::OK();
+    }
+    case SubKind::kProximity:
+      if (spec.proximity.min_interval_ms < 0) {
+        return Status::InvalidArgument("proximity min_interval_ms < 0");
+      }
+      return Status::OK();
+    case SubKind::kHotspot: {
+      const HotspotSpec& h = spec.hotspot;
+      if (h.bbox.min_lat > h.bbox.max_lat) {
+        return Status::InvalidArgument("hotspot bbox is empty");
+      }
+      if (!(h.threshold > 0.0)) {
+        return Status::InvalidArgument("hotspot threshold must be > 0");
+      }
+      if (h.window_epochs == 0) {
+        return Status::InvalidArgument("hotspot window_epochs must be >= 1");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown subscription kind");
+}
+
+SubscriptionRegistry::SubscriptionRegistry()
+    : SubscriptionRegistry(Options()) {}
+
+SubscriptionRegistry::SubscriptionRegistry(Options opts) : opts_(opts) {
+  if (opts_.num_shards == 0) opts_.num_shards = 1;
+  if (!(opts_.cell_deg > 0.0)) opts_.cell_deg = 0.25;
+  shards_.resize(opts_.num_shards);
+  auto& reg = obs::MetricsRegistry::Global();
+  deltas_counter_ = reg.counter("sub.deltas");
+  batches_counter_ = reg.counter("sub.batches");
+  eval_counter_ = reg.counter("sub.eval_reports");
+  active_gauge_ = reg.gauge("sub.active");
+}
+
+// --- registration ---------------------------------------------------------
+
+Result<SubscriptionId> SubscriptionRegistry::Subscribe(
+    SubscriberId subscriber, const SubscriptionSpec& spec) {
+  const SubscriptionId id = next_id_;
+  Status s = Register(id, subscriber, spec);
+  if (!s.ok()) return s;
+  ++next_id_;
+  return id;
+}
+
+Status SubscriptionRegistry::SubscribeWithId(SubscriptionId id,
+                                             SubscriberId subscriber,
+                                             const SubscriptionSpec& spec) {
+  if (id == 0) return Status::InvalidArgument("subscription id 0 is reserved");
+  if (const std::uint32_t* slot = id_to_slot_.Find(id)) {
+    const Entry& e = slots_[*slot];
+    if (e.active && e.subscriber == subscriber && e.spec == spec) {
+      return Status::OK();  // idempotent re-registration
+    }
+    return Status::AlreadyExists("subscription id already registered");
+  }
+  Status s = Register(id, subscriber, spec);
+  if (!s.ok()) return s;
+  if (id >= next_id_) next_id_ = id + 1;
+  return Status::OK();
+}
+
+Status SubscriptionRegistry::Register(SubscriptionId id,
+                                      SubscriberId subscriber,
+                                      const SubscriptionSpec& spec) {
+  Status s = ValidateSpec(spec);
+  if (!s.ok()) return s;
+  Entry e;
+  e.id = id;
+  e.subscriber = subscriber;
+  e.active = true;
+  e.spec = spec;
+  const BoundingBox* region = nullptr;
+  if (spec.kind == SubKind::kGeofence) {
+    if (!spec.geofence.polygon.empty()) {
+      e.polygon = Polygon(spec.geofence.polygon);
+    } else {
+      region = &spec.geofence.bbox;
+    }
+  } else if (spec.kind == SubKind::kHotspot) {
+    region = &spec.hotspot.bbox;
+  }
+  if (region != nullptr) {
+    if (region->min_lon > region->max_lon) {
+      // Antimeridian wrap: split into two plain boxes at +-180.
+      e.box1 = BoundingBox::Of(region->min_lat, region->min_lon,
+                               region->max_lat, 180.0);
+      e.box2 = BoundingBox::Of(region->min_lat, -180.0, region->max_lat,
+                               region->max_lon);
+    } else {
+      e.box1 = *region;
+    }
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(std::move(e));
+  id_to_slot_[id] = slot;
+  IndexEntry(slot);
+  ++active_count_;
+  ever_active_ = true;
+  active_gauge_->Set(static_cast<std::int64_t>(active_count_));
+  return Status::OK();
+}
+
+bool SubscriptionRegistry::Unsubscribe(SubscriptionId id) {
+  const std::uint32_t* slot = id_to_slot_.Find(id);
+  if (slot == nullptr || !slots_[*slot].active) return false;
+  UnindexEntry(*slot);
+  slots_[*slot].active = false;
+  --active_count_;
+  active_gauge_->Set(static_cast<std::int64_t>(active_count_));
+  return true;
+}
+
+const SubscriptionRegistry::Entry* SubscriptionRegistry::FindEntry(
+    SubscriptionId id) const {
+  const std::uint32_t* slot = id_to_slot_.Find(id);
+  return slot == nullptr ? nullptr : &slots_[*slot];
+}
+
+// --- spatial index --------------------------------------------------------
+
+std::uint64_t SubscriptionRegistry::CellKey(double lat_deg,
+                                            double lon_deg) const {
+  const auto iy = static_cast<std::int32_t>(
+      std::floor(lat_deg / opts_.cell_deg));
+  const auto ix = static_cast<std::int32_t>(
+      std::floor(lon_deg / opts_.cell_deg));
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(iy)) << 32) |
+         static_cast<std::uint32_t>(ix);
+}
+
+void SubscriptionRegistry::CoveredCells(const BoundingBox& box,
+                                        std::vector<std::uint64_t>* out) const {
+  const auto y0 = static_cast<std::int64_t>(
+      std::floor(box.min_lat / opts_.cell_deg));
+  const auto y1 = static_cast<std::int64_t>(
+      std::floor(box.max_lat / opts_.cell_deg));
+  const auto x0 = static_cast<std::int64_t>(
+      std::floor(box.min_lon / opts_.cell_deg));
+  const auto x1 = static_cast<std::int64_t>(
+      std::floor(box.max_lon / opts_.cell_deg));
+  for (std::int64_t y = y0; y <= y1; ++y) {
+    for (std::int64_t x = x0; x <= x1; ++x) {
+      out->push_back(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(y)) << 32) |
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(x)));
+    }
+  }
+}
+
+namespace {
+
+std::size_t CellSpan(const BoundingBox& box, double cell_deg) {
+  if (box.IsEmpty()) return 0;
+  const auto rows = static_cast<std::size_t>(
+      std::floor(box.max_lat / cell_deg) - std::floor(box.min_lat / cell_deg) +
+      1);
+  const auto cols = static_cast<std::size_t>(
+      std::floor(box.max_lon / cell_deg) - std::floor(box.min_lon / cell_deg) +
+      1);
+  return rows * cols;
+}
+
+void EraseSlot(std::vector<std::uint32_t>* v, std::uint32_t slot) {
+  v->erase(std::remove(v->begin(), v->end(), slot), v->end());
+}
+
+}  // namespace
+
+void SubscriptionRegistry::IndexEntry(std::uint32_t slot) {
+  const Entry& e = slots_[slot];
+  switch (e.spec.kind) {
+    case SubKind::kProximity:
+      prox_by_entity_[e.spec.proximity.entity].push_back(slot);
+      ++prox_total_;
+      return;
+    case SubKind::kGeofence: {
+      ++geo_total_;
+      if (!e.spec.geofence.all_entities) {
+        entity_geo_[e.spec.geofence.entity].push_back(slot);
+        return;
+      }
+      ++fleet_geo_total_;
+      const BoundingBox index_box =
+          e.polygon.empty() ? e.box1 : e.polygon.bbox();
+      const std::size_t span = CellSpan(index_box, opts_.cell_deg) +
+                               CellSpan(e.box2, opts_.cell_deg);
+      if (span == 0 || span > opts_.max_cells_per_box) {
+        geo_catchall_.push_back(slot);
+        RebuildCatchallSoa();
+        return;
+      }
+      std::vector<std::uint64_t> cells;
+      CoveredCells(index_box, &cells);
+      if (!e.box2.IsEmpty()) CoveredCells(e.box2, &cells);
+      for (std::uint64_t c : cells) geo_grid_[c].push_back(slot);
+      return;
+    }
+    case SubKind::kHotspot: {
+      ++hot_total_;
+      const std::size_t span = CellSpan(e.box1, opts_.cell_deg) +
+                               CellSpan(e.box2, opts_.cell_deg);
+      if (span == 0 || span > opts_.max_cells_per_box) {
+        hot_catchall_.push_back(slot);
+        RebuildCatchallSoa();
+        return;
+      }
+      std::vector<std::uint64_t> cells;
+      CoveredCells(e.box1, &cells);
+      if (!e.box2.IsEmpty()) CoveredCells(e.box2, &cells);
+      for (std::uint64_t c : cells) hot_grid_[c].push_back(slot);
+      return;
+    }
+  }
+}
+
+void SubscriptionRegistry::UnindexEntry(std::uint32_t slot) {
+  const Entry& e = slots_[slot];
+  switch (e.spec.kind) {
+    case SubKind::kProximity: {
+      if (auto* v = prox_by_entity_.Find(e.spec.proximity.entity)) {
+        EraseSlot(v, slot);
+      }
+      --prox_total_;
+      return;
+    }
+    case SubKind::kGeofence: {
+      --geo_total_;
+      if (!e.spec.geofence.all_entities) {
+        if (auto* v = entity_geo_.Find(e.spec.geofence.entity)) {
+          EraseSlot(v, slot);
+        }
+        return;
+      }
+      --fleet_geo_total_;
+      if (std::find(geo_catchall_.begin(), geo_catchall_.end(), slot) !=
+          geo_catchall_.end()) {
+        EraseSlot(&geo_catchall_, slot);
+        RebuildCatchallSoa();
+        return;
+      }
+      const BoundingBox index_box =
+          e.polygon.empty() ? e.box1 : e.polygon.bbox();
+      std::vector<std::uint64_t> cells;
+      CoveredCells(index_box, &cells);
+      if (!e.box2.IsEmpty()) CoveredCells(e.box2, &cells);
+      for (std::uint64_t c : cells) {
+        if (auto* v = geo_grid_.Find(c)) EraseSlot(v, slot);
+      }
+      return;
+    }
+    case SubKind::kHotspot: {
+      --hot_total_;
+      if (std::find(hot_catchall_.begin(), hot_catchall_.end(), slot) !=
+          hot_catchall_.end()) {
+        EraseSlot(&hot_catchall_, slot);
+        RebuildCatchallSoa();
+        return;
+      }
+      std::vector<std::uint64_t> cells;
+      CoveredCells(e.box1, &cells);
+      if (!e.box2.IsEmpty()) CoveredCells(e.box2, &cells);
+      for (std::uint64_t c : cells) {
+        if (auto* v = hot_grid_.Find(c)) EraseSlot(v, slot);
+      }
+      return;
+    }
+  }
+}
+
+void SubscriptionRegistry::RebuildCatchallSoa() {
+  geo_catchall_soa_.Clear();
+  geo_catchall_rows_.clear();
+  for (std::uint32_t slot : geo_catchall_) {
+    const Entry& e = slots_[slot];
+    const BoundingBox b = e.polygon.empty() ? e.box1 : e.polygon.bbox();
+    geo_catchall_soa_.Add(b);
+    geo_catchall_rows_.push_back(slot);
+    if (!e.box2.IsEmpty()) {
+      geo_catchall_soa_.Add(e.box2);
+      geo_catchall_rows_.push_back(slot);
+    }
+  }
+  hot_catchall_soa_.Clear();
+  hot_catchall_rows_.clear();
+  for (std::uint32_t slot : hot_catchall_) {
+    const Entry& e = slots_[slot];
+    hot_catchall_soa_.Add(e.box1);
+    hot_catchall_rows_.push_back(slot);
+    if (!e.box2.IsEmpty()) {
+      hot_catchall_soa_.Add(e.box2);
+      hot_catchall_rows_.push_back(slot);
+    }
+  }
+}
+
+// --- shared evaluation core ----------------------------------------------
+
+bool SubscriptionRegistry::RegionContains(const Entry& e, const LatLon& p) {
+  if (!e.polygon.empty()) return e.polygon.Contains(p);
+  return e.box1.Contains(p) || (!e.box2.IsEmpty() && e.box2.Contains(p));
+}
+
+void SubscriptionRegistry::GeofenceStep(const Entry& e,
+                                        const PositionReport& report,
+                                        GeofenceState* st,
+                                        std::vector<SubDelta>* out) {
+  const bool in = RegionContains(e, report.position.ll());
+  const TimestampMs ts = report.timestamp;
+  if (in && !st->inside) {
+    st->inside = true;
+    st->enter_ts = ts;
+    st->dwell_fired = false;
+    out->push_back({e.id, DeltaKind::kEnter, report.entity_id, ts, 0.0});
+  } else if (!in && st->inside) {
+    st->inside = false;
+    out->push_back({e.id, DeltaKind::kExit, report.entity_id, ts,
+                    static_cast<double>(ts - st->enter_ts)});
+    return;
+  }
+  if (in && e.spec.geofence.dwell_ms > 0 && !st->dwell_fired &&
+      ts - st->enter_ts >= e.spec.geofence.dwell_ms) {
+    st->dwell_fired = true;
+    out->push_back({e.id, DeltaKind::kDwell, report.entity_id, ts,
+                    static_cast<double>(ts - st->enter_ts)});
+  }
+}
+
+void SubscriptionRegistry::ProximityStep(const Entry& e, const Event& event,
+                                         EntityId other, ProximityState* st,
+                                         std::vector<SubDelta>* out) {
+  const DurationMs min_interval = e.spec.proximity.min_interval_ms;
+  if (st->armed && min_interval > 0 &&
+      event.time - st->last_alarm < min_interval) {
+    return;
+  }
+  st->armed = true;
+  st->last_alarm = event.time;
+  double value = 0.0;
+  auto it = event.attributes.find("distance_m");
+  if (it == event.attributes.end()) it = event.attributes.find("cpa_m");
+  if (it != event.attributes.end()) value = it->second;
+  const DeltaKind kind = event.kind == EventKind::kEncounter
+                             ? DeltaKind::kProximity
+                             : DeltaKind::kProximityForecast;
+  out->push_back({e.id, kind, other, event.time, value});
+}
+
+void SubscriptionRegistry::HotspotRoll(const Entry& e, std::int64_t epoch,
+                                       double count, TimestampMs close_ts,
+                                       HotspotState* st,
+                                       std::vector<SubDelta>* out) {
+  if (count > 0.0) {
+    st->window.emplace_back(epoch, count);
+    st->sum += count;
+  }
+  const std::int64_t horizon =
+      epoch - static_cast<std::int64_t>(e.spec.hotspot.window_epochs);
+  while (!st->window.empty() && st->window.front().first <= horizon) {
+    st->sum -= st->window.front().second;
+    st->window.pop_front();
+  }
+  const bool above = st->sum >= e.spec.hotspot.threshold;
+  if (above != st->above) {
+    st->above = above;
+    out->push_back({e.id, above ? DeltaKind::kHotspotOn : DeltaKind::kHotspotOff,
+                    0, close_ts, st->sum});
+  }
+}
+
+// --- keyed data plane -----------------------------------------------------
+
+void SubscriptionRegistry::EvalKeyed(std::size_t shard,
+                                     const PositionReport& report,
+                                     std::vector<SubDelta>* deltas,
+                                     FlatHashMap<std::uint64_t, double>* counts) {
+  if (!keyed_active()) return;
+  ShardState& ss = shards_[shard];
+  const LatLon p = report.position.ll();
+  eval_counter_->Add();
+
+  if (geo_total_ > 0) {
+    std::vector<std::uint32_t>& cand = ss.cand;
+    cand.clear();
+    if (const auto* v = entity_geo_.Find(report.entity_id)) {
+      cand.insert(cand.end(), v->begin(), v->end());
+    }
+    if (fleet_geo_total_ > 0) {
+      if (const auto* v = geo_grid_.Find(CellKey(p.lat_deg, p.lon_deg))) {
+        cand.insert(cand.end(), v->begin(), v->end());
+      }
+      if (const std::size_t n = geo_catchall_soa_.size(); n > 0) {
+        ss.mask.resize(n);
+        BboxContainsBatch(geo_catchall_soa_, p, ss.mask.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          if (ss.mask[i]) cand.push_back(geo_catchall_rows_[i]);
+        }
+      }
+      // Fleet-wide subs the entity is currently inside: the exit (and
+      // dwell) source when the report has left the sub's index cells.
+      if (auto* eng = ss.engaged.Find(report.entity_id)) {
+        eng->erase(std::remove_if(eng->begin(), eng->end(),
+                                  [this](std::uint32_t s) {
+                                    return !slots_[s].active;
+                                  }),
+                   eng->end());
+        cand.insert(cand.end(), eng->begin(), eng->end());
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    for (std::uint32_t slot : cand) {
+      const Entry& e = slots_[slot];
+      if (!e.active) continue;
+      GeofenceState& st = ss.geo_state[StateKey(slot, report.entity_id)];
+      const bool was_inside = st.inside;
+      GeofenceStep(e, report, &st, deltas);
+      if (e.spec.geofence.all_entities && st.inside != was_inside) {
+        std::vector<std::uint32_t>& eng = ss.engaged[report.entity_id];
+        if (st.inside) {
+          eng.push_back(slot);
+        } else {
+          EraseSlot(&eng, slot);
+        }
+      }
+    }
+  }
+
+  if (hot_total_ > 0) {
+    std::vector<std::uint32_t>& cand = ss.cand;
+    cand.clear();
+    if (const auto* v = hot_grid_.Find(CellKey(p.lat_deg, p.lon_deg))) {
+      cand.insert(cand.end(), v->begin(), v->end());
+    }
+    if (const std::size_t n = hot_catchall_soa_.size(); n > 0) {
+      ss.mask.resize(n);
+      BboxContainsBatch(hot_catchall_soa_, p, ss.mask.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ss.mask[i]) cand.push_back(hot_catchall_rows_[i]);
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    for (std::uint32_t slot : cand) {
+      const Entry& e = slots_[slot];
+      if (!e.active) continue;
+      if (RegionContains(e, p)) (*counts)[e.id] += 1.0;
+    }
+  }
+}
+
+// --- barrier data plane ---------------------------------------------------
+
+void SubscriptionRegistry::AddKeyedDeltas(std::span<const SubDelta> deltas) {
+  epoch_deltas_.insert(epoch_deltas_.end(), deltas.begin(), deltas.end());
+}
+
+void SubscriptionRegistry::AddHotspotCounts(
+    const FlatHashMap<std::uint64_t, double>& counts) {
+  counts.ForEach([this](std::uint64_t id, double count) {
+    const std::uint32_t* slot = id_to_slot_.Find(id);
+    if (slot == nullptr) return;
+    const Entry& e = slots_[*slot];
+    if (!e.active || e.spec.kind != SubKind::kHotspot) return;
+    epoch_counts_[*slot] += count;
+  });
+}
+
+void SubscriptionRegistry::AddGlobalEvents(std::span<const Event> events) {
+  if (prox_total_ == 0) return;
+  for (const Event& ev : events) {
+    if (ev.kind != EventKind::kEncounter &&
+        ev.kind != EventKind::kCollisionForecast) {
+      continue;
+    }
+    for (std::size_t i = 0; i < ev.entities.size(); ++i) {
+      // A sub steps at most once per event: skip repeated entity ids so
+      // this matches the oracle's first-matching-position scan.
+      bool dup = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (ev.entities[j] == ev.entities[i]) dup = true;
+      }
+      if (dup) continue;
+      const auto* subs = prox_by_entity_.Find(ev.entities[i]);
+      if (subs == nullptr) continue;
+      const EntityId other =
+          ev.entities.size() == 2 ? ev.entities[i ^ 1] : ev.entities[i];
+      for (std::uint32_t slot : *subs) {
+        const Entry& e = slots_[slot];
+        if (!e.active) continue;
+        ProximityStep(e, ev, other, &prox_state_[slot], &epoch_deltas_);
+      }
+    }
+  }
+}
+
+void SubscriptionRegistry::CloseEpoch(TimestampMs close_ts) {
+  if (!ever_active_) return;
+  DATACRON_TRACE_SPAN("sub.eval_epoch", "sub");
+  const std::int64_t epoch = epochs_closed_++;
+
+  if (hot_total_ > 0 || !hot_live_.empty()) {
+    // Roll every hotspot window that was touched this epoch or is still
+    // live (nonempty window / above threshold), ascending slot order.
+    std::vector<std::uint32_t> roll(hot_live_.begin(), hot_live_.end());
+    epoch_counts_.ForEach([&roll](std::uint32_t slot, double) {
+      roll.push_back(slot);
+    });
+    std::sort(roll.begin(), roll.end());
+    roll.erase(std::unique(roll.begin(), roll.end()), roll.end());
+    for (std::uint32_t slot : roll) {
+      const Entry& e = slots_[slot];
+      if (!e.active) {
+        hot_live_.erase(slot);
+        continue;
+      }
+      const double* c = epoch_counts_.Find(slot);
+      HotspotState& st = hot_state_[slot];
+      HotspotRoll(e, epoch, c == nullptr ? 0.0 : *c, close_ts, &st,
+                  &epoch_deltas_);
+      if (st.window.empty() && !st.above) {
+        hot_live_.erase(slot);
+      } else {
+        hot_live_.insert(slot);
+      }
+    }
+  }
+
+  std::vector<DeltaBatch> batches;
+  CoalesceEpoch(epoch, &epoch_deltas_, &batches);
+  epoch_deltas_.clear();
+  epoch_counts_.Clear();
+  for (DeltaBatch& b : batches) {
+    deltas_counter_->Add(b.deltas.size());
+    batches_counter_->Add();
+    if (sink_) {
+      sink_(b);
+    } else {
+      pending_.push_back(std::move(b));
+    }
+  }
+}
+
+void SubscriptionRegistry::CoalesceEpoch(std::int64_t epoch,
+                                         std::vector<SubDelta>* deltas,
+                                         std::vector<DeltaBatch>* out) const {
+  std::stable_sort(deltas->begin(), deltas->end(),
+                   [](const SubDelta& a, const SubDelta& b) {
+                     return a.sub < b.sub;
+                   });
+  DeltaBatch* open = nullptr;
+  SubscriptionId open_sub = 0;
+  SubscriberId open_client = 0;
+  // Deltas are sorted by subscription id and ids ascend in registration
+  // order, so grouping runs of equal subscriber ids would interleave;
+  // instead bucket into per-subscriber batches kept sorted by subscriber.
+  std::vector<DeltaBatch> buckets;
+  auto bucket_of = [&](SubscriberId client) -> DeltaBatch* {
+    auto it = std::lower_bound(buckets.begin(), buckets.end(), client,
+                               [](const DeltaBatch& b, SubscriberId c) {
+                                 return b.subscriber < c;
+                               });
+    if (it == buckets.end() || it->subscriber != client) {
+      DeltaBatch b;
+      b.subscriber = client;
+      b.epoch = epoch;
+      it = buckets.insert(it, std::move(b));
+    }
+    return &*it;
+  };
+  for (const SubDelta& d : *deltas) {
+    if (open == nullptr || d.sub != open_sub) {
+      const Entry* e = FindEntry(d.sub);
+      if (e == nullptr || !e->active) {
+        open = nullptr;
+        open_sub = d.sub;
+        continue;
+      }
+      open_sub = d.sub;
+      open_client = e->subscriber;
+      open = bucket_of(open_client);
+    }
+    if (open != nullptr) open->deltas.push_back(d);
+  }
+  for (DeltaBatch& b : buckets) out->push_back(std::move(b));
+}
+
+std::vector<DeltaBatch> SubscriptionRegistry::TakeBatches() {
+  std::vector<DeltaBatch> out;
+  out.swap(pending_);
+  return out;
+}
+
+}  // namespace datacron

@@ -1,0 +1,288 @@
+#ifndef DATACRON_SUB_REGISTRY_H_
+#define DATACRON_SUB_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "cep/event.h"
+#include "common/flat_hash.h"
+#include "common/status.h"
+#include "geo/kernels.h"
+#include "geo/polygon.h"
+#include "obs/metrics.h"
+#include "sources/model.h"
+#include "sub/subscription.h"
+
+namespace datacron {
+
+/// Per-(subscription, entity) geofence memory: which side of the fence
+/// the entity was on after the last report, when it entered, and whether
+/// this visit's dwell alarm already fired. Lives in the shard that owns
+/// the entity's reports.
+struct GeofenceState {
+  bool inside = false;
+  bool dwell_fired = false;
+  TimestampMs enter_ts = 0;
+};
+
+/// Per-subscription proximity watermark (barrier side): the last alarm
+/// forwarded, for min_interval_ms suppression.
+struct ProximityState {
+  bool armed = false;
+  TimestampMs last_alarm = 0;
+};
+
+/// Per-subscription rolling density window (barrier side): nonzero
+/// per-epoch report counts with their epoch index, the running sum, and
+/// which side of the threshold the last close ended on.
+struct HotspotState {
+  std::deque<std::pair<std::int64_t, double>> window;
+  double sum = 0.0;
+  bool above = false;
+};
+
+/// Sharded standing-query registry — the subscription tier's core.
+///
+/// Control plane (Subscribe/Unsubscribe) and data plane are phased: the
+/// data-plane methods may run while no control-plane call is in flight.
+/// Within the data plane, EvalKeyed(shard, ...) is called concurrently
+/// across shards but serially per shard (the sharded runtime's
+/// single-drain-task-per-shard guarantee), and the barrier methods
+/// (Add*/CloseEpoch) run on one thread in input order.
+///
+/// Evaluation is incremental by construction:
+///   * geofence subs are indexed by watched entity and by a uniform grid
+///     over their boxes (wide boxes fall back to a BboxSoa scanned with
+///     BboxContainsBatch), so a report only touches subscriptions that
+///     can transition — plus the shard's "engaged" set, the fleet-wide
+///     subs the entity is currently inside, which is what makes exits
+///     fire without rescanning every subscription;
+///   * proximity subs only wake when the global CEP stage emits an
+///     encounter/forecast involving their entity;
+///   * hotspot subs accumulate sparse per-epoch counts in the shards and
+///     roll their windows lazily at the barrier (untouched, below-
+///     threshold subs cost nothing).
+///
+/// Deltas are canonicalized at CloseEpoch (stable sort by subscription
+/// id, coalesced per subscriber in ascending subscriber order), so the
+/// emitted batches are byte-identical to SubscriptionOracle's full
+/// re-evaluation at any shard/pool/epoch size.
+class SubscriptionRegistry {
+ public:
+  struct Options {
+    /// Must match the engine's shard count (EvalKeyed is indexed by the
+    /// engine's ShardOf). Clamped to >= 1.
+    std::size_t num_shards = 1;
+    /// Spatial index cell size in degrees.
+    double cell_deg = 0.25;
+    /// Boxes covering more cells than this go to the BboxSoa catchall
+    /// (scanned per report) instead of the grid.
+    std::size_t max_cells_per_box = 512;
+  };
+
+  SubscriptionRegistry();
+  explicit SubscriptionRegistry(Options opts);
+
+  /// A registered subscription with its registration-time compilation:
+  /// wrap bboxes split in two, polygons pre-built. Slots are assigned in
+  /// registration order and never reused; unsubscribing tombstones the
+  /// slot (active = false).
+  struct Entry {
+    SubscriptionId id = 0;
+    SubscriberId subscriber = 0;
+    bool active = false;
+    SubscriptionSpec spec;
+    /// Compiled containment region (geofence/hotspot): box2 is the
+    /// second half of an antimeridian-split bbox, empty otherwise. A
+    /// geofence polygon (>= 3 vertices) replaces the boxes entirely.
+    BoundingBox box1;
+    BoundingBox box2;
+    Polygon polygon;
+  };
+
+  // --- control plane ----------------------------------------------------
+
+  /// Registers a standing query; returns its new id (ids ascend in
+  /// registration order). InvalidArgument if the spec fails ValidateSpec.
+  Result<SubscriptionId> Subscribe(SubscriberId subscriber,
+                                   const SubscriptionSpec& spec);
+
+  /// Registers under a caller-chosen id — the cluster seam: the
+  /// coordinator assigns the id and every node registers the same one.
+  /// Idempotent for an identical (subscriber, spec) re-registration;
+  /// AlreadyExists if the id is taken by a different subscription.
+  Status SubscribeWithId(SubscriptionId id, SubscriberId subscriber,
+                         const SubscriptionSpec& spec);
+
+  /// Deactivates a subscription. Returns false when the id is unknown or
+  /// already inactive. Deltas it produced earlier in a still-open epoch
+  /// are dropped at CloseEpoch.
+  bool Unsubscribe(SubscriptionId id);
+
+  std::size_t active_count() const { return active_count_; }
+  /// True once any subscription was ever registered — the engine's guard
+  /// for skipping the data plane entirely on subscription-free streams.
+  bool ever_active() const { return ever_active_; }
+  /// True while any geofence/hotspot sub is active (per-report work).
+  bool keyed_active() const { return geo_total_ + hot_total_ > 0; }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::int64_t epochs_closed() const { return epochs_closed_; }
+
+  // --- data plane: keyed (inside the engine's shards) -------------------
+
+  /// Evaluates every geofence subscription the report can transition and
+  /// counts it into every hotspot subscription's box, appending deltas /
+  /// accumulating counts (keyed by subscription id) into the shard's
+  /// epoch sink. Serial per shard, concurrent across shards.
+  void EvalKeyed(std::size_t shard, const PositionReport& report,
+                 std::vector<SubDelta>* deltas,
+                 FlatHashMap<std::uint64_t, double>* counts);
+
+  // --- data plane: epoch barrier (one thread, input order) --------------
+
+  /// Splices one report's shard-emitted deltas into the epoch, in global
+  /// input order.
+  void AddKeyedDeltas(std::span<const SubDelta> deltas);
+
+  /// Folds one sink's hotspot counts into the epoch (summation, so feed
+  /// order does not matter).
+  void AddHotspotCounts(const FlatHashMap<std::uint64_t, double>& counts);
+
+  /// Feeds the global CEP events one report produced (input order);
+  /// encounter/collision-forecast events wake proximity subscriptions.
+  void AddGlobalEvents(std::span<const Event> events);
+
+  /// Closes the epoch: rolls hotspot windows, canonicalizes and coalesces
+  /// the epoch's deltas per subscriber, pushes each batch to the delta
+  /// sink, and clears the scratch. `close_ts` stamps hotspot deltas
+  /// (callers pass the epoch's last report timestamp).
+  void CloseEpoch(TimestampMs close_ts);
+
+  /// Where CloseEpoch pushes coalesced batches. Without a sink, batches
+  /// accumulate internally until TakeBatches().
+  using DeltaSink = std::function<void(const DeltaBatch&)>;
+  void SetDeltaSink(DeltaSink sink) { sink_ = std::move(sink); }
+  std::vector<DeltaBatch> TakeBatches();
+
+  // --- shared evaluation core (also used by SubscriptionOracle) ---------
+
+  /// Containment under the compiled region: split boxes OR polygon.
+  static bool RegionContains(const Entry& e, const LatLon& p);
+
+  /// One geofence state transition; appends at most one delta.
+  static void GeofenceStep(const Entry& e, const PositionReport& report,
+                           GeofenceState* st, std::vector<SubDelta>* out);
+
+  /// One proximity forwarding decision for an event involving the watched
+  /// entity; `other` is the counterpart entity carried in the delta.
+  static void ProximityStep(const Entry& e, const Event& event,
+                            EntityId other, ProximityState* st,
+                            std::vector<SubDelta>* out);
+
+  /// Rolls one hotspot window to epoch `epoch` with this epoch's count;
+  /// appends the on/off crossing delta if the threshold was crossed.
+  static void HotspotRoll(const Entry& e, std::int64_t epoch, double count,
+                          TimestampMs close_ts, HotspotState* st,
+                          std::vector<SubDelta>* out);
+
+  /// Canonical epoch output: stable-sorts `deltas` by subscription id,
+  /// drops inactive subscriptions, coalesces per subscriber in ascending
+  /// subscriber order. Shared by CloseEpoch and the oracle so both
+  /// serialize identically.
+  void CoalesceEpoch(std::int64_t epoch, std::vector<SubDelta>* deltas,
+                     std::vector<DeltaBatch>* out) const;
+
+  /// Visits active subscriptions in ascending slot (= id) order.
+  template <typename Fn>
+  void ForEachActive(Fn&& fn) const {
+    for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].active) fn(s, slots_[s]);
+    }
+  }
+
+  const Entry* FindEntry(SubscriptionId id) const;
+
+ private:
+  /// All keyed state one engine shard owns: geofence memory per
+  /// (slot, entity), which fleet-wide slots each entity is engaged with
+  /// (currently inside), and reusable candidate scratch.
+  struct ShardState {
+    FlatHashMap<std::uint64_t, GeofenceState> geo_state;
+    FlatHashMap<EntityId, std::vector<std::uint32_t>> engaged;
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint8_t> mask;
+  };
+
+  static std::uint64_t StateKey(std::uint32_t slot, EntityId entity) {
+    return (static_cast<std::uint64_t>(slot) << 32) | entity;
+  }
+
+  std::uint64_t CellKey(double lat_deg, double lon_deg) const;
+  void CoveredCells(const BoundingBox& box,
+                    std::vector<std::uint64_t>* out) const;
+
+  Status Register(SubscriptionId id, SubscriberId subscriber,
+                  const SubscriptionSpec& spec);
+  void IndexEntry(std::uint32_t slot);
+  void UnindexEntry(std::uint32_t slot);
+  void RebuildCatchallSoa();
+
+  Options opts_;
+  std::vector<Entry> slots_;
+  FlatHashMap<std::uint64_t, std::uint32_t> id_to_slot_;
+  SubscriptionId next_id_ = 1;
+  std::size_t active_count_ = 0;
+  bool ever_active_ = false;
+
+  // Geofence indexes. Entity-scoped subs live in entity_geo_; fleet-wide
+  // subs live in the grid or, when their box covers too many cells, in
+  // the catchall SoA (one row per (slot, box half)).
+  FlatHashMap<EntityId, std::vector<std::uint32_t>> entity_geo_;
+  FlatHashMap<std::uint64_t, std::vector<std::uint32_t>> geo_grid_;
+  std::vector<std::uint32_t> geo_catchall_;
+  BboxSoa geo_catchall_soa_;
+  std::vector<std::uint32_t> geo_catchall_rows_;  // soa row -> slot
+  std::size_t geo_total_ = 0;
+  std::size_t fleet_geo_total_ = 0;
+
+  // Hotspot indexes (always fleet-wide).
+  FlatHashMap<std::uint64_t, std::vector<std::uint32_t>> hot_grid_;
+  std::vector<std::uint32_t> hot_catchall_;
+  BboxSoa hot_catchall_soa_;
+  std::vector<std::uint32_t> hot_catchall_rows_;
+  std::size_t hot_total_ = 0;
+
+  // Proximity index.
+  FlatHashMap<EntityId, std::vector<std::uint32_t>> prox_by_entity_;
+  std::size_t prox_total_ = 0;
+
+  // Keyed state, one per engine shard.
+  std::vector<ShardState> shards_;
+
+  // Barrier state + epoch scratch.
+  FlatHashMap<std::uint32_t, ProximityState> prox_state_;
+  FlatHashMap<std::uint32_t, HotspotState> hot_state_;
+  /// Hotspot slots with a nonempty window or above-threshold side —
+  /// the ones CloseEpoch must roll even when untouched this epoch.
+  std::set<std::uint32_t> hot_live_;
+  std::vector<SubDelta> epoch_deltas_;
+  FlatHashMap<std::uint32_t, double> epoch_counts_;
+  std::int64_t epochs_closed_ = 0;
+
+  DeltaSink sink_;
+  std::vector<DeltaBatch> pending_;
+
+  obs::Counter* deltas_counter_;
+  obs::Counter* batches_counter_;
+  obs::Counter* eval_counter_;
+  obs::Gauge* active_gauge_;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_SUB_REGISTRY_H_

@@ -1,0 +1,171 @@
+#ifndef DATACRON_SUB_SUBSCRIPTION_H_
+#define DATACRON_SUB_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_utils.h"
+#include "geo/bbox.h"
+#include "geo/geo.h"
+#include "sources/model.h"
+
+namespace datacron {
+
+/// Globally unique standing-query id, assigned by the registry (or, in a
+/// cluster, by the coordinator) in registration order and never reused.
+using SubscriptionId = std::uint64_t;
+
+/// Identifies the client connection a subscription's deltas are pushed
+/// to; one subscriber may hold many subscriptions.
+using SubscriberId = std::uint32_t;
+
+/// The three standing-query families of the subscription tier (ROADMAP
+/// "millions of users" front end): cheap per-entity predicates evaluated
+/// incrementally inside the engine's shards, crossing the epoch barrier
+/// only when they fire.
+enum class SubKind : std::uint8_t {
+  /// Enter/exit/dwell watch on a bbox or polygon, for one entity or the
+  /// whole fleet.
+  kGeofence = 0,
+  /// Alert whenever a named entity is party to a proximity encounter or
+  /// collision forecast, rate-limited by a per-subscription watermark.
+  kProximity,
+  /// Rolling report-density watch over a bbox: fires when the density
+  /// over the trailing window of epochs crosses the threshold (both
+  /// directions).
+  kHotspot,
+};
+
+const char* SubKindName(SubKind kind);
+
+/// Geofence standing query. `bbox` with min_lon > max_lon is interpreted
+/// as crossing the antimeridian and is split into two plain boxes at
+/// registration (BoundingBox itself never wraps). When `polygon` has >= 3
+/// vertices it replaces the bbox as the containment test (even-odd rule,
+/// no antimeridian handling); the bbox is then ignored.
+struct GeofenceSpec {
+  BoundingBox bbox;
+  std::vector<LatLon> polygon;
+  /// Watched entity; ignored when all_entities is set.
+  EntityId entity = 0;
+  bool all_entities = false;
+  /// > 0 arms a one-shot dwell alarm per visit: fires when the entity has
+  /// been continuously inside for at least this long.
+  DurationMs dwell_ms = 0;
+
+  bool operator==(const GeofenceSpec&) const = default;
+};
+
+/// Proximity standing query: forward every kEncounter / kCollisionForecast
+/// the global CEP stage emits that involves `entity`, suppressing repeats
+/// closer than `min_interval_ms` to the last forwarded alarm.
+struct ProximitySpec {
+  EntityId entity = 0;
+  DurationMs min_interval_ms = 0;
+
+  bool operator==(const ProximitySpec&) const = default;
+};
+
+/// Hotspot-threshold standing query: the number of position reports
+/// landing in `bbox` over the trailing `window_epochs` epochs, compared
+/// against `threshold` at every epoch close. Emits kHotspotOn on the
+/// rising crossing and kHotspotOff on the falling one.
+struct HotspotSpec {
+  BoundingBox bbox;
+  double threshold = 1.0;
+  std::uint32_t window_epochs = 1;
+
+  bool operator==(const HotspotSpec&) const = default;
+};
+
+/// One standing query as a client registers it. Exactly one of the three
+/// payloads is meaningful, selected by `kind`.
+struct SubscriptionSpec {
+  SubKind kind = SubKind::kGeofence;
+  GeofenceSpec geofence;
+  ProximitySpec proximity;
+  HotspotSpec hotspot;
+
+  bool operator==(const SubscriptionSpec&) const = default;
+
+  static SubscriptionSpec Geofence(GeofenceSpec g) {
+    SubscriptionSpec s;
+    s.kind = SubKind::kGeofence;
+    s.geofence = std::move(g);
+    return s;
+  }
+  static SubscriptionSpec Proximity(ProximitySpec p) {
+    SubscriptionSpec s;
+    s.kind = SubKind::kProximity;
+    s.proximity = p;
+    return s;
+  }
+  static SubscriptionSpec Hotspot(HotspotSpec h) {
+    SubscriptionSpec s;
+    s.kind = SubKind::kHotspot;
+    s.hotspot = h;
+    return s;
+  }
+};
+
+/// Validates a spec the way the registry (and the wire decoder) do:
+/// geofence needs a non-empty region (a wrap bbox counts), polygon vertex
+/// counts are bounded, hotspot needs a positive threshold and window.
+Status ValidateSpec(const SubscriptionSpec& spec);
+
+/// Hard cap on geofence polygon vertices, enforced at registration and by
+/// the wire decoder (an inflated count is corruption, not a request).
+inline constexpr std::size_t kMaxGeofenceVertices = 4096;
+
+/// Hard cap on an encoded Subscribe predicate payload. Zero-length or
+/// larger-than-this payloads are rejected with ParseError by the codec.
+inline constexpr std::size_t kMaxSubPredicateBytes = 64 * 1024;
+
+/// What changed for one subscription. Deltas are the only thing that
+/// crosses the epoch barrier: a subscription whose state did not
+/// transition this epoch contributes nothing.
+enum class DeltaKind : std::uint8_t {
+  kEnter = 0,          // geofence: outside -> inside
+  kExit,               // geofence: inside -> outside (value = ms inside)
+  kDwell,              // geofence: continuously inside >= dwell_ms
+  kProximity,          // forwarded kEncounter (value = distance_m)
+  kProximityForecast,  // forwarded kCollisionForecast (value = cpa_m)
+  kHotspotOn,          // rolling density crossed threshold upward
+  kHotspotOff,         // rolling density crossed threshold downward
+};
+
+const char* DeltaKindName(DeltaKind kind);
+
+/// One state transition of one subscription. 29 bytes on the wire.
+struct SubDelta {
+  SubscriptionId sub = 0;
+  DeltaKind kind = DeltaKind::kEnter;
+  /// Triggering entity (the watched entity's counterpart for proximity
+  /// kinds; 0 for hotspot kinds).
+  EntityId entity = 0;
+  TimestampMs time = 0;
+  /// Kind-specific magnitude: ms inside for kExit/kDwell, meters for the
+  /// proximity kinds, window density for the hotspot kinds.
+  double value = 0.0;
+
+  bool operator==(const SubDelta&) const = default;
+
+  std::string ToString() const;
+};
+
+/// One epoch's coalesced deltas for one subscriber — the unit pushed over
+/// the wire as a kDeltaBatch frame. `epoch` counts epoch closes since the
+/// registry started evaluating (serial Ingest closes an epoch per report).
+struct DeltaBatch {
+  SubscriberId subscriber = 0;
+  std::int64_t epoch = 0;
+  std::vector<SubDelta> deltas;
+
+  bool operator==(const DeltaBatch&) const = default;
+};
+
+}  // namespace datacron
+
+#endif  // DATACRON_SUB_SUBSCRIPTION_H_

@@ -334,6 +334,89 @@ TEST(AdmissionQueueTest, DropOldestAttributesDropsPerKey) {
   EXPECT_EQ(by_key[1].second, 2u);
 }
 
+TEST(AdmissionQueueTest, DropFairShedsTheChattyKeyNotTheQuietOnes) {
+  AdmissionQueue<int>::Options opts;
+  opts.capacity = 8;
+  opts.policy = AdmissionPolicy::kDropFair;
+  // Key = value / 100: items 100..199 belong to key 1, 200..299 to key 2…
+  opts.drop_key = [](const int& v) {
+    return static_cast<std::uint64_t>(v / 100);
+  };
+  AdmissionQueue<int> queue(opts);
+
+  // One item each from four quiet keys, then a chatty key floods the rest
+  // of the queue and keeps pushing past capacity.
+  for (int v : {200, 300, 400, 500}) ASSERT_TRUE(queue.Push(v));
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(queue.Push(100 + i));
+
+  // Every eviction lands on the chatty key 1: it is over its fair share
+  // (8 / 5 live keys = 1) on every overflowing push.
+  EXPECT_EQ(queue.dropped(), 8u);
+  const auto by_key = queue.DropsByKey();
+  ASSERT_EQ(by_key.size(), 1u);
+  EXPECT_EQ(by_key[0].first, 1u);
+  EXPECT_EQ(by_key[0].second, 8u);
+
+  // The quiet keys' items all survive, still in arrival order, followed
+  // by the chatty key's newest items.
+  const std::vector<int> got = queue.PopBatch(16);
+  EXPECT_EQ(got,
+            (std::vector<int>{200, 300, 400, 500, 108, 109, 110, 111}));
+}
+
+TEST(AdmissionQueueTest, DropFairEvictsTheMostBufferedKeyWhenPusherIsUnderBudget) {
+  AdmissionQueue<int>::Options opts;
+  opts.capacity = 4;
+  opts.policy = AdmissionPolicy::kDropFair;
+  opts.drop_key = [](const int& v) {
+    return static_cast<std::uint64_t>(v / 100);
+  };
+  AdmissionQueue<int> queue(opts);
+
+  // Key 1 fills the queue; a brand-new quiet key pushes one item. The
+  // pusher is under budget, so the most-buffered key (1) sheds its
+  // oldest item instead.
+  for (int v : {100, 101, 102, 103}) ASSERT_TRUE(queue.Push(v));
+  ASSERT_TRUE(queue.Push(200));
+  EXPECT_EQ(queue.dropped(), 1u);
+  const auto by_key = queue.DropsByKey();
+  ASSERT_EQ(by_key.size(), 1u);
+  EXPECT_EQ(by_key[0].first, 1u);
+  EXPECT_EQ(queue.PopBatch(8), (std::vector<int>{101, 102, 103, 200}));
+}
+
+TEST(AdmissionQueueTest, DropFairTiesBreakTowardTheSmallestKey) {
+  AdmissionQueue<int>::Options opts;
+  opts.capacity = 4;
+  opts.policy = AdmissionPolicy::kDropFair;
+  opts.drop_key = [](const int& v) {
+    return static_cast<std::uint64_t>(v / 100);
+  };
+  AdmissionQueue<int> queue(opts);
+
+  // Keys 1 and 2 each buffer two items; a new key 3 pushes while under
+  // budget. Both incumbents are tied as "most buffered" — the smaller
+  // key (1) is the deterministic victim.
+  for (int v : {100, 200, 101, 201}) ASSERT_TRUE(queue.Push(v));
+  ASSERT_TRUE(queue.Push(300));
+  EXPECT_EQ(queue.dropped(), 1u);
+  const auto by_key = queue.DropsByKey();
+  ASSERT_EQ(by_key.size(), 1u);
+  EXPECT_EQ(by_key[0].first, 1u);
+  EXPECT_EQ(queue.PopBatch(8), (std::vector<int>{200, 101, 201, 300}));
+}
+
+TEST(AdmissionQueueTest, DropFairWithoutDropKeyFallsBackToDropOldest) {
+  AdmissionQueue<int>::Options opts;
+  opts.capacity = 2;
+  opts.policy = AdmissionPolicy::kDropFair;
+  AdmissionQueue<int> queue(opts);
+
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.dropped(), 3u);
+  EXPECT_EQ(queue.PopBatch(8), (std::vector<int>{4, 5}));
+}
+
 TEST(AdmissionTest, EngineQueueIngestMatchesSerialUnderBlockPolicy) {
   const auto stream = MixedStream();
   const RunOutputs serial = RunSerial(stream);

@@ -19,6 +19,7 @@
 #include "net/codec.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "sub/subscription.h"
 
 namespace datacron {
 namespace {
@@ -118,10 +119,80 @@ WireReportResult RandResult(Rng& rng) {
          NodeGeo{rng.Uniform(-90, 90), rng.Uniform(-180, 180), 0.0,
                  rng.UniformInt(0, 1'000'000)}});
   }
+  for (std::int64_t i = rng.UniformInt(0, 3); i > 0; --i) {
+    SubDelta d;
+    d.sub = rng.NextUint64() % 100 + 1;
+    d.kind = static_cast<DeltaKind>(rng.UniformInt(0, 6));
+    d.entity = static_cast<EntityId>(rng.NextUint64());
+    d.time = rng.UniformInt(0, 1'000'000'000);
+    d.value = rng.Uniform(0, 1e6);
+    res.sub_deltas.push_back(d);
+  }
+  for (std::int64_t i = rng.UniformInt(0, 2); i > 0; --i) {
+    res.sub_counts.push_back({rng.NextUint64() % 100 + 1,
+                              static_cast<double>(rng.UniformInt(1, 50))});
+  }
   res.synopses_ns = rng.UniformInt(0, 1'000'000);
   res.transform_ns = rng.UniformInt(0, 1'000'000);
   res.keyed_cep_ns = rng.UniformInt(0, 1'000'000);
   return res;
+}
+
+/// Valid by ValidateSpec — the Subscribe decoder validates, so round-trip
+/// inputs must be legal subscriptions.
+SubscriptionSpec RandSpec(Rng& rng) {
+  switch (rng.UniformInt(0, 2)) {
+    case 0: {
+      GeofenceSpec g;
+      const double lat = rng.Uniform(-60, 60);
+      const double lon = rng.Uniform(-160, 160);
+      if (rng.Bernoulli(0.3)) {
+        const std::int64_t n = rng.UniformInt(3, 8);
+        for (std::int64_t i = 0; i < n; ++i) {
+          g.polygon.push_back({lat + rng.Uniform(-2, 2),
+                               lon + rng.Uniform(-2, 2)});
+        }
+      } else if (rng.Bernoulli(0.2)) {
+        // Antimeridian wrap: min_lon > max_lon by convention.
+        g.bbox = BoundingBox::Of(lat, 175.0, lat + 5.0, -175.0);
+      } else {
+        g.bbox = BoundingBox::Of(lat, lon, lat + rng.Uniform(0.1, 5),
+                                 lon + rng.Uniform(0.1, 5));
+      }
+      g.all_entities = rng.Bernoulli(0.3);
+      if (!g.all_entities) {
+        g.entity = static_cast<EntityId>(rng.UniformInt(1, 1'000'000));
+      }
+      if (rng.Bernoulli(0.5)) g.dwell_ms = rng.UniformInt(0, 600'000);
+      return SubscriptionSpec::Geofence(std::move(g));
+    }
+    case 1: {
+      ProximitySpec p;
+      p.entity = static_cast<EntityId>(rng.UniformInt(1, 1'000'000));
+      p.min_interval_ms = rng.UniformInt(0, 600'000);
+      return SubscriptionSpec::Proximity(p);
+    }
+    default: {
+      HotspotSpec h;
+      const double lat = rng.Uniform(-60, 60);
+      const double lon = rng.Uniform(-160, 160);
+      h.bbox = BoundingBox::Of(lat, lon, lat + rng.Uniform(0.1, 5),
+                               lon + rng.Uniform(0.1, 5));
+      h.threshold = rng.Uniform(0.5, 500);
+      h.window_epochs = static_cast<std::uint32_t>(rng.UniformInt(1, 16));
+      return SubscriptionSpec::Hotspot(h);
+    }
+  }
+}
+
+SubDelta RandDelta(Rng& rng) {
+  SubDelta d;
+  d.sub = static_cast<SubscriptionId>(rng.UniformInt(1, 1'000'000));
+  d.kind = static_cast<DeltaKind>(rng.UniformInt(0, 6));
+  d.entity = static_cast<EntityId>(rng.NextUint64());
+  d.time = rng.UniformInt(0, 1'000'000'000);
+  d.value = rng.Uniform(-1e6, 1e6);
+  return d;
 }
 
 CriticalPoint RandCriticalPoint(Rng& rng) {
@@ -232,6 +303,135 @@ TEST(CodecTest, RoundTripPropertyOverRandomMessages) {
     }
     ExpectRoundTrip(metrics);
   }
+}
+
+TEST(CodecTest, SubscriptionMessagesRoundTrip) {
+  Rng rng(0x5AB5C12B);
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE(trial);
+    SubscribeMsg sub;
+    sub.id = rng.NextUint64() % 1'000'000;
+    sub.subscriber = static_cast<SubscriberId>(rng.UniformInt(0, 1'000));
+    sub.spec = RandSpec(rng);
+    ExpectRoundTrip(sub);
+
+    UnsubscribeMsg unsub;
+    unsub.id = rng.NextUint64() % 1'000'000 + 1;
+    unsub.subscriber = static_cast<SubscriberId>(rng.UniformInt(0, 1'000));
+    ExpectRoundTrip(unsub);
+
+    SubAckMsg ack;
+    ack.id = rng.NextUint64() % 1'000'000;
+    ack.ok = rng.Bernoulli(0.7);
+    if (!ack.ok) ack.error = RandString(rng, 24);
+    ExpectRoundTrip(ack);
+
+    DeltaBatchMsg batch;
+    batch.batch.subscriber =
+        static_cast<SubscriberId>(rng.UniformInt(0, 1'000));
+    batch.batch.epoch = rng.UniformInt(0, 1'000'000);
+    for (std::int64_t i = rng.UniformInt(0, 6); i > 0; --i) {
+      batch.batch.deltas.push_back(RandDelta(rng));
+    }
+    ExpectRoundTrip(batch);
+  }
+}
+
+TEST(CodecTest, SubscriptionTruncationRejectedAtEveryPrefix) {
+  Rng rng(0x7A12);
+  SubscribeMsg sub;
+  sub.id = 7;
+  sub.subscriber = 3;
+  sub.spec = RandSpec(rng);
+  ExpectTruncationRejected(sub);
+
+  UnsubscribeMsg unsub;
+  unsub.id = 9;
+  unsub.subscriber = 1;
+  ExpectTruncationRejected(unsub);
+
+  SubAckMsg ack;
+  ack.id = 11;
+  ack.ok = false;
+  ack.error = "nope";
+  ExpectTruncationRejected(ack);
+
+  DeltaBatchMsg batch;
+  batch.batch.subscriber = 5;
+  batch.batch.epoch = 42;
+  for (int i = 0; i < 3; ++i) batch.batch.deltas.push_back(RandDelta(rng));
+  ExpectTruncationRejected(batch);
+}
+
+TEST(CodecTest, SubscriptionCorruptedBytesNeverCrashTheDecoder) {
+  Rng rng(0x5AB0BAD);
+  SubscribeMsg sub;
+  sub.id = 12;
+  sub.subscriber = 4;
+  sub.spec = RandSpec(rng);
+  std::string payload = Encode(sub);
+  for (std::size_t off = 0; off < payload.size(); ++off) {
+    std::string corrupt = payload;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x5A);
+    SubscribeMsg decoded;
+    (void)Decode(corrupt, &decoded);
+  }
+
+  DeltaBatchMsg batch;
+  batch.batch.subscriber = 2;
+  batch.batch.epoch = 3;
+  for (int i = 0; i < 4; ++i) batch.batch.deltas.push_back(RandDelta(rng));
+  payload = Encode(batch);
+  for (std::size_t off = 0; off < payload.size(); ++off) {
+    std::string corrupt = payload;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x5A);
+    DeltaBatchMsg decoded;
+    (void)Decode(corrupt, &decoded);
+  }
+}
+
+TEST(CodecTest, SubscribePredicatePayloadBoundsAreEnforced) {
+  // Hand-built frames: envelope + id + subscriber + length-prefixed
+  // predicate. The decoder must reject before parsing a byte of an empty
+  // or oversized predicate.
+  const auto frame_with_predicate = [](const std::string& predicate) {
+    WireWriter w;
+    w.U16(static_cast<std::uint16_t>(MsgType::kSubscribe));
+    w.U64(1);
+    w.U32(2);
+    w.Str(predicate);
+    return w.Take();
+  };
+
+  SubscribeMsg decoded;
+  Status s = Decode(frame_with_predicate(""), &decoded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("empty"), std::string::npos) << s.ToString();
+
+  s = Decode(frame_with_predicate(std::string(kMaxSubPredicateBytes + 1,
+                                              '\x01')),
+             &decoded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("oversized"), std::string::npos)
+      << s.ToString();
+
+  // A well-formed predicate that fails semantic validation (hotspot with
+  // zero threshold) is also rejected at decode time.
+  SubscribeMsg bad;
+  bad.subscriber = 2;
+  bad.spec = SubscriptionSpec::Hotspot(
+      {BoundingBox::Of(0, 0, 1, 1), /*threshold=*/0.0,
+       /*window_epochs=*/1});
+  EXPECT_FALSE(Decode(Encode(bad), &decoded).ok());
+
+  // An out-of-range delta kind inside a batch is corruption.
+  DeltaBatchMsg batch;
+  batch.batch.subscriber = 1;
+  SubDelta d;
+  d.kind = static_cast<DeltaKind>(0x7E);
+  batch.batch.deltas.push_back(d);
+  DeltaBatchMsg decoded_batch;
+  EXPECT_FALSE(Decode(Encode(batch), &decoded_batch).ok());
 }
 
 TEST(CodecTest, MetricsRoundTripPreservesMergeBehavior) {

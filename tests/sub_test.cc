@@ -1,0 +1,577 @@
+// Subscription tier: registry semantics (add/remove/idempotency,
+// mid-epoch unsubscribe), geofence edge cases (antimeridian wrap,
+// boundary inclusivity, dwell), byte-identity of the incremental
+// per-epoch evaluation with the full re-evaluation oracle at every
+// shard x epoch-size combination, the broker/client wire protocol over
+// loopback and TCP, and the cluster leg (coordinator-assigned ids,
+// node-shipped deltas) against a single-process engine.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/local_cluster.h"
+#include "common/thread_pool.h"
+#include "datacron/engine.h"
+#include "net/codec.h"
+#include "net/sub_channel.h"
+#include "net/transport.h"
+#include "sub/oracle.h"
+#include "sub/registry.h"
+#include "sub/subscription.h"
+
+namespace datacron {
+namespace {
+
+PositionReport ReportAt(EntityId entity, TimestampMs ts, double lat,
+                        double lon, double speed = 8.0) {
+  PositionReport r;
+  r.entity_id = entity;
+  r.timestamp = ts;
+  r.position = {lat, lon, 0.0};
+  r.speed_mps = speed;
+  r.course_deg = 90.0;
+  return r;
+}
+
+/// Six entities sweeping east across the default engine region. Entities
+/// 1 and 2 ride the same latitude ~200 m apart (steady encounters for the
+/// proximity subs); everyone crosses the geofence window around
+/// lon 24.8..25.2 partway through, so enters, dwells and exits all fire.
+std::vector<PositionReport> SubStream(int steps = 160) {
+  std::vector<PositionReport> out;
+  out.reserve(static_cast<std::size_t>(steps) * 6);
+  for (int k = 0; k < steps; ++k) {
+    const TimestampMs t = static_cast<TimestampMs>(k) * 30 * kSecond;
+    for (EntityId e = 1; e <= 6; ++e) {
+      const double lat = e <= 2 ? 36.0 : 35.25 + 0.25 * e;
+      const double lon = 24.0 + 0.012 * k + 0.002 * e;
+      out.push_back(ReportAt(e, t, lat, lon));
+    }
+  }
+  return out;
+}
+
+/// The geofence window SubStream crosses.
+BoundingBox WatchBox() { return BoundingBox::Of(35.9, 24.8, 37.0, 25.2); }
+
+/// Covers the whole region with far more grid cells than
+/// max_cells_per_box, so it lands in the BboxSoa catchall.
+BoundingBox WideBox() { return BoundingBox::Of(30.0, 15.0, 45.0, 40.0); }
+
+/// The standing-query mix every identity test registers, in the same
+/// order so ids line up across engines, registries and clusters:
+/// entity + fleet geofences (grid, catchall and polygon indexed),
+/// proximity watches with and without rate limiting, and hotspots on
+/// both index paths, spread over three subscribers.
+template <typename SubscribeFn>
+void RegisterMix(SubscribeFn&& subscribe) {
+  GeofenceSpec entity_watch;
+  entity_watch.bbox = WatchBox();
+  entity_watch.entity = 1;
+  entity_watch.dwell_ms = 5 * kMinute;
+  ASSERT_TRUE(subscribe(1, SubscriptionSpec::Geofence(entity_watch)).ok());
+
+  GeofenceSpec fleet_watch;
+  fleet_watch.bbox = WatchBox();
+  fleet_watch.all_entities = true;
+  ASSERT_TRUE(subscribe(2, SubscriptionSpec::Geofence(fleet_watch)).ok());
+
+  GeofenceSpec wide_watch;
+  wide_watch.bbox = WideBox();
+  wide_watch.all_entities = true;
+  ASSERT_TRUE(subscribe(1, SubscriptionSpec::Geofence(wide_watch)).ok());
+
+  GeofenceSpec poly_watch;
+  poly_watch.polygon = {{35.9, 24.8}, {37.0, 25.0}, {35.9, 25.2}};
+  poly_watch.all_entities = true;
+  ASSERT_TRUE(subscribe(3, SubscriptionSpec::Geofence(poly_watch)).ok());
+
+  ASSERT_TRUE(subscribe(2, SubscriptionSpec::Proximity({1, 0})).ok());
+  ASSERT_TRUE(
+      subscribe(3, SubscriptionSpec::Proximity({2, 10 * kMinute})).ok());
+
+  ASSERT_TRUE(
+      subscribe(1, SubscriptionSpec::Hotspot({WatchBox(), 4.0, 2})).ok());
+  ASSERT_TRUE(
+      subscribe(3, SubscriptionSpec::Hotspot({WideBox(), 50.0, 4})).ok());
+}
+
+/// Canonical byte form of a batch sequence: each batch exactly as it
+/// travels on the wire (kDeltaBatch frame), concatenated in emit order.
+std::string EncodeBatches(const std::vector<DeltaBatch>& batches) {
+  std::string out;
+  for (const DeltaBatch& b : batches) out += Encode(DeltaBatchMsg{b});
+  return out;
+}
+
+/// The slice of an epoch's events the registry's proximity watches see:
+/// only the global CEP stage's encounter/forecast emissions.
+std::vector<Event> ProximityOnly(std::span<const Event> events) {
+  std::vector<Event> out;
+  for (const Event& ev : events) {
+    if (ev.kind == EventKind::kEncounter ||
+        ev.kind == EventKind::kCollisionForecast) {
+      out.push_back(ev);
+    }
+  }
+  return out;
+}
+
+// --- registry semantics ---------------------------------------------------
+
+TEST(SubRegistryTest, SubscribeValidatesSpecsAndAssignsAscendingIds) {
+  SubscriptionRegistry reg;
+  EXPECT_FALSE(reg.ever_active());
+
+  GeofenceSpec g;
+  g.bbox = WatchBox();
+  g.entity = 7;
+  const auto a = reg.Subscribe(1, SubscriptionSpec::Geofence(g));
+  ASSERT_TRUE(a.ok());
+  const auto b = reg.Subscribe(1, SubscriptionSpec::Proximity({7, 0}));
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a.value(), b.value());
+  EXPECT_EQ(reg.active_count(), 2u);
+  EXPECT_TRUE(reg.ever_active());
+
+  // Invalid specs are rejected at registration, not at evaluation.
+  GeofenceSpec two_vertex;
+  two_vertex.polygon = {{0, 0}, {1, 1}};
+  EXPECT_FALSE(reg.Subscribe(1, SubscriptionSpec::Geofence(two_vertex)).ok());
+  GeofenceSpec inverted;
+  inverted.bbox = BoundingBox::Of(40.0, 20.0, 30.0, 25.0);
+  EXPECT_FALSE(reg.Subscribe(1, SubscriptionSpec::Geofence(inverted)).ok());
+  EXPECT_FALSE(
+      reg.Subscribe(1, SubscriptionSpec::Hotspot({WatchBox(), 0.0, 1})).ok());
+  EXPECT_FALSE(
+      reg.Subscribe(1, SubscriptionSpec::Hotspot({WatchBox(), 1.0, 0})).ok());
+  EXPECT_EQ(reg.active_count(), 2u);
+}
+
+TEST(SubRegistryTest, SubscribeWithIdIsIdempotentAndGuardsConflicts) {
+  SubscriptionRegistry reg;
+  GeofenceSpec g;
+  g.bbox = WatchBox();
+  g.all_entities = true;
+  const SubscriptionSpec spec = SubscriptionSpec::Geofence(g);
+
+  EXPECT_FALSE(reg.SubscribeWithId(0, 1, spec).ok());  // 0 is reserved
+  ASSERT_TRUE(reg.SubscribeWithId(42, 1, spec).ok());
+  // The cluster re-broadcast case: the identical registration is a no-op.
+  EXPECT_TRUE(reg.SubscribeWithId(42, 1, spec).ok());
+  EXPECT_EQ(reg.active_count(), 1u);
+  // Same id, different owner or different predicate: conflict.
+  EXPECT_EQ(reg.SubscribeWithId(42, 2, spec).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(reg.SubscribeWithId(42, 1, SubscriptionSpec::Proximity({1, 0}))
+                .code(),
+            StatusCode::kAlreadyExists);
+
+  // Fresh ids keep ascending past the caller-chosen one.
+  const auto next = reg.Subscribe(1, spec);
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(next.value(), 42u);
+}
+
+TEST(SubRegistryTest, UnsubscribeTombstonesOnce) {
+  SubscriptionRegistry reg;
+  GeofenceSpec g;
+  g.bbox = WatchBox();
+  g.entity = 3;
+  const auto id = reg.Subscribe(1, SubscriptionSpec::Geofence(g));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(reg.Unsubscribe(id.value()));
+  EXPECT_FALSE(reg.Unsubscribe(id.value()));  // already inactive
+  EXPECT_FALSE(reg.Unsubscribe(9999));        // unknown
+  EXPECT_EQ(reg.active_count(), 0u);
+  EXPECT_TRUE(reg.ever_active());  // the engine hook stays armed
+}
+
+TEST(SubRegistryTest, UnsubscribeMidEpochDropsItsPendingDeltas) {
+  SubscriptionRegistry reg;
+  GeofenceSpec g;
+  g.bbox = WatchBox();
+  g.entity = 5;
+  const auto id = reg.Subscribe(1, SubscriptionSpec::Geofence(g));
+  ASSERT_TRUE(id.ok());
+
+  // The shard emits an enter for the still-open epoch...
+  std::vector<SubDelta> deltas;
+  FlatHashMap<std::uint64_t, double> counts;
+  reg.EvalKeyed(0, ReportAt(5, 1000, 36.0, 25.0), &deltas, &counts);
+  ASSERT_EQ(deltas.size(), 1u);
+  reg.AddKeyedDeltas(deltas);
+
+  // ...then the subscription dies before the barrier closes the epoch:
+  // the delta must not reach a subscriber that no longer wants it.
+  ASSERT_TRUE(reg.Unsubscribe(id.value()));
+  reg.CloseEpoch(1000);
+  EXPECT_TRUE(reg.TakeBatches().empty());
+}
+
+// --- geofence edge cases --------------------------------------------------
+
+/// Runs one report per epoch through a 1-shard registry and returns every
+/// delta in emission order.
+std::vector<SubDelta> RunReports(SubscriptionRegistry* reg,
+                                 std::span<const PositionReport> reports) {
+  std::vector<SubDelta> all;
+  for (const PositionReport& r : reports) {
+    std::vector<SubDelta> deltas;
+    FlatHashMap<std::uint64_t, double> counts;
+    reg->EvalKeyed(0, r, &deltas, &counts);
+    reg->AddKeyedDeltas(deltas);
+    reg->AddHotspotCounts(counts);
+    reg->CloseEpoch(r.timestamp);
+  }
+  for (const DeltaBatch& b : reg->TakeBatches()) {
+    all.insert(all.end(), b.deltas.begin(), b.deltas.end());
+  }
+  return all;
+}
+
+TEST(GeofenceEdgeTest, AntimeridianWrapBoxFiresOnBothSides) {
+  SubscriptionRegistry reg;
+  GeofenceSpec g;
+  // min_lon > max_lon: a box straddling the antimeridian from 175E to
+  // 175W, split into two plain boxes at registration.
+  g.bbox = BoundingBox::Of(-10.0, 175.0, 10.0, -175.0);
+  g.all_entities = true;
+  ASSERT_TRUE(reg.Subscribe(1, SubscriptionSpec::Geofence(g)).ok());
+
+  const std::vector<PositionReport> track = {
+      ReportAt(9, 0 * kMinute, 0.0, 170.0),    // west of the box
+      ReportAt(9, 1 * kMinute, 0.0, 179.5),    // inside, eastern half
+      ReportAt(9, 2 * kMinute, 0.0, -179.5),   // still inside, western half
+      ReportAt(9, 3 * kMinute, 0.0, -170.0),   // out the far side
+      ReportAt(9, 4 * kMinute, 0.0, 0.0),      // nowhere near
+  };
+  const std::vector<SubDelta> deltas = RunReports(&reg, track);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].kind, DeltaKind::kEnter);
+  EXPECT_EQ(deltas[0].time, 1 * kMinute);
+  // Crossing +-180 inside the box is not an exit: the wrap box is one
+  // region, not two.
+  EXPECT_EQ(deltas[1].kind, DeltaKind::kExit);
+  EXPECT_EQ(deltas[1].time, 3 * kMinute);
+  EXPECT_EQ(deltas[1].value, static_cast<double>(2 * kMinute));
+}
+
+TEST(GeofenceEdgeTest, BoundaryReportIsInside) {
+  SubscriptionRegistry reg;
+  GeofenceSpec g;
+  g.bbox = BoundingBox::Of(35.0, 24.0, 36.0, 25.0);
+  g.all_entities = true;
+  ASSERT_TRUE(reg.Subscribe(1, SubscriptionSpec::Geofence(g)).ok());
+
+  // A report exactly on the corner is contained (closed box), so the
+  // pair is one enter at the boundary and one exit just past it.
+  const std::vector<PositionReport> track = {
+      ReportAt(4, 0, 36.0, 25.0),          // exactly the max corner
+      ReportAt(4, kMinute, 36.0, 25.0001),  // epsilon outside
+  };
+  const std::vector<SubDelta> deltas = RunReports(&reg, track);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].kind, DeltaKind::kEnter);
+  EXPECT_EQ(deltas[1].kind, DeltaKind::kExit);
+}
+
+TEST(GeofenceEdgeTest, DwellFiresOncePerVisit) {
+  SubscriptionRegistry reg;
+  GeofenceSpec g;
+  g.bbox = BoundingBox::Of(35.0, 24.0, 36.0, 25.0);
+  g.entity = 8;
+  g.dwell_ms = 2 * kMinute;
+  ASSERT_TRUE(reg.Subscribe(1, SubscriptionSpec::Geofence(g)).ok());
+
+  const std::vector<PositionReport> track = {
+      ReportAt(8, 0 * kMinute, 35.5, 24.5),  // enter
+      ReportAt(8, 1 * kMinute, 35.5, 24.6),  // inside, dwell not yet
+      ReportAt(8, 2 * kMinute, 35.5, 24.7),  // dwell fires (>= 2 min)
+      ReportAt(8, 3 * kMinute, 35.5, 24.8),  // still inside, no repeat
+      ReportAt(8, 4 * kMinute, 35.5, 26.0),  // exit
+      ReportAt(8, 5 * kMinute, 35.5, 24.5),  // second visit
+      ReportAt(8, 8 * kMinute, 35.5, 24.6),  // dwell re-arms per visit
+  };
+  const std::vector<SubDelta> deltas = RunReports(&reg, track);
+  ASSERT_EQ(deltas.size(), 5u);
+  EXPECT_EQ(deltas[0].kind, DeltaKind::kEnter);
+  EXPECT_EQ(deltas[1].kind, DeltaKind::kDwell);
+  EXPECT_EQ(deltas[1].value, static_cast<double>(2 * kMinute));
+  EXPECT_EQ(deltas[2].kind, DeltaKind::kExit);
+  EXPECT_EQ(deltas[2].value, static_cast<double>(4 * kMinute));
+  EXPECT_EQ(deltas[3].kind, DeltaKind::kEnter);
+  EXPECT_EQ(deltas[4].kind, DeltaKind::kDwell);
+  EXPECT_EQ(deltas[4].value, static_cast<double>(3 * kMinute));
+}
+
+// --- incremental vs full re-evaluation ------------------------------------
+
+/// Runs the stream through a sharded engine in epoch_size chunks,
+/// capturing each epoch's wire bytes and its proximity-event slice (what
+/// the oracle needs to replay the same epoch).
+struct IncrementalRun {
+  std::string bytes;
+  std::vector<std::vector<Event>> epoch_events;
+  std::vector<TimestampMs> epoch_close_ts;
+};
+
+IncrementalRun RunIncremental(const std::vector<PositionReport>& stream,
+                              std::size_t num_shards,
+                              std::size_t epoch_size) {
+  DatacronEngine::Config cfg;
+  cfg.num_shards = num_shards;
+  cfg.epoch_size = epoch_size;
+  DatacronEngine engine(cfg);
+  RegisterMix([&](SubscriberId client, const SubscriptionSpec& spec) {
+    return engine.subscriptions()->Subscribe(client, spec);
+  });
+
+  std::unique_ptr<ThreadPool> pool;
+  if (num_shards > 1) pool = std::make_unique<ThreadPool>(4);
+
+  IncrementalRun run;
+  for (std::size_t off = 0; off < stream.size(); off += epoch_size) {
+    const std::size_t n = std::min(epoch_size, stream.size() - off);
+    const std::span<const PositionReport> chunk(stream.data() + off, n);
+    const std::vector<Event> events = engine.IngestBatch(chunk, pool.get());
+    run.epoch_events.push_back(ProximityOnly(events));
+    run.epoch_close_ts.push_back(chunk.back().timestamp);
+    run.bytes += EncodeBatches(engine.subscriptions()->TakeBatches());
+  }
+  return run;
+}
+
+TEST(SubIdentityTest, IncrementalMatchesOracleAtEveryShardAndEpochSize) {
+  const std::vector<PositionReport> stream = SubStream();
+
+  for (const std::size_t epoch_size : {std::size_t{1}, std::size_t{32},
+                                       std::size_t{128}}) {
+    // The oracle re-evaluates every subscription against the whole epoch,
+    // from its own registry carrying the identical standing queries.
+    SubscriptionRegistry oracle_reg;
+    RegisterMix([&](SubscriberId client, const SubscriptionSpec& spec) {
+      return oracle_reg.Subscribe(client, spec);
+    });
+    SubscriptionOracle oracle(&oracle_reg);
+
+    // One reference run supplies the proximity-event slices (the global
+    // CEP stage is itself shard-count invariant, covered elsewhere).
+    const IncrementalRun reference = RunIncremental(stream, 1, epoch_size);
+    ASSERT_FALSE(reference.bytes.empty());
+
+    std::string oracle_bytes;
+    for (std::size_t i = 0, off = 0; off < stream.size();
+         ++i, off += epoch_size) {
+      const std::size_t n = std::min(epoch_size, stream.size() - off);
+      oracle_bytes += EncodeBatches(oracle.EvalEpoch(
+          std::span<const PositionReport>(stream.data() + off, n),
+          reference.epoch_events[i], reference.epoch_close_ts[i]));
+    }
+    ASSERT_EQ(reference.bytes, oracle_bytes)
+        << "oracle mismatch at epoch_size=" << epoch_size;
+
+    for (const std::size_t shards :
+         {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const IncrementalRun run = RunIncremental(stream, shards, epoch_size);
+      EXPECT_EQ(run.bytes, reference.bytes)
+          << "shards=" << shards << " epoch_size=" << epoch_size;
+    }
+  }
+}
+
+TEST(SubIdentityTest, SerialIngestIsTheEpochOfOneCase) {
+  const std::vector<PositionReport> stream = SubStream(40);
+
+  DatacronEngine engine({});
+  RegisterMix([&](SubscriberId client, const SubscriptionSpec& spec) {
+    return engine.subscriptions()->Subscribe(client, spec);
+  });
+  SubscriptionRegistry oracle_reg;
+  RegisterMix([&](SubscriberId client, const SubscriptionSpec& spec) {
+    return oracle_reg.Subscribe(client, spec);
+  });
+  SubscriptionOracle oracle(&oracle_reg);
+
+  std::string engine_bytes;
+  std::string oracle_bytes;
+  for (const PositionReport& r : stream) {
+    const std::vector<Event> events = engine.Ingest(r);
+    engine_bytes += EncodeBatches(engine.subscriptions()->TakeBatches());
+    oracle_bytes += EncodeBatches(
+        oracle.EvalEpoch(std::span<const PositionReport>(&r, 1),
+                         ProximityOnly(events), r.timestamp));
+  }
+  EXPECT_FALSE(engine_bytes.empty());
+  EXPECT_EQ(engine_bytes, oracle_bytes);
+}
+
+// --- broker / client wire protocol ----------------------------------------
+
+void ExerciseSubChannel(std::unique_ptr<Transport> server_side,
+                        std::unique_ptr<Transport> client_side) {
+  DatacronEngine engine({});
+  SubscriptionBroker::Hooks hooks;
+  hooks.subscribe = [&engine](SubscriberId client,
+                              const SubscriptionSpec& spec) {
+    return engine.subscriptions()->Subscribe(client, spec);
+  };
+  hooks.unsubscribe = [&engine](SubscriptionId id) {
+    return engine.subscriptions()->Unsubscribe(id);
+  };
+  SubscriptionBroker broker(hooks);
+  broker.Attach(7, std::move(server_side));
+  engine.subscriptions()->SetDeltaSink(
+      [&broker](const DeltaBatch& b) { broker.PushBatch(b); });
+
+  SubscriberClient client(7, std::move(client_side));
+
+  GeofenceSpec g;
+  g.bbox = WatchBox();
+  g.all_entities = true;
+  ASSERT_TRUE(client.SendSubscribe(SubscriptionSpec::Geofence(g)).ok());
+  ASSERT_TRUE(broker.HandleControl(7).ok());
+  const Result<SubscriptionId> id = client.AwaitAck();
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // An invalid predicate is rejected in-band; the channel survives.
+  ASSERT_TRUE(
+      client.SendSubscribe(SubscriptionSpec::Hotspot({WatchBox(), -1.0, 1}))
+          .ok());
+  ASSERT_TRUE(broker.HandleControl(7).ok());
+  const Result<SubscriptionId> bad = client.AwaitAck();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // One report inside the fence: the epoch's coalesced enter arrives as a
+  // kDeltaBatch push.
+  engine.Ingest(ReportAt(3, 1000, 36.0, 25.0));
+  const Result<DeltaBatch> batch = client.NextBatch();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch.value().subscriber, 7u);
+  ASSERT_EQ(batch.value().deltas.size(), 1u);
+  EXPECT_EQ(batch.value().deltas[0].sub, id.value());
+  EXPECT_EQ(batch.value().deltas[0].kind, DeltaKind::kEnter);
+  EXPECT_EQ(batch.value().deltas[0].entity, 3u);
+
+  // Unsubscribe is acked and stops the push stream.
+  ASSERT_TRUE(client.SendUnsubscribe(id.value()).ok());
+  ASSERT_TRUE(broker.HandleControl(7).ok());
+  ASSERT_TRUE(client.AwaitAck().ok());
+  engine.Ingest(ReportAt(3, 2000, 36.0, 25.01));
+  EXPECT_EQ(broker.batches_pushed(), 1u);
+
+  broker.CloseAll();
+  EXPECT_FALSE(client.NextBatch().ok());
+  client.Close();
+}
+
+TEST(SubChannelTest, BrokerAndClientOverLoopback) {
+  auto [server_side, client_side] = LoopbackTransport::CreatePair();
+  ExerciseSubChannel(std::move(server_side), std::move(client_side));
+}
+
+TEST(SubChannelTest, BrokerAndClientOverTcp) {
+  Result<std::unique_ptr<TcpListener>> listener = TcpListener::Create();
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  Result<std::unique_ptr<Transport>> client_side =
+      TcpConnect(listener.value()->port());
+  ASSERT_TRUE(client_side.ok()) << client_side.status().ToString();
+  Result<std::unique_ptr<Transport>> server_side =
+      listener.value()->Accept();
+  ASSERT_TRUE(server_side.ok()) << server_side.status().ToString();
+  ExerciseSubChannel(std::move(server_side).value(),
+                     std::move(client_side).value());
+}
+
+// --- cluster leg ----------------------------------------------------------
+
+/// Deltas of a fleet run: coordinator assigns the ids, nodes evaluate
+/// their shards, the coordinator splices and coalesces per cluster epoch.
+std::string RunClusterSubs(const std::vector<PositionReport>& stream,
+                           std::size_t num_nodes, LocalCluster::Wire wire,
+                           std::size_t epoch_size) {
+  LocalCluster::Options opts;
+  opts.engine.epoch_size = epoch_size;
+  opts.num_nodes = num_nodes;
+  opts.wire = wire;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(opts);
+  EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+  if (!cluster.ok()) return {};
+
+  RegisterMix([&](SubscriberId client, const SubscriptionSpec& spec) {
+    return cluster.value()->engine().Subscribe(client, spec);
+  });
+  const Result<std::vector<Event>> events =
+      cluster.value()->engine().IngestBatch(stream);
+  EXPECT_TRUE(events.ok()) << events.status().ToString();
+  const std::string bytes = EncodeBatches(
+      cluster.value()->engine().subscriptions()->TakeBatches());
+  const Status stop = cluster.value()->Stop();
+  EXPECT_TRUE(stop.ok()) << stop.ToString();
+  return bytes;
+}
+
+TEST(ClusterSubTest, ClusterDeltasMatchSingleEngineOverLoopbackAndTcp) {
+  const std::vector<PositionReport> stream = SubStream();
+  const std::size_t epoch_size = 64;
+
+  DatacronEngine::Config cfg;
+  cfg.epoch_size = epoch_size;
+  DatacronEngine single(cfg);
+  RegisterMix([&](SubscriberId client, const SubscriptionSpec& spec) {
+    return single.subscriptions()->Subscribe(client, spec);
+  });
+  single.IngestBatch(stream, nullptr);
+  const std::string expected =
+      EncodeBatches(single.subscriptions()->TakeBatches());
+  ASSERT_FALSE(expected.empty());
+
+  EXPECT_EQ(RunClusterSubs(stream, 2, LocalCluster::Wire::kLoopback,
+                           epoch_size),
+            expected);
+  EXPECT_EQ(RunClusterSubs(stream, 3, LocalCluster::Wire::kLoopback,
+                           epoch_size),
+            expected);
+  EXPECT_EQ(RunClusterSubs(stream, 2, LocalCluster::Wire::kTcp, epoch_size),
+            expected);
+}
+
+TEST(ClusterSubTest, FleetUnsubscribeStopsDeltasEverywhere) {
+  const std::vector<PositionReport> stream = SubStream(40);
+
+  LocalCluster::Options opts;
+  opts.engine.epoch_size = 32;
+  opts.num_nodes = 2;
+  Result<std::unique_ptr<LocalCluster>> cluster = LocalCluster::Start(opts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  ClusterEngine& engine = cluster.value()->engine();
+
+  GeofenceSpec g;
+  g.bbox = BoundingBox::Of(35.0, 23.5, 37.0, 26.5);
+  g.all_entities = true;
+  const Result<SubscriptionId> id =
+      engine.Subscribe(5, SubscriptionSpec::Geofence(g));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  ASSERT_TRUE(engine.IngestBatch(stream).ok());
+  EXPECT_FALSE(engine.subscriptions()->TakeBatches().empty());
+
+  ASSERT_TRUE(engine.Unsubscribe(id.value()).ok());
+  EXPECT_EQ(engine.Unsubscribe(id.value()).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<PositionReport> more = SubStream(40);
+  for (PositionReport& r : more) r.timestamp += 40 * 30 * kSecond;
+  ASSERT_TRUE(engine.IngestBatch(more).ok());
+  EXPECT_TRUE(engine.subscriptions()->TakeBatches().empty());
+
+  ASSERT_TRUE(cluster.value()->Stop().ok());
+}
+
+}  // namespace
+}  // namespace datacron
